@@ -1,0 +1,38 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark prints its paper-style table/series through :func:`report`,
+which bypasses pytest's capture (so ``pytest benchmarks/ --benchmark-only``
+shows the regenerated tables inline) and archives the text under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capsys):
+    """Print experiment output unbuffered and archive it to results/."""
+
+    def emit(experiment_id: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n=== {experiment_id} ===")
+            print(text)
+
+    return emit
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once through pytest-benchmark.
+
+    Simulation benchmarks are deterministic and expensive; statistical
+    repetition adds nothing, so a single timed round is recorded.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

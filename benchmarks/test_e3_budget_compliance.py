@@ -1,0 +1,96 @@
+"""E3 [reconstructed]: long-term budget compliance and queue trajectories.
+
+Figure analogue: (a) running-average spend / budget over time for LT-VCG vs.
+the no-Lyapunov ablation at three budget tightness levels, (b) the virtual
+queue Q(t) trajectory.  Expected shape: LT-VCG's running average converges
+to the budget line from above (transient O(V) overshoot, then compliance);
+myopic VCG's average stays flat at its unconstrained level regardless of
+the budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro import LongTermVCGConfig, LongTermVCGMechanism, SimulationRunner
+from repro.analysis.budget import budget_report
+from repro.mechanisms import MyopicVCGMechanism
+from repro.simulation.scenarios import build_mechanism_scenario
+from repro.utils.tables import format_series, format_table
+
+SEED = 19
+NUM_CLIENTS = 40
+ROUNDS = 600
+K = 10
+V = 20.0
+BUDGETS = {"tight": 1.5, "medium": 2.5, "loose": 5.0}
+
+
+def run_all():
+    results = {}
+    for label, budget in BUDGETS.items():
+        mechanism = LongTermVCGMechanism(
+            LongTermVCGConfig(v=V, budget_per_round=budget, max_winners=K)
+        )
+        scenario = build_mechanism_scenario(NUM_CLIENTS, seed=SEED)
+        log = SimulationRunner(
+            mechanism, scenario.clients, scenario.valuation, seed=23
+        ).run(ROUNDS)
+        results[label] = (budget, log, mechanism.controller.queue.history)
+    # The ablation at the tight budget.
+    scenario = build_mechanism_scenario(NUM_CLIENTS, seed=SEED)
+    myopic_log = SimulationRunner(
+        MyopicVCGMechanism(max_winners=K), scenario.clients, scenario.valuation, seed=23
+    ).run(ROUNDS)
+    results["myopic@tight"] = (BUDGETS["tight"], myopic_log, None)
+    return results
+
+
+def running_average(payments):
+    return (np.cumsum(payments) / np.arange(1, len(payments) + 1)).tolist()
+
+
+def test_e3_budget_compliance(benchmark, report):
+    results = run_once(benchmark, run_all)
+
+    xs = list(range(ROUNDS))
+    spend_curves = {
+        f"{label} (B={budget})": running_average(log.payment_series())
+        for label, (budget, log, _) in results.items()
+    }
+    text = format_series(
+        xs, spend_curves, x_label="round",
+        title="Running-average spend per round", max_points=14,
+    )
+
+    queue_curves = {
+        f"Q(t) {label}": history[:ROUNDS]
+        for label, (_, _, history) in results.items()
+        if history is not None
+    }
+    text += "\n\n" + format_series(
+        xs, queue_curves, x_label="round",
+        title="Budget virtual-queue backlog Q(t)", max_points=14,
+    )
+
+    rows = []
+    for label, (budget, log, _) in results.items():
+        rep = budget_report(log, budget)
+        rows.append(
+            [label, budget, rep.average_spend, rep.final_overspend_ratio,
+             rep.peak_cumulative_overspend, rep.compliant]
+        )
+    text += "\n\n" + format_table(
+        ["run", "budget", "avg_spend", "spend/budget", "peak_overspend", "compliant"],
+        rows, title="Budget compliance summary",
+    )
+    report("e3_budget_compliance", text)
+
+    # Shape assertions: LT-VCG compliant at every budget; myopic violates the
+    # tight budget.
+    for label in BUDGETS:
+        budget, log, _ = results[label]
+        assert budget_report(log, budget).final_overspend_ratio <= 1.1
+    budget, log, _ = results["myopic@tight"]
+    assert budget_report(log, budget).final_overspend_ratio > 1.3

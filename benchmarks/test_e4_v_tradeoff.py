@@ -1,0 +1,89 @@
+"""E4 [reconstructed]: the Lyapunov [O(1/V), O(V)] trade-off.
+
+Figure analogue: welfare and queue backlog as functions of V.  Expected
+shape: total welfare increases in V, saturating toward the myopic
+(budget-free) level — the O(1/V) optimality gap — while the peak virtual-
+queue backlog (transient budget debt) grows roughly linearly in V — the
+O(V) queue bound.  This is the knob a deployment turns to trade budget
+smoothness against welfare.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro import LongTermVCGConfig, LongTermVCGMechanism, SimulationRunner
+from repro.analysis.welfare import welfare_summary
+from repro.simulation.scenarios import build_mechanism_scenario
+from repro.utils.tables import format_table
+
+SEED = 31
+NUM_CLIENTS = 40
+ROUNDS = 600
+K = 10
+BUDGET = 2.0
+V_GRID = (1.0, 5.0, 10.0, 50.0, 100.0, 500.0)
+
+
+def run_all():
+    rows = []
+    for v in V_GRID:
+        mechanism = LongTermVCGMechanism(
+            LongTermVCGConfig(v=v, budget_per_round=BUDGET, max_winners=K)
+        )
+        scenario = build_mechanism_scenario(NUM_CLIENTS, seed=SEED)
+        log = SimulationRunner(
+            mechanism, scenario.clients, scenario.valuation, seed=37
+        ).run(ROUNDS)
+        summary = welfare_summary(log)
+        queue = mechanism.controller.queue
+        rows.append(
+            {
+                "v": v,
+                "total_welfare": summary.total_welfare,
+                "avg_spend": summary.average_payment,
+                "peak_backlog": max(queue.history),
+                "final_backlog": queue.backlog,
+            }
+        )
+    return rows
+
+
+def test_e4_v_tradeoff(benchmark, report):
+    from repro.core.theory import lyapunov_bounds
+
+    rows = run_once(benchmark, run_all)
+
+    # Overlay the computable theory bounds (docs/THEORY.md §3): the measured
+    # welfare gap must shrink at least as fast as B0/V up to constants, and
+    # the bound columns contextualise the measured backlogs.
+    max_payment = max(r["avg_spend"] for r in rows) * 3  # crude per-round cap
+    for r in rows:
+        bounds = lyapunov_bounds(
+            v=r["v"], budget_per_round=BUDGET,
+            max_payment_per_round=max_payment, welfare_span=K * 3.0,
+            slack=BUDGET / 2,
+        )
+        r["welfare_gap_bound"] = bounds.welfare_gap
+        r["queue_bound"] = bounds.queue_bound
+
+    text = format_table(
+        ["V", "total_welfare", "avg_spend", "peak_backlog", "final_backlog",
+         "theory_gap_bound", "theory_queue_bound"],
+        [
+            [r["v"], r["total_welfare"], r["avg_spend"], r["peak_backlog"],
+             r["final_backlog"], r["welfare_gap_bound"], r["queue_bound"]]
+            for r in rows
+        ],
+        title=f"V sweep (budget={BUDGET}/round, {ROUNDS} rounds) with theory overlay",
+    )
+    report("e4_v_tradeoff", text)
+
+    welfare = [r["total_welfare"] for r in rows]
+    backlog = [r["peak_backlog"] for r in rows]
+    # Shape: welfare non-decreasing in V (up to small noise), backlog growing.
+    assert welfare[-1] >= welfare[0]
+    assert backlog[-1] > backlog[0]
+    # O(V) backlog: the largest V has backlog within a constant of linear.
+    assert backlog[-1] / V_GRID[-1] < 10 * max(backlog[0] / V_GRID[0], 1e-9) + 10.0

@@ -1,0 +1,94 @@
+"""E5 [reconstructed]: truthfulness under bid deviation.
+
+Table analogue: the utility a client obtains when misreporting its cost by a
+factor of 0.5x-4x, holding everyone else truthful.  Expected shape: under
+LT-VCG (exact and greedy winner determination) the maximum deviation gain is
+zero to numerical precision; under pay-as-bid greedy the best overbid earns
+a strictly positive premium — the paper's motivation for VCG payments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro import LongTermVCGConfig, LongTermVCGMechanism
+from repro.core.properties import verify_truthfulness
+from repro.mechanisms import FixedPriceMechanism, GreedyFirstPriceMechanism
+from repro.simulation.scenarios import build_mechanism_scenario
+from repro.utils.tables import format_table
+
+SEED = 57
+NUM_CLIENTS = 20
+K = 6
+BUDGET = 3.0
+FACTORS = (0.5, 0.8, 0.9, 1.1, 1.25, 1.5, 2.0, 4.0)
+
+
+def build_instance():
+    """A truthful single-round instance from the canonical population."""
+    scenario = build_mechanism_scenario(NUM_CLIENTS, seed=SEED)
+    bids = tuple(client.make_bid(0) for client in scenario.clients)
+    values = scenario.valuation.values_for(bids)
+    from repro.core.bids import AuctionRound
+
+    auction_round = AuctionRound(index=0, bids=bids, values=values)
+    return auction_round, scenario.true_costs()
+
+
+def factories():
+    return {
+        "lt-vcg (exact)": lambda: LongTermVCGMechanism(
+            LongTermVCGConfig(v=20.0, budget_per_round=BUDGET, max_winners=K)
+        ),
+        "lt-vcg (greedy)": lambda: LongTermVCGMechanism(
+            LongTermVCGConfig(
+                v=20.0, budget_per_round=BUDGET, max_winners=K, wd_method="greedy"
+            )
+        ),
+        "greedy-first-price": lambda: GreedyFirstPriceMechanism(BUDGET, K),
+        "fixed-price": lambda: FixedPriceMechanism(price=0.8, max_winners=K),
+    }
+
+
+def run_all():
+    auction_round, true_costs = build_instance()
+    reports = {}
+    for name, factory in factories().items():
+        reports[name] = verify_truthfulness(
+            factory, auction_round, true_costs,
+            deviation_factors=FACTORS, tolerance=1e-6,
+        )
+    return reports
+
+
+def test_e5_truthfulness(benchmark, report):
+    reports = run_once(benchmark, run_all)
+
+    rows = []
+    for name, rep in reports.items():
+        best_gain_by_factor = {}
+        for record in rep.records:
+            factor = record.deviated_bid / record.true_cost
+            key = round(factor, 3)
+            best_gain_by_factor[key] = max(
+                best_gain_by_factor.get(key, -np.inf), record.gain
+            )
+        rows.append(
+            [name, rep.max_gain, rep.is_truthful]
+            + [best_gain_by_factor.get(round(f, 3), 0.0) for f in FACTORS]
+        )
+    text = format_table(
+        ["mechanism", "max_gain", "truthful"] + [f"gain@{f}x" for f in FACTORS],
+        rows,
+        title="Best unilateral deviation gain by misreport factor",
+        float_fmt=".3g",
+    )
+    report("e5_truthfulness", text)
+
+    assert reports["lt-vcg (exact)"].is_truthful
+    assert reports["lt-vcg (greedy)"].is_truthful
+    assert reports["fixed-price"].is_truthful
+    assert not reports["greedy-first-price"].is_truthful
+    # The manipulable baseline's best gain is economically significant.
+    assert reports["greedy-first-price"].max_gain > 0.01

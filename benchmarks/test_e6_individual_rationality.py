@@ -1,0 +1,102 @@
+"""E6 [reconstructed]: individual rationality and payment statistics.
+
+Table analogue: per-mechanism payment accounting over a long run — total
+paid, total true cost of winners, the truthful premium (informational rent),
+per-winner payment, and the IR violation count.  Expected shape: zero IR
+violations for every payment-floor mechanism; VCG-family mechanisms pay a
+strictly positive premium (the price of truthfulness); pay-as-bid pays zero
+premium under truthful bidding (and is exactly why it collapses under
+strategic bidding, E5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro import LongTermVCGConfig, LongTermVCGMechanism, SimulationRunner
+from repro.analysis.reporting import payment_table
+from repro.core.properties import verify_individual_rationality
+from repro.core.bids import AuctionRound, Bid
+from repro.mechanisms import (
+    FixedPriceMechanism,
+    GreedyFirstPriceMechanism,
+    ProportionalShareMechanism,
+    RandomSelectionMechanism,
+)
+from repro.simulation.scenarios import build_mechanism_scenario
+from repro.utils.tables import format_table
+
+SEED = 71
+NUM_CLIENTS = 30
+ROUNDS = 300
+K = 8
+BUDGET = 2.5
+
+
+def make_mechanisms():
+    return {
+        "lt-vcg": LongTermVCGMechanism(
+            LongTermVCGConfig(v=25.0, budget_per_round=BUDGET, max_winners=K)
+        ),
+        "prop-share": ProportionalShareMechanism(BUDGET, K),
+        "greedy-first-price": GreedyFirstPriceMechanism(BUDGET, K),
+        "fixed-price": FixedPriceMechanism(price=0.9, max_winners=K),
+        "random": RandomSelectionMechanism(K, np.random.default_rng(2)),
+    }
+
+
+def run_all():
+    logs = {}
+    violations = {}
+    for name, mechanism in make_mechanisms().items():
+        scenario = build_mechanism_scenario(NUM_CLIENTS, seed=SEED)
+        runner = SimulationRunner(
+            mechanism, scenario.clients, scenario.valuation, seed=3
+        )
+        log = runner.run(ROUNDS)
+        logs[name] = log
+        count = 0
+        for record in log:
+            if not record.selected:
+                continue
+            bids = tuple(
+                Bid(client_id=cid, cost=record.bids[cid]) for cid in record.available
+            )
+            auction_round = AuctionRound(
+                index=record.round_index, bids=bids,
+                values={cid: record.values[cid] for cid in record.available},
+            )
+            from repro.core.bids import RoundOutcome
+
+            outcome = RoundOutcome(
+                round_index=record.round_index,
+                selected=record.selected,
+                payments=record.payments,
+            )
+            count += len(verify_individual_rationality(outcome, auction_round))
+        violations[name] = count
+    return logs, violations
+
+
+def test_e6_individual_rationality(benchmark, report):
+    logs, violations = run_once(benchmark, run_all)
+
+    text = payment_table(logs, title=f"Payment accounting over {ROUNDS} rounds")
+    text += "\n\n" + format_table(
+        ["mechanism", "ir_violations"],
+        [[name, count] for name, count in violations.items()],
+        title="Individual-rationality violations (winner paid below bid)",
+    )
+    report("e6_individual_rationality", text)
+
+    for name, count in violations.items():
+        assert count == 0, f"{name} violated IR {count} times"
+
+    def premium(log):
+        paid = log.total_payment()
+        cost = sum(r.true_costs[c] for r in log for c in r.selected)
+        return paid / cost - 1.0 if cost else 0.0
+
+    assert premium(logs["lt-vcg"]) > 0.05  # truthful rent
+    assert abs(premium(logs["greedy-first-price"])) < 1e-9  # pay-as-bid

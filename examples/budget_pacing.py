@@ -1,0 +1,74 @@
+"""Budget pacing: choosing V for a deployment.
+
+Sweeps the Lyapunov parameter V and shows the two quantities a deployment
+trades off: welfare captured (rises with V, saturating) and the transient
+budget debt Q(t) (grows with V).  Also prints one Q(t) trajectory so the
+"overshoot then drain" dynamic is visible.
+
+Usage::
+
+    python examples/budget_pacing.py
+"""
+
+from repro import LongTermVCGConfig, LongTermVCGMechanism, SimulationRunner
+from repro.analysis.budget import budget_report
+from repro.analysis.welfare import welfare_summary
+from repro.simulation.scenarios import build_mechanism_scenario
+from repro.utils.tables import format_series, format_table
+
+NUM_CLIENTS = 40
+ROUNDS = 600
+K = 10
+BUDGET = 2.0
+V_GRID = (1.0, 5.0, 20.0, 100.0, 500.0)
+
+
+def main() -> None:
+    rows = []
+    sample_history = None
+    for v in V_GRID:
+        mechanism = LongTermVCGMechanism(
+            LongTermVCGConfig(v=v, budget_per_round=BUDGET, max_winners=K)
+        )
+        scenario = build_mechanism_scenario(NUM_CLIENTS, seed=9)
+        log = SimulationRunner(
+            mechanism, scenario.clients, scenario.valuation, seed=10
+        ).run(ROUNDS)
+        summary = welfare_summary(log)
+        report = budget_report(log, BUDGET)
+        queue = mechanism.controller.queue
+        rows.append(
+            [
+                v,
+                summary.total_welfare,
+                report.average_spend,
+                max(queue.history),
+                queue.backlog,
+                report.compliant,
+            ]
+        )
+        if v == 20.0:
+            sample_history = list(queue.history)
+
+    print(
+        format_table(
+            ["V", "welfare", "avg spend", "peak Q", "final Q", "compliant"],
+            rows,
+            title=f"V sweep — budget {BUDGET}/round, {ROUNDS} rounds",
+        )
+    )
+    print()
+    assert sample_history is not None
+    print(
+        format_series(
+            list(range(len(sample_history))),
+            {"Q(t)": sample_history},
+            x_label="round",
+            title="Virtual-queue trajectory at V=20 (overshoot, then drain)",
+            max_points=15,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Deployment playbook: calibrate, recruit, monitor — the operator workflow.
+
+A realistic end-to-end walk-through of putting LT-VCG into production:
+
+1. **Calibrate** the economic knobs from a survey of the device population
+   (per-round budget, reserve price, posted-price sanity check).
+2. **Configure** the mechanism: long-term budget, reserve cap, participation
+   targets, and a UCB-learned valuation that discovers which clients
+   actually move the model (instead of trusting declarations).
+3. **Simulate a campaign** with unreliable uplinks (pay-on-delivery) over a
+   hierarchical client/edge/cloud topology.
+4. **Monitor**: budget compliance, realised truthful premium, fairness, and
+   per-round wall-clock from the topology.
+
+Usage::
+
+    python examples/deployment_playbook.py
+"""
+
+import numpy as np
+
+from repro import LongTermVCGConfig, LongTermVCGMechanism, SimulationRunner
+from repro.analysis.budget import budget_report
+from repro.analysis.fairness import jain_index, participation_rates
+from repro.core.quality_estimation import LearnedValuation
+from repro.core.valuation import DiminishingReturnsValuation
+from repro.economics.calibration import (
+    premium_estimate,
+    suggest_budget,
+    suggest_posted_price,
+    suggest_reserve_price,
+)
+from repro.economics.client_profile import build_population
+from repro.simulation.topology import HierarchicalTopology
+from repro.utils.tables import format_table
+
+NUM_CLIENTS = 30
+ROUNDS = 400
+K = 8
+
+
+def main() -> None:
+    # --- 1. Calibration from the surveyed population -----------------------
+    clients = build_population(
+        NUM_CLIENTS,
+        seed=11,
+        energy_constrained=False,
+        delivery_reliability_range=(0.85, 1.0),
+    )
+    budget = suggest_budget(clients, K, premium_factor=1.4)
+    reserve = suggest_reserve_price(clients, quantile=0.9)
+    posted = suggest_posted_price(clients, expected_acceptors=K)
+    print(
+        format_table(
+            ["knob", "suggested value"],
+            [
+                ["per-round budget B", budget],
+                ["reserve price", reserve],
+                ["(posted price for comparison)", posted],
+            ],
+            title="Calibration from the device survey",
+        )
+    )
+
+    # --- 2. Mechanism + learned valuation ----------------------------------
+    mechanism = LongTermVCGMechanism(
+        LongTermVCGConfig(
+            v=25.0,
+            budget_per_round=budget,
+            max_winners=K,
+            participation_targets={cid: 0.15 for cid in range(NUM_CLIENTS)},
+            sustainability_weight=3.0,
+            reserve_price=reserve,
+        )
+    )
+    valuation = LearnedValuation(
+        DiminishingReturnsValuation(scale=1.0, reference_size=100),
+        blend=0.5,
+        bonus=0.3,
+        optimistic_value=1.5,
+    )
+
+    # --- 3. The campaign ----------------------------------------------------
+    runner = SimulationRunner(mechanism, clients, valuation, seed=13)
+    log = runner.run(ROUNDS)
+
+    # --- 4. Monitoring ------------------------------------------------------
+    report = budget_report(log, budget)
+    rates = list(participation_rates(log, list(range(NUM_CLIENTS))).values())
+    failures = sum(len(r.failed) for r in log)
+    wins = sum(len(r.selected) for r in log)
+
+    topology = HierarchicalTopology.random(
+        list(range(NUM_CLIENTS)), num_edges=4, rng=np.random.default_rng(17)
+    )
+    durations = [
+        topology.round_duration(record.selected) for record in log if record.selected
+    ]
+
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["rounds", len(log)],
+                ["total welfare", log.total_welfare()],
+                ["avg spend / budget", report.final_overspend_ratio],
+                ["budget compliant", report.compliant],
+                ["realised truthful premium", premium_estimate(log)],
+                ["participation Jain index", jain_index(rates)],
+                ["delivered / attempted wins", f"{wins}/{wins + failures}"],
+                ["median round duration (s)", float(np.median(durations))],
+                ["p95 round duration (s)", float(np.quantile(durations, 0.95))],
+            ],
+            title=f"Campaign health after {ROUNDS} rounds",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

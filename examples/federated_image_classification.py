@@ -1,0 +1,81 @@
+"""Auction-driven federated learning on the synthetic image task.
+
+The scenario the paper's introduction motivates: a server trains an image
+classifier over 30 phones/edge devices holding non-IID shards, recruiting
+participants each round through the LT-VCG auction under a long-term
+incentive budget, and compares the learning curve against random selection
+with the same winner cap.
+
+Usage::
+
+    python examples/federated_image_classification.py
+"""
+
+import numpy as np
+
+from repro import LongTermVCGConfig, LongTermVCGMechanism, SimulationRunner
+from repro.analysis.reporting import accuracy_table
+from repro.mechanisms import RandomSelectionMechanism
+from repro.simulation.scenarios import build_fl_scenario
+from repro.utils.tables import format_series
+
+NUM_CLIENTS = 30
+ROUNDS = 120
+K = 8
+BUDGET = 4.0
+
+
+def run(mechanism_name: str):
+    if mechanism_name == "lt-vcg":
+        # Coverage signals (participation targets + staleness-aware values)
+        # keep the auction from over-sampling a few cheap clients under
+        # label-skewed data.
+        mechanism = LongTermVCGMechanism(
+            LongTermVCGConfig(
+                v=30.0, budget_per_round=BUDGET, max_winners=K,
+                participation_targets={cid: 0.2 for cid in range(NUM_CLIENTS)},
+                sustainability_weight=5.0,
+            )
+        )
+    else:
+        mechanism = RandomSelectionMechanism(K, np.random.default_rng(1))
+    # Same seed -> identical dataset, shards, costs for a fair comparison.
+    scenario = build_fl_scenario(
+        NUM_CLIENTS, seed=7, num_samples=6000, dirichlet_alpha=0.5, eval_every=10,
+        staleness_boost=1.0 if mechanism_name == "lt-vcg" else 0.0,
+    )
+    runner = SimulationRunner(
+        mechanism, scenario.clients, scenario.valuation, fl=scenario.fl, seed=2
+    )
+    return runner.run(ROUNDS)
+
+
+def main() -> None:
+    logs = {name: run(name) for name in ("lt-vcg", "random")}
+
+    xs, _ = logs["lt-vcg"].accuracy_series()
+    curves = {}
+    for name, log in logs.items():
+        log_xs, ys = log.accuracy_series()
+        aligned = dict(zip(log_xs, ys))
+        curves[name] = [aligned.get(x, float("nan")) for x in xs]
+
+    print(
+        format_series(
+            xs, curves, x_label="round",
+            title="Global test accuracy (Dirichlet-0.5 non-IID images)",
+            max_points=13,
+        )
+    )
+    print()
+    print(accuracy_table(logs, targets=(0.4, 0.5)))
+    print()
+    for name, log in logs.items():
+        print(
+            f"{name}: spent {log.total_payment():.1f} total "
+            f"({log.average_payment():.2f}/round against budget {BUDGET})"
+        )
+
+
+if __name__ == "__main__":
+    main()

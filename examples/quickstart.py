@@ -1,0 +1,71 @@
+"""Quickstart: run the LT-VCG auction for 300 rounds and inspect the outcome.
+
+This is the smallest end-to-end use of the public API: build a seeded
+economic scenario, construct the mechanism, simulate, and print the headline
+numbers.  Runs in about a second.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    LongTermVCGConfig,
+    LongTermVCGMechanism,
+    SimulationRunner,
+    build_mechanism_scenario,
+    icdcs_defaults,
+)
+from repro.analysis.budget import budget_report
+from repro.analysis.welfare import welfare_summary
+from repro.utils.tables import format_series
+
+
+def main() -> None:
+    defaults = icdcs_defaults()
+
+    # 1. A seeded scenario: 40 heterogeneous clients (device classes, data
+    #    declarations, truthful bidding) plus the server-side valuation model.
+    scenario = build_mechanism_scenario(defaults["num_clients"], seed=0)
+
+    # 2. The mechanism: online VCG with a long-term budget of 5 money units
+    #    per round enforced through the Lyapunov virtual queue.
+    mechanism = LongTermVCGMechanism(
+        LongTermVCGConfig(
+            v=defaults["v"],
+            budget_per_round=defaults["budget_per_round"],
+            max_winners=defaults["max_winners"],
+        )
+    )
+
+    # 3. Simulate.
+    runner = SimulationRunner(mechanism, scenario.clients, scenario.valuation, seed=1)
+    log = runner.run(defaults["num_rounds"])
+
+    # 4. Inspect.
+    summary = welfare_summary(log)
+    budget = budget_report(log, defaults["budget_per_round"])
+    print("LT-VCG quickstart")
+    print(f"  rounds:             {summary.rounds}")
+    print(f"  total welfare:      {summary.total_welfare:.1f}")
+    print(f"  winners per round:  {summary.winners_per_round:.2f}")
+    print(f"  avg spend / budget: {budget.average_spend:.3f} / {budget.budget_per_round}")
+    print(f"  budget compliant:   {budget.compliant}")
+    print(f"  final queue backlog Q(T): {mechanism.budget_backlog:.3f}")
+    print()
+    print(
+        format_series(
+            log.round_indices(),
+            {
+                "cumulative welfare": log.cumulative(log.welfare_series()),
+                "cumulative spend": log.cumulative(log.payment_series()),
+            },
+            x_label="round",
+            title="Trajectories",
+            max_points=10,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

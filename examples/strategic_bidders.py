@@ -1,0 +1,88 @@
+"""Strategic bidders: why the payment rule matters.
+
+Every client runs a no-regret learner (Hedge over markup factors) that
+adjusts its bidding markup from realised utility.  Under LT-VCG the learned
+markups collapse back to ~1.0 — misreporting simply doesn't pay, so the
+server keeps seeing true costs.  Under pay-as-bid greedy the same learners
+drift upward and the server's costs inflate.  This is truthfulness measured
+*behaviourally* rather than by a one-shot deviation check (compare
+benchmark E5).
+
+Usage::
+
+    python examples/strategic_bidders.py
+"""
+
+import numpy as np
+
+from repro import LongTermVCGConfig, LongTermVCGMechanism, SimulationRunner
+from repro.economics.bidding import AdaptiveStrategy
+from repro.mechanisms import GreedyFirstPriceMechanism
+from repro.simulation.scenarios import build_mechanism_scenario
+from repro.utils.tables import format_table
+
+NUM_CLIENTS = 20
+ROUNDS = 600
+K = 6
+BUDGET = 3.0
+
+
+def run(mechanism):
+    scenario = build_mechanism_scenario(
+        NUM_CLIENTS,
+        seed=21,
+        strategy_factory=lambda cid, rng: AdaptiveStrategy(learning_rate=0.4),
+    )
+    log = SimulationRunner(
+        mechanism, scenario.clients, scenario.valuation, seed=5
+    ).run(ROUNDS)
+    factors = [c.strategy.expected_factor() for c in scenario.clients]
+    return log, factors
+
+
+def main() -> None:
+    lt_log, lt_factors = run(
+        LongTermVCGMechanism(
+            LongTermVCGConfig(v=30.0, budget_per_round=BUDGET, max_winners=K)
+        )
+    )
+    fp_log, fp_factors = run(GreedyFirstPriceMechanism(BUDGET, K))
+
+    rows = [
+        [
+            "lt-vcg",
+            float(np.mean(lt_factors)),
+            float(np.max(lt_factors)),
+            lt_log.total_payment(),
+            lt_log.total_welfare(),
+        ],
+        [
+            "greedy-first-price",
+            float(np.mean(fp_factors)),
+            float(np.max(fp_factors)),
+            fp_log.total_payment(),
+            fp_log.total_welfare(),
+        ],
+    ]
+    print(
+        format_table(
+            [
+                "mechanism",
+                "mean learned markup",
+                "max learned markup",
+                "total paid",
+                "true welfare",
+            ],
+            rows,
+            title=f"Adaptive bidders after {ROUNDS} rounds",
+        )
+    )
+    print()
+    print(
+        "Under the truthful mechanism the learners stay near markup 1.0;\n"
+        "under pay-as-bid they discover that inflating bids pays."
+    )
+
+
+if __name__ == "__main__":
+    main()

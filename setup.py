@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on offline machines where the ``wheel`` package
+(required by PEP 517 editable builds with older setuptools) is unavailable —
+pip then falls back to the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""Sustainable Federated Learning with a Long-term Online VCG Auction Mechanism.
+
+Reproduction of the ICDCS 2022 paper (see DESIGN.md for the reconstruction
+notes).  The public API re-exports the pieces a downstream user composes:
+
+* the mechanism: :class:`LongTermVCGMechanism` + :class:`LongTermVCGConfig`,
+* baselines from :mod:`repro.mechanisms`,
+* the FL substrate from :mod:`repro.fl`,
+* economics from :mod:`repro.economics`,
+* the simulator: :class:`SimulationRunner` and scenario builders,
+* analysis from :mod:`repro.analysis`.
+
+Quickstart::
+
+    from repro import (
+        LongTermVCGConfig, LongTermVCGMechanism,
+        SimulationRunner, build_mechanism_scenario,
+    )
+
+    scenario = build_mechanism_scenario(num_clients=40, seed=0)
+    mechanism = LongTermVCGMechanism(
+        LongTermVCGConfig(v=50.0, budget_per_round=5.0, max_winners=10)
+    )
+    log = SimulationRunner(mechanism, scenario.clients, scenario.valuation).run(300)
+    print(log.total_welfare(), log.average_payment())
+"""
+
+from repro.config import ExperimentConfig
+from repro.core import (
+    AuctionRound,
+    Bid,
+    LongTermVCGConfig,
+    LongTermVCGMechanism,
+    Mechanism,
+    RoundOutcome,
+    SingleRoundVCGAuction,
+    verify_individual_rationality,
+    verify_monotonicity,
+    verify_truthfulness,
+)
+from repro.rng import RngTree
+from repro.simulation import (
+    EventLog,
+    SimulationRunner,
+    build_fl_scenario,
+    build_mechanism_scenario,
+    icdcs_defaults,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuctionRound",
+    "Bid",
+    "EventLog",
+    "ExperimentConfig",
+    "LongTermVCGConfig",
+    "LongTermVCGMechanism",
+    "Mechanism",
+    "RngTree",
+    "RoundOutcome",
+    "SimulationRunner",
+    "SingleRoundVCGAuction",
+    "build_fl_scenario",
+    "build_mechanism_scenario",
+    "icdcs_defaults",
+    "verify_individual_rationality",
+    "verify_monotonicity",
+    "verify_truthfulness",
+    "__version__",
+]

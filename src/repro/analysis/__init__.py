@@ -1,0 +1,48 @@
+"""Post-simulation analysis: welfare, regret, fairness, budget, reporting."""
+
+from repro.analysis.budget import BudgetReport, budget_report
+from repro.analysis.fairness import gini_coefficient, jain_index, participation_rates
+from repro.analysis.regret import RegretPoint, regret_against_plan
+from repro.analysis.reporting import (
+    accuracy_table,
+    mechanism_comparison_table,
+    payment_table,
+)
+from repro.analysis.convergence import (
+    area_under_curve,
+    moving_average,
+    plateau_level,
+    rounds_to_target,
+)
+from repro.analysis.stats import (
+    PairedComparison,
+    SummaryStatistics,
+    paired_comparison,
+    run_over_seeds,
+    summarize,
+)
+from repro.analysis.welfare import WelfareSummary, welfare_summary
+
+__all__ = [
+    "PairedComparison",
+    "area_under_curve",
+    "moving_average",
+    "plateau_level",
+    "rounds_to_target",
+    "SummaryStatistics",
+    "paired_comparison",
+    "run_over_seeds",
+    "summarize",
+    "BudgetReport",
+    "RegretPoint",
+    "WelfareSummary",
+    "accuracy_table",
+    "budget_report",
+    "gini_coefficient",
+    "jain_index",
+    "mechanism_comparison_table",
+    "participation_rates",
+    "payment_table",
+    "regret_against_plan",
+    "welfare_summary",
+]

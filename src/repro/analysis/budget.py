@@ -1,0 +1,64 @@
+"""Long-term budget-compliance metrics.
+
+The mechanism's promise is *asymptotic*: the time-average spend converges
+to at most the per-round budget ``B`` while transient overspend is bounded
+by the virtual-queue backlog.  :func:`budget_report` extracts everything
+E3 plots from an event log: the running average spend, peak backlog proxy
+(cumulative overspend), and the fraction of prefixes in violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.events import EventLog
+
+__all__ = ["BudgetReport", "budget_report"]
+
+
+@dataclass(frozen=True)
+class BudgetReport:
+    """Budget-compliance summary of one run against budget ``B`` per round."""
+
+    budget_per_round: float
+    average_spend: float
+    final_overspend_ratio: float
+    peak_cumulative_overspend: float
+    violating_prefix_fraction: float
+    rounds: int
+
+    @property
+    def compliant(self) -> bool:
+        """Whether the final time-average spend is within the budget (+1 %)."""
+        return self.average_spend <= self.budget_per_round * 1.01
+
+
+def budget_report(log: EventLog, budget_per_round: float) -> BudgetReport:
+    """Compute budget compliance of a completed run.
+
+    ``violating_prefix_fraction`` is the fraction of rounds ``t`` at which
+    the *running average* spend over rounds ``0..t`` exceeded ``B`` — a
+    trajectory-level compliance measure stricter than the final average.
+    """
+    if budget_per_round <= 0:
+        raise ValueError(f"budget_per_round must be > 0, got {budget_per_round}")
+    rounds = len(log)
+    if rounds == 0:
+        return BudgetReport(budget_per_round, 0.0, 0.0, 0.0, 0.0, 0)
+    payments = np.asarray(log.payment_series())
+    cumulative = np.cumsum(payments)
+    round_numbers = np.arange(1, rounds + 1)
+    running_average = cumulative / round_numbers
+    overspend = cumulative - budget_per_round * round_numbers
+    return BudgetReport(
+        budget_per_round=budget_per_round,
+        average_spend=float(running_average[-1]),
+        final_overspend_ratio=float(running_average[-1] / budget_per_round),
+        peak_cumulative_overspend=float(max(overspend.max(), 0.0)),
+        violating_prefix_fraction=float(
+            (running_average > budget_per_round * (1 + 1e-9)).mean()
+        ),
+        rounds=rounds,
+    )

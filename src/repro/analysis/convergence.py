@@ -1,0 +1,76 @@
+"""Learning-curve analysis: targets, plateaus, areas, smoothing.
+
+Turns raw (round, accuracy) series into the scalar summaries experiment
+tables report: rounds-to-target, final plateau level, normalised
+area-under-curve (a horizon-robust "how fast and how high" score), and a
+moving-average smoother for noisy curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rounds_to_target",
+    "moving_average",
+    "area_under_curve",
+    "plateau_level",
+]
+
+
+def _validate(xs: list[int], ys: list[float]) -> tuple[np.ndarray, np.ndarray]:
+    xs_arr = np.asarray(xs, dtype=float)
+    ys_arr = np.asarray(ys, dtype=float)
+    if xs_arr.shape != ys_arr.shape:
+        raise ValueError(f"xs and ys lengths differ: {len(xs)} vs {len(ys)}")
+    if xs_arr.size and np.any(np.diff(xs_arr) <= 0):
+        raise ValueError("xs must be strictly increasing")
+    return xs_arr, ys_arr
+
+
+def rounds_to_target(xs: list[int], ys: list[float], target: float) -> int | None:
+    """First x at which y reaches ``target`` (None if never)."""
+    xs_arr, ys_arr = _validate(xs, ys)
+    reached = np.flatnonzero(ys_arr >= target)
+    if reached.size == 0:
+        return None
+    return int(xs_arr[reached[0]])
+
+
+def moving_average(ys: list[float], window: int) -> list[float]:
+    """Centred-as-possible trailing moving average (same length as input)."""
+    if window <= 0:
+        raise ValueError(f"window must be > 0, got {window}")
+    ys_arr = np.asarray(ys, dtype=float)
+    if ys_arr.size == 0:
+        return []
+    smoothed = np.empty_like(ys_arr)
+    for index in range(ys_arr.size):
+        start = max(0, index - window + 1)
+        smoothed[index] = ys_arr[start : index + 1].mean()
+    return smoothed.tolist()
+
+
+def area_under_curve(xs: list[int], ys: list[float]) -> float:
+    """Trapezoidal AUC normalised by the x-span (average height).
+
+    A single scalar rewarding both fast convergence and a high plateau;
+    comparable across runs sharing an evaluation grid.
+    """
+    xs_arr, ys_arr = _validate(xs, ys)
+    if xs_arr.size < 2:
+        return float(ys_arr[0]) if ys_arr.size else 0.0
+    span = xs_arr[-1] - xs_arr[0]
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy 1.x fallback
+    return float(trapezoid(ys_arr, xs_arr) / span)
+
+
+def plateau_level(ys: list[float], *, tail_fraction: float = 0.2) -> float:
+    """Mean of the final ``tail_fraction`` of the curve (the settled level)."""
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError(f"tail_fraction must be in (0, 1], got {tail_fraction}")
+    ys_arr = np.asarray(ys, dtype=float)
+    if ys_arr.size == 0:
+        raise ValueError("need a non-empty curve")
+    tail = max(1, int(round(ys_arr.size * tail_fraction)))
+    return float(ys_arr[-tail:].mean())

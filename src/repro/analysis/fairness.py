@@ -1,0 +1,72 @@
+"""Participation-fairness metrics.
+
+Sustainability requires spread-out participation: if a handful of cheap,
+always-charged clients win every round, the global model overfits their
+data and the rest of the federation has no reason to stay.  Standard
+indices quantify the spread:
+
+* :func:`jain_index` — 1 for perfectly equal participation, 1/n for a
+  single-client monopoly;
+* :func:`gini_coefficient` — 0 for equality, →1 for monopoly;
+* starvation counts — clients below a minimum participation share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.events import EventLog
+
+__all__ = [
+    "jain_index",
+    "gini_coefficient",
+    "participation_rates",
+    "starvation_count",
+]
+
+
+def jain_index(values: list[float] | np.ndarray) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)`` in ``[1/n, 1]``."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return 1.0
+    if np.any(values < 0):
+        raise ValueError("values must be non-negative")
+    square_of_sum = values.sum() ** 2
+    sum_of_squares = (values**2).sum()
+    if sum_of_squares == 0:
+        return 1.0
+    return float(square_of_sum / (values.size * sum_of_squares))
+
+
+def gini_coefficient(values: list[float] | np.ndarray) -> float:
+    """Gini coefficient in ``[0, 1)``; 0 = perfect equality."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return 0.0
+    if np.any(values < 0):
+        raise ValueError("values must be non-negative")
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    sorted_values = np.sort(values)
+    n = values.size
+    cumulative = np.cumsum(sorted_values)
+    return float((n + 1 - 2 * (cumulative / total).sum()) / n)
+
+
+def participation_rates(log: EventLog, client_ids: list[int]) -> dict[int, float]:
+    """Fraction of rounds each client won (0 for never-selected clients)."""
+    rounds = len(log)
+    counts = log.selection_counts()
+    if rounds == 0:
+        return {cid: 0.0 for cid in client_ids}
+    return {cid: counts.get(cid, 0) / rounds for cid in client_ids}
+
+
+def starvation_count(
+    log: EventLog, client_ids: list[int], *, minimum_rate: float
+) -> int:
+    """Number of clients whose participation rate fell below ``minimum_rate``."""
+    rates = participation_rates(log, client_ids)
+    return sum(1 for rate in rates.values() if rate < minimum_rate)

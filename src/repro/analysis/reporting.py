@@ -1,0 +1,113 @@
+"""Benchmark-facing tables built from event logs.
+
+These functions produce the text tables the benchmark harness prints — the
+terminal analogues of the paper's tables and figures.  All of them consume
+:class:`~repro.simulation.events.EventLog` objects keyed by mechanism name,
+so a benchmark's reporting section is three lines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.analysis.budget import budget_report
+from repro.analysis.fairness import gini_coefficient, jain_index, participation_rates
+from repro.analysis.welfare import welfare_summary
+from repro.simulation.events import EventLog
+from repro.utils.tables import format_table
+
+__all__ = ["mechanism_comparison_table", "payment_table", "accuracy_table"]
+
+
+def mechanism_comparison_table(
+    logs: Mapping[str, EventLog],
+    *,
+    budget_per_round: float,
+    client_ids: list[int],
+    title: str = "Mechanism comparison",
+) -> str:
+    """The headline table: welfare, spend, compliance, fairness per mechanism."""
+    rows = []
+    for name, log in logs.items():
+        summary = welfare_summary(log)
+        budget = budget_report(log, budget_per_round)
+        rates = list(participation_rates(log, client_ids).values())
+        rows.append(
+            [
+                name,
+                summary.total_welfare,
+                summary.average_payment,
+                budget.final_overspend_ratio,
+                summary.winners_per_round,
+                jain_index(rates),
+                gini_coefficient(rates),
+            ]
+        )
+    return format_table(
+        [
+            "mechanism",
+            "total_welfare",
+            "avg_spend/round",
+            "spend/budget",
+            "winners/round",
+            "jain",
+            "gini",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def payment_table(
+    logs: Mapping[str, EventLog], *, title: str = "Payments vs. costs"
+) -> str:
+    """Per-mechanism payment statistics: totals, premium over true cost."""
+    rows = []
+    for name, log in logs.items():
+        total_payment = log.total_payment()
+        total_cost = sum(
+            record.true_costs[cid]
+            for record in log
+            for cid in record.selected
+        )
+        winners = sum(len(record.selected) for record in log)
+        premium = (total_payment / total_cost - 1.0) if total_cost > 0 else 0.0
+        rows.append(
+            [
+                name,
+                total_payment,
+                total_cost,
+                premium,
+                total_payment / winners if winners else 0.0,
+            ]
+        )
+    return format_table(
+        ["mechanism", "total_paid", "total_true_cost", "premium", "paid/winner"],
+        rows,
+        title=title,
+    )
+
+
+def accuracy_table(
+    logs: Mapping[str, EventLog],
+    *,
+    targets: tuple[float, ...] = (0.4, 0.5),
+    title: str = "Learning performance",
+) -> str:
+    """Final/best accuracy and rounds-to-target per mechanism."""
+    rows = []
+    for name, log in logs.items():
+        xs, accuracies = log.accuracy_series()
+        final = accuracies[-1] if accuracies else float("nan")
+        best = max(accuracies) if accuracies else float("nan")
+        row = [name, final, best]
+        for target in targets:
+            reached = next(
+                (x for x, acc in zip(xs, accuracies) if acc >= target), None
+            )
+            row.append("-" if reached is None else str(reached))
+        rows.append(row)
+    headers = ["mechanism", "final_acc", "best_acc"] + [
+        f"rounds_to_{target:.0%}" for target in targets
+    ]
+    return format_table(headers, rows, title=title)

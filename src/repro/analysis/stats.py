@@ -1,0 +1,117 @@
+"""Multi-seed statistics: means, confidence intervals, paired comparisons.
+
+Single-seed simulation numbers are anecdotes.  These helpers turn a
+per-seed metric function into mean ± confidence-interval summaries
+(Student-t based, via scipy) and paired seed-by-seed comparisons between
+two mechanisms, which is how EXPERIMENTS.md qualifies "A beats B" claims.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+__all__ = ["SummaryStatistics", "summarize", "run_over_seeds", "paired_comparison"]
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Mean and a two-sided confidence interval for one metric."""
+
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+    num_samples: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.4g} ± {(self.ci_high - self.ci_low) / 2:.2g} "
+            f"({self.confidence:.0%} CI, n={self.num_samples})"
+        )
+
+
+def summarize(values: Sequence[float], *, confidence: float = 0.95) -> SummaryStatistics:
+    """Mean, standard deviation and a Student-t confidence interval."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("need at least one value")
+    mean = float(data.mean())
+    if data.size == 1:
+        return SummaryStatistics(mean, 0.0, mean, mean, confidence, 1)
+    std = float(data.std(ddof=1))
+    sem = std / np.sqrt(data.size)
+    t_value = float(scipy_stats.t.ppf(0.5 + confidence / 2, df=data.size - 1))
+    half_width = t_value * sem
+    return SummaryStatistics(
+        mean=mean,
+        std=std,
+        ci_low=mean - half_width,
+        ci_high=mean + half_width,
+        confidence=confidence,
+        num_samples=int(data.size),
+    )
+
+
+def run_over_seeds(
+    metric_fn: Callable[[int], float],
+    seeds: Sequence[int],
+    *,
+    confidence: float = 0.95,
+) -> SummaryStatistics:
+    """Evaluate ``metric_fn(seed)`` for every seed and summarise."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return summarize([metric_fn(int(seed)) for seed in seeds], confidence=confidence)
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Seed-paired comparison of two metric streams (A minus B)."""
+
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    p_value: float
+    wins: int
+    losses: int
+
+    @property
+    def significant(self) -> bool:
+        """Whether the CI of the difference excludes zero."""
+        return self.ci_low > 0 or self.ci_high < 0
+
+
+def paired_comparison(
+    metric_a: Callable[[int], float],
+    metric_b: Callable[[int], float],
+    seeds: Sequence[int],
+    *,
+    confidence: float = 0.95,
+) -> PairedComparison:
+    """Paired t comparison of two per-seed metrics on identical seeds."""
+    if len(seeds) < 2:
+        raise ValueError("need at least two seeds for a paired comparison")
+    values_a = [metric_a(int(seed)) for seed in seeds]
+    values_b = [metric_b(int(seed)) for seed in seeds]
+    differences = np.asarray(values_a, dtype=float) - np.asarray(values_b, dtype=float)
+    summary = summarize(differences.tolist(), confidence=confidence)
+    if np.allclose(differences, differences[0]):
+        # Degenerate case: identical differences; t-test is undefined.
+        p_value = 0.0 if abs(differences[0]) > 0 else 1.0
+    else:
+        p_value = float(scipy_stats.ttest_rel(values_a, values_b).pvalue)
+    return PairedComparison(
+        mean_difference=summary.mean,
+        ci_low=summary.ci_low,
+        ci_high=summary.ci_high,
+        p_value=p_value,
+        wins=int((differences > 0).sum()),
+        losses=int((differences < 0).sum()),
+    )

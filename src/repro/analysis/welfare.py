@@ -1,0 +1,56 @@
+"""Welfare accounting from event logs.
+
+*Social welfare* of a round is the sum over winners of (server value minus
+the winner's **true** cost) — the quantity the mechanism tries to maximise
+long-term.  The event log records true costs (which mechanisms never see),
+so welfare here is ground truth even when clients bid strategically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.events import EventLog
+
+__all__ = ["WelfareSummary", "welfare_summary"]
+
+
+@dataclass(frozen=True)
+class WelfareSummary:
+    """Aggregates of one run's welfare and spend."""
+
+    total_welfare: float
+    average_welfare: float
+    total_payment: float
+    average_payment: float
+    total_server_surplus: float
+    rounds: int
+    winners_per_round: float
+
+    def welfare_per_unit_spend(self) -> float:
+        """Welfare bought per unit of money (efficiency of spend)."""
+        if self.total_payment <= 0:
+            return float("inf") if self.total_welfare > 0 else 0.0
+        return self.total_welfare / self.total_payment
+
+
+def welfare_summary(log: EventLog) -> WelfareSummary:
+    """Summarise welfare/spend of a completed run."""
+    rounds = len(log)
+    if rounds == 0:
+        return WelfareSummary(0.0, 0.0, 0.0, 0.0, 0.0, 0, 0.0)
+    welfare = log.welfare_series()
+    payments = log.payment_series()
+    surplus = [record.server_surplus for record in log]
+    winners = [len(record.selected) for record in log]
+    return WelfareSummary(
+        total_welfare=float(np.sum(welfare)),
+        average_welfare=float(np.mean(welfare)),
+        total_payment=float(np.sum(payments)),
+        average_payment=float(np.mean(payments)),
+        total_server_surplus=float(np.sum(surplus)),
+        rounds=rounds,
+        winners_per_round=float(np.mean(winners)),
+    )

@@ -1,0 +1,225 @@
+"""Command-line experiment runner.
+
+Runs one configured experiment end to end and archives everything needed to
+regenerate its numbers: the resolved config, the JSON event log, and the
+printed summary tables.
+
+Usage::
+
+    python -m repro.cli --mechanism lt-vcg --rounds 300 --out results/run1
+    python -m repro.cli --config my_experiment.json --out results/run2
+    python -m repro.cli --list-mechanisms
+
+The config file is an :class:`repro.config.ExperimentConfig` JSON document;
+command-line flags override its fields.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.budget import budget_report
+from repro.analysis.fairness import jain_index, participation_rates
+from repro.analysis.welfare import welfare_summary
+from repro.config import ExperimentConfig
+from repro.core.longterm_vcg import LongTermVCGConfig, LongTermVCGMechanism
+from repro.core.mechanism import Mechanism
+from repro.mechanisms import (
+    AllAvailableMechanism,
+    FixedPriceMechanism,
+    GreedyFirstPriceMechanism,
+    MyopicVCGMechanism,
+    ProportionalShareMechanism,
+    RandomSelectionMechanism,
+)
+from repro.simulation.replay import save_event_log
+from repro.simulation.runner import SimulationRunner
+from repro.simulation.scenarios import build_fl_scenario, build_mechanism_scenario
+from repro.utils.tables import format_table
+
+__all__ = ["main", "build_mechanism", "MECHANISM_NAMES"]
+
+MECHANISM_NAMES = (
+    "lt-vcg",
+    "lt-vcg-greedy",
+    "myopic-vcg",
+    "prop-share",
+    "greedy-first-price",
+    "fixed-price",
+    "random",
+    "all-available",
+)
+
+
+def build_mechanism(config: ExperimentConfig) -> Mechanism:
+    """Instantiate the mechanism named in ``config.name``-agnostic field.
+
+    The mechanism name is taken from ``config.extras['mechanism']``
+    (defaulting to ``lt-vcg``).
+    """
+    name = str(config.extras.get("mechanism", "lt-vcg"))
+    targets = None
+    if config.participation_target > 0:
+        targets = {
+            cid: config.participation_target for cid in range(config.num_clients)
+        }
+    if name in ("lt-vcg", "lt-vcg-greedy"):
+        return LongTermVCGMechanism(
+            LongTermVCGConfig(
+                v=config.v,
+                budget_per_round=config.budget_per_round,
+                max_winners=config.max_winners,
+                wd_method="greedy" if name.endswith("greedy") else config.wd_method,
+                participation_targets=targets,
+                sustainability_weight=config.sustainability_weight,
+            )
+        )
+    if name == "myopic-vcg":
+        return MyopicVCGMechanism(max_winners=config.max_winners)
+    if name == "prop-share":
+        return ProportionalShareMechanism(config.budget_per_round, config.max_winners)
+    if name == "greedy-first-price":
+        return GreedyFirstPriceMechanism(config.budget_per_round, config.max_winners)
+    if name == "fixed-price":
+        price = float(config.extras.get("price", 1.0))
+        return FixedPriceMechanism(price=price, max_winners=config.max_winners)
+    if name == "random":
+        return RandomSelectionMechanism(
+            config.max_winners, np.random.default_rng(config.seed + 1)
+        )
+    if name == "all-available":
+        return AllAvailableMechanism()
+    raise ValueError(
+        f"unknown mechanism {name!r}; choose from {', '.join(MECHANISM_NAMES)}"
+    )
+
+
+def run_experiment(config: ExperimentConfig, out_dir: Path | None) -> dict:
+    """Run one experiment; returns the summary dictionary."""
+    mechanism = build_mechanism(config)
+    with_fl = bool(config.extras.get("fl", False))
+    if with_fl:
+        scenario = build_fl_scenario(
+            config.num_clients,
+            seed=config.seed,
+            num_samples=config.num_samples,
+            dirichlet_alpha=config.dirichlet_alpha,
+            model=config.model,
+            local_steps=config.local_steps,
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+            eval_every=config.eval_every,
+            energy_constrained=config.energy_constrained,
+        )
+    else:
+        scenario = build_mechanism_scenario(
+            config.num_clients,
+            seed=config.seed,
+            energy_constrained=config.energy_constrained,
+        )
+    runner = SimulationRunner(
+        mechanism,
+        scenario.clients,
+        scenario.valuation,
+        fl=scenario.fl,
+        seed=config.seed + 7,
+    )
+    log = runner.run(config.num_rounds)
+
+    summary = welfare_summary(log)
+    budget = budget_report(log, config.budget_per_round)
+    rates = list(
+        participation_rates(log, list(range(config.num_clients))).values()
+    )
+    result = {
+        "mechanism": str(config.extras.get("mechanism", "lt-vcg")),
+        "rounds": len(log),
+        "total_welfare": summary.total_welfare,
+        "average_payment": summary.average_payment,
+        "spend_over_budget": budget.final_overspend_ratio,
+        "budget_compliant": budget.compliant,
+        "winners_per_round": summary.winners_per_round,
+        "jain_index": jain_index(rates),
+    }
+    xs, accuracies = log.accuracy_series()
+    if accuracies:
+        result["final_accuracy"] = accuracies[-1]
+
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        config.save(out_dir / "config.json")
+        save_event_log(out_dir / "event_log.json", log)
+        from repro.utils.serialization import save_json
+
+        save_json(out_dir / "summary.json", result)
+    return result
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="Run one LT-VCG experiment end to end."
+    )
+    parser.add_argument("--config", type=Path, help="ExperimentConfig JSON file")
+    parser.add_argument("--mechanism", choices=MECHANISM_NAMES)
+    parser.add_argument("--rounds", type=int, dest="num_rounds")
+    parser.add_argument("--clients", type=int, dest="num_clients")
+    parser.add_argument("--seed", type=int)
+    parser.add_argument("--v", type=float)
+    parser.add_argument("--budget", type=float, dest="budget_per_round")
+    parser.add_argument("--max-winners", type=int, dest="max_winners")
+    parser.add_argument(
+        "--fl", action="store_true", help="attach the FL substrate (slower)"
+    )
+    parser.add_argument(
+        "--energy", action="store_true", dest="energy_constrained",
+        help="battery-gated clients",
+    )
+    parser.add_argument("--out", type=Path, help="output directory for artifacts")
+    parser.add_argument(
+        "--list-mechanisms", action="store_true", help="print mechanism names and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list_mechanisms:
+        print("\n".join(MECHANISM_NAMES))
+        return 0
+
+    if args.config is not None:
+        config = ExperimentConfig.load(args.config)
+    else:
+        config = ExperimentConfig()
+    overrides = {}
+    for field in ("num_rounds", "num_clients", "seed", "v", "budget_per_round",
+                  "max_winners", "energy_constrained"):
+        value = getattr(args, field, None)
+        if value is not None and value is not False:
+            overrides[field] = value
+    extras = dict(config.extras)
+    if args.mechanism is not None:
+        extras["mechanism"] = args.mechanism
+    if args.fl:
+        extras["fl"] = True
+    overrides["extras"] = extras
+    config = config.with_overrides(**overrides)
+
+    result = run_experiment(config, args.out)
+    print(
+        format_table(
+            ["metric", "value"],
+            [[key, value] for key, value in result.items()],
+            title=f"Experiment summary ({result['mechanism']}, seed {config.seed})",
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

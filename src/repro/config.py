@@ -1,0 +1,80 @@
+"""Experiment configuration with JSON round-tripping.
+
+One frozen dataclass captures every knob an end-to-end experiment exposes;
+benchmarks and examples construct it (usually starting from
+:func:`repro.simulation.scenarios.icdcs_defaults`) and archive it next to
+their results via :func:`repro.utils.serialization.save_json`, so any
+reported number can be regenerated from its config + seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from repro.utils.serialization import load_json, save_json
+from repro.utils.validation import check_positive
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Full configuration of one simulation experiment.
+
+    Attributes mirror the scenario builders and LT-VCG config; see
+    :mod:`repro.simulation.scenarios` and
+    :class:`repro.core.longterm_vcg.LongTermVCGConfig` for semantics.
+    """
+
+    name: str = "experiment"
+    seed: int = 0
+    num_clients: int = 40
+    num_rounds: int = 300
+    max_winners: int = 10
+    v: float = 50.0
+    budget_per_round: float = 5.0
+    wd_method: str = "exact"
+    participation_target: float = 0.0
+    sustainability_weight: float = 1.0
+    dirichlet_alpha: float | None = 0.5
+    num_samples: int = 8000
+    model: str = "softmax"
+    local_steps: int = 5
+    batch_size: int = 32
+    learning_rate: float = 0.3
+    eval_every: int = 5
+    energy_constrained: bool = False
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive("num_clients", self.num_clients)
+        check_positive("num_rounds", self.num_rounds)
+        check_positive("v", self.v)
+        check_positive("budget_per_round", self.budget_per_round)
+        if self.max_winners <= 0:
+            raise ValueError(f"max_winners must be > 0, got {self.max_winners}")
+        if not 0.0 <= self.participation_target <= 1.0:
+            raise ValueError(
+                f"participation_target must be in [0, 1], got "
+                f"{self.participation_target}"
+            )
+
+    def with_overrides(self, **overrides: Any) -> "ExperimentConfig":
+        """A copy with some fields replaced (dataclasses.replace wrapper)."""
+        return replace(self, **overrides)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-ready)."""
+        return asdict(self)
+
+    def save(self, path: str | Path) -> None:
+        """Archive this config as JSON."""
+        save_json(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentConfig":
+        """Load a config archived with :meth:`save`."""
+        data = load_json(path)
+        return cls(**data)

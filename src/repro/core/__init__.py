@@ -1,0 +1,84 @@
+"""Core auction machinery: the Long-Term online VCG mechanism (LT-VCG).
+
+This package contains the paper's primary contribution and its direct
+dependencies:
+
+* :mod:`repro.core.bids` — bid and auction-round datatypes,
+* :mod:`repro.core.valuation` — server-side client valuation models,
+* :mod:`repro.core.winner_determination` — exact and approximate solvers for
+  the per-round selection problem,
+* :mod:`repro.core.payments` — Clarke (VCG) and critical-value payment rules,
+* :mod:`repro.core.vcg` — the single-round weighted VCG auction,
+* :mod:`repro.core.lyapunov` — virtual queues and drift-plus-penalty control,
+* :mod:`repro.core.sustainability` — per-client participation queues,
+* :mod:`repro.core.longterm_vcg` — the full LT-VCG mechanism,
+* :mod:`repro.core.properties` — truthfulness / IR / feasibility verifiers,
+* :mod:`repro.core.mechanism` — the abstract mechanism interface.
+"""
+
+from repro.core.bids import AuctionRound, Bid, RoundOutcome
+from repro.core.longterm_vcg import LongTermVCGConfig, LongTermVCGMechanism
+from repro.core.lyapunov import BudgetQueue, DriftPlusPenaltyController, VirtualQueue
+from repro.core.mechanism import Mechanism
+from repro.core.payments import clarke_payments, critical_value_payments
+from repro.core.properties import (
+    verify_individual_rationality,
+    verify_monotonicity,
+    verify_truthfulness,
+)
+from repro.core.quality_estimation import LearnedValuation
+from repro.core.theory import LyapunovBounds, check_run_against_bounds, lyapunov_bounds
+from repro.core.sustainability import ParticipationTracker
+from repro.core.valuation import (
+    DiminishingReturnsValuation,
+    LinearValuation,
+    StalenessAwareValuation,
+    ValuationModel,
+)
+from repro.core.vcg import SingleRoundVCGAuction, VCGAuctionResult
+from repro.core.winner_determination import (
+    Allocation,
+    WinnerDeterminationProblem,
+    solve,
+    solve_brute_force,
+    solve_greedy,
+    solve_knapsack_dp,
+    solve_lp_bound,
+    solve_top_k,
+)
+
+__all__ = [
+    "Allocation",
+    "AuctionRound",
+    "Bid",
+    "BudgetQueue",
+    "DiminishingReturnsValuation",
+    "DriftPlusPenaltyController",
+    "LearnedValuation",
+    "LinearValuation",
+    "LongTermVCGConfig",
+    "LongTermVCGMechanism",
+    "LyapunovBounds",
+    "check_run_against_bounds",
+    "lyapunov_bounds",
+    "Mechanism",
+    "ParticipationTracker",
+    "RoundOutcome",
+    "SingleRoundVCGAuction",
+    "StalenessAwareValuation",
+    "VCGAuctionResult",
+    "ValuationModel",
+    "VirtualQueue",
+    "WinnerDeterminationProblem",
+    "clarke_payments",
+    "critical_value_payments",
+    "solve",
+    "solve_brute_force",
+    "solve_greedy",
+    "solve_knapsack_dp",
+    "solve_lp_bound",
+    "solve_top_k",
+    "verify_individual_rationality",
+    "verify_monotonicity",
+    "verify_truthfulness",
+]

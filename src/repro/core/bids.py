@@ -1,0 +1,174 @@
+"""Bid and round datatypes shared by every mechanism.
+
+A *reverse auction* runs once per federated-learning round: each available
+client submits a sealed :class:`Bid` claiming its cost for one round of local
+training plus upload, and the server (the single buyer) selects a winner set
+and computes payments.  :class:`AuctionRound` packages exactly the
+information a mechanism is allowed to see — in particular the clients' *true*
+costs are never part of it; only the simulator knows those, which is what
+makes truthfulness experiments meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.utils.validation import check_non_negative
+
+__all__ = ["Bid", "AuctionRound", "RoundOutcome"]
+
+
+@dataclass(frozen=True)
+class Bid:
+    """A sealed bid from one client for one round.
+
+    Attributes
+    ----------
+    client_id:
+        Stable integer identity of the bidding client.
+    cost:
+        The client's *claimed* cost (monetary units) for participating in this
+        round.  Equal to the true cost only if the client bids truthfully.
+    data_size:
+        Declared number of local training samples.  Used by the server-side
+        valuation model, never by the payment rule directly.
+    quality:
+        Declared data-quality score in ``[0, 1]`` (e.g. label diversity).
+        Also an input to valuation only.
+    """
+
+    client_id: int
+    cost: float
+    data_size: int = 1
+    quality: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.client_id < 0:
+            raise ValueError(f"client_id must be >= 0, got {self.client_id}")
+        check_non_negative("cost", self.cost)
+        if self.data_size < 0:
+            raise ValueError(f"data_size must be >= 0, got {self.data_size}")
+        check_non_negative("quality", self.quality)
+
+    def with_cost(self, cost: float) -> "Bid":
+        """Return a copy of this bid with a different claimed cost.
+
+        Used by truthfulness verifiers to construct unilateral deviations.
+        """
+        return replace(self, cost=cost)
+
+
+@dataclass(frozen=True)
+class AuctionRound:
+    """Everything a mechanism may observe when running one round.
+
+    Attributes
+    ----------
+    index:
+        Zero-based round number.
+    bids:
+        Bids from the clients available this round, in arbitrary order.
+        At most one bid per client.
+    values:
+        Server-side value estimate ``v_i`` for recruiting each bidding
+        client, keyed by client id.  Values are derived from declared data
+        profiles and selection history — never from the bid's cost — which is
+        a prerequisite for truthfulness.
+    """
+
+    index: int
+    bids: tuple[Bid, ...]
+    values: Mapping[int, float]
+
+    def __post_init__(self) -> None:
+        ids = [bid.client_id for bid in self.bids]
+        if len(ids) != len(set(ids)):
+            raise ValueError("duplicate client_id in bids")
+        missing = [i for i in ids if i not in self.values]
+        if missing:
+            raise ValueError(f"values missing for client ids {missing}")
+
+    @property
+    def client_ids(self) -> tuple[int, ...]:
+        """Client ids present this round, in bid order."""
+        return tuple(bid.client_id for bid in self.bids)
+
+    def bid_of(self, client_id: int) -> Bid:
+        """Return the bid submitted by ``client_id``.
+
+        Raises
+        ------
+        KeyError
+            If the client did not bid this round.
+        """
+        for bid in self.bids:
+            if bid.client_id == client_id:
+                return bid
+        raise KeyError(f"no bid from client {client_id} in round {self.index}")
+
+    def with_replaced_bid(self, new_bid: Bid) -> "AuctionRound":
+        """Return a copy of the round with one client's bid swapped out.
+
+        The deviation primitive used by :mod:`repro.core.properties`.
+        """
+        if new_bid.client_id not in self.client_ids:
+            raise KeyError(f"client {new_bid.client_id} is not part of this round")
+        bids = tuple(
+            new_bid if bid.client_id == new_bid.client_id else bid for bid in self.bids
+        )
+        return AuctionRound(index=self.index, bids=bids, values=self.values)
+
+    def without_client(self, client_id: int) -> "AuctionRound":
+        """Return a copy of the round with one client removed entirely."""
+        bids = tuple(bid for bid in self.bids if bid.client_id != client_id)
+        values = {bid.client_id: self.values[bid.client_id] for bid in bids}
+        return AuctionRound(index=self.index, bids=bids, values=values)
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """The decision a mechanism returns for one round.
+
+    Attributes
+    ----------
+    round_index:
+        Echo of :attr:`AuctionRound.index`.
+    selected:
+        Winning client ids, sorted ascending.
+    payments:
+        Monetary payment per winning client id.  Every selected client must
+        have an entry; losers are paid nothing and have no entry.
+    diagnostics:
+        Mechanism-specific extras for analysis (e.g. queue backlogs, the
+        drift-plus-penalty objective).  Values must be JSON-friendly scalars.
+    """
+
+    round_index: int
+    selected: tuple[int, ...]
+    payments: Mapping[int, float]
+    diagnostics: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if list(self.selected) != sorted(set(self.selected)):
+            raise ValueError("selected ids must be sorted and unique")
+        missing = [i for i in self.selected if i not in self.payments]
+        if missing:
+            raise ValueError(f"payments missing for selected clients {missing}")
+        extra = [i for i in self.payments if i not in self.selected]
+        if extra:
+            raise ValueError(f"payments present for unselected clients {extra}")
+        for client_id, payment in self.payments.items():
+            if payment < 0:
+                raise ValueError(
+                    f"negative payment {payment} for client {client_id}"
+                )
+
+    @property
+    def total_payment(self) -> float:
+        """Total money spent this round."""
+        return float(sum(self.payments.values()))
+
+    def payment_of(self, client_id: int) -> float:
+        """Payment to ``client_id`` (0 for losers)."""
+        return float(self.payments.get(client_id, 0.0))

@@ -1,0 +1,170 @@
+"""LT-VCG: the Long-Term online VCG auction mechanism.
+
+This module assembles the paper's contribution out of the three ingredients
+built in this package:
+
+1. a :class:`~repro.core.lyapunov.DriftPlusPenaltyController` converting the
+   long-term average-budget constraint into time-varying auction weights
+   ``(V, V + Q(t))``,
+2. a :class:`~repro.core.sustainability.ParticipationTracker` whose queue
+   backlogs enter the selection scores as bid-independent offsets, keeping
+   every client's long-term participation rate at its target, and
+3. a per-round :class:`~repro.core.vcg.SingleRoundVCGAuction` with exact or
+   greedy winner determination and the matching truthful payment rule.
+
+Each round the mechanism maximises
+
+    ``sum_{i in S} [ V * v_i(t) + Z_i(t) - (V + Q(t)) * b_i(t) ]``
+
+subject to the per-round constraints, pays winners their critical bids, and
+then feeds realised payments and selections back into the queues.  The
+allocation is an affine maximizer in the bids with bid-independent offsets,
+so the mechanism is dominant-strategy truthful and individually rational in
+*every* round, while the queues guarantee the long-term budget and
+participation constraints up to the standard ``[O(1/V), O(V)]`` Lyapunov
+trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.bids import AuctionRound, RoundOutcome
+from repro.core.lyapunov import DriftPlusPenaltyController
+from repro.core.mechanism import Mechanism
+from repro.core.sustainability import ParticipationTracker
+from repro.core.vcg import SingleRoundVCGAuction
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["LongTermVCGConfig", "LongTermVCGMechanism"]
+
+
+@dataclass(frozen=True)
+class LongTermVCGConfig:
+    """Configuration of the LT-VCG mechanism.
+
+    Attributes
+    ----------
+    v:
+        Lyapunov trade-off parameter ``V > 0``.
+    budget_per_round:
+        Long-term average payment budget ``B`` per round.
+    max_winners:
+        Per-round cardinality cap, or ``None`` for unlimited.
+    wd_method:
+        Winner-determination method: ``"exact"`` (Clarke payments, exactly
+        truthful) or ``"greedy"`` (critical-value payments, scalable).
+    participation_targets:
+        Optional long-term selection-rate target per client id; enables the
+        sustainability queues.
+    sustainability_weight:
+        Scale of the queue-backlog score offsets (0 disables, the E10
+        ablation).
+    sustainability_max_offset:
+        Optional cap on the offsets.
+    demands / capacity:
+        Optional per-client resource demands and per-round knapsack capacity.
+    reserve_price:
+        Optional per-client payment cap (see
+        :class:`repro.core.vcg.SingleRoundVCGAuction`).
+    """
+
+    v: float = 10.0
+    budget_per_round: float = 1.0
+    max_winners: int | None = None
+    wd_method: str = "exact"
+    participation_targets: Mapping[int, float] | None = None
+    sustainability_weight: float = 1.0
+    sustainability_max_offset: float | None = None
+    demands: Mapping[int, float] | None = None
+    capacity: float | None = None
+    reserve_price: float | None = None
+
+    def __post_init__(self) -> None:
+        check_positive("v", self.v)
+        check_positive("budget_per_round", self.budget_per_round)
+        if self.max_winners is not None and self.max_winners <= 0:
+            raise ValueError(f"max_winners must be > 0, got {self.max_winners}")
+        check_non_negative("sustainability_weight", self.sustainability_weight)
+
+
+class LongTermVCGMechanism(Mechanism):
+    """The paper's mechanism: online VCG with Lyapunov long-term control."""
+
+    name = "lt-vcg"
+
+    def __init__(self, config: LongTermVCGConfig) -> None:
+        self.config = config
+        self.controller = DriftPlusPenaltyController(
+            v=config.v, budget_per_round=config.budget_per_round
+        )
+        self.participation: ParticipationTracker | None = None
+        if config.participation_targets:
+            self.participation = ParticipationTracker(
+                config.participation_targets,
+                weight=config.sustainability_weight,
+                max_offset=config.sustainability_max_offset,
+            )
+            self.participation.check_feasibility(config.max_winners)
+
+    @property
+    def budget_backlog(self) -> float:
+        """Current budget virtual-queue backlog ``Q(t)``."""
+        return self.controller.queue.backlog
+
+    def build_auction(self, auction_round: AuctionRound) -> SingleRoundVCGAuction:
+        """Instantiate this round's weighted VCG auction from queue state."""
+        offsets = None
+        if self.participation is not None:
+            offsets = self.participation.offsets(auction_round.client_ids)
+        return SingleRoundVCGAuction(
+            value_weight=self.controller.value_weight,
+            cost_weight=self.controller.cost_weight,
+            offsets=offsets,
+            max_winners=self.config.max_winners,
+            demands=self.config.demands,
+            capacity=self.config.capacity,
+            wd_method=self.config.wd_method,
+            reserve_price=self.config.reserve_price,
+        )
+
+    def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
+        auction = self.build_auction(auction_round)
+        result = auction.run(auction_round)
+
+        diagnostics = {
+            "budget_backlog": self.controller.queue.backlog,
+            "cost_weight": self.controller.cost_weight,
+            "objective": result.objective,
+            "declared_welfare": result.declared_welfare,
+            "total_payment": result.total_payment,
+        }
+        if self.participation is not None:
+            diagnostics["max_participation_backlog"] = self.participation.max_backlog()
+
+        # Feedback: queues observe this round *after* the decision, so the
+        # decision used Q(t)/Z(t) and the next round will use Q(t+1)/Z(t+1).
+        self.controller.post_round(result.total_payment)
+        if self.participation is not None:
+            self.participation.observe_round(result.selected)
+
+        return RoundOutcome(
+            round_index=auction_round.index,
+            selected=result.selected,
+            payments=dict(result.payments),
+            diagnostics=diagnostics,
+        )
+
+    def reset(self) -> None:
+        self.controller.reset()
+        if self.participation is not None:
+            self.participation.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"LongTermVCGMechanism(v={self.config.v}, "
+            f"budget_per_round={self.config.budget_per_round}, "
+            f"max_winners={self.config.max_winners}, "
+            f"wd_method={self.config.wd_method!r})"
+        )

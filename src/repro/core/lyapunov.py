@@ -1,0 +1,168 @@
+"""Lyapunov virtual queues and the drift-plus-penalty controller.
+
+The long-term budget constraint — average payment per round at most ``B`` —
+is enforced with the standard Lyapunov machinery:
+
+* a :class:`VirtualQueue` ``Q`` accumulates per-round overspend,
+  ``Q(t+1) = max(Q(t) + P(t) - B, 0)``;
+* :class:`DriftPlusPenaltyController` turns the constrained problem into the
+  per-round weighted objective ``V * welfare - Q(t) * payment`` by handing
+  the auction the weights ``value_weight = V`` and
+  ``cost_weight = V + Q(t)``.
+
+The classic trade-off follows: a larger ``V`` puts more emphasis on welfare
+and achieves an ``O(1/V)`` optimality gap at the price of an ``O(V)`` queue
+backlog (i.e. transient budget violation); the queue-length bound implies
+that the long-run average spend converges to at most ``B``.  Benchmark E4
+reproduces this trade-off empirically.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["VirtualQueue", "BudgetQueue", "DriftPlusPenaltyController"]
+
+
+class VirtualQueue:
+    """A scalar virtual queue ``Q(t+1) = max(Q(t) + arrival - service, 0)``.
+
+    Tracks its full backlog history so analysis code can plot trajectories
+    and compute time averages without re-simulation.
+    """
+
+    def __init__(self, initial: float = 0.0) -> None:
+        self._backlog = check_non_negative("initial", initial)
+        self._history: list[float] = [self._backlog]
+        self._total_arrivals = 0.0
+        self._total_service = 0.0
+        self._steps = 0
+
+    @property
+    def backlog(self) -> float:
+        """Current queue length ``Q(t)``."""
+        return self._backlog
+
+    @property
+    def history(self) -> tuple[float, ...]:
+        """Backlog after each update, starting with the initial value."""
+        return tuple(self._history)
+
+    @property
+    def steps(self) -> int:
+        """Number of updates applied so far."""
+        return self._steps
+
+    def update(self, arrival: float, service: float) -> float:
+        """Apply one queue update and return the new backlog."""
+        check_non_negative("arrival", arrival)
+        check_non_negative("service", service)
+        self._backlog = max(self._backlog + arrival - service, 0.0)
+        self._history.append(self._backlog)
+        self._total_arrivals += arrival
+        self._total_service += service
+        self._steps += 1
+        return self._backlog
+
+    def average_arrival(self) -> float:
+        """Time-average arrival rate over all updates (0 before any update)."""
+        return self._total_arrivals / self._steps if self._steps else 0.0
+
+    def average_service(self) -> float:
+        """Time-average service rate over all updates (0 before any update)."""
+        return self._total_service / self._steps if self._steps else 0.0
+
+    def is_rate_stable(self, slack: float = 0.0) -> bool:
+        """Empirical rate stability: ``Q(T)/T <= slack``.
+
+        A mean-rate-stable queue certifies that the long-run constraint
+        ``average_arrival <= average_service`` holds up to ``Q(T)/T``.
+        """
+        if self._steps == 0:
+            return True
+        return self._backlog / self._steps <= slack + 1e-12
+
+    def reset(self, initial: float = 0.0) -> None:
+        """Reset to a fresh queue with backlog ``initial``."""
+        self._backlog = check_non_negative("initial", initial)
+        self._history = [self._backlog]
+        self._total_arrivals = 0.0
+        self._total_service = 0.0
+        self._steps = 0
+
+    def __repr__(self) -> str:
+        return f"VirtualQueue(backlog={self._backlog:.4g}, steps={self._steps})"
+
+
+class BudgetQueue(VirtualQueue):
+    """Virtual queue tracking overspend against a per-round budget.
+
+    ``record_spend(p)`` performs ``Q <- max(Q + p - budget_per_round, 0)``.
+    """
+
+    def __init__(self, budget_per_round: float, initial: float = 0.0) -> None:
+        super().__init__(initial)
+        self.budget_per_round = check_positive("budget_per_round", budget_per_round)
+
+    def record_spend(self, payment_total: float) -> float:
+        """Record one round's total payment and return the new backlog."""
+        return self.update(payment_total, self.budget_per_round)
+
+    def average_spend(self) -> float:
+        """Time-average payment per round so far."""
+        return self.average_arrival()
+
+    def spend_bound(self) -> float:
+        """Certified bound on average spend: ``budget + Q(T)/T``."""
+        if self.steps == 0:
+            return self.budget_per_round
+        return self.budget_per_round + self.backlog / self.steps
+
+    def __repr__(self) -> str:
+        return (
+            f"BudgetQueue(budget_per_round={self.budget_per_round}, "
+            f"backlog={self.backlog:.4g}, steps={self.steps})"
+        )
+
+
+class DriftPlusPenaltyController:
+    """Maps queue state to the per-round auction weights.
+
+    Parameters
+    ----------
+    v:
+        The Lyapunov trade-off parameter ``V > 0``.  Large ``V`` prioritises
+        welfare (small optimality gap, large transient overspend); small
+        ``V`` prioritises the budget.
+    budget_per_round:
+        Long-term average payment budget ``B`` per round.
+    """
+
+    def __init__(self, v: float, budget_per_round: float) -> None:
+        self.v = check_positive("v", v)
+        self.queue = BudgetQueue(budget_per_round)
+
+    @property
+    def value_weight(self) -> float:
+        """Weight on valuations in the per-round objective (``V``)."""
+        return self.v
+
+    @property
+    def cost_weight(self) -> float:
+        """Weight on bids/payments in the per-round objective (``V + Q(t)``)."""
+        return self.v + self.queue.backlog
+
+    def post_round(self, payment_total: float) -> float:
+        """Feed back the realised spend of the round; returns new backlog."""
+        return self.queue.record_spend(payment_total)
+
+    def reset(self) -> None:
+        """Reset the budget queue to empty."""
+        self.queue.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"DriftPlusPenaltyController(v={self.v}, "
+            f"budget_per_round={self.queue.budget_per_round}, "
+            f"backlog={self.queue.backlog:.4g})"
+        )

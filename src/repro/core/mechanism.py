@@ -1,0 +1,46 @@
+"""Abstract interface every selection/payment mechanism implements.
+
+A mechanism is a stateful object driven round by round: the simulator builds
+an :class:`~repro.core.bids.AuctionRound` (bids plus server-side values) and
+calls :meth:`Mechanism.run_round`, receiving a
+:class:`~repro.core.bids.RoundOutcome` (winners and payments).  Mechanisms
+may carry state across rounds (virtual queues, price estimates); the
+simulator resets them between repetitions via :meth:`Mechanism.reset`.
+
+The contract deliberately hides true costs: a mechanism only ever sees bids,
+so truthfulness experiments can compare outcomes under bid manipulation
+without giving any mechanism an unfair information advantage.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.bids import AuctionRound, RoundOutcome
+
+__all__ = ["Mechanism"]
+
+
+class Mechanism(ABC):
+    """Base class for per-round client selection + payment mechanisms."""
+
+    #: Short human-readable identifier used in tables and logs.
+    name: str = "mechanism"
+
+    @abstractmethod
+    def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
+        """Select winners and compute payments for one round.
+
+        Implementations must:
+
+        * select only clients that actually bid this round,
+        * return non-negative payments for exactly the selected clients,
+        * update any internal long-term state (queues, counters) so that the
+          next call observes the consequences of this round.
+        """
+
+    def reset(self) -> None:
+        """Clear all cross-round state.  Stateless mechanisms need not override."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,155 @@
+"""Payment rules as *critical-score* computations.
+
+Both payment rules in the library reduce to finding, for each winner, the
+**critical score**: the lowest selection score at which the winner would
+still be selected, holding everyone else fixed.  Because a client's score is
+an affine, strictly decreasing function of its bid
+(``score_i = w_i - lambda * b_i`` with ``lambda > 0``), a critical score
+``sigma_i`` converts to the *critical bid* ``(w_i - sigma_i) / lambda`` — the
+highest bid at which the client still wins — and a truthful mechanism pays
+exactly that.
+
+* :func:`clarke_critical_scores` — closed form for exact winner
+  determination; equals the classic Clarke pivot payment and is exactly
+  truthful.
+* :func:`critical_scores_by_search` — bisection against any *monotone*
+  allocation rule (used with the greedy solver); truthful whenever the rule
+  is monotone.
+
+:func:`clarke_payments` / :func:`critical_value_payments` wrap these into
+monetary payments given the affine score map.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.winner_determination import (
+    Allocation,
+    WinnerDeterminationProblem,
+    solve,
+    solve_greedy,
+)
+
+__all__ = [
+    "clarke_critical_scores",
+    "critical_scores_by_search",
+    "clarke_payments",
+    "critical_value_payments",
+]
+
+Solver = Callable[[WinnerDeterminationProblem], Allocation]
+
+
+def clarke_critical_scores(
+    problem: WinnerDeterminationProblem,
+    allocation: Allocation,
+    *,
+    solver: Solver | None = None,
+) -> dict[int, float]:
+    """Critical scores of all winners under exact winner determination.
+
+    For winner ``i`` with companion score
+    ``M_i = W(S*) - score_i`` and best objective without ``i`` equal to
+    ``W_{-i}``, the critical score is ``sigma_i = W_{-i} - M_i``:
+    ``i`` is selected exactly when ``score_i >= sigma_i``.  Properties (both
+    guaranteed by optimality of ``S*`` and feasibility of ``S* \\ {i}``):
+
+    * ``0 <= sigma_i <= score_i`` — hence payments are individually rational.
+    """
+    if solver is None:
+        solver = lambda p: solve(p, "exact")  # noqa: E731 - tiny local adapter
+    critical: dict[int, float] = {}
+    for index in allocation.selected:
+        companion = allocation.objective - problem.scores[index]
+        without = solver(problem.without(index))
+        sigma = without.objective - companion
+        # Clamp numerical noise into the theoretically guaranteed interval.
+        sigma = min(max(sigma, 0.0), problem.scores[index])
+        critical[index] = sigma
+    return critical
+
+
+def critical_scores_by_search(
+    problem: WinnerDeterminationProblem,
+    allocation: Allocation,
+    *,
+    solver: Solver = solve_greedy,
+    tolerance: float = 1e-9,
+    max_iterations: int = 100,
+) -> dict[int, float]:
+    """Critical scores of all winners under a monotone allocation rule.
+
+    For each winner, bisect on its score over ``(0, score_i]`` to find the
+    threshold below which the rule stops selecting it.  Requires the rule to
+    be monotone (selected at score ``s`` implies selected at every score
+    ``> s``); the library's greedy solver satisfies this (verified
+    property-based in the test suite).
+
+    The returned value is a score at which the client *still wins* (the
+    lower end of the final bisection bracket), so converting it to a bid
+    never charges less than required for the client to win.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be > 0, got {tolerance}")
+    critical: dict[int, float] = {}
+    for index in allocation.selected:
+        original = problem.scores[index]
+        low, high = 0.0, original  # wins at `high`; never wins at score <= 0
+        for _ in range(max_iterations):
+            if high - low <= tolerance * max(1.0, abs(original)):
+                break
+            mid = 0.5 * (low + high)
+            if index in solver(problem.with_score(index, mid)).selected:
+                high = mid
+            else:
+                low = mid
+        critical[index] = high
+    return critical
+
+
+def _to_payments(
+    critical_scores: dict[int, float],
+    weights: dict[int, float],
+    cost_weight: float,
+) -> dict[int, float]:
+    if cost_weight <= 0:
+        raise ValueError(f"cost_weight must be > 0, got {cost_weight}")
+    return {
+        index: (weights[index] - sigma) / cost_weight
+        for index, sigma in critical_scores.items()
+    }
+
+
+def clarke_payments(
+    problem: WinnerDeterminationProblem,
+    allocation: Allocation,
+    weights: dict[int, float],
+    cost_weight: float,
+    *,
+    solver: Solver | None = None,
+) -> dict[int, float]:
+    """Monetary Clarke payments for the affine score map.
+
+    ``weights[i]`` is the bid-independent part ``w_i`` of candidate ``i``'s
+    score (``score_i = w_i - cost_weight * bid_i``).  The payment to winner
+    ``i`` is its critical bid ``(w_i - sigma_i) / cost_weight``.
+    """
+    critical = clarke_critical_scores(problem, allocation, solver=solver)
+    return _to_payments(critical, weights, cost_weight)
+
+
+def critical_value_payments(
+    problem: WinnerDeterminationProblem,
+    allocation: Allocation,
+    weights: dict[int, float],
+    cost_weight: float,
+    *,
+    solver: Solver = solve_greedy,
+    tolerance: float = 1e-9,
+) -> dict[int, float]:
+    """Monetary critical-value payments for a monotone allocation rule."""
+    critical = critical_scores_by_search(
+        problem, allocation, solver=solver, tolerance=tolerance
+    )
+    return _to_payments(critical, weights, cost_weight)

@@ -1,0 +1,181 @@
+"""Mechanism-property verification harness.
+
+The economic claims a mechanism paper makes — truthfulness, individual
+rationality, budget feasibility — are checkable by direct simulation: fix an
+instance, let one client deviate, and compare utilities.  This module
+provides those checks as reusable verifiers; the test suite applies them to
+randomly generated instances (property-based via hypothesis) and benchmark
+E5/E6 turn them into the paper-style deviation tables.
+
+All verifiers work against a *mechanism factory* rather than a mechanism
+instance, because stateful mechanisms (LT-VCG's queues) must be reset to an
+identical state before each counterfactual run for the comparison to be a
+true unilateral deviation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.bids import AuctionRound, RoundOutcome
+from repro.core.mechanism import Mechanism
+
+__all__ = [
+    "DeviationRecord",
+    "TruthfulnessReport",
+    "verify_truthfulness",
+    "verify_individual_rationality",
+    "verify_monotonicity",
+]
+
+MechanismFactory = Callable[[], Mechanism]
+
+
+def _utility(outcome: RoundOutcome, client_id: int, true_cost: float) -> float:
+    """Quasi-linear utility: payment minus true cost when selected, else 0."""
+    if client_id in outcome.selected:
+        return outcome.payment_of(client_id) - true_cost
+    return 0.0
+
+
+@dataclass(frozen=True)
+class DeviationRecord:
+    """Outcome of one unilateral bid deviation."""
+
+    client_id: int
+    true_cost: float
+    deviated_bid: float
+    truthful_utility: float
+    deviated_utility: float
+
+    @property
+    def gain(self) -> float:
+        """Utility gain from deviating (positive = profitable deviation)."""
+        return self.deviated_utility - self.truthful_utility
+
+
+@dataclass(frozen=True)
+class TruthfulnessReport:
+    """Aggregate result of a truthfulness sweep over one instance."""
+
+    records: tuple[DeviationRecord, ...]
+    tolerance: float
+
+    @property
+    def max_gain(self) -> float:
+        """Largest deviation gain observed (<= tolerance means truthful)."""
+        return max((record.gain for record in self.records), default=0.0)
+
+    @property
+    def is_truthful(self) -> bool:
+        """True when no deviation beats truthful bidding beyond tolerance."""
+        return self.max_gain <= self.tolerance
+
+    def violations(self) -> tuple[DeviationRecord, ...]:
+        """All deviations whose gain exceeds the tolerance."""
+        return tuple(r for r in self.records if r.gain > self.tolerance)
+
+
+def verify_truthfulness(
+    mechanism_factory: MechanismFactory,
+    auction_round: AuctionRound,
+    true_costs: Mapping[int, float],
+    *,
+    deviation_factors: Sequence[float] = (0.25, 0.5, 0.8, 0.9, 1.1, 1.25, 1.5, 2.0, 4.0),
+    tolerance: float = 1e-6,
+) -> TruthfulnessReport:
+    """Check dominant-strategy truthfulness on one instance.
+
+    The round's bids are taken to be the truthful profile (every bid equals
+    the client's true cost from ``true_costs``).  For every client and every
+    factor, the client's bid is scaled while all other bids stay truthful,
+    the mechanism is re-run from a fresh state, and utilities are compared.
+
+    Returns a report; truthfulness holds when no deviation gains more than
+    ``tolerance``.
+    """
+    for bid in auction_round.bids:
+        truthful_cost = true_costs.get(bid.client_id)
+        if truthful_cost is None:
+            raise ValueError(f"true cost missing for client {bid.client_id}")
+        if abs(bid.cost - truthful_cost) > 1e-12:
+            raise ValueError(
+                f"bid of client {bid.client_id} ({bid.cost}) is not its true "
+                f"cost ({truthful_cost}); the baseline profile must be truthful"
+            )
+
+    truthful_outcome = mechanism_factory().run_round(auction_round)
+    records = []
+    for bid in auction_round.bids:
+        client_id = bid.client_id
+        true_cost = true_costs[client_id]
+        truthful_utility = _utility(truthful_outcome, client_id, true_cost)
+        for factor in deviation_factors:
+            deviated_bid = true_cost * factor
+            deviated_round = auction_round.with_replaced_bid(
+                bid.with_cost(deviated_bid)
+            )
+            deviated_outcome = mechanism_factory().run_round(deviated_round)
+            records.append(
+                DeviationRecord(
+                    client_id=client_id,
+                    true_cost=true_cost,
+                    deviated_bid=deviated_bid,
+                    truthful_utility=truthful_utility,
+                    deviated_utility=_utility(deviated_outcome, client_id, true_cost),
+                )
+            )
+    return TruthfulnessReport(records=tuple(records), tolerance=tolerance)
+
+
+def verify_individual_rationality(
+    outcome: RoundOutcome,
+    auction_round: AuctionRound,
+    *,
+    tolerance: float = 1e-9,
+) -> list[str]:
+    """Check that every winner is paid at least its bid.
+
+    Under truthful bidding this is exactly individual rationality (utility
+    >= 0 for winners; losers trivially get 0).  Returns a list of violation
+    descriptions — empty means the property holds.
+    """
+    violations = []
+    for client_id in outcome.selected:
+        bid = auction_round.bid_of(client_id)
+        payment = outcome.payment_of(client_id)
+        if payment < bid.cost - tolerance:
+            violations.append(
+                f"client {client_id}: payment {payment:.6g} < bid {bid.cost:.6g}"
+            )
+    return violations
+
+
+def verify_monotonicity(
+    mechanism_factory: MechanismFactory,
+    auction_round: AuctionRound,
+    *,
+    shrink_factors: Sequence[float] = (0.9, 0.5, 0.1),
+) -> list[str]:
+    """Check allocation monotonicity: winners keep winning at lower bids.
+
+    Monotonicity is the structural property that makes critical-value
+    payments well-defined; exact affine maximizers satisfy it by
+    construction, greedy rules are verified here.  Returns violation
+    descriptions (empty = monotone on this instance).
+    """
+    baseline = mechanism_factory().run_round(auction_round)
+    violations = []
+    for client_id in baseline.selected:
+        bid = auction_round.bid_of(client_id)
+        for factor in shrink_factors:
+            lowered = auction_round.with_replaced_bid(bid.with_cost(bid.cost * factor))
+            outcome = mechanism_factory().run_round(lowered)
+            if client_id not in outcome.selected:
+                violations.append(
+                    f"client {client_id} won at bid {bid.cost:.6g} but lost at "
+                    f"lower bid {bid.cost * factor:.6g}"
+                )
+    return violations

@@ -1,0 +1,110 @@
+"""Online learned valuation: UCB estimation of client quality.
+
+Declared data profiles are a prior, not ground truth — the *realised*
+usefulness of a client (how much its updates actually move the global
+model) is only observable after selecting it.  :class:`LearnedValuation`
+treats client valuation as a combinatorial bandit problem:
+
+* each client's value is ``blend * prior + (1 - blend) * ucb`` where
+  ``ucb = mean observed contribution + bonus * sqrt(log(t) / n_i)``,
+* contributions are fed back per round via :meth:`observe_contributions`
+  (the FL attachment reports the aggregation-weighted update magnitude of
+  each winner),
+* unexplored clients carry the optimistic initial value, so the mechanism
+  explores the population before concentrating.
+
+Crucially the estimate depends only on selection history and observed
+contributions — never on bids — so wrapping the valuation preserves the
+affine-maximizer structure and hence truthfulness.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.bids import Bid
+from repro.core.valuation import ValuationModel
+from repro.utils.validation import check_in_range, check_non_negative
+
+__all__ = ["LearnedValuation"]
+
+
+class LearnedValuation(ValuationModel):
+    """UCB-style learned client values blended with a declared-profile prior.
+
+    Parameters
+    ----------
+    prior:
+        The declared-profile valuation used before observations accumulate
+        (and blended in permanently with weight ``blend``).
+    blend:
+        Weight of the prior in the final value, in ``[0, 1]``; ``1`` reduces
+        to the prior (no learning), ``0`` to pure UCB.
+    bonus:
+        Exploration-bonus scale (the UCB constant).
+    optimistic_value:
+        Value reported for never-observed clients' UCB term.
+    """
+
+    def __init__(
+        self,
+        prior: ValuationModel,
+        *,
+        blend: float = 0.5,
+        bonus: float = 0.5,
+        optimistic_value: float = 2.0,
+    ) -> None:
+        self.prior = prior
+        self.blend = check_in_range("blend", blend, 0.0, 1.0)
+        self.bonus = check_non_negative("bonus", bonus)
+        self.optimistic_value = check_non_negative("optimistic_value", optimistic_value)
+        self._sums: dict[int, float] = {}
+        self._counts: dict[int, int] = {}
+        self._round = 0
+
+    def observations_of(self, client_id: int) -> int:
+        """How many contribution observations this client has."""
+        return self._counts.get(client_id, 0)
+
+    def mean_contribution(self, client_id: int) -> float:
+        """Empirical mean contribution (0 before any observation)."""
+        count = self._counts.get(client_id, 0)
+        if count == 0:
+            return 0.0
+        return self._sums[client_id] / count
+
+    def ucb_of(self, client_id: int) -> float:
+        """The optimistic (UCB) value estimate for a client."""
+        count = self._counts.get(client_id, 0)
+        if count == 0:
+            return self.optimistic_value
+        exploration = self.bonus * math.sqrt(
+            math.log(max(self._round, 2)) / count
+        )
+        return self.mean_contribution(client_id) + exploration
+
+    def value_of(self, bid: Bid) -> float:
+        prior_value = self.prior.value_of(bid)
+        return self.blend * prior_value + (1.0 - self.blend) * self.ucb_of(
+            bid.client_id
+        )
+
+    def observe_contributions(self, contributions: dict[int, float]) -> None:
+        """Feed back realised contributions of this round's winners.
+
+        Contributions must be non-negative (magnitudes, not signed deltas).
+        """
+        for client_id, contribution in contributions.items():
+            check_non_negative(f"contributions[{client_id}]", contribution)
+            self._sums[client_id] = self._sums.get(client_id, 0.0) + float(contribution)
+            self._counts[client_id] = self._counts.get(client_id, 0) + 1
+
+    def observe_selection(self, selected: tuple[int, ...]) -> None:
+        self._round += 1
+        self.prior.observe_selection(selected)
+
+    def __repr__(self) -> str:
+        return (
+            f"LearnedValuation(prior={self.prior!r}, blend={self.blend}, "
+            f"bonus={self.bonus}, clients_observed={len(self._counts)})"
+        )

@@ -1,0 +1,140 @@
+"""Per-client participation queues — the "sustainable" in sustainable FL.
+
+A federation is sustainable only if every client keeps contributing over a
+long horizon: data coverage requires that no client starves, and clients
+with tight energy budgets must not be drained.  The mechanism enforces a
+*long-term participation-rate target* ``r_i`` per client with per-client
+virtual queues
+
+    ``Z_i(t+1) = max(Z_i(t) + r_i - selected_i(t), 0)``
+
+whose backlog is added (scaled by ``weight``) to the client's selection
+score as a bid-independent offset.  A client falling behind its target
+accumulates backlog and becomes progressively more attractive to select;
+because the offset never depends on the client's own bid, truthfulness of
+the affine-maximizer auction is preserved.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.lyapunov import VirtualQueue
+from repro.utils.validation import check_non_negative, check_probability
+
+__all__ = ["ParticipationTracker"]
+
+
+class ParticipationTracker:
+    """Tracks per-client participation-rate queues and selection offsets.
+
+    Parameters
+    ----------
+    targets:
+        Mapping from client id to its long-term participation-rate target
+        ``r_i`` in ``[0, 1]`` (fraction of rounds the client should win).
+        The targets must be jointly feasible given the per-round winner cap;
+        :meth:`check_feasibility` validates this.
+    weight:
+        Scale applied to queue backlogs when converting them to score
+        offsets.  ``0`` disables the sustainability mechanism (ablation).
+    max_offset:
+        Optional cap on the offset, bounding how strongly starvation can
+        override the welfare objective.
+    """
+
+    def __init__(
+        self,
+        targets: Mapping[int, float],
+        *,
+        weight: float = 1.0,
+        max_offset: float | None = None,
+    ) -> None:
+        self.targets = {
+            int(client_id): check_probability(f"targets[{client_id}]", rate)
+            for client_id, rate in targets.items()
+        }
+        self.weight = check_non_negative("weight", weight)
+        if max_offset is not None:
+            check_non_negative("max_offset", max_offset)
+        self.max_offset = max_offset
+        self._queues = {client_id: VirtualQueue() for client_id in self.targets}
+        self._selection_counts = {client_id: 0 for client_id in self.targets}
+        self._rounds = 0
+
+    def check_feasibility(self, max_winners: int | None) -> None:
+        """Raise if the targets exceed the per-round selection capacity.
+
+        With at most ``K`` winners per round the total achievable selection
+        rate is ``K``, so ``sum_i r_i <= K`` is necessary for stability.
+        """
+        total = sum(self.targets.values())
+        if max_winners is not None and total > max_winners + 1e-9:
+            raise ValueError(
+                f"participation targets sum to {total:.4g} but at most "
+                f"{max_winners} clients can win per round"
+            )
+
+    def backlog_of(self, client_id: int) -> float:
+        """Current queue backlog ``Z_i(t)`` of a client (0 if untracked)."""
+        queue = self._queues.get(client_id)
+        return queue.backlog if queue is not None else 0.0
+
+    def offsets(self, client_ids: Iterable[int]) -> dict[int, float]:
+        """Score offsets for this round's candidates.
+
+        Untracked clients get offset 0.
+        """
+        offsets = {}
+        for client_id in client_ids:
+            offset = self.weight * self.backlog_of(client_id)
+            if self.max_offset is not None:
+                offset = min(offset, self.max_offset)
+            offsets[client_id] = offset
+        return offsets
+
+    def observe_round(self, selected: Iterable[int]) -> None:
+        """Update every tracked queue with this round's selection outcome."""
+        selected_set = set(selected)
+        for client_id, queue in self._queues.items():
+            won = 1.0 if client_id in selected_set else 0.0
+            queue.update(self.targets[client_id], won)
+            if won:
+                self._selection_counts[client_id] += 1
+        self._rounds += 1
+
+    def participation_rate(self, client_id: int) -> float:
+        """Empirical selection rate of a client so far."""
+        if self._rounds == 0:
+            return 0.0
+        return self._selection_counts.get(client_id, 0) / self._rounds
+
+    def participation_rates(self) -> dict[int, float]:
+        """Empirical selection rates of all tracked clients."""
+        return {client_id: self.participation_rate(client_id) for client_id in self.targets}
+
+    def deficits(self) -> dict[int, float]:
+        """Target minus achieved rate per client (positive = behind target)."""
+        return {
+            client_id: self.targets[client_id] - self.participation_rate(client_id)
+            for client_id in self.targets
+        }
+
+    def max_backlog(self) -> float:
+        """Largest queue backlog across clients (0 when no clients tracked)."""
+        if not self._queues:
+            return 0.0
+        return max(queue.backlog for queue in self._queues.values())
+
+    def reset(self) -> None:
+        """Reset all queues and counters."""
+        for queue in self._queues.values():
+            queue.reset()
+        self._selection_counts = {client_id: 0 for client_id in self.targets}
+        self._rounds = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ParticipationTracker(clients={len(self.targets)}, "
+            f"weight={self.weight}, rounds={self._rounds})"
+        )

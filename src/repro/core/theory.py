@@ -1,0 +1,134 @@
+"""Theoretical bounds of the drift-plus-penalty analysis, computable.
+
+The Lyapunov analysis behind LT-VCG yields closed-form bounds that the
+empirical sweeps (benchmark E4) can be checked against:
+
+With Lyapunov function ``L(Q) = Q^2 / 2``, per-round payments bounded by
+``P_max`` and budget ``B``, the one-step drift satisfies
+``Delta(Q) <= B0 + Q (P(t) - B)`` with the constant
+``B0 = max(P_max - B, B)^2 / 2``.  Maximising ``V * welfare - Q * payment``
+each round then gives, for any horizon ``T``:
+
+* **welfare gap** — time-average welfare is within ``B0 / V`` of the best
+  stationary policy that satisfies the budget:
+  ``welfare_avg >= welfare_opt - B0 / V``;
+* **queue bound** — if some stationary policy meets the budget with slack
+  ``epsilon > 0``, the time-average backlog obeys
+  ``Q_avg <= (B0 + V * welfare_span) / epsilon``,
+  i.e. transient overspend grows (at most) linearly in ``V``;
+* **constraint violation** — the realised average spend satisfies
+  ``spend_avg <= B + Q(T) / T`` (exact, from the queue recursion — see
+  :meth:`repro.core.lyapunov.BudgetQueue.spend_bound`).
+
+These are *bounds*, not predictions: measured curves must lie on the
+feasible side, which :func:`check_run_against_bounds` verifies for a
+completed run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.lyapunov import BudgetQueue
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["LyapunovBounds", "lyapunov_bounds", "check_run_against_bounds"]
+
+
+@dataclass(frozen=True)
+class LyapunovBounds:
+    """The [O(1/V), O(V)] bound pair for one parameterisation.
+
+    Attributes
+    ----------
+    drift_constant:
+        ``B0``, the per-round drift bound constant.
+    welfare_gap:
+        ``B0 / V`` — the maximum time-average welfare sacrificed relative to
+        the budget-feasible optimum.
+    queue_bound:
+        ``(B0 + V * welfare_span) / slack`` — bound on the time-average
+        backlog (None when ``slack`` is 0: no interior policy assumed).
+    """
+
+    v: float
+    budget_per_round: float
+    max_payment_per_round: float
+    welfare_span: float
+    slack: float
+    drift_constant: float
+    welfare_gap: float
+    queue_bound: float | None
+
+
+def lyapunov_bounds(
+    *,
+    v: float,
+    budget_per_round: float,
+    max_payment_per_round: float,
+    welfare_span: float,
+    slack: float = 0.0,
+) -> LyapunovBounds:
+    """Compute the bound pair for given problem parameters.
+
+    Parameters
+    ----------
+    v:
+        The trade-off parameter.
+    budget_per_round:
+        ``B``.
+    max_payment_per_round:
+        ``P_max``: the largest total payment any single round can incur
+        (e.g. ``K * reserve_price``, or ``K * max critical bid``).
+    welfare_span:
+        ``f_max - f_min``: the range of achievable per-round welfare.
+    slack:
+        ``epsilon``: the budget slack of some stationary feasible policy;
+        0 disables the queue bound (it needs an interior policy).
+    """
+    check_positive("v", v)
+    check_positive("budget_per_round", budget_per_round)
+    check_positive("max_payment_per_round", max_payment_per_round)
+    check_non_negative("welfare_span", welfare_span)
+    check_non_negative("slack", slack)
+    worst_deviation = max(max_payment_per_round - budget_per_round, budget_per_round)
+    drift_constant = 0.5 * worst_deviation**2
+    queue_bound = None
+    if slack > 0:
+        queue_bound = (drift_constant + v * welfare_span) / slack
+    return LyapunovBounds(
+        v=v,
+        budget_per_round=budget_per_round,
+        max_payment_per_round=max_payment_per_round,
+        welfare_span=welfare_span,
+        slack=slack,
+        drift_constant=drift_constant,
+        welfare_gap=drift_constant / v,
+        queue_bound=queue_bound,
+    )
+
+
+def check_run_against_bounds(
+    queue: BudgetQueue, bounds: LyapunovBounds
+) -> list[str]:
+    """Verify a completed run's queue statistics against the bounds.
+
+    Returns a list of violation descriptions (empty = consistent).  Checks:
+
+    * the exact spend certificate ``spend_avg <= B + Q(T)/T``;
+    * the average backlog against ``queue_bound`` when available.
+    """
+    violations = []
+    if queue.average_spend() > queue.spend_bound() + 1e-9:
+        violations.append(
+            f"spend certificate violated: avg {queue.average_spend():.4g} > "
+            f"bound {queue.spend_bound():.4g}"
+        )
+    if bounds.queue_bound is not None and queue.steps > 0:
+        average_backlog = sum(queue.history) / len(queue.history)
+        if average_backlog > bounds.queue_bound + 1e-9:
+            violations.append(
+                f"queue bound violated: avg backlog {average_backlog:.4g} > "
+                f"bound {bounds.queue_bound:.4g}"
+            )
+    return violations

@@ -1,0 +1,166 @@
+"""Server-side valuation of clients.
+
+The auction needs a value ``v_i(t)`` for recruiting client ``i`` in round
+``t``.  Crucially this value is computed from the client's *declared data
+profile* (sample count, quality score) and from the server's own selection
+history — never from the submitted cost — so that the allocation rule remains
+an affine maximizer in the bids and the mechanism stays truthful.
+
+Three models are provided:
+
+* :class:`LinearValuation` — value proportional to declared sample count
+  times quality; the simplest model, matching "pay for data volume".
+* :class:`DiminishingReturnsValuation` — logarithmic in sample count,
+  reflecting that the marginal learning benefit of extra samples decays.
+* :class:`StalenessAwareValuation` — wraps another model and boosts clients
+  the longer they have gone unselected, reflecting that a client whose data
+  has not influenced the global model recently contributes more novelty.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+from repro.core.bids import Bid
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = [
+    "ValuationModel",
+    "LinearValuation",
+    "DiminishingReturnsValuation",
+    "StalenessAwareValuation",
+]
+
+
+class ValuationModel(ABC):
+    """Maps declared client profiles to per-round recruitment values."""
+
+    @abstractmethod
+    def value_of(self, bid: Bid) -> float:
+        """Return the server's value for recruiting the client behind ``bid``.
+
+        Must not depend on ``bid.cost``.
+        """
+
+    def values_for(self, bids: tuple[Bid, ...]) -> dict[int, float]:
+        """Vectorised convenience: values for a whole round's bids."""
+        return {bid.client_id: self.value_of(bid) for bid in bids}
+
+    def observe_selection(self, selected: tuple[int, ...]) -> None:
+        """Hook called after each round with the winner set.
+
+        Stateless models ignore it; history-aware models (staleness) update
+        their internal counters.
+        """
+
+
+class LinearValuation(ValuationModel):
+    """``v = scale * (data_size / reference_size) * quality``.
+
+    Parameters
+    ----------
+    scale:
+        Value of a reference-size, quality-1 client.
+    reference_size:
+        Sample count that normalises data size to 1.
+    """
+
+    def __init__(self, scale: float = 1.0, reference_size: int = 100) -> None:
+        self.scale = check_positive("scale", scale)
+        if reference_size <= 0:
+            raise ValueError(f"reference_size must be > 0, got {reference_size}")
+        self.reference_size = int(reference_size)
+
+    def value_of(self, bid: Bid) -> float:
+        return self.scale * (bid.data_size / self.reference_size) * bid.quality
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearValuation(scale={self.scale}, reference_size={self.reference_size})"
+        )
+
+
+class DiminishingReturnsValuation(ValuationModel):
+    """``v = scale * log(1 + data_size / reference_size) * quality``.
+
+    Logarithmic data-size dependence encodes diminishing marginal learning
+    utility: the 10,000th sample from one client matters far less than the
+    100th.
+    """
+
+    def __init__(self, scale: float = 1.0, reference_size: int = 100) -> None:
+        self.scale = check_positive("scale", scale)
+        if reference_size <= 0:
+            raise ValueError(f"reference_size must be > 0, got {reference_size}")
+        self.reference_size = int(reference_size)
+
+    def value_of(self, bid: Bid) -> float:
+        return self.scale * math.log1p(bid.data_size / self.reference_size) * bid.quality
+
+    def __repr__(self) -> str:
+        return (
+            "DiminishingReturnsValuation("
+            f"scale={self.scale}, reference_size={self.reference_size})"
+        )
+
+
+class StalenessAwareValuation(ValuationModel):
+    """Boost unselected clients: ``v = base_v * (1 + boost * staleness)``.
+
+    ``staleness`` is ``min(rounds_since_selected, cap) / cap`` in ``[0, 1]``;
+    a never-selected client has staleness 1.  The boost is bid-independent,
+    so wrapping preserves truthfulness.
+
+    Parameters
+    ----------
+    base:
+        The wrapped valuation model.
+    boost:
+        Maximum multiplicative bonus (e.g. 0.5 means up to +50 %).
+    cap:
+        Number of unselected rounds at which staleness saturates.
+    """
+
+    def __init__(self, base: ValuationModel, boost: float = 0.5, cap: int = 20) -> None:
+        self.base = base
+        self.boost = check_non_negative("boost", boost)
+        if cap <= 0:
+            raise ValueError(f"cap must be > 0, got {cap}")
+        self.cap = int(cap)
+        self._rounds_since_selected: dict[int, int] = {}
+
+    def staleness_of(self, client_id: int) -> float:
+        """Normalised staleness of ``client_id`` in ``[0, 1]``."""
+        since = self._rounds_since_selected.get(client_id, self.cap)
+        return min(since, self.cap) / self.cap
+
+    def value_of(self, bid: Bid) -> float:
+        base_value = self.base.value_of(bid)
+        return base_value * (1.0 + self.boost * self.staleness_of(bid.client_id))
+
+    def observe_selection(self, selected: tuple[int, ...]) -> None:
+        selected_set = set(selected)
+        for client_id in list(self._rounds_since_selected):
+            if client_id not in selected_set:
+                self._rounds_since_selected[client_id] += 1
+        for client_id in selected_set:
+            self._rounds_since_selected[client_id] = 0
+        self.base.observe_selection(selected)
+
+    def register_clients(self, client_ids: tuple[int, ...]) -> None:
+        """Start tracking staleness for ``client_ids`` (initially maximal)."""
+        for client_id in client_ids:
+            self._rounds_since_selected.setdefault(client_id, self.cap)
+
+    def __repr__(self) -> str:
+        return (
+            f"StalenessAwareValuation(base={self.base!r}, "
+            f"boost={self.boost}, cap={self.cap})"
+        )
+
+
+def constant_values(bids: tuple[Bid, ...], value: float = 1.0) -> Mapping[int, float]:
+    """Uniform values — handy for tests where only costs should matter."""
+    return {bid.client_id: float(value) for bid in bids}

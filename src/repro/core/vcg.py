@@ -1,0 +1,223 @@
+"""The single-round weighted (affine-maximizer) VCG reverse auction.
+
+This is the per-round engine that the long-term mechanism
+(:mod:`repro.core.longterm_vcg`) instantiates with time-varying weights.  In
+round ``t`` every candidate ``i`` receives a selection score
+
+    ``score_i = value_weight * v_i + offset_i - cost_weight * b_i``
+
+where ``v_i`` is the server's valuation, ``offset_i`` is a bid-independent
+bonus (used for sustainability queues), ``b_i`` the submitted bid, and the
+two weights come from the drift-plus-penalty controller
+(``value_weight = V``, ``cost_weight = V + Q(t)``).  The winner set maximises
+the total score subject to cardinality / knapsack constraints, and winners
+are paid their *critical bid*:
+
+* with exact winner determination, via Clarke pivot payments — the mechanism
+  is then an affine maximizer and hence dominant-strategy truthful and
+  individually rational;
+* with greedy winner determination, via bisection critical-value payments —
+  truthful whenever the greedy rule is monotone, which the density greedy
+  satisfies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.bids import AuctionRound
+from repro.core.payments import clarke_payments, critical_value_payments
+from repro.core.winner_determination import (
+    Allocation,
+    WinnerDeterminationProblem,
+    solve,
+    solve_greedy,
+)
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["SingleRoundVCGAuction", "VCGAuctionResult"]
+
+
+@dataclass(frozen=True)
+class VCGAuctionResult:
+    """Outcome of one weighted VCG auction.
+
+    Attributes
+    ----------
+    selected:
+        Winning client ids, sorted ascending.
+    payments:
+        Monetary payment per winner (client id keyed).
+    objective:
+        The optimal (or greedy) drift-plus-penalty objective value.
+    scores:
+        The selection score of every candidate (client id keyed).
+    declared_welfare:
+        ``sum(v_i - b_i)`` over winners — social welfare *as declared*; equals
+        true welfare when clients bid truthfully.
+    """
+
+    selected: tuple[int, ...]
+    payments: Mapping[int, float]
+    objective: float
+    scores: Mapping[int, float] = field(default_factory=dict)
+    declared_welfare: float = 0.0
+
+    @property
+    def total_payment(self) -> float:
+        """Total money paid to winners."""
+        return float(sum(self.payments.values()))
+
+
+class SingleRoundVCGAuction:
+    """Weighted VCG auction with configurable winner determination.
+
+    Parameters
+    ----------
+    value_weight:
+        Multiplier on server valuations (the Lyapunov ``V``); must be > 0.
+    cost_weight:
+        Multiplier on bids (``V + Q(t)``); must be > 0.
+    offsets:
+        Optional bid-independent per-client score bonuses (sustainability
+        queue backlogs).  Missing clients default to 0.
+    max_winners:
+        Cardinality cap per round, or ``None``.
+    demands:
+        Optional per-client resource demand for a knapsack constraint.
+    capacity:
+        Knapsack capacity (must accompany ``demands``).
+    wd_method:
+        ``"exact"`` (Clarke payments) or ``"greedy"`` (critical-value
+        payments); ``"dp"``/``"brute-force"``/``"top-k"`` force a specific
+        exact solver.
+    reserve_price:
+        Optional per-client payment cap.  Bids above the reserve are
+        rejected outright and winner payments are capped at the reserve —
+        equivalent to the auctioneer adding a posted ceiling, which
+        preserves truthfulness (a client wins iff its bid is at most
+        ``min(critical bid, reserve)`` and is paid exactly that threshold).
+    """
+
+    _EXACT_METHODS = frozenset({"exact", "dp", "brute-force", "top-k"})
+
+    def __init__(
+        self,
+        *,
+        value_weight: float = 1.0,
+        cost_weight: float = 1.0,
+        offsets: Mapping[int, float] | None = None,
+        max_winners: int | None = None,
+        demands: Mapping[int, float] | None = None,
+        capacity: float | None = None,
+        wd_method: str = "exact",
+        reserve_price: float | None = None,
+    ) -> None:
+        self.value_weight = check_positive("value_weight", value_weight)
+        self.cost_weight = check_positive("cost_weight", cost_weight)
+        self.offsets = dict(offsets or {})
+        for client_id, offset in self.offsets.items():
+            check_non_negative(f"offsets[{client_id}]", offset)
+        self.max_winners = max_winners
+        self.demands = dict(demands) if demands is not None else None
+        self.capacity = capacity
+        if (self.demands is None) != (self.capacity is None):
+            raise ValueError("demands and capacity must be both set or both None")
+        if wd_method not in self._EXACT_METHODS and wd_method != "greedy":
+            raise ValueError(f"unknown wd_method {wd_method!r}")
+        self.wd_method = wd_method
+        if reserve_price is not None:
+            check_positive("reserve_price", reserve_price)
+        self.reserve_price = reserve_price
+
+    def weight_of(self, client_id: int, value: float) -> float:
+        """Bid-independent score component ``w_i`` of a client."""
+        return self.value_weight * value + self.offsets.get(client_id, 0.0)
+
+    def build_problem(
+        self, auction_round: AuctionRound
+    ) -> tuple[WinnerDeterminationProblem, list[int]]:
+        """Translate a round into a winner-determination problem.
+
+        Returns the problem plus the candidate-index → client-id mapping.
+        """
+        ids = list(auction_round.client_ids)
+        scores = []
+        demands: list[float] | None = [] if self.demands is not None else None
+        for bid in auction_round.bids:
+            weight = self.weight_of(bid.client_id, auction_round.values[bid.client_id])
+            scores.append(weight - self.cost_weight * bid.cost)
+            if demands is not None:
+                try:
+                    demands.append(float(self.demands[bid.client_id]))  # type: ignore[index]
+                except KeyError:
+                    raise KeyError(
+                        f"no demand configured for client {bid.client_id}"
+                    ) from None
+        problem = WinnerDeterminationProblem(
+            scores=tuple(scores),
+            demands=None if demands is None else tuple(demands),
+            capacity=self.capacity,
+            max_winners=self.max_winners,
+        )
+        return problem, ids
+
+    def _solve(self, problem: WinnerDeterminationProblem) -> Allocation:
+        if self.wd_method == "greedy":
+            return solve_greedy(problem)
+        return solve(problem, self.wd_method)
+
+    def run(self, auction_round: AuctionRound) -> VCGAuctionResult:
+        """Run the auction: select winners and compute truthful payments."""
+        if self.reserve_price is not None:
+            for bid in tuple(auction_round.bids):
+                if bid.cost > self.reserve_price + 1e-12:
+                    auction_round = auction_round.without_client(bid.client_id)
+            if not auction_round.bids:
+                return VCGAuctionResult(
+                    selected=(), payments={}, objective=0.0,
+                    scores={}, declared_welfare=0.0,
+                )
+        problem, ids = self.build_problem(auction_round)
+        allocation = self._solve(problem)
+
+        weights_by_index = {
+            index: self.weight_of(ids[index], auction_round.values[ids[index]])
+            for index in allocation.selected
+        }
+        if self.wd_method == "greedy":
+            payments_by_index = critical_value_payments(
+                problem, allocation, weights_by_index, self.cost_weight
+            )
+        else:
+            payments_by_index = clarke_payments(
+                problem,
+                allocation,
+                weights_by_index,
+                self.cost_weight,
+                solver=self._solve,
+            )
+
+        selected_ids = tuple(sorted(ids[index] for index in allocation.selected))
+        payments = {}
+        for index, payment in payments_by_index.items():
+            client_id = ids[index]
+            payment = max(payment, auction_round.bid_of(client_id).cost)
+            if self.reserve_price is not None:
+                payment = min(payment, self.reserve_price)
+            payments[client_id] = payment
+        scores = {
+            ids[index]: float(problem.scores[index]) for index in range(problem.size)
+        }
+        declared_welfare = sum(
+            auction_round.values[client_id] - auction_round.bid_of(client_id).cost
+            for client_id in selected_ids
+        )
+        return VCGAuctionResult(
+            selected=selected_ids,
+            payments=payments,
+            objective=allocation.objective,
+            scores=scores,
+            declared_welfare=float(declared_welfare),
+        )

@@ -1,0 +1,366 @@
+"""Winner-determination solvers for the per-round selection problem.
+
+Each round the mechanism must choose a subset ``S`` of candidates maximising
+an additive score ``sum_{i in S} score_i`` subject to packing constraints:
+
+* a cardinality cap (at most ``max_winners`` clients per round), and/or
+* a knapsack capacity (``sum_{i in S} demand_i <= capacity``), modelling a
+  per-round resource bound such as uplink bandwidth slots.
+
+The solvers:
+
+=====================  ==========================================  =========
+solver                 guarantee                                   scaling
+=====================  ==========================================  =========
+:func:`solve_top_k`    exact when there is no knapsack constraint  O(n log n)
+:func:`solve_brute_force`  exact, any constraints                  O(2^n)
+:func:`solve_knapsack_dp`  exact for integer demands; for real
+                       demands exact up to the quantisation
+                       ``resolution`` (conservatively feasible)    O(n·R·K)
+:func:`solve_greedy`   monotone density heuristic                  O(n log n)
+:func:`solve_lp_bound` fractional upper bound (analysis only)      LP
+=====================  ==========================================  =========
+
+Exact solvers preserve exact VCG truthfulness; the greedy solver pairs with
+critical-value payments (:mod:`repro.core.payments`).  All solvers use the
+same deterministic tie-breaking (higher score first, then lower index) so
+payment computations that re-solve subproblems are stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+from scipy.optimize import linprog
+
+__all__ = [
+    "WinnerDeterminationProblem",
+    "Allocation",
+    "solve",
+    "solve_top_k",
+    "solve_brute_force",
+    "solve_knapsack_dp",
+    "solve_greedy",
+    "solve_lp_bound",
+]
+
+_BRUTE_FORCE_LIMIT = 22
+# Below this many positive-score candidates "exact" dispatch prefers brute
+# force over DP; above it, subset enumeration is slower than the DP.
+_AUTO_BRUTE_FORCE_LIMIT = 12
+
+
+@dataclass(frozen=True)
+class WinnerDeterminationProblem:
+    """One round's selection problem.
+
+    Attributes
+    ----------
+    scores:
+        Per-candidate selection score (may be negative; negative-score
+        candidates are never selected because the empty set is feasible).
+    demands:
+        Per-candidate resource demand, strictly positive; ``None`` when there
+        is no knapsack constraint.
+    capacity:
+        Knapsack capacity; ``None`` when there is no knapsack constraint.
+        ``demands`` and ``capacity`` must be both present or both absent.
+    max_winners:
+        Cardinality cap, or ``None`` for unlimited.
+    """
+
+    scores: tuple[float, ...]
+    demands: tuple[float, ...] | None = None
+    capacity: float | None = None
+    max_winners: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.demands is None) != (self.capacity is None):
+            raise ValueError("demands and capacity must be both set or both None")
+        if self.demands is not None:
+            if len(self.demands) != len(self.scores):
+                raise ValueError(
+                    f"{len(self.demands)} demands for {len(self.scores)} scores"
+                )
+            if any(d <= 0 for d in self.demands):
+                raise ValueError("all demands must be > 0")
+            if self.capacity is not None and self.capacity < 0:
+                raise ValueError(f"capacity must be >= 0, got {self.capacity}")
+        if self.max_winners is not None and self.max_winners < 0:
+            raise ValueError(f"max_winners must be >= 0, got {self.max_winners}")
+        if any(not np.isfinite(s) for s in self.scores):
+            raise ValueError("scores must be finite")
+
+    @property
+    def size(self) -> int:
+        """Number of candidates."""
+        return len(self.scores)
+
+    def without(self, index: int) -> "WinnerDeterminationProblem":
+        """Return the subproblem with candidate ``index`` removed.
+
+        Remaining candidates keep their relative order; the caller is
+        responsible for index translation (indices ``>= index`` shift down
+        by one).
+        """
+        if not 0 <= index < self.size:
+            raise IndexError(f"candidate index {index} out of range")
+        keep = [j for j in range(self.size) if j != index]
+        return WinnerDeterminationProblem(
+            scores=tuple(self.scores[j] for j in keep),
+            demands=None if self.demands is None else tuple(self.demands[j] for j in keep),
+            capacity=self.capacity,
+            max_winners=self.max_winners,
+        )
+
+    def with_score(self, index: int, score: float) -> "WinnerDeterminationProblem":
+        """Return a copy with one candidate's score replaced."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"candidate index {index} out of range")
+        scores = list(self.scores)
+        scores[index] = float(score)
+        return WinnerDeterminationProblem(
+            scores=tuple(scores),
+            demands=self.demands,
+            capacity=self.capacity,
+            max_winners=self.max_winners,
+        )
+
+    def is_feasible(self, selected: tuple[int, ...]) -> bool:
+        """Check that a candidate index set satisfies all constraints."""
+        if len(set(selected)) != len(selected):
+            return False
+        if any(not 0 <= i < self.size for i in selected):
+            return False
+        if self.max_winners is not None and len(selected) > self.max_winners:
+            return False
+        if self.capacity is not None:
+            demands = self.demands or ()
+            if sum(demands[i] for i in selected) > self.capacity + 1e-12:
+                return False
+        return True
+
+    def objective(self, selected: tuple[int, ...]) -> float:
+        """Total score of a candidate index set."""
+        return float(sum(self.scores[i] for i in selected))
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A solver's answer: selected candidate indices and their total score."""
+
+    selected: tuple[int, ...]
+    objective: float
+
+    def __post_init__(self) -> None:
+        if list(self.selected) != sorted(set(self.selected)):
+            raise ValueError("selected indices must be sorted and unique")
+
+
+def _empty() -> Allocation:
+    return Allocation(selected=(), objective=0.0)
+
+
+def _finish(problem: WinnerDeterminationProblem, selected: list[int]) -> Allocation:
+    selected_sorted = tuple(sorted(selected))
+    return Allocation(selected=selected_sorted, objective=problem.objective(selected_sorted))
+
+
+def solve_top_k(problem: WinnerDeterminationProblem) -> Allocation:
+    """Exact solver when there is no knapsack constraint.
+
+    Picks the positive-score candidates with the highest scores, up to
+    ``max_winners``.  Raises if a knapsack constraint is present.
+    """
+    if problem.capacity is not None:
+        raise ValueError("solve_top_k cannot handle a knapsack constraint")
+    order = sorted(
+        (i for i in range(problem.size) if problem.scores[i] > 0),
+        key=lambda i: (-problem.scores[i], i),
+    )
+    if problem.max_winners is not None:
+        order = order[: problem.max_winners]
+    return _finish(problem, order)
+
+
+def solve_brute_force(problem: WinnerDeterminationProblem) -> Allocation:
+    """Exhaustive exact solver; refuses instances above 22 candidates.
+
+    Only positive-score candidates are enumerated (adding a non-positive
+    score candidate never improves a packing-constrained objective).
+    """
+    candidates = [i for i in range(problem.size) if problem.scores[i] > 0]
+    if len(candidates) > _BRUTE_FORCE_LIMIT:
+        raise ValueError(
+            f"brute force limited to {_BRUTE_FORCE_LIMIT} positive-score "
+            f"candidates, got {len(candidates)}"
+        )
+    max_size = len(candidates)
+    if problem.max_winners is not None:
+        max_size = min(max_size, problem.max_winners)
+    best = _empty()
+    for size in range(1, max_size + 1):
+        for subset in combinations(candidates, size):
+            if not problem.is_feasible(subset):
+                continue
+            objective = problem.objective(subset)
+            if objective > best.objective + 1e-12:
+                best = Allocation(selected=tuple(subset), objective=objective)
+    return best
+
+
+def solve_knapsack_dp(
+    problem: WinnerDeterminationProblem,
+    *,
+    resolution: int = 1000,
+) -> Allocation:
+    """Dynamic-programming knapsack solver with a cardinality dimension.
+
+    Demands are quantised to a grid of ``resolution`` units spanning the
+    capacity, rounding demands *up* so the returned allocation is always
+    feasible for the original real-valued constraint.  When demands and
+    capacity are integers and ``resolution >= capacity`` the solution is
+    exact.
+    """
+    if problem.capacity is None:
+        return solve_top_k(problem)
+    if resolution <= 0:
+        raise ValueError(f"resolution must be > 0, got {resolution}")
+    demands = problem.demands or ()
+    candidates = [i for i in range(problem.size) if problem.scores[i] > 0]
+    if not candidates or problem.capacity <= 0:
+        return _empty()
+
+    scale = resolution / problem.capacity
+    int_capacity = resolution
+    int_demands = {}
+    for i in candidates:
+        units = int(np.ceil(demands[i] * scale - 1e-9))
+        int_demands[i] = max(units, 1)
+    candidates = [i for i in candidates if int_demands[i] <= int_capacity]
+    if not candidates:
+        return _empty()
+
+    k_cap = len(candidates)
+    if problem.max_winners is not None:
+        k_cap = min(k_cap, problem.max_winners)
+    if k_cap == 0:
+        return _empty()
+
+    # dp[c, k] = best score using capacity exactly <= c with <= k items.
+    dp = np.zeros((int_capacity + 1, k_cap + 1), dtype=float)
+    take = np.zeros((len(candidates), int_capacity + 1, k_cap + 1), dtype=bool)
+    for item_pos, i in enumerate(candidates):
+        weight = int_demands[i]
+        score = problem.scores[i]
+        shifted = np.full_like(dp, -np.inf)
+        shifted[weight:, 1:] = dp[: int_capacity + 1 - weight, : k_cap] + score
+        improved = shifted > dp + 1e-12
+        take[item_pos] = improved
+        dp = np.where(improved, shifted, dp)
+
+    # Backtrack: scan items in reverse; the first recorded improvement at the
+    # current cell is the last one applied, i.e. the one the final value used.
+    c, k = int_capacity, k_cap
+    selected: list[int] = []
+    for item_pos in range(len(candidates) - 1, -1, -1):
+        if take[item_pos, c, k]:
+            i = candidates[item_pos]
+            selected.append(i)
+            c -= int_demands[i]
+            k -= 1
+    return _finish(problem, selected)
+
+
+def solve_greedy(problem: WinnerDeterminationProblem) -> Allocation:
+    """Monotone greedy: sort by density, skip infeasible, keep going.
+
+    Density is ``score / demand`` under a knapsack constraint and plain
+    ``score`` otherwise.  Lowering a candidate's bid raises its score and
+    density, moving it earlier in the order, so the induced allocation rule
+    is monotone in each bid — the property required for critical-value
+    payments (verified property-based in the test suite).
+    """
+    demands = problem.demands
+    candidates = [i for i in range(problem.size) if problem.scores[i] > 0]
+
+    def priority(i: int) -> tuple[float, float, int]:
+        density = problem.scores[i] / demands[i] if demands is not None else problem.scores[i]
+        return (-density, -problem.scores[i], i)
+
+    candidates.sort(key=priority)
+    selected: list[int] = []
+    remaining = problem.capacity
+    for i in candidates:
+        if problem.max_winners is not None and len(selected) >= problem.max_winners:
+            break
+        if remaining is not None and demands is not None:
+            if demands[i] > remaining + 1e-12:
+                continue
+            remaining -= demands[i]
+        selected.append(i)
+    return _finish(problem, selected)
+
+
+def solve_lp_bound(problem: WinnerDeterminationProblem) -> float:
+    """Fractional LP upper bound on the optimal objective (analysis only)."""
+    n = problem.size
+    positive = [i for i in range(n) if problem.scores[i] > 0]
+    if not positive:
+        return 0.0
+    c = [-problem.scores[i] for i in positive]
+    a_ub = []
+    b_ub = []
+    if problem.capacity is not None and problem.demands is not None:
+        a_ub.append([problem.demands[i] for i in positive])
+        b_ub.append(problem.capacity)
+    if problem.max_winners is not None:
+        a_ub.append([1.0] * len(positive))
+        b_ub.append(float(problem.max_winners))
+    if not a_ub:
+        return float(sum(problem.scores[i] for i in positive))
+    result = linprog(
+        c,
+        A_ub=np.array(a_ub),
+        b_ub=np.array(b_ub),
+        bounds=[(0.0, 1.0)] * len(positive),
+        method="highs",
+    )
+    if not result.success:
+        raise RuntimeError(f"LP bound failed: {result.message}")
+    return float(-result.fun)
+
+
+def solve(
+    problem: WinnerDeterminationProblem,
+    method: str = "exact",
+    *,
+    resolution: int = 1000,
+) -> Allocation:
+    """Dispatch to a solver by name.
+
+    ``"exact"`` chooses the cheapest exact solver for the instance:
+    :func:`solve_top_k` without a knapsack constraint, otherwise
+    :func:`solve_brute_force` for small instances and
+    :func:`solve_knapsack_dp` beyond.  ``"greedy"`` selects the monotone
+    heuristic; ``"brute-force"``, ``"dp"`` and ``"top-k"`` force a specific
+    solver.
+    """
+    if method == "exact":
+        if problem.capacity is None:
+            return solve_top_k(problem)
+        positive = sum(1 for s in problem.scores if s > 0)
+        if positive <= _AUTO_BRUTE_FORCE_LIMIT:
+            return solve_brute_force(problem)
+        return solve_knapsack_dp(problem, resolution=resolution)
+    if method == "greedy":
+        return solve_greedy(problem)
+    if method == "brute-force":
+        return solve_brute_force(problem)
+    if method == "dp":
+        return solve_knapsack_dp(problem, resolution=resolution)
+    if method == "top-k":
+        return solve_top_k(problem)
+    raise ValueError(f"unknown winner-determination method {method!r}")

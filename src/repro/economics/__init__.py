@@ -1,0 +1,70 @@
+"""Client-side economics: costs, energy, data value, and bidding behaviour.
+
+This package models everything that happens *on the client* before a bid
+reaches the server:
+
+* :mod:`repro.economics.cost_models` — how much one round of local training
+  and upload truly costs a device,
+* :mod:`repro.economics.energy` — batteries and ambient-energy harvesting
+  processes gating availability,
+* :mod:`repro.economics.data_value` — declared data-profile statistics
+  (size, label-entropy quality) feeding the server's valuation,
+* :mod:`repro.economics.bidding` — strategic bidding behaviours from
+  truthful through adaptive learners,
+* :mod:`repro.economics.client_profile` — the composite economic client
+  used by the simulator.
+"""
+
+from repro.economics.bidding import (
+    AdaptiveStrategy,
+    BidContext,
+    BiddingStrategy,
+    JitterStrategy,
+    ScaledStrategy,
+    TruthfulStrategy,
+)
+from repro.economics.calibration import (
+    premium_estimate,
+    suggest_budget,
+    suggest_posted_price,
+    suggest_reserve_price,
+)
+from repro.economics.client_profile import EconomicClient, build_population
+from repro.economics.cost_models import (
+    CostProfile,
+    LinearCostModel,
+    sample_cost_profiles,
+)
+from repro.economics.data_value import data_quality, label_entropy
+from repro.economics.energy import (
+    Battery,
+    BernoulliHarvest,
+    DiurnalHarvest,
+    HarvestProcess,
+    MarkovOnOffHarvest,
+)
+
+__all__ = [
+    "AdaptiveStrategy",
+    "Battery",
+    "BernoulliHarvest",
+    "BidContext",
+    "BiddingStrategy",
+    "CostProfile",
+    "DiurnalHarvest",
+    "EconomicClient",
+    "HarvestProcess",
+    "JitterStrategy",
+    "LinearCostModel",
+    "MarkovOnOffHarvest",
+    "ScaledStrategy",
+    "TruthfulStrategy",
+    "build_population",
+    "data_quality",
+    "label_entropy",
+    "premium_estimate",
+    "sample_cost_profiles",
+    "suggest_budget",
+    "suggest_posted_price",
+    "suggest_reserve_price",
+]

@@ -1,0 +1,157 @@
+"""Strategic bidding behaviours.
+
+Under a truthful mechanism, bidding one's true cost is a dominant strategy —
+but experiment E5 must *demonstrate* that, and the baseline first-price
+mechanisms are exploitable, so the simulator supports a spectrum of bidder
+behaviours:
+
+* :class:`TruthfulStrategy` — bid the true cost.
+* :class:`ScaledStrategy` — bid a constant multiple of the true cost
+  (systematic over/under-bidding).
+* :class:`JitterStrategy` — truthful plus multiplicative noise (reporting
+  error).
+* :class:`AdaptiveStrategy` — a no-regret learner (multiplicative weights /
+  Hedge over a grid of markup factors) that discovers the best markup from
+  realised utilities.  Against a truthful mechanism it converges back to
+  factor ~1; against first-price baselines it learns to overbid — the
+  headline contrast in E5.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = [
+    "BidContext",
+    "BiddingStrategy",
+    "TruthfulStrategy",
+    "ScaledStrategy",
+    "JitterStrategy",
+    "AdaptiveStrategy",
+]
+
+
+@dataclass(frozen=True)
+class BidContext:
+    """What a strategy may condition on when forming a bid."""
+
+    round_index: int
+    true_cost: float
+
+
+class BiddingStrategy(ABC):
+    """Maps true cost to a submitted bid, with post-round feedback."""
+
+    @abstractmethod
+    def bid(self, context: BidContext, rng: np.random.Generator) -> float:
+        """The bid to submit this round (must be >= 0)."""
+
+    def observe(self, context: BidContext, *, selected: bool, payment: float) -> None:
+        """Post-round feedback: whether the client won and what it was paid."""
+
+    def reset(self) -> None:
+        """Clear learning state."""
+
+
+class TruthfulStrategy(BiddingStrategy):
+    """Bid exactly the true cost."""
+
+    def bid(self, context: BidContext, rng: np.random.Generator) -> float:
+        return context.true_cost
+
+    def __repr__(self) -> str:
+        return "TruthfulStrategy()"
+
+
+class ScaledStrategy(BiddingStrategy):
+    """Bid ``factor * true_cost`` every round."""
+
+    def __init__(self, factor: float) -> None:
+        self.factor = check_positive("factor", factor)
+
+    def bid(self, context: BidContext, rng: np.random.Generator) -> float:
+        return context.true_cost * self.factor
+
+    def __repr__(self) -> str:
+        return f"ScaledStrategy(factor={self.factor})"
+
+
+class JitterStrategy(BiddingStrategy):
+    """Truthful up to multiplicative lognormal noise (reporting error)."""
+
+    def __init__(self, sigma: float) -> None:
+        self.sigma = check_non_negative("sigma", sigma)
+
+    def bid(self, context: BidContext, rng: np.random.Generator) -> float:
+        return context.true_cost * float(np.exp(rng.normal(0.0, self.sigma)))
+
+    def __repr__(self) -> str:
+        return f"JitterStrategy(sigma={self.sigma})"
+
+
+class AdaptiveStrategy(BiddingStrategy):
+    """Hedge over markup factors, learning from realised utility.
+
+    Each round the strategy samples a factor ``f`` from its weight
+    distribution and bids ``f * true_cost``.  After observing the outcome it
+    updates the sampled factor's weight multiplicatively using the realised
+    utility ``payment - true_cost`` (0 when losing), normalised by the true
+    cost so the learning rate is scale-free.
+
+    Parameters
+    ----------
+    factors:
+        Markup grid (defaults to 0.6x to 2.5x).
+    learning_rate:
+        Hedge step size.
+    """
+
+    def __init__(
+        self,
+        factors: tuple[float, ...] = (0.6, 0.8, 1.0, 1.25, 1.5, 2.0, 2.5),
+        learning_rate: float = 0.2,
+    ) -> None:
+        if not factors or any(f <= 0 for f in factors):
+            raise ValueError("factors must be a non-empty tuple of positives")
+        self.factors = tuple(float(f) for f in factors)
+        self.learning_rate = check_positive("learning_rate", learning_rate)
+        self._log_weights = np.zeros(len(self.factors))
+        self._last_choice: int | None = None
+
+    def distribution(self) -> np.ndarray:
+        """Current probability over factors."""
+        shifted = self._log_weights - self._log_weights.max()
+        weights = np.exp(shifted)
+        return weights / weights.sum()
+
+    def expected_factor(self) -> float:
+        """Mean markup under the current distribution (convergence metric)."""
+        return float(np.dot(self.distribution(), self.factors))
+
+    def bid(self, context: BidContext, rng: np.random.Generator) -> float:
+        choice = int(rng.choice(len(self.factors), p=self.distribution()))
+        self._last_choice = choice
+        return context.true_cost * self.factors[choice]
+
+    def observe(self, context: BidContext, *, selected: bool, payment: float) -> None:
+        if self._last_choice is None:
+            return
+        utility = (payment - context.true_cost) if selected else 0.0
+        scale = max(context.true_cost, 1e-9)
+        self._log_weights[self._last_choice] += self.learning_rate * utility / scale
+        self._last_choice = None
+
+    def reset(self) -> None:
+        self._log_weights = np.zeros(len(self.factors))
+        self._last_choice = None
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveStrategy(factors={self.factors}, "
+            f"learning_rate={self.learning_rate})"
+        )

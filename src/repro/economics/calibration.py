@@ -1,0 +1,98 @@
+"""Market calibration: choosing budgets, reserves and posted prices.
+
+A deployment must pick the mechanism's economic knobs before it has seen a
+single bid.  These helpers derive defensible starting points from a
+(pre-launch survey or pilot) sample of client cost profiles:
+
+* :func:`suggest_budget` — per-round budget to recruit ``k`` median-cost
+  clients with a safety factor for the truthful premium;
+* :func:`suggest_reserve_price` — payment cap at a chosen quantile of the
+  cost distribution (excluding the most expensive tail);
+* :func:`suggest_posted_price` — fixed price such that an expected ``k``
+  clients accept;
+* :func:`premium_estimate` — empirical truthful premium from a completed
+  run's event log, for recalibration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.economics.client_profile import EconomicClient
+from repro.simulation.events import EventLog
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = [
+    "suggest_budget",
+    "suggest_reserve_price",
+    "suggest_posted_price",
+    "premium_estimate",
+]
+
+
+def _costs(clients: list[EconomicClient]) -> np.ndarray:
+    if not clients:
+        raise ValueError("need at least one client")
+    return np.array([client.true_cost() for client in clients], dtype=float)
+
+
+def suggest_budget(
+    clients: list[EconomicClient],
+    winners_per_round: int,
+    *,
+    premium_factor: float = 1.5,
+) -> float:
+    """Per-round budget to pay ``winners_per_round`` median-cost clients.
+
+    ``premium_factor`` head-room covers the truthful (critical-bid) premium;
+    1.5 matches the empirical premium range of the E6 experiment.
+    """
+    if winners_per_round <= 0:
+        raise ValueError(f"winners_per_round must be > 0, got {winners_per_round}")
+    check_positive("premium_factor", premium_factor)
+    median_cost = float(np.median(_costs(clients)))
+    return winners_per_round * median_cost * premium_factor
+
+
+def suggest_reserve_price(
+    clients: list[EconomicClient], *, quantile: float = 0.9
+) -> float:
+    """Reserve (payment cap) at a quantile of the population cost distribution.
+
+    Clients costlier than the reserve are priced out by design; 0.9 keeps
+    the cheapest 90 % of the population recruitable.
+    """
+    check_in_range("quantile", quantile, 0.0, 1.0)
+    return float(np.quantile(_costs(clients), quantile))
+
+
+def suggest_posted_price(
+    clients: list[EconomicClient], expected_acceptors: int
+) -> float:
+    """Posted price at which ``expected_acceptors`` clients would accept.
+
+    The k-th smallest cost: exactly the clients with cost at most this
+    price accept a take-it-or-leave-it offer.
+    """
+    costs = np.sort(_costs(clients))
+    if not 1 <= expected_acceptors <= costs.size:
+        raise ValueError(
+            f"expected_acceptors must be in [1, {costs.size}], "
+            f"got {expected_acceptors}"
+        )
+    return float(costs[expected_acceptors - 1])
+
+
+def premium_estimate(log: EventLog) -> float:
+    """Empirical truthful premium: total paid / total winner cost − 1.
+
+    Returns 0 for runs with no spend.  Feed a pilot run's log back in to
+    recalibrate :func:`suggest_budget`'s ``premium_factor``.
+    """
+    total_paid = log.total_payment()
+    total_cost = sum(
+        record.true_costs[cid] for record in log for cid in record.selected
+    )
+    if total_cost <= 0:
+        return 0.0
+    return total_paid / total_cost - 1.0

@@ -1,0 +1,242 @@
+"""The composite economic client the simulator drives.
+
+:class:`EconomicClient` ties together everything client-side: the true cost
+of a round (cost model), the energy state gating availability (battery +
+harvesting), the declared data profile (size, quality), and the bidding
+strategy.  :func:`build_population` constructs a heterogeneous population
+from a seed, which is the single entry point scenarios use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bids import Bid
+from repro.economics.bidding import BidContext, BiddingStrategy, TruthfulStrategy
+from repro.economics.cost_models import CostProfile, LinearCostModel, sample_cost_profiles
+from repro.economics.energy import (
+    Battery,
+    BernoulliHarvest,
+    DiurnalHarvest,
+    HarvestProcess,
+    MarkovOnOffHarvest,
+)
+from repro.rng import RngTree
+
+__all__ = ["EconomicClient", "build_population"]
+
+
+@dataclass
+class EconomicClient:
+    """One client's economic state and behaviour.
+
+    Attributes
+    ----------
+    client_id:
+        Stable identity (matches the FL client id when FL is attached).
+    cost_model:
+        Computes the true per-round cost.
+    battery / harvest:
+        Energy state; ``harvest=None`` and ``battery=None`` model a mains-
+        powered device that is always available.
+    strategy:
+        Bidding behaviour.
+    declared_size / declared_quality:
+        The data profile the client reports to the server.
+    local_steps / batch_size:
+        Local-training workload determining the true cost.
+    rng:
+        Private generator for strategy randomness and harvesting.
+    delivery_reliability:
+        Probability that a won round's update actually reaches the server
+        (connectivity loss, app killed mid-upload).  Payments are
+        pay-on-delivery: a failed winner drains its battery (the work
+        happened) but is not paid.
+    """
+
+    client_id: int
+    cost_model: LinearCostModel
+    strategy: BiddingStrategy
+    declared_size: int
+    declared_quality: float
+    local_steps: int
+    batch_size: int
+    rng: np.random.Generator
+    battery: Battery | None = None
+    harvest: HarvestProcess | None = None
+    delivery_reliability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.delivery_reliability <= 1.0:
+            raise ValueError(
+                f"delivery_reliability must be in [0, 1], got "
+                f"{self.delivery_reliability}"
+            )
+
+    def attempt_delivery(self) -> bool:
+        """Whether this round's won update reaches the server."""
+        if self.delivery_reliability >= 1.0:
+            return True
+        return bool(self.rng.random() < self.delivery_reliability)
+
+    def true_cost(self) -> float:
+        """The client's actual cost of participating in one round."""
+        return self.cost_model.round_cost(
+            local_steps=self.local_steps, batch_size=self.batch_size
+        )
+
+    @property
+    def energy_per_round(self) -> float:
+        """Battery units one round drains."""
+        return self.cost_model.profile.energy_per_round
+
+    def is_available(self) -> bool:
+        """Whether the client has enough energy to participate right now."""
+        if self.battery is None:
+            return True
+        return self.battery.can_afford(self.energy_per_round)
+
+    def make_bid(self, round_index: int) -> Bid:
+        """Form this round's sealed bid via the bidding strategy."""
+        context = BidContext(round_index=round_index, true_cost=self.true_cost())
+        amount = self.strategy.bid(context, self.rng)
+        return Bid(
+            client_id=self.client_id,
+            cost=max(float(amount), 0.0),
+            data_size=self.declared_size,
+            quality=self.declared_quality,
+        )
+
+    def post_round(
+        self, round_index: int, *, selected: bool, payment: float
+    ) -> None:
+        """Apply one round's consequences: drain, harvest, learn.
+
+        Called once per round for every client (selected or not).
+        """
+        if self.battery is not None:
+            if selected:
+                self.battery.drain(min(self.energy_per_round, self.battery.level))
+            if self.harvest is not None:
+                self.battery.charge(self.harvest.step(round_index, self.rng))
+        context = BidContext(round_index=round_index, true_cost=self.true_cost())
+        self.strategy.observe(context, selected=selected, payment=payment)
+
+    def reset(self) -> None:
+        """Reset learning state (battery/harvest state is rebuilt by scenarios)."""
+        self.strategy.reset()
+        if self.harvest is not None:
+            self.harvest.reset()
+
+
+def _default_harvest(kind: str, energy_per_round: float, rng: np.random.Generator) -> HarvestProcess:
+    """A harvest process whose mean rate is a random multiple of the demand.
+
+    The multiple spans under-provisioned (0.3x: the client can sustain at
+    most ~30 % participation) through comfortable (1.5x), which is exactly
+    the heterogeneity the sustainability experiments need.
+    """
+    sustain = float(rng.uniform(0.3, 1.5)) * energy_per_round
+    if kind == "bernoulli":
+        rate = float(rng.uniform(0.3, 0.9))
+        return BernoulliHarvest(rate=rate, amount=sustain / rate)
+    if kind == "markov":
+        p_on_off = float(rng.uniform(0.1, 0.4))
+        p_off_on = float(rng.uniform(0.1, 0.4))
+        stationary_on = p_off_on / (p_off_on + p_on_off)
+        return MarkovOnOffHarvest(
+            amount=sustain / stationary_on, p_on_off=p_on_off, p_off_on=p_off_on
+        )
+    if kind == "diurnal":
+        period = int(rng.integers(20, 60))
+        return DiurnalHarvest(
+            peak=sustain * np.pi, period=period, phase=float(rng.uniform()), noise=0.05 * sustain
+        )
+    raise ValueError(f"unknown harvest kind {kind!r}")
+
+
+def build_population(
+    num_clients: int,
+    *,
+    seed: int,
+    declared_sizes: list[int] | None = None,
+    declared_qualities: list[float] | None = None,
+    strategy_factory=None,
+    local_steps: int = 5,
+    batch_size: int = 32,
+    energy_constrained: bool = True,
+    harvest_kinds: tuple[str, ...] = ("bernoulli", "markov", "diurnal"),
+    class_weights: dict[str, float] | None = None,
+    delivery_reliability_range: tuple[float, float] = (1.0, 1.0),
+) -> list[EconomicClient]:
+    """Construct a heterogeneous economic population.
+
+    Parameters
+    ----------
+    num_clients:
+        Population size.
+    seed:
+        Root seed; the population is fully reproducible from it.
+    declared_sizes / declared_qualities:
+        Per-client data declarations; default to a lognormal size spread and
+        quality 1.  When FL is attached, scenarios overwrite these with the
+        actual shard statistics.
+    strategy_factory:
+        ``(client_id, rng) -> BiddingStrategy``; defaults to truthful.
+    energy_constrained:
+        When False, clients are mains-powered (always available).
+    harvest_kinds:
+        The cycle of harvest-process kinds assigned round-robin.
+    class_weights:
+        Device-class mix forwarded to
+        :func:`repro.economics.cost_models.sample_cost_profiles`.
+    delivery_reliability_range:
+        Per-client delivery reliability drawn uniformly from this range
+        (default: perfectly reliable).
+    """
+    tree = RngTree(seed)
+    population_rng = tree.generator("population")
+    profiles: list[CostProfile] = sample_cost_profiles(
+        num_clients, population_rng, class_weights=class_weights
+    )
+    if declared_sizes is None:
+        declared_sizes = [
+            int(np.clip(population_rng.lognormal(4.0, 0.6), 20, 2000))
+            for _ in range(num_clients)
+        ]
+    if declared_qualities is None:
+        declared_qualities = [1.0] * num_clients
+    if len(declared_sizes) != num_clients or len(declared_qualities) != num_clients:
+        raise ValueError("declared data lists must have one entry per client")
+    if strategy_factory is None:
+        strategy_factory = lambda client_id, rng: TruthfulStrategy()  # noqa: E731
+
+    clients = []
+    for client_id in range(num_clients):
+        client_rng = tree.generator(f"clients/{client_id}")
+        battery = harvest = None
+        if energy_constrained:
+            energy = profiles[client_id].energy_per_round
+            battery = Battery(capacity=energy * float(population_rng.uniform(3.0, 8.0)))
+            kind = harvest_kinds[client_id % len(harvest_kinds)]
+            harvest = _default_harvest(kind, energy, population_rng)
+        clients.append(
+            EconomicClient(
+                client_id=client_id,
+                cost_model=LinearCostModel(profiles[client_id]),
+                strategy=strategy_factory(client_id, client_rng),
+                declared_size=declared_sizes[client_id],
+                declared_quality=float(declared_qualities[client_id]),
+                local_steps=local_steps,
+                batch_size=batch_size,
+                rng=client_rng,
+                battery=battery,
+                harvest=harvest,
+                delivery_reliability=float(
+                    population_rng.uniform(*delivery_reliability_range)
+                ),
+            )
+        )
+    return clients

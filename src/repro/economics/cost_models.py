@@ -1,0 +1,130 @@
+"""Client cost models: what one round of participation truly costs.
+
+A client's per-round cost has two parts — compute (proportional to the
+number of sample-gradient evaluations the local phase performs, scaled by
+the device's efficiency) and communication (uploading the model update).
+Costs are denominated in the same monetary unit as bids and payments; the
+battery impact of a round is tracked separately (in energy units) by
+:mod:`repro.economics.energy`.
+
+Heterogeneity across the population comes from device classes (think
+flagship phone vs. five-year-old budget phone vs. plugged-in edge box);
+:func:`sample_cost_profiles` draws a mixed population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["CostProfile", "LinearCostModel", "DEVICE_CLASSES", "sample_cost_profiles"]
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Per-device cost/energy coefficients.
+
+    Attributes
+    ----------
+    compute_unit_cost:
+        Money per sample-gradient evaluation.
+    upload_cost:
+        Money per round for transmitting the update.
+    energy_per_round:
+        Battery units one round of participation drains.
+    device_class:
+        Label of the originating device class (for reporting).
+    """
+
+    compute_unit_cost: float
+    upload_cost: float
+    energy_per_round: float
+    device_class: str = "generic"
+
+    def __post_init__(self) -> None:
+        check_non_negative("compute_unit_cost", self.compute_unit_cost)
+        check_non_negative("upload_cost", self.upload_cost)
+        check_non_negative("energy_per_round", self.energy_per_round)
+
+
+class LinearCostModel:
+    """True round cost = compute work x unit cost + upload cost.
+
+    The compute work of one FedAvg local phase is
+    ``local_steps * batch_size`` sample-gradient evaluations.
+    """
+
+    def __init__(self, profile: CostProfile) -> None:
+        self.profile = profile
+
+    def round_cost(self, *, local_steps: int, batch_size: int) -> float:
+        """Money cost of one round of local training plus upload."""
+        if local_steps <= 0 or batch_size <= 0:
+            raise ValueError("local_steps and batch_size must be > 0")
+        work = local_steps * batch_size
+        return self.profile.compute_unit_cost * work + self.profile.upload_cost
+
+    def __repr__(self) -> str:
+        return f"LinearCostModel(profile={self.profile!r})"
+
+
+#: Canonical device classes: (label, compute-unit-cost range, upload-cost
+#: range, energy-per-round range).  Budget devices cost *more* per unit of
+#: work (slower, less efficient silicon) and drain more battery.
+DEVICE_CLASSES: dict[str, dict[str, tuple[float, float]]] = {
+    "edge-box": {
+        "compute_unit_cost": (0.0008, 0.0015),
+        "upload_cost": (0.02, 0.05),
+        "energy_per_round": (0.2, 0.5),
+    },
+    "flagship-phone": {
+        "compute_unit_cost": (0.0015, 0.003),
+        "upload_cost": (0.05, 0.12),
+        "energy_per_round": (0.6, 1.0),
+    },
+    "budget-phone": {
+        "compute_unit_cost": (0.003, 0.006),
+        "upload_cost": (0.08, 0.2),
+        "energy_per_round": (1.0, 1.8),
+    },
+}
+
+
+def sample_cost_profiles(
+    num_clients: int,
+    rng: np.random.Generator,
+    *,
+    class_weights: dict[str, float] | None = None,
+) -> list[CostProfile]:
+    """Draw a heterogeneous population of cost profiles.
+
+    ``class_weights`` sets the device-class mix (defaults to uniform over
+    :data:`DEVICE_CLASSES`).
+    """
+    if num_clients <= 0:
+        raise ValueError(f"num_clients must be > 0, got {num_clients}")
+    if class_weights is None:
+        class_weights = {name: 1.0 for name in DEVICE_CLASSES}
+    unknown = set(class_weights) - set(DEVICE_CLASSES)
+    if unknown:
+        raise ValueError(f"unknown device classes {sorted(unknown)}")
+    names = sorted(class_weights)
+    weights = np.array([check_positive(f"class_weights[{n}]", class_weights[n]) for n in names])
+    weights = weights / weights.sum()
+
+    profiles = []
+    for _ in range(num_clients):
+        name = names[int(rng.choice(len(names), p=weights))]
+        ranges = DEVICE_CLASSES[name]
+        profiles.append(
+            CostProfile(
+                compute_unit_cost=float(rng.uniform(*ranges["compute_unit_cost"])),
+                upload_cost=float(rng.uniform(*ranges["upload_cost"])),
+                energy_per_round=float(rng.uniform(*ranges["energy_per_round"])),
+                device_class=name,
+            )
+        )
+    return profiles

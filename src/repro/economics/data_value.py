@@ -1,0 +1,36 @@
+"""Declared data-profile statistics.
+
+Clients declare two quantities the server's valuation consumes: their sample
+count and a *quality* score.  Quality here is normalised label entropy —
+a client holding a balanced slice of all classes scores 1, a single-class
+client scores 0 — which correlates with how much a client's update helps a
+global model under label-skewed non-IID partitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["label_entropy", "data_quality"]
+
+
+def label_entropy(labels: np.ndarray, num_classes: int) -> float:
+    """Shannon entropy (nats) of the empirical label distribution."""
+    labels = np.asarray(labels, dtype=int)
+    if labels.size == 0:
+        return 0.0
+    counts = np.bincount(labels, minlength=num_classes).astype(float)
+    probabilities = counts / counts.sum()
+    nonzero = probabilities[probabilities > 0]
+    return float(-(nonzero * np.log(nonzero)).sum())
+
+
+def data_quality(labels: np.ndarray, num_classes: int) -> float:
+    """Normalised label entropy in ``[0, 1]``.
+
+    1 means a perfectly balanced shard, 0 a single-class shard.  This is the
+    default declared ``quality`` in the simulator.
+    """
+    if num_classes <= 1:
+        raise ValueError(f"num_classes must be > 1, got {num_classes}")
+    return label_entropy(labels, num_classes) / float(np.log(num_classes))

@@ -1,0 +1,191 @@
+"""Batteries and ambient-energy harvesting.
+
+Sustainability experiments need devices whose *availability* is gated by
+energy: a client can only bid when its battery holds enough charge for one
+round, participation drains the battery, and charge trickles back in from a
+stochastic harvesting process.  Three harvest processes cover the regimes
+the energy-harvesting literature distinguishes (see DESIGN.md
+substitutions — these replace proprietary device traces):
+
+* :class:`BernoulliHarvest` — memoryless arrivals (ambient RF),
+* :class:`MarkovOnOffHarvest` — bursty arrivals (kinetic/motion),
+* :class:`DiurnalHarvest` — periodic arrivals (solar day/night cycle).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive, check_probability
+
+__all__ = [
+    "Battery",
+    "HarvestProcess",
+    "BernoulliHarvest",
+    "MarkovOnOffHarvest",
+    "DiurnalHarvest",
+]
+
+
+class Battery:
+    """A finite energy store with clipped charge and checked drain."""
+
+    def __init__(self, capacity: float, initial: float | None = None) -> None:
+        self.capacity = check_positive("capacity", capacity)
+        level = self.capacity if initial is None else check_non_negative("initial", initial)
+        if level > self.capacity:
+            raise ValueError(f"initial {level} exceeds capacity {self.capacity}")
+        self._level = level
+
+    @property
+    def level(self) -> float:
+        """Current charge in ``[0, capacity]``."""
+        return self._level
+
+    @property
+    def fraction(self) -> float:
+        """Charge as a fraction of capacity."""
+        return self._level / self.capacity
+
+    def can_afford(self, amount: float) -> bool:
+        """Whether draining ``amount`` is possible right now."""
+        return self._level >= check_non_negative("amount", amount) - 1e-12
+
+    def drain(self, amount: float) -> None:
+        """Remove ``amount`` of charge; raises if insufficient."""
+        if not self.can_afford(amount):
+            raise ValueError(
+                f"cannot drain {amount:.4g} from battery at {self._level:.4g}"
+            )
+        self._level = max(self._level - amount, 0.0)
+
+    def charge(self, amount: float) -> float:
+        """Add ``amount`` (clipped at capacity); returns energy actually stored."""
+        check_non_negative("amount", amount)
+        stored = min(amount, self.capacity - self._level)
+        self._level += stored
+        return stored
+
+    def __repr__(self) -> str:
+        return f"Battery(level={self._level:.3g}/{self.capacity:.3g})"
+
+
+class HarvestProcess(ABC):
+    """One round's worth of harvested energy, drawn per round."""
+
+    @abstractmethod
+    def step(self, round_index: int, rng: np.random.Generator) -> float:
+        """Energy harvested during round ``round_index`` (>= 0)."""
+
+    def mean_rate(self) -> float:
+        """Long-run average energy per round (used for feasibility checks)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Reset any internal state (Markov processes)."""
+
+
+class BernoulliHarvest(HarvestProcess):
+    """Memoryless: each round, harvest ``amount`` with probability ``rate``."""
+
+    def __init__(self, rate: float, amount: float) -> None:
+        self.rate = check_probability("rate", rate)
+        self.amount = check_non_negative("amount", amount)
+
+    def step(self, round_index: int, rng: np.random.Generator) -> float:
+        return self.amount if rng.random() < self.rate else 0.0
+
+    def mean_rate(self) -> float:
+        return self.rate * self.amount
+
+    def __repr__(self) -> str:
+        return f"BernoulliHarvest(rate={self.rate}, amount={self.amount})"
+
+
+class MarkovOnOffHarvest(HarvestProcess):
+    """Bursty two-state process: harvest ``amount`` per round while *on*.
+
+    Transition probabilities: ``p_on_off`` (on -> off) and ``p_off_on``
+    (off -> on); the stationary on-probability is
+    ``p_off_on / (p_off_on + p_on_off)``.
+    """
+
+    def __init__(
+        self,
+        amount: float,
+        p_on_off: float,
+        p_off_on: float,
+        *,
+        start_on: bool = False,
+    ) -> None:
+        self.amount = check_non_negative("amount", amount)
+        self.p_on_off = check_probability("p_on_off", p_on_off)
+        self.p_off_on = check_probability("p_off_on", p_off_on)
+        if self.p_on_off + self.p_off_on == 0:
+            raise ValueError("p_on_off and p_off_on cannot both be 0")
+        self._start_on = bool(start_on)
+        self._on = self._start_on
+
+    def step(self, round_index: int, rng: np.random.Generator) -> float:
+        if self._on:
+            if rng.random() < self.p_on_off:
+                self._on = False
+        else:
+            if rng.random() < self.p_off_on:
+                self._on = True
+        return self.amount if self._on else 0.0
+
+    def mean_rate(self) -> float:
+        stationary_on = self.p_off_on / (self.p_off_on + self.p_on_off)
+        return stationary_on * self.amount
+
+    def reset(self) -> None:
+        self._on = self._start_on
+
+    def __repr__(self) -> str:
+        return (
+            f"MarkovOnOffHarvest(amount={self.amount}, "
+            f"p_on_off={self.p_on_off}, p_off_on={self.p_off_on})"
+        )
+
+
+class DiurnalHarvest(HarvestProcess):
+    """Solar-style periodic harvest: a clipped sinusoid plus optional noise.
+
+    ``harvest(t) = max(0, peak * sin(2*pi*(t/period + phase))) + noise`` with
+    the noise term truncated at zero.
+    """
+
+    def __init__(
+        self,
+        peak: float,
+        period: int,
+        *,
+        phase: float = 0.0,
+        noise: float = 0.0,
+    ) -> None:
+        self.peak = check_non_negative("peak", peak)
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        self.period = int(period)
+        self.phase = float(phase)
+        self.noise = check_non_negative("noise", noise)
+
+    def step(self, round_index: int, rng: np.random.Generator) -> float:
+        base = self.peak * np.sin(2 * np.pi * (round_index / self.period + self.phase))
+        base = max(base, 0.0)
+        if self.noise > 0:
+            base = max(base + rng.normal(0.0, self.noise), 0.0)
+        return float(base)
+
+    def mean_rate(self) -> float:
+        # Average of max(0, sin) over a full period is 1/pi.
+        return self.peak / np.pi
+
+    def __repr__(self) -> str:
+        return (
+            f"DiurnalHarvest(peak={self.peak}, period={self.period}, "
+            f"phase={self.phase}, noise={self.noise})"
+        )

@@ -1,0 +1,114 @@
+"""Federated-learning substrate: models, data, clients, server, training loop.
+
+Everything here is implemented from scratch on numpy — no external ML
+framework.  The substrate is deliberately framework-shaped: models expose
+flat parameter vectors, clients run local SGD and return deltas, the server
+aggregates with pluggable rules, and :class:`~repro.fl.trainer.FederatedTrainer`
+runs the synchronous FedAvg loop with an arbitrary participation policy
+(which is how the auction mechanisms plug in).
+"""
+
+from repro.fl.aggregation import (
+    coordinate_median,
+    stack_updates,
+    trimmed_mean,
+    weighted_mean,
+)
+from repro.fl.attacks import (
+    GaussianNoiseClient,
+    LabelFlippingClient,
+    UpdateScalingClient,
+)
+from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.cnn import TinyConvNet
+from repro.fl.compression import Compressor, qsgd_quantize, top_k_sparsify
+from repro.fl.evaluation import (
+    confusion_matrix,
+    evaluate_model,
+    macro_accuracy,
+    per_class_accuracy,
+    worst_class_accuracy,
+)
+from repro.fl.fedprox import FedProxClient
+from repro.fl.hierarchical import HierarchicalAggregator, hierarchical_mean
+from repro.fl.datasets import (
+    Dataset,
+    make_gaussian_mixture,
+    make_rotated_client_images,
+    make_sensor_streams,
+    make_synthetic_images,
+    make_two_spirals,
+    train_test_split,
+)
+from repro.fl.linear import SoftmaxRegression
+from repro.fl.metrics import RoundMetrics, TrainingHistory
+from repro.fl.mlp import MLPClassifier
+from repro.fl.model import Model
+from repro.fl.optimizer import SGD, Adam, Optimizer
+from repro.fl.partition import (
+    dirichlet_partition,
+    iid_partition,
+    partition_label_histograms,
+    quantity_skew_partition,
+    shard_partition,
+)
+from repro.fl.server import FLServer
+from repro.fl.server_optimizer import ServerAdam, ServerOptimizer, ServerSGD
+from repro.fl.trainer import (
+    FederatedTrainer,
+    ParticipationPolicy,
+    all_clients_policy,
+    uniform_sampling_policy,
+)
+
+__all__ = [
+    "Adam",
+    "ClientUpdate",
+    "Compressor",
+    "FedProxClient",
+    "GaussianNoiseClient",
+    "HierarchicalAggregator",
+    "LabelFlippingClient",
+    "hierarchical_mean",
+    "ServerAdam",
+    "ServerOptimizer",
+    "ServerSGD",
+    "UpdateScalingClient",
+    "all_clients_policy",
+    "confusion_matrix",
+    "evaluate_model",
+    "macro_accuracy",
+    "per_class_accuracy",
+    "qsgd_quantize",
+    "worst_class_accuracy",
+    "top_k_sparsify",
+    "uniform_sampling_policy",
+    "Dataset",
+    "FLClient",
+    "FLServer",
+    "FederatedTrainer",
+    "MLPClassifier",
+    "Model",
+    "Optimizer",
+    "ParticipationPolicy",
+    "RoundMetrics",
+    "SGD",
+    "SoftmaxRegression",
+    "TinyConvNet",
+    "TrainingHistory",
+    "coordinate_median",
+    "dirichlet_partition",
+    "iid_partition",
+    "make_gaussian_mixture",
+    "make_rotated_client_images",
+    "make_sensor_streams",
+    "make_synthetic_images",
+    "make_two_spirals",
+    "partition_label_histograms",
+    "quantity_skew_partition",
+    "shard_partition",
+    "stack_updates",
+    "train_test_split",
+    "trimmed_mean",
+    "weighted_mean",
+]

@@ -1,0 +1,70 @@
+"""Server-side aggregation rules.
+
+All rules operate on a stack of client update vectors (``(m, p)`` array for
+``m`` participants) plus per-client weights, and return the aggregated
+``(p,)`` vector.  FedAvg is :func:`weighted_mean` with data-size weights;
+:func:`trimmed_mean` and :func:`coordinate_median` are the standard robust
+alternatives used in the robustness ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["stack_updates", "weighted_mean", "trimmed_mean", "coordinate_median"]
+
+
+def stack_updates(updates: list[np.ndarray]) -> np.ndarray:
+    """Stack equally shaped 1-D update vectors into an ``(m, p)`` matrix."""
+    if not updates:
+        raise ValueError("cannot aggregate zero updates")
+    stacked = np.stack([np.asarray(u, dtype=float) for u in updates])
+    if stacked.ndim != 2:
+        raise ValueError(f"updates must be 1-D vectors, got stacked {stacked.shape}")
+    return stacked
+
+
+def _normalise_weights(weights: np.ndarray, count: int) -> np.ndarray:
+    weights = np.asarray(weights, dtype=float)
+    if weights.shape != (count,):
+        raise ValueError(f"expected {count} weights, got shape {weights.shape}")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    return weights / total
+
+
+def weighted_mean(stacked: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """FedAvg: convex combination with the given (normalised) weights."""
+    weights = _normalise_weights(weights, stacked.shape[0])
+    return weights @ stacked
+
+
+def trimmed_mean(
+    stacked: np.ndarray, weights: np.ndarray, *, trim_fraction: float = 0.1
+) -> np.ndarray:
+    """Coordinate-wise trimmed mean (weights ignored inside the trim).
+
+    Per coordinate, the lowest and highest ``trim_fraction`` of values are
+    removed and the rest averaged uniformly.  With fewer than 3 participants
+    this degrades gracefully to the plain mean.
+    """
+    if not 0.0 <= trim_fraction < 0.5:
+        raise ValueError(f"trim_fraction must be in [0, 0.5), got {trim_fraction}")
+    _normalise_weights(weights, stacked.shape[0])  # validation only
+    m = stacked.shape[0]
+    k = int(np.floor(m * trim_fraction))
+    if m - 2 * k < 1:
+        k = 0
+    if k == 0:
+        return stacked.mean(axis=0)
+    ordered = np.sort(stacked, axis=0)
+    return ordered[k : m - k].mean(axis=0)
+
+
+def coordinate_median(stacked: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Coordinate-wise median (weights validated but not used)."""
+    _normalise_weights(weights, stacked.shape[0])
+    return np.median(stacked, axis=0)

@@ -1,0 +1,87 @@
+"""Byzantine client behaviours for robustness experiments.
+
+An incentive mechanism recruits *whoever bids well* — including compromised
+devices.  These wrappers turn any FL client Byzantine so the robustness
+ablation can measure how far robust aggregation (trimmed mean, coordinate
+median) protects auction-driven training:
+
+* :class:`LabelFlippingClient` — trains on permuted labels (a data-poisoning
+  client whose updates point away from the truth),
+* :class:`UpdateScalingClient` — multiplies its honest update by a factor
+  (e.g. -5: a model-replacement style attack),
+* :class:`GaussianNoiseClient` — submits pure noise of a chosen magnitude.
+
+All wrappers preserve the :class:`~repro.fl.client.FLClient` interface, so
+they drop into the trainer/simulator unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fl.client import ClientUpdate, FLClient
+from repro.utils.validation import check_finite, check_positive
+
+__all__ = ["LabelFlippingClient", "UpdateScalingClient", "GaussianNoiseClient"]
+
+
+class LabelFlippingClient(FLClient):
+    """Trains honestly — on a fixed random permutation of the label space."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        permutation = self.rng.permutation(self.dataset.num_classes)
+        # Ensure the permutation actually moves labels.
+        while np.all(permutation == np.arange(self.dataset.num_classes)):
+            permutation = self.rng.permutation(self.dataset.num_classes)
+        flipped = self.dataset.subset(np.arange(self.dataset.num_samples))
+        flipped.labels[:] = permutation[flipped.labels]
+        self.dataset = flipped
+
+    def __repr__(self) -> str:
+        return f"LabelFlippingClient(id={self.client_id})"
+
+
+class UpdateScalingClient(FLClient):
+    """Computes an honest update, then scales it by ``scale``.
+
+    ``scale = -5`` approximates a model-replacement attack; ``scale = 100``
+    a blow-up attack.
+    """
+
+    def __init__(self, *args, scale: float = -5.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.scale = check_finite("scale", scale)
+
+    def train(self, global_params: np.ndarray) -> ClientUpdate:
+        update = super().train(global_params)
+        return ClientUpdate(
+            client_id=update.client_id,
+            delta=update.delta * self.scale,
+            num_samples=update.num_samples,
+            final_loss=update.final_loss,
+        )
+
+    def __repr__(self) -> str:
+        return f"UpdateScalingClient(id={self.client_id}, scale={self.scale})"
+
+
+class GaussianNoiseClient(FLClient):
+    """Ignores its data entirely and submits Gaussian noise."""
+
+    def __init__(self, *args, noise_scale: float = 1.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.noise_scale = check_positive("noise_scale", noise_scale)
+
+    def train(self, global_params: np.ndarray) -> ClientUpdate:
+        global_params = np.asarray(global_params, dtype=float)
+        delta = self.rng.normal(0.0, self.noise_scale, size=global_params.shape)
+        return ClientUpdate(
+            client_id=self.client_id,
+            delta=delta,
+            num_samples=self.num_samples,
+            final_loss=float("nan"),
+        )
+
+    def __repr__(self) -> str:
+        return f"GaussianNoiseClient(id={self.client_id}, noise_scale={self.noise_scale})"

@@ -1,0 +1,148 @@
+"""Federated-learning client: local training on a private shard.
+
+A client owns a private :class:`~repro.fl.datasets.Dataset` shard, a model
+instance of the global architecture, and an optimizer.  One call to
+:meth:`FLClient.train` performs the standard FedAvg local phase: load the
+global parameters, run ``local_steps`` minibatch-SGD steps, and return the
+parameter *delta* plus bookkeeping (sample count, final local loss).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fl.datasets import Dataset
+from repro.fl.model import Model
+from repro.fl.optimizer import Optimizer
+
+__all__ = ["ClientUpdate", "FLClient"]
+
+
+@dataclass(frozen=True)
+class ClientUpdate:
+    """Result of one local-training phase.
+
+    Attributes
+    ----------
+    client_id:
+        Producing client.
+    delta:
+        ``local_params - global_params`` after local training.
+    num_samples:
+        Size of the client's shard (the FedAvg aggregation weight).
+    final_loss:
+        Minibatch loss at the last local step (diagnostic).
+    """
+
+    client_id: int
+    delta: np.ndarray
+    num_samples: int
+    final_loss: float
+
+
+class FLClient:
+    """One federated client.
+
+    Parameters
+    ----------
+    client_id:
+        Stable identity.
+    dataset:
+        The client's private shard.
+    model:
+        A model instance with the global architecture (exclusively owned by
+        this client; its parameters are overwritten every round).
+    optimizer_factory:
+        Zero-argument callable producing a fresh optimizer; a new optimizer
+        is created for every round so local state never leaks across rounds
+        (matching synchronous FedAvg).
+    local_steps:
+        Number of minibatch SGD steps per round.
+    batch_size:
+        Minibatch size (capped at the shard size).
+    rng:
+        Private random generator for minibatch sampling.
+    compressor:
+        Optional :class:`repro.fl.compression.Compressor` applied to the
+        update delta before upload (lossy; models bandwidth-limited
+        clients).
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: Dataset,
+        model: Model,
+        optimizer_factory: Callable[[], Optimizer],
+        *,
+        local_steps: int = 5,
+        batch_size: int = 32,
+        rng: np.random.Generator,
+        compressor=None,
+    ) -> None:
+        if dataset.num_samples == 0:
+            raise ValueError(f"client {client_id} has an empty shard")
+        if local_steps <= 0:
+            raise ValueError(f"local_steps must be > 0, got {local_steps}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be > 0, got {batch_size}")
+        self.client_id = int(client_id)
+        self.dataset = dataset
+        self.model = model
+        self.optimizer_factory = optimizer_factory
+        self.local_steps = int(local_steps)
+        self.batch_size = min(int(batch_size), dataset.num_samples)
+        self.rng = rng
+        self.compressor = compressor
+
+    @property
+    def num_samples(self) -> int:
+        """Size of the client's local shard."""
+        return self.dataset.num_samples
+
+    def _sample_batch(self) -> tuple[np.ndarray, np.ndarray]:
+        indices = self.rng.choice(
+            self.dataset.num_samples, size=self.batch_size, replace=False
+        )
+        return self.dataset.features[indices], self.dataset.labels[indices]
+
+    def train(self, global_params: np.ndarray) -> ClientUpdate:
+        """Run the local phase from ``global_params`` and return the delta."""
+        global_params = np.asarray(global_params, dtype=float)
+        self.model.set_params(global_params)
+        optimizer = self.optimizer_factory()
+
+        params = self.model.get_params()
+        loss = 0.0
+        for _ in range(self.local_steps):
+            features, labels = self._sample_batch()
+            self.model.set_params(params)
+            loss, grad = self.model.loss_and_grad(features, labels)
+            params = optimizer.step(params, grad)
+        self.model.set_params(params)
+
+        delta = params - global_params
+        if self.compressor is not None:
+            delta = self.compressor.compress(delta)
+        return ClientUpdate(
+            client_id=self.client_id,
+            delta=delta,
+            num_samples=self.num_samples,
+            final_loss=float(loss),
+        )
+
+    def evaluate(self, params: np.ndarray) -> tuple[float, float]:
+        """(loss, accuracy) of the given parameters on the local shard."""
+        self.model.set_params(np.asarray(params, dtype=float))
+        loss = self.model.loss(self.dataset.features, self.dataset.labels)
+        accuracy = self.model.accuracy(self.dataset.features, self.dataset.labels)
+        return float(loss), float(accuracy)
+
+    def __repr__(self) -> str:
+        return (
+            f"FLClient(id={self.client_id}, samples={self.num_samples}, "
+            f"local_steps={self.local_steps}, batch_size={self.batch_size})"
+        )

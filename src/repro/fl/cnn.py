@@ -1,0 +1,214 @@
+"""A tiny convolutional network with manual backprop (im2col based).
+
+Architecture: ``conv(3x3, F filters, valid) -> ReLU -> maxpool(2x2) ->
+dense -> softmax``.  Designed for the small synthetic image datasets
+(8x8 / 10x10 grayscale) so that the CNN-based experiments finish in seconds
+on a laptop while still exercising a genuinely non-linear, weight-shared
+model — the substitute for the paper family's usual small CNN on
+MNIST/CIFAR (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fl.model import Model, cross_entropy, one_hot, softmax
+from repro.utils.validation import check_non_negative
+
+__all__ = ["TinyConvNet"]
+
+
+def _im2col(images: np.ndarray, kernel: int) -> np.ndarray:
+    """Extract all kernel x kernel patches: (n, H, W) -> (n, oh*ow, kernel*kernel)."""
+    n, height, width = images.shape
+    out_h = height - kernel + 1
+    out_w = width - kernel + 1
+    strides = images.strides
+    patches = np.lib.stride_tricks.as_strided(
+        images,
+        shape=(n, out_h, out_w, kernel, kernel),
+        strides=(strides[0], strides[1], strides[2], strides[1], strides[2]),
+        writeable=False,
+    )
+    return patches.reshape(n, out_h * out_w, kernel * kernel)
+
+
+class TinyConvNet(Model):
+    """Single conv layer + ReLU + 2x2 max-pool + dense softmax head.
+
+    Parameters
+    ----------
+    image_shape:
+        ``(height, width)`` of the grayscale input; both must be at least
+        ``kernel + 1`` and the post-conv size must be even for the 2x2 pool.
+    num_classes:
+        Output classes.
+    num_filters:
+        Number of conv filters.
+    kernel:
+        Conv kernel side length (default 3).
+    l2:
+        L2 penalty on conv and dense weights.
+    seed:
+        Initialisation seed.
+    """
+
+    def __init__(
+        self,
+        image_shape: tuple[int, int],
+        num_classes: int,
+        *,
+        num_filters: int = 8,
+        kernel: int = 3,
+        l2: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        height, width = image_shape
+        out_h, out_w = height - kernel + 1, width - kernel + 1
+        if out_h < 2 or out_w < 2:
+            raise ValueError(f"image {image_shape} too small for kernel {kernel}")
+        if out_h % 2 or out_w % 2:
+            raise ValueError(
+                f"post-conv size ({out_h}x{out_w}) must be even for 2x2 pooling; "
+                f"pick image/kernel sizes accordingly"
+            )
+        if num_classes <= 1 or num_filters <= 0:
+            raise ValueError("need num_classes > 1 and num_filters > 0")
+        self.image_shape = (int(height), int(width))
+        self.num_classes = int(num_classes)
+        self.num_filters = int(num_filters)
+        self.kernel = int(kernel)
+        self.l2 = check_non_negative("l2", l2)
+        self._conv_out = (out_h, out_w)
+        self._pool_out = (out_h // 2, out_w // 2)
+        dense_in = self.num_filters * self._pool_out[0] * self._pool_out[1]
+
+        rng = np.random.default_rng(seed)
+        self.conv_w = rng.normal(
+            0.0, np.sqrt(2.0 / (kernel * kernel)), size=(num_filters, kernel * kernel)
+        )
+        self.conv_b = np.zeros(num_filters)
+        self.dense_w = rng.normal(0.0, np.sqrt(2.0 / dense_in), size=(dense_in, num_classes))
+        self.dense_b = np.zeros(num_classes)
+
+    @property
+    def num_params(self) -> int:
+        return (
+            self.conv_w.size + self.conv_b.size + self.dense_w.size + self.dense_b.size
+        )
+
+    def get_params(self) -> np.ndarray:
+        return np.concatenate(
+            [self.conv_w.ravel(), self.conv_b, self.dense_w.ravel(), self.dense_b]
+        ).astype(float)
+
+    def set_params(self, flat: np.ndarray) -> None:
+        flat = self._check_flat(flat)
+        offset = 0
+        for attr in ("conv_w", "conv_b", "dense_w", "dense_b"):
+            current = getattr(self, attr)
+            setattr(self, attr, flat[offset : offset + current.size].reshape(current.shape).copy())
+            offset += current.size
+
+    def _reshape_images(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=float)
+        height, width = self.image_shape
+        if features.ndim == 2:
+            if features.shape[1] != height * width:
+                raise ValueError(
+                    f"flat input of width {features.shape[1]} does not match "
+                    f"image shape {self.image_shape}"
+                )
+            return features.reshape(-1, height, width)
+        if features.ndim == 3 and features.shape[1:] == (height, width):
+            return features
+        raise ValueError(f"cannot interpret input of shape {features.shape}")
+
+    def _forward(self, features: np.ndarray) -> dict:
+        images = self._reshape_images(features)
+        n = images.shape[0]
+        out_h, out_w = self._conv_out
+        pool_h, pool_w = self._pool_out
+
+        columns = _im2col(images, self.kernel)  # (n, oh*ow, k*k)
+        conv = columns @ self.conv_w.T + self.conv_b  # (n, oh*ow, F)
+        conv = conv.reshape(n, out_h, out_w, self.num_filters)
+        relu_mask = conv > 0
+        activated = conv * relu_mask
+
+        # 2x2 max pool.
+        windows = activated.reshape(n, pool_h, 2, pool_w, 2, self.num_filters)
+        pooled = windows.max(axis=(2, 4))  # (n, ph, pw, F)
+        # argmax mask for backprop (ties broken toward the first max).
+        flat_windows = windows.transpose(0, 1, 3, 5, 2, 4).reshape(
+            n, pool_h, pool_w, self.num_filters, 4
+        )
+        argmax = flat_windows.argmax(axis=-1)
+
+        flat = pooled.reshape(n, -1)
+        logits = flat @ self.dense_w + self.dense_b
+        return {
+            "images": images,
+            "columns": columns,
+            "relu_mask": relu_mask,
+            "argmax": argmax,
+            "flat": flat,
+            "logits": logits,
+        }
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        return softmax(self._forward(features)["logits"])
+
+    def loss_and_grad(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        labels = np.asarray(labels, dtype=int)
+        cache = self._forward(features)
+        n = cache["images"].shape[0]
+        if n == 0:
+            return 0.0, np.zeros(self.num_params)
+        out_h, out_w = self._conv_out
+        pool_h, pool_w = self._pool_out
+
+        probabilities = softmax(cache["logits"])
+        loss = cross_entropy(probabilities, labels)
+        loss += 0.5 * self.l2 * (
+            float((self.conv_w**2).sum()) + float((self.dense_w**2).sum())
+        )
+
+        delta_logits = (probabilities - one_hot(labels, self.num_classes)) / n
+        grad_dense_w = cache["flat"].T @ delta_logits + self.l2 * self.dense_w
+        grad_dense_b = delta_logits.sum(axis=0)
+
+        delta_flat = delta_logits @ self.dense_w.T  # (n, ph*pw*F)
+        delta_pooled = delta_flat.reshape(n, pool_h, pool_w, self.num_filters)
+
+        # Un-pool: route gradient to the argmax position of each 2x2 window.
+        delta_windows = np.zeros((n, pool_h, pool_w, self.num_filters, 4))
+        np.put_along_axis(
+            delta_windows, cache["argmax"][..., None], delta_pooled[..., None], axis=-1
+        )
+        delta_act = (
+            delta_windows.reshape(n, pool_h, pool_w, self.num_filters, 2, 2)
+            .transpose(0, 1, 4, 2, 5, 3)
+            .reshape(n, out_h, out_w, self.num_filters)
+        )
+        delta_conv = delta_act * cache["relu_mask"]  # (n, oh, ow, F)
+        delta_conv = delta_conv.reshape(n, out_h * out_w, self.num_filters)
+
+        grad_conv_w = (
+            np.einsum("npf,npk->fk", delta_conv, cache["columns"])
+            + self.l2 * self.conv_w
+        )
+        grad_conv_b = delta_conv.sum(axis=(0, 1))
+
+        flat_grad = np.concatenate(
+            [grad_conv_w.ravel(), grad_conv_b, grad_dense_w.ravel(), grad_dense_b]
+        )
+        return loss, flat_grad
+
+    def __repr__(self) -> str:
+        return (
+            f"TinyConvNet(image_shape={self.image_shape}, "
+            f"num_classes={self.num_classes}, num_filters={self.num_filters})"
+        )

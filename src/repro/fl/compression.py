@@ -1,0 +1,120 @@
+"""Update compression: sparsification and stochastic quantization.
+
+Communication dominates the client-side cost model, so a deployment
+compresses uploads.  Two standard schemes are provided as pure functions on
+flat update vectors, plus a small composable :class:`Compressor` wrapper
+that tracks the achieved compression ratio:
+
+* :func:`top_k_sparsify` — keep the k largest-magnitude coordinates
+  (biased, high compression; the FL default),
+* :func:`qsgd_quantize` — QSGD-style stochastic uniform quantization to
+  ``2^bits`` levels per sign (unbiased: ``E[Q(x)] = x``).
+
+Both return dense vectors (the simulator has no wire format); the
+``nonzero_fraction`` / ``bits`` metadata is what the communication-cost
+accounting consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["top_k_sparsify", "qsgd_quantize", "Compressor"]
+
+
+def top_k_sparsify(vector: np.ndarray, k: int) -> np.ndarray:
+    """Zero all but the ``k`` largest-magnitude coordinates (copy)."""
+    vector = np.asarray(vector, dtype=float)
+    if k <= 0:
+        raise ValueError(f"k must be > 0, got {k}")
+    if k >= vector.size:
+        return vector.copy()
+    threshold_index = np.argpartition(np.abs(vector), vector.size - k)
+    sparse = np.zeros_like(vector)
+    keep = threshold_index[vector.size - k :]
+    sparse[keep] = vector[keep]
+    return sparse
+
+
+def qsgd_quantize(
+    vector: np.ndarray, bits: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Unbiased stochastic uniform quantization (QSGD, Alistarh et al. 2017).
+
+    Each coordinate is scaled by the vector norm, mapped to one of
+    ``s = 2^bits`` levels with probabilistic rounding, and rescaled, so
+    ``E[Q(x)] = x`` exactly.
+    """
+    vector = np.asarray(vector, dtype=float)
+    if bits <= 0 or bits > 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    norm = np.linalg.norm(vector)
+    if norm == 0:
+        return vector.copy()
+    levels = float(2**bits)
+    scaled = np.abs(vector) / norm * levels
+    floor = np.floor(scaled)
+    probability = scaled - floor
+    rounded = floor + (rng.random(vector.shape) < probability)
+    return np.sign(vector) * rounded * norm / levels
+
+
+class Compressor:
+    """Composable update compressor with compression-ratio accounting.
+
+    Parameters
+    ----------
+    top_k:
+        If set, apply top-k sparsification with this many kept coordinates.
+    bits:
+        If set, apply QSGD quantization at this bit width (after
+        sparsification when both are set).
+    rng:
+        Generator for stochastic rounding (required when ``bits`` is set).
+    """
+
+    def __init__(
+        self,
+        *,
+        top_k: int | None = None,
+        bits: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if top_k is None and bits is None:
+            raise ValueError("configure at least one of top_k or bits")
+        if top_k is not None:
+            check_positive("top_k", top_k)
+        if bits is not None and rng is None:
+            raise ValueError("quantization needs an rng for stochastic rounding")
+        self.top_k = top_k
+        self.bits = bits
+        self.rng = rng
+
+    def compress(self, vector: np.ndarray) -> np.ndarray:
+        """Apply the configured pipeline and return the compressed vector."""
+        out = np.asarray(vector, dtype=float)
+        if self.top_k is not None:
+            out = top_k_sparsify(out, int(self.top_k))
+        if self.bits is not None:
+            assert self.rng is not None
+            out = qsgd_quantize(out, int(self.bits), self.rng)
+        return out
+
+    def compression_ratio(self, size: int) -> float:
+        """Approximate uplink ratio vs. dense float64 transmission.
+
+        Sparsification sends (index, value) pairs for kept coordinates;
+        quantization sends ``bits + 1`` bits per (kept) coordinate plus the
+        norm.  This is the factor the communication-cost model divides by.
+        """
+        dense_bits = size * 64.0
+        kept = min(self.top_k, size) if self.top_k is not None else size
+        per_coord = (self.bits + 1.0) if self.bits is not None else 64.0
+        index_bits = 32.0 if self.top_k is not None and kept < size else 0.0
+        compressed = kept * (per_coord + index_bits) + 64.0
+        return dense_bits / compressed
+
+    def __repr__(self) -> str:
+        return f"Compressor(top_k={self.top_k}, bits={self.bits})"

@@ -1,0 +1,315 @@
+"""Synthetic dataset generators.
+
+The evaluation runs offline on a laptop, so real MNIST/CIFAR downloads are
+replaced by synthetic generators that preserve the properties the mechanism
+experiments depend on (see DESIGN.md substitutions):
+
+* many classes with controllable separability
+  (:func:`make_gaussian_mixture`),
+* an image-shaped task for the CNN (:func:`make_synthetic_images` builds
+  per-class smooth "digit templates" plus shifts and noise), and
+* a hard low-dimensional non-convex task (:func:`make_two_spirals`).
+
+All generators take an explicit :class:`numpy.random.Generator` so every
+experiment is reproducible from one seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Dataset",
+    "make_gaussian_mixture",
+    "make_rotated_client_images",
+    "make_sensor_streams",
+    "make_synthetic_images",
+    "make_two_spirals",
+    "train_test_split",
+]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An in-memory supervised dataset.
+
+    Attributes
+    ----------
+    features:
+        ``(n, d)`` float array (images are stored flattened).
+    labels:
+        ``(n,)`` integer class labels in ``[0, num_classes)``.
+    num_classes:
+        Number of classes.
+    image_shape:
+        ``(height, width)`` when features are flattened grayscale images,
+        else ``None``.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    image_shape: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {self.features.shape}")
+        if self.labels.shape != (self.features.shape[0],):
+            raise ValueError(
+                f"labels shape {self.labels.shape} does not match "
+                f"{self.features.shape[0]} samples"
+            )
+        if self.num_classes <= 1:
+            raise ValueError(f"num_classes must be > 1, got {self.num_classes}")
+        if self.labels.size and (
+            self.labels.min() < 0 or self.labels.max() >= self.num_classes
+        ):
+            raise ValueError("labels out of range")
+        if self.image_shape is not None:
+            height, width = self.image_shape
+            if height * width != self.features.shape[1]:
+                raise ValueError(
+                    f"image_shape {self.image_shape} inconsistent with feature "
+                    f"width {self.features.shape[1]}"
+                )
+
+    @property
+    def num_samples(self) -> int:
+        """Number of samples."""
+        return self.features.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        """Feature dimensionality."""
+        return self.features.shape[1]
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """Dataset restricted to ``indices`` (copy)."""
+        indices = np.asarray(indices, dtype=int)
+        return Dataset(
+            features=self.features[indices].copy(),
+            labels=self.labels[indices].copy(),
+            num_classes=self.num_classes,
+            image_shape=self.image_shape,
+        )
+
+    def label_histogram(self) -> np.ndarray:
+        """Counts per class, shape ``(num_classes,)``."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+
+def make_gaussian_mixture(
+    num_samples: int,
+    num_features: int,
+    num_classes: int,
+    *,
+    separation: float = 3.0,
+    rng: np.random.Generator,
+) -> Dataset:
+    """Balanced Gaussian blobs with class means on a random hypersphere.
+
+    ``separation`` scales the radius of the mean sphere relative to the unit
+    within-class standard deviation: larger = easier.
+    """
+    if num_samples < num_classes:
+        raise ValueError("need at least one sample per class")
+    means = rng.normal(size=(num_classes, num_features))
+    means /= np.linalg.norm(means, axis=1, keepdims=True)
+    means *= separation
+
+    labels = np.arange(num_samples) % num_classes
+    rng.shuffle(labels)
+    features = means[labels] + rng.normal(size=(num_samples, num_features))
+    return Dataset(features=features, labels=labels, num_classes=num_classes)
+
+
+def _class_templates(
+    num_classes: int, shape: tuple[int, int], rng: np.random.Generator
+) -> np.ndarray:
+    """Per-class template images: a few Gaussian blobs at class-specific spots.
+
+    Blob templates are robust to the small per-sample pixel shifts the
+    generator applies, keeping the task learnable by a linear model while a
+    CNN still benefits from its shift tolerance.
+    """
+    height, width = shape
+    ys, xs = np.mgrid[0:height, 0:width]
+    templates = np.zeros((num_classes, height, width))
+    for class_index in range(num_classes):
+        image = np.zeros((height, width))
+        num_blobs = int(rng.integers(2, 4))
+        for _ in range(num_blobs):
+            center_y = rng.uniform(1.0, height - 2.0)
+            center_x = rng.uniform(1.0, width - 2.0)
+            sigma = rng.uniform(0.9, 1.6)
+            amplitude = rng.uniform(0.7, 1.0)
+            image += amplitude * np.exp(
+                -((ys - center_y) ** 2 + (xs - center_x) ** 2) / (2.0 * sigma**2)
+            )
+        peak = image.max()
+        if peak > 0:
+            image /= peak
+        templates[class_index] = image
+    return templates
+
+
+def make_synthetic_images(
+    num_samples: int,
+    *,
+    num_classes: int = 10,
+    shape: tuple[int, int] = (8, 8),
+    noise: float = 0.25,
+    max_shift: int = 1,
+    rng: np.random.Generator,
+) -> Dataset:
+    """MNIST-like synthetic grayscale images.
+
+    Each class has a smooth random template; samples are the template rolled
+    by a random per-sample shift of up to ``max_shift`` pixels in each axis
+    plus Gaussian pixel noise.  The task is easy for a CNN, hard enough for
+    a linear model, and exhibits the class structure non-IID partitioners
+    need.
+    """
+    height, width = shape
+    templates = _class_templates(num_classes, shape, rng)
+    labels = np.arange(num_samples) % num_classes
+    rng.shuffle(labels)
+
+    images = np.empty((num_samples, height, width))
+    shifts = rng.integers(-max_shift, max_shift + 1, size=(num_samples, 2))
+    for index in range(num_samples):
+        image = templates[labels[index]]
+        image = np.roll(image, shifts[index, 0], axis=0)
+        image = np.roll(image, shifts[index, 1], axis=1)
+        images[index] = image
+    images += rng.normal(0.0, noise, size=images.shape)
+    return Dataset(
+        features=images.reshape(num_samples, height * width),
+        labels=labels,
+        num_classes=num_classes,
+        image_shape=(height, width),
+    )
+
+
+def make_two_spirals(
+    num_samples: int,
+    *,
+    noise: float = 0.2,
+    turns: float = 1.75,
+    rng: np.random.Generator,
+) -> Dataset:
+    """The classic two intertwined spirals, a non-convex 2-class task."""
+    per_class = num_samples // 2
+    theta = np.sqrt(rng.uniform(size=per_class)) * turns * 2 * np.pi
+    radius = theta / (turns * 2 * np.pi) * 4.0 + 0.2
+    spiral_a = np.stack([radius * np.cos(theta), radius * np.sin(theta)], axis=1)
+    spiral_b = -spiral_a
+    features = np.concatenate([spiral_a, spiral_b])
+    features += rng.normal(0.0, noise, size=features.shape)
+    labels = np.concatenate(
+        [np.zeros(per_class, dtype=int), np.ones(per_class, dtype=int)]
+    )
+    order = rng.permutation(features.shape[0])
+    return Dataset(features=features[order], labels=labels[order], num_classes=2)
+
+
+def make_rotated_client_images(
+    num_clients: int,
+    samples_per_client: int,
+    *,
+    num_classes: int = 10,
+    shape: tuple[int, int] = (8, 8),
+    noise: float = 0.25,
+    rng: np.random.Generator,
+) -> tuple[list[Dataset], Dataset]:
+    """Feature-skew non-IID: every client sees the images rotated its own way.
+
+    All clients share one set of class templates (so the *task* is common)
+    but client ``k`` observes every image rotated by ``k mod 4`` quarter
+    turns — the classic feature-distribution-skew benchmark, complementary
+    to the label skew produced by :func:`repro.fl.partition.dirichlet_partition`.
+
+    Returns the per-client training shards and a shared unrotated test set.
+    """
+    if num_clients <= 0 or samples_per_client <= 0:
+        raise ValueError("num_clients and samples_per_client must be > 0")
+    height, width = shape
+    if height != width:
+        raise ValueError(f"rotation needs square images, got {shape}")
+    templates = _class_templates(num_classes, shape, rng)
+
+    def sample_images(count: int, quarter_turns: int) -> Dataset:
+        labels = np.arange(count) % num_classes
+        rng.shuffle(labels)
+        images = templates[labels].copy()
+        images = np.rot90(images, k=quarter_turns, axes=(1, 2))
+        images = images + rng.normal(0.0, noise, size=images.shape)
+        return Dataset(
+            features=images.reshape(count, height * width),
+            labels=labels,
+            num_classes=num_classes,
+            image_shape=shape,
+        )
+
+    shards = [
+        sample_images(samples_per_client, quarter_turns=client % 4)
+        for client in range(num_clients)
+    ]
+    test = sample_images(max(num_classes * 20, 200), quarter_turns=0)
+    return shards, test
+
+
+def make_sensor_streams(
+    num_clients: int,
+    samples_per_client: int,
+    *,
+    num_features: int = 6,
+    boundary_spread: float = 1.0,
+    noise: float = 0.3,
+    rng: np.random.Generator,
+) -> tuple[list[Dataset], Dataset]:
+    """Per-client sensor anomaly-detection streams (natural non-IID).
+
+    Each client is a sensor deployed at a different site: it labels samples
+    anomalous when ``w_site . x > 0`` where the site boundary ``w_site`` is
+    the global boundary plus a site-specific perturbation of magnitude
+    ``boundary_spread``.  Clients therefore agree on the broad task but
+    disagree near the margin — concept-shift non-IID, the third axis next to
+    label skew and feature skew.
+
+    Returns per-client shards plus a test set labelled by the *global*
+    boundary (the quantity the federation is trying to learn).
+    """
+    if num_clients <= 0 or samples_per_client <= 0:
+        raise ValueError("num_clients and samples_per_client must be > 0")
+    global_boundary = rng.normal(size=num_features)
+    global_boundary /= np.linalg.norm(global_boundary)
+
+    def labelled_with(boundary: np.ndarray, count: int) -> Dataset:
+        features = rng.normal(size=(count, num_features))
+        margin = features @ boundary + rng.normal(0.0, noise, size=count)
+        labels = (margin > 0).astype(int)
+        return Dataset(features=features, labels=labels, num_classes=2)
+
+    shards = []
+    for _ in range(num_clients):
+        perturbation = rng.normal(size=num_features)
+        perturbation /= np.linalg.norm(perturbation)
+        site_boundary = global_boundary + boundary_spread * perturbation
+        site_boundary /= np.linalg.norm(site_boundary)
+        shards.append(labelled_with(site_boundary, samples_per_client))
+    test = labelled_with(global_boundary, max(400, samples_per_client))
+    return shards, test
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float, rng: np.random.Generator
+) -> tuple[Dataset, Dataset]:
+    """Shuffle and split into (train, test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    order = rng.permutation(dataset.num_samples)
+    num_test = max(1, int(round(dataset.num_samples * test_fraction)))
+    return dataset.subset(order[num_test:]), dataset.subset(order[:num_test])

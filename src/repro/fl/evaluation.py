@@ -1,0 +1,82 @@
+"""Model evaluation beyond top-1 accuracy.
+
+Under label-skewed non-IID training, aggregate accuracy hides the failure
+mode that matters: entire classes collapsing because the clients holding
+them were never selected.  These helpers expose it:
+
+* :func:`confusion_matrix` — raw counts,
+* :func:`per_class_accuracy` — recall per class,
+* :func:`worst_class_accuracy` — the coverage metric the sustainability
+  experiments track (a starved class shows up here long before it dents
+  the mean),
+* :func:`macro_accuracy` — class-balanced accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fl.datasets import Dataset
+from repro.fl.model import Model
+
+__all__ = [
+    "confusion_matrix",
+    "per_class_accuracy",
+    "worst_class_accuracy",
+    "macro_accuracy",
+    "evaluate_model",
+]
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Counts ``C[i, j]`` = samples of true class ``i`` predicted as ``j``."""
+    predictions = np.asarray(predictions, dtype=int)
+    labels = np.asarray(labels, dtype=int)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    matrix = np.zeros((num_classes, num_classes), dtype=int)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def per_class_accuracy(matrix: np.ndarray) -> np.ndarray:
+    """Recall per class; NaN for classes absent from the evaluation set."""
+    matrix = np.asarray(matrix, dtype=float)
+    totals = matrix.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        recalls = np.diag(matrix) / totals
+    return recalls
+
+
+def worst_class_accuracy(matrix: np.ndarray) -> float:
+    """Minimum per-class recall over classes present in the evaluation set."""
+    recalls = per_class_accuracy(matrix)
+    present = recalls[~np.isnan(recalls)]
+    if present.size == 0:
+        return float("nan")
+    return float(present.min())
+
+
+def macro_accuracy(matrix: np.ndarray) -> float:
+    """Mean per-class recall over present classes (class-balanced accuracy)."""
+    recalls = per_class_accuracy(matrix)
+    present = recalls[~np.isnan(recalls)]
+    if present.size == 0:
+        return float("nan")
+    return float(present.mean())
+
+
+def evaluate_model(model: Model, dataset: Dataset) -> dict[str, float]:
+    """One-call summary: accuracy, macro accuracy, worst class, loss."""
+    predictions = model.predict(dataset.features)
+    matrix = confusion_matrix(predictions, dataset.labels, dataset.num_classes)
+    return {
+        "accuracy": float((predictions == dataset.labels).mean()) if dataset.num_samples else 0.0,
+        "macro_accuracy": macro_accuracy(matrix),
+        "worst_class_accuracy": worst_class_accuracy(matrix),
+        "loss": float(model.loss(dataset.features, dataset.labels)),
+    }

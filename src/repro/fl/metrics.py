@@ -1,0 +1,127 @@
+"""Training history: per-round records and series extraction.
+
+:class:`TrainingHistory` is the single structure every experiment reads its
+learning curves from.  It stores one :class:`RoundMetrics` per global round
+and can extract aligned series (accuracy vs. round, cumulative payment vs.
+round, ...) for the reporting layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RoundMetrics", "TrainingHistory"]
+
+
+@dataclass(frozen=True)
+class RoundMetrics:
+    """Everything recorded about one global round.
+
+    Attributes
+    ----------
+    round_index:
+        Zero-based global round number.
+    participants:
+        Client ids that contributed updates this round.
+    test_loss / test_accuracy:
+        Global-model evaluation after the round (NaN when evaluation was
+        skipped this round for speed).
+    mean_local_loss:
+        Mean of participants' final local losses (NaN when nobody trained).
+    total_payment:
+        Money spent on this round's participants (0 outside auction runs).
+    extras:
+        Mechanism diagnostics forwarded from the round outcome.
+    """
+
+    round_index: int
+    participants: tuple[int, ...]
+    test_loss: float = float("nan")
+    test_accuracy: float = float("nan")
+    mean_local_loss: float = float("nan")
+    total_payment: float = 0.0
+    extras: dict[str, float] = field(default_factory=dict)
+
+
+class TrainingHistory:
+    """Ordered collection of :class:`RoundMetrics` with series helpers."""
+
+    def __init__(self) -> None:
+        self._rounds: list[RoundMetrics] = []
+
+    def record(self, metrics: RoundMetrics) -> None:
+        """Append one round (rounds must arrive in order)."""
+        if self._rounds and metrics.round_index <= self._rounds[-1].round_index:
+            raise ValueError(
+                f"round {metrics.round_index} recorded after "
+                f"{self._rounds[-1].round_index}"
+            )
+        self._rounds.append(metrics)
+
+    def __len__(self) -> int:
+        return len(self._rounds)
+
+    def __getitem__(self, index: int) -> RoundMetrics:
+        return self._rounds[index]
+
+    @property
+    def rounds(self) -> tuple[RoundMetrics, ...]:
+        """All recorded rounds, in order."""
+        return tuple(self._rounds)
+
+    def round_indices(self) -> list[int]:
+        """The x-axis: recorded round numbers."""
+        return [m.round_index for m in self._rounds]
+
+    def series(self, attribute: str) -> list[float]:
+        """Per-round series of one scalar attribute (or extras key)."""
+        values = []
+        for metrics in self._rounds:
+            if hasattr(metrics, attribute):
+                values.append(float(getattr(metrics, attribute)))
+            elif attribute in metrics.extras:
+                values.append(float(metrics.extras[attribute]))
+            else:
+                values.append(float("nan"))
+        return values
+
+    def evaluated_series(self, attribute: str) -> tuple[list[int], list[float]]:
+        """Like :meth:`series` but dropping NaN entries (skipped evaluations)."""
+        xs, ys = [], []
+        for metrics, value in zip(self._rounds, self.series(attribute)):
+            if not np.isnan(value):
+                xs.append(metrics.round_index)
+                ys.append(value)
+        return xs, ys
+
+    def cumulative_payment(self) -> list[float]:
+        """Running total of payments after each round."""
+        return np.cumsum(self.series("total_payment")).tolist()
+
+    def participation_counts(self) -> dict[int, int]:
+        """Number of rounds each client participated in."""
+        counts: dict[int, int] = {}
+        for metrics in self._rounds:
+            for client_id in metrics.participants:
+                counts[client_id] = counts.get(client_id, 0) + 1
+        return counts
+
+    def final_accuracy(self) -> float:
+        """Last recorded (non-NaN) test accuracy, NaN if never evaluated."""
+        _, values = self.evaluated_series("test_accuracy")
+        return values[-1] if values else float("nan")
+
+    def best_accuracy(self) -> float:
+        """Best recorded test accuracy, NaN if never evaluated."""
+        _, values = self.evaluated_series("test_accuracy")
+        return max(values) if values else float("nan")
+
+    def rounds_to_accuracy(self, target: float) -> int | None:
+        """First round index reaching ``target`` accuracy, None if never."""
+        xs, values = self.evaluated_series("test_accuracy")
+        for x, value in zip(xs, values):
+            if value >= target:
+                return x
+        return None

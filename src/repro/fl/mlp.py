@@ -1,0 +1,151 @@
+"""Multilayer perceptron with manual backpropagation on numpy.
+
+Used in experiments that need a non-convex model (where biased client
+selection hurts measurably more than in the convex case).  Supports an
+arbitrary stack of hidden layers with ReLU or tanh activations and a softmax
+output trained with cross-entropy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.fl.model import Model, cross_entropy, one_hot, softmax
+from repro.utils.validation import check_non_negative
+
+__all__ = ["MLPClassifier"]
+
+_ACTIVATIONS = {
+    "relu": (lambda z: np.maximum(z, 0.0), lambda z: (z > 0).astype(float)),
+    "tanh": (np.tanh, lambda z: 1.0 - np.tanh(z) ** 2),
+}
+
+
+class MLPClassifier(Model):
+    """Fully connected classifier ``softmax(W_L ... act(W_1 x + b_1) ... + b_L)``.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[num_features, hidden_1, ..., hidden_k, num_classes]``; at least
+        one hidden layer.
+    activation:
+        ``"relu"`` (default) or ``"tanh"``.
+    l2:
+        L2 penalty on all weight matrices (not biases).
+    seed:
+        Seed for He-style initialisation.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        *,
+        activation: str = "relu",
+        l2: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if len(layer_sizes) < 3:
+            raise ValueError(
+                f"layer_sizes needs input, >=1 hidden, output; got {list(layer_sizes)}"
+            )
+        if any(size <= 0 for size in layer_sizes):
+            raise ValueError(f"all layer sizes must be > 0, got {list(layer_sizes)}")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {activation!r}; choose from {sorted(_ACTIVATIONS)}"
+            )
+        self.layer_sizes = [int(size) for size in layer_sizes]
+        self.num_classes = self.layer_sizes[-1]
+        self.activation = activation
+        self.l2 = check_non_negative("l2", l2)
+
+        rng = np.random.default_rng(seed)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(self.layer_sizes[:-1], self.layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    @property
+    def num_params(self) -> int:
+        return sum(w.size + b.size for w, b in zip(self.weights, self.biases))
+
+    def get_params(self) -> np.ndarray:
+        parts = []
+        for weight, bias in zip(self.weights, self.biases):
+            parts.append(weight.ravel())
+            parts.append(bias)
+        return np.concatenate(parts).astype(float)
+
+    def set_params(self, flat: np.ndarray) -> None:
+        flat = self._check_flat(flat)
+        offset = 0
+        for index, (weight, bias) in enumerate(zip(self.weights, self.biases)):
+            self.weights[index] = (
+                flat[offset : offset + weight.size].reshape(weight.shape).copy()
+            )
+            offset += weight.size
+            self.biases[index] = flat[offset : offset + bias.size].copy()
+            offset += bias.size
+
+    def _forward(self, features: np.ndarray) -> tuple[np.ndarray, list, list]:
+        """Forward pass keeping pre-activations and activations for backprop."""
+        act_fn, _ = _ACTIVATIONS[self.activation]
+        activations = [features]
+        pre_activations = []
+        hidden = features
+        for weight, bias in zip(self.weights[:-1], self.biases[:-1]):
+            z = hidden @ weight + bias
+            pre_activations.append(z)
+            hidden = act_fn(z)
+            activations.append(hidden)
+        logits = hidden @ self.weights[-1] + self.biases[-1]
+        return logits, pre_activations, activations
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=float)
+        logits, _, _ = self._forward(features)
+        return softmax(logits)
+
+    def loss_and_grad(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        n = features.shape[0]
+        if n == 0:
+            return 0.0, np.zeros(self.num_params)
+        _, act_grad_fn = _ACTIVATIONS[self.activation]
+
+        logits, pre_activations, activations = self._forward(features)
+        probabilities = softmax(logits)
+        loss = cross_entropy(probabilities, labels)
+        loss += 0.5 * self.l2 * sum(float((w**2).sum()) for w in self.weights)
+
+        grads_w = [np.zeros_like(w) for w in self.weights]
+        grads_b = [np.zeros_like(b) for b in self.biases]
+        delta = (probabilities - one_hot(labels, self.num_classes)) / n
+        grads_w[-1] = activations[-1].T @ delta + self.l2 * self.weights[-1]
+        grads_b[-1] = delta.sum(axis=0)
+        for layer in range(len(self.weights) - 2, -1, -1):
+            delta = (delta @ self.weights[layer + 1].T) * act_grad_fn(
+                pre_activations[layer]
+            )
+            grads_w[layer] = activations[layer].T @ delta + self.l2 * self.weights[layer]
+            grads_b[layer] = delta.sum(axis=0)
+
+        parts = []
+        for grad_w, grad_b in zip(grads_w, grads_b):
+            parts.append(grad_w.ravel())
+            parts.append(grad_b)
+        return loss, np.concatenate(parts)
+
+    def __repr__(self) -> str:
+        return (
+            f"MLPClassifier(layer_sizes={self.layer_sizes}, "
+            f"activation={self.activation!r}, l2={self.l2})"
+        )

@@ -1,0 +1,102 @@
+"""Abstract model interface used by the federated substrate.
+
+Models expose their parameters as a single flat float64 vector, which makes
+FedAvg-style aggregation, parameter transport, and optimizer implementations
+trivial: everything operates on ``np.ndarray`` vectors and no component needs
+to know a model's internal layer structure.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Model", "softmax", "one_hot", "cross_entropy"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row-wise softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Convert integer labels (n,) to a one-hot matrix (n, num_classes)."""
+    labels = np.asarray(labels, dtype=int)
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels out of range [0, {num_classes}): "
+            f"min={labels.min()}, max={labels.max()}"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes))
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def cross_entropy(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy of predicted probabilities against integer labels."""
+    n = probabilities.shape[0]
+    if n == 0:
+        return 0.0
+    clipped = np.clip(probabilities[np.arange(n), labels], 1e-12, 1.0)
+    return float(-np.log(clipped).mean())
+
+
+class Model(ABC):
+    """A classifier with flat-vector parameter access.
+
+    Subclasses implement the forward pass, the loss, and its gradient; the
+    base class provides prediction and accuracy helpers on top.
+    """
+
+    #: Number of output classes.
+    num_classes: int
+
+    @property
+    @abstractmethod
+    def num_params(self) -> int:
+        """Total number of scalar parameters."""
+
+    @abstractmethod
+    def get_params(self) -> np.ndarray:
+        """Return a *copy* of the parameters as a flat float64 vector."""
+
+    @abstractmethod
+    def set_params(self, flat: np.ndarray) -> None:
+        """Load parameters from a flat vector (copied, not aliased)."""
+
+    @abstractmethod
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities, shape ``(n, num_classes)``."""
+
+    @abstractmethod
+    def loss_and_grad(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Mean loss and its gradient w.r.t. the flat parameter vector."""
+
+    def loss(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Mean loss on a batch (default: via :meth:`loss_and_grad`)."""
+        value, _ = self.loss_and_grad(features, labels)
+        return value
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Most-likely class per sample."""
+        return np.argmax(self.predict_proba(features), axis=1)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Fraction of correct predictions."""
+        if features.shape[0] == 0:
+            return 0.0
+        return float((self.predict(features) == np.asarray(labels)).mean())
+
+    def _check_flat(self, flat: np.ndarray) -> np.ndarray:
+        flat = np.asarray(flat, dtype=float)
+        if flat.shape != (self.num_params,):
+            raise ValueError(
+                f"expected flat parameter vector of shape ({self.num_params},), "
+                f"got {flat.shape}"
+            )
+        return flat

@@ -1,0 +1,105 @@
+"""First-order optimizers over flat parameter vectors.
+
+Each optimizer is a small stateful object: :meth:`Optimizer.step` consumes
+the current parameters and a gradient and returns updated parameters.  State
+(momentum buffers, Adam moments) lives inside the optimizer, so each FL
+client owns an independent optimizer instance and local training remains
+self-contained.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer(ABC):
+    """Base class: ``new_params = step(params, grad)``."""
+
+    @abstractmethod
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """Apply one update and return the new parameter vector."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Forget all accumulated state."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional heavy-ball momentum.
+
+    Parameters
+    ----------
+    learning_rate:
+        Step size.
+    momentum:
+        Heavy-ball coefficient in ``[0, 1)``; 0 is plain SGD.
+    """
+
+    def __init__(self, learning_rate: float = 0.1, momentum: float = 0.0) -> None:
+        self.learning_rate = check_positive("learning_rate", learning_rate)
+        self.momentum = check_in_range("momentum", momentum, 0.0, 1.0)
+        if self.momentum >= 1.0:
+            raise ValueError(f"momentum must be < 1, got {momentum}")
+        self._velocity: np.ndarray | None = None
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        if self.momentum == 0.0:
+            return params - self.learning_rate * grad
+        if self._velocity is None or self._velocity.shape != grad.shape:
+            self._velocity = np.zeros_like(grad)
+        self._velocity = self.momentum * self._velocity - self.learning_rate * grad
+        return params + self._velocity
+
+    def reset(self) -> None:
+        self._velocity = None
+
+    def __repr__(self) -> str:
+        return f"SGD(learning_rate={self.learning_rate}, momentum={self.momentum})"
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias-corrected moment estimates."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        self.learning_rate = check_positive("learning_rate", learning_rate)
+        self.beta1 = check_in_range("beta1", beta1, 0.0, 1.0, inclusive=False)
+        self.beta2 = check_in_range("beta2", beta2, 0.0, 1.0, inclusive=False)
+        self.epsilon = check_positive("epsilon", epsilon)
+        self._m: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+        self._t = 0
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        if self._m is None or self._m.shape != grad.shape:
+            self._m = np.zeros_like(grad)
+            self._v = np.zeros_like(grad)
+            self._t = 0
+        self._t += 1
+        self._m = self.beta1 * self._m + (1.0 - self.beta1) * grad
+        self._v = self.beta2 * self._v + (1.0 - self.beta2) * grad**2
+        m_hat = self._m / (1.0 - self.beta1**self._t)
+        v_hat = self._v / (1.0 - self.beta2**self._t)
+        return params - self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def reset(self) -> None:
+        self._m = None
+        self._v = None
+        self._t = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Adam(learning_rate={self.learning_rate}, beta1={self.beta1}, "
+            f"beta2={self.beta2})"
+        )

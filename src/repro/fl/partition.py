@@ -1,0 +1,182 @@
+"""Federated data partitioners.
+
+A partitioner splits one dataset's sample indices across ``num_clients``
+clients.  All partitioners guarantee the *exact-cover* invariant — every
+sample appears in exactly one client's shard — and never produce an empty
+client (they re-balance if the raw draw would).  The non-IID knobs:
+
+* :func:`iid_partition` — uniform shuffle-and-split, the homogeneous control.
+* :func:`dirichlet_partition` — per-class Dirichlet(alpha) proportions, the
+  de-facto standard label-skew model; alpha→0 is near one-class clients,
+  alpha→inf recovers IID.
+* :func:`shard_partition` — McMahan-style sort-by-label shard assignment;
+  each client holds ``shards_per_client`` contiguous label shards.
+* :func:`quantity_skew_partition` — power-law client sizes, label
+  distribution IID; models heterogeneous data volumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "iid_partition",
+    "dirichlet_partition",
+    "shard_partition",
+    "quantity_skew_partition",
+    "partition_label_histograms",
+]
+
+
+def _validate_args(num_items: int, num_clients: int) -> None:
+    if num_clients <= 0:
+        raise ValueError(f"num_clients must be > 0, got {num_clients}")
+    if num_items < num_clients:
+        raise ValueError(
+            f"cannot split {num_items} samples across {num_clients} clients "
+            "without empty shards"
+        )
+
+
+def _fix_empty_shards(
+    shards: list[np.ndarray], rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Move single samples from the largest shards into any empty ones."""
+    shards = [np.asarray(s, dtype=int) for s in shards]
+    while True:
+        empty = [i for i, s in enumerate(shards) if s.size == 0]
+        if not empty:
+            return shards
+        donor = int(np.argmax([s.size for s in shards]))
+        if shards[donor].size <= 1:
+            raise ValueError("not enough samples to give every client one")
+        pick = rng.integers(shards[donor].size)
+        moved = shards[donor][pick]
+        shards[donor] = np.delete(shards[donor], pick)
+        shards[empty[0]] = np.array([moved], dtype=int)
+
+
+def iid_partition(
+    num_samples: int, num_clients: int, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Uniformly random, near-equal-size split of ``range(num_samples)``."""
+    _validate_args(num_samples, num_clients)
+    order = rng.permutation(num_samples)
+    return [np.sort(part) for part in np.array_split(order, num_clients)]
+
+
+def dirichlet_partition(
+    labels: np.ndarray,
+    num_clients: int,
+    alpha: float,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """Label-skewed split: class ``c``'s samples follow Dirichlet(alpha) shares.
+
+    Smaller ``alpha`` concentrates each class on few clients.  Every client is
+    guaranteed at least one sample (re-balanced after the draw if needed).
+    """
+    labels = np.asarray(labels, dtype=int)
+    _validate_args(labels.shape[0], num_clients)
+    if alpha <= 0:
+        raise ValueError(f"alpha must be > 0, got {alpha}")
+
+    shards: list[list[int]] = [[] for _ in range(num_clients)]
+    for class_value in np.unique(labels):
+        class_indices = np.flatnonzero(labels == class_value)
+        rng.shuffle(class_indices)
+        proportions = rng.dirichlet(np.full(num_clients, alpha))
+        counts = np.floor(proportions * class_indices.size).astype(int)
+        remainder = class_indices.size - counts.sum()
+        if remainder > 0:
+            extra = rng.choice(num_clients, size=remainder, p=proportions)
+            np.add.at(counts, extra, 1)
+        offset = 0
+        for client, count in enumerate(counts):
+            shards[client].extend(class_indices[offset : offset + count].tolist())
+            offset += count
+
+    fixed = _fix_empty_shards([np.array(s, dtype=int) for s in shards], rng)
+    return [np.sort(s) for s in fixed]
+
+
+def shard_partition(
+    labels: np.ndarray,
+    num_clients: int,
+    shards_per_client: int,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """McMahan-style pathological split: sort by label, deal out shards.
+
+    The label axis is sorted, cut into ``num_clients * shards_per_client``
+    contiguous shards, and each client receives ``shards_per_client`` of them
+    uniformly at random — so each client sees only a few classes.
+    """
+    labels = np.asarray(labels, dtype=int)
+    _validate_args(labels.shape[0], num_clients)
+    if shards_per_client <= 0:
+        raise ValueError(f"shards_per_client must be > 0, got {shards_per_client}")
+    total_shards = num_clients * shards_per_client
+    if labels.shape[0] < total_shards:
+        raise ValueError(
+            f"{labels.shape[0]} samples cannot fill {total_shards} shards"
+        )
+
+    # Sort by label with a random tiebreak so shard contents vary by seed.
+    jitter = rng.random(labels.shape[0])
+    order = np.lexsort((jitter, labels))
+    shard_chunks = np.array_split(order, total_shards)
+    assignment = rng.permutation(total_shards)
+
+    shards = []
+    for client in range(num_clients):
+        chunk_ids = assignment[
+            client * shards_per_client : (client + 1) * shards_per_client
+        ]
+        shards.append(np.sort(np.concatenate([shard_chunks[c] for c in chunk_ids])))
+    return shards
+
+
+def quantity_skew_partition(
+    num_samples: int,
+    num_clients: int,
+    power: float,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """IID labels, power-law shard sizes: size_k ∝ (k+1)^-power.
+
+    ``power = 0`` gives equal sizes; larger values concentrate data on few
+    clients (the "data-rich vs data-poor" axis of heterogeneity).
+    """
+    _validate_args(num_samples, num_clients)
+    if power < 0:
+        raise ValueError(f"power must be >= 0, got {power}")
+    raw = (np.arange(1, num_clients + 1, dtype=float)) ** (-power)
+    rng.shuffle(raw)
+    proportions = raw / raw.sum()
+    counts = np.maximum(1, np.floor(proportions * num_samples).astype(int))
+    # Adjust to exactly num_samples while keeping every client >= 1.
+    while counts.sum() > num_samples:
+        candidates = np.flatnonzero(counts > 1)
+        counts[rng.choice(candidates)] -= 1
+    while counts.sum() < num_samples:
+        counts[rng.integers(num_clients)] += 1
+
+    order = rng.permutation(num_samples)
+    shards = []
+    offset = 0
+    for count in counts:
+        shards.append(np.sort(order[offset : offset + count]))
+        offset += count
+    return shards
+
+
+def partition_label_histograms(
+    labels: np.ndarray, shards: list[np.ndarray], num_classes: int
+) -> np.ndarray:
+    """Per-client label counts, shape ``(num_clients, num_classes)``."""
+    labels = np.asarray(labels, dtype=int)
+    histograms = np.zeros((len(shards), num_classes), dtype=int)
+    for client, shard in enumerate(shards):
+        histograms[client] = np.bincount(labels[shard], minlength=num_classes)
+    return histograms

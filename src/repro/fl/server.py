@@ -1,0 +1,106 @@
+"""Federated-learning server: global model, aggregation, evaluation.
+
+The server owns the canonical model parameters.  After each round it folds
+the participating clients' deltas into the global model using a pluggable
+aggregation rule (FedAvg weighted mean by default) with weights proportional
+to the participants' sample counts, renormalised over the participants —
+the standard partial-participation FedAvg update.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.fl.aggregation import stack_updates, weighted_mean
+from repro.fl.client import ClientUpdate
+from repro.fl.datasets import Dataset
+from repro.fl.model import Model
+
+__all__ = ["FLServer"]
+
+AggregationRule = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+class FLServer:
+    """Coordinates global-model updates and evaluation.
+
+    Parameters
+    ----------
+    model:
+        The global model instance (exclusively owned by the server).
+    test_set:
+        Held-out dataset for global evaluation.
+    aggregation:
+        Rule mapping (stacked deltas, weights) to the aggregated delta;
+        defaults to FedAvg's weighted mean.
+    server_learning_rate:
+        Scale applied to the aggregated delta before adding it to the global
+        parameters (1.0 = plain FedAvg).  Ignored when ``server_optimizer``
+        is given.
+    server_optimizer:
+        Optional :class:`repro.fl.server_optimizer.ServerOptimizer` (FedOpt
+        family) applied to the aggregated delta instead of the plain add.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        test_set: Dataset,
+        *,
+        aggregation: AggregationRule = weighted_mean,
+        server_learning_rate: float = 1.0,
+        server_optimizer=None,
+    ) -> None:
+        if server_learning_rate <= 0:
+            raise ValueError(
+                f"server_learning_rate must be > 0, got {server_learning_rate}"
+            )
+        self.model = model
+        self.test_set = test_set
+        self.aggregation = aggregation
+        self.server_learning_rate = float(server_learning_rate)
+        self.server_optimizer = server_optimizer
+        self._initial_params = model.get_params()
+
+    def global_params(self) -> np.ndarray:
+        """Copy of the current global parameters."""
+        return self.model.get_params()
+
+    def apply_updates(self, updates: list[ClientUpdate]) -> np.ndarray:
+        """Aggregate client deltas into the global model; returns new params.
+
+        With no updates (a round where nobody was selected) the model is
+        unchanged — the global round is simply skipped, as in synchronous
+        FedAvg with partial participation.
+        """
+        if not updates:
+            return self.global_params()
+        stacked = stack_updates([update.delta for update in updates])
+        weights = np.array([update.num_samples for update in updates], dtype=float)
+        aggregated = self.aggregation(stacked, weights)
+        if self.server_optimizer is not None:
+            new_params = self.server_optimizer.apply(self.global_params(), aggregated)
+        else:
+            new_params = self.global_params() + self.server_learning_rate * aggregated
+        self.model.set_params(new_params)
+        return new_params
+
+    def evaluate(self) -> tuple[float, float]:
+        """(loss, accuracy) of the global model on the test set."""
+        loss = self.model.loss(self.test_set.features, self.test_set.labels)
+        accuracy = self.model.accuracy(self.test_set.features, self.test_set.labels)
+        return float(loss), float(accuracy)
+
+    def reset(self) -> None:
+        """Restore the initial global parameters (and optimizer state)."""
+        self.model.set_params(self._initial_params)
+        if self.server_optimizer is not None:
+            self.server_optimizer.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"FLServer(model={self.model!r}, "
+            f"test_samples={self.test_set.num_samples})"
+        )

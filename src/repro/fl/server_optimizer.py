@@ -1,0 +1,74 @@
+"""Server-side optimizers (FedOpt family).
+
+Plain FedAvg adds the aggregated client delta directly to the global model.
+The FedOpt framework (Reddi et al., ICLR 2021) instead treats the
+*negative* aggregated delta as a pseudo-gradient and applies a first-order
+optimizer on the server:
+
+* :class:`ServerSGD` with momentum 0 recovers FedAvg (at learning rate 1);
+* :class:`ServerSGD` with momentum is FedAvgM;
+* :class:`ServerAdam` is FedAdam — useful when client participation is
+  bursty (as under auction-driven selection), because the per-coordinate
+  scaling damps rounds dominated by a few large updates.
+
+Plug one into :class:`repro.fl.server.FLServer` via ``server_optimizer``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fl.optimizer import SGD, Adam
+
+__all__ = ["ServerOptimizer", "ServerSGD", "ServerAdam"]
+
+
+class ServerOptimizer:
+    """Base: maps (current params, aggregated delta) -> new params."""
+
+    def apply(self, params: np.ndarray, aggregated_delta: np.ndarray) -> np.ndarray:
+        """Return updated global parameters."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget accumulated state."""
+
+
+class ServerSGD(ServerOptimizer):
+    """FedAvg / FedAvgM: SGD on the pseudo-gradient ``-delta``."""
+
+    def __init__(self, learning_rate: float = 1.0, momentum: float = 0.0) -> None:
+        self._inner = SGD(learning_rate=learning_rate, momentum=momentum)
+
+    def apply(self, params: np.ndarray, aggregated_delta: np.ndarray) -> np.ndarray:
+        return self._inner.step(params, -np.asarray(aggregated_delta, dtype=float))
+
+    def reset(self) -> None:
+        self._inner.reset()
+
+    def __repr__(self) -> str:
+        return f"ServerSGD({self._inner!r})"
+
+
+class ServerAdam(ServerOptimizer):
+    """FedAdam: Adam on the pseudo-gradient ``-delta``."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        beta1: float = 0.9,
+        beta2: float = 0.99,
+        epsilon: float = 1e-4,
+    ) -> None:
+        self._inner = Adam(
+            learning_rate=learning_rate, beta1=beta1, beta2=beta2, epsilon=epsilon
+        )
+
+    def apply(self, params: np.ndarray, aggregated_delta: np.ndarray) -> np.ndarray:
+        return self._inner.step(params, -np.asarray(aggregated_delta, dtype=float))
+
+    def reset(self) -> None:
+        self._inner.reset()
+
+    def __repr__(self) -> str:
+        return f"ServerAdam({self._inner!r})"

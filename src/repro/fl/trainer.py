@@ -1,0 +1,136 @@
+"""The synchronous federated training loop.
+
+:class:`FederatedTrainer` runs FedAvg-style rounds with a pluggable
+*participation policy*: a callable receiving the round index and the full
+client-id list and returning ``(selected_ids, payments)``.  The plain FL
+experiments use simple policies (everyone, uniform sampling); the auction
+experiments plug in :class:`repro.simulation.runner.SimulationRunner`'s
+mechanism-driven policy — the trainer itself stays mechanism-agnostic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.fl.client import FLClient
+from repro.fl.metrics import RoundMetrics, TrainingHistory
+from repro.fl.server import FLServer
+from repro.logging_utils import get_logger
+
+__all__ = ["FederatedTrainer", "ParticipationPolicy", "all_clients_policy", "uniform_sampling_policy"]
+
+#: (round_index, all_client_ids) -> (selected client ids, payments by id)
+ParticipationPolicy = Callable[
+    [int, Sequence[int]], tuple[Sequence[int], Mapping[int, float]]
+]
+
+_LOGGER = get_logger("fl.trainer")
+
+
+def all_clients_policy(round_index: int, client_ids: Sequence[int]):
+    """Every client participates every round, unpaid (the FedAvg oracle)."""
+    return list(client_ids), {}
+
+
+def uniform_sampling_policy(
+    fraction: float, rng: np.random.Generator
+) -> ParticipationPolicy:
+    """Classic FedAvg client sampling: a random ``fraction`` per round."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+
+    def policy(round_index: int, client_ids: Sequence[int]):
+        count = max(1, int(round(len(client_ids) * fraction)))
+        chosen = rng.choice(len(client_ids), size=count, replace=False)
+        return [client_ids[i] for i in sorted(chosen)], {}
+
+    return policy
+
+
+class FederatedTrainer:
+    """Drives global rounds: select -> local train -> aggregate -> evaluate.
+
+    Parameters
+    ----------
+    server:
+        The global-model holder.
+    clients:
+        All clients in the federation (participation decided per round by
+        the policy).
+    policy:
+        The participation policy (see module docstring).
+    eval_every:
+        Evaluate the global model every this many rounds (always including
+        the final round); evaluation dominates runtime for large test sets.
+    """
+
+    def __init__(
+        self,
+        server: FLServer,
+        clients: Sequence[FLClient],
+        policy: ParticipationPolicy = all_clients_policy,
+        *,
+        eval_every: int = 1,
+    ) -> None:
+        if not clients:
+            raise ValueError("need at least one client")
+        if eval_every <= 0:
+            raise ValueError(f"eval_every must be > 0, got {eval_every}")
+        ids = [client.client_id for client in clients]
+        if len(ids) != len(set(ids)):
+            raise ValueError("duplicate client ids")
+        self.server = server
+        self.clients = {client.client_id: client for client in clients}
+        self.policy = policy
+        self.eval_every = int(eval_every)
+        self.history = TrainingHistory()
+
+    def run_round(self, round_index: int, *, evaluate: bool = True) -> RoundMetrics:
+        """Execute one global round and record it in the history."""
+        client_ids = sorted(self.clients)
+        selected, payments = self.policy(round_index, client_ids)
+        unknown = [cid for cid in selected if cid not in self.clients]
+        if unknown:
+            raise KeyError(f"policy selected unknown clients {unknown}")
+
+        global_params = self.server.global_params()
+        updates = [self.clients[cid].train(global_params) for cid in sorted(selected)]
+        self.server.apply_updates(updates)
+
+        test_loss = test_accuracy = float("nan")
+        if evaluate:
+            test_loss, test_accuracy = self.server.evaluate()
+        mean_local_loss = (
+            float(np.mean([u.final_loss for u in updates])) if updates else float("nan")
+        )
+        metrics = RoundMetrics(
+            round_index=round_index,
+            participants=tuple(sorted(selected)),
+            test_loss=test_loss,
+            test_accuracy=test_accuracy,
+            mean_local_loss=mean_local_loss,
+            total_payment=float(sum(payments.values())),
+        )
+        self.history.record(metrics)
+        return metrics
+
+    def run(self, num_rounds: int, *, log_every: int | None = None) -> TrainingHistory:
+        """Run ``num_rounds`` rounds; returns the accumulated history."""
+        if num_rounds <= 0:
+            raise ValueError(f"num_rounds must be > 0, got {num_rounds}")
+        for round_index in range(num_rounds):
+            evaluate = (
+                round_index % self.eval_every == 0 or round_index == num_rounds - 1
+            )
+            metrics = self.run_round(round_index, evaluate=evaluate)
+            if log_every and round_index % log_every == 0:
+                _LOGGER.info(
+                    "round %d: acc=%.4f loss=%.4f participants=%d",
+                    round_index,
+                    metrics.test_accuracy,
+                    metrics.test_loss,
+                    len(metrics.participants),
+                )
+        return self.history

@@ -1,0 +1,46 @@
+"""Lightweight structured logging for simulations.
+
+The simulator runs thousands of rounds; Python's :mod:`logging` is used for
+human-readable progress while structured per-round records are collected by
+:class:`repro.simulation.events.EventLog`.  This module only centralises
+logger creation so the whole library shares one naming convention and one
+formatting setup.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "configure"]
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the library's namespace.
+
+    ``get_logger("fl.trainer")`` returns the logger ``repro.fl.trainer``.
+    """
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure(level: int = logging.INFO) -> None:
+    """Install a simple stderr handler on the library root logger.
+
+    Safe to call multiple times; only the first call installs a handler.
+    Library code never calls this — it is for applications (examples,
+    benchmarks) that want progress output.
+    """
+    global _configured
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    if not _configured:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        root.addHandler(handler)
+        _configured = True

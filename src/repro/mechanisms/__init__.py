@@ -1,0 +1,43 @@
+"""Baseline mechanisms the paper family compares against.
+
+Every baseline implements :class:`repro.core.mechanism.Mechanism`, so any of
+them can drive the simulator interchangeably with LT-VCG:
+
+* :class:`~repro.mechanisms.random_selection.RandomSelectionMechanism` —
+  uniform client sampling, first-price payments (classic FedAvg sampling
+  with naive compensation).
+* :class:`~repro.mechanisms.fixed_price.FixedPriceMechanism` — posted-price
+  offers (truthful but budget-blunt).
+* :class:`~repro.mechanisms.greedy_first_price.GreedyFirstPriceMechanism` —
+  pay-as-bid greedy knapsack (the manipulable baseline).
+* :class:`~repro.mechanisms.greedy_critical.ProportionalShareMechanism` —
+  Singer-style budget-feasible proportional share (truthful per-round
+  budget baseline).
+* :class:`~repro.mechanisms.myopic_vcg.MyopicVCGMechanism` — VCG without
+  the Lyapunov controller (the no-long-term ablation).
+* :class:`~repro.mechanisms.offline_optimal.OfflineOptimalPlanner` — the
+  hindsight welfare optimum used as the regret anchor.
+* :class:`~repro.mechanisms.oracle.AllAvailableMechanism` — recruit
+  everyone, cost-no-object (learning-curve upper bound).
+"""
+
+from repro.mechanisms.bandit_selection import EpsilonGreedyMechanism
+from repro.mechanisms.fixed_price import FixedPriceMechanism
+from repro.mechanisms.greedy_critical import ProportionalShareMechanism
+from repro.mechanisms.greedy_first_price import GreedyFirstPriceMechanism
+from repro.mechanisms.myopic_vcg import MyopicVCGMechanism
+from repro.mechanisms.offline_optimal import OfflineOptimalPlanner, OfflinePlanMechanism
+from repro.mechanisms.oracle import AllAvailableMechanism
+from repro.mechanisms.random_selection import RandomSelectionMechanism
+
+__all__ = [
+    "AllAvailableMechanism",
+    "EpsilonGreedyMechanism",
+    "FixedPriceMechanism",
+    "GreedyFirstPriceMechanism",
+    "MyopicVCGMechanism",
+    "OfflineOptimalPlanner",
+    "OfflinePlanMechanism",
+    "ProportionalShareMechanism",
+    "RandomSelectionMechanism",
+]

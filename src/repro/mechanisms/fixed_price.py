@@ -1,0 +1,54 @@
+"""Posted-price recruitment.
+
+The server posts a take-it-or-leave-it price ``p``; every bidder whose bid
+is at most ``p`` accepts, and the server recruits the highest-value
+acceptors up to the cap, paying each exactly ``p``.  Posted prices are
+truthful (a bid only acts as an accept/reject signal, and misreporting can
+only cause accepting a losing price or rejecting a profitable one) but waste
+budget: every winner is paid the full posted price regardless of its cost,
+and the price must be tuned per deployment — the two weaknesses the
+evaluation surfaces.
+"""
+
+from __future__ import annotations
+
+from repro.core.bids import AuctionRound, RoundOutcome
+from repro.core.mechanism import Mechanism
+from repro.utils.validation import check_positive
+
+__all__ = ["FixedPriceMechanism"]
+
+
+class FixedPriceMechanism(Mechanism):
+    """Recruit highest-value clients bidding at most the posted price.
+
+    Parameters
+    ----------
+    price:
+        The posted per-client price.
+    max_winners:
+        Per-round recruitment cap (``None`` = everyone who accepts).
+    """
+
+    name = "fixed-price"
+
+    def __init__(self, price: float, max_winners: int | None = None) -> None:
+        self.price = check_positive("price", price)
+        if max_winners is not None and max_winners <= 0:
+            raise ValueError(f"max_winners must be > 0, got {max_winners}")
+        self.max_winners = max_winners
+
+    def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
+        acceptors = [
+            bid.client_id
+            for bid in auction_round.bids
+            if bid.cost <= self.price + 1e-12
+        ]
+        acceptors.sort(key=lambda cid: (-auction_round.values[cid], cid))
+        if self.max_winners is not None:
+            acceptors = acceptors[: self.max_winners]
+        selected = tuple(sorted(acceptors))
+        payments = {client_id: self.price for client_id in selected}
+        return RoundOutcome(
+            round_index=auction_round.index, selected=selected, payments=payments
+        )

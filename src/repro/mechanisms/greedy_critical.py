@@ -1,0 +1,106 @@
+"""Budget-feasible proportional-share mechanism (Singer-style).
+
+The strongest truthful *per-round* budget baseline: it guarantees the hard
+per-round budget is never exceeded while remaining dominant-strategy
+truthful, at the cost of conservative selection (it typically recruits fewer
+clients than LT-VCG for the same long-term spend — the gap E2/E3 measure).
+
+Rule (reverse-auction proportional share, following Singer 2010):
+
+1. sort bidders by value density ``v_i / b_i`` descending;
+2. take the largest prefix ``S = {1..k}`` such that every member's bid
+   satisfies ``b_i <= B * v_i / V(S)`` where ``V(S)`` is the prefix's total
+   value and ``B`` the round budget;
+3. pay each winner ``min(critical-density bid, proportional share
+   B * v_i / V(S))``.
+
+Monotone allocation + payments at the threshold makes it truthful; payments
+sum to at most ``B`` by construction.
+"""
+
+from __future__ import annotations
+
+from repro.core.bids import AuctionRound, Bid, RoundOutcome
+from repro.core.mechanism import Mechanism
+from repro.utils.validation import check_positive
+
+__all__ = ["ProportionalShareMechanism"]
+
+
+class ProportionalShareMechanism(Mechanism):
+    """Truthful, hard-budget-feasible greedy proportional share.
+
+    Parameters
+    ----------
+    budget_per_round:
+        Hard per-round payment budget ``B``.
+    max_winners:
+        Optional cardinality cap applied on top of the budget rule.
+    """
+
+    name = "prop-share"
+
+    def __init__(
+        self, budget_per_round: float, max_winners: int | None = None
+    ) -> None:
+        self.budget_per_round = check_positive("budget_per_round", budget_per_round)
+        if max_winners is not None and max_winners <= 0:
+            raise ValueError(f"max_winners must be > 0, got {max_winners}")
+        self.max_winners = max_winners
+
+    def _ranked(self, auction_round: AuctionRound) -> list[Bid]:
+        def density(bid: Bid) -> float:
+            return auction_round.values[bid.client_id] / max(bid.cost, 1e-12)
+
+        bids = [
+            bid for bid in auction_round.bids if auction_round.values[bid.client_id] > 0
+        ]
+        return sorted(bids, key=lambda bid: (-density(bid), bid.client_id))
+
+    def _winning_prefix(self, ranked: list[Bid], values: dict[int, float]) -> int:
+        """Largest k such that the k-prefix satisfies the share condition."""
+        best_k = 0
+        total_value = 0.0
+        for index, bid in enumerate(ranked):
+            total_value += values[bid.client_id]
+            if self.max_winners is not None and index + 1 > self.max_winners:
+                break
+            share_ok = all(
+                ranked[j].cost
+                <= self.budget_per_round * values[ranked[j].client_id] / total_value + 1e-12
+                for j in range(index + 1)
+            )
+            if share_ok:
+                best_k = index + 1
+        return best_k
+
+    def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
+        values = dict(auction_round.values)
+        ranked = self._ranked(auction_round)
+        k = self._winning_prefix(ranked, values)
+        winners = ranked[:k]
+        if not winners:
+            return RoundOutcome(
+                round_index=auction_round.index, selected=(), payments={}
+            )
+
+        total_value = sum(values[bid.client_id] for bid in winners)
+        payments: dict[int, float] = {}
+        for position, bid in enumerate(winners):
+            value = values[bid.client_id]
+            # Critical density: the bid at which this client would fall
+            # behind the first loser in the density order (or be unbounded
+            # when there is no loser).
+            if k < len(ranked):
+                next_density = values[ranked[k].client_id] / max(ranked[k].cost, 1e-12)
+                density_cap = value / next_density if next_density > 0 else float("inf")
+            else:
+                density_cap = float("inf")
+            share_cap = self.budget_per_round * value / total_value
+            payment = min(density_cap, share_cap)
+            payments[bid.client_id] = max(payment, bid.cost)
+        return RoundOutcome(
+            round_index=auction_round.index,
+            selected=tuple(sorted(payments)),
+            payments=payments,
+        )

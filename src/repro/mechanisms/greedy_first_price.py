@@ -1,0 +1,64 @@
+"""Pay-as-bid greedy recruitment under a per-round payment budget.
+
+The "obvious" engineering baseline: rank bidders by value-per-money
+(``v_i / b_i``), recruit greedily while the bids fit the per-round budget,
+and pay each winner its bid.  Spend-efficient on paper but *not truthful* —
+winners are paid exactly what they ask, so every winner wants to inflate its
+bid toward its critical value.  Experiment E5 quantifies exactly how much a
+deviating client gains here, which is the motivation for LT-VCG's payment
+rule.
+"""
+
+from __future__ import annotations
+
+from repro.core.bids import AuctionRound, RoundOutcome
+from repro.core.mechanism import Mechanism
+from repro.utils.validation import check_positive
+
+__all__ = ["GreedyFirstPriceMechanism"]
+
+
+class GreedyFirstPriceMechanism(Mechanism):
+    """Greedy value-density selection within a budget; pay bids.
+
+    Parameters
+    ----------
+    budget_per_round:
+        Hard cap on this round's total payment.
+    max_winners:
+        Optional cardinality cap.
+    """
+
+    name = "greedy-first-price"
+
+    def __init__(
+        self, budget_per_round: float, max_winners: int | None = None
+    ) -> None:
+        self.budget_per_round = check_positive("budget_per_round", budget_per_round)
+        if max_winners is not None and max_winners <= 0:
+            raise ValueError(f"max_winners must be > 0, got {max_winners}")
+        self.max_winners = max_winners
+
+    def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
+        def density(bid) -> float:
+            return auction_round.values[bid.client_id] / max(bid.cost, 1e-12)
+
+        ranked = sorted(
+            auction_round.bids, key=lambda bid: (-density(bid), bid.client_id)
+        )
+        selected: list[int] = []
+        payments: dict[int, float] = {}
+        remaining = self.budget_per_round
+        for bid in ranked:
+            if self.max_winners is not None and len(selected) >= self.max_winners:
+                break
+            if bid.cost > remaining + 1e-12:
+                continue
+            selected.append(bid.client_id)
+            payments[bid.client_id] = bid.cost
+            remaining -= bid.cost
+        return RoundOutcome(
+            round_index=auction_round.index,
+            selected=tuple(sorted(selected)),
+            payments=payments,
+        )

@@ -1,0 +1,64 @@
+"""Myopic VCG — the no-Lyapunov ablation.
+
+Runs the identical per-round weighted VCG auction as LT-VCG but with the
+budget virtual queue frozen at zero: the cost weight stays at ``V`` forever,
+so the mechanism maximises per-round welfare and *ignores* the long-term
+budget entirely.  Truthful and individually rational (it is still an affine
+maximizer), but experiment E3/E10 show its cumulative spend drifting
+arbitrarily far above the budget line — isolating exactly what the Lyapunov
+controller contributes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.bids import AuctionRound, RoundOutcome
+from repro.core.mechanism import Mechanism
+from repro.core.vcg import SingleRoundVCGAuction
+
+__all__ = ["MyopicVCGMechanism"]
+
+
+class MyopicVCGMechanism(Mechanism):
+    """Per-round welfare-maximising VCG with no long-term control.
+
+    Parameters mirror :class:`repro.core.longterm_vcg.LongTermVCGConfig`
+    minus everything budget- and sustainability-related.
+    """
+
+    name = "myopic-vcg"
+
+    def __init__(
+        self,
+        *,
+        max_winners: int | None = None,
+        wd_method: str = "exact",
+        demands: Mapping[int, float] | None = None,
+        capacity: float | None = None,
+    ) -> None:
+        self.max_winners = max_winners
+        self.wd_method = wd_method
+        self.demands = demands
+        self.capacity = capacity
+
+    def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
+        auction = SingleRoundVCGAuction(
+            value_weight=1.0,
+            cost_weight=1.0,
+            max_winners=self.max_winners,
+            demands=self.demands,
+            capacity=self.capacity,
+            wd_method=self.wd_method,
+        )
+        result = auction.run(auction_round)
+        return RoundOutcome(
+            round_index=auction_round.index,
+            selected=result.selected,
+            payments=dict(result.payments),
+            diagnostics={
+                "objective": result.objective,
+                "declared_welfare": result.declared_welfare,
+                "total_payment": result.total_payment,
+            },
+        )

@@ -1,0 +1,29 @@
+"""Cost-no-object oracle: recruit every available client.
+
+The learning-curve upper bound: every bidder is selected every round and
+paid its bid.  No budget discipline, no selection at all — it shows the best
+accuracy any selection mechanism could hope for and the (typically enormous)
+spend required to get it.
+"""
+
+from __future__ import annotations
+
+from repro.core.bids import AuctionRound, RoundOutcome
+from repro.core.mechanism import Mechanism
+
+__all__ = ["AllAvailableMechanism"]
+
+
+class AllAvailableMechanism(Mechanism):
+    """Select all bidders, pay each its bid."""
+
+    name = "all-available"
+
+    def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
+        selected = tuple(sorted(auction_round.client_ids))
+        payments = {
+            client_id: auction_round.bid_of(client_id).cost for client_id in selected
+        }
+        return RoundOutcome(
+            round_index=auction_round.index, selected=selected, payments=payments
+        )

@@ -1,0 +1,50 @@
+"""Uniform random client selection with pay-as-bid compensation.
+
+The classic FedAvg client-sampling rule with the minimal compensation scheme
+a deployment would bolt on: winners are paid their bid.  Not truthful (a
+client gains by overbidding, since selection ignores bids entirely) and has
+no budget control — both failure modes the evaluation quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bids import AuctionRound, RoundOutcome
+from repro.core.mechanism import Mechanism
+
+__all__ = ["RandomSelectionMechanism"]
+
+
+class RandomSelectionMechanism(Mechanism):
+    """Pick up to ``max_winners`` bidders uniformly at random; pay bids.
+
+    Parameters
+    ----------
+    max_winners:
+        Per-round selection cap (``None`` selects everyone).
+    rng:
+        Generator for the sampling (owned by the mechanism so runs are
+        reproducible).
+    """
+
+    name = "random"
+
+    def __init__(self, max_winners: int | None, rng: np.random.Generator) -> None:
+        if max_winners is not None and max_winners <= 0:
+            raise ValueError(f"max_winners must be > 0, got {max_winners}")
+        self.max_winners = max_winners
+        self.rng = rng
+
+    def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
+        ids = list(auction_round.client_ids)
+        if self.max_winners is not None and len(ids) > self.max_winners:
+            chosen = self.rng.choice(len(ids), size=self.max_winners, replace=False)
+            ids = [ids[i] for i in chosen]
+        selected = tuple(sorted(ids))
+        payments = {
+            client_id: auction_round.bid_of(client_id).cost for client_id in selected
+        }
+        return RoundOutcome(
+            round_index=auction_round.index, selected=selected, payments=payments
+        )

@@ -1,0 +1,41 @@
+"""Online simulation environment and end-to-end orchestration.
+
+* :mod:`repro.simulation.events` — structured per-round records,
+* :mod:`repro.simulation.environment` — client availability dynamics
+  (join/leave windows, random dropout) on top of the energy gating,
+* :mod:`repro.simulation.network` — communication/compute timing model,
+* :mod:`repro.simulation.runner` — the :class:`SimulationRunner` driving
+  mechanism + economics (+ optionally FL training) round by round,
+* :mod:`repro.simulation.scenarios` — canned, seeded scenario builders used
+  by the examples and every benchmark.
+"""
+
+from repro.simulation.environment import AlwaysAvailable, OnlineAvailability
+from repro.simulation.events import EventLog, RoundRecord
+from repro.simulation.network import NetworkModel
+from repro.simulation.replay import load_event_log, save_event_log
+from repro.simulation.runner import FLAttachment, SimulationRunner
+from repro.simulation.scenarios import (
+    Scenario,
+    build_fl_scenario,
+    build_mechanism_scenario,
+    icdcs_defaults,
+)
+from repro.simulation.topology import HierarchicalTopology
+
+__all__ = [
+    "AlwaysAvailable",
+    "EventLog",
+    "FLAttachment",
+    "HierarchicalTopology",
+    "NetworkModel",
+    "OnlineAvailability",
+    "RoundRecord",
+    "Scenario",
+    "SimulationRunner",
+    "build_fl_scenario",
+    "build_mechanism_scenario",
+    "icdcs_defaults",
+    "load_event_log",
+    "save_event_log",
+]

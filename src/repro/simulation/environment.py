@@ -1,0 +1,72 @@
+"""Client availability dynamics beyond energy.
+
+The *online* part of the mechanism: clients are not a fixed pool.  They join
+and leave the federation (churn) and suffer transient dropouts (connectivity,
+user activity) independent of their battery.  An availability model answers
+one question per round: could this client bid right now, energy aside?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_probability
+
+__all__ = ["AlwaysAvailable", "OnlineAvailability"]
+
+
+class AlwaysAvailable:
+    """The static-population model: present from round 0 forever."""
+
+    def is_present(self, round_index: int, rng: np.random.Generator) -> bool:
+        """Always True."""
+        return True
+
+    def __repr__(self) -> str:
+        return "AlwaysAvailable()"
+
+
+class OnlineAvailability:
+    """Join/leave window plus i.i.d. per-round dropout.
+
+    Parameters
+    ----------
+    join_round:
+        First round the client exists in the system.
+    leave_round:
+        First round the client is gone (``None`` = never leaves).
+    dropout_prob:
+        Per-round probability of being unreachable while present.
+    """
+
+    def __init__(
+        self,
+        join_round: int = 0,
+        leave_round: int | None = None,
+        dropout_prob: float = 0.0,
+    ) -> None:
+        if join_round < 0:
+            raise ValueError(f"join_round must be >= 0, got {join_round}")
+        if leave_round is not None and leave_round <= join_round:
+            raise ValueError(
+                f"leave_round ({leave_round}) must be > join_round ({join_round})"
+            )
+        self.join_round = int(join_round)
+        self.leave_round = None if leave_round is None else int(leave_round)
+        self.dropout_prob = check_probability("dropout_prob", dropout_prob)
+
+    def is_present(self, round_index: int, rng: np.random.Generator) -> bool:
+        """Whether the client can bid in ``round_index``."""
+        if round_index < self.join_round:
+            return False
+        if self.leave_round is not None and round_index >= self.leave_round:
+            return False
+        if self.dropout_prob > 0 and rng.random() < self.dropout_prob:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlineAvailability(join={self.join_round}, "
+            f"leave={self.leave_round}, dropout={self.dropout_prob})"
+        )

@@ -1,0 +1,142 @@
+"""Structured per-round simulation records.
+
+The :class:`EventLog` is the simulator's output: one :class:`RoundRecord`
+per round with everything the analysis layer needs — who was available, who
+bid what, whose costs were what (ground truth the mechanism never saw), who
+won, what was paid, and the mechanism diagnostics.  All analysis and
+reporting derives from this log, so experiments never reach into live
+simulator state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RoundRecord", "EventLog"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Ground-truth record of one simulated round."""
+
+    round_index: int
+    available: tuple[int, ...]
+    bids: dict[int, float]
+    true_costs: dict[int, float]
+    values: dict[int, float]
+    selected: tuple[int, ...]
+    payments: dict[int, float]
+    failed: tuple[int, ...] = ()
+    diagnostics: dict[str, float] = field(default_factory=dict)
+    round_duration: float = 0.0
+    battery_levels: dict[int, float] = field(default_factory=dict)
+    test_accuracy: float = float("nan")
+    test_loss: float = float("nan")
+
+    @property
+    def total_payment(self) -> float:
+        """Money spent this round."""
+        return float(sum(self.payments.values()))
+
+    @property
+    def true_welfare(self) -> float:
+        """Realised social welfare: sum of (value - true cost) over winners."""
+        return float(
+            sum(self.values[cid] - self.true_costs[cid] for cid in self.selected)
+        )
+
+    @property
+    def server_surplus(self) -> float:
+        """Value obtained minus money paid (the buyer's net)."""
+        return float(
+            sum(self.values[cid] for cid in self.selected) - self.total_payment
+        )
+
+
+class EventLog:
+    """Ordered round records plus series/summary helpers."""
+
+    def __init__(self) -> None:
+        self._records: list[RoundRecord] = []
+
+    def record(self, record: RoundRecord) -> None:
+        """Append one round (must arrive in index order)."""
+        if self._records and record.round_index <= self._records[-1].round_index:
+            raise ValueError(
+                f"round {record.round_index} recorded after "
+                f"{self._records[-1].round_index}"
+            )
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index: int) -> RoundRecord:
+        return self._records[index]
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> tuple[RoundRecord, ...]:
+        """All records, in order."""
+        return tuple(self._records)
+
+    def round_indices(self) -> list[int]:
+        """The x-axis of every per-round series."""
+        return [r.round_index for r in self._records]
+
+    def payment_series(self) -> list[float]:
+        """Per-round total payment."""
+        return [r.total_payment for r in self._records]
+
+    def welfare_series(self) -> list[float]:
+        """Per-round realised welfare."""
+        return [r.true_welfare for r in self._records]
+
+    def cumulative(self, series: list[float]) -> list[float]:
+        """Running sum of any per-round series."""
+        return np.cumsum(series).tolist()
+
+    def diagnostics_series(self, key: str) -> list[float]:
+        """Per-round mechanism diagnostic (NaN where missing)."""
+        return [float(r.diagnostics.get(key, float("nan"))) for r in self._records]
+
+    def selection_counts(self) -> dict[int, int]:
+        """Rounds won per client id."""
+        counts: dict[int, int] = {}
+        for record in self._records:
+            for client_id in record.selected:
+                counts[client_id] = counts.get(client_id, 0) + 1
+        return counts
+
+    def availability_counts(self) -> dict[int, int]:
+        """Rounds each client was available (bid) in."""
+        counts: dict[int, int] = {}
+        for record in self._records:
+            for client_id in record.available:
+                counts[client_id] = counts.get(client_id, 0) + 1
+        return counts
+
+    def total_payment(self) -> float:
+        """Money spent over the whole run."""
+        return float(sum(r.total_payment for r in self._records))
+
+    def total_welfare(self) -> float:
+        """Welfare accumulated over the whole run."""
+        return float(sum(r.true_welfare for r in self._records))
+
+    def average_payment(self) -> float:
+        """Average spend per round."""
+        return self.total_payment() / len(self._records) if self._records else 0.0
+
+    def accuracy_series(self) -> tuple[list[int], list[float]]:
+        """(rounds, accuracy) with NaN (unevaluated) rounds dropped."""
+        xs, ys = [], []
+        for record in self._records:
+            if not np.isnan(record.test_accuracy):
+                xs.append(record.round_index)
+                ys.append(record.test_accuracy)
+        return xs, ys

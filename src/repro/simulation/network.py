@@ -1,0 +1,92 @@
+"""Round timing: a simple compute + upload latency model.
+
+Synchronous FL rounds last as long as the slowest selected client
+(straggler effect).  The model assigns each client a compute rate
+(sample-gradient evaluations per second) and an uplink bandwidth
+(parameters per second); one round's duration is the maximum over winners of
+``work / rate + model_size / bandwidth``.  Used to convert "rounds" into
+wall-clock time in the reporting, and to show that value-aware selection
+does not accidentally pick straggler-heavy winner sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["NetworkModel"]
+
+
+class NetworkModel:
+    """Per-client latency parameters and round-duration computation.
+
+    Parameters
+    ----------
+    compute_rates:
+        Client id -> sample-gradient evaluations per second.
+    bandwidths:
+        Client id -> parameters uploaded per second.
+    model_size:
+        Number of model parameters transmitted per round.
+    server_overhead:
+        Fixed per-round coordination time (seconds).
+    """
+
+    def __init__(
+        self,
+        compute_rates: dict[int, float],
+        bandwidths: dict[int, float],
+        model_size: int,
+        *,
+        server_overhead: float = 0.1,
+    ) -> None:
+        if set(compute_rates) != set(bandwidths):
+            raise ValueError("compute_rates and bandwidths must cover the same clients")
+        self.compute_rates = {
+            cid: check_positive(f"compute_rates[{cid}]", rate)
+            for cid, rate in compute_rates.items()
+        }
+        self.bandwidths = {
+            cid: check_positive(f"bandwidths[{cid}]", bw)
+            for cid, bw in bandwidths.items()
+        }
+        if model_size <= 0:
+            raise ValueError(f"model_size must be > 0, got {model_size}")
+        self.model_size = int(model_size)
+        self.server_overhead = check_positive("server_overhead", server_overhead)
+
+    @classmethod
+    def sample(
+        cls,
+        client_ids: list[int],
+        model_size: int,
+        rng: np.random.Generator,
+        *,
+        rate_range: tuple[float, float] = (2_000.0, 20_000.0),
+        bandwidth_range: tuple[float, float] = (50_000.0, 500_000.0),
+    ) -> "NetworkModel":
+        """Draw a heterogeneous network from log-uniform ranges."""
+        def log_uniform(low: float, high: float) -> float:
+            return float(np.exp(rng.uniform(np.log(low), np.log(high))))
+
+        return cls(
+            compute_rates={cid: log_uniform(*rate_range) for cid in client_ids},
+            bandwidths={cid: log_uniform(*bandwidth_range) for cid in client_ids},
+            model_size=model_size,
+        )
+
+    def client_latency(self, client_id: int, work: float) -> float:
+        """Seconds for one client to compute ``work`` and upload the model."""
+        if client_id not in self.compute_rates:
+            raise KeyError(f"no network parameters for client {client_id}")
+        compute = work / self.compute_rates[client_id]
+        upload = self.model_size / self.bandwidths[client_id]
+        return compute + upload
+
+    def round_duration(self, selected: tuple[int, ...], work: float) -> float:
+        """Wall-clock seconds of one synchronous round (straggler-bound)."""
+        if not selected:
+            return self.server_overhead
+        slowest = max(self.client_latency(cid, work) for cid in selected)
+        return self.server_overhead + slowest

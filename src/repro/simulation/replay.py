@@ -1,0 +1,98 @@
+"""Event-log persistence: save runs to JSON and load them back.
+
+Long experiments should be simulated once and analysed many times.  This
+module round-trips :class:`~repro.simulation.events.EventLog` through JSON
+so analysis (welfare, regret, fairness, budget) and reporting can run
+post-hoc on archived runs — including runs produced on another machine.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.simulation.events import EventLog, RoundRecord
+from repro.utils.serialization import load_json, save_json
+
+__all__ = ["event_log_to_dict", "event_log_from_dict", "save_event_log", "load_event_log"]
+
+_FORMAT_VERSION = 1
+
+
+def event_log_to_dict(log: EventLog) -> dict:
+    """Convert a log into a plain JSON-ready dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "rounds": [
+            {
+                "round_index": record.round_index,
+                "available": list(record.available),
+                "bids": record.bids,
+                "true_costs": record.true_costs,
+                "values": record.values,
+                "selected": list(record.selected),
+                "payments": record.payments,
+                "failed": list(record.failed),
+                "diagnostics": record.diagnostics,
+                "round_duration": record.round_duration,
+                "battery_levels": record.battery_levels,
+                "test_accuracy": record.test_accuracy,
+                "test_loss": record.test_loss,
+            }
+            for record in log
+        ],
+    }
+
+
+def _int_keys(mapping: dict) -> dict[int, float]:
+    return {int(key): float(value) for key, value in mapping.items()}
+
+
+def event_log_from_dict(data: dict) -> EventLog:
+    """Rebuild a log from :func:`event_log_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported event-log format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    log = EventLog()
+    for row in data["rounds"]:
+        log.record(
+            RoundRecord(
+                round_index=int(row["round_index"]),
+                available=tuple(int(c) for c in row["available"]),
+                bids=_int_keys(row["bids"]),
+                true_costs=_int_keys(row["true_costs"]),
+                values=_int_keys(row["values"]),
+                selected=tuple(int(c) for c in row["selected"]),
+                payments=_int_keys(row["payments"]),
+                failed=tuple(int(c) for c in row.get("failed", ())),
+                diagnostics={str(k): float(v) for k, v in row["diagnostics"].items()},
+                round_duration=float(row["round_duration"]),
+                battery_levels=_int_keys(row["battery_levels"]),
+                test_accuracy=float(row["test_accuracy"]),
+                test_loss=float(row["test_loss"]),
+            )
+        )
+    return log
+
+
+def save_event_log(path: str | Path, log: EventLog) -> None:
+    """Archive a log as JSON (NaNs preserved as nulls by the JSON layer)."""
+    data = event_log_to_dict(log)
+    # json cannot encode NaN portably; swap for None and back on load.
+    for row in data["rounds"]:
+        for key in ("test_accuracy", "test_loss"):
+            if row[key] != row[key]:  # NaN check
+                row[key] = None
+    save_json(path, data)
+
+
+def load_event_log(path: str | Path) -> EventLog:
+    """Load a log archived with :func:`save_event_log`."""
+    data = load_json(path)
+    for row in data["rounds"]:
+        for key in ("test_accuracy", "test_loss"):
+            if row[key] is None:
+                row[key] = float("nan")
+    return event_log_from_dict(data)

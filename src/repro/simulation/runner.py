@@ -1,0 +1,240 @@
+"""The end-to-end simulation loop.
+
+:class:`SimulationRunner` drives one mechanism against one economic
+population for ``T`` rounds.  Per round it:
+
+1. determines the available clients (presence model + battery gating),
+2. collects sealed bids via each client's bidding strategy,
+3. computes server-side valuations (bid-independent),
+4. runs the mechanism to get winners and payments,
+5. applies consequences — battery drain/harvest, strategy learning,
+   valuation staleness updates, optional FL training of the winners,
+6. appends a ground-truth :class:`~repro.simulation.events.RoundRecord`.
+
+Two modes: *mechanism-only* (no FL attached — thousands of rounds per
+second, used by the economic experiments E2-E6/E8/E9) and *with-FL* (an
+:class:`FLAttachment` trains the global model with the winner set each
+round — experiments E1/E7/E10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bids import AuctionRound, RoundOutcome
+from repro.core.mechanism import Mechanism
+from repro.core.valuation import ValuationModel
+from repro.economics.client_profile import EconomicClient
+from repro.fl.client import FLClient
+from repro.fl.server import FLServer
+from repro.logging_utils import get_logger
+from repro.simulation.environment import AlwaysAvailable
+from repro.simulation.events import EventLog, RoundRecord
+from repro.simulation.network import NetworkModel
+
+__all__ = ["FLAttachment", "SimulationRunner"]
+
+_LOGGER = get_logger("simulation.runner")
+
+
+class FLAttachment:
+    """Couples a federated-learning substrate to the simulation.
+
+    Parameters
+    ----------
+    server:
+        The global-model holder.
+    fl_clients:
+        Client id -> :class:`~repro.fl.client.FLClient` (ids must match the
+        economic clients').
+    eval_every:
+        Evaluate the global model every this many rounds.
+    """
+
+    def __init__(
+        self,
+        server: FLServer,
+        fl_clients: dict[int, FLClient],
+        *,
+        eval_every: int = 5,
+    ) -> None:
+        if eval_every <= 0:
+            raise ValueError(f"eval_every must be > 0, got {eval_every}")
+        self.server = server
+        self.fl_clients = dict(fl_clients)
+        self.eval_every = int(eval_every)
+
+    def step(
+        self, round_index: int, selected: tuple[int, ...], *, force_eval: bool = False
+    ) -> tuple[float, float, dict[int, float]]:
+        """Train the winners, aggregate, optionally evaluate.
+
+        Returns ``(test_loss, test_accuracy, contributions)``; losses are
+        NaN when evaluation was skipped this round.  ``contributions`` maps
+        each trained winner to the magnitude (L2 norm) of its parameter
+        update — the realised-usefulness signal consumed by
+        :class:`repro.core.quality_estimation.LearnedValuation`.
+        """
+        global_params = self.server.global_params()
+        updates = [
+            self.fl_clients[cid].train(global_params)
+            for cid in selected
+            if cid in self.fl_clients
+        ]
+        self.server.apply_updates(updates)
+        contributions = {
+            update.client_id: float(np.linalg.norm(update.delta))
+            for update in updates
+        }
+        if force_eval or round_index % self.eval_every == 0:
+            loss, accuracy = self.server.evaluate()
+            return loss, accuracy, contributions
+        return float("nan"), float("nan"), contributions
+
+
+class SimulationRunner:
+    """Runs a mechanism against an economic population.
+
+    Parameters
+    ----------
+    mechanism:
+        Any :class:`~repro.core.mechanism.Mechanism`.
+    clients:
+        The economic population.
+    valuation:
+        Server-side valuation model.
+    presence:
+        Optional client id -> presence model (default: always present).
+    network:
+        Optional timing model (round durations recorded when given).
+    fl:
+        Optional FL attachment (winners train the global model).
+    seed:
+        Seed for the runner's own randomness (presence dropouts).
+    """
+
+    def __init__(
+        self,
+        mechanism: Mechanism,
+        clients: list[EconomicClient],
+        valuation: ValuationModel,
+        *,
+        presence: dict[int, object] | None = None,
+        network: NetworkModel | None = None,
+        fl: FLAttachment | None = None,
+        seed: int = 0,
+    ) -> None:
+        ids = [client.client_id for client in clients]
+        if len(ids) != len(set(ids)):
+            raise ValueError("duplicate economic client ids")
+        self.mechanism = mechanism
+        self.clients = {client.client_id: client for client in clients}
+        self.valuation = valuation
+        self.presence = presence or {}
+        self._default_presence = AlwaysAvailable()
+        self.network = network
+        self.fl = fl
+        self.rng = np.random.default_rng(seed)
+        self.log = EventLog()
+
+    def _available_clients(self, round_index: int) -> list[EconomicClient]:
+        available = []
+        for client_id in sorted(self.clients):
+            client = self.clients[client_id]
+            presence = self.presence.get(client_id, self._default_presence)
+            if presence.is_present(round_index, self.rng) and client.is_available():
+                available.append(client)
+        return available
+
+    def run_round(self, round_index: int, *, force_eval: bool = False) -> RoundRecord:
+        """Simulate one round end to end and append its record."""
+        available = self._available_clients(round_index)
+        bids = tuple(client.make_bid(round_index) for client in available)
+
+        if bids:
+            values = self.valuation.values_for(bids)
+            auction_round = AuctionRound(index=round_index, bids=bids, values=values)
+            outcome = self.mechanism.run_round(auction_round)
+        else:
+            values = {}
+            outcome = RoundOutcome(round_index=round_index, selected=(), payments={})
+
+        # Pay-on-delivery: winners whose upload fails drain their battery
+        # (the work happened) but receive no payment and contribute nothing.
+        winners = set(outcome.selected)
+        delivered = tuple(
+            cid for cid in outcome.selected if self.clients[cid].attempt_delivery()
+        )
+        failed = tuple(cid for cid in outcome.selected if cid not in set(delivered))
+
+        work = 0.0
+        for client_id in sorted(self.clients):
+            client = self.clients[client_id]
+            payment = (
+                outcome.payment_of(client_id) if client_id in set(delivered) else 0.0
+            )
+            client.post_round(
+                round_index,
+                selected=client_id in winners,
+                payment=payment,
+            )
+            if client_id in winners:
+                work = max(work, float(client.local_steps * client.batch_size))
+        self.valuation.observe_selection(delivered)
+
+        duration = 0.0
+        if self.network is not None:
+            duration = self.network.round_duration(outcome.selected, work)
+
+        test_loss = test_accuracy = float("nan")
+        if self.fl is not None:
+            test_loss, test_accuracy, contributions = self.fl.step(
+                round_index, delivered, force_eval=force_eval
+            )
+            observe = getattr(self.valuation, "observe_contributions", None)
+            if observe is not None and contributions:
+                observe(contributions)
+
+        diagnostics = dict(outcome.diagnostics)
+        if failed:
+            diagnostics["committed_payment"] = outcome.total_payment
+        record = RoundRecord(
+            round_index=round_index,
+            available=tuple(client.client_id for client in available),
+            bids={bid.client_id: bid.cost for bid in bids},
+            true_costs={
+                client.client_id: client.true_cost() for client in available
+            },
+            values=dict(values),
+            selected=delivered,
+            payments={cid: outcome.payments[cid] for cid in delivered},
+            failed=failed,
+            diagnostics=diagnostics,
+            round_duration=duration,
+            battery_levels={
+                client_id: client.battery.level
+                for client_id, client in self.clients.items()
+                if client.battery is not None
+            },
+            test_loss=test_loss,
+            test_accuracy=test_accuracy,
+        )
+        self.log.record(record)
+        return record
+
+    def run(self, num_rounds: int, *, log_every: int | None = None) -> EventLog:
+        """Simulate ``num_rounds`` rounds; returns the event log."""
+        if num_rounds <= 0:
+            raise ValueError(f"num_rounds must be > 0, got {num_rounds}")
+        for round_index in range(num_rounds):
+            force_eval = round_index == num_rounds - 1
+            record = self.run_round(round_index, force_eval=force_eval)
+            if log_every and round_index % log_every == 0:
+                _LOGGER.info(
+                    "round %d: %d available, %d selected, paid %.3f",
+                    round_index,
+                    len(record.available),
+                    len(record.selected),
+                    record.total_payment,
+                )
+        return self.log

@@ -1,0 +1,252 @@
+"""Canned, seeded scenario builders.
+
+A *scenario* bundles everything a :class:`~repro.simulation.runner.SimulationRunner`
+needs except the mechanism: the economic population, the valuation model,
+presence dynamics, the network model, and (optionally) a full FL substrate.
+Scenario objects are stateful and single-use — experiments comparing
+mechanisms call the builder once per mechanism with the same seed, which
+reproduces an identical environment for each contender.
+
+:func:`icdcs_defaults` centralises the canonical parameter set used across
+the benchmark suite (documented in DESIGN.md's experiment index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.valuation import (
+    DiminishingReturnsValuation,
+    StalenessAwareValuation,
+    ValuationModel,
+)
+from repro.economics.client_profile import EconomicClient, build_population
+from repro.economics.data_value import data_quality
+from repro.fl.client import FLClient
+from repro.fl.datasets import make_synthetic_images, train_test_split
+from repro.fl.linear import SoftmaxRegression
+from repro.fl.mlp import MLPClassifier
+from repro.fl.optimizer import SGD
+from repro.fl.partition import dirichlet_partition, iid_partition
+from repro.fl.server import FLServer
+from repro.rng import RngTree
+from repro.simulation.environment import OnlineAvailability
+from repro.simulation.network import NetworkModel
+from repro.simulation.runner import FLAttachment
+
+__all__ = ["Scenario", "build_mechanism_scenario", "build_fl_scenario", "icdcs_defaults"]
+
+
+def icdcs_defaults() -> dict:
+    """The canonical parameter set of the benchmark suite.
+
+    Reconstructed scale (see DESIGN.md): 40 clients, 10 winners per round,
+    Dirichlet(0.5) label skew, V=50, per-round budget 5.0.
+    """
+    return {
+        "num_clients": 40,
+        "max_winners": 10,
+        "dirichlet_alpha": 0.5,
+        "v": 50.0,
+        "budget_per_round": 5.0,
+        "num_rounds": 300,
+        "local_steps": 5,
+        "batch_size": 32,
+        "num_samples": 8000,
+        "participation_target": 0.2,
+    }
+
+
+@dataclass
+class Scenario:
+    """A ready-to-run environment minus the mechanism (single-use)."""
+
+    clients: list[EconomicClient]
+    valuation: ValuationModel
+    presence: dict[int, object] = field(default_factory=dict)
+    network: NetworkModel | None = None
+    fl: FLAttachment | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def client_ids(self) -> list[int]:
+        """All economic client ids."""
+        return [client.client_id for client in self.clients]
+
+    def true_costs(self) -> dict[int, float]:
+        """Ground-truth per-round costs, keyed by client id."""
+        return {client.client_id: client.true_cost() for client in self.clients}
+
+    def participation_targets(self, rate: float) -> dict[int, float]:
+        """A uniform participation-rate target map for LT-VCG."""
+        return {client_id: rate for client_id in self.client_ids}
+
+
+def build_mechanism_scenario(
+    num_clients: int = 40,
+    *,
+    seed: int = 0,
+    energy_constrained: bool = False,
+    strategy_factory=None,
+    churn: bool = False,
+    staleness_boost: float = 0.0,
+    value_scale: float = 1.0,
+    with_network: bool = False,
+) -> Scenario:
+    """Economics-only scenario (no FL) — fast, for E2-E6/E8/E9.
+
+    Parameters
+    ----------
+    num_clients / seed:
+        Population size and root seed.
+    energy_constrained:
+        Battery-gated availability (sustainability experiments).
+    strategy_factory:
+        ``(client_id, rng) -> BiddingStrategy``; default truthful.
+    churn:
+        When True, a third of the clients join late and a third leave early
+        (the online-arrival dynamic).
+    staleness_boost:
+        >0 wraps the valuation in a staleness booster.
+    value_scale:
+        Scale of the diminishing-returns valuation.
+    with_network:
+        Attach a sampled network timing model.
+    """
+    tree = RngTree(seed)
+    clients = build_population(
+        num_clients,
+        seed=tree.child_seed("population"),
+        strategy_factory=strategy_factory,
+        energy_constrained=energy_constrained,
+    )
+    valuation: ValuationModel = DiminishingReturnsValuation(
+        scale=value_scale, reference_size=100
+    )
+    if staleness_boost > 0:
+        valuation = StalenessAwareValuation(valuation, boost=staleness_boost)
+        valuation.register_clients(tuple(c.client_id for c in clients))
+
+    presence: dict[int, object] = {}
+    if churn:
+        churn_rng = tree.generator("churn")
+        for client in clients:
+            draw = churn_rng.random()
+            if draw < 1 / 3:
+                presence[client.client_id] = OnlineAvailability(
+                    join_round=int(churn_rng.integers(50, 150))
+                )
+            elif draw < 2 / 3:
+                presence[client.client_id] = OnlineAvailability(
+                    leave_round=int(churn_rng.integers(150, 300))
+                )
+
+    network = None
+    if with_network:
+        network = NetworkModel.sample(
+            [c.client_id for c in clients], model_size=650, rng=tree.generator("network")
+        )
+
+    return Scenario(
+        clients=clients,
+        valuation=valuation,
+        presence=presence,
+        network=network,
+        metadata={"seed": seed, "num_clients": num_clients, "kind": "mechanism-only"},
+    )
+
+
+def build_fl_scenario(
+    num_clients: int = 40,
+    *,
+    seed: int = 0,
+    num_samples: int = 8000,
+    dirichlet_alpha: float | None = 0.5,
+    model: str = "softmax",
+    local_steps: int = 5,
+    batch_size: int = 32,
+    learning_rate: float = 0.3,
+    eval_every: int = 5,
+    energy_constrained: bool = False,
+    strategy_factory=None,
+    value_scale: float = 1.0,
+    staleness_boost: float = 0.0,
+) -> Scenario:
+    """Full scenario: economics + synthetic-image FL substrate (E1/E7/E10).
+
+    ``dirichlet_alpha=None`` gives an IID partition; smaller alpha = more
+    label skew.  ``model`` is ``"softmax"`` or ``"mlp"``.
+    ``staleness_boost > 0`` wraps the valuation so long-unselected clients
+    gain value — the coverage signal that makes value-aware selection
+    competitive with uniform sampling under non-IID data.
+    """
+    tree = RngTree(seed)
+    data_rng = tree.generator("data")
+    dataset = make_synthetic_images(
+        num_samples, num_classes=10, shape=(8, 8), rng=data_rng
+    )
+    train, test = train_test_split(dataset, 0.25, data_rng)
+    if dirichlet_alpha is None:
+        shards = iid_partition(train.num_samples, num_clients, data_rng)
+    else:
+        shards = dirichlet_partition(
+            train.labels, num_clients, dirichlet_alpha, data_rng
+        )
+
+    def make_model(model_seed: int):
+        if model == "softmax":
+            return SoftmaxRegression(64, 10, seed=model_seed)
+        if model == "mlp":
+            return MLPClassifier([64, 32, 10], seed=model_seed)
+        raise ValueError(f"unknown model {model!r}")
+
+    fl_clients: dict[int, FLClient] = {}
+    declared_sizes: list[int] = []
+    declared_qualities: list[float] = []
+    for client_id, shard in enumerate(shards):
+        local = train.subset(shard)
+        fl_clients[client_id] = FLClient(
+            client_id,
+            local,
+            make_model(client_id + 1),
+            lambda: SGD(learning_rate),
+            local_steps=local_steps,
+            batch_size=batch_size,
+            rng=tree.generator(f"fl-clients/{client_id}"),
+        )
+        declared_sizes.append(local.num_samples)
+        declared_qualities.append(data_quality(local.labels, 10))
+
+    clients = build_population(
+        num_clients,
+        seed=tree.child_seed("population"),
+        declared_sizes=declared_sizes,
+        declared_qualities=declared_qualities,
+        strategy_factory=strategy_factory,
+        local_steps=local_steps,
+        batch_size=batch_size,
+        energy_constrained=energy_constrained,
+    )
+
+    server = FLServer(make_model(0), test)
+    attachment = FLAttachment(server, fl_clients, eval_every=eval_every)
+    valuation: ValuationModel = DiminishingReturnsValuation(
+        scale=value_scale, reference_size=100
+    )
+    if staleness_boost > 0:
+        valuation = StalenessAwareValuation(valuation, boost=staleness_boost, cap=10)
+        valuation.register_clients(tuple(range(num_clients)))
+    return Scenario(
+        clients=clients,
+        valuation=valuation,
+        fl=attachment,
+        metadata={
+            "seed": seed,
+            "num_clients": num_clients,
+            "dirichlet_alpha": dirichlet_alpha,
+            "model": model,
+            "kind": "fl",
+        },
+    )

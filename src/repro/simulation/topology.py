@@ -1,0 +1,150 @@
+"""Network topologies for hierarchical federations (networkx based).
+
+Real deployments are not a star: clients attach to edge aggregators that
+relay to the cloud.  :class:`HierarchicalTopology` models a two-tier tree —
+clients -> edge servers -> cloud — and derives per-client upload latency
+from the tree's edge latencies.  One synchronous round then lasts
+
+    ``max over edges e of [ max over winners under e of client latency
+                            + edge-to-cloud latency ]``
+
+because edge aggregators forward as soon as their slowest local winner
+arrives.  The topology also answers locality queries (which winners share
+an edge) used by the topology-aware reporting.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["HierarchicalTopology"]
+
+_CLOUD = "cloud"
+
+
+class HierarchicalTopology:
+    """A clients -> edges -> cloud aggregation tree.
+
+    Parameters
+    ----------
+    edge_of:
+        Client id -> edge-server index.
+    client_latency:
+        Client id -> seconds to upload one model to its edge server.
+    edge_latency:
+        Edge index -> seconds to forward one aggregate to the cloud.
+    """
+
+    def __init__(
+        self,
+        edge_of: dict[int, int],
+        client_latency: dict[int, float],
+        edge_latency: dict[int, float],
+    ) -> None:
+        if set(edge_of) != set(client_latency):
+            raise ValueError("edge_of and client_latency must cover the same clients")
+        missing = {edge for edge in edge_of.values() if edge not in edge_latency}
+        if missing:
+            raise ValueError(f"edge_latency missing for edges {sorted(missing)}")
+        self.edge_of = {int(c): int(e) for c, e in edge_of.items()}
+        self.client_latency = {
+            int(c): check_positive(f"client_latency[{c}]", latency)
+            for c, latency in client_latency.items()
+        }
+        self.edge_latency = {
+            int(e): check_positive(f"edge_latency[{e}]", latency)
+            for e, latency in edge_latency.items()
+        }
+
+        self._graph = nx.DiGraph()
+        self._graph.add_node(_CLOUD)
+        for edge, latency in self.edge_latency.items():
+            self._graph.add_edge(f"edge/{edge}", _CLOUD, latency=latency)
+        for client, edge in self.edge_of.items():
+            self._graph.add_edge(
+                f"client/{client}", f"edge/{edge}",
+                latency=self.client_latency[client],
+            )
+
+    @classmethod
+    def random(
+        cls,
+        client_ids: list[int],
+        num_edges: int,
+        rng: np.random.Generator,
+        *,
+        client_latency_range: tuple[float, float] = (0.05, 0.5),
+        edge_latency_range: tuple[float, float] = (0.01, 0.1),
+    ) -> "HierarchicalTopology":
+        """Random attachment of clients to ``num_edges`` edge servers."""
+        if num_edges <= 0:
+            raise ValueError(f"num_edges must be > 0, got {num_edges}")
+        return cls(
+            edge_of={cid: int(rng.integers(num_edges)) for cid in client_ids},
+            client_latency={
+                cid: float(rng.uniform(*client_latency_range)) for cid in client_ids
+            },
+            edge_latency={
+                e: float(rng.uniform(*edge_latency_range)) for e in range(num_edges)
+            },
+        )
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying aggregation tree (clients -> edges -> cloud)."""
+        return self._graph
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edge servers."""
+        return len(self.edge_latency)
+
+    def clients_under(self, edge: int) -> tuple[int, ...]:
+        """Client ids attached to one edge server, sorted."""
+        return tuple(
+            sorted(c for c, e in self.edge_of.items() if e == edge)
+        )
+
+    def path_latency(self, client_id: int) -> float:
+        """End-to-end upload latency of one client (client + edge hop)."""
+        if client_id not in self.edge_of:
+            raise KeyError(f"unknown client {client_id}")
+        return self.client_latency[client_id] + self.edge_latency[self.edge_of[client_id]]
+
+    def round_duration(self, selected: tuple[int, ...]) -> float:
+        """Synchronous round duration with per-edge pipelined aggregation."""
+        if not selected:
+            return 0.0
+        per_edge: dict[int, float] = {}
+        for client_id in selected:
+            edge = self.edge_of[client_id]
+            per_edge[edge] = max(
+                per_edge.get(edge, 0.0), self.client_latency[client_id]
+            )
+        return max(
+            slowest_client + self.edge_latency[edge]
+            for edge, slowest_client in per_edge.items()
+        )
+
+    def edge_concentration(self, selected: tuple[int, ...]) -> float:
+        """Fraction of winners on the most loaded edge (1.0 = all on one).
+
+        A locality metric: selecting everyone behind one congested edge
+        makes rounds straggler-bound even if each client is fast.
+        """
+        if not selected:
+            return 0.0
+        counts: dict[int, int] = {}
+        for client_id in selected:
+            edge = self.edge_of[client_id]
+            counts[edge] = counts.get(edge, 0) + 1
+        return max(counts.values()) / len(selected)
+
+    def __repr__(self) -> str:
+        return (
+            f"HierarchicalTopology(clients={len(self.edge_of)}, "
+            f"edges={self.num_edges})"
+        )

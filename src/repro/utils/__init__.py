@@ -1,0 +1,24 @@
+"""Shared utilities: validation, serialization, and text tables."""
+
+from repro.utils.serialization import load_json, save_json, to_jsonable
+from repro.utils.tables import format_series, format_table
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "format_series",
+    "format_table",
+    "load_json",
+    "save_json",
+    "to_jsonable",
+]

@@ -1,0 +1,63 @@
+"""JSON round-tripping for experiment configurations and results.
+
+Numpy scalars and arrays appear throughout simulation outputs; plain
+:mod:`json` cannot serialise them.  :func:`to_jsonable` converts any result
+structure (nested dicts/lists/dataclasses with numpy leaves) into plain
+Python so it can be written with :func:`save_json` and read back with
+:func:`load_json`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_jsonable", "save_json", "load_json"]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serialisable plain Python.
+
+    Handles numpy scalars/arrays, dataclasses, mappings, sets (sorted into
+    lists for determinism), tuples and lists.  Raises :class:`TypeError` for
+    anything else that :mod:`json` cannot encode, rather than silently
+    stringifying it.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(to_jsonable(item) for item in value)
+    raise TypeError(f"cannot convert {type(value).__name__} to JSON: {value!r}")
+
+
+def save_json(path: str | Path, value: Any, *, indent: int = 2) -> None:
+    """Write ``value`` (converted via :func:`to_jsonable`) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(value), indent=indent, sort_keys=True))
+
+
+def load_json(path: str | Path) -> Any:
+    """Load a JSON document previously written with :func:`save_json`."""
+    return json.loads(Path(path).read_text())

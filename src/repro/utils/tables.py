@@ -1,0 +1,103 @@
+"""Plain-text tables and series for benchmark output.
+
+The benchmark harness regenerates the paper's tables and figures as text:
+tables are rendered with :func:`format_table`, figure series (x, y pairs per
+curve) with :func:`format_series`.  Both produce deterministic, diff-friendly
+output so benchmark logs can be compared across runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+__all__ = ["format_table", "format_series"]
+
+
+def _render_cell(value: Any, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: str | None = None,
+    float_fmt: str = ".4g",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; each row must have ``len(headers)`` cells.
+    title:
+        Optional caption printed above the table.
+    float_fmt:
+        :func:`format` spec applied to float cells.
+
+    Returns
+    -------
+    str
+        The rendered table, ending without a trailing newline.
+    """
+    header_cells = [str(h) for h in headers]
+    body = []
+    for row in rows:
+        cells = [_render_cell(cell, float_fmt) for cell in row]
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(header_cells)} columns: {cells!r}"
+            )
+        body.append(cells)
+
+    widths = [len(h) for h in header_cells]
+    for cells in body:
+        for j, cell in enumerate(cells):
+            widths[j] = max(widths[j], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[j]) for j, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(header_cells))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(cells) for cells in body)
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence[Any],
+    curves: Mapping[str, Sequence[float]],
+    *,
+    x_label: str = "x",
+    title: str | None = None,
+    float_fmt: str = ".4g",
+    max_points: int | None = None,
+) -> str:
+    """Render one or more curves sharing an x-axis as a text table.
+
+    This is the "figure" analogue for a terminal: each curve becomes a column.
+    ``max_points`` thins long series by uniform subsampling (always keeping
+    the first and last point) so a 1000-round trajectory prints ~20 rows.
+    """
+    for name, ys in curves.items():
+        if len(ys) != len(x):
+            raise ValueError(
+                f"curve {name!r} has {len(ys)} points but x-axis has {len(x)}"
+            )
+    indices = list(range(len(x)))
+    if max_points is not None and len(indices) > max_points > 1:
+        step = (len(indices) - 1) / (max_points - 1)
+        indices = sorted({round(i * step) for i in range(max_points)})
+    headers = [x_label, *curves.keys()]
+    rows = [[x[i], *[float(curves[name][i]) for name in curves]] for i in indices]
+    return format_table(headers, rows, title=title, float_fmt=float_fmt)

@@ -1,0 +1,79 @@
+"""Input-validation helpers.
+
+All public constructors in the library validate their numeric arguments with
+these helpers so that configuration mistakes fail fast, at construction time,
+with a message naming the offending parameter — not hundreds of simulated
+rounds later with a NaN.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]
+
+
+def _as_float(name: str, value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
+        raise TypeError(f"{name} must be a real number, got {value!r}")
+    return float(value)
+
+
+def check_finite(name: str, value: Any) -> float:
+    """Validate that ``value`` is a finite real number and return it as float."""
+    out = _as_float(name, value)
+    if not math.isfinite(out):
+        raise ValueError(f"{name} must be finite, got {out!r}")
+    return out
+
+
+def check_positive(name: str, value: Any) -> float:
+    """Validate that ``value`` is finite and strictly positive."""
+    out = check_finite(name, value)
+    if out <= 0:
+        raise ValueError(f"{name} must be > 0, got {out!r}")
+    return out
+
+
+def check_non_negative(name: str, value: Any) -> float:
+    """Validate that ``value`` is finite and non-negative."""
+    out = check_finite(name, value)
+    if out < 0:
+        raise ValueError(f"{name} must be >= 0, got {out!r}")
+    return out
+
+
+def check_probability(name: str, value: Any) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    out = check_finite(name, value)
+    if not 0.0 <= out <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {out!r}")
+    return out
+
+
+def check_in_range(
+    name: str,
+    value: Any,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate that ``value`` lies in ``[low, high]`` (or ``(low, high)``)."""
+    out = check_finite(name, value)
+    if inclusive:
+        if not low <= out <= high:
+            raise ValueError(f"{name} must be in [{low}, {high}], got {out!r}")
+    else:
+        if not low < out < high:
+            raise ValueError(f"{name} must be in ({low}, {high}), got {out!r}")
+    return out

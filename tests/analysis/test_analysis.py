@@ -1,0 +1,146 @@
+"""Tests for the analysis package (welfare, regret, fairness, budget, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.budget import budget_report
+from repro.analysis.fairness import (
+    gini_coefficient,
+    jain_index,
+    participation_rates,
+    starvation_count,
+)
+from repro.analysis.regret import regret_against_plan, rounds_to_auction_rounds
+from repro.analysis.reporting import (
+    accuracy_table,
+    mechanism_comparison_table,
+    payment_table,
+)
+from repro.analysis.welfare import welfare_summary
+from repro.simulation.events import EventLog, RoundRecord
+
+
+def build_log(payments_per_round, welfare_value=2.0, cost=0.5):
+    """A log where each round selects client 0 at the given payment."""
+    log = EventLog()
+    for t, payment in enumerate(payments_per_round):
+        log.record(
+            RoundRecord(
+                round_index=t,
+                available=(0, 1),
+                bids={0: cost, 1: cost},
+                true_costs={0: cost, 1: cost},
+                values={0: welfare_value, 1: welfare_value},
+                selected=(0,),
+                payments={0: payment},
+            )
+        )
+    return log
+
+
+class TestWelfareSummary:
+    def test_totals(self):
+        log = build_log([1.0, 1.0, 1.0])
+        summary = welfare_summary(log)
+        assert summary.total_welfare == pytest.approx(3 * 1.5)
+        assert summary.total_payment == pytest.approx(3.0)
+        assert summary.winners_per_round == 1.0
+        assert summary.welfare_per_unit_spend() == pytest.approx(1.5)
+
+    def test_empty_log(self):
+        summary = welfare_summary(EventLog())
+        assert summary.rounds == 0
+        assert summary.total_welfare == 0.0
+
+
+class TestBudgetReport:
+    def test_compliant_run(self):
+        log = build_log([1.0] * 10)
+        report = budget_report(log, budget_per_round=1.0)
+        assert report.compliant
+        assert report.final_overspend_ratio == pytest.approx(1.0)
+        assert report.peak_cumulative_overspend == pytest.approx(0.0)
+
+    def test_overspending_run(self):
+        log = build_log([2.0] * 10)
+        report = budget_report(log, budget_per_round=1.0)
+        assert not report.compliant
+        assert report.final_overspend_ratio == pytest.approx(2.0)
+        assert report.violating_prefix_fraction == 1.0
+
+    def test_transient_overspend_converges(self):
+        payments = [3.0] * 5 + [0.0] * 45
+        report = budget_report(build_log(payments), budget_per_round=1.0)
+        assert report.compliant
+        assert report.peak_cumulative_overspend == pytest.approx(10.0)
+        assert 0.0 < report.violating_prefix_fraction < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            budget_report(EventLog(), budget_per_round=0.0)
+
+
+class TestFairness:
+    def test_jain_bounds(self):
+        assert jain_index([1, 1, 1, 1]) == pytest.approx(1.0)
+        assert jain_index([1, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_gini_bounds(self):
+        assert gini_coefficient([1, 1, 1]) == pytest.approx(0.0)
+        assert gini_coefficient([0, 0, 9]) > 0.6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            jain_index([-1.0])
+        with pytest.raises(ValueError):
+            gini_coefficient([-1.0])
+
+    def test_participation_rates_and_starvation(self):
+        log = build_log([1.0] * 4)
+        rates = participation_rates(log, [0, 1])
+        assert rates == {0: 1.0, 1: 0.0}
+        assert starvation_count(log, [0, 1], minimum_rate=0.5) == 1
+
+
+class TestRegret:
+    def test_offline_at_least_online(self):
+        log = build_log([1.0] * 20)
+        point = regret_against_plan(log, budget_per_round=1.0, max_winners=1)
+        assert point.offline_welfare >= point.online_welfare - 1e-9
+        assert point.regret >= -1e-9
+
+    def test_rebuild_rounds_uses_true_costs(self):
+        log = EventLog()
+        log.record(
+            RoundRecord(
+                round_index=0,
+                available=(0,),
+                bids={0: 99.0},  # strategic bid
+                true_costs={0: 0.5},
+                values={0: 2.0},
+                selected=(),
+                payments={},
+            )
+        )
+        rounds = rounds_to_auction_rounds(log)
+        assert rounds[0].bid_of(0).cost == 0.5
+
+    def test_empty_log(self):
+        point = regret_against_plan(EventLog(), budget_per_round=1.0, max_winners=1)
+        assert point.regret == 0.0
+
+
+class TestReporting:
+    def test_tables_render(self):
+        logs = {"a": build_log([1.0] * 5), "b": build_log([2.0] * 5)}
+        table = mechanism_comparison_table(
+            logs, budget_per_round=1.0, client_ids=[0, 1]
+        )
+        assert "a" in table and "b" in table and "jain" in table
+        payments = payment_table(logs)
+        assert "premium" in payments
+
+    def test_accuracy_table_handles_missing_eval(self):
+        logs = {"x": build_log([1.0] * 3)}
+        table = accuracy_table(logs)
+        assert "nan" in table or "-" in table

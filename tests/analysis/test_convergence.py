@@ -1,0 +1,83 @@
+"""Tests for repro.analysis.convergence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    area_under_curve,
+    moving_average,
+    plateau_level,
+    rounds_to_target,
+)
+
+
+class TestRoundsToTarget:
+    def test_first_crossing(self):
+        assert rounds_to_target([0, 10, 20], [0.1, 0.5, 0.9], 0.5) == 10
+
+    def test_never_reached(self):
+        assert rounds_to_target([0, 10], [0.1, 0.2], 0.9) is None
+
+    def test_non_monotone_curve_uses_first_touch(self):
+        assert rounds_to_target([0, 1, 2, 3], [0.1, 0.6, 0.4, 0.7], 0.5) == 1
+
+    def test_rejects_unsorted_x(self):
+        with pytest.raises(ValueError):
+            rounds_to_target([10, 0], [0.1, 0.2], 0.5)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rounds_to_target([0, 1], [0.1], 0.5)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        ys = [1.0, 5.0, 2.0]
+        assert moving_average(ys, 1) == ys
+
+    def test_smooths(self):
+        noisy = [0.0, 1.0, 0.0, 1.0, 0.0, 1.0]
+        smooth = moving_average(noisy, 4)
+        assert np.std(smooth[3:]) < np.std(noisy[3:])
+
+    def test_trailing_semantics(self):
+        out = moving_average([1.0, 2.0, 3.0, 4.0], 2)
+        assert out == [1.0, 1.5, 2.5, 3.5]
+
+    def test_empty(self):
+        assert moving_average([], 3) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+
+
+class TestAreaUnderCurve:
+    def test_constant_curve(self):
+        assert area_under_curve([0, 10, 20], [0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_linear_ramp(self):
+        assert area_under_curve([0, 10], [0.0, 1.0]) == pytest.approx(0.5)
+
+    def test_rewards_early_convergence(self):
+        fast = area_under_curve([0, 1, 10], [0.0, 0.9, 0.9])
+        slow = area_under_curve([0, 9, 10], [0.0, 0.0, 0.9])
+        assert fast > slow
+
+    def test_single_point(self):
+        assert area_under_curve([5], [0.7]) == pytest.approx(0.7)
+
+
+class TestPlateauLevel:
+    def test_tail_mean(self):
+        ys = [0.0] * 8 + [0.8, 0.9]
+        assert plateau_level(ys, tail_fraction=0.2) == pytest.approx(0.85)
+
+    def test_whole_curve(self):
+        assert plateau_level([1.0, 2.0], tail_fraction=1.0) == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plateau_level([], tail_fraction=0.2)
+        with pytest.raises(ValueError):
+            plateau_level([1.0], tail_fraction=0.0)

@@ -1,0 +1,87 @@
+"""Tests for repro.analysis.stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import paired_comparison, run_over_seeds, summarize
+
+
+class TestSummarize:
+    def test_mean_and_interval(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.ci_low < 3.0 < summary.ci_high
+        assert summary.num_samples == 5
+
+    def test_interval_contains_truth_mostly(self, rng):
+        """~95% of 95%-CIs over N(0,1) samples should contain 0."""
+        contained = 0
+        trials = 300
+        for _ in range(trials):
+            summary = summarize(rng.normal(0, 1, size=10).tolist())
+            if summary.ci_low <= 0.0 <= summary.ci_high:
+                contained += 1
+        assert contained / trials > 0.88
+
+    def test_single_value(self):
+        summary = summarize([2.0])
+        assert summary.mean == 2.0
+        assert summary.ci_low == summary.ci_high == 2.0
+
+    def test_narrower_with_more_samples(self, rng):
+        small = summarize(rng.normal(0, 1, size=5).tolist())
+        large = summarize(np.random.default_rng(1).normal(0, 1, size=500).tolist())
+        assert (large.ci_high - large.ci_low) < (small.ci_high - small.ci_low)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=1.5)
+
+    def test_str_is_readable(self):
+        text = str(summarize([1.0, 2.0, 3.0]))
+        assert "±" in text and "n=3" in text
+
+
+class TestRunOverSeeds:
+    def test_calls_metric_per_seed(self):
+        calls = []
+
+        def metric(seed):
+            calls.append(seed)
+            return float(seed)
+
+        summary = run_over_seeds(metric, [1, 2, 3])
+        assert calls == [1, 2, 3]
+        assert summary.mean == pytest.approx(2.0)
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            run_over_seeds(lambda s: 0.0, [])
+
+
+class TestPairedComparison:
+    def test_detects_clear_winner(self, rng):
+        comparison = paired_comparison(
+            lambda seed: float(np.random.default_rng(seed).normal(5.0, 0.1)),
+            lambda seed: float(np.random.default_rng(seed + 999).normal(1.0, 0.1)),
+            seeds=list(range(8)),
+        )
+        assert comparison.mean_difference > 3.0
+        assert comparison.significant
+        assert comparison.p_value < 0.01
+        assert comparison.wins == 8
+
+    def test_no_difference_not_significant(self):
+        comparison = paired_comparison(
+            lambda seed: float(np.random.default_rng(seed).normal()),
+            lambda seed: float(np.random.default_rng(seed).normal()),
+            seeds=list(range(6)),
+        )
+        assert comparison.mean_difference == pytest.approx(0.0)
+        assert not comparison.significant
+
+    def test_needs_two_seeds(self):
+        with pytest.raises(ValueError):
+            paired_comparison(lambda s: 0.0, lambda s: 0.0, seeds=[1])

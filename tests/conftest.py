@@ -1,0 +1,55 @@
+"""Shared fixtures and instance builders for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bids import AuctionRound, Bid
+
+
+def make_round(
+    costs: list[float],
+    values: list[float] | None = None,
+    *,
+    index: int = 0,
+    data_sizes: list[int] | None = None,
+) -> AuctionRound:
+    """Build an auction round from parallel cost/value lists."""
+    n = len(costs)
+    if values is None:
+        values = [1.0] * n
+    if data_sizes is None:
+        data_sizes = [100] * n
+    bids = tuple(
+        Bid(client_id=i, cost=float(costs[i]), data_size=int(data_sizes[i]))
+        for i in range(n)
+    )
+    return AuctionRound(
+        index=index, bids=bids, values={i: float(values[i]) for i in range(n)}
+    )
+
+
+def random_instance(
+    rng: np.random.Generator, n: int, *, value_range=(0.2, 3.0), cost_range=(0.1, 2.0)
+) -> tuple[AuctionRound, dict[int, float]]:
+    """Random truthful round plus its true-cost map."""
+    costs = rng.uniform(*cost_range, size=n).tolist()
+    values = rng.uniform(*value_range, size=n).tolist()
+    auction_round = make_round(costs, values)
+    return auction_round, {i: costs[i] for i in range(n)}
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def simple_round() -> AuctionRound:
+    """Five clients with distinct costs and values."""
+    return make_round(
+        costs=[0.5, 0.8, 1.2, 2.0, 0.3],
+        values=[1.0, 1.5, 2.0, 3.0, 0.4],
+    )

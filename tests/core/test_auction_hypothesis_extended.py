@@ -1,0 +1,134 @@
+"""Extended property-based coverage of the single-round auction.
+
+These extend the LT-VCG properties file with the auction features added
+later: sustainability offsets, knapsack constraints, and reserve prices —
+each combined with both winner-determination methods and checked for the
+full property triple (truthfulness, IR, monotonicity).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bids import AuctionRound, Bid, RoundOutcome
+from repro.core.mechanism import Mechanism
+from repro.core.properties import (
+    verify_individual_rationality,
+    verify_monotonicity,
+    verify_truthfulness,
+)
+from repro.core.vcg import SingleRoundVCGAuction
+
+
+class _AuctionAsMechanism(Mechanism):
+    """Adapter: a (fresh, stateless) auction as a Mechanism for the verifiers."""
+
+    name = "single-round"
+
+    def __init__(self, **auction_kwargs) -> None:
+        self.auction_kwargs = auction_kwargs
+
+    def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
+        result = SingleRoundVCGAuction(**self.auction_kwargs).run(auction_round)
+        return RoundOutcome(
+            round_index=auction_round.index,
+            selected=result.selected,
+            payments=dict(result.payments),
+        )
+
+
+def build_instance(costs, seed, *, with_demands):
+    rng = np.random.default_rng(seed)
+    n = len(costs)
+    bids = tuple(
+        Bid(client_id=i, cost=float(costs[i]), data_size=int(rng.integers(10, 400)))
+        for i in range(n)
+    )
+    values = {i: float(rng.uniform(0.2, 3.0)) for i in range(n)}
+    auction_round = AuctionRound(index=0, bids=bids, values=values)
+    kwargs = {
+        "value_weight": float(rng.uniform(1.0, 30.0)),
+        "cost_weight": float(rng.uniform(1.0, 40.0)),
+        "max_winners": int(rng.integers(1, n + 1)),
+    }
+    if rng.random() < 0.5:
+        kwargs["offsets"] = {i: float(rng.uniform(0.0, 2.0)) for i in range(n)}
+    if with_demands:
+        kwargs["demands"] = {i: float(rng.uniform(0.2, 1.5)) for i in range(n)}
+        kwargs["capacity"] = float(rng.uniform(1.0, 4.0))
+    true_costs = {i: float(costs[i]) for i in range(n)}
+    return auction_round, true_costs, kwargs
+
+
+costs_strategy = st.lists(st.floats(0.05, 3.0, allow_nan=False), min_size=2, max_size=7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(costs=costs_strategy, seed=st.integers(0, 10_000))
+def test_offsets_preserve_truthfulness(costs, seed):
+    auction_round, true_costs, kwargs = build_instance(costs, seed, with_demands=False)
+    factory = lambda: _AuctionAsMechanism(**kwargs)  # noqa: E731
+    report = verify_truthfulness(
+        factory, auction_round, true_costs, deviation_factors=(0.4, 0.8, 1.3, 2.5)
+    )
+    assert report.is_truthful, report.violations()
+    outcome = factory().run_round(auction_round)
+    assert verify_individual_rationality(outcome, auction_round) == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(costs=costs_strategy, seed=st.integers(0, 10_000))
+def test_knapsack_exact_truthful(costs, seed):
+    auction_round, true_costs, kwargs = build_instance(costs, seed, with_demands=True)
+    kwargs["wd_method"] = "exact"
+    factory = lambda: _AuctionAsMechanism(**kwargs)  # noqa: E731
+    report = verify_truthfulness(
+        factory, auction_round, true_costs, deviation_factors=(0.5, 1.5, 3.0)
+    )
+    assert report.is_truthful, report.violations()
+
+
+@settings(max_examples=25, deadline=None)
+@given(costs=costs_strategy, seed=st.integers(0, 10_000))
+def test_knapsack_greedy_monotone_and_ir(costs, seed):
+    auction_round, _, kwargs = build_instance(costs, seed, with_demands=True)
+    kwargs["wd_method"] = "greedy"
+    factory = lambda: _AuctionAsMechanism(**kwargs)  # noqa: E731
+    assert verify_monotonicity(factory, auction_round) == []
+    outcome = factory().run_round(auction_round)
+    assert verify_individual_rationality(outcome, auction_round) == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    costs=costs_strategy,
+    seed=st.integers(0, 10_000),
+    reserve=st.floats(0.2, 2.5, allow_nan=False),
+)
+def test_reserve_preserves_all_properties(costs, seed, reserve):
+    auction_round, true_costs, kwargs = build_instance(costs, seed, with_demands=False)
+    kwargs["reserve_price"] = reserve
+    factory = lambda: _AuctionAsMechanism(**kwargs)  # noqa: E731
+    report = verify_truthfulness(
+        factory, auction_round, true_costs, deviation_factors=(0.5, 1.5, 3.0)
+    )
+    assert report.is_truthful, report.violations()
+    outcome = factory().run_round(auction_round)
+    assert verify_individual_rationality(outcome, auction_round) == []
+    # No payment ever exceeds the reserve.
+    for payment in outcome.payments.values():
+        assert payment <= reserve + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(costs=costs_strategy, seed=st.integers(0, 10_000))
+def test_payments_bounded_by_weighted_value(costs, seed):
+    """A winner is never paid more than w_i / cost_weight: its score must be
+    non-negative at its critical bid."""
+    auction_round, _, kwargs = build_instance(costs, seed, with_demands=False)
+    auction = SingleRoundVCGAuction(**kwargs)
+    result = auction.run(auction_round)
+    for client_id, payment in result.payments.items():
+        weight = auction.weight_of(client_id, auction_round.values[client_id])
+        assert payment <= weight / auction.cost_weight + 1e-6

@@ -1,0 +1,100 @@
+"""Tests for repro.core.bids."""
+
+import pytest
+
+from repro.core.bids import AuctionRound, Bid, RoundOutcome
+from tests.conftest import make_round
+
+
+class TestBid:
+    def test_construction(self):
+        bid = Bid(client_id=3, cost=1.5, data_size=200, quality=0.8)
+        assert bid.client_id == 3
+        assert bid.cost == 1.5
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            Bid(client_id=0, cost=-0.1)
+
+    def test_rejects_negative_client_id(self):
+        with pytest.raises(ValueError):
+            Bid(client_id=-1, cost=1.0)
+
+    def test_rejects_negative_data_size(self):
+        with pytest.raises(ValueError):
+            Bid(client_id=0, cost=1.0, data_size=-5)
+
+    def test_with_cost_preserves_other_fields(self):
+        bid = Bid(client_id=1, cost=1.0, data_size=50, quality=0.5)
+        deviated = bid.with_cost(2.0)
+        assert deviated.cost == 2.0
+        assert deviated.data_size == 50
+        assert deviated.quality == 0.5
+        assert bid.cost == 1.0  # frozen original
+
+    def test_frozen(self):
+        bid = Bid(client_id=0, cost=1.0)
+        with pytest.raises(AttributeError):
+            bid.cost = 2.0
+
+
+class TestAuctionRound:
+    def test_rejects_duplicate_clients(self):
+        bids = (Bid(client_id=0, cost=1.0), Bid(client_id=0, cost=2.0))
+        with pytest.raises(ValueError, match="duplicate"):
+            AuctionRound(index=0, bids=bids, values={0: 1.0})
+
+    def test_rejects_missing_values(self):
+        bids = (Bid(client_id=0, cost=1.0), Bid(client_id=1, cost=2.0))
+        with pytest.raises(ValueError, match="values missing"):
+            AuctionRound(index=0, bids=bids, values={0: 1.0})
+
+    def test_bid_of(self):
+        auction_round = make_round([0.5, 0.7])
+        assert auction_round.bid_of(1).cost == 0.7
+        with pytest.raises(KeyError):
+            auction_round.bid_of(99)
+
+    def test_with_replaced_bid(self):
+        auction_round = make_round([0.5, 0.7])
+        new = auction_round.with_replaced_bid(
+            auction_round.bid_of(0).with_cost(9.0)
+        )
+        assert new.bid_of(0).cost == 9.0
+        assert new.bid_of(1).cost == 0.7
+        assert auction_round.bid_of(0).cost == 0.5
+
+    def test_with_replaced_bid_unknown_client(self):
+        auction_round = make_round([0.5])
+        with pytest.raises(KeyError):
+            auction_round.with_replaced_bid(Bid(client_id=7, cost=1.0))
+
+    def test_without_client(self):
+        auction_round = make_round([0.5, 0.7, 0.9])
+        reduced = auction_round.without_client(1)
+        assert reduced.client_ids == (0, 2)
+        assert 1 not in reduced.values
+
+
+class TestRoundOutcome:
+    def test_valid(self):
+        outcome = RoundOutcome(round_index=0, selected=(1, 3), payments={1: 0.5, 3: 0.2})
+        assert outcome.total_payment == pytest.approx(0.7)
+        assert outcome.payment_of(1) == 0.5
+        assert outcome.payment_of(2) == 0.0
+
+    def test_selected_must_be_sorted_unique(self):
+        with pytest.raises(ValueError):
+            RoundOutcome(round_index=0, selected=(3, 1), payments={1: 0.1, 3: 0.1})
+        with pytest.raises(ValueError):
+            RoundOutcome(round_index=0, selected=(1, 1), payments={1: 0.1})
+
+    def test_payments_must_match_selection(self):
+        with pytest.raises(ValueError, match="missing"):
+            RoundOutcome(round_index=0, selected=(1,), payments={})
+        with pytest.raises(ValueError, match="unselected"):
+            RoundOutcome(round_index=0, selected=(), payments={1: 0.5})
+
+    def test_rejects_negative_payment(self):
+        with pytest.raises(ValueError, match="negative"):
+            RoundOutcome(round_index=0, selected=(1,), payments={1: -0.5})

@@ -1,0 +1,156 @@
+"""Tests for repro.core.longterm_vcg (the LT-VCG mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bids import Bid, AuctionRound
+from repro.core.longterm_vcg import LongTermVCGConfig, LongTermVCGMechanism
+from tests.conftest import make_round
+
+
+def random_rounds(rng, num_rounds, n, index_start=0):
+    rounds = []
+    for t in range(num_rounds):
+        bids = tuple(
+            Bid(client_id=i, cost=float(rng.uniform(0.2, 1.5)), data_size=100)
+            for i in range(n)
+        )
+        values = {i: float(rng.uniform(0.5, 2.5)) for i in range(n)}
+        rounds.append(AuctionRound(index=index_start + t, bids=bids, values=values))
+    return rounds
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LongTermVCGConfig(v=0.0)
+        with pytest.raises(ValueError):
+            LongTermVCGConfig(budget_per_round=-1.0)
+        with pytest.raises(ValueError):
+            LongTermVCGConfig(max_winners=0)
+        with pytest.raises(ValueError):
+            LongTermVCGConfig(sustainability_weight=-1.0)
+
+    def test_infeasible_participation_targets_rejected(self):
+        with pytest.raises(ValueError, match="targets sum"):
+            LongTermVCGMechanism(
+                LongTermVCGConfig(
+                    max_winners=1,
+                    participation_targets={0: 0.8, 1: 0.8},
+                )
+            )
+
+
+class TestSingleRoundBehaviour:
+    def test_outcome_well_formed(self, simple_round):
+        mechanism = LongTermVCGMechanism(
+            LongTermVCGConfig(v=10.0, budget_per_round=1.0, max_winners=3)
+        )
+        outcome = mechanism.run_round(simple_round)
+        assert outcome.round_index == simple_round.index
+        assert all(cid in simple_round.client_ids for cid in outcome.selected)
+        assert set(outcome.payments) == set(outcome.selected)
+        assert "budget_backlog" in outcome.diagnostics
+
+    def test_queue_updates_after_round(self, simple_round):
+        mechanism = LongTermVCGMechanism(
+            LongTermVCGConfig(v=10.0, budget_per_round=0.1, max_winners=3)
+        )
+        assert mechanism.budget_backlog == 0.0
+        outcome = mechanism.run_round(simple_round)
+        expected = max(outcome.total_payment - 0.1, 0.0)
+        assert mechanism.budget_backlog == pytest.approx(expected)
+
+    def test_decision_uses_pre_round_queue(self, simple_round):
+        """cost_weight diagnostic equals V + Q *before* the round's spend."""
+        mechanism = LongTermVCGMechanism(
+            LongTermVCGConfig(v=10.0, budget_per_round=0.1, max_winners=3)
+        )
+        first = mechanism.run_round(simple_round)
+        assert first.diagnostics["cost_weight"] == pytest.approx(10.0)
+        second_round = make_round([0.5, 0.8], [1.0, 1.5], index=1)
+        second = mechanism.run_round(second_round)
+        assert second.diagnostics["cost_weight"] == pytest.approx(
+            10.0 + mechanismish_backlog_after(first, 0.1)
+        )
+
+
+def mechanismish_backlog_after(outcome, budget):
+    return max(outcome.total_payment - budget, 0.0)
+
+
+class TestLongRunBehaviour:
+    def test_average_spend_converges_to_budget(self, rng):
+        budget = 1.5
+        mechanism = LongTermVCGMechanism(
+            LongTermVCGConfig(v=5.0, budget_per_round=budget, max_winners=2)
+        )
+        total = 0.0
+        rounds = random_rounds(rng, 800, 8)
+        for auction_round in rounds:
+            total += mechanism.run_round(auction_round).total_payment
+        average = total / len(rounds)
+        # Queue backlog bound: average <= B + Q(T)/T.
+        assert average <= budget + mechanism.budget_backlog / len(rounds) + 1e-9
+        assert average <= budget * 1.15  # loose empirical compliance
+
+    def test_larger_v_spends_more_welfare_chasing(self, rng):
+        """Higher V = weaker budget pressure = (weakly) more spend/welfare."""
+        def run(v, seed):
+            local_rng = np.random.default_rng(seed)
+            mechanism = LongTermVCGMechanism(
+                LongTermVCGConfig(v=v, budget_per_round=0.5, max_winners=3)
+            )
+            welfare = 0.0
+            for auction_round in random_rounds(local_rng, 300, 8):
+                outcome = mechanism.run_round(auction_round)
+                welfare += outcome.diagnostics["declared_welfare"]
+            return welfare, mechanism.budget_backlog
+
+        welfare_small_v, backlog_small_v = run(1.0, 0)
+        welfare_large_v, backlog_large_v = run(200.0, 0)
+        assert welfare_large_v >= welfare_small_v
+        assert backlog_large_v >= backlog_small_v
+
+    def test_sustainability_targets_met(self, rng):
+        """With per-client targets, every client's rate approaches its target."""
+        n = 6
+        targets = {i: 0.3 for i in range(n)}
+        mechanism = LongTermVCGMechanism(
+            LongTermVCGConfig(
+                v=10.0,
+                budget_per_round=5.0,
+                max_winners=3,
+                participation_targets=targets,
+                sustainability_weight=5.0,
+            )
+        )
+        for auction_round in random_rounds(rng, 600, n):
+            mechanism.run_round(auction_round)
+        assert mechanism.participation is not None
+        for i in range(n):
+            assert mechanism.participation.participation_rate(i) >= 0.25
+
+    def test_reset_restores_fresh_state(self, rng):
+        mechanism = LongTermVCGMechanism(
+            LongTermVCGConfig(
+                v=5.0,
+                budget_per_round=0.2,
+                max_winners=2,
+                participation_targets={i: 0.1 for i in range(5)},
+            )
+        )
+        rounds = random_rounds(rng, 50, 5)
+        first_run = [mechanism.run_round(r).selected for r in rounds]
+        mechanism.reset()
+        second_run = [mechanism.run_round(r).selected for r in rounds]
+        assert first_run == second_run
+
+    def test_greedy_variant_runs(self, rng):
+        mechanism = LongTermVCGMechanism(
+            LongTermVCGConfig(v=10.0, budget_per_round=1.0, max_winners=3, wd_method="greedy")
+        )
+        for auction_round in random_rounds(rng, 20, 6):
+            outcome = mechanism.run_round(auction_round)
+            for cid in outcome.selected:
+                assert outcome.payments[cid] >= auction_round.bid_of(cid).cost - 1e-9

@@ -1,0 +1,105 @@
+"""Tests for repro.core.lyapunov."""
+
+import numpy as np
+import pytest
+
+from repro.core.lyapunov import BudgetQueue, DriftPlusPenaltyController, VirtualQueue
+
+
+class TestVirtualQueue:
+    def test_update_recursion(self):
+        queue = VirtualQueue()
+        assert queue.update(3.0, 1.0) == pytest.approx(2.0)
+        assert queue.update(0.0, 5.0) == pytest.approx(0.0)  # clipped at 0
+
+    def test_never_negative(self, rng):
+        queue = VirtualQueue()
+        for _ in range(200):
+            queue.update(float(rng.uniform(0, 2)), float(rng.uniform(0, 2)))
+            assert queue.backlog >= 0.0
+
+    def test_history_tracks_every_update(self):
+        queue = VirtualQueue(initial=1.0)
+        queue.update(2.0, 0.5)
+        queue.update(0.0, 10.0)
+        assert queue.history == (1.0, 2.5, 0.0)
+
+    def test_averages(self):
+        queue = VirtualQueue()
+        queue.update(2.0, 1.0)
+        queue.update(4.0, 1.0)
+        assert queue.average_arrival() == pytest.approx(3.0)
+        assert queue.average_service() == pytest.approx(1.0)
+
+    def test_rate_stability_certificate(self):
+        queue = VirtualQueue()
+        for _ in range(1000):
+            queue.update(1.0, 1.0)
+        assert queue.is_rate_stable(slack=1e-9)
+
+    def test_reset(self):
+        queue = VirtualQueue()
+        queue.update(5.0, 0.0)
+        queue.reset()
+        assert queue.backlog == 0.0
+        assert queue.steps == 0
+
+    def test_rejects_negative_inputs(self):
+        queue = VirtualQueue()
+        with pytest.raises(ValueError):
+            queue.update(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            VirtualQueue(initial=-1.0)
+
+
+class TestBudgetQueue:
+    def test_record_spend(self):
+        queue = BudgetQueue(budget_per_round=2.0)
+        queue.record_spend(5.0)
+        assert queue.backlog == pytest.approx(3.0)
+        queue.record_spend(0.0)
+        assert queue.backlog == pytest.approx(1.0)
+
+    def test_spend_bound_certifies_average(self, rng):
+        queue = BudgetQueue(budget_per_round=1.5)
+        for _ in range(500):
+            queue.record_spend(float(rng.uniform(0, 3)))
+        assert queue.average_spend() <= queue.spend_bound() + 1e-12
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            BudgetQueue(budget_per_round=0.0)
+
+
+class TestDriftPlusPenaltyController:
+    def test_weights_follow_queue(self):
+        controller = DriftPlusPenaltyController(v=10.0, budget_per_round=1.0)
+        assert controller.value_weight == 10.0
+        assert controller.cost_weight == 10.0  # Q starts at 0
+        controller.post_round(4.0)
+        assert controller.cost_weight == pytest.approx(13.0)
+
+    def test_overspend_raises_cost_weight_monotonically(self):
+        controller = DriftPlusPenaltyController(v=5.0, budget_per_round=1.0)
+        previous = controller.cost_weight
+        for _ in range(10):
+            controller.post_round(3.0)
+            assert controller.cost_weight > previous
+            previous = controller.cost_weight
+
+    def test_underspend_relaxes_back_to_v(self):
+        controller = DriftPlusPenaltyController(v=5.0, budget_per_round=1.0)
+        controller.post_round(10.0)
+        for _ in range(20):
+            controller.post_round(0.0)
+        assert controller.cost_weight == pytest.approx(5.0)
+
+    def test_reset(self):
+        controller = DriftPlusPenaltyController(v=5.0, budget_per_round=1.0)
+        controller.post_round(10.0)
+        controller.reset()
+        assert controller.cost_weight == pytest.approx(5.0)
+
+    def test_rejects_nonpositive_v(self):
+        with pytest.raises(ValueError):
+            DriftPlusPenaltyController(v=0.0, budget_per_round=1.0)

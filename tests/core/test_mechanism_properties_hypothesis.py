@@ -1,0 +1,111 @@
+"""Property-based (hypothesis) verification of the headline economic claims.
+
+These are the repository's strongest tests: on *arbitrary* random instances,
+
+* LT-VCG with exact winner determination is dominant-strategy truthful,
+* LT-VCG is individually rational and monotone (exact and greedy),
+* the greedy allocation rule is monotone (the precondition for its
+  critical-value payments),
+* the budget virtual queue certificate holds on any payment stream.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bids import AuctionRound, Bid
+from repro.core.longterm_vcg import LongTermVCGConfig, LongTermVCGMechanism
+from repro.core.lyapunov import BudgetQueue
+from repro.core.properties import (
+    verify_individual_rationality,
+    verify_monotonicity,
+    verify_truthfulness,
+)
+
+# Bounded, strictly positive floats keep the economics meaningful and the
+# numerics well-conditioned.
+costs_strategy = st.lists(
+    st.floats(0.05, 4.0, allow_nan=False), min_size=2, max_size=8
+)
+
+
+def build_round(costs: list[float], seed: int) -> tuple[AuctionRound, dict[int, float]]:
+    rng = np.random.default_rng(seed)
+    n = len(costs)
+    bids = tuple(
+        Bid(client_id=i, cost=float(costs[i]), data_size=int(rng.integers(10, 500)))
+        for i in range(n)
+    )
+    values = {i: float(rng.uniform(0.1, 4.0)) for i in range(n)}
+    auction_round = AuctionRound(index=0, bids=bids, values=values)
+    return auction_round, {i: float(costs[i]) for i in range(n)}
+
+
+def make_factory(wd_method: str, seed: int):
+    rng = np.random.default_rng(seed + 1)
+    config = LongTermVCGConfig(
+        v=float(rng.uniform(1.0, 50.0)),
+        budget_per_round=float(rng.uniform(0.5, 5.0)),
+        max_winners=int(rng.integers(1, 5)),
+        wd_method=wd_method,
+    )
+    return lambda: LongTermVCGMechanism(config)
+
+
+@settings(max_examples=40, deadline=None)
+@given(costs=costs_strategy, seed=st.integers(0, 10_000))
+def test_exact_lt_vcg_truthful(costs, seed):
+    auction_round, true_costs = build_round(costs, seed)
+    factory = make_factory("exact", seed)
+    report = verify_truthfulness(
+        factory, auction_round, true_costs, deviation_factors=(0.3, 0.7, 1.3, 3.0)
+    )
+    assert report.is_truthful, report.violations()
+
+
+@settings(max_examples=30, deadline=None)
+@given(costs=costs_strategy, seed=st.integers(0, 10_000))
+def test_greedy_lt_vcg_truthful(costs, seed):
+    auction_round, true_costs = build_round(costs, seed)
+    factory = make_factory("greedy", seed)
+    report = verify_truthfulness(
+        factory,
+        auction_round,
+        true_costs,
+        deviation_factors=(0.5, 1.5, 2.5),
+        tolerance=1e-5,
+    )
+    assert report.is_truthful, report.violations()
+
+
+@settings(max_examples=40, deadline=None)
+@given(costs=costs_strategy, seed=st.integers(0, 10_000))
+def test_lt_vcg_individually_rational(costs, seed):
+    auction_round, _ = build_round(costs, seed)
+    for method in ("exact", "greedy"):
+        outcome = make_factory(method, seed)().run_round(auction_round)
+        assert verify_individual_rationality(outcome, auction_round) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(costs=costs_strategy, seed=st.integers(0, 10_000))
+def test_lt_vcg_monotone(costs, seed):
+    auction_round, _ = build_round(costs, seed)
+    for method in ("exact", "greedy"):
+        factory = make_factory(method, seed)
+        assert verify_monotonicity(factory, auction_round) == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    payments=st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=1, max_size=200),
+    budget=st.floats(0.1, 5.0, allow_nan=False),
+)
+def test_budget_queue_certificate(payments, budget):
+    """average spend <= budget + Q(T)/T on any payment stream."""
+    queue = BudgetQueue(budget_per_round=budget)
+    for payment in payments:
+        queue.record_spend(payment)
+    assert queue.average_spend() <= queue.spend_bound() + 1e-9
+    assert queue.backlog >= 0.0

@@ -1,0 +1,146 @@
+"""Tests for repro.core.payments."""
+
+import numpy as np
+import pytest
+
+from repro.core.payments import (
+    clarke_critical_scores,
+    clarke_payments,
+    critical_scores_by_search,
+    critical_value_payments,
+)
+from repro.core.winner_determination import (
+    WinnerDeterminationProblem,
+    solve_brute_force,
+    solve_greedy,
+    solve_top_k,
+)
+
+
+def problem(scores, demands=None, capacity=None, max_winners=None):
+    return WinnerDeterminationProblem(
+        scores=tuple(scores),
+        demands=None if demands is None else tuple(demands),
+        capacity=capacity,
+        max_winners=max_winners,
+    )
+
+
+class TestClarkeCriticalScores:
+    def test_top_k_critical_is_next_best_score(self):
+        # Top-2 of [5, 4, 3]: winner 0's critical score is the displaced 3.
+        p = problem([5.0, 4.0, 3.0], max_winners=2)
+        allocation = solve_top_k(p)
+        critical = clarke_critical_scores(p, allocation, solver=solve_top_k)
+        assert critical[0] == pytest.approx(3.0)
+        assert critical[1] == pytest.approx(3.0)
+
+    def test_unconstrained_critical_is_zero(self):
+        # With no constraint a winner only needs a positive score.
+        p = problem([5.0, 4.0])
+        allocation = solve_top_k(p)
+        critical = clarke_critical_scores(p, allocation, solver=solve_top_k)
+        assert critical[0] == pytest.approx(0.0)
+        assert critical[1] == pytest.approx(0.0)
+
+    def test_bounds_hold(self):
+        rng = np.random.default_rng(5)
+        for _ in range(25):
+            n = int(rng.integers(2, 10))
+            p = problem(
+                rng.uniform(-1, 4, n).tolist(),
+                demands=rng.uniform(0.2, 2.0, n).tolist(),
+                capacity=float(rng.uniform(0.5, 4.0)),
+            )
+            allocation = solve_brute_force(p)
+            critical = clarke_critical_scores(p, allocation, solver=solve_brute_force)
+            for index, sigma in critical.items():
+                assert 0.0 <= sigma <= p.scores[index] + 1e-9
+
+    def test_critical_is_a_true_threshold(self):
+        """Winner stays selected above sigma and drops below it (exact WD)."""
+        rng = np.random.default_rng(9)
+        for _ in range(15):
+            n = int(rng.integers(2, 8))
+            p = problem(
+                rng.uniform(0.1, 4, n).tolist(),
+                max_winners=int(rng.integers(1, n + 1)),
+            )
+            allocation = solve_top_k(p)
+            critical = clarke_critical_scores(p, allocation, solver=solve_top_k)
+            for index, sigma in critical.items():
+                above = solve_top_k(p.with_score(index, sigma + 1e-6))
+                assert index in above.selected
+                if sigma > 1e-6:
+                    below = solve_top_k(p.with_score(index, sigma - 1e-6))
+                    # Either strictly loses or ties; losing is the common case.
+                    if index in below.selected:
+                        # tie at the boundary — objective unchanged
+                        assert below.objective == pytest.approx(
+                            allocation.objective - p.scores[index] + sigma - 1e-6,
+                            abs=1e-5,
+                        )
+
+
+class TestCriticalScoresBySearch:
+    def test_matches_clarke_on_top_k(self):
+        p = problem([5.0, 4.0, 3.0, 1.0], max_winners=2)
+        allocation = solve_top_k(p)
+        clarke = clarke_critical_scores(p, allocation, solver=solve_top_k)
+        searched = critical_scores_by_search(
+            p, allocation, solver=solve_top_k, tolerance=1e-12
+        )
+        for index in allocation.selected:
+            assert searched[index] == pytest.approx(clarke[index], abs=1e-6)
+
+    def test_greedy_critical_within_score(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            n = int(rng.integers(2, 10))
+            p = problem(
+                rng.uniform(-1, 3, n).tolist(),
+                demands=rng.uniform(0.2, 2.0, n).tolist(),
+                capacity=float(rng.uniform(0.5, 4.0)),
+            )
+            allocation = solve_greedy(p)
+            critical = critical_scores_by_search(p, allocation)
+            for index, sigma in critical.items():
+                assert 0.0 <= sigma <= p.scores[index] + 1e-9
+                # Winner still wins at its critical score.
+                assert index in solve_greedy(p.with_score(index, sigma)).selected
+
+    def test_rejects_bad_tolerance(self):
+        p = problem([1.0])
+        with pytest.raises(ValueError):
+            critical_scores_by_search(p, solve_greedy(p), tolerance=0.0)
+
+
+class TestMonetaryConversion:
+    def test_clarke_payment_at_least_bid(self):
+        # score_i = w_i - lam * b_i ; payment = (w_i - sigma_i) / lam >= b_i
+        lam = 3.0
+        weights = {0: 10.0, 1: 9.0, 2: 8.0}
+        bids = {0: 1.0, 1: 1.5, 2: 2.0}
+        scores = [weights[i] - lam * bids[i] for i in range(3)]
+        p = problem(scores, max_winners=2)
+        allocation = solve_top_k(p)
+        payments = clarke_payments(p, allocation, weights, lam, solver=solve_top_k)
+        for index in allocation.selected:
+            assert payments[index] >= bids[index] - 1e-9
+
+    def test_rejects_nonpositive_cost_weight(self):
+        p = problem([1.0])
+        allocation = solve_top_k(p)
+        with pytest.raises(ValueError):
+            clarke_payments(p, allocation, {0: 1.0}, 0.0, solver=solve_top_k)
+
+    def test_critical_value_payments_at_least_bid(self):
+        lam = 2.0
+        weights = {i: w for i, w in enumerate([8.0, 7.0, 6.0, 5.0])}
+        bids = {0: 0.5, 1: 1.0, 2: 1.5, 3: 2.0}
+        scores = [weights[i] - lam * bids[i] for i in range(4)]
+        p = problem(scores, demands=(1.0, 1.0, 1.0, 1.0), capacity=2.0)
+        allocation = solve_greedy(p)
+        payments = critical_value_payments(p, allocation, weights, lam)
+        for index in allocation.selected:
+            assert payments[index] >= bids[index] - 1e-6

@@ -1,0 +1,132 @@
+"""Tests for repro.core.properties (the verification harness itself)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bids import AuctionRound, Bid, RoundOutcome
+from repro.core.longterm_vcg import LongTermVCGConfig, LongTermVCGMechanism
+from repro.core.mechanism import Mechanism
+from repro.core.properties import (
+    verify_individual_rationality,
+    verify_monotonicity,
+    verify_truthfulness,
+)
+from tests.conftest import make_round
+
+
+class _PayAsBidTopK(Mechanism):
+    """Intentionally manipulable mechanism: select lowest bids, pay bids."""
+
+    name = "pay-as-bid"
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+
+    def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
+        ranked = sorted(auction_round.bids, key=lambda b: (b.cost, b.client_id))
+        winners = ranked[: self.k]
+        return RoundOutcome(
+            round_index=auction_round.index,
+            selected=tuple(sorted(b.client_id for b in winners)),
+            payments={b.client_id: b.cost for b in winners},
+        )
+
+
+class _UnderpayingMechanism(Mechanism):
+    """Intentionally IR-violating: select everyone, pay half the bid."""
+
+    name = "underpay"
+
+    def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
+        return RoundOutcome(
+            round_index=auction_round.index,
+            selected=tuple(sorted(auction_round.client_ids)),
+            payments={b.client_id: b.cost / 2 for b in auction_round.bids},
+        )
+
+
+def lt_vcg_factory(**overrides):
+    config = LongTermVCGConfig(
+        v=overrides.pop("v", 10.0),
+        budget_per_round=overrides.pop("budget_per_round", 1.0),
+        max_winners=overrides.pop("max_winners", 3),
+        **overrides,
+    )
+    return lambda: LongTermVCGMechanism(config)
+
+
+class TestVerifyTruthfulness:
+    def test_truthful_mechanism_passes(self, simple_round):
+        costs = {b.client_id: b.cost for b in simple_round.bids}
+        report = verify_truthfulness(lt_vcg_factory(), simple_round, costs)
+        assert report.is_truthful
+        assert report.max_gain <= report.tolerance
+
+    def test_pay_as_bid_detected_as_manipulable(self, simple_round):
+        costs = {b.client_id: b.cost for b in simple_round.bids}
+        report = verify_truthfulness(
+            lambda: _PayAsBidTopK(3), simple_round, costs
+        )
+        assert not report.is_truthful
+        assert len(report.violations()) > 0
+        # Pay-as-bid: winners gain by overbidding, never by underbidding.
+        for record in report.violations():
+            assert record.deviated_bid > record.true_cost
+
+    def test_requires_truthful_baseline_profile(self, simple_round):
+        costs = {b.client_id: b.cost * 2 for b in simple_round.bids}
+        with pytest.raises(ValueError, match="true cost"):
+            verify_truthfulness(lt_vcg_factory(), simple_round, costs)
+
+    def test_requires_cost_for_every_bidder(self, simple_round):
+        costs = {b.client_id: b.cost for b in simple_round.bids}
+        del costs[0]
+        with pytest.raises(ValueError, match="missing"):
+            verify_truthfulness(lt_vcg_factory(), simple_round, costs)
+
+    def test_report_records_all_deviations(self, simple_round):
+        costs = {b.client_id: b.cost for b in simple_round.bids}
+        factors = (0.5, 2.0)
+        report = verify_truthfulness(
+            lt_vcg_factory(), simple_round, costs, deviation_factors=factors
+        )
+        assert len(report.records) == len(simple_round.bids) * len(factors)
+
+
+class TestVerifyIndividualRationality:
+    def test_lt_vcg_is_ir(self, simple_round):
+        outcome = lt_vcg_factory()().run_round(simple_round)
+        assert verify_individual_rationality(outcome, simple_round) == []
+
+    def test_underpaying_mechanism_flagged(self, simple_round):
+        outcome = _UnderpayingMechanism().run_round(simple_round)
+        violations = verify_individual_rationality(outcome, simple_round)
+        assert len(violations) == len(outcome.selected)
+        assert "payment" in violations[0]
+
+
+class TestVerifyMonotonicity:
+    def test_lt_vcg_monotone(self, simple_round):
+        assert verify_monotonicity(lt_vcg_factory(), simple_round) == []
+
+    def test_greedy_lt_vcg_monotone(self, simple_round):
+        factory = lt_vcg_factory(wd_method="greedy")
+        assert verify_monotonicity(factory, simple_round) == []
+
+    def test_detects_non_monotone_rule(self):
+        class Perverse(Mechanism):
+            """Selects the single *highest* bid — lowering a bid loses."""
+
+            name = "perverse"
+
+            def run_round(self, auction_round):
+                winner = max(auction_round.bids, key=lambda b: b.cost)
+                return RoundOutcome(
+                    round_index=auction_round.index,
+                    selected=(winner.client_id,),
+                    payments={winner.client_id: winner.cost},
+                )
+
+        auction_round = make_round([1.0, 0.5], [1.0, 1.0])
+        violations = verify_monotonicity(lambda: Perverse(), auction_round)
+        assert violations

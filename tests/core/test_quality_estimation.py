@@ -1,0 +1,78 @@
+"""Tests for repro.core.quality_estimation (learned valuation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bids import Bid
+from repro.core.quality_estimation import LearnedValuation
+from repro.core.valuation import LinearValuation
+
+
+def bid(client_id=0, data_size=100):
+    return Bid(client_id=client_id, cost=1.0, data_size=data_size)
+
+
+class TestLearnedValuation:
+    def test_unobserved_clients_are_optimistic(self):
+        model = LearnedValuation(
+            LinearValuation(), blend=0.0, optimistic_value=3.0
+        )
+        assert model.value_of(bid()) == pytest.approx(3.0)
+
+    def test_blend_mixes_prior_and_ucb(self):
+        model = LearnedValuation(
+            LinearValuation(), blend=0.5, optimistic_value=3.0
+        )
+        # prior value for a 100-sample, quality-1 client is 1.0
+        assert model.value_of(bid()) == pytest.approx(0.5 * 1.0 + 0.5 * 3.0)
+
+    def test_observations_update_mean(self):
+        model = LearnedValuation(LinearValuation(), blend=0.0, bonus=0.0)
+        model.observe_contributions({0: 2.0})
+        model.observe_contributions({0: 4.0})
+        assert model.mean_contribution(0) == pytest.approx(3.0)
+        assert model.observations_of(0) == 2
+        model.observe_selection((0,))
+        assert model.value_of(bid(0)) == pytest.approx(3.0)
+
+    def test_exploration_bonus_shrinks_with_observations(self):
+        model = LearnedValuation(LinearValuation(), blend=0.0, bonus=1.0)
+        for _ in range(20):
+            model.observe_selection((0,))
+        model.observe_contributions({0: 1.0})
+        few = model.ucb_of(0)
+        for _ in range(50):
+            model.observe_contributions({0: 1.0})
+        many = model.ucb_of(0)
+        assert few > many
+        assert many == pytest.approx(1.0, abs=0.5)
+
+    def test_bid_independence(self):
+        model = LearnedValuation(LinearValuation(), blend=0.5)
+        model.observe_contributions({0: 1.5})
+        cheap = Bid(client_id=0, cost=0.01, data_size=100)
+        expensive = Bid(client_id=0, cost=99.0, data_size=100)
+        assert model.value_of(cheap) == model.value_of(expensive)
+
+    def test_rejects_negative_contributions(self):
+        model = LearnedValuation(LinearValuation())
+        with pytest.raises(ValueError):
+            model.observe_contributions({0: -1.0})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LearnedValuation(LinearValuation(), blend=1.5)
+        with pytest.raises(ValueError):
+            LearnedValuation(LinearValuation(), bonus=-1.0)
+
+    def test_identifies_the_truly_useful_client(self, rng):
+        """Bandit sanity: with equal priors, the client whose contributions
+        are consistently larger ends up with the higher value."""
+        model = LearnedValuation(
+            LinearValuation(), blend=0.2, bonus=0.3, optimistic_value=1.0
+        )
+        for _ in range(100):
+            model.observe_contributions({0: float(rng.normal(2.0, 0.1))})
+            model.observe_contributions({1: float(rng.normal(0.5, 0.1))})
+            model.observe_selection((0, 1))
+        assert model.value_of(bid(0)) > model.value_of(bid(1)) + 0.5

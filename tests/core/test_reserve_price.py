@@ -1,0 +1,77 @@
+"""Tests for the reserve-price extension of the VCG auction."""
+
+import pytest
+
+from repro.core.longterm_vcg import LongTermVCGConfig, LongTermVCGMechanism
+from repro.core.properties import (
+    verify_individual_rationality,
+    verify_truthfulness,
+)
+from repro.core.vcg import SingleRoundVCGAuction
+from tests.conftest import make_round, random_instance
+
+
+class TestReservePrice:
+    def test_bids_above_reserve_rejected(self):
+        auction = SingleRoundVCGAuction(reserve_price=1.0)
+        auction_round = make_round([0.5, 1.5], [3.0, 3.0])
+        result = auction.run(auction_round)
+        assert result.selected == (0,)
+
+    def test_payments_capped_at_reserve(self):
+        # Without reserve, the lone winner's critical bid is its value 3.0.
+        no_reserve = SingleRoundVCGAuction().run(make_round([0.5], [3.0]))
+        assert no_reserve.payments[0] == pytest.approx(3.0)
+        capped = SingleRoundVCGAuction(reserve_price=1.2).run(
+            make_round([0.5], [3.0])
+        )
+        assert capped.payments[0] == pytest.approx(1.2)
+
+    def test_empty_round_after_filtering(self):
+        auction = SingleRoundVCGAuction(reserve_price=0.1)
+        result = auction.run(make_round([0.5, 0.9], [3.0, 3.0]))
+        assert result.selected == ()
+        assert result.total_payment == 0.0
+
+    def test_still_individually_rational(self, rng):
+        for _ in range(20):
+            auction_round, _ = random_instance(rng, 6)
+            auction = SingleRoundVCGAuction(max_winners=3, reserve_price=1.0)
+            result = auction.run(auction_round)
+            for cid in result.selected:
+                bid_cost = auction_round.bid_of(cid).cost
+                assert bid_cost <= 1.0 + 1e-9
+                assert bid_cost - 1e-9 <= result.payments[cid] <= 1.0 + 1e-9
+
+    def test_still_truthful(self, rng):
+        config = LongTermVCGConfig(
+            v=15.0, budget_per_round=2.0, max_winners=3, reserve_price=1.2
+        )
+        for _ in range(10):
+            auction_round, costs = random_instance(rng, 6, cost_range=(0.1, 2.0))
+            report = verify_truthfulness(
+                lambda: LongTermVCGMechanism(config), auction_round, costs
+            )
+            assert report.is_truthful, report.violations()
+
+    def test_reserve_lowers_spend(self, rng):
+        auction_round, _ = random_instance(rng, 8, cost_range=(0.1, 0.9))
+        free = SingleRoundVCGAuction(max_winners=4).run(auction_round)
+        capped = SingleRoundVCGAuction(max_winners=4, reserve_price=1.0).run(
+            auction_round
+        )
+        assert capped.total_payment <= free.total_payment + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SingleRoundVCGAuction(reserve_price=0.0)
+
+    def test_ir_through_mechanism(self, rng):
+        config = LongTermVCGConfig(
+            v=15.0, budget_per_round=2.0, max_winners=3, reserve_price=1.5
+        )
+        for _ in range(10):
+            auction_round, _ = random_instance(rng, 6)
+            mechanism = LongTermVCGMechanism(config)
+            outcome = mechanism.run_round(auction_round)
+            assert verify_individual_rationality(outcome, auction_round) == []

@@ -1,0 +1,80 @@
+"""Tests for repro.core.sustainability."""
+
+import numpy as np
+import pytest
+
+from repro.core.sustainability import ParticipationTracker
+
+
+class TestParticipationTracker:
+    def test_backlog_grows_when_starved(self):
+        tracker = ParticipationTracker({0: 0.5})
+        for _ in range(4):
+            tracker.observe_round(())
+        assert tracker.backlog_of(0) == pytest.approx(2.0)
+
+    def test_backlog_shrinks_when_selected(self):
+        tracker = ParticipationTracker({0: 0.5})
+        tracker.observe_round(())  # Z = 0.5
+        tracker.observe_round((0,))  # Z = max(0.5 + 0.5 - 1, 0) = 0
+        assert tracker.backlog_of(0) == pytest.approx(0.0)
+
+    def test_offsets_scaled_and_capped(self):
+        tracker = ParticipationTracker({0: 1.0}, weight=2.0, max_offset=3.0)
+        for _ in range(10):
+            tracker.observe_round(())
+        offsets = tracker.offsets([0])
+        assert offsets[0] == pytest.approx(3.0)  # 2 * 10 capped at 3
+
+    def test_untracked_clients_get_zero_offset(self):
+        tracker = ParticipationTracker({0: 0.2})
+        assert tracker.offsets([0, 99])[99] == 0.0
+
+    def test_participation_rates(self):
+        tracker = ParticipationTracker({0: 0.5, 1: 0.5})
+        tracker.observe_round((0,))
+        tracker.observe_round((0, 1))
+        assert tracker.participation_rate(0) == pytest.approx(1.0)
+        assert tracker.participation_rate(1) == pytest.approx(0.5)
+
+    def test_deficits(self):
+        tracker = ParticipationTracker({0: 0.8})
+        tracker.observe_round(())
+        tracker.observe_round((0,))
+        deficits = tracker.deficits()
+        assert deficits[0] == pytest.approx(0.8 - 0.5)
+
+    def test_feasibility_check(self):
+        tracker = ParticipationTracker({0: 0.6, 1: 0.6})
+        tracker.check_feasibility(max_winners=2)  # 1.2 <= 2 fine
+        with pytest.raises(ValueError, match="targets sum"):
+            ParticipationTracker({0: 0.6, 1: 0.6}).check_feasibility(max_winners=1)
+
+    def test_rejects_invalid_targets(self):
+        with pytest.raises(ValueError):
+            ParticipationTracker({0: 1.5})
+        with pytest.raises(ValueError):
+            ParticipationTracker({0: -0.1})
+
+    def test_reset(self):
+        tracker = ParticipationTracker({0: 0.5})
+        tracker.observe_round(())
+        tracker.reset()
+        assert tracker.backlog_of(0) == 0.0
+        assert tracker.participation_rate(0) == 0.0
+
+    def test_queue_keeps_long_run_rate_near_target(self, rng):
+        """Simulate always-select-the-most-backlogged with cap 1: each client's
+        rate converges to ~1/n when all targets are 1/n."""
+        n = 5
+        tracker = ParticipationTracker({i: 1.0 / n for i in range(n)})
+        for _ in range(2000):
+            most_backlogged = max(range(n), key=tracker.backlog_of)
+            tracker.observe_round((most_backlogged,))
+        for i in range(n):
+            assert tracker.participation_rate(i) == pytest.approx(1.0 / n, abs=0.02)
+
+    def test_max_backlog(self):
+        tracker = ParticipationTracker({0: 1.0, 1: 0.0})
+        tracker.observe_round(())
+        assert tracker.max_backlog() == pytest.approx(1.0)

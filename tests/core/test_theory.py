@@ -1,0 +1,115 @@
+"""Tests for repro.core.theory (computable Lyapunov bounds)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lyapunov import BudgetQueue
+from repro.core.theory import check_run_against_bounds, lyapunov_bounds
+
+
+class TestLyapunovBounds:
+    def test_welfare_gap_shrinks_in_v(self):
+        gap_small_v = lyapunov_bounds(
+            v=1.0, budget_per_round=2.0, max_payment_per_round=10.0, welfare_span=5.0
+        ).welfare_gap
+        gap_large_v = lyapunov_bounds(
+            v=100.0, budget_per_round=2.0, max_payment_per_round=10.0, welfare_span=5.0
+        ).welfare_gap
+        assert gap_large_v == pytest.approx(gap_small_v / 100.0)
+
+    def test_queue_bound_grows_in_v(self):
+        def bound(v):
+            return lyapunov_bounds(
+                v=v, budget_per_round=2.0, max_payment_per_round=10.0,
+                welfare_span=5.0, slack=0.5,
+            ).queue_bound
+
+        assert bound(100.0) > bound(1.0)
+        # Asymptotically linear: doubling V roughly doubles the bound.
+        assert bound(200.0) / bound(100.0) == pytest.approx(2.0, rel=0.1)
+
+    def test_no_slack_no_queue_bound(self):
+        bounds = lyapunov_bounds(
+            v=10.0, budget_per_round=2.0, max_payment_per_round=10.0, welfare_span=5.0
+        )
+        assert bounds.queue_bound is None
+
+    def test_drift_constant_formula(self):
+        bounds = lyapunov_bounds(
+            v=10.0, budget_per_round=2.0, max_payment_per_round=10.0, welfare_span=1.0
+        )
+        assert bounds.drift_constant == pytest.approx(0.5 * 8.0**2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lyapunov_bounds(
+                v=0.0, budget_per_round=1.0, max_payment_per_round=2.0, welfare_span=1.0
+            )
+        with pytest.raises(ValueError):
+            lyapunov_bounds(
+                v=1.0, budget_per_round=1.0, max_payment_per_round=2.0,
+                welfare_span=-1.0,
+            )
+
+
+class TestCheckRunAgainstBounds:
+    def make_queue(self, payments, budget=2.0):
+        queue = BudgetQueue(budget_per_round=budget)
+        for payment in payments:
+            queue.record_spend(payment)
+        return queue
+
+    def test_consistent_run_passes(self, rng):
+        payments = rng.uniform(0, 4, size=500).tolist()
+        queue = self.make_queue(payments)
+        bounds = lyapunov_bounds(
+            v=10.0, budget_per_round=2.0, max_payment_per_round=4.0,
+            welfare_span=5.0, slack=0.5,
+        )
+        assert check_run_against_bounds(queue, bounds) == []
+
+    def test_spend_certificate_always_holds(self, rng):
+        """The certificate is an identity of the queue recursion: any payment
+        stream satisfies it."""
+        for trial in range(20):
+            payments = np.random.default_rng(trial).uniform(0, 10, size=200).tolist()
+            queue = self.make_queue(payments, budget=1.0)
+            bounds = lyapunov_bounds(
+                v=5.0, budget_per_round=1.0, max_payment_per_round=10.0,
+                welfare_span=2.0,
+            )
+            violations = check_run_against_bounds(queue, bounds)
+            assert all("spend certificate" not in v for v in violations)
+
+    def test_tiny_queue_bound_flags_violation(self, rng):
+        payments = [10.0] * 100  # massive persistent overspend
+        queue = self.make_queue(payments, budget=1.0)
+        bounds = lyapunov_bounds(
+            v=1e-6, budget_per_round=1.0, max_payment_per_round=10.0,
+            welfare_span=1e-9, slack=1e6,
+        )
+        # queue_bound ≈ B0/1e6 ≈ tiny; average backlog is huge.
+        violations = check_run_against_bounds(queue, bounds)
+        assert any("queue bound" in v for v in violations)
+
+    def test_lt_vcg_run_consistent_with_theory(self):
+        """End-to-end: an actual LT-VCG run sits inside its own bounds."""
+        from repro import LongTermVCGConfig, LongTermVCGMechanism, SimulationRunner
+        from repro.simulation.scenarios import build_mechanism_scenario
+
+        v, budget, k = 20.0, 2.0, 5
+        mechanism = LongTermVCGMechanism(
+            LongTermVCGConfig(v=v, budget_per_round=budget, max_winners=k,
+                              reserve_price=1.5)
+        )
+        scenario = build_mechanism_scenario(20, seed=3)
+        log = SimulationRunner(
+            mechanism, scenario.clients, scenario.valuation, seed=4
+        ).run(400)
+        max_payment = k * 1.5  # K winners, each capped at the reserve
+        bounds = lyapunov_bounds(
+            v=v, budget_per_round=budget, max_payment_per_round=max_payment,
+            welfare_span=k * 3.0, slack=budget / 2,
+        )
+        assert check_run_against_bounds(mechanism.controller.queue, bounds) == []
+        assert max(log.payment_series()) <= max_payment + 1e-9

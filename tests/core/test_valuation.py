@@ -1,0 +1,97 @@
+"""Tests for repro.core.valuation."""
+
+import math
+
+import pytest
+
+from repro.core.bids import Bid
+from repro.core.valuation import (
+    DiminishingReturnsValuation,
+    LinearValuation,
+    StalenessAwareValuation,
+)
+
+
+def bid(client_id=0, cost=1.0, data_size=100, quality=1.0) -> Bid:
+    return Bid(client_id=client_id, cost=cost, data_size=data_size, quality=quality)
+
+
+class TestLinearValuation:
+    def test_reference_size_normalisation(self):
+        model = LinearValuation(scale=2.0, reference_size=100)
+        assert model.value_of(bid(data_size=100)) == pytest.approx(2.0)
+        assert model.value_of(bid(data_size=50)) == pytest.approx(1.0)
+
+    def test_quality_scales(self):
+        model = LinearValuation()
+        assert model.value_of(bid(quality=0.5)) == pytest.approx(
+            0.5 * model.value_of(bid(quality=1.0))
+        )
+
+    def test_independent_of_cost(self):
+        model = LinearValuation()
+        assert model.value_of(bid(cost=0.1)) == model.value_of(bid(cost=99.0))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LinearValuation(scale=0.0)
+        with pytest.raises(ValueError):
+            LinearValuation(reference_size=0)
+
+
+class TestDiminishingReturnsValuation:
+    def test_logarithmic_shape(self):
+        model = DiminishingReturnsValuation(scale=1.0, reference_size=100)
+        v100 = model.value_of(bid(data_size=100))
+        v200 = model.value_of(bid(data_size=200))
+        v300 = model.value_of(bid(data_size=300))
+        assert v200 - v100 > v300 - v200  # concave in equal additive steps
+
+    def test_matches_log1p(self):
+        model = DiminishingReturnsValuation(scale=3.0, reference_size=50)
+        assert model.value_of(bid(data_size=150, quality=0.5)) == pytest.approx(
+            3.0 * math.log1p(3.0) * 0.5
+        )
+
+    def test_zero_data_zero_value(self):
+        model = DiminishingReturnsValuation()
+        assert model.value_of(bid(data_size=0)) == 0.0
+
+
+class TestStalenessAwareValuation:
+    def test_never_selected_gets_full_boost(self):
+        model = StalenessAwareValuation(LinearValuation(), boost=0.5, cap=10)
+        model.register_clients((0,))
+        assert model.value_of(bid(client_id=0)) == pytest.approx(1.5)
+
+    def test_selection_resets_staleness(self):
+        model = StalenessAwareValuation(LinearValuation(), boost=0.5, cap=10)
+        model.register_clients((0,))
+        model.observe_selection((0,))
+        assert model.staleness_of(0) == 0.0
+        assert model.value_of(bid(client_id=0)) == pytest.approx(1.0)
+
+    def test_staleness_accumulates_and_saturates(self):
+        model = StalenessAwareValuation(LinearValuation(), boost=1.0, cap=3)
+        model.register_clients((0,))
+        model.observe_selection((0,))
+        for _ in range(2):
+            model.observe_selection(())
+        assert model.staleness_of(0) == pytest.approx(2 / 3)
+        for _ in range(10):
+            model.observe_selection(())
+        assert model.staleness_of(0) == 1.0
+
+    def test_boost_is_bid_independent(self):
+        model = StalenessAwareValuation(LinearValuation(), boost=0.7)
+        model.register_clients((0,))
+        assert model.value_of(bid(client_id=0, cost=0.01)) == model.value_of(
+            bid(client_id=0, cost=100.0)
+        )
+
+    def test_values_for_whole_round(self):
+        model = LinearValuation()
+        bids = (bid(client_id=0, data_size=100), bid(client_id=1, data_size=200))
+        values = model.values_for(bids)
+        assert set(values) == {0, 1}
+        assert values[1] == pytest.approx(2 * values[0])

@@ -1,0 +1,144 @@
+"""Tests for repro.core.vcg (the single-round weighted VCG auction)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bids import Bid
+from repro.core.vcg import SingleRoundVCGAuction
+from tests.conftest import make_round, random_instance
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            SingleRoundVCGAuction(value_weight=0.0)
+        with pytest.raises(ValueError):
+            SingleRoundVCGAuction(cost_weight=-1.0)
+
+    def test_rejects_negative_offsets(self):
+        with pytest.raises(ValueError):
+            SingleRoundVCGAuction(offsets={0: -1.0})
+
+    def test_rejects_unpaired_demands(self):
+        with pytest.raises(ValueError):
+            SingleRoundVCGAuction(demands={0: 1.0})
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            SingleRoundVCGAuction(wd_method="quantum")
+
+
+class TestSelection:
+    def test_positive_surplus_clients_selected(self):
+        auction = SingleRoundVCGAuction(value_weight=1.0, cost_weight=1.0)
+        auction_round = make_round([0.5, 2.0], [1.0, 1.0])
+        result = auction.run(auction_round)
+        assert result.selected == (0,)  # client 1 has negative surplus
+
+    def test_max_winners_enforced(self):
+        auction = SingleRoundVCGAuction(max_winners=2)
+        auction_round = make_round([0.1, 0.1, 0.1], [1.0, 2.0, 3.0])
+        result = auction.run(auction_round)
+        assert len(result.selected) == 2
+        assert set(result.selected) == {1, 2}
+
+    def test_offsets_bias_selection(self):
+        auction_round = make_round([0.5, 0.5], [1.0, 1.0])
+        no_offset = SingleRoundVCGAuction(max_winners=1).run(auction_round)
+        with_offset = SingleRoundVCGAuction(max_winners=1, offsets={1: 2.0}).run(
+            auction_round
+        )
+        assert no_offset.selected == (0,)  # tie broken by index
+        assert with_offset.selected == (1,)
+
+    def test_capacity_constraint(self):
+        auction = SingleRoundVCGAuction(
+            demands={0: 2.0, 1: 2.0, 2: 2.0}, capacity=4.0
+        )
+        auction_round = make_round([0.1, 0.1, 0.1], [2.0, 2.0, 2.0])
+        result = auction.run(auction_round)
+        assert len(result.selected) == 2
+
+    def test_missing_demand_raises(self):
+        auction = SingleRoundVCGAuction(demands={0: 1.0}, capacity=2.0)
+        auction_round = make_round([0.1, 0.1], [1.0, 1.0])
+        with pytest.raises(KeyError):
+            auction.run(auction_round)
+
+    def test_empty_selection_when_all_unprofitable(self):
+        auction = SingleRoundVCGAuction()
+        auction_round = make_round([5.0, 6.0], [1.0, 1.0])
+        result = auction.run(auction_round)
+        assert result.selected == ()
+        assert result.total_payment == 0.0
+
+
+class TestPayments:
+    def test_individually_rational(self, rng):
+        for method in ("exact", "greedy"):
+            for trial in range(20):
+                auction_round, costs = random_instance(rng, int(rng.integers(2, 10)))
+                auction = SingleRoundVCGAuction(
+                    value_weight=10.0,
+                    cost_weight=12.0,
+                    max_winners=3,
+                    wd_method=method,
+                )
+                result = auction.run(auction_round)
+                for client_id in result.selected:
+                    assert result.payments[client_id] >= costs[client_id] - 1e-9
+
+    def test_second_price_intuition(self):
+        """Two identical-value clients, cap 1: winner paid loser's bid."""
+        auction = SingleRoundVCGAuction(max_winners=1)
+        auction_round = make_round([0.4, 0.6], [1.0, 1.0])
+        result = auction.run(auction_round)
+        assert result.selected == (0,)
+        assert result.payments[0] == pytest.approx(0.6)
+
+    def test_unconstrained_payment_is_value_threshold(self):
+        """Without constraints, a winner's critical bid makes surplus zero."""
+        auction = SingleRoundVCGAuction(value_weight=1.0, cost_weight=1.0)
+        auction_round = make_round([0.3], [1.2])
+        result = auction.run(auction_round)
+        assert result.payments[0] == pytest.approx(1.2)
+
+    def test_payment_independent_of_winning_bid(self):
+        """Lowering a winning bid does not change its payment (exact WD)."""
+        base = make_round([0.4, 0.6, 0.9], [1.0, 1.0, 1.0])
+        auction = SingleRoundVCGAuction(max_winners=2)
+        payment_at_04 = auction.run(base).payments[0]
+        lowered = base.with_replaced_bid(Bid(client_id=0, cost=0.1, data_size=100))
+        payment_at_01 = SingleRoundVCGAuction(max_winners=2).run(lowered).payments[0]
+        assert payment_at_04 == pytest.approx(payment_at_01)
+
+    def test_greedy_payments_close_to_exact_on_top_k_instances(self, rng):
+        """With only a cardinality constraint greedy == top-k, payments match."""
+        for _ in range(10):
+            auction_round, _ = random_instance(rng, 6)
+            exact = SingleRoundVCGAuction(max_winners=3, wd_method="exact").run(
+                auction_round
+            )
+            greedy = SingleRoundVCGAuction(max_winners=3, wd_method="greedy").run(
+                auction_round
+            )
+            assert exact.selected == greedy.selected
+            for client_id in exact.selected:
+                assert greedy.payments[client_id] == pytest.approx(
+                    exact.payments[client_id], abs=1e-5
+                )
+
+
+class TestResultFields:
+    def test_declared_welfare(self):
+        auction = SingleRoundVCGAuction()
+        auction_round = make_round([0.5, 0.2], [1.0, 1.0])
+        result = auction.run(auction_round)
+        assert result.declared_welfare == pytest.approx((1.0 - 0.5) + (1.0 - 0.2))
+
+    def test_scores_for_all_candidates(self):
+        auction = SingleRoundVCGAuction(value_weight=2.0, cost_weight=4.0)
+        auction_round = make_round([0.5, 3.0], [1.0, 1.0])
+        result = auction.run(auction_round)
+        assert result.scores[0] == pytest.approx(2.0 - 4.0 * 0.5)
+        assert result.scores[1] == pytest.approx(2.0 - 4.0 * 3.0)

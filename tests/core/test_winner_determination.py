@@ -1,0 +1,218 @@
+"""Tests for repro.core.winner_determination."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.winner_determination import (
+    WinnerDeterminationProblem,
+    solve,
+    solve_brute_force,
+    solve_greedy,
+    solve_knapsack_dp,
+    solve_lp_bound,
+    solve_top_k,
+)
+
+
+def problem(scores, demands=None, capacity=None, max_winners=None):
+    return WinnerDeterminationProblem(
+        scores=tuple(scores),
+        demands=None if demands is None else tuple(demands),
+        capacity=capacity,
+        max_winners=max_winners,
+    )
+
+
+class TestProblemValidation:
+    def test_demands_capacity_must_pair(self):
+        with pytest.raises(ValueError):
+            problem([1.0], demands=[1.0])
+        with pytest.raises(ValueError):
+            problem([1.0], capacity=1.0)
+
+    def test_rejects_nonpositive_demand(self):
+        with pytest.raises(ValueError):
+            problem([1.0], demands=[0.0], capacity=1.0)
+
+    def test_rejects_nonfinite_scores(self):
+        with pytest.raises(ValueError):
+            problem([float("inf")])
+
+    def test_without_removes_candidate(self):
+        p = problem([1.0, 2.0, 3.0], max_winners=2)
+        sub = p.without(1)
+        assert sub.scores == (1.0, 3.0)
+        assert sub.max_winners == 2
+
+    def test_is_feasible(self):
+        p = problem([1, 2, 3], demands=[1, 1, 1], capacity=2.0, max_winners=2)
+        assert p.is_feasible((0, 1))
+        assert not p.is_feasible((0, 1, 2))  # cap and capacity
+        assert not p.is_feasible((0, 0))  # duplicates
+
+
+class TestTopK:
+    def test_selects_best_positive(self):
+        allocation = solve_top_k(problem([3.0, -1.0, 2.0, 0.0], max_winners=2))
+        assert allocation.selected == (0, 2)
+        assert allocation.objective == pytest.approx(5.0)
+
+    def test_zero_scores_excluded(self):
+        allocation = solve_top_k(problem([0.0, 0.0]))
+        assert allocation.selected == ()
+
+    def test_unlimited_winners(self):
+        allocation = solve_top_k(problem([1.0, 2.0, 3.0]))
+        assert allocation.selected == (0, 1, 2)
+
+    def test_rejects_knapsack(self):
+        with pytest.raises(ValueError):
+            solve_top_k(problem([1.0], demands=[1.0], capacity=1.0))
+
+    def test_deterministic_tie_break(self):
+        allocation = solve_top_k(problem([1.0, 1.0, 1.0], max_winners=2))
+        assert allocation.selected == (0, 1)
+
+
+class TestBruteForce:
+    def test_knapsack_exact(self):
+        # classic: greedy-by-density fails, optimum is {1, 2}
+        p = problem([6.0, 5.0, 5.0], demands=[5.0, 4.0, 4.0], capacity=8.0)
+        allocation = solve_brute_force(p)
+        assert allocation.selected == (1, 2)
+        assert allocation.objective == pytest.approx(10.0)
+
+    def test_respects_cardinality(self):
+        p = problem([5.0, 4.0, 3.0], max_winners=1)
+        assert solve_brute_force(p).selected == (0,)
+
+    def test_empty_when_all_negative(self):
+        assert solve_brute_force(problem([-1.0, -2.0])).selected == ()
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError, match="brute force"):
+            solve_brute_force(problem([1.0] * 30))
+
+
+class TestKnapsackDP:
+    def test_matches_brute_force_integers(self):
+        p = problem(
+            [6.0, 5.0, 5.0, 2.0],
+            demands=[5.0, 4.0, 4.0, 1.0],
+            capacity=8.0,
+        )
+        dp = solve_knapsack_dp(p, resolution=8)
+        bf = solve_brute_force(p)
+        assert dp.objective == pytest.approx(bf.objective)
+
+    def test_solution_always_feasible(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n = int(rng.integers(3, 12))
+            p = problem(
+                rng.uniform(-1, 3, n).tolist(),
+                demands=rng.uniform(0.1, 2.0, n).tolist(),
+                capacity=float(rng.uniform(1.0, 4.0)),
+                max_winners=int(rng.integers(1, n + 1)),
+            )
+            allocation = solve_knapsack_dp(p, resolution=500)
+            assert p.is_feasible(allocation.selected)
+
+    def test_falls_back_to_top_k_without_capacity(self):
+        p = problem([3.0, 1.0], max_winners=1)
+        assert solve_knapsack_dp(p).selected == (0,)
+
+    def test_high_resolution_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        for _ in range(15):
+            n = int(rng.integers(3, 10))
+            p = problem(
+                rng.uniform(0.1, 3, n).tolist(),
+                demands=rng.uniform(0.2, 1.5, n).tolist(),
+                capacity=float(rng.uniform(1.0, 3.0)),
+            )
+            dp = solve_knapsack_dp(p, resolution=4000)
+            bf = solve_brute_force(p)
+            # Quantisation rounds demands up, so DP is feasible but can be
+            # slightly conservative; allow a tiny gap.
+            assert dp.objective <= bf.objective + 1e-9
+            assert dp.objective >= bf.objective - 0.15 * abs(bf.objective) - 1e-9
+
+
+class TestGreedy:
+    def test_feasible_and_positive_only(self):
+        p = problem(
+            [3.0, -1.0, 2.0],
+            demands=[1.0, 1.0, 1.0],
+            capacity=2.0,
+        )
+        allocation = solve_greedy(p)
+        assert 1 not in allocation.selected
+        assert p.is_feasible(allocation.selected)
+
+    def test_skip_semantics(self):
+        # Big item first by density, then the small one still fits.
+        p = problem([10.0, 3.0, 2.9], demands=[6.0, 5.0, 2.0], capacity=8.0)
+        allocation = solve_greedy(p)
+        assert allocation.selected == (0, 2)
+
+    def test_cardinality_cap(self):
+        p = problem([3.0, 2.0, 1.0], max_winners=2)
+        assert solve_greedy(p).selected == (0, 1)
+
+    def test_never_beats_exact(self):
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            n = int(rng.integers(2, 12))
+            p = problem(
+                rng.uniform(-1, 3, n).tolist(),
+                demands=rng.uniform(0.1, 2.0, n).tolist(),
+                capacity=float(rng.uniform(0.5, 4.0)),
+            )
+            assert solve_greedy(p).objective <= solve_brute_force(p).objective + 1e-9
+
+
+class TestLPBound:
+    def test_upper_bounds_exact(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            n = int(rng.integers(2, 12))
+            p = problem(
+                rng.uniform(-1, 3, n).tolist(),
+                demands=rng.uniform(0.1, 2.0, n).tolist(),
+                capacity=float(rng.uniform(0.5, 4.0)),
+                max_winners=int(rng.integers(1, n + 1)),
+            )
+            assert solve_lp_bound(p) >= solve_brute_force(p).objective - 1e-7
+
+    def test_no_constraints_sums_positive(self):
+        assert solve_lp_bound(problem([1.0, -2.0, 3.0])) == pytest.approx(4.0)
+
+
+class TestDispatch:
+    def test_exact_picks_top_k_without_capacity(self):
+        allocation = solve(problem([2.0, 1.0], max_winners=1), "exact")
+        assert allocation.selected == (0,)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            solve(problem([1.0]), "magic")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    scores=st.lists(st.floats(-2, 5), min_size=1, max_size=10),
+    seed=st.integers(0, 1000),
+)
+def test_exact_dominates_greedy_property(scores, seed):
+    """Exact winner determination is never worse than greedy (hypothesis)."""
+    rng = np.random.default_rng(seed)
+    demands = rng.uniform(0.1, 2.0, len(scores)).tolist()
+    p = problem(scores, demands=demands, capacity=float(rng.uniform(0.5, 4.0)))
+    exact = solve_brute_force(p)
+    greedy = solve_greedy(p)
+    assert p.is_feasible(exact.selected)
+    assert p.is_feasible(greedy.selected)
+    assert exact.objective >= greedy.objective - 1e-9

@@ -1,0 +1,102 @@
+"""Tests for repro.economics.bidding."""
+
+import numpy as np
+import pytest
+
+from repro.economics.bidding import (
+    AdaptiveStrategy,
+    BidContext,
+    JitterStrategy,
+    ScaledStrategy,
+    TruthfulStrategy,
+)
+
+
+def context(cost=1.0, round_index=0) -> BidContext:
+    return BidContext(round_index=round_index, true_cost=cost)
+
+
+class TestTruthfulStrategy:
+    def test_bids_true_cost(self, rng):
+        strategy = TruthfulStrategy()
+        assert strategy.bid(context(1.7), rng) == 1.7
+
+
+class TestScaledStrategy:
+    def test_constant_markup(self, rng):
+        strategy = ScaledStrategy(1.5)
+        assert strategy.bid(context(2.0), rng) == pytest.approx(3.0)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            ScaledStrategy(0.0)
+
+
+class TestJitterStrategy:
+    def test_zero_sigma_is_truthful(self, rng):
+        strategy = JitterStrategy(0.0)
+        assert strategy.bid(context(1.0), rng) == pytest.approx(1.0)
+
+    def test_jitter_is_multiplicative_and_positive(self, rng):
+        strategy = JitterStrategy(0.3)
+        bids = [strategy.bid(context(1.0), rng) for _ in range(200)]
+        assert all(b > 0 for b in bids)
+        assert np.std(bids) > 0.1
+
+    def test_median_near_truth(self, rng):
+        strategy = JitterStrategy(0.2)
+        bids = [strategy.bid(context(2.0), rng) for _ in range(2000)]
+        assert np.median(bids) == pytest.approx(2.0, rel=0.1)
+
+
+class TestAdaptiveStrategy:
+    def test_initial_distribution_uniform(self):
+        strategy = AdaptiveStrategy(factors=(1.0, 2.0))
+        assert np.allclose(strategy.distribution(), [0.5, 0.5])
+
+    def test_learns_profitable_markup_against_pay_as_bid(self, rng):
+        """Against a pay-as-bid rule that accepts bids up to 2x cost, the
+        learner should shift weight toward the largest accepted markup."""
+        strategy = AdaptiveStrategy(factors=(1.0, 1.8, 3.0), learning_rate=0.5)
+        for t in range(800):
+            bid = strategy.bid(context(1.0, t), rng)
+            accepted = bid <= 2.0
+            strategy.observe(
+                context(1.0, t), selected=accepted, payment=bid if accepted else 0.0
+            )
+        assert strategy.expected_factor() > 1.5
+
+    def test_converges_to_truthful_when_payment_fixed(self, rng):
+        """Against a truthful mechanism (payment independent of bid, win iff
+        bid below the critical price), overbidding past the price loses;
+        underbidding gains nothing — 1.0 and below tie, high markups lose."""
+        strategy = AdaptiveStrategy(factors=(1.0, 2.5), learning_rate=0.5)
+        critical_price = 1.5
+        for t in range(600):
+            bid = strategy.bid(context(1.0, t), rng)
+            wins = bid <= critical_price
+            strategy.observe(
+                context(1.0, t),
+                selected=wins,
+                payment=critical_price if wins else 0.0,
+            )
+        distribution = strategy.distribution()
+        assert distribution[0] > 0.95  # mass on the truthful factor
+
+    def test_reset(self, rng):
+        strategy = AdaptiveStrategy(factors=(1.0, 2.0), learning_rate=1.0)
+        for t in range(50):
+            bid = strategy.bid(context(1.0, t), rng)
+            strategy.observe(context(1.0, t), selected=True, payment=bid)
+        strategy.reset()
+        assert np.allclose(strategy.distribution(), [0.5, 0.5])
+
+    def test_observe_without_bid_is_noop(self):
+        strategy = AdaptiveStrategy()
+        strategy.observe(context(), selected=True, payment=5.0)  # no crash
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveStrategy(factors=())
+        with pytest.raises(ValueError):
+            AdaptiveStrategy(factors=(0.0, 1.0))

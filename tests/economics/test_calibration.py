@@ -1,0 +1,121 @@
+"""Tests for repro.economics.calibration."""
+
+import numpy as np
+import pytest
+
+from repro.economics.calibration import (
+    premium_estimate,
+    suggest_budget,
+    suggest_posted_price,
+    suggest_reserve_price,
+)
+from repro.economics.client_profile import build_population
+
+
+@pytest.fixture
+def population():
+    return build_population(30, seed=5, energy_constrained=False)
+
+
+class TestSuggestBudget:
+    def test_scales_with_winners(self, population):
+        assert suggest_budget(population, 10) == pytest.approx(
+            2 * suggest_budget(population, 5)
+        )
+
+    def test_premium_headroom(self, population):
+        lean = suggest_budget(population, 5, premium_factor=1.0)
+        cushioned = suggest_budget(population, 5, premium_factor=1.5)
+        assert cushioned == pytest.approx(1.5 * lean)
+
+    def test_validation(self, population):
+        with pytest.raises(ValueError):
+            suggest_budget(population, 0)
+        with pytest.raises(ValueError):
+            suggest_budget([], 3)
+
+
+class TestSuggestReservePrice:
+    def test_quantile_position(self, population):
+        reserve = suggest_reserve_price(population, quantile=0.9)
+        costs = sorted(c.true_cost() for c in population)
+        below = sum(1 for c in costs if c <= reserve)
+        assert below >= int(0.85 * len(costs))
+
+    def test_monotone_in_quantile(self, population):
+        assert suggest_reserve_price(population, quantile=0.5) <= suggest_reserve_price(
+            population, quantile=0.95
+        )
+
+    def test_validation(self, population):
+        with pytest.raises(ValueError):
+            suggest_reserve_price(population, quantile=1.5)
+
+
+class TestSuggestPostedPrice:
+    def test_exactly_k_acceptors(self, population):
+        price = suggest_posted_price(population, expected_acceptors=10)
+        acceptors = sum(1 for c in population if c.true_cost() <= price)
+        assert acceptors >= 10  # ties can only add acceptors
+
+    def test_bounds(self, population):
+        with pytest.raises(ValueError):
+            suggest_posted_price(population, 0)
+        with pytest.raises(ValueError):
+            suggest_posted_price(population, len(population) + 1)
+
+    def test_price_is_a_cost(self, population):
+        price = suggest_posted_price(population, 7)
+        assert any(abs(c.true_cost() - price) < 1e-12 for c in population)
+
+
+class TestPremiumEstimate:
+    def test_matches_manual(self):
+        from repro.simulation.events import EventLog, RoundRecord
+
+        log = EventLog()
+        log.record(
+            RoundRecord(
+                round_index=0,
+                available=(0,),
+                bids={0: 1.0},
+                true_costs={0: 1.0},
+                values={0: 2.0},
+                selected=(0,),
+                payments={0: 1.5},
+            )
+        )
+        assert premium_estimate(log) == pytest.approx(0.5)
+
+    def test_empty_log(self):
+        from repro.simulation.events import EventLog
+
+        assert premium_estimate(EventLog()) == 0.0
+
+    def test_end_to_end_calibration_loop(self, population):
+        """Budget suggested from the premium of a pilot run is compliant."""
+        from repro import LongTermVCGConfig, LongTermVCGMechanism, SimulationRunner
+        from repro.analysis.budget import budget_report
+        from repro.simulation.scenarios import build_mechanism_scenario
+
+        scenario = build_mechanism_scenario(20, seed=9)
+        pilot_mechanism = LongTermVCGMechanism(
+            LongTermVCGConfig(v=20.0, budget_per_round=100.0, max_winners=5)
+        )
+        pilot = SimulationRunner(
+            pilot_mechanism, scenario.clients, scenario.valuation, seed=1
+        ).run(100)
+        premium = premium_estimate(pilot)
+
+        budget = suggest_budget(
+            scenario.clients, 5, premium_factor=1.0 + premium
+        )
+        scenario2 = build_mechanism_scenario(20, seed=9)
+        mechanism = LongTermVCGMechanism(
+            LongTermVCGConfig(v=20.0, budget_per_round=budget, max_winners=5)
+        )
+        log = SimulationRunner(
+            mechanism, scenario2.clients, scenario2.valuation, seed=1
+        ).run(300)
+        report = budget_report(log, budget)
+        assert report.final_overspend_ratio <= 1.1

@@ -1,0 +1,73 @@
+"""Tests for repro.economics.cost_models."""
+
+import numpy as np
+import pytest
+
+from repro.economics.cost_models import (
+    DEVICE_CLASSES,
+    CostProfile,
+    LinearCostModel,
+    sample_cost_profiles,
+)
+
+
+class TestCostProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostProfile(compute_unit_cost=-1.0, upload_cost=0.0, energy_per_round=0.0)
+        with pytest.raises(ValueError):
+            CostProfile(compute_unit_cost=0.0, upload_cost=-0.1, energy_per_round=0.0)
+
+    def test_frozen(self):
+        profile = CostProfile(0.001, 0.05, 1.0)
+        with pytest.raises(AttributeError):
+            profile.upload_cost = 1.0
+
+
+class TestLinearCostModel:
+    def test_round_cost_formula(self):
+        model = LinearCostModel(CostProfile(0.002, 0.1, 1.0))
+        cost = model.round_cost(local_steps=5, batch_size=32)
+        assert cost == pytest.approx(0.002 * 160 + 0.1)
+
+    def test_cost_monotone_in_work(self):
+        model = LinearCostModel(CostProfile(0.002, 0.1, 1.0))
+        assert model.round_cost(local_steps=10, batch_size=32) > model.round_cost(
+            local_steps=5, batch_size=32
+        )
+
+    def test_rejects_nonpositive_work(self):
+        model = LinearCostModel(CostProfile(0.002, 0.1, 1.0))
+        with pytest.raises(ValueError):
+            model.round_cost(local_steps=0, batch_size=32)
+
+
+class TestSampleCostProfiles:
+    def test_count_and_ranges(self, rng):
+        profiles = sample_cost_profiles(50, rng)
+        assert len(profiles) == 50
+        for profile in profiles:
+            ranges = DEVICE_CLASSES[profile.device_class]
+            low, high = ranges["compute_unit_cost"]
+            assert low <= profile.compute_unit_cost <= high
+
+    def test_class_weights_respected(self, rng):
+        profiles = sample_cost_profiles(
+            200, rng, class_weights={"edge-box": 1.0}
+        )
+        assert all(p.device_class == "edge-box" for p in profiles)
+
+    def test_unknown_class_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_cost_profiles(5, rng, class_weights={"mainframe": 1.0})
+
+    def test_deterministic_given_rng(self):
+        a = sample_cost_profiles(10, np.random.default_rng(4))
+        b = sample_cost_profiles(10, np.random.default_rng(4))
+        assert a == b
+
+    def test_budget_devices_cost_more_per_work(self, rng):
+        """The class ranges encode: budget phones have higher unit cost."""
+        budget_low = DEVICE_CLASSES["budget-phone"]["compute_unit_cost"][0]
+        edge_high = DEVICE_CLASSES["edge-box"]["compute_unit_cost"][1]
+        assert budget_low > edge_high

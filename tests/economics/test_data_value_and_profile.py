@@ -1,0 +1,127 @@
+"""Tests for repro.economics.data_value and repro.economics.client_profile."""
+
+import numpy as np
+import pytest
+
+from repro.economics.bidding import ScaledStrategy, TruthfulStrategy
+from repro.economics.client_profile import EconomicClient, build_population
+from repro.economics.cost_models import CostProfile, LinearCostModel
+from repro.economics.data_value import data_quality, label_entropy
+from repro.economics.energy import Battery, BernoulliHarvest
+
+
+class TestDataValue:
+    def test_entropy_of_uniform(self):
+        labels = np.repeat(np.arange(4), 25)
+        assert label_entropy(labels, 4) == pytest.approx(np.log(4))
+
+    def test_entropy_of_single_class(self):
+        assert label_entropy(np.zeros(50, dtype=int), 4) == 0.0
+
+    def test_quality_normalised(self):
+        uniform = np.repeat(np.arange(5), 10)
+        assert data_quality(uniform, 5) == pytest.approx(1.0)
+        assert data_quality(np.zeros(10, dtype=int), 5) == 0.0
+
+    def test_quality_monotone_in_diversity(self):
+        two_class = np.array([0] * 25 + [1] * 25)
+        skewed = np.array([0] * 45 + [1] * 5)
+        assert data_quality(two_class, 4) > data_quality(skewed, 4)
+
+    def test_empty_labels(self):
+        assert label_entropy(np.array([], dtype=int), 3) == 0.0
+
+    def test_rejects_one_class_universe(self):
+        with pytest.raises(ValueError):
+            data_quality(np.zeros(5, dtype=int), 1)
+
+
+def make_client(battery=None, harvest=None, strategy=None, seed=0):
+    return EconomicClient(
+        client_id=0,
+        cost_model=LinearCostModel(CostProfile(0.002, 0.1, energy_per_round=1.0)),
+        strategy=strategy or TruthfulStrategy(),
+        declared_size=100,
+        declared_quality=0.8,
+        local_steps=5,
+        batch_size=32,
+        rng=np.random.default_rng(seed),
+        battery=battery,
+        harvest=harvest,
+    )
+
+
+class TestEconomicClient:
+    def test_true_cost(self):
+        client = make_client()
+        assert client.true_cost() == pytest.approx(0.002 * 160 + 0.1)
+
+    def test_mains_powered_always_available(self):
+        assert make_client().is_available()
+
+    def test_battery_gates_availability(self):
+        client = make_client(battery=Battery(2.0, initial=0.5))
+        assert not client.is_available()  # needs 1.0 energy
+        client.battery.charge(1.0)
+        assert client.is_available()
+
+    def test_make_bid_carries_declarations(self):
+        bid = make_client().make_bid(0)
+        assert bid.data_size == 100
+        assert bid.quality == 0.8
+        assert bid.cost == pytest.approx(make_client().true_cost())
+
+    def test_strategic_bid(self):
+        client = make_client(strategy=ScaledStrategy(2.0))
+        assert client.make_bid(0).cost == pytest.approx(2 * client.true_cost())
+
+    def test_post_round_drains_and_harvests(self):
+        battery = Battery(5.0, initial=2.0)
+        harvest = BernoulliHarvest(rate=1.0, amount=0.5)
+        client = make_client(battery=battery, harvest=harvest)
+        client.post_round(0, selected=True, payment=1.0)
+        # drained 1.0, harvested 0.5
+        assert battery.level == pytest.approx(1.5)
+
+    def test_post_round_unselected_only_harvests(self):
+        battery = Battery(5.0, initial=2.0)
+        harvest = BernoulliHarvest(rate=1.0, amount=0.5)
+        client = make_client(battery=battery, harvest=harvest)
+        client.post_round(0, selected=False, payment=0.0)
+        assert battery.level == pytest.approx(2.5)
+
+
+class TestBuildPopulation:
+    def test_reproducible(self):
+        a = build_population(10, seed=3)
+        b = build_population(10, seed=3)
+        assert [c.true_cost() for c in a] == [c.true_cost() for c in b]
+        assert [c.declared_size for c in a] == [c.declared_size for c in b]
+
+    def test_heterogeneous_costs(self):
+        clients = build_population(30, seed=0)
+        costs = {round(c.true_cost(), 6) for c in clients}
+        assert len(costs) > 20
+
+    def test_energy_constrained_flag(self):
+        constrained = build_population(5, seed=0, energy_constrained=True)
+        mains = build_population(5, seed=0, energy_constrained=False)
+        assert all(c.battery is not None for c in constrained)
+        assert all(c.battery is None for c in mains)
+
+    def test_declared_lists_respected(self):
+        clients = build_population(
+            3, seed=0, declared_sizes=[10, 20, 30], declared_qualities=[0.1, 0.2, 0.3]
+        )
+        assert [c.declared_size for c in clients] == [10, 20, 30]
+
+    def test_declared_list_length_checked(self):
+        with pytest.raises(ValueError):
+            build_population(3, seed=0, declared_sizes=[10])
+
+    def test_strategy_factory_applied(self):
+        clients = build_population(
+            4, seed=0, strategy_factory=lambda cid, rng: ScaledStrategy(1.0 + cid)
+        )
+        assert isinstance(clients[2].strategy, ScaledStrategy)
+        assert clients[2].strategy.factor == 3.0

@@ -1,0 +1,115 @@
+"""Tests for repro.economics.energy."""
+
+import numpy as np
+import pytest
+
+from repro.economics.energy import (
+    Battery,
+    BernoulliHarvest,
+    DiurnalHarvest,
+    MarkovOnOffHarvest,
+)
+
+
+class TestBattery:
+    def test_starts_full_by_default(self):
+        assert Battery(5.0).level == 5.0
+
+    def test_drain_and_charge(self):
+        battery = Battery(10.0, initial=4.0)
+        battery.drain(3.0)
+        assert battery.level == pytest.approx(1.0)
+        stored = battery.charge(100.0)
+        assert battery.level == 10.0
+        assert stored == pytest.approx(9.0)  # clipped at capacity
+
+    def test_drain_checks_balance(self):
+        battery = Battery(5.0, initial=1.0)
+        assert not battery.can_afford(2.0)
+        with pytest.raises(ValueError):
+            battery.drain(2.0)
+
+    def test_never_negative_never_overfull(self, rng):
+        battery = Battery(3.0, initial=1.5)
+        for _ in range(500):
+            amount = float(rng.uniform(0, 1))
+            if rng.random() < 0.5 and battery.can_afford(amount):
+                battery.drain(amount)
+            else:
+                battery.charge(amount)
+            assert 0.0 <= battery.level <= 3.0 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Battery(0.0)
+        with pytest.raises(ValueError):
+            Battery(2.0, initial=3.0)
+        with pytest.raises(ValueError):
+            Battery(2.0, initial=-1.0)
+
+
+class TestBernoulliHarvest:
+    def test_empirical_rate_matches(self, rng):
+        harvest = BernoulliHarvest(rate=0.3, amount=2.0)
+        draws = [harvest.step(t, rng) for t in range(5000)]
+        assert np.mean(draws) == pytest.approx(harvest.mean_rate(), rel=0.1)
+
+    def test_only_two_outcomes(self, rng):
+        harvest = BernoulliHarvest(rate=0.5, amount=1.5)
+        assert set(harvest.step(t, rng) for t in range(100)) <= {0.0, 1.5}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliHarvest(rate=1.5, amount=1.0)
+        with pytest.raises(ValueError):
+            BernoulliHarvest(rate=0.5, amount=-1.0)
+
+
+class TestMarkovOnOffHarvest:
+    def test_empirical_rate_matches_stationary(self, rng):
+        harvest = MarkovOnOffHarvest(amount=1.0, p_on_off=0.2, p_off_on=0.3)
+        draws = [harvest.step(t, rng) for t in range(20000)]
+        assert np.mean(draws) == pytest.approx(harvest.mean_rate(), rel=0.1)
+
+    def test_burstiness(self, rng):
+        """Sticky chains produce longer runs than i.i.d. draws."""
+        harvest = MarkovOnOffHarvest(amount=1.0, p_on_off=0.05, p_off_on=0.05)
+        draws = np.array([harvest.step(t, rng) for t in range(5000)]) > 0
+        switches = int(np.sum(draws[1:] != draws[:-1]))
+        assert switches < 1000  # i.i.d. at p=0.5 would switch ~2500 times
+
+    def test_reset_restores_start_state(self, rng):
+        harvest = MarkovOnOffHarvest(
+            amount=1.0, p_on_off=0.5, p_off_on=0.5, start_on=True
+        )
+        for t in range(10):
+            harvest.step(t, rng)
+        harvest.reset()
+        assert harvest._on is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovOnOffHarvest(amount=1.0, p_on_off=0.0, p_off_on=0.0)
+
+
+class TestDiurnalHarvest:
+    def test_periodicity(self, rng):
+        harvest = DiurnalHarvest(peak=2.0, period=24)
+        day_one = [harvest.step(t, rng) for t in range(24)]
+        day_two = [harvest.step(t + 24, rng) for t in range(24)]
+        assert np.allclose(day_one, day_two)
+
+    def test_night_is_zero(self, rng):
+        harvest = DiurnalHarvest(peak=2.0, period=24)
+        # Second half of the sine period is negative, clipped to 0.
+        night = [harvest.step(t, rng) for t in range(13, 23)]
+        assert all(v == 0.0 for v in night)
+
+    def test_mean_rate(self, rng):
+        harvest = DiurnalHarvest(peak=np.pi, period=1000)
+        draws = [harvest.step(t, rng) for t in range(1000)]
+        assert np.mean(draws) == pytest.approx(harvest.mean_rate(), rel=0.05)
+
+    def test_noise_keeps_nonnegative(self, rng):
+        harvest = DiurnalHarvest(peak=0.1, period=10, noise=1.0)
+        assert all(harvest.step(t, rng) >= 0.0 for t in range(200))

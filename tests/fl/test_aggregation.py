@@ -1,0 +1,78 @@
+"""Tests for repro.fl.aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.fl.aggregation import (
+    coordinate_median,
+    stack_updates,
+    trimmed_mean,
+    weighted_mean,
+)
+
+
+class TestStackUpdates:
+    def test_stacks(self):
+        stacked = stack_updates([np.zeros(3), np.ones(3)])
+        assert stacked.shape == (2, 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            stack_updates([])
+
+    def test_rejects_matrices(self):
+        with pytest.raises(ValueError):
+            stack_updates([np.zeros((2, 2))])
+
+
+class TestWeightedMean:
+    def test_matches_manual_computation(self):
+        stacked = np.array([[1.0, 0.0], [3.0, 2.0]])
+        out = weighted_mean(stacked, np.array([1.0, 3.0]))
+        assert np.allclose(out, [0.25 * 1 + 0.75 * 3, 0.75 * 2])
+
+    def test_identical_updates_fixed_point(self):
+        update = np.array([0.5, -1.0, 2.0])
+        stacked = np.stack([update] * 4)
+        out = weighted_mean(stacked, np.array([1.0, 2.0, 3.0, 4.0]))
+        assert np.allclose(out, update)
+
+    def test_weight_validation(self):
+        stacked = np.zeros((2, 3))
+        with pytest.raises(ValueError):
+            weighted_mean(stacked, np.array([1.0]))
+        with pytest.raises(ValueError):
+            weighted_mean(stacked, np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            weighted_mean(stacked, np.array([0.0, 0.0]))
+
+
+class TestTrimmedMean:
+    def test_removes_outliers(self):
+        stacked = np.array([[0.0], [0.1], [0.2], [0.1], [100.0]])
+        weights = np.ones(5)
+        out = trimmed_mean(stacked, weights, trim_fraction=0.2)
+        assert out[0] < 1.0  # the 100 outlier trimmed away
+
+    def test_degrades_to_mean_for_few_clients(self):
+        stacked = np.array([[1.0], [3.0]])
+        out = trimmed_mean(stacked, np.ones(2), trim_fraction=0.4)
+        assert out[0] == pytest.approx(2.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            trimmed_mean(np.zeros((2, 1)), np.ones(2), trim_fraction=0.5)
+
+
+class TestCoordinateMedian:
+    def test_median_per_coordinate(self):
+        stacked = np.array([[0.0, 5.0], [1.0, 6.0], [100.0, 7.0]])
+        out = coordinate_median(stacked, np.ones(3))
+        assert out.tolist() == [1.0, 6.0]
+
+    def test_robust_to_one_byzantine(self):
+        honest = np.zeros((4, 3))
+        byzantine = np.full((1, 3), 1e6)
+        stacked = np.concatenate([honest, byzantine])
+        out = coordinate_median(stacked, np.ones(5))
+        assert np.all(np.abs(out) < 1.0)

@@ -1,0 +1,158 @@
+"""Tests for repro.fl.attacks and repro.fl.compression."""
+
+import numpy as np
+import pytest
+
+from repro.fl.aggregation import coordinate_median, trimmed_mean
+from repro.fl.attacks import (
+    GaussianNoiseClient,
+    LabelFlippingClient,
+    UpdateScalingClient,
+)
+from repro.fl.client import FLClient
+from repro.fl.compression import Compressor, qsgd_quantize, top_k_sparsify
+from repro.fl.datasets import make_gaussian_mixture, train_test_split
+from repro.fl.linear import SoftmaxRegression
+from repro.fl.optimizer import SGD
+from repro.fl.partition import iid_partition
+from repro.fl.server import FLServer
+from repro.fl.trainer import FederatedTrainer
+
+
+def build_client(cls, client_id, dataset, **kwargs):
+    return cls(
+        client_id,
+        dataset,
+        SoftmaxRegression(4, 3, seed=client_id + 1),
+        lambda: SGD(0.3),
+        local_steps=3,
+        batch_size=16,
+        rng=np.random.default_rng(client_id + 40),
+        **kwargs,
+    )
+
+
+class TestAttackClients:
+    def test_label_flipping_changes_labels(self, rng):
+        dataset = make_gaussian_mixture(60, 4, 3, rng=rng)
+        client = build_client(LabelFlippingClient, 0, dataset)
+        assert not np.array_equal(client.dataset.labels, dataset.labels)
+        # Same label multiset size, still valid classes.
+        assert client.dataset.labels.max() < 3
+
+    def test_scaling_client_scales(self, rng):
+        dataset = make_gaussian_mixture(60, 4, 3, rng=rng)
+        honest = build_client(FLClient, 0, dataset)
+        attacker = build_client(UpdateScalingClient, 0, dataset, scale=-5.0)
+        honest_update = honest.train(np.zeros(15))
+        attacker_update = attacker.train(np.zeros(15))
+        assert np.allclose(attacker_update.delta, -5.0 * honest_update.delta)
+
+    def test_noise_client_ignores_data(self, rng):
+        dataset = make_gaussian_mixture(60, 4, 3, rng=rng)
+        client = build_client(GaussianNoiseClient, 0, dataset, noise_scale=2.0)
+        update = client.train(np.zeros(15))
+        assert np.std(update.delta) > 0.5
+
+    def test_robust_aggregation_survives_attack(self, rng):
+        """One -5x scaler among five clients: median-aggregated training
+        still learns; weighted-mean training is wrecked."""
+        data_rng = np.random.default_rng(4)
+        dataset = make_gaussian_mixture(600, 4, 3, separation=3.0, rng=data_rng)
+        train, test = train_test_split(dataset, 0.2, data_rng)
+        shards = iid_partition(train.num_samples, 5, data_rng)
+
+        def run(aggregation):
+            clients = [
+                build_client(FLClient, i, train.subset(shards[i])) for i in range(4)
+            ]
+            clients.append(
+                build_client(
+                    UpdateScalingClient, 4, train.subset(shards[4]), scale=-5.0
+                )
+            )
+            server = FLServer(
+                SoftmaxRegression(4, 3, seed=0), test, aggregation=aggregation
+            )
+            trainer = FederatedTrainer(server, clients, eval_every=30)
+            return trainer.run(30).final_accuracy()
+
+        from repro.fl.aggregation import weighted_mean
+
+        robust = run(coordinate_median)
+        fragile = run(weighted_mean)
+        assert robust > 0.8
+        assert robust > fragile + 0.1
+
+    def test_trimmed_mean_also_robust(self, rng):
+        honest = np.zeros((8, 4))
+        byzantine = np.full((2, 4), 1e3)
+        stacked = np.concatenate([honest, byzantine])
+        out = trimmed_mean(stacked, np.ones(10), trim_fraction=0.2)
+        assert np.all(np.abs(out) < 1.0)
+
+
+class TestTopKSparsify:
+    def test_keeps_largest(self):
+        vector = np.array([0.1, -5.0, 0.2, 3.0])
+        sparse = top_k_sparsify(vector, 2)
+        assert sparse.tolist() == [0.0, -5.0, 0.0, 3.0]
+
+    def test_k_at_least_size_is_identity(self):
+        vector = np.array([1.0, 2.0])
+        assert np.array_equal(top_k_sparsify(vector, 5), vector)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            top_k_sparsify(np.ones(3), 0)
+
+    def test_original_untouched(self):
+        vector = np.array([1.0, 2.0, 3.0])
+        top_k_sparsify(vector, 1)
+        assert vector.tolist() == [1.0, 2.0, 3.0]
+
+
+class TestQSGD:
+    def test_unbiased(self, rng):
+        vector = rng.normal(size=50)
+        samples = np.stack(
+            [qsgd_quantize(vector, 2, np.random.default_rng(i)) for i in range(3000)]
+        )
+        assert np.allclose(samples.mean(axis=0), vector, atol=0.05)
+
+    def test_zero_vector(self, rng):
+        assert np.array_equal(qsgd_quantize(np.zeros(4), 4, rng), np.zeros(4))
+
+    def test_more_bits_less_error(self, rng):
+        vector = np.random.default_rng(3).normal(size=200)
+        err2 = np.linalg.norm(qsgd_quantize(vector, 1, np.random.default_rng(0)) - vector)
+        err8 = np.linalg.norm(qsgd_quantize(vector, 8, np.random.default_rng(0)) - vector)
+        assert err8 < err2
+
+    def test_rejects_bad_bits(self, rng):
+        with pytest.raises(ValueError):
+            qsgd_quantize(np.ones(3), 0, rng)
+        with pytest.raises(ValueError):
+            qsgd_quantize(np.ones(3), 20, rng)
+
+
+class TestCompressor:
+    def test_pipeline(self, rng):
+        compressor = Compressor(top_k=10, bits=4, rng=rng)
+        vector = np.random.default_rng(1).normal(size=100)
+        out = compressor.compress(vector)
+        assert np.count_nonzero(out) <= 10
+
+    def test_compression_ratio_sane(self, rng):
+        sparse_only = Compressor(top_k=10)
+        assert sparse_only.compression_ratio(1000) > 5.0
+        quant_only = Compressor(bits=4, rng=rng)
+        assert quant_only.compression_ratio(1000) > 5.0
+
+    def test_requires_some_configuration(self):
+        with pytest.raises(ValueError):
+            Compressor()
+
+    def test_quantization_requires_rng(self):
+        with pytest.raises(ValueError):
+            Compressor(bits=4)

@@ -1,0 +1,130 @@
+"""Tests for repro.fl.client and repro.fl.server."""
+
+import numpy as np
+import pytest
+
+from repro.fl.aggregation import coordinate_median
+from repro.fl.client import FLClient
+from repro.fl.datasets import make_gaussian_mixture, train_test_split
+from repro.fl.linear import SoftmaxRegression
+from repro.fl.optimizer import SGD
+from repro.fl.server import FLServer
+
+
+def make_client(rng, client_id=0, n=60, local_steps=3, batch_size=16):
+    dataset = make_gaussian_mixture(n, 4, 3, rng=rng)
+    return FLClient(
+        client_id,
+        dataset,
+        SoftmaxRegression(4, 3, seed=client_id),
+        lambda: SGD(0.3),
+        local_steps=local_steps,
+        batch_size=batch_size,
+        rng=np.random.default_rng(client_id + 10),
+    )
+
+
+class TestFLClient:
+    def test_update_shape_and_bookkeeping(self, rng):
+        client = make_client(rng)
+        global_params = np.zeros(4 * 3 + 3)
+        update = client.train(global_params)
+        assert update.delta.shape == global_params.shape
+        assert update.num_samples == 60
+        assert update.client_id == 0
+        assert np.isfinite(update.final_loss)
+
+    def test_delta_relative_to_global(self, rng):
+        """Training from params p yields delta d with local params = p + d."""
+        client = make_client(rng)
+        global_params = np.full(15, 0.1)
+        update = client.train(global_params)
+        assert np.allclose(client.model.get_params(), global_params + update.delta)
+
+    def test_training_moves_parameters(self, rng):
+        client = make_client(rng)
+        update = client.train(np.zeros(15))
+        assert np.linalg.norm(update.delta) > 0
+
+    def test_batch_size_capped_at_shard(self, rng):
+        client = make_client(rng, n=10, batch_size=100)
+        assert client.batch_size == 10
+
+    def test_validation(self, rng):
+        dataset = make_gaussian_mixture(10, 4, 3, rng=rng)
+        model = SoftmaxRegression(4, 3)
+        with pytest.raises(ValueError):
+            FLClient(0, dataset, model, lambda: SGD(0.1), local_steps=0, rng=rng)
+        with pytest.raises(ValueError):
+            FLClient(0, dataset, model, lambda: SGD(0.1), batch_size=0, rng=rng)
+
+    def test_evaluate(self, rng):
+        client = make_client(rng)
+        loss, accuracy = client.evaluate(np.zeros(15))
+        assert loss > 0
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_deterministic_given_same_rng_state(self):
+        def one_update(seed):
+            rng = np.random.default_rng(3)
+            client = make_client(rng, client_id=1)
+            return client.train(np.zeros(15)).delta
+
+        assert np.array_equal(one_update(0), one_update(0))
+
+
+class TestFLServer:
+    def test_apply_updates_weighted(self, rng):
+        dataset = make_gaussian_mixture(40, 4, 3, rng=rng)
+        train, test = train_test_split(dataset, 0.25, rng)
+        server = FLServer(SoftmaxRegression(4, 3, seed=0), test)
+        start = server.global_params()
+
+        from repro.fl.client import ClientUpdate
+
+        updates = [
+            ClientUpdate(client_id=0, delta=np.ones(15), num_samples=10, final_loss=0.1),
+            ClientUpdate(client_id=1, delta=np.zeros(15), num_samples=30, final_loss=0.1),
+        ]
+        new_params = server.apply_updates(updates)
+        assert np.allclose(new_params - start, 0.25)  # 10/(10+30) weight on ones
+
+    def test_no_updates_is_noop(self, rng):
+        dataset = make_gaussian_mixture(40, 4, 3, rng=rng)
+        _, test = train_test_split(dataset, 0.25, rng)
+        server = FLServer(SoftmaxRegression(4, 3, seed=0), test)
+        before = server.global_params()
+        after = server.apply_updates([])
+        assert np.array_equal(before, after)
+
+    def test_custom_aggregation_rule(self, rng):
+        dataset = make_gaussian_mixture(40, 4, 3, rng=rng)
+        _, test = train_test_split(dataset, 0.25, rng)
+        server = FLServer(
+            SoftmaxRegression(4, 3, seed=0), test, aggregation=coordinate_median
+        )
+        from repro.fl.client import ClientUpdate
+
+        start = server.global_params()
+        deltas = [np.full(15, v) for v in (0.0, 1.0, 100.0)]
+        updates = [
+            ClientUpdate(client_id=i, delta=d, num_samples=1, final_loss=0.0)
+            for i, d in enumerate(deltas)
+        ]
+        new_params = server.apply_updates(updates)
+        assert np.allclose(new_params - start, 1.0)  # median
+
+    def test_reset_restores_initial(self, rng):
+        dataset = make_gaussian_mixture(40, 4, 3, rng=rng)
+        _, test = train_test_split(dataset, 0.25, rng)
+        server = FLServer(SoftmaxRegression(4, 3, seed=0), test)
+        initial = server.global_params()
+        server.model.set_params(initial + 1.0)
+        server.reset()
+        assert np.array_equal(server.global_params(), initial)
+
+    def test_rejects_bad_server_lr(self, rng):
+        dataset = make_gaussian_mixture(20, 4, 3, rng=rng)
+        _, test = train_test_split(dataset, 0.25, rng)
+        with pytest.raises(ValueError):
+            FLServer(SoftmaxRegression(4, 3), test, server_learning_rate=0.0)

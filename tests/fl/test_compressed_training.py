@@ -1,0 +1,70 @@
+"""Integration: FL training with compressed uploads."""
+
+import numpy as np
+import pytest
+
+from repro.fl.client import FLClient
+from repro.fl.compression import Compressor
+from repro.fl.datasets import make_gaussian_mixture, train_test_split
+from repro.fl.linear import SoftmaxRegression
+from repro.fl.optimizer import SGD
+from repro.fl.partition import iid_partition
+from repro.fl.server import FLServer
+from repro.fl.trainer import FederatedTrainer
+
+
+def run_federation(compressor_factory, rounds=40):
+    rng = np.random.default_rng(11)
+    dataset = make_gaussian_mixture(600, 4, 3, separation=3.0, rng=rng)
+    train, test = train_test_split(dataset, 0.2, rng)
+    shards = iid_partition(train.num_samples, 5, rng)
+    clients = [
+        FLClient(
+            i,
+            train.subset(shards[i]),
+            SoftmaxRegression(4, 3, seed=i + 1),
+            lambda: SGD(0.3),
+            local_steps=3,
+            batch_size=16,
+            rng=np.random.default_rng(i + 60),
+            compressor=compressor_factory(i),
+        )
+        for i in range(5)
+    ]
+    server = FLServer(SoftmaxRegression(4, 3, seed=0), test)
+    trainer = FederatedTrainer(server, clients, eval_every=rounds)
+    return trainer.run(rounds).final_accuracy()
+
+
+class TestCompressedTraining:
+    def test_sparsified_training_still_learns(self):
+        accuracy = run_federation(lambda i: Compressor(top_k=5))  # of 15 params
+        assert accuracy > 0.8
+
+    def test_quantized_training_still_learns(self):
+        accuracy = run_federation(
+            lambda i: Compressor(bits=4, rng=np.random.default_rng(100 + i))
+        )
+        assert accuracy > 0.8
+
+    def test_compression_does_not_beat_uncompressed(self):
+        reference = run_federation(lambda i: None)
+        sparsified = run_federation(lambda i: Compressor(top_k=5))
+        assert reference > 0.8
+        assert reference >= sparsified - 0.05  # lossy uploads can't help much
+
+    def test_compressed_update_is_sparse(self):
+        rng = np.random.default_rng(1)
+        dataset = make_gaussian_mixture(100, 4, 3, rng=rng)
+        client = FLClient(
+            0,
+            dataset,
+            SoftmaxRegression(4, 3, seed=1),
+            lambda: SGD(0.3),
+            local_steps=3,
+            batch_size=16,
+            rng=np.random.default_rng(2),
+            compressor=Compressor(top_k=4),
+        )
+        update = client.train(np.zeros(15))
+        assert np.count_nonzero(update.delta) <= 4

@@ -1,0 +1,150 @@
+"""Tests for repro.fl.datasets."""
+
+import numpy as np
+import pytest
+
+from repro.fl.datasets import (
+    Dataset,
+    make_gaussian_mixture,
+    make_synthetic_images,
+    make_two_spirals,
+    train_test_split,
+)
+
+
+class TestDataset:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3,)), np.zeros(3, dtype=int), 2)  # 1-D features
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4, dtype=int), 2)  # length mismatch
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.array([0, 1, 5]), 2)  # label range
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 4)), np.zeros(3, dtype=int), 2, image_shape=(2, 3))
+
+    def test_subset(self):
+        dataset = Dataset(np.arange(12).reshape(6, 2).astype(float), np.array([0, 1] * 3), 2)
+        sub = dataset.subset(np.array([0, 5]))
+        assert sub.num_samples == 2
+        assert sub.features[1].tolist() == [10.0, 11.0]
+
+    def test_subset_is_a_copy(self):
+        dataset = Dataset(np.zeros((3, 2)), np.zeros(3, dtype=int), 2)
+        sub = dataset.subset(np.array([0]))
+        sub.features[0, 0] = 99.0
+        assert dataset.features[0, 0] == 0.0
+
+    def test_label_histogram(self):
+        dataset = Dataset(np.zeros((4, 1)), np.array([0, 0, 2, 1]), 3)
+        assert dataset.label_histogram().tolist() == [2, 1, 1]
+
+
+class TestGaussianMixture:
+    def test_shapes_and_balance(self, rng):
+        dataset = make_gaussian_mixture(100, 5, 4, rng=rng)
+        assert dataset.features.shape == (100, 5)
+        histogram = dataset.label_histogram()
+        assert histogram.sum() == 100
+        assert histogram.min() >= 100 // 4
+
+    def test_separation_controls_difficulty(self, rng):
+        from repro.fl.linear import SoftmaxRegression
+        from repro.fl.optimizer import SGD
+
+        def trained_accuracy(separation: float) -> float:
+            local_rng = np.random.default_rng(0)
+            dataset = make_gaussian_mixture(
+                400, 4, 3, separation=separation, rng=local_rng
+            )
+            model = SoftmaxRegression(4, 3, seed=0)
+            optimizer = SGD(0.5)
+            params = model.get_params()
+            for _ in range(150):
+                model.set_params(params)
+                _, grad = model.loss_and_grad(dataset.features, dataset.labels)
+                params = optimizer.step(params, grad)
+            model.set_params(params)
+            return model.accuracy(dataset.features, dataset.labels)
+
+        assert trained_accuracy(5.0) > trained_accuracy(0.5)
+
+    def test_needs_one_sample_per_class(self, rng):
+        with pytest.raises(ValueError):
+            make_gaussian_mixture(2, 3, 4, rng=rng)
+
+
+class TestSyntheticImages:
+    def test_shapes(self, rng):
+        dataset = make_synthetic_images(50, num_classes=10, shape=(8, 8), rng=rng)
+        assert dataset.features.shape == (50, 64)
+        assert dataset.image_shape == (8, 8)
+        assert dataset.num_classes == 10
+
+    def test_classes_are_distinguishable(self, rng):
+        """A nearest-class-mean classifier should beat chance comfortably."""
+        dataset = make_synthetic_images(500, num_classes=5, shape=(8, 8), rng=rng)
+        means = np.stack(
+            [
+                dataset.features[dataset.labels == c].mean(axis=0)
+                for c in range(5)
+            ]
+        )
+        distances = ((dataset.features[:, None, :] - means[None]) ** 2).sum(axis=2)
+        predictions = distances.argmin(axis=1)
+        assert (predictions == dataset.labels).mean() > 0.6
+
+    def test_deterministic_given_rng(self):
+        a = make_synthetic_images(20, rng=np.random.default_rng(5))
+        b = make_synthetic_images(20, rng=np.random.default_rng(5))
+        assert np.array_equal(a.features, b.features)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestTwoSpirals:
+    def test_two_balanced_classes(self, rng):
+        dataset = make_two_spirals(200, rng=rng)
+        histogram = dataset.label_histogram()
+        assert histogram.tolist() == [100, 100]
+        assert dataset.features.shape == (200, 2)
+
+    def test_not_linearly_separable(self, rng):
+        from repro.fl.linear import SoftmaxRegression
+        from repro.fl.optimizer import SGD
+
+        dataset = make_two_spirals(400, noise=0.05, rng=rng)
+        model = SoftmaxRegression(2, 2, seed=0)
+        optimizer = SGD(0.5)
+        params = model.get_params()
+        for _ in range(300):
+            model.set_params(params)
+            _, grad = model.loss_and_grad(dataset.features, dataset.labels)
+            params = optimizer.step(params, grad)
+        model.set_params(params)
+        assert model.accuracy(dataset.features, dataset.labels) < 0.75
+
+
+class TestTrainTestSplit:
+    def test_partition_sizes(self, rng):
+        dataset = make_gaussian_mixture(100, 3, 2, rng=rng)
+        train, test = train_test_split(dataset, 0.25, rng)
+        assert train.num_samples == 75
+        assert test.num_samples == 25
+
+    def test_no_overlap_and_full_cover(self, rng):
+        dataset = Dataset(
+            np.arange(40).reshape(20, 2).astype(float),
+            np.zeros(20, dtype=int) , 2,
+        )
+        train, test = train_test_split(dataset, 0.3, rng)
+        train_rows = {tuple(row) for row in train.features}
+        test_rows = {tuple(row) for row in test.features}
+        assert not train_rows & test_rows
+        assert len(train_rows | test_rows) == 20
+
+    def test_rejects_bad_fraction(self, rng):
+        dataset = make_gaussian_mixture(10, 2, 2, rng=rng)
+        with pytest.raises(ValueError):
+            train_test_split(dataset, 0.0, rng)
+        with pytest.raises(ValueError):
+            train_test_split(dataset, 1.0, rng)

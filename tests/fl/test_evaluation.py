@@ -1,0 +1,86 @@
+"""Tests for repro.fl.evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.fl.evaluation import (
+    confusion_matrix,
+    evaluate_model,
+    macro_accuracy,
+    per_class_accuracy,
+    worst_class_accuracy,
+)
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        predictions = np.array([0, 1, 1, 2])
+        labels = np.array([0, 1, 2, 2])
+        matrix = confusion_matrix(predictions, labels, 3)
+        assert matrix.tolist() == [[1, 0, 0], [0, 1, 0], [0, 1, 1]]
+
+    def test_total_preserved(self, rng):
+        predictions = rng.integers(0, 4, 100)
+        labels = rng.integers(0, 4, 100)
+        assert confusion_matrix(predictions, labels, 4).sum() == 100
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros(3, dtype=int), np.zeros(4, dtype=int), 2)
+
+
+class TestPerClassMetrics:
+    def test_per_class_accuracy(self):
+        matrix = np.array([[8, 2], [5, 5]])
+        recalls = per_class_accuracy(matrix)
+        assert recalls[0] == pytest.approx(0.8)
+        assert recalls[1] == pytest.approx(0.5)
+
+    def test_absent_class_is_nan(self):
+        matrix = np.array([[3, 0], [0, 0]])
+        recalls = per_class_accuracy(matrix)
+        assert recalls[0] == 1.0
+        assert np.isnan(recalls[1])
+
+    def test_worst_class(self):
+        matrix = np.array([[9, 1], [4, 6]])
+        assert worst_class_accuracy(matrix) == pytest.approx(0.6)
+
+    def test_macro_vs_micro_divergence(self):
+        """Macro accuracy exposes a collapsed minority class that micro hides."""
+        # 98 samples of class 0 all right; 2 of class 1 all wrong.
+        matrix = np.array([[98, 0], [2, 0]])
+        micro = np.diag(matrix).sum() / matrix.sum()
+        assert micro == pytest.approx(0.98)
+        assert macro_accuracy(matrix) == pytest.approx(0.5)  # (1.0 + 0.0) / 2
+        assert worst_class_accuracy(matrix) == 0.0
+
+    def test_empty_matrix(self):
+        matrix = np.zeros((3, 3))
+        assert np.isnan(worst_class_accuracy(matrix))
+        assert np.isnan(macro_accuracy(matrix))
+
+
+class TestEvaluateModel:
+    def test_summary_keys_and_consistency(self, rng):
+        from repro.fl.datasets import make_gaussian_mixture
+        from repro.fl.linear import SoftmaxRegression
+        from repro.fl.optimizer import SGD
+
+        dataset = make_gaussian_mixture(300, 4, 3, separation=3.0, rng=rng)
+        model = SoftmaxRegression(4, 3, seed=0)
+        optimizer = SGD(0.5)
+        params = model.get_params()
+        for _ in range(150):
+            model.set_params(params)
+            _, grad = model.loss_and_grad(dataset.features, dataset.labels)
+            params = optimizer.step(params, grad)
+        model.set_params(params)
+
+        summary = evaluate_model(model, dataset)
+        assert set(summary) == {
+            "accuracy", "macro_accuracy", "worst_class_accuracy", "loss",
+        }
+        assert summary["worst_class_accuracy"] <= summary["macro_accuracy"] + 1e-12
+        assert summary["accuracy"] > 0.85
+        assert summary["loss"] > 0.0

@@ -1,0 +1,113 @@
+"""Tests for repro.fl.fedprox and repro.fl.server_optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.fl.client import ClientUpdate
+from repro.fl.datasets import make_gaussian_mixture, train_test_split
+from repro.fl.fedprox import FedProxClient
+from repro.fl.linear import SoftmaxRegression
+from repro.fl.optimizer import SGD
+from repro.fl.server import FLServer
+from repro.fl.server_optimizer import ServerAdam, ServerSGD
+
+
+def make_prox_client(rng, mu, client_id=0):
+    dataset = make_gaussian_mixture(80, 4, 3, rng=rng)
+    return FedProxClient(
+        client_id,
+        dataset,
+        SoftmaxRegression(4, 3, seed=1),
+        lambda: SGD(0.3),
+        proximal_mu=mu,
+        local_steps=8,
+        batch_size=32,
+        rng=np.random.default_rng(9),
+    )
+
+
+class TestFedProxClient:
+    def test_mu_zero_matches_fedavg(self, rng):
+        from repro.fl.client import FLClient
+
+        dataset = make_gaussian_mixture(80, 4, 3, rng=np.random.default_rng(2))
+        def build(cls, **kw):
+            return cls(
+                0, dataset, SoftmaxRegression(4, 3, seed=1), lambda: SGD(0.3),
+                local_steps=5, batch_size=32, rng=np.random.default_rng(9), **kw
+            )
+
+        plain = build(FLClient).train(np.zeros(15))
+        prox = build(FedProxClient, proximal_mu=0.0).train(np.zeros(15))
+        assert np.allclose(plain.delta, prox.delta)
+
+    def test_larger_mu_smaller_drift(self, rng):
+        global_params = np.zeros(15)
+        drift_small = np.linalg.norm(
+            make_prox_client(np.random.default_rng(3), mu=0.0).train(global_params).delta
+        )
+        drift_large = np.linalg.norm(
+            make_prox_client(np.random.default_rng(3), mu=5.0).train(global_params).delta
+        )
+        assert drift_large < drift_small
+
+    def test_rejects_negative_mu(self, rng):
+        with pytest.raises(ValueError):
+            make_prox_client(rng, mu=-0.1)
+
+    def test_still_learns(self, rng):
+        client = make_prox_client(rng, mu=0.1)
+        params = np.zeros(15)
+        for _ in range(30):
+            update = client.train(params)
+            params = params + update.delta
+        loss, accuracy = client.evaluate(params)
+        assert accuracy > 0.8
+
+
+class TestServerOptimizers:
+    def make_server(self, optimizer):
+        rng = np.random.default_rng(0)
+        dataset = make_gaussian_mixture(60, 4, 3, rng=rng)
+        _, test = train_test_split(dataset, 0.3, rng)
+        return FLServer(
+            SoftmaxRegression(4, 3, seed=0), test, server_optimizer=optimizer
+        )
+
+    def update(self, delta):
+        return ClientUpdate(client_id=0, delta=delta, num_samples=1, final_loss=0.0)
+
+    def test_server_sgd_lr1_is_fedavg(self):
+        server = self.make_server(ServerSGD(learning_rate=1.0))
+        start = server.global_params()
+        delta = np.full(15, 0.25)
+        server.apply_updates([self.update(delta)])
+        assert np.allclose(server.global_params(), start + delta)
+
+    def test_server_momentum_accumulates(self):
+        server = self.make_server(ServerSGD(learning_rate=1.0, momentum=0.9))
+        delta = np.full(15, 1.0)
+        start = server.global_params()
+        server.apply_updates([self.update(delta)])
+        first_step = server.global_params() - start
+        before_second = server.global_params()
+        server.apply_updates([self.update(delta)])
+        second_step = server.global_params() - before_second
+        assert np.linalg.norm(second_step) > np.linalg.norm(first_step)
+
+    def test_server_adam_bounded_first_step(self):
+        server = self.make_server(ServerAdam(learning_rate=0.1))
+        start = server.global_params()
+        server.apply_updates([self.update(np.full(15, 100.0))])
+        step = server.global_params() - start
+        # Adam normalises: first step magnitude ~ learning rate per coord.
+        assert np.all(np.abs(step) < 0.2)
+
+    def test_reset_clears_optimizer_state(self):
+        optimizer = ServerSGD(learning_rate=1.0, momentum=0.9)
+        server = self.make_server(optimizer)
+        server.apply_updates([self.update(np.ones(15))])
+        server.reset()
+        start = server.global_params()
+        server.apply_updates([self.update(np.ones(15))])
+        assert np.allclose(server.global_params() - start, np.ones(15))

@@ -1,0 +1,128 @@
+"""Tests for repro.fl.hierarchical."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl.aggregation import stack_updates, weighted_mean
+from repro.fl.client import ClientUpdate
+from repro.fl.hierarchical import HierarchicalAggregator, hierarchical_mean
+from repro.simulation.topology import HierarchicalTopology
+
+
+def make_topology(num_clients=6, num_edges=2, seed=0):
+    return HierarchicalTopology.random(
+        list(range(num_clients)), num_edges, np.random.default_rng(seed)
+    )
+
+
+def make_updates(num_clients, dim, rng):
+    return [
+        ClientUpdate(
+            client_id=i,
+            delta=rng.normal(size=dim),
+            num_samples=int(rng.integers(1, 50)),
+            final_loss=0.0,
+        )
+        for i in range(num_clients)
+    ]
+
+
+class TestHierarchicalMean:
+    def test_matches_flat_fedavg(self, rng):
+        topology = make_topology()
+        updates = make_updates(6, 10, rng)
+        hier = hierarchical_mean(updates, topology)
+        stacked = stack_updates([u.delta for u in updates])
+        weights = np.array([u.num_samples for u in updates], dtype=float)
+        flat = weighted_mean(stacked, weights)
+        assert np.allclose(hier, flat)
+
+    def test_rejects_unknown_client(self, rng):
+        topology = make_topology(num_clients=3)
+        updates = make_updates(5, 4, rng)
+        with pytest.raises(KeyError):
+            hierarchical_mean(updates, topology)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            hierarchical_mean([], make_topology())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_clients=st.integers(2, 12),
+    num_edges=st.integers(1, 5),
+    seed=st.integers(0, 500),
+)
+def test_hierarchy_equals_flat_property(num_clients, num_edges, seed):
+    """Two-tier weighted mean == flat weighted mean, any topology (hypothesis)."""
+    rng = np.random.default_rng(seed)
+    topology = make_topology(num_clients, num_edges, seed)
+    updates = make_updates(num_clients, 6, rng)
+    hier = hierarchical_mean(updates, topology)
+    stacked = stack_updates([u.delta for u in updates])
+    weights = np.array([u.num_samples for u in updates], dtype=float)
+    assert np.allclose(hier, weighted_mean(stacked, weights), atol=1e-10)
+
+
+class TestHierarchicalAggregator:
+    def test_no_failures_matches_mean(self, rng):
+        topology = make_topology()
+        aggregator = HierarchicalAggregator(topology)
+        updates = make_updates(6, 8, rng)
+        out = aggregator.aggregate(updates)
+        assert np.allclose(out, hierarchical_mean(updates, topology))
+
+    def test_traffic_accounting(self, rng):
+        topology = make_topology(num_clients=6, num_edges=2)
+        aggregator = HierarchicalAggregator(topology)
+        updates = make_updates(6, 8, rng)
+        aggregator.aggregate(updates)
+        assert aggregator.client_uplink_count == 6
+        # One backbone upload per edge actually holding clients.
+        active_edges = len({topology.edge_of[u.client_id] for u in updates})
+        assert aggregator.backbone_uplink_count == active_edges
+        assert aggregator.backbone_savings() == pytest.approx(
+            1 - active_edges / 6
+        )
+
+    def test_total_failure_returns_none(self, rng):
+        topology = make_topology()
+        aggregator = HierarchicalAggregator(
+            topology, edge_failure_prob=1.0, rng=np.random.default_rng(0)
+        )
+        assert aggregator.aggregate(make_updates(6, 4, rng)) is None
+        assert aggregator.failed_edge_rounds > 0
+
+    def test_partial_failure_uses_survivors(self, rng):
+        topology = HierarchicalTopology(
+            edge_of={0: 0, 1: 1},
+            client_latency={0: 0.1, 1: 0.1},
+            edge_latency={0: 0.1, 1: 0.1},
+        )
+        updates = [
+            ClientUpdate(client_id=0, delta=np.ones(3), num_samples=1, final_loss=0.0),
+            ClientUpdate(client_id=1, delta=-np.ones(3), num_samples=1, final_loss=0.0),
+        ]
+        # Find a draw where exactly one edge fails.
+        for seed in range(50):
+            aggregator = HierarchicalAggregator(
+                topology, edge_failure_prob=0.5, rng=np.random.default_rng(seed)
+            )
+            out = aggregator.aggregate(updates)
+            if out is not None and not np.allclose(out, 0.0):
+                assert np.allclose(np.abs(out), 1.0)
+                return
+        pytest.fail("never saw a single-edge failure in 50 seeds")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HierarchicalAggregator(make_topology(), edge_failure_prob=1.5)
+        with pytest.raises(ValueError):
+            HierarchicalAggregator(make_topology(), edge_failure_prob=0.5)
+
+    def test_empty_round(self):
+        aggregator = HierarchicalAggregator(make_topology())
+        assert aggregator.aggregate([]) is None

@@ -1,0 +1,131 @@
+"""Tests for repro.fl.metrics and repro.fl.trainer."""
+
+import numpy as np
+import pytest
+
+from repro.fl.client import FLClient
+from repro.fl.datasets import make_gaussian_mixture, train_test_split
+from repro.fl.linear import SoftmaxRegression
+from repro.fl.metrics import RoundMetrics, TrainingHistory
+from repro.fl.optimizer import SGD
+from repro.fl.partition import iid_partition
+from repro.fl.server import FLServer
+from repro.fl.trainer import (
+    FederatedTrainer,
+    all_clients_policy,
+    uniform_sampling_policy,
+)
+
+
+class TestTrainingHistory:
+    def test_records_in_order(self):
+        history = TrainingHistory()
+        history.record(RoundMetrics(round_index=0, participants=(0,)))
+        history.record(RoundMetrics(round_index=1, participants=()))
+        assert len(history) == 2
+        with pytest.raises(ValueError):
+            history.record(RoundMetrics(round_index=1, participants=()))
+
+    def test_series_and_extras(self):
+        history = TrainingHistory()
+        history.record(
+            RoundMetrics(
+                round_index=0, participants=(), test_accuracy=0.5, extras={"q": 1.0}
+            )
+        )
+        assert history.series("test_accuracy") == [0.5]
+        assert history.series("q") == [1.0]
+        assert np.isnan(history.series("missing")[0])
+
+    def test_evaluated_series_drops_nan(self):
+        history = TrainingHistory()
+        history.record(RoundMetrics(round_index=0, participants=(), test_accuracy=0.3))
+        history.record(RoundMetrics(round_index=1, participants=()))
+        history.record(RoundMetrics(round_index=2, participants=(), test_accuracy=0.6))
+        xs, ys = history.evaluated_series("test_accuracy")
+        assert xs == [0, 2]
+        assert ys == [0.3, 0.6]
+
+    def test_rounds_to_accuracy(self):
+        history = TrainingHistory()
+        for i, acc in enumerate([0.2, 0.45, 0.8]):
+            history.record(
+                RoundMetrics(round_index=i, participants=(), test_accuracy=acc)
+            )
+        assert history.rounds_to_accuracy(0.4) == 1
+        assert history.rounds_to_accuracy(0.9) is None
+        assert history.best_accuracy() == 0.8
+        assert history.final_accuracy() == 0.8
+
+    def test_cumulative_payment_and_counts(self):
+        history = TrainingHistory()
+        history.record(RoundMetrics(round_index=0, participants=(1,), total_payment=2.0))
+        history.record(RoundMetrics(round_index=1, participants=(1, 2), total_payment=3.0))
+        assert history.cumulative_payment() == [2.0, 5.0]
+        assert history.participation_counts() == {1: 2, 2: 1}
+
+
+def build_federation(rng, num_clients=5):
+    dataset = make_gaussian_mixture(300, 4, 3, separation=3.0, rng=rng)
+    train, test = train_test_split(dataset, 0.2, rng)
+    shards = iid_partition(train.num_samples, num_clients, rng)
+    clients = [
+        FLClient(
+            i,
+            train.subset(shard),
+            SoftmaxRegression(4, 3, seed=i + 1),
+            lambda: SGD(0.3),
+            local_steps=3,
+            batch_size=16,
+            rng=np.random.default_rng(i + 50),
+        )
+        for i, shard in enumerate(shards)
+    ]
+    server = FLServer(SoftmaxRegression(4, 3, seed=0), test)
+    return server, clients
+
+
+class TestFederatedTrainer:
+    def test_learning_happens(self, rng):
+        server, clients = build_federation(rng)
+        trainer = FederatedTrainer(server, clients)
+        history = trainer.run(30)
+        assert history.final_accuracy() > 0.8
+
+    def test_eval_every_skips_evaluations(self, rng):
+        server, clients = build_federation(rng)
+        trainer = FederatedTrainer(server, clients, eval_every=10)
+        history = trainer.run(20)
+        xs, _ = history.evaluated_series("test_accuracy")
+        assert xs == [0, 10, 19]  # multiples of 10 plus the final round
+
+    def test_uniform_sampling_policy(self, rng):
+        server, clients = build_federation(rng)
+        policy = uniform_sampling_policy(0.4, np.random.default_rng(0))
+        trainer = FederatedTrainer(server, clients, policy)
+        history = trainer.run(10)
+        for metrics in history.rounds:
+            assert len(metrics.participants) == 2  # 40% of 5
+
+    def test_policy_selecting_unknown_client_raises(self, rng):
+        server, clients = build_federation(rng)
+        trainer = FederatedTrainer(
+            server, clients, lambda t, ids: ([999], {})
+        )
+        with pytest.raises(KeyError):
+            trainer.run_round(0)
+
+    def test_duplicate_client_ids_rejected(self, rng):
+        server, clients = build_federation(rng)
+        clients[1] = clients[0]
+        with pytest.raises(ValueError):
+            FederatedTrainer(server, clients)
+
+    def test_all_clients_policy(self):
+        selected, payments = all_clients_policy(0, [3, 1, 2])
+        assert selected == [3, 1, 2]
+        assert payments == {}
+
+    def test_bad_sampling_fraction(self):
+        with pytest.raises(ValueError):
+            uniform_sampling_policy(0.0, np.random.default_rng(0))

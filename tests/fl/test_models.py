@@ -1,0 +1,190 @@
+"""Tests for the numpy models: softmax regression, MLP, tiny CNN.
+
+The decisive test for any manual-backprop implementation is the finite-
+difference gradient check, run here for every model on random data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fl.cnn import TinyConvNet
+from repro.fl.datasets import make_gaussian_mixture, make_synthetic_images
+from repro.fl.linear import SoftmaxRegression
+from repro.fl.mlp import MLPClassifier
+from repro.fl.model import cross_entropy, one_hot, softmax
+from repro.fl.optimizer import SGD
+
+
+def finite_difference_check(model, features, labels, *, eps=1e-6, tol=1e-6):
+    params = model.get_params()
+    _, grad = model.loss_and_grad(features, labels)
+    # Check a random subset of coordinates to keep runtime bounded.
+    rng = np.random.default_rng(0)
+    coords = rng.choice(params.size, size=min(60, params.size), replace=False)
+    for j in coords:
+        perturbed = params.copy()
+        perturbed[j] += eps
+        model.set_params(perturbed)
+        loss_plus = model.loss(features, labels)
+        perturbed[j] -= 2 * eps
+        model.set_params(perturbed)
+        loss_minus = model.loss(features, labels)
+        numeric = (loss_plus - loss_minus) / (2 * eps)
+        assert abs(grad[j] - numeric) < tol, f"coord {j}: {grad[j]} vs {numeric}"
+    model.set_params(params)
+
+
+class TestHelpers:
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0], [-5.0, 0.0, 5.0]])
+        probs = softmax(logits)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs > 0).all()
+
+    def test_softmax_stability_with_huge_logits(self):
+        probs = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+
+    def test_one_hot(self):
+        encoded = one_hot(np.array([0, 2]), 3)
+        assert encoded.tolist() == [[1, 0, 0], [0, 0, 1]]
+
+    def test_one_hot_range_check(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+    def test_cross_entropy_perfect_prediction(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert cross_entropy(probs, np.array([0, 1])) == pytest.approx(0.0, abs=1e-10)
+
+
+class TestSoftmaxRegression:
+    def test_gradient_matches_finite_differences(self, rng):
+        dataset = make_gaussian_mixture(80, 5, 3, rng=rng)
+        model = SoftmaxRegression(5, 3, l2=0.01, seed=1)
+        finite_difference_check(model, dataset.features, dataset.labels)
+
+    def test_param_round_trip(self):
+        model = SoftmaxRegression(4, 3, seed=0)
+        params = model.get_params()
+        assert params.shape == (4 * 3 + 3,)
+        model.set_params(np.arange(params.size, dtype=float))
+        assert model.get_params().tolist() == list(range(params.size))
+
+    def test_set_params_rejects_wrong_shape(self):
+        model = SoftmaxRegression(4, 3)
+        with pytest.raises(ValueError):
+            model.set_params(np.zeros(5))
+
+    def test_training_reduces_loss(self, rng):
+        dataset = make_gaussian_mixture(300, 4, 3, separation=3.0, rng=rng)
+        model = SoftmaxRegression(4, 3, seed=0)
+        optimizer = SGD(0.5)
+        params = model.get_params()
+        initial = model.loss(dataset.features, dataset.labels)
+        for _ in range(100):
+            model.set_params(params)
+            _, grad = model.loss_and_grad(dataset.features, dataset.labels)
+            params = optimizer.step(params, grad)
+        model.set_params(params)
+        assert model.loss(dataset.features, dataset.labels) < initial / 2
+        assert model.accuracy(dataset.features, dataset.labels) > 0.9
+
+    def test_rejects_degenerate_dims(self):
+        with pytest.raises(ValueError):
+            SoftmaxRegression(0, 3)
+        with pytest.raises(ValueError):
+            SoftmaxRegression(4, 1)
+
+    def test_empty_batch(self):
+        model = SoftmaxRegression(4, 3)
+        loss, grad = model.loss_and_grad(np.zeros((0, 4)), np.zeros(0, dtype=int))
+        assert loss == 0.0
+        assert np.all(grad == 0.0)
+
+
+class TestMLPClassifier:
+    @pytest.mark.parametrize("activation", ["relu", "tanh"])
+    def test_gradient_matches_finite_differences(self, rng, activation):
+        dataset = make_gaussian_mixture(60, 5, 3, rng=rng)
+        model = MLPClassifier([5, 12, 3], activation=activation, l2=0.001, seed=2)
+        # ReLU kinks can break FD at exactly-zero preactivations; tolerance
+        # stays tight because random data rarely hits them.
+        finite_difference_check(
+            model, dataset.features, dataset.labels, tol=5e-6
+        )
+
+    def test_two_hidden_layers(self, rng):
+        dataset = make_gaussian_mixture(60, 4, 2, rng=rng)
+        model = MLPClassifier([4, 8, 6, 2], seed=3)
+        finite_difference_check(model, dataset.features, dataset.labels, tol=5e-6)
+
+    def test_param_count(self):
+        model = MLPClassifier([4, 8, 3])
+        assert model.num_params == (4 * 8 + 8) + (8 * 3 + 3)
+
+    def test_requires_hidden_layer(self):
+        with pytest.raises(ValueError):
+            MLPClassifier([4, 3])
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLPClassifier([4, 8, 3], activation="swish")
+
+    def test_learns_nonconvex_task(self, rng):
+        from repro.fl.datasets import make_two_spirals
+
+        dataset = make_two_spirals(400, noise=0.1, rng=rng)
+        model = MLPClassifier([2, 32, 16, 2], seed=1)
+        optimizer = SGD(0.05, momentum=0.9)
+        params = model.get_params()
+        for _ in range(800):
+            idx = rng.choice(dataset.num_samples, 64, replace=False)
+            model.set_params(params)
+            _, grad = model.loss_and_grad(dataset.features[idx], dataset.labels[idx])
+            params = optimizer.step(params, grad)
+        model.set_params(params)
+        assert model.accuracy(dataset.features, dataset.labels) > 0.8
+
+
+class TestTinyConvNet:
+    def test_gradient_matches_finite_differences(self, rng):
+        dataset = make_synthetic_images(24, num_classes=3, shape=(8, 8), rng=rng)
+        model = TinyConvNet((8, 8), 3, num_filters=2, l2=0.001, seed=4)
+        finite_difference_check(
+            model, dataset.features[:12], dataset.labels[:12], tol=5e-6
+        )
+
+    def test_accepts_flat_and_image_input(self, rng):
+        dataset = make_synthetic_images(10, num_classes=2, shape=(8, 8), rng=rng)
+        model = TinyConvNet((8, 8), 2, num_filters=2)
+        flat = model.predict_proba(dataset.features)
+        imaged = model.predict_proba(dataset.features.reshape(-1, 8, 8))
+        assert np.allclose(flat, imaged)
+
+    def test_rejects_odd_pool_geometry(self):
+        with pytest.raises(ValueError, match="even"):
+            TinyConvNet((8, 9), 3)  # 9-3+1=7 odd
+
+    def test_rejects_too_small_images(self):
+        with pytest.raises(ValueError):
+            TinyConvNet((3, 3), 2)
+
+    def test_param_round_trip(self):
+        model = TinyConvNet((8, 8), 3, num_filters=2, seed=0)
+        params = model.get_params()
+        model.set_params(params * 2)
+        assert np.allclose(model.get_params(), params * 2)
+
+    def test_learns_image_task(self, rng):
+        dataset = make_synthetic_images(600, num_classes=4, shape=(8, 8), rng=rng)
+        model = TinyConvNet((8, 8), 4, num_filters=6, seed=1)
+        optimizer = SGD(0.3, momentum=0.9)
+        params = model.get_params()
+        for _ in range(300):
+            idx = rng.choice(dataset.num_samples, 32, replace=False)
+            model.set_params(params)
+            _, grad = model.loss_and_grad(dataset.features[idx], dataset.labels[idx])
+            params = optimizer.step(params, grad)
+        model.set_params(params)
+        assert model.accuracy(dataset.features, dataset.labels) > 0.8

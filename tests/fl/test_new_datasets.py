@@ -1,0 +1,100 @@
+"""Tests for the rotated-image and sensor-stream dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.fl.datasets import make_rotated_client_images, make_sensor_streams
+
+
+class TestRotatedClientImages:
+    def test_shapes(self, rng):
+        shards, test = make_rotated_client_images(6, 40, num_classes=5, rng=rng)
+        assert len(shards) == 6
+        for shard in shards:
+            assert shard.num_samples == 40
+            assert shard.num_classes == 5
+            assert shard.image_shape == (8, 8)
+        assert test.num_samples >= 100
+
+    def test_rotation_is_per_client(self, rng):
+        """Clients 0 and 4 share rotation 0; client 1 differs from client 0."""
+        shards, _ = make_rotated_client_images(
+            8, 200, num_classes=4, noise=0.0, rng=rng
+        )
+
+        def class_mean(shard, label):
+            return shard.features[shard.labels == label].mean(axis=0)
+
+        same_rotation = np.linalg.norm(class_mean(shards[0], 0) - class_mean(shards[4], 0))
+        different_rotation = np.linalg.norm(
+            class_mean(shards[0], 0) - class_mean(shards[1], 0)
+        )
+        assert same_rotation < 1e-9
+        assert different_rotation > 0.1
+
+    def test_rejects_non_square(self, rng):
+        with pytest.raises(ValueError, match="square"):
+            make_rotated_client_images(2, 10, shape=(8, 10), rng=rng)
+
+    def test_rejects_bad_counts(self, rng):
+        with pytest.raises(ValueError):
+            make_rotated_client_images(0, 10, rng=rng)
+
+
+class TestSensorStreams:
+    def test_shapes(self, rng):
+        shards, test = make_sensor_streams(5, 100, num_features=4, rng=rng)
+        assert len(shards) == 5
+        assert all(s.num_classes == 2 for s in shards)
+        assert test.num_features == 4
+
+    def test_site_boundaries_disagree(self, rng):
+        """With large spread, two sites label the same points differently."""
+        from repro.fl.linear import SoftmaxRegression
+        from repro.fl.optimizer import SGD
+
+        shards, _ = make_sensor_streams(
+            2, 800, num_features=4, boundary_spread=2.0, noise=0.05, rng=rng
+        )
+
+        def fit(shard):
+            model = SoftmaxRegression(4, 2, seed=0)
+            optimizer = SGD(0.5)
+            params = model.get_params()
+            for _ in range(200):
+                model.set_params(params)
+                _, grad = model.loss_and_grad(shard.features, shard.labels)
+                params = optimizer.step(params, grad)
+            model.set_params(params)
+            return model
+
+        model_a = fit(shards[0])
+        # Model trained on site A performs worse on site B than on its own.
+        own = model_a.accuracy(shards[0].features, shards[0].labels)
+        other = model_a.accuracy(shards[1].features, shards[1].labels)
+        assert own > other + 0.05
+
+    def test_global_task_learnable_from_all_data(self, rng):
+        from repro.fl.linear import SoftmaxRegression
+        from repro.fl.optimizer import SGD
+
+        shards, test = make_sensor_streams(
+            6, 300, num_features=4, boundary_spread=0.5, noise=0.1, rng=rng
+        )
+        features = np.concatenate([s.features for s in shards])
+        labels = np.concatenate([s.labels for s in shards])
+        model = SoftmaxRegression(4, 2, seed=0)
+        optimizer = SGD(0.5)
+        params = model.get_params()
+        for _ in range(300):
+            model.set_params(params)
+            _, grad = model.loss_and_grad(features, labels)
+            params = optimizer.step(params, grad)
+        model.set_params(params)
+        assert model.accuracy(test.features, test.labels) > 0.8
+
+    def test_deterministic(self):
+        a_shards, a_test = make_sensor_streams(3, 50, rng=np.random.default_rng(4))
+        b_shards, b_test = make_sensor_streams(3, 50, rng=np.random.default_rng(4))
+        assert np.array_equal(a_shards[0].features, b_shards[0].features)
+        assert np.array_equal(a_test.labels, b_test.labels)

@@ -1,0 +1,91 @@
+"""Tests for repro.fl.optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.fl.optimizer import SGD, Adam
+
+
+def quadratic_grad(params: np.ndarray) -> np.ndarray:
+    """Gradient of 0.5 * ||x - 3||^2."""
+    return params - 3.0
+
+
+class TestSGD:
+    def test_plain_step(self):
+        optimizer = SGD(learning_rate=0.1)
+        params = np.array([1.0, 2.0])
+        grad = np.array([1.0, -1.0])
+        assert optimizer.step(params, grad).tolist() == [0.9, 2.1]
+
+    def test_converges_on_quadratic(self):
+        optimizer = SGD(learning_rate=0.2)
+        params = np.zeros(3)
+        for _ in range(100):
+            params = optimizer.step(params, quadratic_grad(params))
+        assert np.allclose(params, 3.0, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        def distance_after(momentum: float) -> float:
+            optimizer = SGD(learning_rate=0.02, momentum=momentum)
+            params = np.zeros(1)
+            for _ in range(50):
+                params = optimizer.step(params, quadratic_grad(params))
+            return abs(float(params[0]) - 3.0)
+
+        assert distance_after(0.9) < distance_after(0.0)
+
+    def test_reset_clears_velocity(self):
+        optimizer = SGD(learning_rate=0.1, momentum=0.9)
+        params = np.zeros(2)
+        params = optimizer.step(params, np.ones(2))
+        optimizer.reset()
+        fresh_step = optimizer.step(np.zeros(2), np.ones(2))
+        assert np.allclose(fresh_step, -0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=-0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        optimizer = Adam(learning_rate=0.1)
+        params = np.zeros(3)
+        for _ in range(500):
+            params = optimizer.step(params, quadratic_grad(params))
+        assert np.allclose(params, 3.0, atol=1e-3)
+
+    def test_first_step_magnitude_close_to_lr(self):
+        """Bias correction makes the first step ~learning_rate in each coord."""
+        optimizer = Adam(learning_rate=0.01)
+        step = optimizer.step(np.zeros(2), np.array([5.0, -0.001]))
+        assert np.allclose(np.abs(step), 0.01, rtol=1e-3)
+
+    def test_state_resets(self):
+        optimizer = Adam(learning_rate=0.01)
+        first = optimizer.step(np.zeros(1), np.ones(1)).copy()
+        optimizer.step(np.zeros(1), np.ones(1))
+        optimizer.reset()
+        assert np.allclose(optimizer.step(np.zeros(1), np.ones(1)), first)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam(learning_rate=-0.1)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta2=0.0)
+        with pytest.raises(ValueError):
+            Adam(epsilon=0.0)
+
+    def test_handles_shape_change(self):
+        """A new parameter shape re-initialises moments instead of crashing."""
+        optimizer = Adam()
+        optimizer.step(np.zeros(2), np.ones(2))
+        out = optimizer.step(np.zeros(3), np.ones(3))
+        assert out.shape == (3,)

@@ -1,0 +1,144 @@
+"""Tests for repro.fl.partition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl.partition import (
+    dirichlet_partition,
+    iid_partition,
+    partition_label_histograms,
+    quantity_skew_partition,
+    shard_partition,
+)
+
+
+def assert_exact_cover(shards, num_samples):
+    """Every sample index appears in exactly one shard."""
+    combined = np.concatenate(shards)
+    assert len(combined) == num_samples
+    assert set(combined.tolist()) == set(range(num_samples))
+
+
+def skew_measure(labels, shards, num_classes):
+    """Mean total-variation distance of shard label mixes from the global mix."""
+    histograms = partition_label_histograms(labels, shards, num_classes)
+    global_mix = histograms.sum(axis=0) / histograms.sum()
+    distances = []
+    for row in histograms:
+        mix = row / row.sum()
+        distances.append(0.5 * np.abs(mix - global_mix).sum())
+    return float(np.mean(distances))
+
+
+class TestIIDPartition:
+    def test_exact_cover(self, rng):
+        shards = iid_partition(103, 7, rng)
+        assert_exact_cover(shards, 103)
+
+    def test_near_equal_sizes(self, rng):
+        shards = iid_partition(100, 8, rng)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_too_few_samples(self, rng):
+        with pytest.raises(ValueError):
+            iid_partition(3, 5, rng)
+
+
+class TestDirichletPartition:
+    def test_exact_cover(self, rng):
+        labels = rng.integers(0, 5, size=200)
+        shards = dirichlet_partition(labels, 10, 0.5, rng)
+        assert_exact_cover(shards, 200)
+
+    def test_no_empty_shards(self, rng):
+        labels = rng.integers(0, 10, size=60)
+        shards = dirichlet_partition(labels, 20, 0.05, rng)
+        assert all(len(s) >= 1 for s in shards)
+
+    def test_smaller_alpha_more_skew(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 10, size=5000)
+        skew_low_alpha = skew_measure(
+            labels, dirichlet_partition(labels, 20, 0.1, np.random.default_rng(1)), 10
+        )
+        skew_high_alpha = skew_measure(
+            labels, dirichlet_partition(labels, 20, 100.0, np.random.default_rng(1)), 10
+        )
+        assert skew_low_alpha > skew_high_alpha + 0.1
+
+    def test_rejects_bad_alpha(self, rng):
+        with pytest.raises(ValueError):
+            dirichlet_partition(np.zeros(10, dtype=int), 2, 0.0, rng)
+
+
+class TestShardPartition:
+    def test_exact_cover(self, rng):
+        labels = rng.integers(0, 10, size=400)
+        shards = shard_partition(labels, 10, 2, rng)
+        assert_exact_cover(shards, 400)
+
+    def test_clients_see_few_classes(self, rng):
+        labels = np.repeat(np.arange(10), 100)
+        shards = shard_partition(labels, 20, 2, rng)
+        for shard in shards:
+            classes = set(labels[shard].tolist())
+            assert len(classes) <= 3  # two shards span at most 3 labels
+
+    def test_rejects_too_many_shards(self, rng):
+        with pytest.raises(ValueError):
+            shard_partition(np.zeros(10, dtype=int), 10, 5, rng)
+
+
+class TestQuantitySkewPartition:
+    def test_exact_cover(self, rng):
+        shards = quantity_skew_partition(500, 12, 1.5, rng)
+        assert_exact_cover(shards, 500)
+
+    def test_power_zero_is_balanced(self, rng):
+        shards = quantity_skew_partition(100, 10, 0.0, rng)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_higher_power_more_size_spread(self):
+        sizes_flat = [
+            len(s)
+            for s in quantity_skew_partition(2000, 10, 0.0, np.random.default_rng(3))
+        ]
+        sizes_skewed = [
+            len(s)
+            for s in quantity_skew_partition(2000, 10, 2.0, np.random.default_rng(3))
+        ]
+        assert np.std(sizes_skewed) > np.std(sizes_flat) * 3
+
+    def test_every_client_nonempty(self, rng):
+        shards = quantity_skew_partition(50, 10, 3.0, rng)
+        assert all(len(s) >= 1 for s in shards)
+
+
+class TestLabelHistograms:
+    def test_counts(self):
+        labels = np.array([0, 0, 1, 2, 1])
+        shards = [np.array([0, 2]), np.array([1, 3, 4])]
+        histograms = partition_label_histograms(labels, shards, 3)
+        assert histograms.tolist() == [[1, 1, 0], [1, 1, 1]]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_samples=st.integers(10, 300),
+    num_clients=st.integers(1, 10),
+    alpha=st.floats(0.05, 50.0),
+    seed=st.integers(0, 999),
+)
+def test_dirichlet_exact_cover_property(num_samples, num_clients, alpha, seed):
+    """Dirichlet partition covers every sample exactly once, any parameters."""
+    rng = np.random.default_rng(seed)
+    if num_samples < num_clients:
+        return
+    labels = rng.integers(0, 7, size=num_samples)
+    shards = dirichlet_partition(labels, num_clients, alpha, rng)
+    assert_exact_cover(shards, num_samples)
+    assert all(len(s) >= 1 for s in shards)

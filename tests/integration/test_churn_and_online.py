@@ -1,0 +1,118 @@
+"""Integration: online client dynamics — churn, dropout, late arrivals."""
+
+import numpy as np
+import pytest
+
+from repro import LongTermVCGConfig, LongTermVCGMechanism, SimulationRunner
+from repro.analysis.budget import budget_report
+from repro.mechanisms import AllAvailableMechanism
+from repro.simulation.environment import OnlineAvailability
+from repro.simulation.scenarios import build_mechanism_scenario
+
+
+def lt_vcg(**overrides):
+    return LongTermVCGMechanism(
+        LongTermVCGConfig(
+            v=overrides.pop("v", 15.0),
+            budget_per_round=overrides.pop("budget_per_round", 1.5),
+            max_winners=overrides.pop("max_winners", 5),
+            **overrides,
+        )
+    )
+
+
+class TestChurn:
+    def test_late_joiners_eventually_win(self):
+        scenario = build_mechanism_scenario(12, seed=2)
+        late = scenario.client_ids[:4]
+        presence = {cid: OnlineAvailability(join_round=100) for cid in late}
+        runner = SimulationRunner(
+            lt_vcg(), scenario.clients, scenario.valuation,
+            presence=presence, seed=5,
+        )
+        log = runner.run(250)
+        counts = log.selection_counts()
+        # Nobody wins before joining...
+        for record in log.records[:100]:
+            assert not set(record.selected) & set(late)
+        # ...but cheap late joiners do win afterwards.
+        assert any(counts.get(cid, 0) > 0 for cid in late)
+
+    def test_leavers_free_capacity_for_others(self):
+        scenario = build_mechanism_scenario(10, seed=4)
+        leavers = scenario.client_ids[:5]
+        presence = {cid: OnlineAvailability(leave_round=50) for cid in leavers}
+        runner = SimulationRunner(
+            lt_vcg(max_winners=3), scenario.clients, scenario.valuation,
+            presence=presence, seed=6,
+        )
+        log = runner.run(150)
+        stayers = set(scenario.client_ids[5:])
+        after = [r for r in log.records if r.round_index >= 50]
+        for record in after:
+            assert set(record.selected) <= stayers
+
+    def test_budget_holds_under_churn(self):
+        scenario = build_mechanism_scenario(20, seed=7, churn=True)
+        runner = SimulationRunner(
+            lt_vcg(v=10.0), scenario.clients, scenario.valuation,
+            presence=scenario.presence, seed=8,
+        )
+        log = runner.run(500)
+        report = budget_report(log, 1.5)
+        assert report.final_overspend_ratio <= 1.15
+
+    def test_queues_survive_empty_market(self):
+        """Rounds where nobody is present must not corrupt mechanism state."""
+        scenario = build_mechanism_scenario(5, seed=1)
+        presence = {
+            cid: OnlineAvailability(join_round=20) for cid in scenario.client_ids
+        }
+        mechanism = lt_vcg(
+            participation_targets={cid: 0.1 for cid in scenario.client_ids}
+        )
+        runner = SimulationRunner(
+            mechanism, scenario.clients, scenario.valuation,
+            presence=presence, seed=2,
+        )
+        log = runner.run(40)
+        assert all(r.selected == () for r in log.records[:20])
+        assert any(r.selected for r in log.records[20:])
+        # Budget queue untouched during the quiet phase (no payments).
+        assert mechanism.controller.queue.backlog >= 0.0
+
+
+class TestDropout:
+    def test_dropout_thins_the_market(self):
+        scenario = build_mechanism_scenario(10, seed=9)
+        presence = {
+            cid: OnlineAvailability(dropout_prob=0.5)
+            for cid in scenario.client_ids
+        }
+        runner = SimulationRunner(
+            AllAvailableMechanism(), scenario.clients, scenario.valuation,
+            presence=presence, seed=10,
+        )
+        log = runner.run(200)
+        mean_available = np.mean([len(r.available) for r in log])
+        assert mean_available == pytest.approx(5.0, abs=0.7)
+
+    def test_staleness_valuation_interacts_with_dropout(self):
+        """Frequently-absent clients accumulate staleness value and win when
+        they do show up."""
+        scenario = build_mechanism_scenario(10, seed=11, staleness_boost=1.0)
+        flaky = scenario.client_ids[:3]
+        presence = {cid: OnlineAvailability(dropout_prob=0.8) for cid in flaky}
+        runner = SimulationRunner(
+            lt_vcg(max_winners=3), scenario.clients, scenario.valuation,
+            presence=presence, seed=12,
+        )
+        log = runner.run(400)
+        counts = log.selection_counts()
+        availability = log.availability_counts()
+        # Conditional win rate of flaky clients is healthy: when present,
+        # their staleness boost makes them attractive.
+        for cid in flaky:
+            if availability.get(cid, 0) >= 20:
+                win_rate_when_present = counts.get(cid, 0) / availability[cid]
+                assert win_rate_when_present > 0.2

@@ -1,0 +1,155 @@
+"""Integration tests: full pipeline, cross-mechanism invariants, determinism."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LongTermVCGConfig,
+    LongTermVCGMechanism,
+    SimulationRunner,
+    build_fl_scenario,
+    build_mechanism_scenario,
+)
+from repro.analysis.budget import budget_report
+from repro.analysis.fairness import jain_index, participation_rates
+from repro.analysis.regret import regret_against_plan
+from repro.analysis.welfare import welfare_summary
+from repro.economics.bidding import AdaptiveStrategy, TruthfulStrategy
+from repro.mechanisms import (
+    GreedyFirstPriceMechanism,
+    MyopicVCGMechanism,
+    ProportionalShareMechanism,
+    RandomSelectionMechanism,
+)
+
+V = 30.0
+BUDGET = 1.0  # binding: unconstrained spend in this scenario is ~1.9/round
+K = 5
+ROUNDS = 200
+N = 20
+
+
+def lt_vcg(targets=None):
+    return LongTermVCGMechanism(
+        LongTermVCGConfig(
+            v=V,
+            budget_per_round=BUDGET,
+            max_winners=K,
+            participation_targets=targets,
+        )
+    )
+
+
+def run(mechanism, seed=11, **scenario_kw):
+    scenario = build_mechanism_scenario(N, seed=seed, **scenario_kw)
+    runner = SimulationRunner(
+        mechanism, scenario.clients, scenario.valuation, seed=99
+    )
+    return runner.run(ROUNDS), scenario
+
+
+class TestLongRunBudget:
+    def test_lt_vcg_complies_myopic_does_not(self):
+        """The budget gap closes at O(V/T); use a horizon long relative to V."""
+        mechanism = LongTermVCGMechanism(
+            LongTermVCGConfig(v=10.0, budget_per_round=BUDGET, max_winners=K)
+        )
+        scenario = build_mechanism_scenario(N, seed=11)
+        lt_log = SimulationRunner(
+            mechanism, scenario.clients, scenario.valuation, seed=99
+        ).run(600)
+        myopic_log, _ = run(MyopicVCGMechanism(max_winners=K))
+        lt_report = budget_report(lt_log, BUDGET)
+        myopic_report = budget_report(myopic_log, BUDGET)
+        assert lt_report.average_spend <= BUDGET * 1.1
+        assert myopic_report.average_spend > lt_report.average_spend
+
+    def test_queue_certificate_holds(self):
+        mechanism = lt_vcg()
+        log, _ = run(mechanism)
+        queue = mechanism.controller.queue
+        assert queue.average_spend() <= queue.spend_bound() + 1e-9
+
+
+class TestWelfareOrdering:
+    def test_vcg_welfare_beats_random(self):
+        lt_log, _ = run(lt_vcg())
+        random_log, _ = run(RandomSelectionMechanism(K, np.random.default_rng(0)))
+        assert welfare_summary(lt_log).total_welfare > welfare_summary(
+            random_log
+        ).total_welfare
+
+    def test_offline_optimum_bounds_everything(self):
+        for mechanism in (
+            lt_vcg(),
+            ProportionalShareMechanism(BUDGET, K),
+            GreedyFirstPriceMechanism(BUDGET, K),
+        ):
+            log, _ = run(mechanism)
+            point = regret_against_plan(log, budget_per_round=BUDGET, max_winners=K)
+            assert point.regret >= -1e-6
+
+
+class TestSustainabilityQueues:
+    def test_targets_improve_fairness(self):
+        plain_log, scenario = run(lt_vcg())
+        targets = {cid: 0.2 for cid in range(N)}
+        fair_log, _ = run(lt_vcg(targets=targets))
+        plain_rates = list(participation_rates(plain_log, list(range(N))).values())
+        fair_rates = list(participation_rates(fair_log, list(range(N))).values())
+        assert jain_index(fair_rates) > jain_index(plain_rates)
+
+
+class TestStrategicRobustness:
+    def test_adaptive_bidders_cannot_beat_truthful_under_lt_vcg(self):
+        """Under LT-VCG, a population of learning bidders ends up with mean
+        markup near 1 (truthful); under pay-as-bid greedy it inflates."""
+
+        def strategy_factory(cid, rng):
+            return AdaptiveStrategy(learning_rate=0.4)
+
+        def mean_factor(mechanism):
+            scenario = build_mechanism_scenario(
+                N, seed=21, strategy_factory=strategy_factory
+            )
+            SimulationRunner(
+                mechanism, scenario.clients, scenario.valuation, seed=5
+            ).run(400)
+            factors = [
+                c.strategy.expected_factor()
+                for c in scenario.clients
+                if isinstance(c.strategy, AdaptiveStrategy)
+            ]
+            return float(np.mean(factors))
+
+        truthful_world = mean_factor(lt_vcg())
+        pay_as_bid_world = mean_factor(GreedyFirstPriceMechanism(BUDGET, K))
+        assert pay_as_bid_world > truthful_world + 0.1
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_logs(self):
+        log_a, _ = run(lt_vcg(), energy_constrained=True)
+        log_b, _ = run(lt_vcg(), energy_constrained=True)
+        assert [r.selected for r in log_a] == [r.selected for r in log_b]
+        assert log_a.payment_series() == log_b.payment_series()
+
+    def test_different_seeds_differ(self):
+        log_a, _ = run(lt_vcg(), seed=1)
+        log_b, _ = run(lt_vcg(), seed=2)
+        assert log_a.payment_series() != log_b.payment_series()
+
+
+class TestFLIntegration:
+    def test_auction_driven_training_learns(self):
+        scenario = build_fl_scenario(12, seed=8, num_samples=2400, eval_every=10)
+        mechanism = LongTermVCGMechanism(
+            LongTermVCGConfig(v=V, budget_per_round=6.0, max_winners=6)
+        )
+        runner = SimulationRunner(
+            mechanism, scenario.clients, scenario.valuation, fl=scenario.fl
+        )
+        log = runner.run(60)
+        _, accuracies = log.accuracy_series()
+        assert accuracies[-1] > 0.35
+        assert budget_report(log, 6.0).average_spend <= 6.0 * 1.15

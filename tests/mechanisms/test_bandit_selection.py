@@ -1,0 +1,86 @@
+"""Tests for repro.mechanisms.bandit_selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.properties import verify_truthfulness
+from repro.mechanisms.bandit_selection import EpsilonGreedyMechanism
+from tests.conftest import make_round, random_instance
+
+
+def mechanism(epsilon=0.1, budget=5.0, k=3, seed=0, **kw):
+    return EpsilonGreedyMechanism(
+        budget, k, epsilon=epsilon, rng=np.random.default_rng(seed), **kw
+    )
+
+
+class TestEpsilonGreedy:
+    def test_budget_and_cap_respected(self, rng):
+        for _ in range(20):
+            auction_round, _ = random_instance(rng, 8)
+            outcome = mechanism(budget=2.0, k=3).run_round(auction_round)
+            assert outcome.total_payment <= 2.0 + 1e-9
+            assert len(outcome.selected) <= 3
+
+    def test_pays_bids(self, simple_round):
+        outcome = mechanism(epsilon=0.0).run_round(simple_round)
+        for cid in outcome.selected:
+            assert outcome.payments[cid] == simple_round.bid_of(cid).cost
+
+    def test_exploitation_prefers_observed_quality(self):
+        mech = mechanism(epsilon=0.0, k=1)
+        # Client 1 has demonstrated 10x the contribution of client 0.
+        for _ in range(5):
+            mech.observe_contributions({0: 0.1, 1: 1.0})
+        auction_round = make_round([0.5, 0.5], [1.0, 1.0])
+        outcome = mech.run_round(auction_round)
+        assert outcome.selected == (1,)
+
+    def test_optimism_selects_unknown_first(self):
+        mech = mechanism(epsilon=0.0, k=1, optimistic_value=5.0)
+        mech.observe_contributions({0: 0.5})
+        auction_round = make_round([0.5, 0.5], [1.0, 1.0])
+        outcome = mech.run_round(auction_round)
+        assert outcome.selected == (1,)  # unobserved -> optimistic
+
+    def test_exploration_covers_everyone(self):
+        mech = mechanism(epsilon=1.0, k=1, seed=3)
+        auction_round = make_round([0.5] * 5, [1.0] * 5)
+        winners = set()
+        for t in range(200):
+            outcome = mech.run_round(
+                make_round([0.5] * 5, [1.0] * 5, index=t)
+            )
+            winners.update(outcome.selected)
+        assert winners == {0, 1, 2, 3, 4}
+
+    def test_not_truthful(self, rng):
+        """Pay-as-bid: deviation gains exist — the contrast with LT-VCG."""
+        auction_round, costs = random_instance(rng, 6)
+        report = verify_truthfulness(
+            lambda: mechanism(epsilon=0.0, budget=10.0), auction_round, costs
+        )
+        assert not report.is_truthful
+
+    def test_efficiency_tie_break_deterministic(self):
+        mech = mechanism(epsilon=0.0, k=2)
+        auction_round = make_round([0.5, 0.5, 0.5], [1.0, 1.0, 1.0])
+        outcome = mech.run_round(auction_round)
+        assert outcome.selected == (0, 1)
+
+    def test_reset(self):
+        mech = mechanism()
+        mech.observe_contributions({0: 1.0})
+        mech.reset()
+        assert mech.estimate_of(0) == mech.optimistic_value
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mechanism(budget=0.0)
+        with pytest.raises(ValueError):
+            mechanism(epsilon=1.5)
+        with pytest.raises(ValueError):
+            EpsilonGreedyMechanism(1.0, 0, rng=np.random.default_rng(0))
+        mech = mechanism()
+        with pytest.raises(ValueError):
+            mech.observe_contributions({0: -1.0})

@@ -1,0 +1,179 @@
+"""Tests for the baseline mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.core.properties import verify_individual_rationality, verify_truthfulness
+from repro.mechanisms import (
+    AllAvailableMechanism,
+    FixedPriceMechanism,
+    GreedyFirstPriceMechanism,
+    MyopicVCGMechanism,
+    ProportionalShareMechanism,
+    RandomSelectionMechanism,
+)
+from tests.conftest import make_round, random_instance
+
+
+class TestRandomSelection:
+    def test_selects_at_most_k(self, simple_round):
+        mechanism = RandomSelectionMechanism(2, np.random.default_rng(0))
+        outcome = mechanism.run_round(simple_round)
+        assert len(outcome.selected) == 2
+
+    def test_selects_all_when_unlimited(self, simple_round):
+        mechanism = RandomSelectionMechanism(None, np.random.default_rng(0))
+        outcome = mechanism.run_round(simple_round)
+        assert outcome.selected == tuple(sorted(simple_round.client_ids))
+
+    def test_pays_bids(self, simple_round):
+        mechanism = RandomSelectionMechanism(3, np.random.default_rng(0))
+        outcome = mechanism.run_round(simple_round)
+        for cid in outcome.selected:
+            assert outcome.payments[cid] == simple_round.bid_of(cid).cost
+
+    def test_ignores_values_uniform_coverage(self, rng):
+        """Over many rounds every client is picked at roughly equal rates."""
+        mechanism = RandomSelectionMechanism(1, rng)
+        counts = {i: 0 for i in range(4)}
+        auction_round = make_round([1.0] * 4, [0.1, 1.0, 10.0, 100.0])
+        for _ in range(2000):
+            outcome = mechanism.run_round(auction_round)
+            counts[outcome.selected[0]] += 1
+        rates = np.array(list(counts.values())) / 2000
+        assert np.all(np.abs(rates - 0.25) < 0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomSelectionMechanism(0, np.random.default_rng(0))
+
+
+class TestFixedPrice:
+    def test_only_acceptors_win(self):
+        mechanism = FixedPriceMechanism(price=1.0)
+        auction_round = make_round([0.5, 1.5, 0.9], [1.0, 1.0, 1.0])
+        outcome = mechanism.run_round(auction_round)
+        assert outcome.selected == (0, 2)
+
+    def test_everyone_paid_posted_price(self):
+        mechanism = FixedPriceMechanism(price=1.0)
+        auction_round = make_round([0.5, 0.9], [1.0, 1.0])
+        outcome = mechanism.run_round(auction_round)
+        assert all(p == 1.0 for p in outcome.payments.values())
+
+    def test_cap_takes_highest_value(self):
+        mechanism = FixedPriceMechanism(price=1.0, max_winners=1)
+        auction_round = make_round([0.5, 0.5], [1.0, 2.0])
+        outcome = mechanism.run_round(auction_round)
+        assert outcome.selected == (1,)
+
+    def test_truthful(self, rng):
+        auction_round, costs = random_instance(rng, 6)
+        report = verify_truthfulness(
+            lambda: FixedPriceMechanism(price=1.0, max_winners=3),
+            auction_round,
+            costs,
+        )
+        assert report.is_truthful
+
+    def test_ir(self, rng):
+        auction_round, _ = random_instance(rng, 6)
+        outcome = FixedPriceMechanism(price=1.0).run_round(auction_round)
+        assert verify_individual_rationality(outcome, auction_round) == []
+
+
+class TestGreedyFirstPrice:
+    def test_budget_never_exceeded(self, rng):
+        for _ in range(20):
+            auction_round, _ = random_instance(rng, 8)
+            outcome = GreedyFirstPriceMechanism(2.0, 5).run_round(auction_round)
+            assert outcome.total_payment <= 2.0 + 1e-9
+
+    def test_density_order(self):
+        auction_round = make_round([1.0, 0.5], [1.0, 1.0])
+        outcome = GreedyFirstPriceMechanism(0.5).run_round(auction_round)
+        assert outcome.selected == (1,)  # higher value density, fits budget
+
+    def test_not_truthful(self, rng):
+        """Pay-as-bid: a winner profits by bidding above its cost."""
+        auction_round, costs = random_instance(rng, 6)
+        report = verify_truthfulness(
+            lambda: GreedyFirstPriceMechanism(10.0, 3), auction_round, costs
+        )
+        assert not report.is_truthful
+
+    def test_pays_exact_bids(self, simple_round):
+        outcome = GreedyFirstPriceMechanism(10.0).run_round(simple_round)
+        for cid in outcome.selected:
+            assert outcome.payments[cid] == simple_round.bid_of(cid).cost
+
+
+class TestProportionalShare:
+    def test_budget_feasible(self, rng):
+        for _ in range(30):
+            auction_round, _ = random_instance(rng, 8)
+            outcome = ProportionalShareMechanism(3.0).run_round(auction_round)
+            assert outcome.total_payment <= 3.0 + 1e-6
+
+    def test_ir(self, rng):
+        for _ in range(20):
+            auction_round, _ = random_instance(rng, 8)
+            outcome = ProportionalShareMechanism(3.0).run_round(auction_round)
+            assert verify_individual_rationality(outcome, auction_round) == []
+
+    def test_empty_on_impossible_budget(self):
+        auction_round = make_round([5.0, 6.0], [0.1, 0.1])
+        outcome = ProportionalShareMechanism(0.01).run_round(auction_round)
+        assert outcome.selected == ()
+
+    def test_max_winners(self, rng):
+        auction_round, _ = random_instance(rng, 8, cost_range=(0.01, 0.05))
+        outcome = ProportionalShareMechanism(10.0, max_winners=2).run_round(
+            auction_round
+        )
+        assert len(outcome.selected) <= 2
+
+    def test_cheap_high_value_clients_win_first(self):
+        auction_round = make_round([0.1, 0.1, 2.0], [2.0, 1.0, 0.5])
+        outcome = ProportionalShareMechanism(1.0).run_round(auction_round)
+        assert 0 in outcome.selected
+
+
+class TestMyopicVCG:
+    def test_truthful_and_ir(self, rng):
+        auction_round, costs = random_instance(rng, 6)
+        report = verify_truthfulness(
+            lambda: MyopicVCGMechanism(max_winners=3), auction_round, costs
+        )
+        assert report.is_truthful
+        outcome = MyopicVCGMechanism(max_winners=3).run_round(auction_round)
+        assert verify_individual_rationality(outcome, auction_round) == []
+
+    def test_no_budget_control(self, rng):
+        """Spend grows linearly with rounds — nothing reins it in."""
+        mechanism = MyopicVCGMechanism(max_winners=5)
+        total = 0.0
+        for t in range(50):
+            auction_round, _ = random_instance(rng, 8)
+            auction_round = make_round(
+                list(auction_round.bids[i].cost for i in range(8)),
+                [3.0] * 8,
+                index=t,
+            )
+            total += mechanism.run_round(auction_round).total_payment
+        assert total > 50  # far above any per-round budget ~1
+
+    def test_stateless_reset_noop(self):
+        mechanism = MyopicVCGMechanism()
+        mechanism.reset()  # must not raise
+
+
+class TestAllAvailable:
+    def test_selects_everyone(self, simple_round):
+        outcome = AllAvailableMechanism().run_round(simple_round)
+        assert outcome.selected == tuple(sorted(simple_round.client_ids))
+
+    def test_pays_bids(self, simple_round):
+        outcome = AllAvailableMechanism().run_round(simple_round)
+        total_bids = sum(b.cost for b in simple_round.bids)
+        assert outcome.total_payment == pytest.approx(total_bids)

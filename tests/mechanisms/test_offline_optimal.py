@@ -1,0 +1,113 @@
+"""Tests for repro.mechanisms.offline_optimal."""
+
+import numpy as np
+import pytest
+
+from repro.core.bids import AuctionRound, Bid
+from repro.mechanisms.offline_optimal import OfflineOptimalPlanner, OfflinePlanMechanism
+from tests.conftest import make_round
+
+
+def horizon(rng, num_rounds, n):
+    rounds = []
+    for t in range(num_rounds):
+        costs = rng.uniform(0.2, 1.5, n)
+        values = rng.uniform(0.1, 3.0, n)
+        rounds.append(
+            AuctionRound(
+                index=t,
+                bids=tuple(Bid(client_id=i, cost=float(costs[i])) for i in range(n)),
+                values={i: float(values[i]) for i in range(n)},
+            )
+        )
+    return rounds
+
+
+class TestPlanner:
+    def test_respects_total_budget(self, rng):
+        rounds = horizon(rng, 30, 6)
+        planner = OfflineOptimalPlanner(total_budget=10.0, max_winners_per_round=3)
+        plan = planner.plan(rounds)
+        assert plan.total_cost <= 10.0 + 1e-9
+
+    def test_respects_per_round_cap(self, rng):
+        rounds = horizon(rng, 20, 8)
+        planner = OfflineOptimalPlanner(total_budget=1e6, max_winners_per_round=2)
+        plan = planner.plan(rounds)
+        assert all(len(ids) <= 2 for ids in plan.selections.values())
+
+    def test_only_positive_welfare_selected(self, rng):
+        rounds = horizon(rng, 10, 5)
+        plan = OfflineOptimalPlanner(total_budget=1e6).plan(rounds)
+        for auction_round in rounds:
+            for cid in plan.selections.get(auction_round.index, ()):
+                welfare = auction_round.values[cid] - auction_round.bid_of(cid).cost
+                assert welfare > 0
+
+    def test_unconstrained_takes_all_positive(self, rng):
+        rounds = horizon(rng, 10, 5)
+        plan = OfflineOptimalPlanner(total_budget=1e6).plan(rounds)
+        expected = sum(
+            max(r.values[i] - r.bid_of(i).cost, 0.0)
+            for r in rounds
+            for i in range(5)
+        )
+        assert plan.total_welfare == pytest.approx(expected)
+
+    def test_true_cost_override(self):
+        auction_round = make_round([10.0], [2.0])  # bid 10, value 2: looks bad
+        planner = OfflineOptimalPlanner(total_budget=5.0)
+        plan = planner.plan([auction_round], true_costs={0: {0: 0.5}})
+        assert plan.selections[0] == (0,)
+        assert plan.total_welfare == pytest.approx(1.5)
+
+    def test_budget_binds_chooses_densest(self):
+        # Two candidates, budget for one: welfare densities 4/1 vs 2/1.
+        auction_round = make_round([1.0, 1.0], [5.0, 3.0])
+        plan = OfflineOptimalPlanner(total_budget=1.0).plan([auction_round])
+        assert plan.selections[0] == (0,)
+
+    def test_welfare_weakly_increases_with_budget(self, rng):
+        rounds = horizon(rng, 25, 6)
+        welfares = [
+            OfflineOptimalPlanner(total_budget=b, max_winners_per_round=3)
+            .plan(rounds)
+            .total_welfare
+            for b in (2.0, 10.0, 50.0)
+        ]
+        assert welfares == sorted(welfares)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OfflineOptimalPlanner(total_budget=0.0)
+        with pytest.raises(ValueError):
+            OfflineOptimalPlanner(total_budget=1.0, max_winners_per_round=0)
+
+
+class TestOfflinePlanMechanism:
+    def test_replays_plan(self, rng):
+        rounds = horizon(rng, 5, 4)
+        plan = OfflineOptimalPlanner(total_budget=5.0, max_winners_per_round=2).plan(
+            rounds
+        )
+        mechanism = OfflinePlanMechanism(plan)
+        for auction_round in rounds:
+            outcome = mechanism.run_round(auction_round)
+            assert outcome.selected == plan.selections.get(auction_round.index, ())
+
+    def test_pays_costs(self, rng):
+        rounds = horizon(rng, 5, 4)
+        plan = OfflineOptimalPlanner(total_budget=5.0).plan(rounds)
+        mechanism = OfflinePlanMechanism(plan)
+        for auction_round in rounds:
+            outcome = mechanism.run_round(auction_round)
+            for cid in outcome.selected:
+                assert outcome.payments[cid] == auction_round.bid_of(cid).cost
+
+    def test_skips_unavailable_planned_clients(self, rng):
+        rounds = horizon(rng, 3, 4)
+        plan = OfflineOptimalPlanner(total_budget=100.0).plan(rounds)
+        mechanism = OfflinePlanMechanism(plan)
+        reduced = rounds[0].without_client(rounds[0].client_ids[0])
+        outcome = mechanism.run_round(reduced)
+        assert rounds[0].client_ids[0] not in outcome.selected

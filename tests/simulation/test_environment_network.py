@@ -1,0 +1,75 @@
+"""Tests for repro.simulation.environment and repro.simulation.network."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.environment import AlwaysAvailable, OnlineAvailability
+from repro.simulation.network import NetworkModel
+
+
+class TestAlwaysAvailable:
+    def test_always_true(self, rng):
+        model = AlwaysAvailable()
+        assert all(model.is_present(t, rng) for t in range(100))
+
+
+class TestOnlineAvailability:
+    def test_join_window(self, rng):
+        model = OnlineAvailability(join_round=5)
+        assert not model.is_present(4, rng)
+        assert model.is_present(5, rng)
+
+    def test_leave_window(self, rng):
+        model = OnlineAvailability(leave_round=10)
+        assert model.is_present(9, rng)
+        assert not model.is_present(10, rng)
+
+    def test_dropout_rate(self, rng):
+        model = OnlineAvailability(dropout_prob=0.3)
+        presence = [model.is_present(t, rng) for t in range(5000)]
+        assert np.mean(presence) == pytest.approx(0.7, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineAvailability(join_round=-1)
+        with pytest.raises(ValueError):
+            OnlineAvailability(join_round=5, leave_round=5)
+        with pytest.raises(ValueError):
+            OnlineAvailability(dropout_prob=1.5)
+
+
+class TestNetworkModel:
+    def make(self):
+        return NetworkModel(
+            compute_rates={0: 1000.0, 1: 100.0},
+            bandwidths={0: 10000.0, 1: 10000.0},
+            model_size=1000,
+            server_overhead=0.1,
+        )
+
+    def test_latency_formula(self):
+        model = self.make()
+        assert model.client_latency(0, 500.0) == pytest.approx(0.5 + 0.1)
+
+    def test_round_duration_is_straggler_bound(self):
+        model = self.make()
+        duration = model.round_duration((0, 1), work=100.0)
+        slow = model.client_latency(1, 100.0)
+        assert duration == pytest.approx(0.1 + slow)
+
+    def test_empty_round_is_overhead_only(self):
+        assert self.make().round_duration((), 100.0) == pytest.approx(0.1)
+
+    def test_unknown_client(self):
+        with pytest.raises(KeyError):
+            self.make().client_latency(9, 1.0)
+
+    def test_mismatched_coverage(self):
+        with pytest.raises(ValueError):
+            NetworkModel({0: 1.0}, {1: 1.0}, model_size=10)
+
+    def test_sample_is_reproducible(self):
+        a = NetworkModel.sample([0, 1, 2], 100, np.random.default_rng(2))
+        b = NetworkModel.sample([0, 1, 2], 100, np.random.default_rng(2))
+        assert a.compute_rates == b.compute_rates
+        assert a.bandwidths == b.bandwidths

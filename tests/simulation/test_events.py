@@ -1,0 +1,80 @@
+"""Tests for repro.simulation.events."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.events import EventLog, RoundRecord
+
+
+def record(index=0, selected=(0,), payments=None, values=None, costs=None, acc=float("nan")):
+    selected = tuple(selected)
+    payments = payments or {cid: 1.0 for cid in selected}
+    values = values or {0: 2.0, 1: 1.5}
+    costs = costs or {0: 0.5, 1: 0.7}
+    return RoundRecord(
+        round_index=index,
+        available=(0, 1),
+        bids=dict(costs),
+        true_costs=dict(costs),
+        values=dict(values),
+        selected=selected,
+        payments=payments,
+        test_accuracy=acc,
+    )
+
+
+class TestRoundRecord:
+    def test_total_payment(self):
+        assert record(payments={0: 1.5}).total_payment == 1.5
+
+    def test_true_welfare_uses_true_costs(self):
+        r = record(selected=(0, 1), payments={0: 5.0, 1: 5.0})
+        assert r.true_welfare == pytest.approx((2.0 - 0.5) + (1.5 - 0.7))
+
+    def test_server_surplus(self):
+        r = record(selected=(0,), payments={0: 1.2})
+        assert r.server_surplus == pytest.approx(2.0 - 1.2)
+
+
+class TestEventLog:
+    def test_ordering_enforced(self):
+        log = EventLog()
+        log.record(record(0))
+        with pytest.raises(ValueError):
+            log.record(record(0))
+
+    def test_series(self):
+        log = EventLog()
+        log.record(record(0, payments={0: 1.0}))
+        log.record(record(1, payments={0: 2.0}))
+        assert log.payment_series() == [1.0, 2.0]
+        assert log.cumulative(log.payment_series()) == [1.0, 3.0]
+        assert log.total_payment() == 3.0
+        assert log.average_payment() == 1.5
+
+    def test_selection_and_availability_counts(self):
+        log = EventLog()
+        log.record(record(0, selected=(0,)))
+        log.record(record(1, selected=(0, 1), payments={0: 1.0, 1: 1.0}))
+        assert log.selection_counts() == {0: 2, 1: 1}
+        assert log.availability_counts() == {0: 2, 1: 2}
+
+    def test_accuracy_series_drops_nan(self):
+        log = EventLog()
+        log.record(record(0, acc=0.5))
+        log.record(record(1))
+        log.record(record(2, acc=0.7))
+        xs, ys = log.accuracy_series()
+        assert xs == [0, 2]
+        assert ys == [0.5, 0.7]
+
+    def test_diagnostics_series_missing_is_nan(self):
+        log = EventLog()
+        log.record(record(0))
+        assert np.isnan(log.diagnostics_series("q")[0])
+
+    def test_welfare_totals(self):
+        log = EventLog()
+        log.record(record(0, selected=(0,)))
+        log.record(record(1, selected=(1,), payments={1: 1.0}))
+        assert log.total_welfare() == pytest.approx(1.5 + 0.8)

@@ -1,0 +1,80 @@
+"""Tests for repro.simulation.replay (event-log persistence)."""
+
+import numpy as np
+import pytest
+
+from repro import LongTermVCGConfig, LongTermVCGMechanism, SimulationRunner
+from repro.analysis.welfare import welfare_summary
+from repro.simulation.replay import (
+    event_log_from_dict,
+    event_log_to_dict,
+    load_event_log,
+    save_event_log,
+)
+from repro.simulation.scenarios import build_fl_scenario, build_mechanism_scenario
+
+
+def make_log(rounds=20, fl=False):
+    mechanism = LongTermVCGMechanism(
+        LongTermVCGConfig(v=20.0, budget_per_round=2.0, max_winners=4)
+    )
+    if fl:
+        scenario = build_fl_scenario(8, seed=2, num_samples=800, eval_every=7)
+    else:
+        scenario = build_mechanism_scenario(8, seed=2, energy_constrained=True)
+    runner = SimulationRunner(
+        mechanism, scenario.clients, scenario.valuation, fl=scenario.fl, seed=3
+    )
+    return runner.run(rounds)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        log = make_log()
+        rebuilt = event_log_from_dict(event_log_to_dict(log))
+        assert len(rebuilt) == len(log)
+        for original, restored in zip(log, rebuilt):
+            assert original.round_index == restored.round_index
+            assert original.selected == restored.selected
+            assert original.payments == restored.payments
+            assert original.true_costs == restored.true_costs
+            assert original.battery_levels == restored.battery_levels
+
+    def test_file_round_trip(self, tmp_path):
+        log = make_log()
+        path = tmp_path / "log.json"
+        save_event_log(path, log)
+        restored = load_event_log(path)
+        assert welfare_summary(restored) == welfare_summary(log)
+        assert restored.payment_series() == log.payment_series()
+
+    def test_nan_accuracy_round_trip(self, tmp_path):
+        log = make_log(rounds=10, fl=True)
+        path = tmp_path / "log.json"
+        save_event_log(path, log)
+        restored = load_event_log(path)
+        original_xs, original_ys = log.accuracy_series()
+        restored_xs, restored_ys = restored.accuracy_series()
+        assert original_xs == restored_xs
+        assert np.allclose(original_ys, restored_ys)
+
+    def test_keys_restored_as_ints(self, tmp_path):
+        log = make_log(rounds=5)
+        path = tmp_path / "log.json"
+        save_event_log(path, log)
+        restored = load_event_log(path)
+        assert all(isinstance(k, int) for k in restored[0].bids)
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="format version"):
+            event_log_from_dict({"format_version": 99, "rounds": []})
+
+    def test_analysis_runs_on_restored_log(self, tmp_path):
+        from repro.analysis.budget import budget_report
+
+        log = make_log()
+        path = tmp_path / "log.json"
+        save_event_log(path, log)
+        restored = load_event_log(path)
+        report = budget_report(restored, 2.0)
+        assert report.rounds == len(log)

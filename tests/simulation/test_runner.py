@@ -1,0 +1,158 @@
+"""Tests for repro.simulation.runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.longterm_vcg import LongTermVCGConfig, LongTermVCGMechanism
+from repro.mechanisms import AllAvailableMechanism, RandomSelectionMechanism
+from repro.simulation.environment import OnlineAvailability
+from repro.simulation.runner import SimulationRunner
+from repro.simulation.scenarios import build_fl_scenario, build_mechanism_scenario
+
+
+def lt_vcg(max_winners=5, **kw):
+    return LongTermVCGMechanism(
+        LongTermVCGConfig(
+            v=kw.pop("v", 20.0),
+            budget_per_round=kw.pop("budget_per_round", 3.0),
+            max_winners=max_winners,
+            **kw,
+        )
+    )
+
+
+class TestMechanismOnlyRuns:
+    def test_log_structure(self):
+        scenario = build_mechanism_scenario(10, seed=1)
+        runner = SimulationRunner(
+            lt_vcg(), scenario.clients, scenario.valuation, seed=2
+        )
+        log = runner.run(20)
+        assert len(log) == 20
+        for t, record in enumerate(log):
+            assert record.round_index == t
+            assert set(record.selected) <= set(record.available)
+            assert set(record.payments) == set(record.selected)
+            assert set(record.bids) == set(record.available)
+
+    def test_true_costs_recorded(self):
+        scenario = build_mechanism_scenario(8, seed=1)
+        costs = scenario.true_costs()
+        runner = SimulationRunner(lt_vcg(), scenario.clients, scenario.valuation)
+        log = runner.run(5)
+        for record in log:
+            for cid in record.available:
+                assert record.true_costs[cid] == pytest.approx(costs[cid])
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            scenario = build_mechanism_scenario(12, seed=7, energy_constrained=True)
+            runner = SimulationRunner(
+                lt_vcg(), scenario.clients, scenario.valuation, seed=3
+            )
+            log = runner.run(40)
+            return (
+                [r.selected for r in log],
+                [round(r.total_payment, 12) for r in log],
+            )
+
+        assert run_once() == run_once()
+
+    def test_presence_model_respected(self):
+        scenario = build_mechanism_scenario(6, seed=1)
+        presence = {cid: OnlineAvailability(join_round=10) for cid in scenario.client_ids[:3]}
+        runner = SimulationRunner(
+            AllAvailableMechanism(),
+            scenario.clients,
+            scenario.valuation,
+            presence=presence,
+        )
+        log = runner.run(12)
+        for record in log.records[:10]:
+            assert all(cid >= 3 for cid in record.available)
+        assert set(log.records[11].available) == set(scenario.client_ids)
+
+    def test_energy_gating(self):
+        """Battery-constrained clients drop out after participating."""
+        scenario = build_mechanism_scenario(10, seed=3, energy_constrained=True)
+        runner = SimulationRunner(
+            AllAvailableMechanism(), scenario.clients, scenario.valuation
+        )
+        log = runner.run(30)
+        # With everyone selected every round, batteries must deplete for at
+        # least some under-provisioned clients at some point.
+        availability = [len(r.available) for r in log]
+        assert min(availability) < 10
+
+    def test_battery_levels_recorded(self):
+        scenario = build_mechanism_scenario(5, seed=3, energy_constrained=True)
+        runner = SimulationRunner(
+            AllAvailableMechanism(), scenario.clients, scenario.valuation
+        )
+        log = runner.run(3)
+        assert set(log[0].battery_levels) == set(scenario.client_ids)
+
+    def test_no_bids_round_handled(self):
+        scenario = build_mechanism_scenario(3, seed=1)
+        presence = {
+            cid: OnlineAvailability(join_round=5) for cid in scenario.client_ids
+        }
+        runner = SimulationRunner(
+            lt_vcg(), scenario.clients, scenario.valuation, presence=presence
+        )
+        log = runner.run(3)
+        assert all(r.selected == () for r in log)
+
+    def test_network_durations(self):
+        scenario = build_mechanism_scenario(6, seed=2, with_network=True)
+        runner = SimulationRunner(
+            AllAvailableMechanism(),
+            scenario.clients,
+            scenario.valuation,
+            network=scenario.network,
+        )
+        log = runner.run(4)
+        assert all(r.round_duration > 0 for r in log)
+
+    def test_rejects_duplicate_ids(self):
+        scenario = build_mechanism_scenario(4, seed=1)
+        clients = scenario.clients + [scenario.clients[0]]
+        with pytest.raises(ValueError):
+            SimulationRunner(lt_vcg(), clients, scenario.valuation)
+
+    def test_rejects_zero_rounds(self):
+        scenario = build_mechanism_scenario(4, seed=1)
+        runner = SimulationRunner(lt_vcg(), scenario.clients, scenario.valuation)
+        with pytest.raises(ValueError):
+            runner.run(0)
+
+
+class TestFLRuns:
+    def test_accuracy_improves(self):
+        scenario = build_fl_scenario(
+            10, seed=4, num_samples=2000, eval_every=5
+        )
+        runner = SimulationRunner(
+            lt_vcg(max_winners=5, budget_per_round=10.0),
+            scenario.clients,
+            scenario.valuation,
+            fl=scenario.fl,
+        )
+        log = runner.run(40)
+        xs, accuracies = log.accuracy_series()
+        assert accuracies[-1] > accuracies[0] + 0.1
+        assert accuracies[-1] > 0.3
+
+    def test_final_round_always_evaluated(self):
+        scenario = build_fl_scenario(6, seed=4, num_samples=800, eval_every=100)
+        runner = SimulationRunner(
+            lt_vcg(), scenario.clients, scenario.valuation, fl=scenario.fl
+        )
+        log = runner.run(7)
+        assert not np.isnan(log[6].test_accuracy)
+
+    def test_declared_sizes_match_shards(self):
+        scenario = build_fl_scenario(8, seed=4, num_samples=1000)
+        for client in scenario.clients:
+            fl_client = scenario.fl.fl_clients[client.client_id]
+            assert client.declared_size == fl_client.num_samples

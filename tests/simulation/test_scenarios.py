@@ -1,0 +1,74 @@
+"""Tests for repro.simulation.scenarios."""
+
+import pytest
+
+from repro.core.valuation import StalenessAwareValuation
+from repro.simulation.scenarios import (
+    build_fl_scenario,
+    build_mechanism_scenario,
+    icdcs_defaults,
+)
+
+
+class TestDefaults:
+    def test_canonical_keys_present(self):
+        defaults = icdcs_defaults()
+        for key in ("num_clients", "max_winners", "v", "budget_per_round"):
+            assert key in defaults
+
+    def test_defaults_are_fresh_copies(self):
+        a = icdcs_defaults()
+        a["v"] = -1
+        assert icdcs_defaults()["v"] != -1
+
+
+class TestMechanismScenario:
+    def test_reproducible(self):
+        a = build_mechanism_scenario(10, seed=5)
+        b = build_mechanism_scenario(10, seed=5)
+        assert a.true_costs() == b.true_costs()
+
+    def test_seeds_differ(self):
+        a = build_mechanism_scenario(10, seed=5)
+        b = build_mechanism_scenario(10, seed=6)
+        assert a.true_costs() != b.true_costs()
+
+    def test_churn_assigns_presence(self):
+        scenario = build_mechanism_scenario(30, seed=1, churn=True)
+        assert len(scenario.presence) > 0
+
+    def test_staleness_wrapping(self):
+        scenario = build_mechanism_scenario(5, seed=1, staleness_boost=0.5)
+        assert isinstance(scenario.valuation, StalenessAwareValuation)
+
+    def test_participation_targets_helper(self):
+        scenario = build_mechanism_scenario(4, seed=1)
+        targets = scenario.participation_targets(0.25)
+        assert targets == {0: 0.25, 1: 0.25, 2: 0.25, 3: 0.25}
+
+    def test_network_only_when_requested(self):
+        assert build_mechanism_scenario(4, seed=1).network is None
+        assert build_mechanism_scenario(4, seed=1, with_network=True).network is not None
+
+
+class TestFLScenario:
+    def test_quality_reflects_partition_skew(self):
+        iid = build_fl_scenario(10, seed=2, num_samples=1500, dirichlet_alpha=None)
+        skewed = build_fl_scenario(10, seed=2, num_samples=1500, dirichlet_alpha=0.1)
+        iid_quality = sum(c.declared_quality for c in iid.clients) / 10
+        skewed_quality = sum(c.declared_quality for c in skewed.clients) / 10
+        assert iid_quality > skewed_quality
+
+    def test_mlp_model_option(self):
+        scenario = build_fl_scenario(4, seed=2, num_samples=600, model="mlp")
+        from repro.fl.mlp import MLPClassifier
+
+        assert isinstance(scenario.fl.server.model, MLPClassifier)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            build_fl_scenario(4, seed=2, num_samples=600, model="transformer")
+
+    def test_fl_clients_cover_population(self):
+        scenario = build_fl_scenario(6, seed=2, num_samples=900)
+        assert set(scenario.fl.fl_clients) == set(scenario.client_ids)

@@ -1,0 +1,91 @@
+"""Tests for repro.simulation.topology."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.simulation.topology import HierarchicalTopology
+
+
+def simple_topology():
+    return HierarchicalTopology(
+        edge_of={0: 0, 1: 0, 2: 1},
+        client_latency={0: 0.1, 1: 0.4, 2: 0.2},
+        edge_latency={0: 0.05, 1: 0.5},
+    )
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="same clients"):
+            HierarchicalTopology({0: 0}, {1: 0.1}, {0: 0.1})
+        with pytest.raises(ValueError, match="missing"):
+            HierarchicalTopology({0: 7}, {0: 0.1}, {0: 0.1})
+        with pytest.raises(ValueError):
+            HierarchicalTopology({0: 0}, {0: 0.0}, {0: 0.1})
+
+    def test_graph_is_a_tree_into_cloud(self):
+        topology = simple_topology()
+        graph = topology.graph
+        assert nx.is_directed_acyclic_graph(graph)
+        # Every client reaches the cloud.
+        for client in (0, 1, 2):
+            assert nx.has_path(graph, f"client/{client}", "cloud")
+
+    def test_random_reproducible(self):
+        a = HierarchicalTopology.random([0, 1, 2, 3], 2, np.random.default_rng(5))
+        b = HierarchicalTopology.random([0, 1, 2, 3], 2, np.random.default_rng(5))
+        assert a.edge_of == b.edge_of
+        assert a.client_latency == b.client_latency
+
+
+class TestQueries:
+    def test_clients_under(self):
+        topology = simple_topology()
+        assert topology.clients_under(0) == (0, 1)
+        assert topology.clients_under(1) == (2,)
+
+    def test_path_latency(self):
+        topology = simple_topology()
+        assert topology.path_latency(0) == pytest.approx(0.1 + 0.05)
+        assert topology.path_latency(2) == pytest.approx(0.2 + 0.5)
+        with pytest.raises(KeyError):
+            topology.path_latency(9)
+
+
+class TestRoundDuration:
+    def test_single_edge_straggler(self):
+        topology = simple_topology()
+        # Winners 0 and 1 share edge 0: slowest client 0.4 + edge 0.05.
+        assert topology.round_duration((0, 1)) == pytest.approx(0.45)
+
+    def test_cross_edge_max(self):
+        topology = simple_topology()
+        # Edge 0 finishes at 0.45; edge 1 at 0.2 + 0.5 = 0.7.
+        assert topology.round_duration((0, 1, 2)) == pytest.approx(0.7)
+
+    def test_empty(self):
+        assert simple_topology().round_duration(()) == 0.0
+
+    def test_pipelining_beats_flat_star(self):
+        """Hierarchical rounds are never slower than summing worst hops."""
+        rng = np.random.default_rng(2)
+        topology = HierarchicalTopology.random(list(range(20)), 4, rng)
+        selected = tuple(range(0, 20, 2))
+        duration = topology.round_duration(selected)
+        flat_bound = max(topology.path_latency(c) for c in selected)
+        assert duration <= flat_bound + 1e-12
+        assert duration >= max(topology.client_latency[c] for c in selected)
+
+
+class TestConcentration:
+    def test_all_on_one_edge(self):
+        topology = simple_topology()
+        assert topology.edge_concentration((0, 1)) == 1.0
+
+    def test_spread(self):
+        topology = simple_topology()
+        assert topology.edge_concentration((0, 2)) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert simple_topology().edge_concentration(()) == 0.0

@@ -1,0 +1,101 @@
+"""Tests for repro.cli."""
+
+import json
+
+import pytest
+
+from repro.cli import MECHANISM_NAMES, build_mechanism, main, run_experiment
+from repro.config import ExperimentConfig
+from repro.core.longterm_vcg import LongTermVCGMechanism
+from repro.mechanisms import ProportionalShareMechanism, RandomSelectionMechanism
+
+
+class TestBuildMechanism:
+    def test_default_is_lt_vcg(self):
+        mechanism = build_mechanism(ExperimentConfig())
+        assert isinstance(mechanism, LongTermVCGMechanism)
+
+    def test_each_name_constructs(self):
+        for name in MECHANISM_NAMES:
+            config = ExperimentConfig(extras={"mechanism": name})
+            assert build_mechanism(config) is not None
+
+    def test_greedy_variant(self):
+        config = ExperimentConfig(extras={"mechanism": "lt-vcg-greedy"})
+        mechanism = build_mechanism(config)
+        assert mechanism.config.wd_method == "greedy"
+
+    def test_participation_target_wired(self):
+        config = ExperimentConfig(participation_target=0.2, num_clients=5)
+        mechanism = build_mechanism(config)
+        assert mechanism.participation is not None
+        assert mechanism.participation.targets == {i: 0.2 for i in range(5)}
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(ValueError, match="unknown mechanism"):
+            build_mechanism(ExperimentConfig(extras={"mechanism": "alchemy"}))
+
+    def test_named_baselines(self):
+        assert isinstance(
+            build_mechanism(ExperimentConfig(extras={"mechanism": "prop-share"})),
+            ProportionalShareMechanism,
+        )
+        assert isinstance(
+            build_mechanism(ExperimentConfig(extras={"mechanism": "random"})),
+            RandomSelectionMechanism,
+        )
+
+
+class TestRunExperiment:
+    def test_writes_artifacts(self, tmp_path):
+        config = ExperimentConfig(num_clients=8, num_rounds=20, max_winners=3)
+        result = run_experiment(config, tmp_path / "run")
+        assert (tmp_path / "run" / "config.json").exists()
+        assert (tmp_path / "run" / "event_log.json").exists()
+        summary = json.loads((tmp_path / "run" / "summary.json").read_text())
+        assert summary["rounds"] == 20
+        assert summary["mechanism"] == "lt-vcg"
+        assert result["rounds"] == 20
+
+    def test_no_out_dir(self):
+        config = ExperimentConfig(num_clients=6, num_rounds=5, max_winners=2)
+        result = run_experiment(config, None)
+        assert result["rounds"] == 5
+
+    def test_deterministic(self):
+        config = ExperimentConfig(num_clients=8, num_rounds=15, max_winners=3, seed=4)
+        assert run_experiment(config, None) == run_experiment(config, None)
+
+
+class TestMain:
+    def test_list_mechanisms(self, capsys):
+        assert main(["--list-mechanisms"]) == 0
+        out = capsys.readouterr().out
+        for name in MECHANISM_NAMES:
+            assert name in out
+
+    def test_flag_overrides(self, capsys, tmp_path):
+        code = main(
+            [
+                "--mechanism", "random",
+                "--rounds", "10",
+                "--clients", "6",
+                "--seed", "3",
+                "--out", str(tmp_path / "r"),
+            ]
+        )
+        assert code == 0
+        assert "random" in capsys.readouterr().out
+        config = json.loads((tmp_path / "r" / "config.json").read_text())
+        assert config["num_rounds"] == 10
+        assert config["num_clients"] == 6
+
+    def test_config_file_input(self, tmp_path, capsys):
+        config = ExperimentConfig(
+            num_clients=6, num_rounds=8, max_winners=2,
+            extras={"mechanism": "prop-share"},
+        )
+        path = tmp_path / "config.json"
+        config.save(path)
+        assert main(["--config", str(path)]) == 0
+        assert "prop-share" in capsys.readouterr().out

@@ -1,0 +1,43 @@
+"""Tests for repro.config."""
+
+import pytest
+
+from repro.config import ExperimentConfig
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        config = ExperimentConfig()
+        assert config.num_clients == 40
+        assert config.budget_per_round == 5.0
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_clients=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(max_winners=-1)
+        with pytest.raises(ValueError):
+            ExperimentConfig(participation_target=1.5)
+        with pytest.raises(ValueError):
+            ExperimentConfig(budget_per_round=0.0)
+
+    def test_with_overrides(self):
+        base = ExperimentConfig(name="base", v=10.0)
+        derived = base.with_overrides(v=100.0)
+        assert derived.v == 100.0
+        assert derived.name == "base"
+        assert base.v == 10.0  # original untouched
+
+    def test_json_round_trip(self, tmp_path):
+        config = ExperimentConfig(
+            name="e3", seed=11, dirichlet_alpha=None, extras={"note": "tight budget"}
+        )
+        path = tmp_path / "config.json"
+        config.save(path)
+        loaded = ExperimentConfig.load(path)
+        assert loaded == config
+
+    def test_to_dict_is_plain(self):
+        data = ExperimentConfig().to_dict()
+        assert isinstance(data, dict)
+        assert data["model"] == "softmax"

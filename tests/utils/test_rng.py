@@ -1,0 +1,65 @@
+"""Tests for repro.rng."""
+
+import pytest
+
+from repro.rng import RngTree, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a") == derive_seed(7, "a")
+
+    def test_name_sensitive(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_seed_sensitive(self):
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_fits_in_63_bits(self):
+        for name in ("x", "clients/123", ""):
+            assert 0 <= derive_seed(999, name) < 2**63
+
+
+class TestRngTree:
+    def test_same_name_same_generator_object(self):
+        tree = RngTree(1)
+        assert tree.generator("a") is tree.generator("a")
+
+    def test_streams_are_independent(self):
+        tree = RngTree(1)
+        a = [tree.generator("a").random() for _ in range(5)]
+        b = [tree.generator("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_reproducible_across_trees(self):
+        values_1 = RngTree(42).generator("x").random(3)
+        values_2 = RngTree(42).generator("x").random(3)
+        assert values_1.tolist() == values_2.tolist()
+
+    def test_fresh_generator_restarts_stream(self):
+        tree = RngTree(5)
+        first = tree.generator("s").random()
+        restarted = tree.fresh_generator("s").random()
+        assert first == restarted
+
+    def test_adding_stream_does_not_perturb_others(self):
+        tree_1 = RngTree(3)
+        gen = tree_1.generator("main")
+        before = gen.random(4).tolist()
+
+        tree_2 = RngTree(3)
+        tree_2.generator("extra")  # new consumer appears first
+        after = tree_2.generator("main").random(4).tolist()
+        assert before == after
+
+    def test_subtree_is_deterministic(self):
+        a = RngTree(9).subtree("client").generator("noise").random()
+        b = RngTree(9).subtree("client").generator("noise").random()
+        assert a == b
+
+    def test_rejects_non_integer_seed(self):
+        with pytest.raises(TypeError):
+            RngTree(1.5)
+
+    def test_repr_mentions_seed(self):
+        assert "seed=11" in repr(RngTree(11))

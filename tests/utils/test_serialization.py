@@ -1,0 +1,67 @@
+"""Tests for repro.utils.serialization."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import load_json, save_json, to_jsonable
+
+
+@dataclass
+class _Point:
+    x: float
+    y: np.ndarray
+
+
+class TestToJsonable:
+    def test_passthrough_primitives(self):
+        for value in (None, True, 3, 2.5, "s"):
+            assert to_jsonable(value) == value
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.float32(1.5)) == 1.5
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_numpy_arrays(self):
+        assert to_jsonable(np.array([[1, 2], [3, 4]])) == [[1, 2], [3, 4]]
+
+    def test_dataclass(self):
+        out = to_jsonable(_Point(x=1.0, y=np.array([2.0, 3.0])))
+        assert out == {"x": 1.0, "y": [2.0, 3.0]}
+
+    def test_nested_structures(self):
+        value = {"a": [np.float64(1.0), {"b": (1, 2)}]}
+        assert to_jsonable(value) == {"a": [1.0, {"b": [1, 2]}]}
+
+    def test_sets_sorted(self):
+        assert to_jsonable({3, 1, 2}) == [1, 2, 3]
+
+    def test_int_keys_stringified(self):
+        assert to_jsonable({1: "a"}) == {"1": "a"}
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        payload = {"series": np.arange(4), "name": "run", "nested": {"ok": True}}
+        path = tmp_path / "out" / "result.json"
+        save_json(path, payload)
+        loaded = load_json(path)
+        assert loaded == {"series": [0, 1, 2, 3], "name": "run", "nested": {"ok": True}}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "a" / "b" / "c.json"
+        save_json(path, [1])
+        assert path.exists()
+
+    def test_output_is_sorted_and_stable(self, tmp_path):
+        path_1 = tmp_path / "1.json"
+        path_2 = tmp_path / "2.json"
+        save_json(path_1, {"b": 1, "a": 2})
+        save_json(path_2, {"a": 2, "b": 1})
+        assert path_1.read_text() == path_2.read_text()

@@ -1,0 +1,64 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0] and "value" in lines[0]
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[1.23456789]], float_fmt=".2f")
+        assert "1.23" in table
+
+    def test_bool_rendering(self):
+        table = format_table(["ok"], [[True], [False]])
+        assert "yes" in table and "no" in table
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
+
+    def test_deterministic(self):
+        rows = [["m", 1.5, 2], ["n", 0.25, 3]]
+        assert format_table(["a", "b", "c"], rows) == format_table(
+            ["a", "b", "c"], rows
+        )
+
+
+class TestFormatSeries:
+    def test_columns_per_curve(self):
+        text = format_series([0, 1, 2], {"acc": [0.1, 0.2, 0.3]}, x_label="round")
+        assert "round" in text and "acc" in text
+        assert "0.3" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="curve"):
+            format_series([0, 1], {"y": [1.0]})
+
+    def test_subsampling_keeps_endpoints(self):
+        xs = list(range(100))
+        ys = [float(x) for x in xs]
+        text = format_series(xs, {"y": ys}, max_points=5)
+        lines = text.splitlines()
+        assert len(lines) <= 2 + 6  # header + rule + at most ~6 points
+        assert lines[2].strip().startswith("0")
+        assert "99" in lines[-1]
+
+    def test_multiple_curves(self):
+        text = format_series(
+            [0, 1], {"a": [1.0, 2.0], "b": [3.0, 4.0]}, x_label="t"
+        )
+        header = text.splitlines()[0]
+        assert "a" in header and "b" in header

@@ -1,0 +1,83 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckFinite:
+    def test_accepts_int_and_float(self):
+        assert check_finite("x", 3) == 3.0
+        assert check_finite("x", -2.5) == -2.5
+
+    def test_accepts_numpy_scalars(self):
+        assert check_finite("x", np.float64(1.5)) == 1.5
+        assert check_finite("x", np.int32(4)) == 4.0
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError, match="x must be finite"):
+            check_finite("x", math.nan)
+        with pytest.raises(ValueError, match="x must be finite"):
+            check_finite("x", math.inf)
+
+    def test_rejects_bool_and_strings(self):
+        with pytest.raises(TypeError):
+            check_finite("x", True)
+        with pytest.raises(TypeError):
+            check_finite("x", "1.0")
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ValueError, match="learning_rate"):
+            check_finite("learning_rate", math.inf)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 0.001) == 0.001
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1e-9)
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_probability("p", -0.01)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 1.0, 1.0, 2.0) == 1.0
+        assert check_in_range("x", 2.0, 1.0, 2.0) == 2.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 1.0, 2.0, inclusive=False)
+        assert check_in_range("x", 1.5, 1.0, 2.0, inclusive=False) == 1.5

@@ -5,17 +5,21 @@ Companion table to E2/E3: the two claims the paper's story rests on —
 (2) LT-VCG's average spend is budget-compliant while myopic VCG's is not —
 re-evaluated over multiple seeds with paired comparisons and confidence
 intervals instead of single-seed anecdotes.
+
+Runs through :mod:`repro.orchestration`: one declarative 3-mechanism ×
+6-seed campaign, with every per-seed metric read back from the result
+store — each cell is simulated exactly once and both claims are evaluated
+from the same stored rows.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import tempfile
 
 from benchmarks.conftest import run_once
-from repro import LongTermVCGConfig, LongTermVCGMechanism, SimulationRunner
 from repro.analysis.stats import paired_comparison, summarize
-from repro.mechanisms import MyopicVCGMechanism, RandomSelectionMechanism
-from repro.simulation.scenarios import build_mechanism_scenario
+from repro.config import ExperimentConfig
+from repro.orchestration import SweepSpec, load_results, run_campaign
 from repro.utils.tables import format_table
 
 SEEDS = (0, 1, 2, 3, 4, 5)
@@ -25,38 +29,43 @@ K = 8
 BUDGET = 2.0
 V = 15.0
 
-
-def run_mechanism(name: str, seed: int):
-    if name == "lt-vcg":
-        mechanism = LongTermVCGMechanism(
-            LongTermVCGConfig(v=V, budget_per_round=BUDGET, max_winners=K)
-        )
-    elif name == "myopic":
-        mechanism = MyopicVCGMechanism(max_winners=K)
-    elif name == "random":
-        mechanism = RandomSelectionMechanism(K, np.random.default_rng(seed + 100))
-    else:
-        raise ValueError(name)
-    scenario = build_mechanism_scenario(NUM_CLIENTS, seed=seed)
-    return SimulationRunner(
-        mechanism, scenario.clients, scenario.valuation, seed=seed + 50
-    ).run(ROUNDS)
+MECHANISMS = ("lt-vcg", "myopic-vcg", "random")
 
 
-def welfare_of(name: str):
-    return lambda seed: run_mechanism(name, seed).total_welfare()
-
-
-def spend_of(name: str):
-    return lambda seed: run_mechanism(name, seed).average_payment()
+def run_campaign_cells() -> dict[tuple[str, int], dict]:
+    """Run the sweep; returns (mechanism, seed) -> stored metrics row."""
+    spec = SweepSpec(
+        base=ExperimentConfig(
+            num_clients=NUM_CLIENTS,
+            num_rounds=ROUNDS,
+            max_winners=K,
+            budget_per_round=BUDGET,
+            v=V,
+        ),
+        mechanisms=MECHANISMS,
+        seeds=SEEDS,
+        name="e11-multiseed",
+    )
+    with tempfile.TemporaryDirectory() as campaign_dir:
+        summary = run_campaign(spec, campaign_dir, max_workers=0)
+        assert summary.failed == 0, "e11 campaign had failed cells"
+        results = load_results(campaign_dir)
+    return {(r.mechanism, r.seed): r.metrics for r in results if r.completed}
 
 
 def run_all():
+    metrics = run_campaign_cells()
     welfare_comparison = paired_comparison(
-        welfare_of("lt-vcg"), welfare_of("random"), seeds=SEEDS
+        lambda seed: metrics[("lt-vcg", seed)]["total_welfare"],
+        lambda seed: metrics[("random", seed)]["total_welfare"],
+        seeds=SEEDS,
     )
-    lt_spend = summarize([spend_of("lt-vcg")(s) for s in SEEDS])
-    myopic_spend = summarize([spend_of("myopic")(s) for s in SEEDS])
+    lt_spend = summarize(
+        [metrics[("lt-vcg", seed)]["average_payment"] for seed in SEEDS]
+    )
+    myopic_spend = summarize(
+        [metrics[("myopic-vcg", seed)]["average_payment"] for seed in SEEDS]
+    )
     return welfare_comparison, lt_spend, myopic_spend
 
 

@@ -1,58 +1,69 @@
-"""Quickstart: run the LT-VCG auction for 300 rounds and inspect the outcome.
+"""Quickstart: a two-mechanism mini-campaign through the orchestration API.
 
-This is the smallest end-to-end use of the public API: build a seeded
-economic scenario, construct the mechanism, simulate, and print the headline
-numbers.  Runs in about a second.
+The smallest end-to-end use of the public API: declare a sweep grid
+(LT-VCG vs. random selection, one seed), run it as a resumable campaign,
+and print the headline comparison plus the LT-VCG budget trajectory from
+the archived event log.  Runs in about a second; rerunning the script
+resumes the campaign directory and skips the already-finished cells.
 
 Usage::
 
     python examples/quickstart.py
 """
 
-from repro import (
-    LongTermVCGConfig,
-    LongTermVCGMechanism,
-    SimulationRunner,
-    build_mechanism_scenario,
-    icdcs_defaults,
-)
+from pathlib import Path
+
+from repro import ExperimentConfig, icdcs_defaults
 from repro.analysis.budget import budget_report
-from repro.analysis.welfare import welfare_summary
+from repro.orchestration import (
+    SweepSpec,
+    load_results,
+    run_campaign,
+    welfare_comparison_table,
+)
+from repro.simulation.replay import load_event_log
 from repro.utils.tables import format_series
+
+CAMPAIGN_DIR = Path("results/quickstart_campaign")
 
 
 def main() -> None:
     defaults = icdcs_defaults()
 
-    # 1. A seeded scenario: 40 heterogeneous clients (device classes, data
-    #    declarations, truthful bidding) plus the server-side valuation model.
-    scenario = build_mechanism_scenario(defaults["num_clients"], seed=0)
-
-    # 2. The mechanism: online VCG with a long-term budget of 5 money units
-    #    per round enforced through the Lyapunov virtual queue.
-    mechanism = LongTermVCGMechanism(
-        LongTermVCGConfig(
+    # 1. Declare the grid: every cell starts from the canonical ICDCS
+    #    parameters; the mechanism axis is the only thing that varies.
+    spec = SweepSpec(
+        base=ExperimentConfig(
+            num_clients=defaults["num_clients"],
+            num_rounds=defaults["num_rounds"],
+            max_winners=defaults["max_winners"],
             v=defaults["v"],
             budget_per_round=defaults["budget_per_round"],
-            max_winners=defaults["max_winners"],
-        )
+        ),
+        mechanisms=("lt-vcg", "random"),
+        seeds=(0,),
+        name="quickstart",
     )
 
-    # 3. Simulate.
-    runner = SimulationRunner(mechanism, scenario.clients, scenario.valuation, seed=1)
-    log = runner.run(defaults["num_rounds"])
+    # 2. Run it.  Completed cells are persisted as they finish, so a rerun
+    #    of this script skips them (try it: run the script twice).
+    summary = run_campaign(spec, CAMPAIGN_DIR, max_workers=0)
+    print(
+        f"campaign: {summary.completed} cells run, "
+        f"{summary.skipped} skipped (already done)\n"
+    )
 
-    # 4. Inspect.
-    summary = welfare_summary(log)
-    budget = budget_report(log, defaults["budget_per_round"])
-    print("LT-VCG quickstart")
-    print(f"  rounds:             {summary.rounds}")
-    print(f"  total welfare:      {summary.total_welfare:.1f}")
-    print(f"  winners per round:  {summary.winners_per_round:.2f}")
-    print(f"  avg spend / budget: {budget.average_spend:.3f} / {budget.budget_per_round}")
-    print(f"  budget compliant:   {budget.compliant}")
-    print(f"  final queue backlog Q(T): {mechanism.budget_backlog:.3f}")
+    # 3. Compare from the stored results — no re-simulation.
+    results = load_results(CAMPAIGN_DIR)
+    print(welfare_comparison_table(results, by=("mechanism",)))
     print()
+
+    # 4. Full per-round detail stays available: reload LT-VCG's event log.
+    lt_vcg = next(r for r in results if r.mechanism == "lt-vcg" and r.completed)
+    log = load_event_log(lt_vcg.event_log_path)
+    budget = budget_report(log, defaults["budget_per_round"])
+    print(f"LT-VCG avg spend / budget: {budget.average_spend:.3f} / "
+          f"{budget.budget_per_round} (compliant: {budget.compliant})")
     print(
         format_series(
             log.round_indices(),
@@ -61,7 +72,7 @@ def main() -> None:
                 "cumulative spend": log.cumulative(log.payment_series()),
             },
             x_label="round",
-            title="Trajectories",
+            title="LT-VCG trajectories",
             max_points=10,
         )
     )

@@ -1,17 +1,30 @@
-"""Command-line experiment runner.
+"""Command-line experiment runner and campaign orchestrator.
 
-Runs one configured experiment end to end and archives everything needed to
-regenerate its numbers: the resolved config, the JSON event log, and the
-printed summary tables.
+Single runs (the original interface) execute one configured experiment end
+to end and archive everything needed to regenerate its numbers: the
+resolved config, the JSON event log, and the printed summary tables.
+Campaigns fan a sweep grid across worker processes through
+:mod:`repro.orchestration`, persist per-cell results in a campaign
+directory, and resume after interruption without re-running finished cells.
 
 Usage::
 
+    # single runs
     python -m repro.cli --mechanism lt-vcg --rounds 300 --out results/run1
     python -m repro.cli --config my_experiment.json --out results/run2
     python -m repro.cli --list-mechanisms
 
+    # campaigns
+    python -m repro.cli sweep --out results/camp \\
+        --mechanisms lt-vcg,myopic-vcg,random --scenarios mechanism,energy \\
+        --seeds 0,1,2 --rounds 300
+    python -m repro.cli resume results/camp
+    python -m repro.cli report results/camp --logs
+
 The config file is an :class:`repro.config.ExperimentConfig` JSON document;
-command-line flags override its fields.
+command-line flags override its fields.  Mechanism names resolve through
+the :mod:`repro.mechanisms.registry`, the single source of truth shared
+with the orchestrator.
 """
 
 from __future__ import annotations
@@ -19,147 +32,40 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from typing import Any
 
-import numpy as np
-
-from repro.analysis.budget import budget_report
-from repro.analysis.fairness import jain_index, participation_rates
-from repro.analysis.welfare import welfare_summary
 from repro.config import ExperimentConfig
-from repro.core.longterm_vcg import LongTermVCGConfig, LongTermVCGMechanism
-from repro.core.mechanism import Mechanism
-from repro.mechanisms import (
-    AllAvailableMechanism,
-    FixedPriceMechanism,
-    GreedyFirstPriceMechanism,
-    MyopicVCGMechanism,
-    ProportionalShareMechanism,
-    RandomSelectionMechanism,
-)
-from repro.simulation.replay import save_event_log
-from repro.simulation.runner import SimulationRunner
-from repro.simulation.scenarios import build_fl_scenario, build_mechanism_scenario
+from repro.mechanisms.registry import build_mechanism, mechanism_names
 from repro.utils.tables import format_table
 
-__all__ = ["main", "build_mechanism", "MECHANISM_NAMES"]
+__all__ = ["main", "build_mechanism", "run_experiment", "MECHANISM_NAMES"]
 
-MECHANISM_NAMES = (
-    "lt-vcg",
-    "lt-vcg-greedy",
-    "myopic-vcg",
-    "prop-share",
-    "greedy-first-price",
-    "fixed-price",
-    "random",
-    "all-available",
-)
-
-
-def build_mechanism(config: ExperimentConfig) -> Mechanism:
-    """Instantiate the mechanism named in ``config.name``-agnostic field.
-
-    The mechanism name is taken from ``config.extras['mechanism']``
-    (defaulting to ``lt-vcg``).
-    """
-    name = str(config.extras.get("mechanism", "lt-vcg"))
-    targets = None
-    if config.participation_target > 0:
-        targets = {
-            cid: config.participation_target for cid in range(config.num_clients)
-        }
-    if name in ("lt-vcg", "lt-vcg-greedy"):
-        return LongTermVCGMechanism(
-            LongTermVCGConfig(
-                v=config.v,
-                budget_per_round=config.budget_per_round,
-                max_winners=config.max_winners,
-                wd_method="greedy" if name.endswith("greedy") else config.wd_method,
-                participation_targets=targets,
-                sustainability_weight=config.sustainability_weight,
-            )
-        )
-    if name == "myopic-vcg":
-        return MyopicVCGMechanism(max_winners=config.max_winners)
-    if name == "prop-share":
-        return ProportionalShareMechanism(config.budget_per_round, config.max_winners)
-    if name == "greedy-first-price":
-        return GreedyFirstPriceMechanism(config.budget_per_round, config.max_winners)
-    if name == "fixed-price":
-        price = float(config.extras.get("price", 1.0))
-        return FixedPriceMechanism(price=price, max_winners=config.max_winners)
-    if name == "random":
-        return RandomSelectionMechanism(
-            config.max_winners, np.random.default_rng(config.seed + 1)
-        )
-    if name == "all-available":
-        return AllAvailableMechanism()
-    raise ValueError(
-        f"unknown mechanism {name!r}; choose from {', '.join(MECHANISM_NAMES)}"
-    )
+MECHANISM_NAMES = mechanism_names()
 
 
 def run_experiment(config: ExperimentConfig, out_dir: Path | None) -> dict:
-    """Run one experiment; returns the summary dictionary."""
-    mechanism = build_mechanism(config)
-    with_fl = bool(config.extras.get("fl", False))
-    if with_fl:
-        scenario = build_fl_scenario(
-            config.num_clients,
-            seed=config.seed,
-            num_samples=config.num_samples,
-            dirichlet_alpha=config.dirichlet_alpha,
-            model=config.model,
-            local_steps=config.local_steps,
-            batch_size=config.batch_size,
-            learning_rate=config.learning_rate,
-            eval_every=config.eval_every,
-            energy_constrained=config.energy_constrained,
-        )
-    else:
-        scenario = build_mechanism_scenario(
-            config.num_clients,
-            seed=config.seed,
-            energy_constrained=config.energy_constrained,
-        )
-    runner = SimulationRunner(
-        mechanism,
-        scenario.clients,
-        scenario.valuation,
-        fl=scenario.fl,
-        seed=config.seed + 7,
-    )
-    log = runner.run(config.num_rounds)
+    """Run one experiment; returns the summary dictionary.
 
-    summary = welfare_summary(log)
-    budget = budget_report(log, config.budget_per_round)
-    rates = list(
-        participation_rates(log, list(range(config.num_clients))).values()
-    )
-    result = {
-        "mechanism": str(config.extras.get("mechanism", "lt-vcg")),
-        "rounds": len(log),
-        "total_welfare": summary.total_welfare,
-        "average_payment": summary.average_payment,
-        "spend_over_budget": budget.final_overspend_ratio,
-        "budget_compliant": budget.compliant,
-        "winners_per_round": summary.winners_per_round,
-        "jain_index": jain_index(rates),
-    }
-    xs, accuracies = log.accuracy_series()
-    if accuracies:
-        result["final_accuracy"] = accuracies[-1]
+    Delegates to :func:`repro.orchestration.worker.execute_config` (the same
+    code path sweep cells run) and strips the wall-clock timing keys so the
+    summary is deterministic for a given config.
+    """
+    from repro.orchestration.worker import execute_config
 
+    result = execute_config(config, out_dir)
+    for key in ("sim_seconds", "rounds_per_second"):
+        result.pop(key, None)
     if out_dir is not None:
-        out_dir.mkdir(parents=True, exist_ok=True)
-        config.save(out_dir / "config.json")
-        save_event_log(out_dir / "event_log.json", log)
         from repro.utils.serialization import save_json
 
-        save_json(out_dir / "summary.json", result)
+        save_json(Path(out_dir) / "summary.json", result)
     return result
 
 
-def _build_parser() -> argparse.ArgumentParser:
+# -- single-run interface (legacy flags, no subcommand) ----------------------
+
+
+def _build_single_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="Run one LT-VCG experiment end to end."
     )
@@ -185,9 +91,8 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+def _main_single(argv: list[str]) -> int:
+    args = _build_single_parser().parse_args(argv)
     if args.list_mechanisms:
         print("\n".join(MECHANISM_NAMES))
         return 0
@@ -219,6 +124,190 @@ def main(argv: list[str] | None = None) -> int:
         )
     )
     return 0
+
+
+# -- campaign subcommands ----------------------------------------------------
+
+
+def _parse_value(token: str) -> Any:
+    """int → float → bool → str, in that order (for --seeds/--param values)."""
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            pass
+    if token.lower() in ("true", "false"):
+        return token.lower() == "true"
+    return token
+
+
+def _parse_axis(text: str) -> tuple[Any, ...]:
+    return tuple(_parse_value(token) for token in text.split(",") if token)
+
+
+def _print_progress(outcome: dict, done: int, total: int) -> None:
+    status = outcome["status"]
+    print(
+        f"[{done}/{total}] {outcome['cell_id']}: {status} "
+        f"({outcome['duration_seconds']:.2f}s)",
+        flush=True,
+    )
+
+
+def _main_sweep(argv: list[str]) -> int:
+    from repro.orchestration import SCENARIO_NAMES, SweepSpec, run_campaign
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli sweep",
+        description="Run a (mechanism × scenario × seed × params) campaign.",
+    )
+    parser.add_argument("--out", type=Path, required=True, help="campaign directory")
+    parser.add_argument("--config", type=Path, help="base ExperimentConfig JSON")
+    parser.add_argument(
+        "--mechanisms", default="lt-vcg",
+        help=f"comma list from: {', '.join(MECHANISM_NAMES)}",
+    )
+    parser.add_argument(
+        "--scenarios", default="mechanism",
+        help=f"comma list from: {', '.join(SCENARIO_NAMES)}",
+    )
+    parser.add_argument("--seeds", default="0", help="comma list of seeds")
+    parser.add_argument(
+        "--param", action="append", default=[], metavar="KEY=V1,V2",
+        help="extra sweep axis (repeatable); config fields or extras keys",
+    )
+    parser.add_argument("--rounds", type=int, dest="num_rounds")
+    parser.add_argument("--clients", type=int, dest="num_clients")
+    parser.add_argument("--max-winners", type=int, dest="max_winners")
+    parser.add_argument("--v", type=float)
+    parser.add_argument("--budget", type=float, dest="budget_per_round")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width (0 = run inline; default: cpu count)",
+    )
+    parser.add_argument(
+        "--regret", action="store_true", help="also compute hindsight regret per cell"
+    )
+    parser.add_argument(
+        "--fresh", action="store_true", help="re-run cells already recorded"
+    )
+    parser.add_argument("--name", default="campaign")
+    args = parser.parse_args(argv)
+
+    base = ExperimentConfig.load(args.config) if args.config else ExperimentConfig()
+    overrides = {
+        field: getattr(args, field)
+        for field in ("num_rounds", "num_clients", "max_winners", "v",
+                      "budget_per_round")
+        if getattr(args, field) is not None
+    }
+    if overrides:
+        base = base.with_overrides(**overrides)
+
+    params: dict[str, tuple[Any, ...]] = {}
+    for item in args.param:
+        key, _, values = item.partition("=")
+        if not key or not values:
+            parser.error(f"--param must look like KEY=V1,V2 (got {item!r})")
+        params[key] = _parse_axis(values)
+
+    try:
+        spec = SweepSpec(
+            base=base,
+            mechanisms=tuple(m for m in args.mechanisms.split(",") if m),
+            scenarios=tuple(s for s in args.scenarios.split(",") if s),
+            seeds=tuple(int(seed) for seed in _parse_axis(args.seeds)),
+            params=params,
+            compute_regret=args.regret,
+            name=args.name,
+        )
+        # Expanding up front surfaces invalid config-field param values
+        # (e.g. --param num_rounds=0) as a clean CLI error too.
+        num_cells = len(spec.expand())
+    except ValueError as error:
+        parser.error(str(error))
+    print(f"campaign {spec.name!r}: {num_cells} cells -> {args.out}")
+    try:
+        summary = run_campaign(
+            spec,
+            args.out,
+            max_workers=args.workers,
+            resume=not args.fresh,
+            progress=_print_progress,
+        )
+    except ValueError as error:  # e.g. directory holds a different campaign
+        parser.error(str(error))
+    return _finish_campaign(summary, args.out)
+
+
+def _main_resume(argv: list[str]) -> int:
+    from repro.orchestration import resume_campaign
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli resume",
+        description="Resume an interrupted campaign from its directory.",
+    )
+    parser.add_argument("campaign_dir", type=Path)
+    parser.add_argument("--workers", type=int, default=None)
+    args = parser.parse_args(argv)
+    summary = resume_campaign(
+        args.campaign_dir, max_workers=args.workers, progress=_print_progress
+    )
+    return _finish_campaign(summary, args.campaign_dir)
+
+
+def _finish_campaign(summary, campaign_dir: Path) -> int:
+    from repro.orchestration import campaign_report
+
+    print(
+        f"done: {summary.completed} completed, {summary.skipped} skipped "
+        f"(already done), {summary.failed} failed"
+    )
+    print()
+    print(campaign_report(campaign_dir))
+    return 1 if summary.failed else 0
+
+
+def _main_report(argv: list[str]) -> int:
+    from repro.orchestration import campaign_report
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli report",
+        description="Regenerate comparison tables from a campaign directory.",
+    )
+    parser.add_argument("campaign_dir", type=Path)
+    parser.add_argument(
+        "--by", default="mechanism,scenario",
+        help="comma list of grouping axes (mechanism, scenario, seed, or a param)",
+    )
+    parser.add_argument(
+        "--logs", action="store_true",
+        help="also rebuild single-slice tables from archived event logs",
+    )
+    args = parser.parse_args(argv)
+    print(
+        campaign_report(
+            args.campaign_dir,
+            by=tuple(args.by.split(",")),
+            include_event_logs=args.logs,
+        )
+    )
+    return 0
+
+
+_SUBCOMMANDS = {
+    "sweep": _main_sweep,
+    "resume": _main_resume,
+    "report": _main_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
+    return _main_single(argv)
 
 
 if __name__ == "__main__":

@@ -19,6 +19,10 @@ them can drive the simulator interchangeably with LT-VCG:
   hindsight welfare optimum used as the regret anchor.
 * :class:`~repro.mechanisms.oracle.AllAvailableMechanism` — recruit
   everyone, cost-no-object (learning-curve upper bound).
+
+:mod:`repro.mechanisms.registry` maps mechanism *names* to factories so the
+CLI and the orchestration subsystem construct mechanisms from one source of
+truth; extend it with :func:`register_mechanism`.
 """
 
 from repro.mechanisms.bandit_selection import EpsilonGreedyMechanism
@@ -29,6 +33,11 @@ from repro.mechanisms.myopic_vcg import MyopicVCGMechanism
 from repro.mechanisms.offline_optimal import OfflineOptimalPlanner, OfflinePlanMechanism
 from repro.mechanisms.oracle import AllAvailableMechanism
 from repro.mechanisms.random_selection import RandomSelectionMechanism
+from repro.mechanisms.registry import (
+    build_mechanism,
+    mechanism_names,
+    register_mechanism,
+)
 
 __all__ = [
     "AllAvailableMechanism",
@@ -40,4 +49,7 @@ __all__ = [
     "OfflinePlanMechanism",
     "ProportionalShareMechanism",
     "RandomSelectionMechanism",
+    "build_mechanism",
+    "mechanism_names",
+    "register_mechanism",
 ]

@@ -1,0 +1,148 @@
+"""Name → factory registry for mechanisms.
+
+The CLI, the orchestration subsystem, and user scripts all need to turn a
+mechanism *name* (a string in a config file or on a command line) into a
+constructed :class:`~repro.core.mechanism.Mechanism`.  This registry is the
+single source of truth for that mapping: each factory receives the full
+:class:`~repro.config.ExperimentConfig` and builds a mechanism from it, so
+every consumer resolves names identically.
+
+Registering a new mechanism is one decorator::
+
+    @register_mechanism("my-mechanism")
+    def _build_my_mechanism(config: ExperimentConfig) -> Mechanism:
+        return MyMechanism(config.budget_per_round, config.max_winners)
+
+after which ``python -m repro.cli --mechanism my-mechanism`` and sweep grids
+over ``"my-mechanism"`` both work with no further wiring.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.config import ExperimentConfig
+from repro.core.longterm_vcg import LongTermVCGConfig, LongTermVCGMechanism
+from repro.core.mechanism import Mechanism
+from repro.mechanisms.bandit_selection import EpsilonGreedyMechanism
+from repro.mechanisms.fixed_price import FixedPriceMechanism
+from repro.mechanisms.greedy_critical import ProportionalShareMechanism
+from repro.mechanisms.greedy_first_price import GreedyFirstPriceMechanism
+from repro.mechanisms.myopic_vcg import MyopicVCGMechanism
+from repro.mechanisms.oracle import AllAvailableMechanism
+from repro.mechanisms.random_selection import RandomSelectionMechanism
+
+__all__ = ["MechanismFactory", "register_mechanism", "mechanism_names", "build_mechanism"]
+
+MechanismFactory = Callable[[ExperimentConfig], Mechanism]
+
+_REGISTRY: dict[str, MechanismFactory] = {}
+
+
+def register_mechanism(name: str) -> Callable[[MechanismFactory], MechanismFactory]:
+    """Decorator registering ``factory`` under ``name`` (must be unique)."""
+
+    def decorate(factory: MechanismFactory) -> MechanismFactory:
+        if name in _REGISTRY:
+            raise ValueError(f"mechanism {name!r} already registered")
+        _REGISTRY[name] = factory
+        return factory
+
+    return decorate
+
+
+def mechanism_names() -> tuple[str, ...]:
+    """All registered mechanism names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def build_mechanism(config: ExperimentConfig) -> Mechanism:
+    """Instantiate the mechanism named in ``config.extras['mechanism']``
+    (defaulting to ``lt-vcg``) from the registry.
+    """
+    name = str(config.extras.get("mechanism", "lt-vcg"))
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown mechanism {name!r}; choose from {', '.join(_REGISTRY)}"
+        )
+    return factory(config)
+
+
+def _participation_targets(config: ExperimentConfig) -> dict[int, float] | None:
+    if config.participation_target > 0:
+        return {cid: config.participation_target for cid in range(config.num_clients)}
+    return None
+
+
+@register_mechanism("lt-vcg")
+def _build_lt_vcg(config: ExperimentConfig) -> Mechanism:
+    return LongTermVCGMechanism(
+        LongTermVCGConfig(
+            v=config.v,
+            budget_per_round=config.budget_per_round,
+            max_winners=config.max_winners,
+            wd_method=config.wd_method,
+            participation_targets=_participation_targets(config),
+            sustainability_weight=config.sustainability_weight,
+        )
+    )
+
+
+@register_mechanism("lt-vcg-greedy")
+def _build_lt_vcg_greedy(config: ExperimentConfig) -> Mechanism:
+    return LongTermVCGMechanism(
+        LongTermVCGConfig(
+            v=config.v,
+            budget_per_round=config.budget_per_round,
+            max_winners=config.max_winners,
+            wd_method="greedy",
+            participation_targets=_participation_targets(config),
+            sustainability_weight=config.sustainability_weight,
+        )
+    )
+
+
+@register_mechanism("myopic-vcg")
+def _build_myopic_vcg(config: ExperimentConfig) -> Mechanism:
+    return MyopicVCGMechanism(max_winners=config.max_winners)
+
+
+@register_mechanism("prop-share")
+def _build_prop_share(config: ExperimentConfig) -> Mechanism:
+    return ProportionalShareMechanism(config.budget_per_round, config.max_winners)
+
+
+@register_mechanism("greedy-first-price")
+def _build_greedy_first_price(config: ExperimentConfig) -> Mechanism:
+    return GreedyFirstPriceMechanism(config.budget_per_round, config.max_winners)
+
+
+@register_mechanism("fixed-price")
+def _build_fixed_price(config: ExperimentConfig) -> Mechanism:
+    price = float(config.extras.get("price", 1.0))
+    return FixedPriceMechanism(price=price, max_winners=config.max_winners)
+
+
+@register_mechanism("random")
+def _build_random(config: ExperimentConfig) -> Mechanism:
+    return RandomSelectionMechanism(
+        config.max_winners, np.random.default_rng(config.seed + 1)
+    )
+
+
+@register_mechanism("all-available")
+def _build_all_available(config: ExperimentConfig) -> Mechanism:
+    return AllAvailableMechanism()
+
+
+@register_mechanism("epsilon-greedy")
+def _build_epsilon_greedy(config: ExperimentConfig) -> Mechanism:
+    return EpsilonGreedyMechanism(
+        config.budget_per_round,
+        config.max_winners,
+        epsilon=float(config.extras.get("epsilon", 0.1)),
+        rng=np.random.default_rng(config.seed + 2),
+    )

@@ -1,0 +1,71 @@
+"""Parallel experiment orchestration: sweep grids, result store, resume.
+
+The paper's claims rest on multi-seed, multi-mechanism sweeps; this
+subsystem turns those campaigns from hand-rolled loops into declarative,
+parallel, resumable runs:
+
+* :class:`SweepSpec` / :class:`CellSpec` — a declarative
+  (mechanism × scenario × seed × params) grid expanded from one base
+  :class:`~repro.config.ExperimentConfig` (:mod:`repro.orchestration.sweep`).
+* :func:`run_campaign` / :func:`resume_campaign` — fan cells across a
+  process pool with deterministic per-cell seeding, per-cell timing, and
+  graceful failure capture (:mod:`repro.orchestration.executor`).
+* :class:`ResultStore` / :class:`CellResult` — SQLite index plus JSONL
+  audit trail and per-cell event-log artifacts under one campaign
+  directory; the checkpoint resume skips from
+  (:mod:`repro.orchestration.store`).
+* :func:`campaign_report`, :func:`welfare_comparison_table`,
+  :func:`aggregate_metric` — regenerate the paper's comparison tables from
+  stored results via :mod:`repro.analysis`
+  (:mod:`repro.orchestration.report`).
+
+Quickstart::
+
+    from repro.config import ExperimentConfig
+    from repro.orchestration import SweepSpec, run_campaign, campaign_report
+
+    spec = SweepSpec(
+        base=ExperimentConfig(num_clients=30, num_rounds=200),
+        mechanisms=("lt-vcg", "myopic-vcg", "random"),
+        scenarios=("mechanism", "energy"),
+        seeds=(0, 1, 2),
+    )
+    run_campaign(spec, "results/campaign")          # parallel, resumable
+    print(campaign_report("results/campaign"))      # E2-style tables
+
+The CLI mirrors this as ``python -m repro.cli sweep | resume | report``.
+"""
+
+from repro.orchestration.executor import (
+    CampaignSummary,
+    resume_campaign,
+    run_campaign,
+)
+from repro.orchestration.report import (
+    aggregate_metric,
+    campaign_report,
+    event_log_tables,
+    load_results,
+    welfare_comparison_table,
+)
+from repro.orchestration.store import CellResult, ResultStore
+from repro.orchestration.sweep import SCENARIO_NAMES, CellSpec, SweepSpec
+from repro.orchestration.worker import execute_config, run_cell
+
+__all__ = [
+    "SCENARIO_NAMES",
+    "CampaignSummary",
+    "CellResult",
+    "CellSpec",
+    "ResultStore",
+    "SweepSpec",
+    "aggregate_metric",
+    "campaign_report",
+    "event_log_tables",
+    "execute_config",
+    "load_results",
+    "resume_campaign",
+    "run_campaign",
+    "run_cell",
+    "welfare_comparison_table",
+]

@@ -1,0 +1,215 @@
+"""Campaign execution: fan a sweep grid across worker processes.
+
+:func:`run_campaign` is the one entry point.  It expands the grid, skips
+every cell the campaign's :class:`~repro.orchestration.store.ResultStore`
+already holds (checkpoint/resume), and dispatches the remainder to a
+:class:`concurrent.futures.ProcessPoolExecutor` — or runs them inline with
+``max_workers=0``, which keeps tests and debuggers single-process.
+
+Results are persisted *as each cell completes*, so killing a campaign at
+any point loses at most the in-flight cells: rerunning the same command (or
+``python -m repro.cli resume <dir>``) picks up where it stopped.  A cell
+that crashes records its traceback and the campaign keeps going; the
+failure surfaces in the summary and the report instead of as a dead
+process.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.logging_utils import get_logger
+from repro.orchestration.store import ResultStore
+from repro.orchestration.sweep import CellSpec, SweepSpec
+from repro.orchestration.worker import run_cell
+
+__all__ = ["CampaignSummary", "run_campaign", "resume_campaign"]
+
+_LOGGER = get_logger("orchestration.executor")
+
+SWEEP_SPEC_NAME = "sweep.json"
+CELLS_DIR_NAME = "cells"
+
+ProgressCallback = Callable[[dict[str, Any], int, int], None]
+
+
+@dataclass(frozen=True)
+class CampaignSummary:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    campaign_dir: Path
+    total_cells: int
+    executed: int
+    skipped: int
+    failed: int
+
+    @property
+    def completed(self) -> int:
+        """Cells that finished successfully in this invocation."""
+        return self.executed - self.failed
+
+
+def _payload(cell: CellSpec, campaign_dir: Path) -> dict[str, Any]:
+    cell_dir = campaign_dir / CELLS_DIR_NAME / cell.cell_id
+    return {"cell": cell.to_dict(), "cell_dir": str(cell_dir)}
+
+
+def _record(store: ResultStore, cell: CellSpec, outcome: dict[str, Any]) -> None:
+    if outcome["status"] == "completed":
+        # Store the artifact path relative to the campaign directory so the
+        # directory stays self-contained (movable across cwds/machines);
+        # ResultStore.results() resolves it back to an absolute path.
+        log_path = outcome["event_log_path"]
+        if log_path is not None:
+            try:
+                log_path = str(
+                    Path(log_path).relative_to(store.campaign_dir)
+                )
+            except ValueError:
+                pass  # outside the campaign dir: keep as given
+        store.record_success(
+            cell,
+            outcome["metrics"],
+            duration_seconds=outcome["duration_seconds"],
+            event_log_path=log_path,
+        )
+    else:
+        _LOGGER.warning("cell %s failed:\n%s", cell.cell_id, outcome.get("error"))
+        store.record_failure(
+            cell, outcome.get("error", "unknown error"),
+            duration_seconds=outcome["duration_seconds"],
+        )
+
+
+def run_campaign(
+    spec: SweepSpec,
+    campaign_dir: str | Path,
+    *,
+    max_workers: int | None = None,
+    resume: bool = True,
+    progress: ProgressCallback | None = None,
+) -> CampaignSummary:
+    """Run (or resume) a sweep campaign; returns the invocation summary.
+
+    Parameters
+    ----------
+    spec:
+        The grid to run.  It is archived as ``sweep.json`` inside the
+        campaign directory so ``resume``/``report`` need only the path.
+    campaign_dir:
+        Where the result store and per-cell artifacts live.  Reusing a
+        directory resumes it (completed cells are skipped) as long as
+        ``resume`` stays True.
+    max_workers:
+        Process-pool width; defaults to ``os.cpu_count()`` capped by the
+        number of pending cells.  ``0`` runs cells inline in this process.
+    resume:
+        When False, every cell is re-executed even if already recorded.
+    progress:
+        Optional ``(outcome_dict, done_so_far, total_pending)`` callback,
+        invoked after each cell's result is persisted.
+    """
+    campaign_dir = Path(campaign_dir)
+    campaign_dir.mkdir(parents=True, exist_ok=True)
+    spec_path = campaign_dir / SWEEP_SPEC_NAME
+    if resume and spec_path.exists():
+        existing = SweepSpec.load(spec_path)
+        if existing != spec:
+            # Cell ids encode only the axis values, not the base config, so
+            # resuming a different spec would silently present the old
+            # campaign's stored results as this spec's numbers.
+            raise ValueError(
+                f"{campaign_dir} already holds a different campaign "
+                f"({existing.name!r}); use a new directory, or resume=False "
+                f"(--fresh) to re-run every cell under the new spec"
+            )
+    spec.save(spec_path)
+
+    cells = spec.expand()
+    with ResultStore(campaign_dir) as store:
+        done = store.completed_ids() if resume else set()
+        pending = [cell for cell in cells if cell.cell_id not in done]
+        skipped = len(cells) - len(pending)
+        if skipped:
+            _LOGGER.info("resume: skipping %d completed cells", skipped)
+
+        failed = 0
+        executed = 0
+        if not pending:
+            return CampaignSummary(campaign_dir, len(cells), 0, skipped, 0)
+
+        if max_workers == 0:
+            for cell in pending:
+                outcome = run_cell(_payload(cell, campaign_dir))
+                executed += 1
+                failed += outcome["status"] != "completed"
+                _record(store, cell, outcome)
+                if progress is not None:
+                    progress(outcome, executed, len(pending))
+        else:
+            if max_workers is None:
+                max_workers = os.cpu_count() or 1
+            max_workers = max(1, min(max_workers, len(pending)))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = {
+                    pool.submit(run_cell, _payload(cell, campaign_dir)): cell
+                    for cell in pending
+                }
+                try:
+                    remaining = set(futures)
+                    while remaining:
+                        finished, remaining = wait(
+                            remaining, return_when=FIRST_COMPLETED
+                        )
+                        for future in finished:
+                            cell = futures[future]
+                            error = future.exception()
+                            if error is not None:
+                                # Infrastructure failure (e.g. a worker died
+                                # hard); attribute it to the cell and go on.
+                                outcome = {
+                                    "cell_id": cell.cell_id,
+                                    "status": "failed",
+                                    "error": repr(error),
+                                    "duration_seconds": 0.0,
+                                    "event_log_path": None,
+                                }
+                            else:
+                                outcome = future.result()
+                            executed += 1
+                            failed += outcome["status"] != "completed"
+                            _record(store, cell, outcome)
+                            if progress is not None:
+                                progress(outcome, executed, len(pending))
+                except KeyboardInterrupt:
+                    # Completed cells are already persisted; drop the rest
+                    # so the campaign can resume from the checkpoint.
+                    for future in remaining:
+                        future.cancel()
+                    raise
+
+    return CampaignSummary(campaign_dir, len(cells), executed, skipped, failed)
+
+
+def resume_campaign(
+    campaign_dir: str | Path,
+    *,
+    max_workers: int | None = None,
+    progress: ProgressCallback | None = None,
+) -> CampaignSummary:
+    """Resume a campaign from its directory alone (re-reads ``sweep.json``)."""
+    campaign_dir = Path(campaign_dir)
+    spec_path = campaign_dir / SWEEP_SPEC_NAME
+    if not spec_path.exists():
+        raise FileNotFoundError(
+            f"{spec_path} not found — is {campaign_dir} a campaign directory?"
+        )
+    spec = SweepSpec.load(spec_path)
+    return run_campaign(
+        spec, campaign_dir, max_workers=max_workers, resume=True, progress=progress
+    )

@@ -1,0 +1,296 @@
+"""Campaign aggregation: stored cells in, paper-style tables out.
+
+Two complementary views of a finished (or partially finished) campaign:
+
+* **Metric aggregation** — group the result store's per-cell metric rows by
+  any axes and summarise each group across seeds with
+  :func:`repro.analysis.stats.summarize` (mean ± CI).  This is how the
+  paper's multi-seed comparison tables (E2/E11 style) are regenerated
+  without re-simulating anything.
+* **Event-log slices** — reload the archived per-cell event logs of one
+  (scenario, seed) slice and hand them to
+  :mod:`repro.analysis.reporting`, reproducing the single-run headline
+  tables exactly as the benchmarks print them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.analysis.reporting import mechanism_comparison_table, payment_table
+from repro.analysis.stats import SummaryStatistics, summarize
+from repro.config import ExperimentConfig
+from repro.orchestration.store import CellResult, ResultStore
+from repro.simulation.events import EventLog
+from repro.simulation.replay import load_event_log
+from repro.utils.serialization import load_json
+from repro.utils.tables import format_table
+
+__all__ = [
+    "load_results",
+    "group_results",
+    "aggregate_metric",
+    "welfare_comparison_table",
+    "throughput_table",
+    "failure_table",
+    "slice_event_logs",
+    "event_log_tables",
+    "campaign_report",
+]
+
+GroupKey = tuple[str, ...]
+
+
+def load_results(campaign_dir: str | Path) -> list[CellResult]:
+    """All recorded cells of a campaign directory.
+
+    A directory without a result store yields an empty list (and is not
+    created as a side effect — reporting is read-only).
+    """
+    campaign_dir = Path(campaign_dir)
+    if not (campaign_dir / ResultStore.DB_NAME).exists():
+        return []
+    with ResultStore(campaign_dir) as store:
+        return store.results()
+
+
+def _key_of(result: CellResult, by: Sequence[str]) -> GroupKey:
+    parts = []
+    for axis in by:
+        if axis == "mechanism":
+            parts.append(result.mechanism)
+        elif axis == "scenario":
+            parts.append(result.scenario)
+        elif axis == "seed":
+            parts.append(str(result.seed))
+        else:
+            parts.append(str(result.params.get(axis, "-")))
+    return tuple(parts)
+
+
+def group_results(
+    results: Iterable[CellResult], by: Sequence[str] = ("mechanism",)
+) -> dict[GroupKey, list[CellResult]]:
+    """Group completed cells by axis values (insertion-ordered)."""
+    groups: dict[GroupKey, list[CellResult]] = {}
+    for result in results:
+        if not result.completed:
+            continue
+        groups.setdefault(_key_of(result, by), []).append(result)
+    return groups
+
+
+def aggregate_metric(
+    results: Iterable[CellResult],
+    metric: str,
+    *,
+    by: Sequence[str] = ("mechanism",),
+) -> dict[GroupKey, SummaryStatistics]:
+    """Mean ± CI of one stored metric per group (groups missing it skipped)."""
+    aggregates = {}
+    for key, members in group_results(results, by).items():
+        values = [
+            float(member.metrics[metric])
+            for member in members
+            if metric in member.metrics and member.metrics[metric] is not None
+        ]
+        if values:
+            aggregates[key] = summarize(values)
+    return aggregates
+
+
+def welfare_comparison_table(
+    results: Iterable[CellResult],
+    *,
+    by: Sequence[str] = ("mechanism", "scenario"),
+    title: str = "Campaign welfare comparison",
+) -> str:
+    """The E2-style headline table, aggregated across seeds per group."""
+    results = list(results)
+    rows = []
+    for key, members in group_results(results, by).items():
+        welfare = summarize([m.metrics["total_welfare"] for m in members])
+        spend = summarize([m.metrics["average_payment"] for m in members])
+        over = summarize([m.metrics["spend_over_budget"] for m in members])
+        winners = summarize([m.metrics["winners_per_round"] for m in members])
+        jain = summarize([m.metrics["jain_index"] for m in members])
+        compliant = sum(bool(m.metrics["budget_compliant"]) for m in members)
+        rows.append(
+            [
+                " / ".join(key),
+                welfare.mean,
+                (welfare.ci_high - welfare.ci_low) / 2,
+                spend.mean,
+                over.mean,
+                f"{compliant}/{len(members)}",
+                winners.mean,
+                jain.mean,
+            ]
+        )
+    return format_table(
+        [
+            " × ".join(by),
+            "welfare (mean)",
+            "±ci",
+            "avg_spend/round",
+            "spend/budget",
+            "compliant",
+            "winners/round",
+            "jain",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def throughput_table(
+    results: Iterable[CellResult], *, title: str = "Cell throughput"
+) -> str:
+    """Per-group wall-clock timing: how fast the campaign simulates."""
+    rows = []
+    for key, members in group_results(results, ("mechanism", "scenario")).items():
+        duration = summarize([m.duration_seconds for m in members])
+        rps = summarize(
+            [float(m.metrics.get("rounds_per_second", 0.0)) for m in members]
+        )
+        rows.append([" / ".join(key), len(members), duration.mean, rps.mean])
+    return format_table(
+        ["mechanism / scenario", "cells", "sec/cell (mean)", "rounds/sec (mean)"],
+        rows,
+        title=title,
+    )
+
+
+def failure_table(
+    results: Iterable[CellResult], *, title: str = "Failed cells"
+) -> str | None:
+    """Crashed cells and the last line of each traceback, or None if clean."""
+    rows = []
+    for result in results:
+        if result.status != "failed":
+            continue
+        last_line = (result.error or "").strip().splitlines()[-1:]
+        rows.append(
+            [result.cell_id, result.attempts, last_line[0] if last_line else "?"]
+        )
+    if not rows:
+        return None
+    return format_table(["cell_id", "attempts", "error"], rows, title=title)
+
+
+def _resolve_slice(
+    completed: list[CellResult], scenario: str | None, seed: int | None
+) -> tuple[str | None, int | None]:
+    """Default a (scenario, seed) slice to the first one present."""
+    if not completed:
+        return scenario, seed
+    if scenario is None:
+        scenario = completed[0].scenario
+    if seed is None:
+        seeds = sorted({r.seed for r in completed if r.scenario == scenario})
+        seed = seeds[0] if seeds else None
+    return scenario, seed
+
+
+def slice_event_logs(
+    results: Iterable[CellResult],
+    *,
+    scenario: str | None = None,
+    seed: int | None = None,
+) -> dict[str, EventLog]:
+    """Reload archived event logs of one slice, keyed by mechanism name.
+
+    Defaults to the first scenario/seed present, so a plain
+    ``slice_event_logs(results)`` yields one log per mechanism from a
+    mutually comparable environment.
+    """
+    completed = [r for r in results if r.completed and r.event_log_path]
+    scenario, seed = _resolve_slice(completed, scenario, seed)
+    logs: dict[str, EventLog] = {}
+    for result in completed:
+        if result.scenario != scenario or result.seed != seed:
+            continue
+        if result.mechanism in logs:  # param axes: keep the first variant
+            continue
+        path = Path(result.event_log_path)
+        if path.exists():
+            logs[result.mechanism] = load_event_log(path)
+    return logs
+
+
+def event_log_tables(
+    campaign_dir: str | Path,
+    *,
+    scenario: str | None = None,
+    seed: int | None = None,
+) -> str | None:
+    """Single-slice headline tables via :mod:`repro.analysis.reporting`.
+
+    Reconstructs the benchmark-style mechanism-comparison and payment
+    tables from the archived event logs of one (scenario, seed) slice, or
+    returns None when the campaign has no reloadable logs.
+    """
+    campaign_dir = Path(campaign_dir)
+    results = load_results(campaign_dir)
+    completed = [r for r in results if r.completed and r.event_log_path]
+    scenario, seed = _resolve_slice(completed, scenario, seed)
+    logs = slice_event_logs(results, scenario=scenario, seed=seed)
+    if not logs:
+        return None
+    # The config comes from a cell *inside* the slice so the budget and
+    # client count match the logs being tabulated.
+    sample = next(
+        r
+        for r in completed
+        if r.scenario == scenario and r.seed == seed and r.mechanism in logs
+    )
+    config = ExperimentConfig(
+        **load_json(campaign_dir / "cells" / sample.cell_id / "config.json")
+    )
+    table = mechanism_comparison_table(
+        logs,
+        budget_per_round=config.budget_per_round,
+        client_ids=list(range(config.num_clients)),
+        title=f"Mechanism comparison (scenario={scenario}, seed={seed})",
+    )
+    return table + "\n\n" + payment_table(logs)
+
+
+def campaign_report(
+    campaign_dir: str | Path,
+    *,
+    by: Sequence[str] = ("mechanism", "scenario"),
+    include_event_logs: bool = False,
+) -> str:
+    """The full text report of a campaign directory."""
+    results = load_results(campaign_dir)
+    completed = [r for r in results if r.completed]
+    sections = [
+        f"Campaign: {Path(campaign_dir).resolve()}",
+        f"cells recorded: {len(results)} ({len(completed)} completed, "
+        f"{len(results) - len(completed)} failed)",
+    ]
+    if completed:
+        sections.append(welfare_comparison_table(results, by=by))
+        sections.append(throughput_table(results))
+        accuracy = aggregate_metric(results, "final_accuracy", by=by)
+        if accuracy:
+            sections.append(
+                format_table(
+                    [" × ".join(by), "final_acc (mean)", "ci_low", "ci_high", "n"],
+                    [
+                        [" / ".join(key), s.mean, s.ci_low, s.ci_high, s.num_samples]
+                        for key, s in accuracy.items()
+                    ],
+                    title="Learning performance",
+                )
+            )
+    failures = failure_table(results)
+    if failures is not None:
+        sections.append(failures)
+    if include_event_logs:
+        log_tables = event_log_tables(campaign_dir)
+        if log_tables is not None:
+            sections.append(log_tables)
+    return "\n\n".join(sections)

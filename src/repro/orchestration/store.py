@@ -1,0 +1,250 @@
+"""Durable campaign results: SQLite index + JSONL artifact trail.
+
+A campaign directory is self-contained::
+
+    campaign/
+      sweep.json        — the SweepSpec that generated the grid
+      campaign.db       — SQLite: one row per cell (metrics, status, timing)
+      results.jsonl     — append-only mirror of every recorded outcome
+      cells/<cell_id>/  — per-cell artifacts (config.json, event_log.json)
+
+The SQLite table is the queryable index the aggregation layer reads and the
+checkpoint the executor resumes from (:meth:`ResultStore.completed_ids`);
+the JSONL mirror is the greppable, machine-independent audit trail.  Only
+the campaign's parent process writes — workers return their rows — so no
+cross-process locking is needed.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.utils.serialization import to_jsonable
+
+__all__ = ["CellResult", "ResultStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS cells (
+    cell_id TEXT PRIMARY KEY,
+    mechanism TEXT NOT NULL,
+    scenario TEXT NOT NULL,
+    seed INTEGER NOT NULL,
+    params TEXT NOT NULL,
+    status TEXT NOT NULL,
+    metrics TEXT,
+    error TEXT,
+    duration_seconds REAL NOT NULL DEFAULT 0.0,
+    attempts INTEGER NOT NULL DEFAULT 1,
+    event_log_path TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_cells_axes ON cells (mechanism, scenario, seed);
+CREATE INDEX IF NOT EXISTS idx_cells_status ON cells (status);
+"""
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One recorded cell outcome, as read back from the store."""
+
+    cell_id: str
+    mechanism: str
+    scenario: str
+    seed: int
+    params: dict[str, Any]
+    status: str
+    metrics: dict[str, Any] = field(default_factory=dict)
+    error: str | None = None
+    duration_seconds: float = 0.0
+    attempts: int = 1
+    event_log_path: str | None = None
+
+    @property
+    def completed(self) -> bool:
+        """Whether this cell finished successfully."""
+        return self.status == "completed"
+
+
+class ResultStore:
+    """Per-campaign persistent result index (context manager).
+
+    Parameters
+    ----------
+    campaign_dir:
+        Directory holding ``campaign.db`` and ``results.jsonl`` (created on
+        first use).
+    """
+
+    DB_NAME = "campaign.db"
+    JSONL_NAME = "results.jsonl"
+
+    def __init__(self, campaign_dir: str | Path) -> None:
+        self.campaign_dir = Path(campaign_dir)
+        self.campaign_dir.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.campaign_dir / self.DB_NAME)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- writes ------------------------------------------------------------
+
+    def _record(
+        self,
+        cell: "Any",
+        *,
+        status: str,
+        metrics: dict[str, Any] | None,
+        error: str | None,
+        duration_seconds: float,
+        event_log_path: str | None,
+    ) -> None:
+        row = self._conn.execute(
+            "SELECT attempts FROM cells WHERE cell_id = ?", (cell.cell_id,)
+        ).fetchone()
+        attempts = (int(row[0]) + 1) if row else 1
+        metrics_json = (
+            json.dumps(to_jsonable(metrics), sort_keys=True)
+            if metrics is not None
+            else None
+        )
+        self._conn.execute(
+            "INSERT OR REPLACE INTO cells "
+            "(cell_id, mechanism, scenario, seed, params, status, metrics, error,"
+            " duration_seconds, attempts, event_log_path) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                cell.cell_id,
+                cell.mechanism,
+                cell.scenario,
+                int(cell.seed),
+                json.dumps(to_jsonable(cell.params), sort_keys=True),
+                status,
+                metrics_json,
+                error,
+                float(duration_seconds),
+                attempts,
+                event_log_path,
+            ),
+        )
+        self._conn.commit()
+        entry = {
+            "cell_id": cell.cell_id,
+            "mechanism": cell.mechanism,
+            "scenario": cell.scenario,
+            "seed": int(cell.seed),
+            "params": to_jsonable(cell.params),
+            "status": status,
+            "metrics": to_jsonable(metrics) if metrics is not None else None,
+            "error": error,
+            "duration_seconds": float(duration_seconds),
+            "attempt": attempts,
+            "event_log_path": event_log_path,
+        }
+        with open(self.campaign_dir / self.JSONL_NAME, "a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def record_success(
+        self,
+        cell: "Any",
+        metrics: dict[str, Any],
+        *,
+        duration_seconds: float = 0.0,
+        event_log_path: str | None = None,
+    ) -> None:
+        """Record a completed cell (idempotent upsert; bumps ``attempts``)."""
+        self._record(
+            cell,
+            status="completed",
+            metrics=metrics,
+            error=None,
+            duration_seconds=duration_seconds,
+            event_log_path=event_log_path,
+        )
+
+    def record_failure(
+        self, cell: "Any", error: str, *, duration_seconds: float = 0.0
+    ) -> None:
+        """Record a crashed cell with its traceback; the campaign goes on."""
+        self._record(
+            cell,
+            status="failed",
+            metrics=None,
+            error=error,
+            duration_seconds=duration_seconds,
+            event_log_path=None,
+        )
+
+    # -- reads -------------------------------------------------------------
+
+    def completed_ids(self) -> set[str]:
+        """Cell ids already finished — the resume checkpoint."""
+        rows = self._conn.execute(
+            "SELECT cell_id FROM cells WHERE status = 'completed'"
+        ).fetchall()
+        return {row[0] for row in rows}
+
+    def results(self, *, status: str | None = None) -> list[CellResult]:
+        """All recorded cells (optionally filtered), ordered by cell id."""
+        query = (
+            "SELECT cell_id, mechanism, scenario, seed, params, status, metrics,"
+            " error, duration_seconds, attempts, event_log_path FROM cells"
+        )
+        args: tuple[Any, ...] = ()
+        if status is not None:
+            query += " WHERE status = ?"
+            args = (status,)
+        query += " ORDER BY cell_id"
+
+        def resolve(log_path: str | None) -> str | None:
+            # Relative artifact paths are campaign-dir-relative (the
+            # executor stores them that way so campaigns stay movable).
+            if log_path is None or Path(log_path).is_absolute():
+                return log_path
+            return str(self.campaign_dir / log_path)
+
+        return [
+            CellResult(
+                cell_id=row[0],
+                mechanism=row[1],
+                scenario=row[2],
+                seed=int(row[3]),
+                params=json.loads(row[4]),
+                status=row[5],
+                metrics=json.loads(row[6]) if row[6] else {},
+                error=row[7],
+                duration_seconds=float(row[8]),
+                attempts=int(row[9]),
+                event_log_path=resolve(row[10]),
+            )
+            for row in self._conn.execute(query, args).fetchall()
+        ]
+
+    def get(self, cell_id: str) -> CellResult | None:
+        """One cell's recorded outcome, or None if never recorded."""
+        for result in self.results():
+            if result.cell_id == cell_id:
+                return result
+        return None
+
+    def counts(self) -> dict[str, int]:
+        """Recorded cells per status."""
+        rows = self._conn.execute(
+            "SELECT status, COUNT(*) FROM cells GROUP BY status"
+        ).fetchall()
+        return {row[0]: int(row[1]) for row in rows}

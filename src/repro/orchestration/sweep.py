@@ -1,0 +1,258 @@
+"""Declarative sweep grids: axes in, runnable cells out.
+
+A :class:`SweepSpec` describes a whole experiment campaign as a base
+:class:`~repro.config.ExperimentConfig` plus axes — mechanisms, scenarios,
+seeds, and arbitrary parameter axes.  :meth:`SweepSpec.expand` takes the
+cartesian product and resolves every point into a :class:`CellSpec`: a
+fully materialised config plus a stable human-readable ``cell_id``.  Each
+cell's randomness derives from its resolved ``config.seed`` through
+:class:`~repro.rng.RngTree` namespaces (scenario builders and the worker's
+runner stream), so cells sharing a seed axis value face an identical
+environment and adding axes never perturbs other cells.
+
+Specs round-trip through JSON (``sweep.json`` inside a campaign directory),
+which is what makes campaigns resumable after a crash: the resume path
+reloads the spec, re-expands the identical grid, and skips every cell the
+result store already holds.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.config import ExperimentConfig
+from repro.mechanisms.registry import mechanism_names
+
+__all__ = ["SCENARIO_NAMES", "CellSpec", "SweepSpec"]
+
+# Scenario axis values understood by the worker: which simulation substrate
+# a cell runs on.  "mechanism" is economics-only (fast); "fl" attaches the
+# federated-learning substrate; "energy" battery-gates the population.
+SCENARIO_NAMES = ("mechanism", "energy", "fl", "fl-energy")
+
+_CONFIG_FIELDS = frozenset(ExperimentConfig.__dataclass_fields__)
+
+
+def _slug(value: Any) -> str:
+    """A filesystem-safe token for one axis value."""
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", str(value))
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One runnable point of a sweep grid.
+
+    ``config`` is fully resolved (mechanism name and scenario flags folded
+    into it), so a worker needs nothing but this object.  The environment
+    seed is ``config.seed`` — the seed axis value — so cells sharing it
+    face an identical population regardless of mechanism (the pairing
+    property multi-seed comparisons rely on); all per-cell streams are
+    :class:`~repro.rng.RngTree` children of that seed.
+    """
+
+    cell_id: str
+    mechanism: str
+    scenario: str
+    seed: int
+    params: dict[str, Any]
+    config: ExperimentConfig
+    compute_regret: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON- and pickle-friendly)."""
+        return {
+            "cell_id": self.cell_id,
+            "mechanism": self.mechanism,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "config": self.config.to_dict(),
+            "compute_regret": self.compute_regret,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CellSpec":
+        """Rebuild a cell from :meth:`to_dict` output."""
+        return cls(
+            cell_id=str(data["cell_id"]),
+            mechanism=str(data["mechanism"]),
+            scenario=str(data["scenario"]),
+            seed=int(data["seed"]),
+            params=dict(data["params"]),
+            config=ExperimentConfig(**data["config"]),
+            compute_regret=bool(data.get("compute_regret", False)),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid of (mechanism × scenario × seed × params) cells.
+
+    Parameters
+    ----------
+    base:
+        Config every cell starts from; axis values override its fields.
+    mechanisms:
+        Registry names (see :func:`repro.mechanisms.mechanism_names`).
+    scenarios:
+        Subset of :data:`SCENARIO_NAMES`.
+    seeds:
+        Environment seeds; one cell per seed per other-axis combination.
+    params:
+        Extra axes: field name → tuple of values.  Names matching an
+        :class:`ExperimentConfig` field override that field; anything else
+        lands in ``config.extras`` (e.g. ``price`` for fixed-price).
+    compute_regret:
+        When True every cell also solves the hindsight-optimal plan and
+        stores regret (slower; off by default).
+    name:
+        Campaign label used in reports.
+    """
+
+    base: ExperimentConfig = field(default_factory=ExperimentConfig)
+    mechanisms: tuple[str, ...] = ("lt-vcg",)
+    scenarios: tuple[str, ...] = ("mechanism",)
+    seeds: tuple[int, ...] = (0,)
+    params: dict[str, tuple[Any, ...]] = field(default_factory=dict)
+    compute_regret: bool = False
+    name: str = "campaign"
+
+    def __post_init__(self) -> None:
+        if not self.mechanisms:
+            raise ValueError("mechanisms axis must be non-empty")
+        if not self.scenarios:
+            raise ValueError("scenarios axis must be non-empty")
+        if not self.seeds:
+            raise ValueError("seeds axis must be non-empty")
+        known = mechanism_names()
+        for mechanism in self.mechanisms:
+            if mechanism not in known:
+                raise ValueError(
+                    f"unknown mechanism {mechanism!r}; choose from {', '.join(known)}"
+                )
+        for scenario in self.scenarios:
+            if scenario not in SCENARIO_NAMES:
+                raise ValueError(
+                    f"unknown scenario {scenario!r}; "
+                    f"choose from {', '.join(SCENARIO_NAMES)}"
+                )
+        reserved = ("mechanism", "seed", "fl", "energy_constrained", "extras", "name")
+        for axis, values in self.params.items():
+            if axis in reserved:
+                # These are owned by the dedicated axes / scenario flags; a
+                # param override would desynchronise cell labels from what
+                # the cell actually simulates.
+                raise ValueError(
+                    f"parameter axis {axis!r} is reserved — use the "
+                    f"mechanisms/scenarios/seeds axes instead"
+                )
+            if not values:
+                raise ValueError(f"parameter axis {axis!r} must be non-empty")
+
+    @property
+    def num_cells(self) -> int:
+        """Grid size without expanding it."""
+        count = len(self.mechanisms) * len(self.scenarios) * len(self.seeds)
+        for values in self.params.values():
+            count *= len(values)
+        return count
+
+    def _resolve_config(
+        self, mechanism: str, scenario: str, seed: int, params: dict[str, Any]
+    ) -> ExperimentConfig:
+        extras = dict(self.base.extras)
+        extras["mechanism"] = mechanism
+        extras["fl"] = scenario in ("fl", "fl-energy")
+        overrides: dict[str, Any] = {
+            "seed": seed,
+            "energy_constrained": scenario in ("energy", "fl-energy"),
+        }
+        for key, value in params.items():
+            if key in _CONFIG_FIELDS:
+                overrides[key] = value
+            else:
+                extras[key] = value
+        overrides["extras"] = extras
+        return self.base.with_overrides(**overrides)
+
+    def expand(self) -> list[CellSpec]:
+        """Materialise every grid point into a :class:`CellSpec`.
+
+        Cell ids are stable across processes and spec re-loads, and every
+        cell's randomness is a pure function of its resolved config —
+        reordering axes or resuming a campaign never changes any cell's
+        streams.
+        """
+        param_axes = sorted(self.params)
+        param_grids = [self.params[axis] for axis in param_axes]
+        cells = []
+        for mechanism, scenario, seed in itertools.product(
+            self.mechanisms, self.scenarios, self.seeds
+        ):
+            for combo in itertools.product(*param_grids):
+                params = dict(zip(param_axes, combo))
+                cell_id = f"{_slug(mechanism)}__{_slug(scenario)}__s{int(seed)}"
+                if params:
+                    cell_id += "".join(
+                        f"__{_slug(axis)}-{_slug(value)}"
+                        for axis, value in params.items()
+                    )
+                cells.append(
+                    CellSpec(
+                        cell_id=cell_id,
+                        mechanism=mechanism,
+                        scenario=scenario,
+                        seed=int(seed),
+                        params=params,
+                        config=self._resolve_config(mechanism, scenario, seed, params),
+                        compute_regret=self.compute_regret,
+                    )
+                )
+        ids = [cell.cell_id for cell in cells]
+        if len(ids) != len(set(ids)):
+            raise ValueError("sweep axes produced duplicate cell ids")
+        return cells
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-ready)."""
+        return {
+            "base": self.base.to_dict(),
+            "mechanisms": list(self.mechanisms),
+            "scenarios": list(self.scenarios),
+            "seeds": list(self.seeds),
+            "params": {axis: list(values) for axis, values in self.params.items()},
+            "compute_regret": self.compute_regret,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SweepSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            base=ExperimentConfig(**data["base"]),
+            mechanisms=tuple(data["mechanisms"]),
+            scenarios=tuple(data["scenarios"]),
+            seeds=tuple(int(seed) for seed in data["seeds"]),
+            params={
+                axis: tuple(values) for axis, values in data.get("params", {}).items()
+            },
+            compute_regret=bool(data.get("compute_regret", False)),
+            name=str(data.get("name", "campaign")),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Archive this spec as JSON (``sweep.json`` of a campaign dir)."""
+        from repro.utils.serialization import save_json
+
+        save_json(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepSpec":
+        """Load a spec archived with :meth:`save`."""
+        from repro.utils.serialization import load_json
+
+        return cls.from_dict(load_json(path))

@@ -1,0 +1,187 @@
+"""Per-cell execution: one grid point in, one metrics row out.
+
+Everything here is a module-level function so a cell can be shipped to a
+:class:`concurrent.futures.ProcessPoolExecutor` worker as a plain dict
+(:func:`run_cell` is the pool entry point).  A cell run
+
+1. rebuilds its :class:`~repro.orchestration.sweep.CellSpec`,
+2. builds the scenario named by the spec and the mechanism from the
+   registry, seeding the runner from an :class:`~repro.rng.RngTree`
+   namespace of the cell's resolved ``config.seed``,
+3. simulates, computes the summary metrics the paper's tables need
+   (welfare, payments, budget compliance, fairness, accuracy, optionally
+   regret, plus wall-clock throughput), and
+4. archives the resolved config and full event log under the cell's
+   artifact directory.
+
+Failures never propagate: a crashed cell returns a ``failed`` payload
+carrying its traceback so the campaign records it and moves on.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.budget import budget_report
+from repro.analysis.fairness import jain_index, participation_rates
+from repro.analysis.welfare import welfare_summary
+from repro.config import ExperimentConfig
+from repro.mechanisms.registry import build_mechanism
+from repro.rng import RngTree
+from repro.simulation.events import EventLog
+from repro.simulation.replay import save_event_log
+from repro.simulation.runner import SimulationRunner
+from repro.simulation.scenarios import (
+    Scenario,
+    build_fl_scenario,
+    build_mechanism_scenario,
+)
+
+__all__ = ["build_scenario", "summarize_log", "execute_config", "run_cell"]
+
+EVENT_LOG_NAME = "event_log.json"
+
+
+def build_scenario(config: ExperimentConfig) -> Scenario:
+    """Build the simulation substrate a config asks for.
+
+    ``config.extras['fl']`` selects the FL substrate; the
+    ``energy_constrained`` field battery-gates the population.  Both flags
+    are folded in by :meth:`~repro.orchestration.sweep.SweepSpec.expand`,
+    so CLI single runs and sweep cells resolve scenarios identically.
+    """
+    if bool(config.extras.get("fl", False)):
+        return build_fl_scenario(
+            config.num_clients,
+            seed=config.seed,
+            num_samples=config.num_samples,
+            dirichlet_alpha=config.dirichlet_alpha,
+            model=config.model,
+            local_steps=config.local_steps,
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+            eval_every=config.eval_every,
+            energy_constrained=config.energy_constrained,
+        )
+    return build_mechanism_scenario(
+        config.num_clients,
+        seed=config.seed,
+        energy_constrained=config.energy_constrained,
+    )
+
+
+def summarize_log(
+    log: EventLog, config: ExperimentConfig, *, compute_regret: bool = False
+) -> dict[str, Any]:
+    """The per-cell metrics row stored by the result store."""
+    summary = welfare_summary(log)
+    budget = budget_report(log, config.budget_per_round)
+    rates = list(participation_rates(log, list(range(config.num_clients))).values())
+    metrics: dict[str, Any] = {
+        "mechanism": str(config.extras.get("mechanism", "lt-vcg")),
+        "rounds": len(log),
+        "total_welfare": summary.total_welfare,
+        "average_welfare": summary.average_welfare,
+        "total_payment": summary.total_payment,
+        "average_payment": summary.average_payment,
+        "spend_over_budget": budget.final_overspend_ratio,
+        "budget_compliant": budget.compliant,
+        "violating_prefix_fraction": budget.violating_prefix_fraction,
+        "winners_per_round": summary.winners_per_round,
+        "jain_index": jain_index(rates),
+    }
+    xs, accuracies = log.accuracy_series()
+    if accuracies:
+        metrics["final_accuracy"] = accuracies[-1]
+        metrics["best_accuracy"] = max(accuracies)
+    if compute_regret:
+        from repro.analysis.regret import regret_against_plan
+
+        point = regret_against_plan(
+            log,
+            budget_per_round=config.budget_per_round,
+            max_winners=config.max_winners,
+        )
+        metrics["regret"] = point.regret
+        metrics["per_round_regret"] = point.per_round_regret
+    return metrics
+
+
+def execute_config(
+    config: ExperimentConfig,
+    out_dir: Path | None,
+    *,
+    compute_regret: bool = False,
+) -> dict[str, Any]:
+    """Run one resolved config end to end; returns its metrics row.
+
+    The runner's own randomness (presence dropouts) is seeded from an
+    :class:`~repro.rng.RngTree` namespace of ``config.seed``, independent of
+    the scenario's streams, so runs are reproducible from the config alone.
+    When ``out_dir`` is given, the resolved config and the full event log
+    are archived there.
+    """
+    mechanism = build_mechanism(config)
+    scenario = build_scenario(config)
+    runner = SimulationRunner(
+        mechanism,
+        scenario.clients,
+        scenario.valuation,
+        presence=scenario.presence,
+        network=scenario.network,
+        fl=scenario.fl,
+        seed=RngTree(config.seed).child_seed("orchestration/runner"),
+    )
+    started = time.perf_counter()
+    log = runner.run(config.num_rounds)
+    elapsed = time.perf_counter() - started
+
+    metrics = summarize_log(log, config, compute_regret=compute_regret)
+    metrics["sim_seconds"] = elapsed
+    metrics["rounds_per_second"] = len(log) / elapsed if elapsed > 0 else float("inf")
+
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        config.save(out_dir / "config.json")
+        save_event_log(out_dir / EVENT_LOG_NAME, log)
+    return metrics
+
+
+def run_cell(payload: dict[str, Any]) -> dict[str, Any]:
+    """Pool entry point: run one cell, never raise.
+
+    ``payload`` is ``{"cell": CellSpec.to_dict(), "cell_dir": str | None}``.
+    Returns ``{"cell_id", "status", "metrics" | "error", "duration_seconds",
+    "event_log_path"}`` — a crashed cell reports ``status="failed"`` with
+    its formatted traceback instead of killing the campaign.
+    """
+    from repro.orchestration.sweep import CellSpec
+
+    started = time.perf_counter()
+    cell_dir = Path(payload["cell_dir"]) if payload.get("cell_dir") else None
+    try:
+        cell = CellSpec.from_dict(payload["cell"])
+        metrics = execute_config(
+            cell.config, cell_dir, compute_regret=cell.compute_regret
+        )
+        return {
+            "cell_id": cell.cell_id,
+            "status": "completed",
+            "metrics": metrics,
+            "duration_seconds": time.perf_counter() - started,
+            "event_log_path": (
+                str(cell_dir / EVENT_LOG_NAME) if cell_dir is not None else None
+            ),
+        }
+    except Exception:
+        return {
+            "cell_id": str(payload.get("cell", {}).get("cell_id", "?")),
+            "status": "failed",
+            "error": traceback.format_exc(),
+            "duration_seconds": time.perf_counter() - started,
+            "event_log_path": None,
+        }

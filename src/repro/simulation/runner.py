@@ -165,13 +165,14 @@ class SimulationRunner:
         delivered = tuple(
             cid for cid in outcome.selected if self.clients[cid].attempt_delivery()
         )
-        failed = tuple(cid for cid in outcome.selected if cid not in set(delivered))
+        delivered_set = set(delivered)
+        failed = tuple(cid for cid in outcome.selected if cid not in delivered_set)
 
         work = 0.0
         for client_id in sorted(self.clients):
             client = self.clients[client_id]
             payment = (
-                outcome.payment_of(client_id) if client_id in set(delivered) else 0.0
+                outcome.payment_of(client_id) if client_id in delivered_set else 0.0
             )
             client.post_round(
                 round_index,

@@ -1,0 +1,168 @@
+"""Tests for repro.orchestration.executor (run, parallel, kill → resume)."""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.orchestration import (
+    ResultStore,
+    SweepSpec,
+    load_results,
+    resume_campaign,
+    run_campaign,
+)
+from repro.simulation.replay import load_event_log
+
+TIMING_KEYS = ("sim_seconds", "rounds_per_second")
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        base=ExperimentConfig(
+            num_clients=6, num_rounds=8, max_winners=2, budget_per_round=2.0, v=10.0
+        ),
+        mechanisms=("lt-vcg", "random"),
+        scenarios=("mechanism",),
+        seeds=(0, 1),
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def stable_metrics(results):
+    """(cell_id -> metrics) with wall-clock keys dropped."""
+    return {
+        r.cell_id: {k: v for k, v in r.metrics.items() if k not in TIMING_KEYS}
+        for r in results
+        if r.completed
+    }
+
+
+class TestInlineCampaign:
+    def test_runs_all_cells(self, tmp_path):
+        summary = run_campaign(small_spec(), tmp_path / "camp", max_workers=0)
+        assert summary.total_cells == 4
+        assert summary.completed == 4
+        assert summary.failed == 0
+        results = load_results(tmp_path / "camp")
+        assert all(r.completed for r in results)
+        for result in results:
+            assert result.metrics["rounds"] == 8
+            assert "total_welfare" in result.metrics
+
+    def test_archives_event_logs(self, tmp_path):
+        run_campaign(small_spec(), tmp_path / "camp", max_workers=0)
+        for result in load_results(tmp_path / "camp"):
+            log = load_event_log(result.event_log_path)
+            assert len(log) == 8
+
+    def test_deterministic_across_campaign_dirs(self, tmp_path):
+        run_campaign(small_spec(), tmp_path / "a", max_workers=0)
+        run_campaign(small_spec(), tmp_path / "b", max_workers=0)
+        assert stable_metrics(load_results(tmp_path / "a")) == stable_metrics(
+            load_results(tmp_path / "b")
+        )
+
+    def test_regret_cells(self, tmp_path):
+        spec = small_spec(mechanisms=("lt-vcg",), seeds=(0,), compute_regret=True)
+        run_campaign(spec, tmp_path / "camp", max_workers=0)
+        (result,) = load_results(tmp_path / "camp")
+        assert "regret" in result.metrics
+        assert result.metrics["regret"] >= -1e-9
+
+
+class TestFailureCapture:
+    def test_crashed_cell_records_traceback_and_campaign_continues(self, tmp_path):
+        # fixed-price validates price > 0, so the -1.0 axis value crashes
+        # inside the worker while the 0.5 cells keep running.
+        spec = small_spec(
+            mechanisms=("fixed-price",), params={"price": (0.5, -1.0)}
+        )
+        summary = run_campaign(spec, tmp_path / "camp", max_workers=0)
+        assert summary.total_cells == 4
+        assert summary.failed == 2
+        assert summary.completed == 2
+        failed = [r for r in load_results(tmp_path / "camp") if r.status == "failed"]
+        assert len(failed) == 2
+        for result in failed:
+            assert "price" in result.error  # the captured traceback
+
+    def test_failed_cells_retry_on_resume(self, tmp_path):
+        spec = small_spec(
+            mechanisms=("fixed-price",), seeds=(0,), params={"price": (-1.0,)}
+        )
+        run_campaign(spec, tmp_path / "camp", max_workers=0)
+        summary = run_campaign(spec, tmp_path / "camp", max_workers=0)
+        assert summary.skipped == 0  # failed cells are not checkpointed
+        (result,) = load_results(tmp_path / "camp")
+        assert result.attempts == 2
+
+
+class TestKillAndResume:
+    def test_interrupt_then_resume_skips_completed_cells(self, tmp_path):
+        spec = small_spec()  # 4 cells
+        camp = tmp_path / "camp"
+
+        def kill_after_two(outcome, done, total):
+            if done == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(spec, camp, max_workers=0, progress=kill_after_two)
+
+        # The two finished cells were checkpointed before the "kill".
+        with ResultStore(camp) as store:
+            assert len(store.completed_ids()) == 2
+
+        # Resume from the directory alone; only the remaining cells run.
+        summary = resume_campaign(camp, max_workers=0)
+        assert summary.skipped == 2
+        assert summary.executed == 2
+        assert summary.failed == 0
+
+        # Completed cells were not re-run (attempts stayed at 1) and the
+        # aggregate metrics match an uninterrupted campaign exactly.
+        results = load_results(camp)
+        assert all(r.attempts == 1 for r in results)
+        run_campaign(spec, tmp_path / "fresh", max_workers=0)
+        assert stable_metrics(results) == stable_metrics(
+            load_results(tmp_path / "fresh")
+        )
+
+
+class TestSpecConflict:
+    def test_resuming_a_different_spec_is_refused(self, tmp_path):
+        camp = tmp_path / "camp"
+        run_campaign(small_spec(), camp, max_workers=0)
+        changed = small_spec(
+            base=ExperimentConfig(
+                num_clients=6, num_rounds=20, max_winners=2,
+                budget_per_round=2.0, v=10.0,
+            )
+        )
+        # Same cell ids, different base config: resuming would silently
+        # present the 8-round results as 20-round numbers.
+        with pytest.raises(ValueError, match="different campaign"):
+            run_campaign(changed, camp, max_workers=0)
+        # resume=False (--fresh) re-runs everything under the new spec.
+        summary = run_campaign(changed, camp, max_workers=0, resume=False)
+        assert summary.executed == summary.total_cells
+        for result in load_results(camp):
+            assert result.metrics["rounds"] == 20
+
+    def test_identical_spec_resumes_fine(self, tmp_path):
+        camp = tmp_path / "camp"
+        run_campaign(small_spec(), camp, max_workers=0)
+        summary = run_campaign(small_spec(), camp, max_workers=0)
+        assert summary.skipped == summary.total_cells
+
+
+class TestParallelCampaign:
+    def test_process_pool_matches_inline(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path / "pool", max_workers=2)
+        run_campaign(spec, tmp_path / "inline", max_workers=0)
+        pool_results = load_results(tmp_path / "pool")
+        assert all(r.completed for r in pool_results)
+        assert stable_metrics(pool_results) == stable_metrics(
+            load_results(tmp_path / "inline")
+        )

@@ -1,0 +1,116 @@
+"""Tests for repro.orchestration.report (aggregation and tables)."""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.orchestration import (
+    SweepSpec,
+    aggregate_metric,
+    campaign_report,
+    event_log_tables,
+    load_results,
+    run_campaign,
+    welfare_comparison_table,
+)
+from repro.orchestration.report import (
+    failure_table,
+    group_results,
+    slice_event_logs,
+    throughput_table,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    camp = tmp_path_factory.mktemp("report") / "camp"
+    spec = SweepSpec(
+        base=ExperimentConfig(
+            num_clients=6, num_rounds=8, max_winners=2, budget_per_round=2.0, v=10.0
+        ),
+        mechanisms=("lt-vcg", "random"),
+        scenarios=("mechanism", "energy"),
+        seeds=(0, 1, 2),
+    )
+    run_campaign(spec, camp, max_workers=0)
+    return camp
+
+
+class TestAggregation:
+    def test_group_results(self, campaign):
+        groups = group_results(load_results(campaign), by=("mechanism",))
+        assert set(groups) == {("lt-vcg",), ("random",)}
+        assert all(len(members) == 6 for members in groups.values())
+
+    def test_aggregate_metric_summarises_across_seeds(self, campaign):
+        stats = aggregate_metric(
+            load_results(campaign),
+            "total_welfare",
+            by=("mechanism", "scenario"),
+        )
+        assert len(stats) == 4
+        for summary in stats.values():
+            assert summary.num_samples == 3
+            assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_missing_metric_gives_empty(self, campaign):
+        assert aggregate_metric(load_results(campaign), "no_such_metric") == {}
+
+
+class TestTables:
+    def test_welfare_comparison_table(self, campaign):
+        table = welfare_comparison_table(load_results(campaign))
+        assert "lt-vcg / mechanism" in table
+        assert "random / energy" in table
+        assert "welfare (mean)" in table
+
+    def test_throughput_table(self, campaign):
+        table = throughput_table(load_results(campaign))
+        assert "rounds/sec" in table
+
+    def test_failure_table_none_when_clean(self, campaign):
+        assert failure_table(load_results(campaign)) is None
+
+    def test_campaign_report_assembles_sections(self, campaign):
+        text = campaign_report(campaign, include_event_logs=True)
+        assert "12 completed" in text
+        assert "Campaign welfare comparison" in text
+        assert "Mechanism comparison" in text  # event-log slice section
+
+
+class TestEventLogSlices:
+    def test_slice_loads_one_log_per_mechanism(self, campaign):
+        logs = slice_event_logs(load_results(campaign), scenario="energy", seed=1)
+        assert set(logs) == {"lt-vcg", "random"}
+        assert all(len(log) == 8 for log in logs.values())
+
+    def test_event_log_tables(self, campaign):
+        text = event_log_tables(campaign, scenario="mechanism", seed=0)
+        assert "lt-vcg" in text
+        assert "Payments vs. costs" in text
+
+    def test_empty_campaign(self, tmp_path):
+        assert event_log_tables(tmp_path / "void") is None
+
+    def test_slice_title_matches_sliced_seed(self, tmp_path):
+        # Seeds whose numeric and string orders differ (2 vs 10): the table
+        # title and config must come from the cell actually tabulated.
+        spec = SweepSpec(
+            base=ExperimentConfig(num_clients=6, num_rounds=5, max_winners=2),
+            mechanisms=("lt-vcg",),
+            seeds=(2, 10),
+        )
+        run_campaign(spec, tmp_path / "camp", max_workers=0)
+        text = event_log_tables(tmp_path / "camp")
+        assert "seed=2" in text
+
+    def test_campaign_directory_is_movable(self, tmp_path):
+        spec = SweepSpec(
+            base=ExperimentConfig(num_clients=6, num_rounds=5, max_winners=2),
+            mechanisms=("lt-vcg",),
+            seeds=(0,),
+        )
+        run_campaign(spec, tmp_path / "orig", max_workers=0)
+        (tmp_path / "orig").rename(tmp_path / "moved")
+        (result,) = load_results(tmp_path / "moved")
+        assert result.event_log_path.startswith(str(tmp_path / "moved"))
+        assert event_log_tables(tmp_path / "moved") is not None

@@ -1,0 +1,95 @@
+"""Tests for repro.orchestration.store (SQLite + JSONL persistence)."""
+
+import json
+
+from repro.config import ExperimentConfig
+from repro.orchestration.store import ResultStore
+from repro.orchestration.sweep import SweepSpec
+
+
+def one_cell():
+    spec = SweepSpec(
+        base=ExperimentConfig(num_clients=6, num_rounds=5, max_winners=2),
+        mechanisms=("lt-vcg",),
+        seeds=(0,),
+    )
+    return spec.expand()[0]
+
+
+METRICS = {"total_welfare": 12.5, "average_payment": 1.25, "rounds": 5}
+
+
+class TestWrites:
+    def test_success_round_trip(self, tmp_path):
+        cell = one_cell()
+        with ResultStore(tmp_path) as store:
+            store.record_success(
+                cell, METRICS, duration_seconds=0.5, event_log_path="cells/x/log.json"
+            )
+            (result,) = store.results()
+        assert result.cell_id == cell.cell_id
+        assert result.completed
+        assert result.metrics["total_welfare"] == 12.5
+        assert result.duration_seconds == 0.5
+        # Relative artifact paths resolve against the campaign directory,
+        # so a moved campaign keeps working.
+        assert result.event_log_path == str(tmp_path / "cells/x/log.json")
+        assert result.attempts == 1
+
+    def test_failure_round_trip(self, tmp_path):
+        cell = one_cell()
+        with ResultStore(tmp_path) as store:
+            store.record_failure(cell, "Traceback: boom", duration_seconds=0.1)
+            (result,) = store.results()
+        assert result.status == "failed"
+        assert not result.completed
+        assert "boom" in result.error
+        assert result.metrics == {}
+
+    def test_rerecord_bumps_attempts(self, tmp_path):
+        cell = one_cell()
+        with ResultStore(tmp_path) as store:
+            store.record_failure(cell, "first try died")
+            store.record_success(cell, METRICS)
+            (result,) = store.results()
+            assert result.attempts == 2
+            assert result.completed
+            assert store.counts() == {"completed": 1}
+
+
+class TestCheckpoint:
+    def test_completed_ids_survive_reopen(self, tmp_path):
+        cell = one_cell()
+        with ResultStore(tmp_path) as store:
+            store.record_success(cell, METRICS)
+        # A brand-new store over the same directory sees the checkpoint —
+        # this is what resume-after-kill reads.
+        with ResultStore(tmp_path) as store:
+            assert store.completed_ids() == {cell.cell_id}
+
+    def test_failed_cells_not_in_checkpoint(self, tmp_path):
+        cell = one_cell()
+        with ResultStore(tmp_path) as store:
+            store.record_failure(cell, "nope")
+            assert store.completed_ids() == set()
+
+    def test_get(self, tmp_path):
+        cell = one_cell()
+        with ResultStore(tmp_path) as store:
+            assert store.get(cell.cell_id) is None
+            store.record_success(cell, METRICS)
+            assert store.get(cell.cell_id).completed
+
+
+class TestJsonlMirror:
+    def test_every_record_appends_a_line(self, tmp_path):
+        cell = one_cell()
+        with ResultStore(tmp_path) as store:
+            store.record_failure(cell, "first try died")
+            store.record_success(cell, METRICS)
+        lines = (tmp_path / ResultStore.JSONL_NAME).read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["status"] == "failed" and first["attempt"] == 1
+        assert second["status"] == "completed" and second["attempt"] == 2
+        assert second["metrics"]["total_welfare"] == 12.5

@@ -1,0 +1,105 @@
+"""Tests for repro.orchestration.sweep (grid expansion)."""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.orchestration.sweep import SCENARIO_NAMES, CellSpec, SweepSpec
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        base=ExperimentConfig(num_clients=6, num_rounds=10, max_winners=2),
+        mechanisms=("lt-vcg", "random"),
+        scenarios=("mechanism", "energy"),
+        seeds=(0, 1, 2),
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+class TestExpansion:
+    def test_grid_size(self):
+        spec = small_spec()
+        cells = spec.expand()
+        assert len(cells) == 2 * 2 * 3
+        assert spec.num_cells == len(cells)
+
+    def test_param_axes_multiply(self):
+        spec = small_spec(params={"budget_per_round": (2.0, 5.0)})
+        assert spec.num_cells == 2 * 2 * 3 * 2
+        budgets = {cell.config.budget_per_round for cell in spec.expand()}
+        assert budgets == {2.0, 5.0}
+
+    def test_cell_ids_unique_and_stable(self):
+        first = [cell.cell_id for cell in small_spec().expand()]
+        second = [cell.cell_id for cell in small_spec().expand()]
+        assert first == second
+        assert len(set(first)) == len(first)
+
+    def test_config_resolution(self):
+        spec = small_spec(
+            mechanisms=("fixed-price",),
+            scenarios=("fl-energy",),
+            seeds=(7,),
+            params={"price": (0.5,), "v": (25.0,)},
+        )
+        (cell,) = spec.expand()
+        assert cell.config.extras["mechanism"] == "fixed-price"
+        assert cell.config.extras["fl"] is True
+        assert cell.config.energy_constrained is True
+        assert cell.config.seed == 7
+        # Param axes: config fields override fields, unknown keys go to extras.
+        assert cell.config.v == 25.0
+        assert cell.config.extras["price"] == 0.5
+
+    def test_environment_seed_is_the_axis_value(self):
+        # Cross-mechanism pairing: cells sharing a seed axis value face an
+        # identical environment because config.seed is exactly that value.
+        for cell in small_spec().expand():
+            assert cell.config.seed == cell.seed
+        # Stable across re-expansion (resume relies on this).
+        assert small_spec().expand() == small_spec().expand()
+
+
+class TestValidation:
+    def test_unknown_mechanism(self):
+        with pytest.raises(ValueError, match="unknown mechanism"):
+            small_spec(mechanisms=("alchemy",))
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            small_spec(scenarios=("underwater",))
+
+    def test_empty_axes(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            small_spec(seeds=())
+        with pytest.raises(ValueError, match="non-empty"):
+            small_spec(params={"v": ()})
+
+    def test_reserved_param_axes_rejected(self):
+        # A 'mechanism' or 'seed' param would desynchronise cell labels
+        # from what the cell actually simulates.
+        for axis in ("mechanism", "seed", "fl", "energy_constrained"):
+            with pytest.raises(ValueError, match="reserved"):
+                small_spec(params={axis: (1,)})
+
+    def test_scenario_names_cover_substrates(self):
+        assert set(SCENARIO_NAMES) == {"mechanism", "energy", "fl", "fl-energy"}
+
+
+class TestRoundTrip:
+    def test_spec_json_round_trip(self, tmp_path):
+        spec = small_spec(params={"budget_per_round": (2.0, 5.0)}, name="rt")
+        path = tmp_path / "sweep.json"
+        spec.save(path)
+        loaded = SweepSpec.load(path)
+        assert loaded == spec
+        assert [c.cell_id for c in loaded.expand()] == [
+            c.cell_id for c in spec.expand()
+        ]
+
+    def test_cell_dict_round_trip(self):
+        (cell,) = small_spec(
+            mechanisms=("lt-vcg",), scenarios=("mechanism",), seeds=(3,)
+        ).expand()
+        assert CellSpec.from_dict(cell.to_dict()) == cell

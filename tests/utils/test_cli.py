@@ -99,3 +99,87 @@ class TestMain:
         config.save(path)
         assert main(["--config", str(path)]) == 0
         assert "prop-share" in capsys.readouterr().out
+
+
+class TestCampaignSubcommands:
+    SWEEP_ARGS = [
+        "sweep",
+        "--mechanisms", "lt-vcg,random",
+        "--scenarios", "mechanism,energy",
+        "--seeds", "0,1",
+        "--rounds", "6",
+        "--clients", "6",
+        "--max-winners", "2",
+        "--workers", "0",
+    ]
+
+    def test_sweep_runs_grid_and_writes_store(self, tmp_path, capsys):
+        out = tmp_path / "camp"
+        assert main(self.SWEEP_ARGS + ["--out", str(out)]) == 0
+        assert (out / "campaign.db").exists()
+        assert (out / "sweep.json").exists()
+        assert (out / "results.jsonl").exists()
+        stdout = capsys.readouterr().out
+        assert "8 cells" in stdout
+        assert "8 completed" in stdout
+        assert "Campaign welfare comparison" in stdout
+
+    def test_sweep_then_resume_skips_everything(self, tmp_path, capsys):
+        out = tmp_path / "camp"
+        assert main(self.SWEEP_ARGS + ["--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["resume", str(out), "--workers", "0"]) == 0
+        assert "8 skipped" in capsys.readouterr().out
+
+    def test_report(self, tmp_path, capsys):
+        out = tmp_path / "camp"
+        assert main(self.SWEEP_ARGS + ["--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(out), "--by", "mechanism", "--logs"]) == 0
+        stdout = capsys.readouterr().out
+        assert "lt-vcg" in stdout
+        assert "Mechanism comparison" in stdout
+
+    def test_sweep_param_axis(self, tmp_path, capsys):
+        out = tmp_path / "camp"
+        code = main([
+            "sweep", "--out", str(out),
+            "--mechanisms", "lt-vcg",
+            "--seeds", "0",
+            "--rounds", "5", "--clients", "6", "--max-winners", "2",
+            "--param", "budget_per_round=2.0,5.0",
+            "--workers", "0",
+        ])
+        assert code == 0
+        assert "2 cells" in capsys.readouterr().out
+
+    def test_sweep_invalid_param_value_is_a_clean_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "sweep", "--out", str(tmp_path / "camp"),
+                "--mechanisms", "lt-vcg", "--seeds", "0",
+                "--param", "num_rounds=0", "--workers", "0",
+            ])
+        assert excinfo.value.code == 2  # argparse error, not a traceback
+        assert "num_rounds" in capsys.readouterr().err
+
+    def test_sweep_into_conflicting_campaign_dir_is_refused(self, tmp_path, capsys):
+        out = tmp_path / "camp"
+        assert main(self.SWEEP_ARGS + ["--out", str(out)]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(self.SWEEP_ARGS + ["--out", str(out), "--rounds", "12"])
+        assert "different campaign" in capsys.readouterr().err
+
+    def test_sweep_failure_sets_exit_code(self, tmp_path, capsys):
+        out = tmp_path / "camp"
+        code = main([
+            "sweep", "--out", str(out),
+            "--mechanisms", "fixed-price",
+            "--seeds", "0",
+            "--rounds", "5", "--clients", "6", "--max-winners", "2",
+            "--param", "price=-1.0",
+            "--workers", "0",
+        ])
+        assert code == 1
+        assert "1 failed" in capsys.readouterr().out

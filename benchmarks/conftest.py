@@ -3,11 +3,14 @@
 Every benchmark prints its paper-style table/series through :func:`report`,
 which bypasses pytest's capture (so ``pytest benchmarks/ --benchmark-only``
 shows the regenerated tables inline) and archives the text under
-``benchmarks/results/`` for EXPERIMENTS.md.
+``benchmarks/results/`` for EXPERIMENTS.md.  A benchmark that also wants a
+machine-readable perf trail passes ``json_payload`` — archived as
+``results/BENCH_<id>.json`` so the numbers can be diffed across PRs.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -19,11 +22,25 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def report(capsys):
     """Print experiment output unbuffered and archive it to results/."""
 
-    def emit(experiment_id: str, text: str) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+    def emit(
+        experiment_id: str,
+        text: str,
+        *,
+        json_payload: dict | None = None,
+        json_id: str | None = None,
+        archive: bool = True,
+    ) -> None:
+        """``archive=False`` prints without touching results/ — for smoke
+        runs on reduced configurations that must not overwrite the
+        committed full-sweep baselines."""
+        if archive:
+            RESULTS_DIR.mkdir(exist_ok=True)
+            (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+            if json_payload is not None:
+                json_path = RESULTS_DIR / f"BENCH_{json_id or experiment_id}.json"
+                json_path.write_text(json.dumps(json_payload, indent=2) + "\n")
         with capsys.disabled():
-            print(f"\n=== {experiment_id} ===")
+            print(f"\n=== {experiment_id} ===" + ("" if archive else " (not archived)"))
             print(text)
 
     return emit

@@ -20,7 +20,11 @@ from repro.core.bids import AuctionRound, Bid, RoundOutcome
 from repro.core.longterm_vcg import LongTermVCGConfig, LongTermVCGMechanism
 from repro.core.lyapunov import BudgetQueue, DriftPlusPenaltyController, VirtualQueue
 from repro.core.mechanism import Mechanism
-from repro.core.payments import clarke_payments, critical_value_payments
+from repro.core.payments import (
+    clarke_payments,
+    critical_value_payments,
+    greedy_critical_scores,
+)
 from repro.core.properties import (
     verify_individual_rationality,
     verify_monotonicity,
@@ -38,6 +42,7 @@ from repro.core.valuation import (
 from repro.core.vcg import SingleRoundVCGAuction, VCGAuctionResult
 from repro.core.winner_determination import (
     Allocation,
+    SolveCache,
     WinnerDeterminationProblem,
     solve,
     solve_brute_force,
@@ -65,6 +70,7 @@ __all__ = [
     "ParticipationTracker",
     "RoundOutcome",
     "SingleRoundVCGAuction",
+    "SolveCache",
     "StalenessAwareValuation",
     "VCGAuctionResult",
     "ValuationModel",
@@ -72,6 +78,7 @@ __all__ = [
     "WinnerDeterminationProblem",
     "clarke_payments",
     "critical_value_payments",
+    "greedy_critical_scores",
     "solve",
     "solve_brute_force",
     "solve_greedy",

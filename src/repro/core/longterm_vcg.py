@@ -35,6 +35,7 @@ from repro.core.lyapunov import DriftPlusPenaltyController
 from repro.core.mechanism import Mechanism
 from repro.core.sustainability import ParticipationTracker
 from repro.core.vcg import SingleRoundVCGAuction
+from repro.core.winner_determination import SolveCache
 from repro.utils.validation import check_non_negative, check_positive
 
 __all__ = ["LongTermVCGConfig", "LongTermVCGMechanism"]
@@ -99,6 +100,10 @@ class LongTermVCGMechanism(Mechanism):
         self.controller = DriftPlusPenaltyController(
             v=config.v, budget_per_round=config.budget_per_round
         )
+        # Shared across the per-round auctions this mechanism builds: when
+        # the controller's queue state (and hence the scores) repeats, the
+        # same winner-determination instance is never solved twice.
+        self.solve_cache = SolveCache()
         self.participation: ParticipationTracker | None = None
         if config.participation_targets:
             self.participation = ParticipationTracker(
@@ -127,6 +132,7 @@ class LongTermVCGMechanism(Mechanism):
             capacity=self.config.capacity,
             wd_method=self.config.wd_method,
             reserve_price=self.config.reserve_price,
+            solve_cache=self.solve_cache,
         )
 
     def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
@@ -158,6 +164,7 @@ class LongTermVCGMechanism(Mechanism):
 
     def reset(self) -> None:
         self.controller.reset()
+        self.solve_cache.clear()
         if self.participation is not None:
             self.participation.reset()
 

@@ -9,12 +9,23 @@ an affine, strictly decreasing function of its bid
 highest bid at which the client still wins — and a truthful mechanism pays
 exactly that.
 
-* :func:`clarke_critical_scores` — closed form for exact winner
-  determination; equals the classic Clarke pivot payment and is exactly
-  truthful.
+The module is organised as fast analytic/incremental engines with the
+original general-purpose implementations retained as reference oracles:
+
+* :func:`clarke_critical_scores` — Clarke pivots for exact winner
+  determination.  Dispatches to a closed form under a pure cardinality cap
+  (the displaced ``(K+1)``-th candidate is every winner's pivot), to
+  prefix/suffix DP tables under a knapsack constraint
+  (:func:`repro.core.winner_determination.knapsack_objectives_without` —
+  two DP passes total instead of one re-solve per winner), and falls back
+  to per-winner re-solves for any custom solver.
+* :func:`greedy_critical_scores` — analytic critical scores for the
+  density-greedy rule: one shared priority order, then for each winner a
+  single forward scan finds the competitor/capacity state that would
+  displace it.  O(n log n + winners·n) total, no bisection.
 * :func:`critical_scores_by_search` — bisection against any *monotone*
-  allocation rule (used with the greedy solver); truthful whenever the rule
-  is monotone.
+  allocation rule; the fallback for custom rules and the test oracle the
+  analytic engine is verified against.
 
 :func:`clarke_payments` / :func:`critical_value_payments` wrap these into
 monetary payments given the affine score map.
@@ -27,18 +38,84 @@ from collections.abc import Callable
 from repro.core.winner_determination import (
     Allocation,
     WinnerDeterminationProblem,
+    exact_method_for,
+    greedy_order,
+    knapsack_objectives_without,
     solve,
     solve_greedy,
 )
 
 __all__ = [
     "clarke_critical_scores",
+    "top_k_critical_scores",
+    "knapsack_clarke_critical_scores",
+    "greedy_critical_scores",
     "critical_scores_by_search",
     "clarke_payments",
     "critical_value_payments",
 ]
 
 Solver = Callable[[WinnerDeterminationProblem], Allocation]
+
+_EPS = 1e-12
+
+
+def _clamp(sigma: float, score: float) -> float:
+    """Clamp numerical noise into the theoretically guaranteed interval
+    ``0 <= sigma <= score``."""
+    return min(max(sigma, 0.0), score)
+
+
+def top_k_critical_scores(
+    problem: WinnerDeterminationProblem,
+    allocation: Allocation,
+) -> dict[int, float]:
+    """Clarke critical scores under top-k winner determination, closed form.
+
+    Removing a winner promotes the best unselected positive-score candidate
+    (the ``(K+1)``-th by score) — the same candidate for every winner — so
+    ``W_{-i} = W - score_i + s_{K+1}`` and the critical score is ``s_{K+1}``
+    for all winners (0 when nobody is displaced).  One O(n) scan replaces
+    ``K`` re-sorted subproblems.
+    """
+    if problem.capacity is not None:
+        raise ValueError("top_k_critical_scores cannot handle a knapsack constraint")
+    scores = problem.scores_array
+    selected = set(allocation.selected)
+    runner_up = 0.0
+    for i in range(problem.size):
+        s = float(scores[i])
+        if s > 0 and i not in selected and s > runner_up:
+            runner_up = s
+    return {
+        i: _clamp(runner_up, float(scores[i])) for i in allocation.selected
+    }
+
+
+def knapsack_clarke_critical_scores(
+    problem: WinnerDeterminationProblem,
+    allocation: Allocation,
+    *,
+    resolution: int = 1000,
+) -> dict[int, float]:
+    """Clarke critical scores under DP knapsack winner determination.
+
+    ``sigma_i = W_{-i} - (W - score_i)`` with every ``W_{-i}`` answered by
+    the prefix/suffix DP tables — two DP passes plus an O(R·K) combine per
+    winner instead of ``len(winners)`` independent DP re-solves.  Matches
+    :func:`clarke_critical_scores` with a ``solve_knapsack_dp`` solver at
+    the same ``resolution`` (verified property-based in the test suite).
+    """
+    objectives_without = knapsack_objectives_without(
+        problem, allocation.selected, resolution=resolution
+    )
+    critical: dict[int, float] = {}
+    for index in allocation.selected:
+        companion = allocation.objective - problem.scores[index]
+        critical[index] = _clamp(
+            objectives_without[index] - companion, problem.scores[index]
+        )
+    return critical
 
 
 def clarke_critical_scores(
@@ -56,17 +133,97 @@ def clarke_critical_scores(
     guaranteed by optimality of ``S*`` and feasibility of ``S* \\ {i}``):
 
     * ``0 <= sigma_i <= score_i`` — hence payments are individually rational.
+
+    When no ``solver`` is given the "without i" objectives come from the
+    fast engine matching the instance's exact-dispatch solver
+    (:func:`~repro.core.winner_determination.exact_method_for`):
+    :func:`top_k_critical_scores` without a knapsack constraint,
+    :func:`knapsack_clarke_critical_scores` in the DP regime, and
+    per-winner brute-force re-solves only for small instances where they
+    are cheap.  Pass an explicit solver to force a specific re-solve rule.
     """
     if solver is None:
+        method = exact_method_for(problem)
+        if method == "top-k":
+            return top_k_critical_scores(problem, allocation)
+        if method == "dp":
+            return knapsack_clarke_critical_scores(problem, allocation)
         solver = lambda p: solve(p, "exact")  # noqa: E731 - tiny local adapter
     critical: dict[int, float] = {}
     for index in allocation.selected:
         companion = allocation.objective - problem.scores[index]
         without = solver(problem.without(index))
-        sigma = without.objective - companion
-        # Clamp numerical noise into the theoretically guaranteed interval.
-        sigma = min(max(sigma, 0.0), problem.scores[index])
-        critical[index] = sigma
+        critical[index] = _clamp(
+            without.objective - companion, problem.scores[index]
+        )
+    return critical
+
+
+def greedy_critical_scores(
+    problem: WinnerDeterminationProblem,
+    allocation: Allocation,
+) -> dict[int, float]:
+    """Analytic critical scores for the density-greedy allocation rule.
+
+    Lowering winner ``i``'s score only moves it later in the greedy priority
+    order ``(-density, -score, index)`` — the processing of every *other*
+    candidate before that point is unchanged.  So replay the greedy scan
+    over the other candidates once per winner, tracking remaining capacity
+    ``r_j`` and winner count ``c_j`` after the first ``j`` others: winner
+    ``i`` placed after ``j`` others is selected iff ``c_j < K`` and
+    ``demand_i <= r_j``.  That predicate is monotone (``r_j`` never grows,
+    ``c_j`` never shrinks), so the *first* other candidate whose processing
+    breaks it is the displacing competitor ``b``; winner ``i`` stays
+    selected exactly while it precedes ``b`` in the order, i.e. while its
+    density exceeds ``b``'s.  The critical score is therefore
+    ``density_b * demand_i`` (plain ``score_b`` without a knapsack), and 0
+    when no competitor/capacity state ever displaces the winner.
+
+    One shared O(n log n) sort plus an O(n) scan per winner — the scan
+    short-circuits at the displacing competitor.  Replaces the previous
+    per-winner bisection (~100 full greedy solves per winner); matches
+    :func:`critical_scores_by_search` to bisection tolerance (verified
+    property-based in the test suite).
+    """
+    order = greedy_order(problem)
+    scores = problem.scores_array
+    demands = problem.demands_array
+    capacity = problem.capacity
+    k_cap = problem.max_winners
+    order_list = order.tolist()
+    demand_list = demands[order].tolist() if demands is not None else None
+    density_list = (
+        (scores[order] / demands[order]).tolist()
+        if demands is not None
+        else scores[order].tolist()
+    )
+
+    critical: dict[int, float] = {}
+    for index in allocation.selected:
+        own_demand = demands[index] if demands is not None else None
+        remaining = capacity
+        count = 0
+        sigma = 0.0
+        for pos, other in enumerate(order_list):
+            if other == index:
+                continue
+            # Process `other` under greedy skip semantics.
+            if remaining is not None:
+                if demand_list[pos] > remaining + _EPS:
+                    continue
+                remaining -= demand_list[pos]
+            count += 1
+            # Would winner `index`, arriving after `other`, still fit?
+            displaced = (k_cap is not None and count >= k_cap) or (
+                remaining is not None and own_demand > remaining + _EPS
+            )
+            if displaced:
+                if demands is not None:
+                    sigma = density_list[pos] * float(own_demand)
+                else:
+                    sigma = density_list[pos]
+                break
+        critical[index] = _clamp(sigma, float(scores[index]))
     return critical
 
 
@@ -89,6 +246,10 @@ def critical_scores_by_search(
     The returned value is a score at which the client *still wins* (the
     lower end of the final bisection bracket), so converting it to a bid
     never charges less than required for the client to win.
+
+    This is the general-purpose fallback and the oracle the analytic
+    :func:`greedy_critical_scores` engine is tested against; the mechanism
+    hot path no longer calls it for the built-in greedy rule.
     """
     if tolerance <= 0:
         raise ValueError(f"tolerance must be > 0, got {tolerance}")
@@ -148,8 +309,16 @@ def critical_value_payments(
     solver: Solver = solve_greedy,
     tolerance: float = 1e-9,
 ) -> dict[int, float]:
-    """Monetary critical-value payments for a monotone allocation rule."""
-    critical = critical_scores_by_search(
-        problem, allocation, solver=solver, tolerance=tolerance
-    )
+    """Monetary critical-value payments for a monotone allocation rule.
+
+    With the built-in greedy rule (the default ``solver``) the critical
+    scores come from the analytic engine; custom monotone rules fall back
+    to bisection.
+    """
+    if solver is solve_greedy:
+        critical = greedy_critical_scores(problem, allocation)
+    else:
+        critical = critical_scores_by_search(
+            problem, allocation, solver=solver, tolerance=tolerance
+        )
     return _to_payments(critical, weights, cost_weight)

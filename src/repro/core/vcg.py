@@ -16,9 +16,13 @@ are paid their *critical bid*:
 * with exact winner determination, via Clarke pivot payments — the mechanism
   is then an affine maximizer and hence dominant-strategy truthful and
   individually rational;
-* with greedy winner determination, via bisection critical-value payments —
-  truthful whenever the greedy rule is monotone, which the density greedy
-  satisfies.
+* with greedy winner determination, via critical-value payments — truthful
+  whenever the greedy rule is monotone, which the density greedy satisfies.
+
+Payments run through the incremental engines of :mod:`repro.core.payments`
+(closed-form / prefix-suffix-DP Clarke pivots, analytic greedy criticals),
+so a round costs one winner-determination solve plus O(n log n)-ish payment
+work rather than one re-solve (or bisection search) per winner.
 """
 
 from __future__ import annotations
@@ -27,12 +31,17 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.core.bids import AuctionRound
-from repro.core.payments import clarke_payments, critical_value_payments
+from repro.core.payments import (
+    clarke_critical_scores,
+    greedy_critical_scores,
+    knapsack_clarke_critical_scores,
+    top_k_critical_scores,
+)
 from repro.core.winner_determination import (
     Allocation,
+    SolveCache,
     WinnerDeterminationProblem,
-    solve,
-    solve_greedy,
+    exact_method_for,
 )
 from repro.utils.validation import check_non_negative, check_positive
 
@@ -98,6 +107,19 @@ class SingleRoundVCGAuction:
         equivalent to the auctioneer adding a posted ceiling, which
         preserves truthfulness (a client wins iff its bid is at most
         ``min(critical bid, reserve)`` and is paid exactly that threshold).
+    solve_cache:
+        Optional :class:`~repro.core.winner_determination.SolveCache`
+        threaded through winner determination and payment re-solves.  Pass
+        a shared cache to reuse solutions across rounds (the long-term
+        mechanism does); by default each auction gets a private cache so the
+        same instance is never solved twice within a round.
+
+    Payments use the incremental engines in :mod:`repro.core.payments`:
+    closed-form pivots under a pure cardinality cap, prefix/suffix DP
+    tables under a knapsack constraint, and the analytic one-sort critical
+    scores for the greedy rule — per-winner re-solves survive only for the
+    small brute-force regime, where they are cheap and share this auction's
+    solve cache.
     """
 
     _EXACT_METHODS = frozenset({"exact", "dp", "brute-force", "top-k"})
@@ -113,6 +135,7 @@ class SingleRoundVCGAuction:
         capacity: float | None = None,
         wd_method: str = "exact",
         reserve_price: float | None = None,
+        solve_cache: SolveCache | None = None,
     ) -> None:
         self.value_weight = check_positive("value_weight", value_weight)
         self.cost_weight = check_positive("cost_weight", cost_weight)
@@ -130,6 +153,7 @@ class SingleRoundVCGAuction:
         if reserve_price is not None:
             check_positive("reserve_price", reserve_price)
         self.reserve_price = reserve_price
+        self.solve_cache = solve_cache if solve_cache is not None else SolveCache()
 
     def weight_of(self, client_id: int, value: float) -> float:
         """Bid-independent score component ``w_i`` of a client."""
@@ -164,9 +188,28 @@ class SingleRoundVCGAuction:
         return problem, ids
 
     def _solve(self, problem: WinnerDeterminationProblem) -> Allocation:
+        return self.solve_cache.solve(problem, self.wd_method)
+
+    def _critical_scores(
+        self, problem: WinnerDeterminationProblem, allocation: Allocation
+    ) -> dict[int, float]:
+        """Per-winner critical scores via the cheapest applicable engine."""
         if self.wd_method == "greedy":
-            return solve_greedy(problem)
-        return solve(problem, self.wd_method)
+            return greedy_critical_scores(problem, allocation)
+        if problem.capacity is None:
+            # Every exact method reduces to top-k without a knapsack.
+            return top_k_critical_scores(problem, allocation)
+        resolved = self.wd_method
+        if resolved == "exact":
+            # Use the same dispatch rule as winner determination so the
+            # "without i" objectives are computed by the same solver that
+            # picked the winners.
+            resolved = exact_method_for(problem)
+        if resolved == "dp":
+            return knapsack_clarke_critical_scores(problem, allocation)
+        # Small brute-force regime: per-winner re-solves are cheap and go
+        # through the cache so repeated instances are never re-enumerated.
+        return clarke_critical_scores(problem, allocation, solver=self._solve)
 
     def run(self, auction_round: AuctionRound) -> VCGAuctionResult:
         """Run the auction: select winners and compute truthful payments."""
@@ -182,22 +225,14 @@ class SingleRoundVCGAuction:
         problem, ids = self.build_problem(auction_round)
         allocation = self._solve(problem)
 
-        weights_by_index = {
-            index: self.weight_of(ids[index], auction_round.values[ids[index]])
-            for index in allocation.selected
+        critical = self._critical_scores(problem, allocation)
+        payments_by_index = {
+            index: (
+                self.weight_of(ids[index], auction_round.values[ids[index]]) - sigma
+            )
+            / self.cost_weight
+            for index, sigma in critical.items()
         }
-        if self.wd_method == "greedy":
-            payments_by_index = critical_value_payments(
-                problem, allocation, weights_by_index, self.cost_weight
-            )
-        else:
-            payments_by_index = clarke_payments(
-                problem,
-                allocation,
-                weights_by_index,
-                self.cost_weight,
-                solver=self._solve,
-            )
 
         selected_ids = tuple(sorted(ids[index] for index in allocation.selected))
         payments = {}

@@ -21,6 +21,14 @@ solver                 guarantee                                   scaling
 :func:`solve_lp_bound` fractional upper bound (analysis only)      LP
 =====================  ==========================================  =========
 
+``solve_top_k`` and ``solve_greedy`` run on the problem's cached numpy
+arrays (argsort + cumulative feasibility scan), so a 400-candidate solve is
+a handful of vector operations rather than a Python loop.  The payment
+engine (:mod:`repro.core.payments`) additionally uses
+:func:`knapsack_objectives_without` — prefix/suffix DP tables answering all
+"best objective without candidate i" queries from two DP passes instead of
+one full re-solve per winner.
+
 Exact solvers preserve exact VCG truthfulness; the greedy solver pairs with
 critical-value payments (:mod:`repro.core.payments`).  All solvers use the
 same deterministic tie-breaking (higher score first, then lower index) so
@@ -38,18 +46,25 @@ from scipy.optimize import linprog
 __all__ = [
     "WinnerDeterminationProblem",
     "Allocation",
+    "SolveCache",
     "solve",
+    "exact_method_for",
     "solve_top_k",
     "solve_brute_force",
     "solve_knapsack_dp",
     "solve_greedy",
     "solve_lp_bound",
+    "knapsack_objectives_without",
 ]
 
 _BRUTE_FORCE_LIMIT = 22
 # Below this many positive-score candidates "exact" dispatch prefers brute
-# force over DP; above it, subset enumeration is slower than the DP.
-_AUTO_BRUTE_FORCE_LIMIT = 12
+# force over DP; above it, subset enumeration is slower than the DP.  Tuned
+# empirically (see benchmarks/test_e9_scalability.py): subset enumeration
+# overtakes the vectorised DP already at ~8 positive candidates.
+_AUTO_BRUTE_FORCE_LIMIT = 7
+
+_EPS = 1e-12
 
 
 @dataclass(frozen=True)
@@ -69,6 +84,11 @@ class WinnerDeterminationProblem:
         ``demands`` and ``capacity`` must be both present or both absent.
     max_winners:
         Cardinality cap, or ``None`` for unlimited.
+
+    The tuple fields are the canonical (hashable, comparable) representation;
+    :attr:`scores_array` / :attr:`demands_array` cache float64 views for the
+    vectorised solvers, and :meth:`without` / :meth:`with_score` derive
+    subproblems through those arrays without re-running validation.
     """
 
     scores: tuple[float, ...]
@@ -79,19 +99,54 @@ class WinnerDeterminationProblem:
     def __post_init__(self) -> None:
         if (self.demands is None) != (self.capacity is None):
             raise ValueError("demands and capacity must be both set or both None")
+        scores = np.asarray(self.scores, dtype=float)
         if self.demands is not None:
-            if len(self.demands) != len(self.scores):
+            demands = np.asarray(self.demands, dtype=float)
+            if demands.shape != scores.shape:
                 raise ValueError(
                     f"{len(self.demands)} demands for {len(self.scores)} scores"
                 )
-            if any(d <= 0 for d in self.demands):
+            if demands.size and not (demands > 0).all():
                 raise ValueError("all demands must be > 0")
             if self.capacity is not None and self.capacity < 0:
                 raise ValueError(f"capacity must be >= 0, got {self.capacity}")
+            object.__setattr__(self, "_demands_array", demands)
         if self.max_winners is not None and self.max_winners < 0:
             raise ValueError(f"max_winners must be >= 0, got {self.max_winners}")
-        if any(not np.isfinite(s) for s in self.scores):
+        if scores.size and not np.isfinite(scores).all():
             raise ValueError("scores must be finite")
+        object.__setattr__(self, "_scores_array", scores)
+
+    @classmethod
+    def _unchecked(
+        cls,
+        scores: np.ndarray,
+        demands: np.ndarray | None,
+        capacity: float | None,
+        max_winners: int | None,
+    ) -> "WinnerDeterminationProblem":
+        """Build from already-validated arrays, skipping ``__post_init__``."""
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "scores", tuple(scores.tolist()))
+        object.__setattr__(obj, "demands", None if demands is None else tuple(demands.tolist()))
+        object.__setattr__(obj, "capacity", capacity)
+        object.__setattr__(obj, "max_winners", max_winners)
+        object.__setattr__(obj, "_scores_array", scores)
+        if demands is not None:
+            object.__setattr__(obj, "_demands_array", demands)
+        return obj
+
+    @property
+    def scores_array(self) -> np.ndarray:
+        """Cached float64 view of :attr:`scores` (do not mutate)."""
+        return self._scores_array  # type: ignore[attr-defined]
+
+    @property
+    def demands_array(self) -> np.ndarray | None:
+        """Cached float64 view of :attr:`demands`, or ``None`` (do not mutate)."""
+        if self.demands is None:
+            return None
+        return self._demands_array  # type: ignore[attr-defined]
 
     @property
     def size(self) -> int:
@@ -107,10 +162,9 @@ class WinnerDeterminationProblem:
         """
         if not 0 <= index < self.size:
             raise IndexError(f"candidate index {index} out of range")
-        keep = [j for j in range(self.size) if j != index]
-        return WinnerDeterminationProblem(
-            scores=tuple(self.scores[j] for j in keep),
-            demands=None if self.demands is None else tuple(self.demands[j] for j in keep),
+        return self._unchecked(
+            scores=np.delete(self.scores_array, index),
+            demands=None if self.demands is None else np.delete(self.demands_array, index),
             capacity=self.capacity,
             max_winners=self.max_winners,
         )
@@ -119,11 +173,14 @@ class WinnerDeterminationProblem:
         """Return a copy with one candidate's score replaced."""
         if not 0 <= index < self.size:
             raise IndexError(f"candidate index {index} out of range")
-        scores = list(self.scores)
-        scores[index] = float(score)
-        return WinnerDeterminationProblem(
-            scores=tuple(scores),
-            demands=self.demands,
+        score = float(score)
+        if not np.isfinite(score):
+            raise ValueError("scores must be finite")
+        scores = self.scores_array.copy()
+        scores[index] = score
+        return self._unchecked(
+            scores=scores,
+            demands=self.demands_array,
             capacity=self.capacity,
             max_winners=self.max_winners,
         )
@@ -138,7 +195,7 @@ class WinnerDeterminationProblem:
             return False
         if self.capacity is not None:
             demands = self.demands or ()
-            if sum(demands[i] for i in selected) > self.capacity + 1e-12:
+            if sum(demands[i] for i in selected) > self.capacity + _EPS:
                 return False
         return True
 
@@ -164,8 +221,35 @@ def _empty() -> Allocation:
 
 
 def _finish(problem: WinnerDeterminationProblem, selected: list[int]) -> Allocation:
-    selected_sorted = tuple(sorted(selected))
+    selected_sorted = tuple(sorted(int(i) for i in selected))
     return Allocation(selected=selected_sorted, objective=problem.objective(selected_sorted))
+
+
+def _positive_candidates(problem: WinnerDeterminationProblem) -> np.ndarray:
+    return np.flatnonzero(problem.scores_array > 0)
+
+
+def greedy_order(problem: WinnerDeterminationProblem) -> np.ndarray:
+    """Positive-score candidates in greedy priority order.
+
+    Priority is ``(-density, -score, index)`` where density is
+    ``score / demand`` under a knapsack constraint and the plain score
+    otherwise — identical to the order :func:`solve_greedy` processes
+    candidates in.  Exposed for the analytic payment engine, which replays
+    this order instead of bisecting.
+    """
+    positive = _positive_candidates(problem)
+    if positive.size == 0:
+        return positive
+    scores = problem.scores_array[positive]
+    demands = problem.demands_array
+    if demands is not None:
+        density = scores / demands[positive]
+    else:
+        density = scores
+    # lexsort: last key is the primary one; ascending sort of negated keys
+    # yields descending density, then descending score, then ascending index.
+    return positive[np.lexsort((positive, -scores, -density))]
 
 
 def solve_top_k(problem: WinnerDeterminationProblem) -> Allocation:
@@ -176,13 +260,20 @@ def solve_top_k(problem: WinnerDeterminationProblem) -> Allocation:
     """
     if problem.capacity is not None:
         raise ValueError("solve_top_k cannot handle a knapsack constraint")
-    order = sorted(
-        (i for i in range(problem.size) if problem.scores[i] > 0),
-        key=lambda i: (-problem.scores[i], i),
-    )
+    scores = problem.scores_array
+    positive = np.flatnonzero(scores > 0)
+    if positive.size == 0:
+        return _empty()
+    # Stable argsort on the negated scores preserves ascending index among
+    # ties — the same (-score, index) order the reference implementation used.
+    order = positive[np.argsort(-scores[positive], kind="stable")]
     if problem.max_winners is not None:
         order = order[: problem.max_winners]
-    return _finish(problem, order)
+    selected = np.sort(order)
+    return Allocation(
+        selected=tuple(int(i) for i in selected),
+        objective=float(scores[selected].sum()),
+    )
 
 
 def solve_brute_force(problem: WinnerDeterminationProblem) -> Allocation:
@@ -195,7 +286,8 @@ def solve_brute_force(problem: WinnerDeterminationProblem) -> Allocation:
     if len(candidates) > _BRUTE_FORCE_LIMIT:
         raise ValueError(
             f"brute force limited to {_BRUTE_FORCE_LIMIT} positive-score "
-            f"candidates, got {len(candidates)}"
+            f"candidates, got {len(candidates)}; use wd_method=\"dp\" "
+            f"(solve_knapsack_dp) for instances this large"
         )
     max_size = len(candidates)
     if problem.max_winners is not None:
@@ -206,9 +298,30 @@ def solve_brute_force(problem: WinnerDeterminationProblem) -> Allocation:
             if not problem.is_feasible(subset):
                 continue
             objective = problem.objective(subset)
-            if objective > best.objective + 1e-12:
+            if objective > best.objective + _EPS:
                 best = Allocation(selected=tuple(subset), objective=objective)
     return best
+
+
+def _quantised_demands(
+    problem: WinnerDeterminationProblem, resolution: int
+) -> tuple[list[int], np.ndarray]:
+    """Positive-score candidates that fit the capacity, plus integer demands.
+
+    Demands are quantised to a grid of ``resolution`` units spanning the
+    capacity, rounding *up* so any allocation on the grid is feasible for the
+    original real-valued constraint.
+    """
+    demands = problem.demands_array
+    assert demands is not None and problem.capacity is not None
+    positive = _positive_candidates(problem)
+    if positive.size == 0 or problem.capacity <= 0:
+        return [], np.empty(0, dtype=np.int64)
+    scale = resolution / problem.capacity
+    units = np.ceil(demands[positive] * scale - 1e-9).astype(np.int64)
+    units = np.maximum(units, 1)
+    keep = units <= resolution
+    return [int(i) for i in positive[keep]], units[keep]
 
 
 def solve_knapsack_dp(
@@ -223,25 +336,19 @@ def solve_knapsack_dp(
     feasible for the original real-valued constraint.  When demands and
     capacity are integers and ``resolution >= capacity`` the solution is
     exact.
+
+    The backtracking table is bit-packed: one bit per (item, capacity,
+    count) cell instead of one byte, an 8x memory cut (the dense bool array
+    was ~160 MB at n=400 with an uncapped winner count).
     """
     if problem.capacity is None:
         return solve_top_k(problem)
     if resolution <= 0:
         raise ValueError(f"resolution must be > 0, got {resolution}")
-    demands = problem.demands or ()
-    candidates = [i for i in range(problem.size) if problem.scores[i] > 0]
-    if not candidates or problem.capacity <= 0:
-        return _empty()
-
-    scale = resolution / problem.capacity
-    int_capacity = resolution
-    int_demands = {}
-    for i in candidates:
-        units = int(np.ceil(demands[i] * scale - 1e-9))
-        int_demands[i] = max(units, 1)
-    candidates = [i for i in candidates if int_demands[i] <= int_capacity]
+    candidates, int_demands = _quantised_demands(problem, resolution)
     if not candidates:
         return _empty()
+    int_capacity = resolution
 
     k_cap = len(candidates)
     if problem.max_winners is not None:
@@ -249,29 +356,129 @@ def solve_knapsack_dp(
     if k_cap == 0:
         return _empty()
 
-    # dp[c, k] = best score using capacity exactly <= c with <= k items.
+    scores = problem.scores_array
+    # dp[c, k] = best score using capacity <= c with <= k items.
     dp = np.zeros((int_capacity + 1, k_cap + 1), dtype=float)
-    take = np.zeros((len(candidates), int_capacity + 1, k_cap + 1), dtype=bool)
+    cells = (int_capacity + 1) * (k_cap + 1)
+    take_packed = np.zeros((len(candidates), (cells + 7) // 8), dtype=np.uint8)
+    shifted = np.empty_like(dp)
     for item_pos, i in enumerate(candidates):
-        weight = int_demands[i]
-        score = problem.scores[i]
-        shifted = np.full_like(dp, -np.inf)
-        shifted[weight:, 1:] = dp[: int_capacity + 1 - weight, : k_cap] + score
-        improved = shifted > dp + 1e-12
-        take[item_pos] = improved
-        dp = np.where(improved, shifted, dp)
+        weight = int(int_demands[item_pos])
+        score = scores[i]
+        shifted.fill(-np.inf)
+        shifted[weight:, 1:] = dp[: int_capacity + 1 - weight, :k_cap] + score
+        improved = shifted > dp + _EPS
+        take_packed[item_pos] = np.packbits(improved.ravel(), bitorder="big")
+        np.copyto(dp, shifted, where=improved)
 
     # Backtrack: scan items in reverse; the first recorded improvement at the
     # current cell is the last one applied, i.e. the one the final value used.
     c, k = int_capacity, k_cap
     selected: list[int] = []
+    width = k_cap + 1
     for item_pos in range(len(candidates) - 1, -1, -1):
-        if take[item_pos, c, k]:
-            i = candidates[item_pos]
-            selected.append(i)
-            c -= int_demands[i]
+        bit = c * width + k
+        if (take_packed[item_pos, bit >> 3] >> (7 - (bit & 7))) & 1:
+            selected.append(candidates[item_pos])
+            c -= int(int_demands[item_pos])
             k -= 1
     return _finish(problem, selected)
+
+
+def _forward_dp_tables(
+    scores: np.ndarray,
+    int_demands: np.ndarray,
+    int_capacity: int,
+    k_cap: int,
+    snapshot_at: set[int],
+) -> dict[int, np.ndarray]:
+    """Budget-form knapsack DP over items in order, with prefix snapshots.
+
+    Returns ``{p: dp table over items[:p]}`` for every ``p`` in
+    ``snapshot_at``; ``dp[c, k]`` is the best score using capacity ``<= c``
+    and at most ``k`` items, so tables from disjoint item ranges combine by
+    maximising over a capacity/count split.
+    """
+    dp = np.zeros((int_capacity + 1, k_cap + 1), dtype=float)
+    snapshots: dict[int, np.ndarray] = {}
+    shifted = np.empty_like(dp)
+    for pos in range(len(scores)):
+        if pos in snapshot_at:
+            snapshots[pos] = dp.copy()
+        weight = int(int_demands[pos])
+        shifted.fill(-np.inf)
+        shifted[weight:, 1:] = dp[: int_capacity + 1 - weight, :k_cap] + scores[pos]
+        np.maximum(dp, shifted, out=dp)
+    if len(scores) in snapshot_at:
+        snapshots[len(scores)] = dp.copy()
+    return snapshots
+
+
+def knapsack_objectives_without(
+    problem: WinnerDeterminationProblem,
+    indices: tuple[int, ...],
+    *,
+    resolution: int = 1000,
+) -> dict[int, float]:
+    """Best DP objective of ``problem`` with one candidate removed, for each
+    candidate in ``indices`` — all from two DP passes.
+
+    Equivalent to ``solve_knapsack_dp(problem.without(i)).objective`` for
+    every ``i`` (same quantisation grid), but instead of ``len(indices)``
+    independent O(n·R·K) re-solves it runs one forward and one backward
+    budget-form DP with snapshots at the queried positions and combines each
+    pair with an O(R·K) elementwise max — the Clarke-payment hot path.
+    """
+    if problem.capacity is None:
+        raise ValueError("knapsack_objectives_without requires a knapsack constraint")
+    if resolution <= 0:
+        raise ValueError(f"resolution must be > 0, got {resolution}")
+    candidates, int_demands = _quantised_demands(problem, resolution)
+    int_capacity = resolution
+    position_of = {i: pos for pos, i in enumerate(candidates)}
+
+    k_cap = len(candidates)
+    if problem.max_winners is not None:
+        k_cap = min(k_cap, problem.max_winners)
+
+    if k_cap == 0:
+        return {i: 0.0 for i in indices}
+    out: dict[int, float] = {}
+    # Candidates dropped by quantisation (or non-positive scores) don't
+    # participate in the DP at all: removing them changes nothing.
+    missing = [i for i in indices if i not in position_of]
+    queried = [i for i in indices if i in position_of]
+    if missing:
+        base = solve_knapsack_dp(problem, resolution=resolution).objective
+        for i in missing:
+            out[i] = base
+    if not queried:
+        return out
+
+    scores = problem.scores_array[candidates]
+    positions = sorted(position_of[i] for i in queried)
+    forward = _forward_dp_tables(
+        scores, int_demands, int_capacity, k_cap, snapshot_at=set(positions)
+    )
+    # Backward pass: reverse the items; a snapshot before reversed position
+    # ``m - 1 - p`` covers original items ``p + 1 ..`` exactly.
+    m = len(candidates)
+    backward = _forward_dp_tables(
+        scores[::-1],
+        int_demands[::-1],
+        int_capacity,
+        k_cap,
+        snapshot_at={m - 1 - p for p in positions},
+    )
+    for i in queried:
+        pos = position_of[i]
+        prefix = forward[pos]
+        suffix = backward[m - 1 - pos]
+        # Best over capacity split c + (R - c) and count split k + (K - k):
+        # both tables are monotone in both axes, so flipping the suffix and
+        # adding elementwise covers every feasible split.
+        out[i] = float(np.max(prefix + suffix[::-1, ::-1]))
+    return out
 
 
 def solve_greedy(problem: WinnerDeterminationProblem) -> Allocation:
@@ -282,25 +489,42 @@ def solve_greedy(problem: WinnerDeterminationProblem) -> Allocation:
     density, moving it earlier in the order, so the induced allocation rule
     is monotone in each bid — the property required for critical-value
     payments (verified property-based in the test suite).
+
+    The sort and the no-skip prefix are vectorised (argsort + cumulative
+    demand scan); the Python loop only runs from the first candidate that
+    no longer fits.
     """
-    demands = problem.demands
-    candidates = [i for i in range(problem.size) if problem.scores[i] > 0]
+    order = greedy_order(problem)
+    if order.size == 0:
+        return _empty()
+    k_cap = problem.max_winners if problem.max_winners is not None else order.size
 
-    def priority(i: int) -> tuple[float, float, int]:
-        density = problem.scores[i] / demands[i] if demands is not None else problem.scores[i]
-        return (-density, -problem.scores[i], i)
+    if problem.capacity is None:
+        return _finish(problem, order[:k_cap].tolist())
 
-    candidates.sort(key=priority)
-    selected: list[int] = []
-    remaining = problem.capacity
-    for i in candidates:
-        if problem.max_winners is not None and len(selected) >= problem.max_winners:
-            break
-        if remaining is not None and demands is not None:
-            if demands[i] > remaining + 1e-12:
+    demands = problem.demands_array
+    assert demands is not None
+    ordered_demands = demands[order]
+    cumulative = np.cumsum(ordered_demands)
+    overflow = np.flatnonzero(cumulative > problem.capacity + _EPS)
+    prefix_len = int(overflow[0]) if overflow.size else order.size
+    prefix_len = min(prefix_len, k_cap)
+    selected = order[:prefix_len].tolist()
+    if prefix_len < order.size and prefix_len < k_cap:
+        # Skip semantics: the first over-budget candidate is skipped, later
+        # (smaller) candidates may still fit.
+        remaining = problem.capacity - (cumulative[prefix_len - 1] if prefix_len else 0.0)
+        tail = order[prefix_len:].tolist()
+        tail_demands = ordered_demands[prefix_len:].tolist()
+        count = prefix_len
+        for i, demand in zip(tail, tail_demands):
+            if count >= k_cap:
+                break
+            if demand > remaining + _EPS:
                 continue
-            remaining -= demands[i]
-        selected.append(i)
+            remaining -= demand
+            selected.append(i)
+            count += 1
     return _finish(problem, selected)
 
 
@@ -333,6 +557,68 @@ def solve_lp_bound(problem: WinnerDeterminationProblem) -> float:
     return float(-result.fun)
 
 
+class SolveCache:
+    """Bounded memo of ``(problem, method, resolution) -> Allocation``.
+
+    :class:`WinnerDeterminationProblem` is frozen and hashable, so problem
+    identity is value identity.  The per-round mechanism threads one cache
+    through winner determination and every payment re-solve, and the
+    long-term mechanism reuses it across rounds — repeated instances (e.g.
+    truthfulness probes re-solving "everyone but the deviator", or rounds
+    where the queue state did not move) are solved once.  Eviction is FIFO.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be > 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._store: dict[tuple, Allocation] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def solve(
+        self,
+        problem: WinnerDeterminationProblem,
+        method: str,
+        *,
+        resolution: int = 1000,
+    ) -> Allocation:
+        key = (problem, method, resolution)
+        cached = self._store.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        allocation = solve(problem, method, resolution=resolution)
+        if len(self._store) >= self.maxsize:
+            self._store.pop(next(iter(self._store)))
+        self._store[key] = allocation
+        return allocation
+
+
+def exact_method_for(problem: WinnerDeterminationProblem) -> str:
+    """The concrete solver the ``"exact"`` dispatch picks for an instance.
+
+    Shared with the payment engine so winner determination and Clarke
+    critical scores always agree on whether an instance is solved by
+    ``"top-k"``, ``"brute-force"`` or ``"dp"`` — mixing, say, brute-force
+    winners with quantised-DP "without i" objectives would produce pivots
+    computed from mismatched objectives.
+    """
+    if problem.capacity is None:
+        return "top-k"
+    positive = int((problem.scores_array > 0).sum())
+    if positive <= _AUTO_BRUTE_FORCE_LIMIT:
+        return "brute-force"
+    return "dp"
+
+
 def solve(
     problem: WinnerDeterminationProblem,
     method: str = "exact",
@@ -341,20 +627,15 @@ def solve(
 ) -> Allocation:
     """Dispatch to a solver by name.
 
-    ``"exact"`` chooses the cheapest exact solver for the instance:
-    :func:`solve_top_k` without a knapsack constraint, otherwise
-    :func:`solve_brute_force` for small instances and
+    ``"exact"`` chooses the cheapest exact solver for the instance
+    (see :func:`exact_method_for`): :func:`solve_top_k` without a knapsack
+    constraint, otherwise :func:`solve_brute_force` for small instances and
     :func:`solve_knapsack_dp` beyond.  ``"greedy"`` selects the monotone
     heuristic; ``"brute-force"``, ``"dp"`` and ``"top-k"`` force a specific
     solver.
     """
     if method == "exact":
-        if problem.capacity is None:
-            return solve_top_k(problem)
-        positive = sum(1 for s in problem.scores if s > 0)
-        if positive <= _AUTO_BRUTE_FORCE_LIMIT:
-            return solve_brute_force(problem)
-        return solve_knapsack_dp(problem, resolution=resolution)
+        method = exact_method_for(problem)
     if method == "greedy":
         return solve_greedy(problem)
     if method == "brute-force":

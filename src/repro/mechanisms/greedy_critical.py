@@ -20,6 +20,8 @@ sum to at most ``B`` by construction.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.bids import AuctionRound, Bid, RoundOutcome
 from repro.core.mechanism import Mechanism
 from repro.utils.validation import check_positive
@@ -58,21 +60,27 @@ class ProportionalShareMechanism(Mechanism):
         return sorted(bids, key=lambda bid: (-density(bid), bid.client_id))
 
     def _winning_prefix(self, ranked: list[Bid], values: dict[int, float]) -> int:
-        """Largest k such that the k-prefix satisfies the share condition."""
-        best_k = 0
-        total_value = 0.0
-        for index, bid in enumerate(ranked):
-            total_value += values[bid.client_id]
-            if self.max_winners is not None and index + 1 > self.max_winners:
-                break
-            share_ok = all(
-                ranked[j].cost
-                <= self.budget_per_round * values[ranked[j].client_id] / total_value + 1e-12
-                for j in range(index + 1)
-            )
-            if share_ok:
-                best_k = index + 1
-        return best_k
+        """Largest k such that the k-prefix satisfies the share condition.
+
+        The k-prefix is feasible iff ``b_j <= B * v_j / V_k`` for every
+        member ``j`` — equivalently ``max_{j<=k}(b_j / v_j) <= B / V_k``.
+        Both the running ratio maximum and the prefix value total are
+        monotone, so one cumulative scan replaces the quadratic
+        every-member-per-prefix recheck.
+        """
+        if not ranked:
+            return 0
+        costs = np.array([bid.cost for bid in ranked])
+        # _ranked only admits strictly positive values; the floor keeps the
+        # ratio finite if a caller ever bypasses that filter.
+        vals = np.maximum(np.array([values[bid.client_id] for bid in ranked]), 1e-12)
+        totals = np.cumsum(vals)
+        worst_ratio = np.maximum.accumulate((costs - 1e-12) / vals)
+        ok = worst_ratio * totals <= self.budget_per_round
+        if self.max_winners is not None:
+            ok[self.max_winners:] = False
+        feasible = np.flatnonzero(ok)
+        return int(feasible[-1]) + 1 if feasible.size else 0
 
     def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
         values = dict(auction_round.values)

@@ -16,6 +16,7 @@ from typing import Mapping
 from repro.core.bids import AuctionRound, RoundOutcome
 from repro.core.mechanism import Mechanism
 from repro.core.vcg import SingleRoundVCGAuction
+from repro.core.winner_determination import SolveCache
 
 __all__ = ["MyopicVCGMechanism"]
 
@@ -41,6 +42,9 @@ class MyopicVCGMechanism(Mechanism):
         self.wd_method = wd_method
         self.demands = demands
         self.capacity = capacity
+        # Myopic weights never change, so identical rounds recur verbatim —
+        # share one solve cache across the per-round auctions.
+        self.solve_cache = SolveCache()
 
     def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
         auction = SingleRoundVCGAuction(
@@ -50,6 +54,7 @@ class MyopicVCGMechanism(Mechanism):
             demands=self.demands,
             capacity=self.capacity,
             wd_method=self.wd_method,
+            solve_cache=self.solve_cache,
         )
         result = auction.run(auction_round)
         return RoundOutcome(

@@ -1,0 +1,317 @@
+"""Property tests: the fast payment engines match the retained oracles.
+
+The payment hot path was rebuilt around analytic / incremental engines
+(:func:`greedy_critical_scores`, :func:`top_k_critical_scores`,
+:func:`knapsack_clarke_critical_scores`); the original general-purpose
+implementations (bisection search, per-winner re-solves) are kept as
+reference oracles.  These tests pin the fast paths to the oracles on
+randomized instances and check the economic invariants (critical-score
+bounds, allocation monotonicity at the threshold, individual rationality)
+directly on the mechanism.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bids import AuctionRound, Bid
+from repro.core.payments import (
+    clarke_critical_scores,
+    critical_scores_by_search,
+    greedy_critical_scores,
+    knapsack_clarke_critical_scores,
+    top_k_critical_scores,
+)
+from repro.core.vcg import SingleRoundVCGAuction
+from repro.core.winner_determination import (
+    SolveCache,
+    WinnerDeterminationProblem,
+    knapsack_objectives_without,
+    solve_brute_force,
+    solve_greedy,
+    solve_knapsack_dp,
+    solve_top_k,
+)
+
+
+def problem(scores, demands=None, capacity=None, max_winners=None):
+    return WinnerDeterminationProblem(
+        scores=tuple(scores),
+        demands=None if demands is None else tuple(demands),
+        capacity=capacity,
+        max_winners=max_winners,
+    )
+
+
+def random_problem(rng, *, knapsack: bool, max_n: int = 14):
+    n = int(rng.integers(2, max_n))
+    return problem(
+        rng.uniform(-1, 4, n).tolist(),
+        demands=rng.uniform(0.1, 2.0, n).tolist() if knapsack else None,
+        capacity=float(rng.uniform(0.5, 5.0)) if knapsack else None,
+        max_winners=int(rng.integers(1, n + 1)) if rng.random() < 0.7 else None,
+    )
+
+
+class TestGreedyCriticalsMatchBisection:
+    def test_knapsack_instances(self):
+        rng = np.random.default_rng(11)
+        for _ in range(60):
+            p = random_problem(rng, knapsack=True, max_n=20)
+            allocation = solve_greedy(p)
+            fast = greedy_critical_scores(p, allocation)
+            oracle = critical_scores_by_search(p, allocation, tolerance=1e-12)
+            assert set(fast) == set(allocation.selected)
+            for index in allocation.selected:
+                tol = 1e-6 * max(1.0, abs(p.scores[index]))
+                assert fast[index] == pytest.approx(oracle[index], abs=tol)
+
+    def test_cardinality_instances(self):
+        rng = np.random.default_rng(12)
+        for _ in range(60):
+            p = random_problem(rng, knapsack=False, max_n=20)
+            allocation = solve_greedy(p)
+            fast = greedy_critical_scores(p, allocation)
+            oracle = critical_scores_by_search(p, allocation, tolerance=1e-12)
+            for index in allocation.selected:
+                tol = 1e-6 * max(1.0, abs(p.scores[index]))
+                assert fast[index] == pytest.approx(oracle[index], abs=tol)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        scores=st.lists(st.floats(-2, 5), min_size=1, max_size=12),
+        seed=st.integers(0, 1000),
+    )
+    def test_hypothesis_knapsack(self, scores, seed):
+        rng = np.random.default_rng(seed)
+        p = problem(
+            scores,
+            demands=rng.uniform(0.1, 2.0, len(scores)).tolist(),
+            capacity=float(rng.uniform(0.5, 4.0)),
+            max_winners=int(rng.integers(1, len(scores) + 1)),
+        )
+        allocation = solve_greedy(p)
+        fast = greedy_critical_scores(p, allocation)
+        oracle = critical_scores_by_search(p, allocation, tolerance=1e-12)
+        for index in allocation.selected:
+            tol = 1e-6 * max(1.0, abs(p.scores[index]))
+            assert fast[index] == pytest.approx(oracle[index], abs=tol)
+
+    def test_threshold_is_sharp(self):
+        """Winner stays selected just above sigma and drops just below it."""
+        rng = np.random.default_rng(13)
+        for _ in range(40):
+            p = random_problem(rng, knapsack=True)
+            allocation = solve_greedy(p)
+            critical = greedy_critical_scores(p, allocation)
+            for index, sigma in critical.items():
+                assert 0.0 <= sigma <= p.scores[index] + 1e-9
+                above = solve_greedy(p.with_score(index, sigma + 1e-6))
+                assert index in above.selected
+                if sigma > 1e-6:
+                    below = solve_greedy(p.with_score(index, sigma - 1e-6))
+                    assert index not in below.selected
+
+
+class TestTopKClosedForm:
+    def test_matches_resolve_oracle(self):
+        rng = np.random.default_rng(21)
+        for _ in range(60):
+            p = random_problem(rng, knapsack=False, max_n=20)
+            allocation = solve_top_k(p)
+            fast = top_k_critical_scores(p, allocation)
+            oracle = clarke_critical_scores(p, allocation, solver=solve_top_k)
+            for index in allocation.selected:
+                assert fast[index] == pytest.approx(oracle[index], abs=1e-9)
+
+    def test_rejects_knapsack(self):
+        p = problem([1.0], demands=[1.0], capacity=1.0)
+        with pytest.raises(ValueError):
+            top_k_critical_scores(p, solve_greedy(p))
+
+    def test_default_clarke_dispatch_uses_closed_form(self):
+        p = problem([5.0, 4.0, 3.0], max_winners=2)
+        allocation = solve_top_k(p)
+        assert clarke_critical_scores(p, allocation) == top_k_critical_scores(
+            p, allocation
+        )
+
+
+class TestKnapsackPrefixSuffixClarke:
+    def test_objectives_without_match_full_resolve(self):
+        rng = np.random.default_rng(31)
+        for _ in range(40):
+            p = random_problem(rng, knapsack=True)
+            resolution = int(rng.choice([60, 250, 1000]))
+            allocation = solve_knapsack_dp(p, resolution=resolution)
+            fast = knapsack_objectives_without(
+                p, allocation.selected, resolution=resolution
+            )
+            for index in allocation.selected:
+                ref = solve_knapsack_dp(p.without(index), resolution=resolution)
+                assert fast[index] == pytest.approx(ref.objective, abs=1e-9)
+
+    def test_critical_scores_match_resolve_oracle(self):
+        rng = np.random.default_rng(32)
+        for _ in range(40):
+            p = random_problem(rng, knapsack=True)
+            allocation = solve_knapsack_dp(p)
+            fast = knapsack_clarke_critical_scores(p, allocation)
+            oracle = clarke_critical_scores(
+                p, allocation, solver=solve_knapsack_dp
+            )
+            for index in allocation.selected:
+                assert fast[index] == pytest.approx(oracle[index], abs=1e-9)
+
+    def test_default_clarke_dispatch_uses_prefix_suffix_in_dp_regime(self):
+        """clarke_critical_scores with no solver mirrors the exact-dispatch
+        rule: DP-regime knapsack instances go through the prefix/suffix
+        engine."""
+        rng = np.random.default_rng(35)
+        n = 12  # > _AUTO_BRUTE_FORCE_LIMIT positive candidates
+        p = problem(
+            rng.uniform(0.5, 4, n).tolist(),
+            demands=rng.uniform(0.3, 1.5, n).tolist(),
+            capacity=3.0,
+        )
+        allocation = solve_knapsack_dp(p)
+        assert clarke_critical_scores(p, allocation) == pytest.approx(
+            knapsack_clarke_critical_scores(p, allocation)
+        )
+
+    def test_bounds_hold(self):
+        rng = np.random.default_rng(33)
+        for _ in range(25):
+            p = random_problem(rng, knapsack=True)
+            allocation = solve_knapsack_dp(p)
+            for index, sigma in knapsack_clarke_critical_scores(p, allocation).items():
+                assert 0.0 <= sigma <= p.scores[index] + 1e-9
+
+    def test_matches_brute_force_on_integer_grids(self):
+        """On integer demands the DP grid is exact, so the prefix/suffix
+        engine reproduces true Clarke pivots."""
+        rng = np.random.default_rng(34)
+        for _ in range(25):
+            n = int(rng.integers(2, 9))
+            capacity = float(rng.integers(3, 9))
+            p = problem(
+                rng.uniform(0.1, 4, n).tolist(),
+                demands=[float(d) for d in rng.integers(1, 4, n)],
+                capacity=capacity,
+            )
+            allocation = solve_brute_force(p)
+            dp_allocation = solve_knapsack_dp(p, resolution=int(capacity))
+            assert dp_allocation.objective == pytest.approx(allocation.objective)
+            fast = knapsack_clarke_critical_scores(
+                p, dp_allocation, resolution=int(capacity)
+            )
+            oracle = clarke_critical_scores(p, allocation, solver=solve_brute_force)
+            for index in set(fast) & set(oracle):
+                assert fast[index] == pytest.approx(oracle[index], abs=1e-9)
+
+
+class TestMechanismInvariants:
+    def _round(self, rng, n):
+        bids = tuple(
+            Bid(client_id=i, cost=float(rng.uniform(0.1, 2.0)), data_size=100)
+            for i in range(n)
+        )
+        values = {i: float(rng.uniform(0.2, 3.0)) for i in range(n)}
+        return AuctionRound(index=0, bids=bids, values=values)
+
+    @pytest.mark.parametrize("wd_method", ["exact", "greedy", "dp"])
+    def test_individual_rationality(self, wd_method):
+        rng = np.random.default_rng(41)
+        for _ in range(15):
+            n = int(rng.integers(3, 20))
+            auction = SingleRoundVCGAuction(
+                value_weight=2.0,
+                cost_weight=1.5,
+                max_winners=int(rng.integers(1, 6)),
+                demands={i: float(rng.uniform(0.5, 2.0)) for i in range(n)},
+                capacity=4.0,
+                wd_method=wd_method,
+            )
+            auction_round = self._round(rng, n)
+            result = auction.run(auction_round)
+            for client_id, payment in result.payments.items():
+                assert payment >= auction_round.bid_of(client_id).cost - 1e-9
+
+    def test_greedy_payments_match_bisection_engine_end_to_end(self):
+        """The auction's greedy payments equal what the bisection oracle
+        would have produced (modulo bisection tolerance)."""
+        rng = np.random.default_rng(42)
+        for _ in range(10):
+            n = int(rng.integers(3, 16))
+            auction = SingleRoundVCGAuction(
+                value_weight=2.0,
+                cost_weight=1.5,
+                max_winners=5,
+                demands={i: float(rng.uniform(0.5, 2.0)) for i in range(n)},
+                capacity=4.0,
+                wd_method="greedy",
+            )
+            auction_round = self._round(rng, n)
+            result = auction.run(auction_round)
+            problem_, ids = auction.build_problem(auction_round)
+            allocation = solve_greedy(problem_)
+            oracle = critical_scores_by_search(problem_, allocation, tolerance=1e-12)
+            for index in allocation.selected:
+                client_id = ids[index]
+                weight = auction.weight_of(client_id, auction_round.values[client_id])
+                expected = (weight - oracle[index]) / auction.cost_weight
+                expected = max(expected, auction_round.bid_of(client_id).cost)
+                assert result.payments[client_id] == pytest.approx(expected, abs=1e-5)
+
+
+class TestSolveCache:
+    def test_hits_on_repeat_and_respects_method(self):
+        cache = SolveCache()
+        p = problem([3.0, 2.0, 1.0], max_winners=2)
+        first = cache.solve(p, "top-k")
+        again = cache.solve(p, "top-k")
+        assert first is again
+        assert cache.hits == 1 and cache.misses == 1
+        # An equal-valued but distinct problem object still hits.
+        q = problem([3.0, 2.0, 1.0], max_winners=2)
+        assert cache.solve(q, "top-k") is first
+        # A different method is a different entry.
+        cache.solve(p, "greedy")
+        assert cache.misses == 2
+
+    def test_eviction_bounds_size(self):
+        cache = SolveCache(maxsize=4)
+        for k in range(10):
+            cache.solve(problem([float(k + 1)]), "top-k")
+        assert len(cache) == 4
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            SolveCache(maxsize=0)
+
+
+class TestDerivedProblemsStayCanonical:
+    """without()/with_score() skip validation — their results must still be
+    value-equal (and hash-equal) to independently constructed problems, or
+    the solve cache would miss."""
+
+    def test_without_equals_fresh_construction(self):
+        p = problem([1.5, 2.5, 3.5], demands=[1.0, 2.0, 3.0], capacity=4.0,
+                    max_winners=2)
+        derived = p.without(1)
+        fresh = problem([1.5, 3.5], demands=[1.0, 3.0], capacity=4.0, max_winners=2)
+        assert derived == fresh
+        assert hash(derived) == hash(fresh)
+
+    def test_with_score_equals_fresh_construction(self):
+        p = problem([1.5, 2.5], max_winners=1)
+        derived = p.with_score(0, 9.0)
+        fresh = problem([9.0, 2.5], max_winners=1)
+        assert derived == fresh
+        assert hash(derived) == hash(fresh)
+
+    def test_with_score_rejects_nonfinite(self):
+        p = problem([1.0])
+        with pytest.raises(ValueError):
+            p.with_score(0, float("nan"))

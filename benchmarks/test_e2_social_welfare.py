@@ -6,22 +6,24 @@ welfare among budget-respecting mechanisms because it paces spend across
 rounds instead of enforcing the budget per round; pay-as-bid greedy looks
 efficient only because clients here bid truthfully (E5 removes that
 illusion); random selection buys negative-welfare clients.
+
+Runs through :mod:`repro.orchestration` (like E11): one declarative
+5-mechanism campaign whose cells archive their full event logs — the
+welfare curves are read back from the archived logs, and the stateless
+baselines exercise the batched worker path (a whole cell's rounds through
+one :meth:`~repro.core.mechanism.Mechanism.run_rounds` batch).
 """
 
 from __future__ import annotations
 
-import numpy as np
+import tempfile
+from pathlib import Path
 
 from benchmarks.conftest import run_once
-from repro import LongTermVCGConfig, LongTermVCGMechanism, SimulationRunner
 from repro.analysis.reporting import mechanism_comparison_table, payment_table
-from repro.mechanisms import (
-    GreedyFirstPriceMechanism,
-    MyopicVCGMechanism,
-    ProportionalShareMechanism,
-    RandomSelectionMechanism,
-)
-from repro.simulation.scenarios import build_mechanism_scenario
+from repro.config import ExperimentConfig
+from repro.orchestration import SweepSpec, load_results, run_campaign
+from repro.simulation.replay import load_event_log
 from repro.utils.tables import format_series
 
 SEED = 7
@@ -31,28 +33,38 @@ K = 10
 BUDGET = 2.5  # binding: unconstrained VCG spend here is ~2x this
 V = 25.0
 
-
-def make_mechanisms():
-    return {
-        "lt-vcg": LongTermVCGMechanism(
-            LongTermVCGConfig(v=V, budget_per_round=BUDGET, max_winners=K)
-        ),
-        "myopic-vcg": MyopicVCGMechanism(max_winners=K),
-        "prop-share": ProportionalShareMechanism(BUDGET, K),
-        "greedy-first-price": GreedyFirstPriceMechanism(BUDGET, K),
-        "random": RandomSelectionMechanism(K, np.random.default_rng(3)),
-    }
+MECHANISMS = (
+    "lt-vcg",
+    "myopic-vcg",
+    "prop-share",
+    "greedy-first-price",
+    "random",
+)
 
 
 def run_all():
-    logs = {}
-    for name, mechanism in make_mechanisms().items():
-        scenario = build_mechanism_scenario(NUM_CLIENTS, seed=SEED)
-        runner = SimulationRunner(
-            mechanism, scenario.clients, scenario.valuation, seed=13
-        )
-        logs[name] = runner.run(ROUNDS)
-    return logs
+    """Run the campaign; returns mechanism -> EventLog from archived cells."""
+    spec = SweepSpec(
+        base=ExperimentConfig(
+            num_clients=NUM_CLIENTS,
+            num_rounds=ROUNDS,
+            max_winners=K,
+            budget_per_round=BUDGET,
+            v=V,
+            seed=SEED,
+        ),
+        mechanisms=MECHANISMS,
+        seeds=(SEED,),
+        name="e2-social-welfare",
+    )
+    with tempfile.TemporaryDirectory() as campaign_dir:
+        summary = run_campaign(spec, campaign_dir, max_workers=0)
+        assert summary.failed == 0, "e2 campaign had failed cells"
+        logs = {}
+        for result in load_results(campaign_dir):
+            assert result.completed and result.event_log_path is not None
+            logs[result.mechanism] = load_event_log(Path(result.event_log_path))
+    return {name: logs[name] for name in MECHANISMS}
 
 
 def test_e2_social_welfare(benchmark, report):

@@ -11,12 +11,15 @@ makes truthfulness experiments meaningful.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field, replace
 from typing import Mapping
 
+import numpy as np
+
 from repro.utils.validation import check_non_negative
 
-__all__ = ["Bid", "AuctionRound", "RoundOutcome"]
+__all__ = ["Bid", "AuctionRound", "RoundBatch", "RoundOutcome"]
 
 
 @dataclass(frozen=True)
@@ -124,6 +127,252 @@ class AuctionRound:
         bids = tuple(bid for bid in self.bids if bid.client_id != client_id)
         values = {bid.client_id: self.values[bid.client_id] for bid in bids}
         return AuctionRound(index=self.index, bids=bids, values=values)
+
+
+class RoundBatch:
+    """A columnar batch of ``R`` auction rounds (padded ragged layout).
+
+    Row ``r`` holds round ``r``'s bids *in their original bid order* in
+    columns ``0..size_r-1``; :attr:`mask` marks the valid columns.  Keeping
+    column order equal to bid order is load-bearing: winner-determination
+    tie-breaking is positional, so batched solvers reproduce the sequential
+    path's tie-breaks exactly.
+
+    The batch is the unit the batched mechanism API consumes
+    (:meth:`repro.core.mechanism.Mechanism.run_rounds`).  It can be built
+    from materialised :class:`AuctionRound` objects (:meth:`from_rounds`) or
+    directly from arrays (:meth:`from_columns`, :meth:`deviations`) —
+    the latter is how the truthfulness probes avoid constructing and
+    re-validating thousands of near-identical rounds.
+
+    Attributes
+    ----------
+    indices:
+        ``(R,)`` int array of round indices.
+    client_ids:
+        ``(R, N)`` int array, ``client_ids[r, j]`` is the id of round ``r``'s
+        ``j``-th bidder (-1 in padded cells).
+    mask:
+        ``(R, N)`` bool participation mask.
+    costs / values / data_sizes / qualities:
+        ``(R, N)`` float/int arrays of the corresponding bid fields and
+        server-side values (0 in padded cells).
+    """
+
+    __slots__ = (
+        "indices",
+        "client_ids",
+        "mask",
+        "costs",
+        "values",
+        "data_sizes",
+        "qualities",
+        "_rounds",
+    )
+
+    def __init__(
+        self,
+        indices: np.ndarray,
+        client_ids: np.ndarray,
+        mask: np.ndarray,
+        costs: np.ndarray,
+        values: np.ndarray,
+        data_sizes: np.ndarray,
+        qualities: np.ndarray,
+        _rounds: list | None = None,
+    ) -> None:
+        self.indices = indices
+        self.client_ids = client_ids
+        self.mask = mask
+        self.costs = costs
+        self.values = values
+        self.data_sizes = data_sizes
+        self.qualities = qualities
+        self._rounds = _rounds if _rounds is not None else [None] * len(indices)
+
+    @classmethod
+    def from_rounds(cls, rounds: Sequence[AuctionRound]) -> "RoundBatch":
+        """Stack materialised rounds into a columnar batch."""
+        rounds = list(rounds)
+        num = len(rounds)
+        width = max((len(r.bids) for r in rounds), default=0)
+        indices = np.fromiter((r.index for r in rounds), dtype=np.int64, count=num)
+        client_ids = np.full((num, width), -1, dtype=np.int64)
+        mask = np.zeros((num, width), dtype=bool)
+        costs = np.zeros((num, width), dtype=float)
+        values = np.zeros((num, width), dtype=float)
+        data_sizes = np.zeros((num, width), dtype=np.int64)
+        qualities = np.zeros((num, width), dtype=float)
+        for r, auction_round in enumerate(rounds):
+            for j, bid in enumerate(auction_round.bids):
+                client_ids[r, j] = bid.client_id
+                mask[r, j] = True
+                costs[r, j] = bid.cost
+                values[r, j] = auction_round.values[bid.client_id]
+                data_sizes[r, j] = bid.data_size
+                qualities[r, j] = bid.quality
+        return cls(
+            indices, client_ids, mask, costs, values, data_sizes, qualities,
+            _rounds=list(rounds),
+        )
+
+    @classmethod
+    def from_columns(
+        cls,
+        indices: np.ndarray,
+        client_ids: np.ndarray,
+        mask: np.ndarray,
+        costs: np.ndarray,
+        values: np.ndarray,
+        data_sizes: np.ndarray | None = None,
+        qualities: np.ndarray | None = None,
+    ) -> "RoundBatch":
+        """Build a batch straight from columnar arrays (no round objects).
+
+        All arrays must share the ``(R, N)`` shape of ``mask``; bid fields in
+        padded (masked-out) cells are ignored.  ``data_sizes`` defaults to 1
+        and ``qualities`` to 1.0, matching :class:`Bid`'s defaults.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        num, width = mask.shape
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.shape != (num,):
+            raise ValueError(f"indices must have shape ({num},), got {indices.shape}")
+        client_ids = np.asarray(client_ids, dtype=np.int64)
+        costs = np.asarray(costs, dtype=float)
+        values = np.asarray(values, dtype=float)
+        for name, array in (("client_ids", client_ids), ("costs", costs), ("values", values)):
+            if array.shape != mask.shape:
+                raise ValueError(
+                    f"{name} must have shape {mask.shape}, got {array.shape}"
+                )
+        if costs[mask].size and (costs[mask] < 0).any():
+            raise ValueError("bid costs must be >= 0")
+        for r in range(num):
+            row = client_ids[r, mask[r]]
+            if len(set(row.tolist())) != row.size:
+                raise ValueError(f"duplicate client_id in batch row {r}")
+        if data_sizes is None:
+            data_sizes = np.ones((num, width), dtype=np.int64)
+        else:
+            data_sizes = np.asarray(data_sizes, dtype=np.int64)
+        if qualities is None:
+            qualities = np.ones((num, width), dtype=float)
+        else:
+            qualities = np.asarray(qualities, dtype=float)
+        for name, array in (("data_sizes", data_sizes), ("qualities", qualities)):
+            if array.shape != mask.shape:
+                raise ValueError(
+                    f"{name} must have shape {mask.shape}, got {array.shape}"
+                )
+        return cls(indices, client_ids, mask, costs, values, data_sizes, qualities)
+
+    @classmethod
+    def deviation_grid(
+        cls,
+        auction_round: AuctionRound,
+        deviations: Sequence[tuple[int, float]],
+    ) -> "RoundBatch":
+        """Unilateral bid deviations of one base round as a columnar batch.
+
+        Row ``d`` equals ``auction_round`` with client ``deviations[d][0]``'s
+        bid cost replaced by ``deviations[d][1]`` — the vector analogue of
+        :meth:`AuctionRound.with_replaced_bid` without building ``R`` round
+        objects.  A whole truthfulness sweep (every client × every misreport
+        factor) is one grid.
+        """
+        ids = auction_round.client_ids
+        column_of = {client_id: column for column, client_id in enumerate(ids)}
+        num = len(deviations)
+        width = len(ids)
+        columns = np.empty(num, dtype=np.int64)
+        deviated = np.empty(num, dtype=float)
+        for d, (client_id, cost) in enumerate(deviations):
+            if client_id not in column_of:
+                raise KeyError(f"client {client_id} is not part of this round")
+            columns[d] = column_of[client_id]
+            deviated[d] = cost
+        if deviated.size and (deviated < 0).any():
+            raise ValueError("deviated bid costs must be >= 0")
+        base_costs = np.fromiter(
+            (bid.cost for bid in auction_round.bids), dtype=float, count=width
+        )
+        costs = np.tile(base_costs, (num, 1))
+        costs[np.arange(num), columns] = deviated
+        values_row = np.fromiter(
+            (auction_round.values[i] for i in ids), dtype=float, count=width
+        )
+        data_row = np.fromiter(
+            (bid.data_size for bid in auction_round.bids), dtype=np.int64, count=width
+        )
+        quality_row = np.fromiter(
+            (bid.quality for bid in auction_round.bids), dtype=float, count=width
+        )
+        return cls(
+            indices=np.full(num, auction_round.index, dtype=np.int64),
+            client_ids=np.tile(np.asarray(ids, dtype=np.int64), (num, 1)),
+            mask=np.ones((num, width), dtype=bool),
+            costs=costs,
+            values=np.tile(values_row, (num, 1)),
+            data_sizes=np.tile(data_row, (num, 1)),
+            qualities=np.tile(quality_row, (num, 1)),
+        )
+
+    @classmethod
+    def deviations(
+        cls,
+        auction_round: AuctionRound,
+        client_id: int,
+        deviated_costs: Sequence[float],
+    ) -> "RoundBatch":
+        """One client's deviation sweep (a single-client :meth:`deviation_grid`)."""
+        return cls.deviation_grid(
+            auction_round, [(client_id, cost) for cost in deviated_costs]
+        )
+
+    def __len__(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Padded column count (the widest round's size)."""
+        return int(self.mask.shape[1])
+
+    def sizes(self) -> np.ndarray:
+        """Per-round bidder counts."""
+        return self.mask.sum(axis=1)
+
+    def index_at(self, r: int) -> int:
+        """Round index of batch row ``r``."""
+        return int(self.indices[r])
+
+    def round_at(self, r: int) -> AuctionRound:
+        """Materialise row ``r`` as an :class:`AuctionRound` (cached)."""
+        cached = self._rounds[r]
+        if cached is not None:
+            return cached
+        cols = np.flatnonzero(self.mask[r])
+        bids = tuple(
+            Bid(
+                client_id=int(self.client_ids[r, j]),
+                cost=float(self.costs[r, j]),
+                data_size=int(self.data_sizes[r, j]),
+                quality=float(self.qualities[r, j]),
+            )
+            for j in cols
+        )
+        values = {
+            int(self.client_ids[r, j]): float(self.values[r, j]) for j in cols
+        }
+        auction_round = AuctionRound(
+            index=int(self.indices[r]), bids=bids, values=values
+        )
+        self._rounds[r] = auction_round
+        return auction_round
+
+    def __iter__(self) -> Iterator[AuctionRound]:
+        for r in range(len(self)):
+            yield self.round_at(r)
 
 
 @dataclass(frozen=True)

@@ -30,7 +30,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.core.bids import AuctionRound, RoundOutcome
+import numpy as np
+
+from repro.core.bids import AuctionRound, RoundBatch, RoundOutcome
 from repro.core.lyapunov import DriftPlusPenaltyController
 from repro.core.mechanism import Mechanism
 from repro.core.sustainability import ParticipationTracker
@@ -120,9 +122,12 @@ class LongTermVCGMechanism(Mechanism):
 
     def build_auction(self, auction_round: AuctionRound) -> SingleRoundVCGAuction:
         """Instantiate this round's weighted VCG auction from queue state."""
+        return self._auction_for(auction_round.client_ids)
+
+    def _auction_for(self, client_ids: tuple[int, ...]) -> SingleRoundVCGAuction:
         offsets = None
         if self.participation is not None:
-            offsets = self.participation.offsets(auction_round.client_ids)
+            offsets = self.participation.offsets(client_ids)
         return SingleRoundVCGAuction(
             value_weight=self.controller.value_weight,
             cost_weight=self.controller.cost_weight,
@@ -162,9 +167,57 @@ class LongTermVCGMechanism(Mechanism):
             diagnostics=diagnostics,
         )
 
+    def probe_rounds(self, batch: RoundBatch) -> list[RoundOutcome]:
+        """Independent counterfactual rounds from the current queue state.
+
+        The queues only enter a round's decision through this round's
+        weights/offsets, and feedback is posted *after* the decision — so a
+        counterfactual evaluation is one weighted auction from the current
+        ``Q(t)``/``Z(t)``, run on the whole batch as stacked solves, with no
+        feedback posted.  Outcomes are bit-identical to running each round
+        through :meth:`run_round` on a fresh copy of this mechanism (pinned
+        property-based in the test suite).
+        """
+        if self.participation is not None and len(batch):
+            # Offsets are the only per-client auction input; the union of the
+            # batch's ids covers every round's candidates.
+            ids = tuple(int(i) for i in np.unique(batch.client_ids[batch.mask]))
+        else:
+            ids = ()
+        auction = self._auction_for(ids)
+        outcomes = []
+        for r, result in enumerate(auction.run_batch(batch)):
+            diagnostics = {
+                "budget_backlog": self.controller.queue.backlog,
+                "cost_weight": self.controller.cost_weight,
+                "objective": result.objective,
+                "declared_welfare": result.declared_welfare,
+                "total_payment": result.total_payment,
+            }
+            if self.participation is not None:
+                diagnostics["max_participation_backlog"] = (
+                    self.participation.max_backlog()
+                )
+            outcomes.append(
+                RoundOutcome(
+                    round_index=batch.index_at(r),
+                    selected=result.selected,
+                    payments=dict(result.payments),
+                    diagnostics=diagnostics,
+                )
+            )
+        return outcomes
+
+    def attach_solve_cache(self, cache: SolveCache) -> None:
+        """Share ``cache`` across this mechanism's per-round auctions."""
+        self.solve_cache = cache
+
     def reset(self) -> None:
         self.controller.reset()
-        self.solve_cache.clear()
+        # Drop (not just clear) the cache so repetitions are independent and
+        # a cache attached via attach_solve_cache is released, not wiped for
+        # its other holders.
+        self.solve_cache = SolveCache()
         if self.participation is not None:
             self.participation.reset()
 

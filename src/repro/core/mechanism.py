@@ -7,6 +7,21 @@ calls :meth:`Mechanism.run_round`, receiving a
 may carry state across rounds (virtual queues, price estimates); the
 simulator resets them between repetitions via :meth:`Mechanism.reset`.
 
+Beyond the scalar call, the interface is batched:
+
+* :meth:`Mechanism.run_rounds` consumes a columnar
+  :class:`~repro.core.bids.RoundBatch` with *sequential* semantics — round
+  ``r+1`` observes the consequences of round ``r``, exactly as a loop of
+  :meth:`run_round` calls would.  The base implementation is that loop;
+  mechanisms whose decisions carry no cross-round state
+  (:attr:`Mechanism.stateless`) override it with vectorised stacked solves
+  that are bit-identical to the sequential path (pinned property-based in
+  the test suite).
+* :meth:`Mechanism.probe_rounds` evaluates *independent counterfactual*
+  rounds, each from the mechanism's current state, mutating nothing — the
+  primitive the truthfulness/IR probes (:mod:`repro.core.properties`) batch
+  their deviation sweeps through.
+
 The contract deliberately hides true costs: a mechanism only ever sees bids,
 so truthfulness experiments can compare outcomes under bid manipulation
 without giving any mechanism an unfair information advantage.
@@ -14,9 +29,11 @@ without giving any mechanism an unfair information advantage.
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 
-from repro.core.bids import AuctionRound, RoundOutcome
+from repro.core.bids import AuctionRound, RoundBatch, RoundOutcome
+from repro.core.winner_determination import SolveCache
 
 __all__ = ["Mechanism"]
 
@@ -26,6 +43,13 @@ class Mechanism(ABC):
 
     #: Short human-readable identifier used in tables and logs.
     name: str = "mechanism"
+
+    #: True when :meth:`run_round` carries no decision-relevant state across
+    #: rounds (no virtual queues, learned estimates, or consumed randomness),
+    #: so a batch of rounds may be solved in any order — the precondition for
+    #: vectorised :meth:`run_rounds` overrides and for feeding whole
+    #: campaigns through one batch.
+    stateless: bool = False
 
     @abstractmethod
     def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
@@ -39,8 +63,60 @@ class Mechanism(ABC):
           next call observes the consequences of this round.
         """
 
+    def run_rounds(self, batch: RoundBatch) -> list[RoundOutcome]:
+        """Run a batch of rounds with sequential semantics.
+
+        The fallback simply loops :meth:`run_round`, so stateful mechanisms
+        (LT-VCG's virtual queues) keep their round-by-round behaviour.
+        Stateless mechanisms override this with stacked vectorised solves;
+        overrides must produce outcomes bit-identical to the fallback.
+        """
+        return [self.run_round(auction_round) for auction_round in batch]
+
+    def probe_rounds(self, batch: RoundBatch) -> list[RoundOutcome]:
+        """Evaluate independent counterfactual rounds from the current state.
+
+        Unlike :meth:`run_rounds`, every round in the batch is answered from
+        the mechanism's *current* state and no state is mutated — exactly
+        the "re-run from an identical state" semantics the deviation probes
+        need.  Stateless mechanisms delegate to :meth:`run_rounds`; the
+        stateful fallback runs each round on a deep copy of the mechanism
+        (identical state per counterfactual).  Stateful mechanisms whose
+        per-round decision is a cheap function of their state (LT-VCG)
+        override this with a vectorised implementation.
+        """
+        if self.stateless:
+            return self.run_rounds(batch)
+        cache = getattr(self, "solve_cache", None)
+        outcomes = []
+        for auction_round in batch:
+            # Seeding the deepcopy memo shares (instead of copying) the
+            # solve cache, so subproblems repeated across counterfactuals
+            # are still solved once.
+            memo = {id(cache): cache} if cache is not None else {}
+            counterfactual = copy.deepcopy(self, memo)
+            outcomes.append(counterfactual.run_round(auction_round))
+        return outcomes
+
+    def attach_solve_cache(self, cache: SolveCache) -> None:
+        """Adopt a shared winner-determination solve cache.
+
+        Mechanisms that re-solve :class:`WinnerDeterminationProblem`
+        instances (the VCG family) override this to thread ``cache`` through
+        their solves, letting callers share one cache across many short-lived
+        mechanism instances — the truthfulness probes build a fresh mechanism
+        per deviation but share every repeated subproblem this way.
+        Mechanisms without a solver ignore the call.
+        """
+
     def reset(self) -> None:
-        """Clear all cross-round state.  Stateless mechanisms need not override."""
+        """Clear all cross-round state.  Stateless mechanisms need not override.
+
+        Implementations holding a :class:`SolveCache` (private or attached
+        via :meth:`attach_solve_cache`) must *drop* it here — replace it with
+        a fresh private cache — so repetitions share no object state
+        (enforced by the test suite for the built-in mechanisms).
+        """
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

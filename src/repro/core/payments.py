@@ -33,7 +33,9 @@ monetary payments given the affine score map.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
+
+import numpy as np
 
 from repro.core.winner_determination import (
     Allocation,
@@ -48,6 +50,8 @@ from repro.core.winner_determination import (
 __all__ = [
     "clarke_critical_scores",
     "top_k_critical_scores",
+    "top_k_critical_scores_batch",
+    "top_k_critical_sigmas_flat",
     "knapsack_clarke_critical_scores",
     "greedy_critical_scores",
     "critical_scores_by_search",
@@ -90,6 +94,56 @@ def top_k_critical_scores(
     return {
         i: _clamp(runner_up, float(scores[i])) for i in allocation.selected
     }
+
+
+def top_k_critical_sigmas_flat(
+    scores: np.ndarray, rows: np.ndarray, columns: np.ndarray
+) -> np.ndarray:
+    """Winner-major flat form of the batched top-k Clarke pivots.
+
+    ``(rows[i], columns[i])`` address winner ``i`` in the ``(R, N)`` score
+    matrix; the result is winner ``i``'s critical score.  Every winner's
+    pivot is its row's displaced runner-up — the best positive non-winner
+    score — clamped into ``[0, score_i]`` (the runner-up is already >= 0,
+    so the clamp reduces to the min).  One masked row-max instead of ``R``
+    Python scans; shared by :func:`top_k_critical_scores_batch` and the
+    stacked auction (:meth:`repro.core.vcg.SingleRoundVCGAuction.run_batch`).
+    """
+    losers = np.where(scores > 0, scores, 0.0)
+    losers[rows, columns] = 0.0
+    runner_ups = (
+        losers.max(axis=1) if scores.size else np.zeros(scores.shape[0])
+    )
+    return np.minimum(runner_ups[rows], scores[rows, columns])
+
+
+def top_k_critical_scores_batch(
+    scores: np.ndarray, allocations: Sequence[Allocation]
+) -> list[dict[int, float]]:
+    """Row-wise :func:`top_k_critical_scores` over an ``(R, N)`` matrix.
+
+    ``allocations[r]`` must be row ``r``'s top-k allocation (column-indexed,
+    e.g. from :func:`~repro.core.winner_determination.solve_top_k_batch`).
+    """
+    scores = np.asarray(scores, dtype=float)
+    counts = [len(allocation.selected) for allocation in allocations]
+    rows = np.repeat(np.arange(len(allocations)), counts)
+    columns = np.fromiter(
+        (
+            column
+            for allocation in allocations
+            for column in allocation.selected
+        ),
+        dtype=np.int64,
+        count=int(rows.size),
+    )
+    sigmas = top_k_critical_sigmas_flat(scores, rows, columns).tolist()
+    out = []
+    start = 0
+    for allocation, count in zip(allocations, counts):
+        out.append(dict(zip(allocation.selected, sigmas[start : start + count])))
+        start += count
+    return out
 
 
 def knapsack_clarke_critical_scores(

@@ -11,6 +11,16 @@ All verifiers work against a *mechanism factory* rather than a mechanism
 instance, because stateful mechanisms (LT-VCG's queues) must be reset to an
 identical state before each counterfactual run for the comparison to be a
 true unilateral deviation.
+
+The deviation sweeps are batched: every client's deviations are built as one
+columnar :class:`~repro.core.bids.RoundBatch` and answered through
+:meth:`~repro.core.mechanism.Mechanism.probe_rounds` (independent
+counterfactuals from a fresh state), so mechanisms with vectorised probes
+(the VCG family, every stateless baseline) evaluate a whole deviation grid
+as stacked solves.  All fresh mechanism instances additionally share one
+:class:`~repro.core.winner_determination.SolveCache` per sweep, so repeated
+winner-determination instances across deviations are solved once even on
+the sequential fallback path.
 """
 
 from __future__ import annotations
@@ -19,8 +29,9 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.core.bids import AuctionRound, RoundOutcome
+from repro.core.bids import AuctionRound, RoundBatch, RoundOutcome
 from repro.core.mechanism import Mechanism
+from repro.core.winner_determination import SolveCache
 
 __all__ = [
     "DeviationRecord",
@@ -31,6 +42,13 @@ __all__ = [
 ]
 
 MechanismFactory = Callable[[], Mechanism]
+
+
+def _fresh_mechanism(factory: MechanismFactory, cache: SolveCache) -> Mechanism:
+    """A fresh mechanism wired to the sweep-wide shared solve cache."""
+    mechanism = factory()
+    mechanism.attach_solve_cache(cache)
+    return mechanism
 
 
 def _utility(outcome: RoundOutcome, client_id: int, true_cost: float) -> float:
@@ -106,27 +124,31 @@ def verify_truthfulness(
                 f"cost ({truthful_cost}); the baseline profile must be truthful"
             )
 
-    truthful_outcome = mechanism_factory().run_round(auction_round)
+    cache = SolveCache()
+    truthful_outcome = _fresh_mechanism(mechanism_factory, cache).run_round(
+        auction_round
+    )
+    # The whole sweep — every client × every misreport factor — is one
+    # columnar deviation grid answered by a single batched probe.
+    grid = [
+        (bid.client_id, true_costs[bid.client_id] * factor)
+        for bid in auction_round.bids
+        for factor in deviation_factors
+    ]
+    batch = RoundBatch.deviation_grid(auction_round, grid)
+    outcomes = _fresh_mechanism(mechanism_factory, cache).probe_rounds(batch)
     records = []
-    for bid in auction_round.bids:
-        client_id = bid.client_id
+    for (client_id, deviated_bid), deviated_outcome in zip(grid, outcomes):
         true_cost = true_costs[client_id]
-        truthful_utility = _utility(truthful_outcome, client_id, true_cost)
-        for factor in deviation_factors:
-            deviated_bid = true_cost * factor
-            deviated_round = auction_round.with_replaced_bid(
-                bid.with_cost(deviated_bid)
+        records.append(
+            DeviationRecord(
+                client_id=client_id,
+                true_cost=true_cost,
+                deviated_bid=deviated_bid,
+                truthful_utility=_utility(truthful_outcome, client_id, true_cost),
+                deviated_utility=_utility(deviated_outcome, client_id, true_cost),
             )
-            deviated_outcome = mechanism_factory().run_round(deviated_round)
-            records.append(
-                DeviationRecord(
-                    client_id=client_id,
-                    true_cost=true_cost,
-                    deviated_bid=deviated_bid,
-                    truthful_utility=truthful_utility,
-                    deviated_utility=_utility(deviated_outcome, client_id, true_cost),
-                )
-            )
+        )
     return TruthfulnessReport(records=tuple(records), tolerance=tolerance)
 
 
@@ -166,16 +188,21 @@ def verify_monotonicity(
     construction, greedy rules are verified here.  Returns violation
     descriptions (empty = monotone on this instance).
     """
-    baseline = mechanism_factory().run_round(auction_round)
+    cache = SolveCache()
+    baseline = _fresh_mechanism(mechanism_factory, cache).run_round(auction_round)
+    grid = [
+        (client_id, auction_round.bid_of(client_id).cost * factor)
+        for client_id in baseline.selected
+        for factor in shrink_factors
+    ]
+    batch = RoundBatch.deviation_grid(auction_round, grid)
+    outcomes = _fresh_mechanism(mechanism_factory, cache).probe_rounds(batch)
     violations = []
-    for client_id in baseline.selected:
-        bid = auction_round.bid_of(client_id)
-        for factor in shrink_factors:
-            lowered = auction_round.with_replaced_bid(bid.with_cost(bid.cost * factor))
-            outcome = mechanism_factory().run_round(lowered)
-            if client_id not in outcome.selected:
-                violations.append(
-                    f"client {client_id} won at bid {bid.cost:.6g} but lost at "
-                    f"lower bid {bid.cost * factor:.6g}"
-                )
+    for (client_id, lowered_bid), outcome in zip(grid, outcomes):
+        if client_id not in outcome.selected:
+            violations.append(
+                f"client {client_id} won at bid "
+                f"{auction_round.bid_of(client_id).cost:.6g} but lost at "
+                f"lower bid {lowered_bid:.6g}"
+            )
     return violations

@@ -30,18 +30,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.core.bids import AuctionRound
+import numpy as np
+
+from repro.core.bids import AuctionRound, RoundBatch
 from repro.core.payments import (
     clarke_critical_scores,
     greedy_critical_scores,
     knapsack_clarke_critical_scores,
     top_k_critical_scores,
+    top_k_critical_sigmas_flat,
 )
 from repro.core.winner_determination import (
     Allocation,
     SolveCache,
     WinnerDeterminationProblem,
     exact_method_for,
+    solve_greedy_batch,
+    solve_top_k_batch,
 )
 from repro.utils.validation import check_non_negative, check_positive
 
@@ -256,3 +261,166 @@ class SingleRoundVCGAuction:
             scores=scores,
             declared_welfare=float(declared_welfare),
         )
+
+    @staticmethod
+    def _lookup_matrix(
+        ids: np.ndarray, active: np.ndarray, getter
+    ) -> np.ndarray:
+        """Per-cell ``getter(client_id)`` over an id matrix (0 where inactive)."""
+        out = np.zeros(ids.shape, dtype=float)
+        if not active.any():
+            return out
+        unique = np.unique(ids[active])
+        table = np.fromiter(
+            (getter(int(i)) for i in unique), dtype=float, count=unique.size
+        )
+        filled = np.where(active, ids, unique[0])
+        np.copyto(out, table[np.searchsorted(unique, filled)], where=active)
+        return out
+
+    def run_batch(
+        self, batch: RoundBatch, *, with_scores: bool = False
+    ) -> list[VCGAuctionResult]:
+        """Run this auction independently on every round of a batch.
+
+        Equivalent to ``[self.run(r) for r in batch]`` — same winners,
+        payments and diagnostics bit for bit (pinned property-based in the
+        test suite) — but the per-round problem construction, the winner
+        determination and (without a knapsack constraint) the Clarke pivots
+        run as stacked matrix operations.  Knapsack instances under an exact
+        method fall back to the scalar per-round pipeline, which still
+        shares this auction's solve cache.
+
+        The per-candidate :attr:`VCGAuctionResult.scores` mapping is built
+        only when ``with_scores`` is set — it is O(candidates) per round and
+        the batched callers (probes, batched simulation) never read it.
+        """
+        num = len(batch)
+        if num == 0:
+            return []
+        ids = batch.client_ids
+        active = batch.mask
+        if self.reserve_price is not None:
+            # Bids above the reserve are rejected outright; forcing their
+            # score to the never-selected 0 is equivalent to the scalar
+            # path's removal (relative candidate order is preserved).
+            active = active & (batch.costs <= self.reserve_price + 1e-12)
+        if self.offsets:
+            offsets = self._lookup_matrix(
+                ids, active, lambda cid: self.offsets.get(cid, 0.0)
+            )
+        else:
+            offsets = 0.0
+        weights = self.value_weight * batch.values + offsets
+        scores = np.where(active, weights - self.cost_weight * batch.costs, 0.0)
+
+        demands = None
+        if self.demands is not None:
+            def demand_of(cid: int) -> float:
+                try:
+                    return float(self.demands[cid])  # type: ignore[index]
+                except KeyError:
+                    raise KeyError(f"no demand configured for client {cid}") from None
+
+            demands = self._lookup_matrix(ids, active, demand_of)
+
+        criticals: list[dict[int, float]] | None = None
+        if self.wd_method == "greedy":
+            allocations = solve_greedy_batch(
+                scores, demands, self.capacity, self.max_winners
+            )
+            criticals = [
+                greedy_critical_scores(
+                    WinnerDeterminationProblem._unchecked(
+                        scores[r],
+                        None if demands is None else demands[r],
+                        self.capacity,
+                        self.max_winners,
+                    ),
+                    allocations[r],
+                )
+                for r in range(num)
+            ]
+        elif self.capacity is None:
+            # Every exact method reduces to top-k without a knapsack; the
+            # Clarke sigmas are computed flat below.
+            allocations = solve_top_k_batch(scores, self.max_winners)
+        else:
+            # Exact + knapsack: per-round scalar pipeline through the cache.
+            allocations = []
+            criticals = []
+            for r in range(num):
+                problem = WinnerDeterminationProblem._unchecked(
+                    scores[r], demands[r], self.capacity, self.max_winners
+                )
+                allocation = self._solve(problem)
+                allocations.append(allocation)
+                criticals.append(self._critical_scores(problem, allocation))
+
+        # One winner-major gather instead of per-round numpy scalar reads:
+        # every winner's (id, cost, value, weight, sigma) lands in flat
+        # Python lists, and the per-round loop below only slices them.
+        winner_counts = [len(allocation.selected) for allocation in allocations]
+        rows = np.repeat(np.arange(num), winner_counts)
+        columns = np.fromiter(
+            (
+                column
+                for allocation in allocations
+                for column in allocation.selected
+            ),
+            dtype=np.int64,
+            count=int(rows.size),
+        )
+        winner_ids = ids[rows, columns].tolist()
+        winner_costs = batch.costs[rows, columns].tolist()
+        winner_values = batch.values[rows, columns].tolist()
+        winner_weights = weights[rows, columns].tolist()
+        if criticals is None:
+            winner_sigmas = top_k_critical_sigmas_flat(scores, rows, columns).tolist()
+        else:
+            # Critical-score dicts iterate in allocation.selected order for
+            # every engine, so they align with the flat winner arrays.
+            winner_sigmas = [
+                sigma for r in range(num) for sigma in criticals[r].values()
+            ]
+
+        results = []
+        start = 0
+        for r in range(num):
+            end = start + winner_counts[r]
+            # Sorted by client id — the scalar path's payment/welfare order.
+            winners = sorted(
+                zip(
+                    winner_ids[start:end],
+                    winner_costs[start:end],
+                    winner_values[start:end],
+                    winner_weights[start:end],
+                    winner_sigmas[start:end],
+                )
+            )
+            start = end
+            payments: dict[int, float] = {}
+            declared_welfare = 0.0
+            for client_id, cost, value, weight, sigma in winners:
+                payment = (weight - sigma) / self.cost_weight
+                payment = max(payment, cost)
+                if self.reserve_price is not None:
+                    payment = min(payment, self.reserve_price)
+                payments[client_id] = payment
+                declared_welfare += value - cost
+            scores_map = {}
+            if with_scores:
+                scores_map = {
+                    int(ids[r, column]): float(scores[r, column])
+                    for column in np.flatnonzero(active[r])
+                }
+            results.append(
+                VCGAuctionResult(
+                    selected=tuple(payments),
+                    payments=payments,
+                    objective=allocations[r].objective,
+                    scores=scores_map,
+                    declared_welfare=float(declared_welfare),
+                )
+            )
+        return results

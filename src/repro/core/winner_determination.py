@@ -50,9 +50,11 @@ __all__ = [
     "solve",
     "exact_method_for",
     "solve_top_k",
+    "solve_top_k_batch",
     "solve_brute_force",
     "solve_knapsack_dp",
     "solve_greedy",
+    "solve_greedy_batch",
     "solve_lp_bound",
     "knapsack_objectives_without",
 ]
@@ -274,6 +276,145 @@ def solve_top_k(problem: WinnerDeterminationProblem) -> Allocation:
         selected=tuple(int(i) for i in selected),
         objective=float(scores[selected].sum()),
     )
+
+
+def solve_top_k_batch(
+    scores: np.ndarray, max_winners: int | None = None
+) -> list[Allocation]:
+    """Row-wise :func:`solve_top_k` over an ``(R, N)`` score matrix.
+
+    Each row is an independent cardinality-capped instance; entries that are
+    not candidates (padding, masked-out bidders) must be non-positive — they
+    are never selected, exactly like non-positive scores in the scalar
+    solver.  One stable argsort over the whole matrix replaces ``R``
+    per-round solves; results are bit-identical to the scalar path
+    (pinned property-based in the test suite).
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be 2-D, got shape {scores.shape}")
+    num_rounds = scores.shape[0]
+    if scores.size == 0:
+        return [_empty() for _ in range(num_rounds)]
+    # Stable descending sort puts positives first, ascending index on ties —
+    # the positive prefix matches solve_top_k's order exactly.
+    order = np.argsort(-scores, axis=1, kind="stable")
+    take = (scores > 0).sum(axis=1)
+    if max_winners is not None:
+        take = np.minimum(take, max_winners)
+    # Group rows by winner count so index sorting and the objective sums run
+    # as one matrix op per distinct k (deviation grids share a single k).
+    allocations: list[Allocation] = [_empty()] * num_rounds
+    for k in np.unique(take).tolist():
+        if k == 0:
+            continue
+        rows = np.flatnonzero(take == k)
+        selected = np.sort(order[rows, :k], axis=1)
+        objectives = np.take_along_axis(scores[rows], selected, axis=1).sum(axis=1)
+        for i, r in enumerate(rows.tolist()):
+            allocations[r] = Allocation(
+                selected=tuple(selected[i].tolist()),
+                objective=float(objectives[i]),
+            )
+    return allocations
+
+
+def _greedy_order_batch(
+    scores: np.ndarray, demands: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise :func:`greedy_order`: ``(order, positive counts)``.
+
+    ``order[r, :counts[r]]`` lists row ``r``'s positive-score candidates in
+    greedy priority order; later columns hold the non-candidates in
+    unspecified order.
+    """
+    positive = scores > 0
+    if demands is not None:
+        safe = np.where(demands > 0, demands, 1.0)
+        density = np.where(positive, scores / safe, -np.inf)
+    else:
+        density = np.where(positive, scores, -np.inf)
+    key_scores = np.where(positive, scores, -np.inf)
+    columns = np.broadcast_to(np.arange(scores.shape[1]), scores.shape)
+    # Same key tuple as greedy_order: density desc, score desc, index asc.
+    # Non-candidates carry -inf keys, so they sort strictly after every
+    # positive-score candidate.
+    order = np.lexsort((columns, -key_scores, -density), axis=-1)
+    return order, positive.sum(axis=1)
+
+
+def solve_greedy_batch(
+    scores: np.ndarray,
+    demands: np.ndarray | None = None,
+    capacity: float | None = None,
+    max_winners: int | None = None,
+) -> list[Allocation]:
+    """Row-wise :func:`solve_greedy` over ``(R, N)`` score/demand matrices.
+
+    Non-candidate entries must have non-positive scores (their demands are
+    ignored).  The priority sort and the cumulative-demand feasibility scan
+    run as whole-matrix operations; the Python tail loop (greedy skip
+    semantics after the first over-capacity candidate) runs only for rows
+    that need it, exactly as in the scalar solver.  Bit-identical to the
+    scalar path (pinned property-based in the test suite).
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be 2-D, got shape {scores.shape}")
+    if (demands is None) != (capacity is None):
+        raise ValueError("demands and capacity must be both set or both None")
+    num_rounds = scores.shape[0]
+    if scores.size == 0:
+        return [_empty() for _ in range(num_rounds)]
+    if demands is not None:
+        demands = np.asarray(demands, dtype=float)
+        if demands.shape != scores.shape:
+            raise ValueError(
+                f"demands shape {demands.shape} != scores shape {scores.shape}"
+            )
+    order, counts = _greedy_order_batch(scores, demands)
+
+    def finish(r: int, selected: list[int]) -> Allocation:
+        chosen = tuple(sorted(int(i) for i in selected))
+        return Allocation(
+            selected=chosen,
+            objective=float(sum(scores[r, i] for i in chosen)),
+        )
+
+    allocations = []
+    if demands is None:
+        for r in range(num_rounds):
+            npos = int(counts[r])
+            k_cap = npos if max_winners is None else min(npos, max_winners)
+            allocations.append(finish(r, order[r, :k_cap].tolist()))
+        return allocations
+
+    ordered_demands = np.take_along_axis(demands, order, axis=1)
+    cumulative = np.cumsum(ordered_demands, axis=1)
+    overflowing = cumulative > capacity + _EPS
+    for r in range(num_rounds):
+        npos = int(counts[r])
+        k_cap = npos if max_winners is None else min(npos, max_winners)
+        overflow = np.flatnonzero(overflowing[r, :npos])
+        prefix_len = int(overflow[0]) if overflow.size else npos
+        prefix_len = min(prefix_len, k_cap)
+        selected = order[r, :prefix_len].tolist()
+        if prefix_len < npos and prefix_len < k_cap:
+            # Skip semantics: the first over-budget candidate is skipped,
+            # later (smaller) candidates may still fit.
+            remaining = capacity - (cumulative[r, prefix_len - 1] if prefix_len else 0.0)
+            count = prefix_len
+            for pos in range(prefix_len, npos):
+                if count >= k_cap:
+                    break
+                demand = ordered_demands[r, pos]
+                if demand > remaining + _EPS:
+                    continue
+                remaining -= demand
+                selected.append(int(order[r, pos]))
+                count += 1
+        allocations.append(finish(r, selected))
+    return allocations
 
 
 def solve_brute_force(problem: WinnerDeterminationProblem) -> Allocation:

@@ -45,6 +45,10 @@ class EpsilonGreedyMechanism(Mechanism):
     """
 
     name = "epsilon-greedy"
+    # Not stateless: contribution estimates and the exploration generator
+    # both advance round by round, so run_rounds keeps the sequential
+    # fallback and probes use the deep-copy counterfactual path.
+    stateless = False
 
     def __init__(
         self,

@@ -12,7 +12,9 @@ evaluation surfaces.
 
 from __future__ import annotations
 
-from repro.core.bids import AuctionRound, RoundOutcome
+import numpy as np
+
+from repro.core.bids import AuctionRound, RoundBatch, RoundOutcome
 from repro.core.mechanism import Mechanism
 from repro.utils.validation import check_positive
 
@@ -31,6 +33,7 @@ class FixedPriceMechanism(Mechanism):
     """
 
     name = "fixed-price"
+    stateless = True
 
     def __init__(self, price: float, max_winners: int | None = None) -> None:
         self.price = check_positive("price", price)
@@ -52,3 +55,24 @@ class FixedPriceMechanism(Mechanism):
         return RoundOutcome(
             round_index=auction_round.index, selected=selected, payments=payments
         )
+
+    def run_rounds(self, batch: RoundBatch) -> list[RoundOutcome]:
+        """Vectorised: acceptance mask + one stacked value sort."""
+        accept = batch.mask & (batch.costs <= self.price + 1e-12)
+        # Acceptors first, then by (-value, client_id) — the scalar order.
+        order = np.lexsort((batch.client_ids, -batch.values, ~accept), axis=-1)
+        counts = accept.sum(axis=1)
+        if self.max_winners is not None:
+            counts = np.minimum(counts, self.max_winners)
+        outcomes = []
+        for r in range(len(batch)):
+            cols = order[r, : int(counts[r])]
+            selected = tuple(sorted(int(i) for i in batch.client_ids[r, cols]))
+            outcomes.append(
+                RoundOutcome(
+                    round_index=batch.index_at(r),
+                    selected=selected,
+                    payments={client_id: self.price for client_id in selected},
+                )
+            )
+        return outcomes

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.bids import AuctionRound, Bid, RoundOutcome
+from repro.core.bids import AuctionRound, Bid, RoundBatch, RoundOutcome
 from repro.core.mechanism import Mechanism
 from repro.utils.validation import check_positive
 
@@ -41,6 +41,7 @@ class ProportionalShareMechanism(Mechanism):
     """
 
     name = "prop-share"
+    stateless = True
 
     def __init__(
         self, budget_per_round: float, max_winners: int | None = None
@@ -112,3 +113,61 @@ class ProportionalShareMechanism(Mechanism):
             selected=tuple(sorted(payments)),
             payments=payments,
         )
+
+    def run_rounds(self, batch: RoundBatch) -> list[RoundOutcome]:
+        """Vectorised: stacked density sort + cumulative share-rule scan."""
+        eligible = batch.mask & (batch.values > 0)
+        density = np.where(
+            eligible, batch.values / np.maximum(batch.costs, 1e-12), -np.inf
+        )
+        order = np.lexsort((batch.client_ids, -density), axis=-1)
+        counts = eligible.sum(axis=1)
+
+        ordered_costs = np.take_along_axis(batch.costs, order, axis=1)
+        ordered_values = np.take_along_axis(batch.values, order, axis=1)
+        floored = np.maximum(ordered_values, 1e-12)
+        totals = np.cumsum(floored, axis=1)
+        worst_ratio = np.maximum.accumulate((ordered_costs - 1e-12) / floored, axis=1)
+        positions = np.arange(batch.width)
+        ok = (worst_ratio * totals <= self.budget_per_round) & (
+            positions < counts[:, None]
+        )
+        if self.max_winners is not None:
+            ok[:, self.max_winners:] = False
+        prefix = np.where(ok, positions, -1).max(axis=1) + 1 if batch.width else counts * 0
+
+        outcomes = []
+        for r in range(len(batch)):
+            k = int(prefix[r])
+            if k == 0:
+                outcomes.append(
+                    RoundOutcome(
+                        round_index=batch.index_at(r), selected=(), payments={}
+                    )
+                )
+                continue
+            total_value = sum(float(v) for v in ordered_values[r, :k])
+            if k < int(counts[r]):
+                next_density = float(ordered_values[r, k]) / max(
+                    float(ordered_costs[r, k]), 1e-12
+                )
+            else:
+                next_density = 0.0
+            payments: dict[int, float] = {}
+            for pos in range(k):
+                client_id = int(batch.client_ids[r, order[r, pos]])
+                value = float(ordered_values[r, pos])
+                density_cap = (
+                    value / next_density if next_density > 0 else float("inf")
+                )
+                share_cap = self.budget_per_round * value / total_value
+                payment = min(density_cap, share_cap)
+                payments[client_id] = max(payment, float(ordered_costs[r, pos]))
+            outcomes.append(
+                RoundOutcome(
+                    round_index=batch.index_at(r),
+                    selected=tuple(sorted(payments)),
+                    payments=payments,
+                )
+            )
+        return outcomes

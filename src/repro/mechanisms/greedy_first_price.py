@@ -11,7 +11,9 @@ rule.
 
 from __future__ import annotations
 
-from repro.core.bids import AuctionRound, RoundOutcome
+import numpy as np
+
+from repro.core.bids import AuctionRound, RoundBatch, RoundOutcome
 from repro.core.mechanism import Mechanism
 from repro.utils.validation import check_positive
 
@@ -30,6 +32,7 @@ class GreedyFirstPriceMechanism(Mechanism):
     """
 
     name = "greedy-first-price"
+    stateless = True
 
     def __init__(
         self, budget_per_round: float, max_winners: int | None = None
@@ -62,3 +65,35 @@ class GreedyFirstPriceMechanism(Mechanism):
             selected=tuple(sorted(selected)),
             payments=payments,
         )
+
+    def run_rounds(self, batch: RoundBatch) -> list[RoundOutcome]:
+        """Vectorised ranking; the budget scan stays a short per-round loop."""
+        density = np.where(
+            batch.mask, batch.values / np.maximum(batch.costs, 1e-12), -np.inf
+        )
+        order = np.lexsort((batch.client_ids, -density), axis=-1)
+        sizes = batch.sizes()
+        outcomes = []
+        for r in range(len(batch)):
+            remaining = self.budget_per_round
+            selected: list[int] = []
+            payments: dict[int, float] = {}
+            for pos in range(int(sizes[r])):
+                if self.max_winners is not None and len(selected) >= self.max_winners:
+                    break
+                column = order[r, pos]
+                cost = float(batch.costs[r, column])
+                if cost > remaining + 1e-12:
+                    continue
+                client_id = int(batch.client_ids[r, column])
+                selected.append(client_id)
+                payments[client_id] = cost
+                remaining -= cost
+            outcomes.append(
+                RoundOutcome(
+                    round_index=batch.index_at(r),
+                    selected=tuple(sorted(selected)),
+                    payments=payments,
+                )
+            )
+        return outcomes

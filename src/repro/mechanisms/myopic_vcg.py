@@ -13,9 +13,9 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from repro.core.bids import AuctionRound, RoundOutcome
+from repro.core.bids import AuctionRound, RoundBatch, RoundOutcome
 from repro.core.mechanism import Mechanism
-from repro.core.vcg import SingleRoundVCGAuction
+from repro.core.vcg import SingleRoundVCGAuction, VCGAuctionResult
 from repro.core.winner_determination import SolveCache
 
 __all__ = ["MyopicVCGMechanism"]
@@ -29,6 +29,7 @@ class MyopicVCGMechanism(Mechanism):
     """
 
     name = "myopic-vcg"
+    stateless = True
 
     def __init__(
         self,
@@ -46,8 +47,8 @@ class MyopicVCGMechanism(Mechanism):
         # share one solve cache across the per-round auctions.
         self.solve_cache = SolveCache()
 
-    def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
-        auction = SingleRoundVCGAuction(
+    def _auction(self) -> SingleRoundVCGAuction:
+        return SingleRoundVCGAuction(
             value_weight=1.0,
             cost_weight=1.0,
             max_winners=self.max_winners,
@@ -56,9 +57,10 @@ class MyopicVCGMechanism(Mechanism):
             wd_method=self.wd_method,
             solve_cache=self.solve_cache,
         )
-        result = auction.run(auction_round)
+
+    def _outcome(self, round_index: int, result: VCGAuctionResult) -> RoundOutcome:
         return RoundOutcome(
-            round_index=auction_round.index,
+            round_index=round_index,
             selected=result.selected,
             payments=dict(result.payments),
             diagnostics={
@@ -67,3 +69,23 @@ class MyopicVCGMechanism(Mechanism):
                 "total_payment": result.total_payment,
             },
         )
+
+    def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
+        result = self._auction().run(auction_round)
+        return self._outcome(auction_round.index, result)
+
+    def run_rounds(self, batch: RoundBatch) -> list[RoundOutcome]:
+        """Vectorised: all rounds through one stacked weighted-VCG solve."""
+        results = self._auction().run_batch(batch)
+        return [
+            self._outcome(batch.index_at(r), result)
+            for r, result in enumerate(results)
+        ]
+
+    def attach_solve_cache(self, cache: SolveCache) -> None:
+        """Share ``cache`` across this mechanism's per-round auctions."""
+        self.solve_cache = cache
+
+    def reset(self) -> None:
+        # Drop the cache so repetitions are independent (see Mechanism.reset).
+        self.solve_cache = SolveCache()

@@ -172,6 +172,7 @@ class OfflinePlanMechanism(Mechanism):
     """
 
     name = "offline-opt"
+    stateless = True
 
     def __init__(self, plan: OfflinePlan) -> None:
         self.plan = plan

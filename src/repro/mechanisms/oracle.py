@@ -8,7 +8,9 @@ spend required to get it.
 
 from __future__ import annotations
 
-from repro.core.bids import AuctionRound, RoundOutcome
+import numpy as np
+
+from repro.core.bids import AuctionRound, RoundBatch, RoundOutcome
 from repro.core.mechanism import Mechanism
 
 __all__ = ["AllAvailableMechanism"]
@@ -18,6 +20,7 @@ class AllAvailableMechanism(Mechanism):
     """Select all bidders, pay each its bid."""
 
     name = "all-available"
+    stateless = True
 
     def run_round(self, auction_round: AuctionRound) -> RoundOutcome:
         selected = tuple(sorted(auction_round.client_ids))
@@ -27,3 +30,20 @@ class AllAvailableMechanism(Mechanism):
         return RoundOutcome(
             round_index=auction_round.index, selected=selected, payments=payments
         )
+
+    def run_rounds(self, batch: RoundBatch) -> list[RoundOutcome]:
+        outcomes = []
+        for r in range(len(batch)):
+            columns = np.flatnonzero(batch.mask[r])
+            pairs = sorted(
+                (int(batch.client_ids[r, j]), float(batch.costs[r, j]))
+                for j in columns
+            )
+            outcomes.append(
+                RoundOutcome(
+                    round_index=batch.index_at(r),
+                    selected=tuple(cid for cid, _ in pairs),
+                    payments=dict(pairs),
+                )
+            )
+        return outcomes

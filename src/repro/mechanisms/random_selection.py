@@ -26,6 +26,12 @@ class RandomSelectionMechanism(Mechanism):
     rng:
         Generator for the sampling (owned by the mechanism so runs are
         reproducible).
+
+    Not :attr:`~repro.core.mechanism.Mechanism.stateless`: the generator's
+    state advances round by round, so batch order matters and
+    :meth:`~repro.core.mechanism.Mechanism.run_rounds` keeps the sequential
+    fallback (which consumes the generator exactly like a loop of
+    :meth:`run_round` calls — pinned in the test suite).
     """
 
     name = "random"

@@ -110,6 +110,31 @@ def summarize_log(
     return metrics
 
 
+def _round_batch_for(config: ExperimentConfig, mechanism, scenario) -> int | None:
+    """How many rounds to feed the mechanism per batch (None = sequential).
+
+    A whole cell's rounds go through one
+    :meth:`~repro.core.mechanism.Mechanism.run_rounds` batch when that is
+    provably equivalent to the sequential loop: the mechanism is stateless
+    (vectorised stacked solves, bit-identical by contract) and the scenario
+    is history-free (bids/values never react to outcomes).  The
+    ``round_batch`` extra overrides the choice: ``0`` forces sequential, a
+    positive integer forces that window size.
+    """
+    override = config.extras.get("round_batch")
+    if override is not None:
+        size = int(override)
+        return size if size > 1 else None
+    if mechanism.stateless and scenario.fl is None and bool(
+        scenario.metadata.get("history_free")
+    ):
+        # Window cap bounds peak memory: a batch materialises
+        # O(window x num_clients) arrays plus every prepared round, and the
+        # runner flushes window by window anyway.
+        return min(config.num_rounds, 1024)
+    return None
+
+
 def execute_config(
     config: ExperimentConfig,
     out_dir: Path | None,
@@ -122,7 +147,8 @@ def execute_config(
     :class:`~repro.rng.RngTree` namespace of ``config.seed``, independent of
     the scenario's streams, so runs are reproducible from the config alone.
     When ``out_dir`` is given, the resolved config and the full event log
-    are archived there.
+    are archived there.  Cells pairing a stateless mechanism with a
+    history-free scenario run batched (see :func:`_round_batch_for`).
     """
     mechanism = build_mechanism(config)
     scenario = build_scenario(config)
@@ -135,8 +161,9 @@ def execute_config(
         fl=scenario.fl,
         seed=RngTree(config.seed).child_seed("orchestration/runner"),
     )
+    batch_rounds = _round_batch_for(config, mechanism, scenario)
     started = time.perf_counter()
-    log = runner.run(config.num_rounds)
+    log = runner.run(config.num_rounds, batch_rounds=batch_rounds)
     elapsed = time.perf_counter() - started
 
     metrics = summarize_log(log, config, compute_regret=compute_regret)

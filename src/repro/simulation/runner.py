@@ -15,13 +15,29 @@ Two modes: *mechanism-only* (no FL attached — thousands of rounds per
 second, used by the economic experiments E2-E6/E8/E9) and *with-FL* (an
 :class:`FLAttachment` trains the global model with the winner set each
 round — experiments E1/E7/E10).
+
+The loop can additionally run *batched* (``run(..., batch_rounds=R)``):
+rounds are prepared in windows — availability, bids and values computed
+from the state at window start, consuming every random stream in the same
+order as the sequential loop — the window is handed to the mechanism as one
+columnar :class:`~repro.core.bids.RoundBatch` via
+:meth:`~repro.core.mechanism.Mechanism.run_rounds` (sequential semantics,
+vectorised for stateless mechanisms), and the per-round consequences are
+then applied in order.  For history-free populations (truthful static
+bidders, mains power, stateless valuation — the canonical mechanism-only
+scenario) this is exactly equivalent to the sequential loop; populations
+whose bids, availability or values react to outcomes see that feedback only
+at window boundaries, so callers opt in per run.  With FL attached, windows
+never span an evaluation round.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from repro.core.bids import AuctionRound, RoundOutcome
+from repro.core.bids import AuctionRound, RoundBatch, RoundOutcome
 from repro.core.mechanism import Mechanism
 from repro.core.valuation import ValuationModel
 from repro.economics.client_profile import EconomicClient
@@ -146,18 +162,43 @@ class SimulationRunner:
                 available.append(client)
         return available
 
-    def run_round(self, round_index: int, *, force_eval: bool = False) -> RoundRecord:
-        """Simulate one round end to end and append its record."""
+    def _prepare_round(self, round_index: int) -> "_PreparedRound":
+        """Phase 1 of a round: availability, bids, values, the auction round.
+
+        Consumes exactly the random draws the sequential loop would, in the
+        same order, so batched windows stay on the same streams.
+        """
         available = self._available_clients(round_index)
         bids = tuple(client.make_bid(round_index) for client in available)
-
         if bids:
             values = self.valuation.values_for(bids)
             auction_round = AuctionRound(index=round_index, bids=bids, values=values)
-            outcome = self.mechanism.run_round(auction_round)
         else:
             values = {}
+            auction_round = None
+        return _PreparedRound(round_index, available, bids, values, auction_round)
+
+    def run_round(self, round_index: int, *, force_eval: bool = False) -> RoundRecord:
+        """Simulate one round end to end and append its record."""
+        prepared = self._prepare_round(round_index)
+        if prepared.auction_round is not None:
+            outcome = self.mechanism.run_round(prepared.auction_round)
+        else:
             outcome = RoundOutcome(round_index=round_index, selected=(), payments={})
+        return self._apply_outcome(prepared, outcome, force_eval=force_eval)
+
+    def _apply_outcome(
+        self,
+        prepared: "_PreparedRound",
+        outcome: RoundOutcome,
+        *,
+        force_eval: bool = False,
+    ) -> RoundRecord:
+        """Phase 2 of a round: consequences, learning, FL step, the record."""
+        round_index = prepared.round_index
+        available = prepared.available
+        bids = prepared.bids
+        values = prepared.values
 
         # Pay-on-delivery: winners whose upload fails drain their battery
         # (the work happened) but receive no payment and contribute nothing.
@@ -223,10 +264,78 @@ class SimulationRunner:
         self.log.record(record)
         return record
 
-    def run(self, num_rounds: int, *, log_every: int | None = None) -> EventLog:
-        """Simulate ``num_rounds`` rounds; returns the event log."""
+    def _window_sizes(self, num_rounds: int, batch_rounds: int) -> list[int]:
+        """Cut the horizon into flush windows of at most ``batch_rounds``.
+
+        With FL attached, a window never spans an evaluation round: every
+        round satisfying the ``eval_every`` schedule (and the final
+        force-eval round) starts a new window, so evaluation always sees a
+        model trained on fully applied prior rounds.
+        """
+        boundaries = {0, num_rounds - 1}
+        if self.fl is not None:
+            boundaries.update(range(0, num_rounds, self.fl.eval_every))
+        sizes = []
+        start = 0
+        while start < num_rounds:
+            end = min(start + batch_rounds, num_rounds)
+            for boundary in sorted(boundaries):
+                if start < boundary < end:
+                    end = boundary
+                    break
+            sizes.append(end - start)
+            start = end
+        return sizes
+
+    def _run_window(self, start: int, size: int, last_round: int) -> None:
+        """Prepare, batch-solve and apply one window of rounds."""
+        prepared = [self._prepare_round(start + offset) for offset in range(size)]
+        with_bids = [p for p in prepared if p.auction_round is not None]
+        outcomes: dict[int, RoundOutcome] = {}
+        if with_bids:
+            batch = RoundBatch.from_rounds([p.auction_round for p in with_bids])
+            for p, outcome in zip(with_bids, self.mechanism.run_rounds(batch)):
+                outcomes[p.round_index] = outcome
+        for p in prepared:
+            outcome = outcomes.get(
+                p.round_index,
+                RoundOutcome(round_index=p.round_index, selected=(), payments={}),
+            )
+            self._apply_outcome(p, outcome, force_eval=p.round_index == last_round)
+
+    def run(
+        self,
+        num_rounds: int,
+        *,
+        log_every: int | None = None,
+        batch_rounds: int | None = None,
+    ) -> EventLog:
+        """Simulate ``num_rounds`` rounds; returns the event log.
+
+        ``batch_rounds`` > 1 opts into windowed batched execution (see the
+        module docstring): exact for history-free populations, feedback
+        deferred to window boundaries otherwise.
+        """
         if num_rounds <= 0:
             raise ValueError(f"num_rounds must be > 0, got {num_rounds}")
+        if batch_rounds is not None and batch_rounds > 1:
+            start = 0
+            for size in self._window_sizes(num_rounds, batch_rounds):
+                self._run_window(start, size, last_round=num_rounds - 1)
+                start += size
+                if log_every:
+                    # Same cadence as the sequential loop: every round on
+                    # the log_every schedule, logged at its window's flush.
+                    for record in self.log.records()[start - size : start]:
+                        if record.round_index % log_every == 0:
+                            _LOGGER.info(
+                                "round %d: %d available, %d selected, paid %.3f",
+                                record.round_index,
+                                len(record.available),
+                                len(record.selected),
+                                record.total_payment,
+                            )
+            return self.log
         for round_index in range(num_rounds):
             force_eval = round_index == num_rounds - 1
             record = self.run_round(round_index, force_eval=force_eval)
@@ -239,3 +348,14 @@ class SimulationRunner:
                     record.total_payment,
                 )
         return self.log
+
+
+@dataclass(frozen=True)
+class _PreparedRound:
+    """Phase-1 output of one round (see :meth:`SimulationRunner.run_round`)."""
+
+    round_index: int
+    available: list
+    bids: tuple
+    values: dict
+    auction_round: AuctionRound | None

@@ -149,12 +149,25 @@ def build_mechanism_scenario(
             [c.client_id for c in clients], model_size=650, rng=tree.generator("network")
         )
 
+    # History-free: bids, availability and values never react to outcomes
+    # (truthful static bidders, mains power, stateless valuation), so the
+    # batched simulation path is exactly equivalent to the sequential one.
+    history_free = (
+        strategy_factory is None
+        and not energy_constrained
+        and staleness_boost == 0.0
+    )
     return Scenario(
         clients=clients,
         valuation=valuation,
         presence=presence,
         network=network,
-        metadata={"seed": seed, "num_clients": num_clients, "kind": "mechanism-only"},
+        metadata={
+            "seed": seed,
+            "num_clients": num_clients,
+            "kind": "mechanism-only",
+            "history_free": history_free,
+        },
     )
 
 

@@ -1,0 +1,155 @@
+"""RoundBatch: columnar layout, round-trips, and deviation grids."""
+
+import numpy as np
+import pytest
+
+from repro.core.bids import AuctionRound, Bid, RoundBatch
+from tests.conftest import make_round, random_instance
+
+
+def random_rounds(rng, count, max_size=10):
+    rounds = []
+    for t in range(count):
+        auction_round, _ = random_instance(rng, int(rng.integers(1, max_size)))
+        rounds.append(
+            AuctionRound(
+                index=t, bids=auction_round.bids, values=auction_round.values
+            )
+        )
+    return rounds
+
+
+class TestFromRounds:
+    def test_round_trip_preserves_bids_order_and_values(self, rng):
+        rounds = random_rounds(rng, 12)
+        batch = RoundBatch.from_rounds(rounds)
+        assert len(batch) == 12
+        for r, original in enumerate(rounds):
+            restored = batch.round_at(r)
+            assert restored.index == original.index
+            assert restored.bids == original.bids
+            assert dict(restored.values) == dict(original.values)
+
+    def test_columnar_round_trip_materialises_identically(self, rng):
+        # Strip the cached round objects so round_at rebuilds from columns.
+        rounds = random_rounds(rng, 8)
+        batch = RoundBatch.from_rounds(rounds)
+        rebuilt = RoundBatch.from_columns(
+            batch.indices,
+            batch.client_ids,
+            batch.mask,
+            batch.costs,
+            batch.values,
+            batch.data_sizes,
+            batch.qualities,
+        )
+        for r, original in enumerate(rounds):
+            restored = rebuilt.round_at(r)
+            assert restored.bids == original.bids
+            assert dict(restored.values) == dict(original.values)
+
+    def test_ragged_rounds_are_masked(self, rng):
+        rounds = [make_round([0.5]), make_round([0.5, 0.7, 0.9])]
+        batch = RoundBatch.from_rounds(rounds)
+        assert batch.width == 3
+        assert batch.sizes().tolist() == [1, 3]
+        assert batch.mask.tolist() == [[True, False, False], [True, True, True]]
+
+    def test_empty_round_supported(self):
+        empty = AuctionRound(index=4, bids=(), values={})
+        batch = RoundBatch.from_rounds([empty, make_round([0.3])])
+        assert batch.sizes().tolist() == [0, 1]
+        assert batch.round_at(0).bids == ()
+
+    def test_iteration_yields_rounds_in_order(self, rng):
+        rounds = random_rounds(rng, 5)
+        batch = RoundBatch.from_rounds(rounds)
+        assert [r.index for r in batch] == [r.index for r in rounds]
+
+
+class TestFromColumns:
+    def test_shape_mismatch_rejected(self):
+        mask = np.ones((2, 3), dtype=bool)
+        ids = np.arange(6).reshape(2, 3)
+        costs = np.ones((2, 3))
+        with pytest.raises(ValueError, match="values"):
+            RoundBatch.from_columns(
+                np.arange(2), ids, mask, costs, values=np.ones((2, 2))
+            )
+        with pytest.raises(ValueError, match="indices"):
+            RoundBatch.from_columns(
+                np.arange(3), ids, mask, costs, values=np.ones((2, 3))
+            )
+
+    def test_duplicate_client_rejected(self):
+        mask = np.ones((1, 2), dtype=bool)
+        with pytest.raises(ValueError, match="duplicate"):
+            RoundBatch.from_columns(
+                np.arange(1),
+                np.array([[3, 3]]),
+                mask,
+                np.ones((1, 2)),
+                np.ones((1, 2)),
+            )
+
+    def test_negative_cost_rejected(self):
+        mask = np.ones((1, 2), dtype=bool)
+        with pytest.raises(ValueError, match=">= 0"):
+            RoundBatch.from_columns(
+                np.arange(1),
+                np.array([[0, 1]]),
+                mask,
+                np.array([[0.5, -0.1]]),
+                np.ones((1, 2)),
+            )
+
+    def test_padded_cells_ignored(self):
+        mask = np.array([[True, False]])
+        batch = RoundBatch.from_columns(
+            np.arange(1),
+            np.array([[7, 7]]),  # duplicate id only in the padded cell
+            mask,
+            np.array([[0.5, -1.0]]),  # negative cost only in the padded cell
+            np.ones((1, 2)),
+        )
+        assert batch.round_at(0).client_ids == (7,)
+
+
+class TestDeviations:
+    def test_matches_with_replaced_bid(self, rng):
+        auction_round, true_costs = random_instance(rng, 6)
+        client_id = auction_round.client_ids[2]
+        costs = [true_costs[client_id] * f for f in (0.25, 1.0, 3.0)]
+        batch = RoundBatch.deviations(auction_round, client_id, costs)
+        for d, cost in enumerate(costs):
+            expected = auction_round.with_replaced_bid(
+                auction_round.bid_of(client_id).with_cost(cost)
+            )
+            restored = batch.round_at(d)
+            assert restored.bids == expected.bids
+            assert dict(restored.values) == dict(expected.values)
+
+    def test_grid_spans_multiple_clients(self, rng):
+        auction_round, true_costs = random_instance(rng, 5)
+        grid = [
+            (client_id, true_costs[client_id] * factor)
+            for client_id in auction_round.client_ids
+            for factor in (0.5, 2.0)
+        ]
+        batch = RoundBatch.deviation_grid(auction_round, grid)
+        assert len(batch) == len(grid)
+        for d, (client_id, cost) in enumerate(grid):
+            expected = auction_round.with_replaced_bid(
+                auction_round.bid_of(client_id).with_cost(cost)
+            )
+            assert batch.round_at(d).bids == expected.bids
+
+    def test_unknown_client_rejected(self, rng):
+        auction_round, _ = random_instance(rng, 3)
+        with pytest.raises(KeyError):
+            RoundBatch.deviations(auction_round, 99, [0.5])
+
+    def test_negative_deviation_rejected(self, rng):
+        auction_round, _ = random_instance(rng, 3)
+        with pytest.raises(ValueError, match=">= 0"):
+            RoundBatch.deviations(auction_round, 0, [-0.5])

@@ -166,3 +166,24 @@ class TestParallelCampaign:
         assert stable_metrics(pool_results) == stable_metrics(
             load_results(tmp_path / "inline")
         )
+
+
+class TestBatchedWorker:
+    def test_batched_cells_match_forced_sequential(self, tmp_path):
+        # Stateless mechanisms on the history-free mechanism scenario run
+        # batched by default; round_batch=0 forces the sequential loop.
+        # Metrics must agree exactly.
+        spec = small_spec(mechanisms=("prop-share", "greedy-first-price"))
+        sequential_spec = SweepSpec(
+            base=spec.base.with_overrides(
+                extras={**spec.base.extras, "round_batch": 0}
+            ),
+            mechanisms=spec.mechanisms,
+            scenarios=spec.scenarios,
+            seeds=spec.seeds,
+        )
+        run_campaign(spec, tmp_path / "batched", max_workers=0)
+        run_campaign(sequential_spec, tmp_path / "sequential", max_workers=0)
+        assert stable_metrics(load_results(tmp_path / "batched")) == stable_metrics(
+            load_results(tmp_path / "sequential")
+        )

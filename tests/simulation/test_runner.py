@@ -156,3 +156,110 @@ class TestFLRuns:
         for client in scenario.clients:
             fl_client = scenario.fl.fl_clients[client.client_id]
             assert client.declared_size == fl_client.num_samples
+
+
+def assert_logs_identical(expected_log, actual_log):
+    import dataclasses
+    import math
+
+    assert len(expected_log) == len(actual_log)
+    for expected, actual in zip(expected_log, actual_log):
+        for field in dataclasses.fields(expected):
+            left = getattr(expected, field.name)
+            right = getattr(actual, field.name)
+            if (
+                isinstance(left, float)
+                and isinstance(right, float)
+                and math.isnan(left)
+                and math.isnan(right)
+            ):
+                continue
+            assert left == right, (expected.round_index, field.name)
+
+
+class TestBatchedRuns:
+    """run(batch_rounds=R) must be exact on history-free populations."""
+
+    @pytest.mark.parametrize("batch_rounds", [2, 7, 32, 200])
+    def test_mechanism_only_batched_equals_sequential(self, batch_rounds):
+        def run_once(batch):
+            scenario = build_mechanism_scenario(15, seed=5)
+            runner = SimulationRunner(
+                lt_vcg(), scenario.clients, scenario.valuation, seed=3
+            )
+            return runner.run(60, batch_rounds=batch)
+
+        assert_logs_identical(run_once(None), run_once(batch_rounds))
+
+    def test_stateless_mechanism_batched_equals_sequential(self):
+        def run_once(batch):
+            scenario = build_mechanism_scenario(15, seed=5)
+            runner = SimulationRunner(
+                AllAvailableMechanism(), scenario.clients, scenario.valuation, seed=3
+            )
+            return runner.run(30, batch_rounds=batch)
+
+        assert_logs_identical(run_once(None), run_once(30))
+
+    def test_rng_mechanism_batched_equals_sequential(self):
+        def run_once(batch):
+            scenario = build_mechanism_scenario(12, seed=6)
+            runner = SimulationRunner(
+                RandomSelectionMechanism(4, np.random.default_rng(9)),
+                scenario.clients,
+                scenario.valuation,
+                seed=3,
+            )
+            return runner.run(40, batch_rounds=batch)
+
+        assert_logs_identical(run_once(None), run_once(16))
+
+    def test_churn_presence_batched_equals_sequential(self):
+        def run_once(batch):
+            scenario = build_mechanism_scenario(12, seed=8, churn=True)
+            runner = SimulationRunner(
+                lt_vcg(), scenario.clients, scenario.valuation, seed=3
+            )
+            return runner.run(50, batch_rounds=batch)
+
+        assert_logs_identical(run_once(None), run_once(25))
+
+    def test_fl_batched_equals_sequential_and_evals_on_schedule(self):
+        def run_once(batch):
+            scenario = build_fl_scenario(8, seed=2, num_samples=600, eval_every=5)
+            runner = SimulationRunner(
+                lt_vcg(max_winners=3, budget_per_round=2.0),
+                scenario.clients,
+                scenario.valuation,
+                fl=scenario.fl,
+                seed=3,
+            )
+            return runner.run(12, batch_rounds=batch)
+
+        sequential = run_once(None)
+        batched = run_once(8)
+        assert_logs_identical(sequential, batched)
+        evaluated = [
+            r.round_index for r in batched if not np.isnan(r.test_accuracy)
+        ]
+        assert evaluated == [0, 5, 10, 11]
+
+    def test_window_sizes_respect_eval_boundaries(self):
+        scenario = build_fl_scenario(6, seed=2, num_samples=400, eval_every=4)
+        runner = SimulationRunner(
+            lt_vcg(), scenario.clients, scenario.valuation, fl=scenario.fl, seed=1
+        )
+        sizes = runner._window_sizes(10, 100)
+        assert sum(sizes) == 10
+        starts = [sum(sizes[:i]) for i in range(len(sizes))]
+        # Every eval round (0, 4, 8) and the final round start a window.
+        assert {0, 4, 8, 9} <= set(starts)
+
+    def test_history_free_metadata_flag(self):
+        assert build_mechanism_scenario(5, seed=0).metadata["history_free"]
+        assert not build_mechanism_scenario(
+            5, seed=0, energy_constrained=True
+        ).metadata["history_free"]
+        assert not build_mechanism_scenario(
+            5, seed=0, staleness_boost=0.5
+        ).metadata["history_free"]

@@ -6,17 +6,27 @@ queue Q(t) trajectory.  Expected shape: LT-VCG's running average converges
 to the budget line from above (transient O(V) overshoot, then compliance);
 myopic VCG's average stays flat at its unconstrained level regardless of
 the budget.
+
+Runs through :mod:`repro.orchestration` (like E2/E11): one declarative
+campaign over the mechanism x budget grid whose repetitions shard through
+the orchestration worker — stateless baselines would batch; here both
+mechanisms are stateful, so cells exercise the sequential worker path while
+the spend curves and the Q(t) trajectories are read back from the archived
+event logs (``budget_backlog`` is recorded in every round's diagnostics).
 """
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
 from benchmarks.conftest import run_once
-from repro import LongTermVCGConfig, LongTermVCGMechanism, SimulationRunner
 from repro.analysis.budget import budget_report
-from repro.mechanisms import MyopicVCGMechanism
-from repro.simulation.scenarios import build_mechanism_scenario
+from repro.config import ExperimentConfig
+from repro.orchestration import SweepSpec, load_results, run_campaign
+from repro.simulation.replay import load_event_log
 from repro.utils.tables import format_series, format_table
 
 SEED = 19
@@ -25,26 +35,53 @@ ROUNDS = 600
 K = 10
 V = 20.0
 BUDGETS = {"tight": 1.5, "medium": 2.5, "loose": 5.0}
+MECHANISMS = ("lt-vcg", "myopic-vcg")
 
 
 def run_all():
-    results = {}
-    for label, budget in BUDGETS.items():
-        mechanism = LongTermVCGMechanism(
-            LongTermVCGConfig(v=V, budget_per_round=budget, max_winners=K)
-        )
-        scenario = build_mechanism_scenario(NUM_CLIENTS, seed=SEED)
-        log = SimulationRunner(
-            mechanism, scenario.clients, scenario.valuation, seed=23
-        ).run(ROUNDS)
-        results[label] = (budget, log, mechanism.controller.queue.history)
-    # The ablation at the tight budget.
-    scenario = build_mechanism_scenario(NUM_CLIENTS, seed=SEED)
-    myopic_log = SimulationRunner(
-        MyopicVCGMechanism(max_winners=K), scenario.clients, scenario.valuation, seed=23
-    ).run(ROUNDS)
-    results["myopic@tight"] = (BUDGETS["tight"], myopic_log, None)
-    return results
+    """Run the campaigns; returns (mechanism, budget label) -> EventLog.
+
+    Two specs instead of one full mechanism x budget cross: LT-VCG sweeps
+    the budget axis, while the budget-oblivious myopic ablation runs once
+    (at the tight budget) — a full cross would recompute the identical
+    myopic trajectory three times.
+    """
+    base = ExperimentConfig(
+        num_clients=NUM_CLIENTS,
+        num_rounds=ROUNDS,
+        max_winners=K,
+        v=V,
+        seed=SEED,
+    )
+    specs = (
+        SweepSpec(
+            base=base,
+            mechanisms=("lt-vcg",),
+            seeds=(SEED,),
+            params={"budget_per_round": tuple(BUDGETS.values())},
+            name="e3-budget-compliance",
+        ),
+        SweepSpec(
+            base=base,
+            mechanisms=("myopic-vcg",),
+            seeds=(SEED,),
+            params={"budget_per_round": (BUDGETS["tight"],)},
+            name="e3-budget-compliance-ablation",
+        ),
+    )
+    logs = {}
+    for spec in specs:
+        with tempfile.TemporaryDirectory() as campaign_dir:
+            summary = run_campaign(spec, campaign_dir, max_workers=0)
+            assert summary.failed == 0, "e3 campaign had failed cells"
+            for result in load_results(campaign_dir):
+                assert result.completed and result.event_log_path is not None
+                budget = float(result.params["budget_per_round"])
+                label = next(k for k, v in BUDGETS.items() if v == budget)
+                logs[(result.mechanism, label)] = load_event_log(
+                    Path(result.event_log_path)
+                )
+    return logs
 
 
 def running_average(payments):
@@ -52,22 +89,28 @@ def running_average(payments):
 
 
 def test_e3_budget_compliance(benchmark, report):
-    results = run_once(benchmark, run_all)
+    logs = run_once(benchmark, run_all)
 
     xs = list(range(ROUNDS))
     spend_curves = {
-        f"{label} (B={budget})": running_average(log.payment_series())
-        for label, (budget, log, _) in results.items()
+        f"lt-vcg {label} (B={budget})": running_average(
+            logs[("lt-vcg", label)].payment_series()
+        )
+        for label, budget in BUDGETS.items()
     }
+    spend_curves[f"myopic (B={BUDGETS['tight']})"] = running_average(
+        logs[("myopic-vcg", "tight")].payment_series()
+    )
     text = format_series(
         xs, spend_curves, x_label="round",
         title="Running-average spend per round", max_points=14,
     )
 
     queue_curves = {
-        f"Q(t) {label}": history[:ROUNDS]
-        for label, (_, _, history) in results.items()
-        if history is not None
+        f"Q(t) {label}": logs[("lt-vcg", label)].diagnostics_series(
+            "budget_backlog"
+        )
+        for label in BUDGETS
     }
     text += "\n\n" + format_series(
         xs, queue_curves, x_label="round",
@@ -75,11 +118,13 @@ def test_e3_budget_compliance(benchmark, report):
     )
 
     rows = []
-    for label, (budget, log, _) in results.items():
+    for (mechanism, label), log in sorted(logs.items()):
+        budget = BUDGETS[label]
         rep = budget_report(log, budget)
         rows.append(
-            [label, budget, rep.average_spend, rep.final_overspend_ratio,
-             rep.peak_cumulative_overspend, rep.compliant]
+            [f"{mechanism}@{label}", budget, rep.average_spend,
+             rep.final_overspend_ratio, rep.peak_cumulative_overspend,
+             rep.compliant]
         )
     text += "\n\n" + format_table(
         ["run", "budget", "avg_spend", "spend/budget", "peak_overspend", "compliant"],
@@ -89,8 +134,8 @@ def test_e3_budget_compliance(benchmark, report):
 
     # Shape assertions: LT-VCG compliant at every budget; myopic violates the
     # tight budget.
-    for label in BUDGETS:
-        budget, log, _ = results[label]
+    for label, budget in BUDGETS.items():
+        log = logs[("lt-vcg", label)]
         assert budget_report(log, budget).final_overspend_ratio <= 1.1
-    budget, log, _ = results["myopic@tight"]
-    assert budget_report(log, budget).final_overspend_ratio > 1.3
+    myopic = logs[("myopic-vcg", "tight")]
+    assert budget_report(myopic, BUDGETS["tight"]).final_overspend_ratio > 1.3

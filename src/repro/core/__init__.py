@@ -24,6 +24,7 @@ from repro.core.payments import (
     clarke_payments,
     critical_value_payments,
     greedy_critical_scores,
+    greedy_critical_scores_batch,
 )
 from repro.core.properties import (
     verify_individual_rationality,
@@ -79,6 +80,7 @@ __all__ = [
     "clarke_payments",
     "critical_value_payments",
     "greedy_critical_scores",
+    "greedy_critical_scores_batch",
     "solve",
     "solve_brute_force",
     "solve_greedy",

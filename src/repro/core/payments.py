@@ -42,6 +42,7 @@ from repro.core.winner_determination import (
     WinnerDeterminationProblem,
     exact_method_for,
     greedy_order,
+    greedy_order_batch,
     knapsack_objectives_without,
     solve,
     solve_greedy,
@@ -54,6 +55,7 @@ __all__ = [
     "top_k_critical_sigmas_flat",
     "knapsack_clarke_critical_scores",
     "greedy_critical_scores",
+    "greedy_critical_scores_batch",
     "critical_scores_by_search",
     "clarke_payments",
     "critical_value_payments",
@@ -279,6 +281,118 @@ def greedy_critical_scores(
                 break
         critical[index] = _clamp(sigma, float(scores[index]))
     return critical
+
+
+def greedy_critical_scores_batch(
+    scores: np.ndarray,
+    allocations: Sequence[Allocation],
+    demands: np.ndarray | None = None,
+    capacity: float | None = None,
+    max_winners: int | None = None,
+    *,
+    order: np.ndarray | None = None,
+    counts: np.ndarray | None = None,
+) -> list[dict[int, float]]:
+    """Row-wise :func:`greedy_critical_scores` over ``(R, N)`` matrices.
+
+    ``allocations[r]`` must be row ``r``'s greedy allocation
+    (column-indexed, e.g. from
+    :func:`~repro.core.winner_determination.solve_greedy_batch`), and
+    non-candidate entries must have non-positive scores — the same contract
+    as the batch solver.  Results are bit-identical to calling the scalar
+    engine row by row (pinned on ties-heavy instances in the test suite);
+    the per-row sort and problem construction the scalar loop would repeat
+    are replaced by one shared :func:`greedy_order_batch` lexsort (pass
+    ``order``/``counts`` to reuse the solver's) plus batched
+    demand/density gathers.
+
+    Without a knapsack constraint the whole batch is answered closed-form:
+    every winner of a row is displaced by the same competitor — the
+    candidate left at greedy position ``max_winners`` once the winner is
+    removed — so one gather of those displacer scores covers all rows.
+    Under a knapsack constraint the per-winner displacement scan (which
+    short-circuits at the displacing competitor) still runs in Python, but
+    off the shared precomputed order/demand/density rows.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be 2-D, got shape {scores.shape}")
+    if (demands is None) != (capacity is None):
+        raise ValueError("demands and capacity must be both set or both None")
+    if len(allocations) != scores.shape[0]:
+        raise ValueError(
+            f"{len(allocations)} allocations for {scores.shape[0]} score rows"
+        )
+    if demands is not None:
+        demands = np.asarray(demands, dtype=float)
+        if demands.shape != scores.shape:
+            raise ValueError(
+                f"demands shape {demands.shape} != scores shape {scores.shape}"
+            )
+    num_rounds = scores.shape[0]
+    if order is None or counts is None:
+        order, counts = greedy_order_batch(scores, demands)
+
+    if demands is None:
+        if max_winners is None:
+            # Nothing can ever displace a winner: every other candidate is
+            # processed but the cardinality never binds.
+            return [
+                {index: 0.0 for index in allocation.selected}
+                for allocation in allocations
+            ]
+        displacer = np.zeros(num_rounds)
+        displaced_rows = np.flatnonzero(counts > max_winners)
+        if displaced_rows.size:
+            displacer[displaced_rows] = scores[
+                displaced_rows, order[displaced_rows, max_winners]
+            ]
+        return [
+            {
+                index: _clamp(float(displacer[r]), float(scores[r, index]))
+                for index in allocations[r].selected
+            }
+            for r in range(num_rounds)
+        ]
+
+    ordered_demands = np.take_along_axis(demands, order, axis=1)
+    ordered_scores = np.take_along_axis(scores, order, axis=1)
+    ordered_density = ordered_scores / np.where(
+        ordered_demands > 0, ordered_demands, 1.0
+    )
+    out: list[dict[int, float]] = []
+    for r in range(num_rounds):
+        selected = allocations[r].selected
+        if not selected:
+            out.append({})
+            continue
+        npos = int(counts[r])
+        order_row = order[r, :npos].tolist()
+        demand_row = ordered_demands[r, :npos].tolist()
+        density_row = ordered_density[r, :npos].tolist()
+        critical: dict[int, float] = {}
+        for index in selected:
+            own_demand = float(demands[r, index])
+            remaining = capacity
+            count = 0
+            sigma = 0.0
+            for pos in range(npos):
+                if order_row[pos] == index:
+                    continue
+                # Process the other candidate under greedy skip semantics.
+                if demand_row[pos] > remaining + _EPS:
+                    continue
+                remaining -= demand_row[pos]
+                count += 1
+                # Would the winner, arriving after this candidate, still fit?
+                if (max_winners is not None and count >= max_winners) or (
+                    own_demand > remaining + _EPS
+                ):
+                    sigma = density_row[pos] * own_demand
+                    break
+            critical[index] = _clamp(sigma, float(scores[r, index]))
+        out.append(critical)
+    return out
 
 
 def critical_scores_by_search(

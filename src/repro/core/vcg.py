@@ -36,6 +36,7 @@ from repro.core.bids import AuctionRound, RoundBatch
 from repro.core.payments import (
     clarke_critical_scores,
     greedy_critical_scores,
+    greedy_critical_scores_batch,
     knapsack_clarke_critical_scores,
     top_k_critical_scores,
     top_k_critical_sigmas_flat,
@@ -45,6 +46,7 @@ from repro.core.winner_determination import (
     SolveCache,
     WinnerDeterminationProblem,
     exact_method_for,
+    greedy_order_batch,
     solve_greedy_batch,
     solve_top_k_batch,
 )
@@ -326,21 +328,18 @@ class SingleRoundVCGAuction:
 
         criticals: list[dict[int, float]] | None = None
         if self.wd_method == "greedy":
+            # One lexsort shared by winner determination and the batched
+            # critical-score engine (previously the criticals re-sorted and
+            # re-scanned every round through the scalar engine).
+            order, counts = greedy_order_batch(scores, demands)
             allocations = solve_greedy_batch(
-                scores, demands, self.capacity, self.max_winners
+                scores, demands, self.capacity, self.max_winners,
+                order=order, counts=counts,
             )
-            criticals = [
-                greedy_critical_scores(
-                    WinnerDeterminationProblem._unchecked(
-                        scores[r],
-                        None if demands is None else demands[r],
-                        self.capacity,
-                        self.max_winners,
-                    ),
-                    allocations[r],
-                )
-                for r in range(num)
-            ]
+            criticals = greedy_critical_scores_batch(
+                scores, allocations, demands, self.capacity, self.max_winners,
+                order=order, counts=counts,
+            )
         elif self.capacity is None:
             # Every exact method reduces to top-k without a knapsack; the
             # Clarke sigmas are computed flat below.

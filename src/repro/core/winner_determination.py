@@ -49,6 +49,7 @@ __all__ = [
     "SolveCache",
     "solve",
     "exact_method_for",
+    "greedy_order_batch",
     "solve_top_k",
     "solve_top_k_batch",
     "solve_brute_force",
@@ -319,14 +320,18 @@ def solve_top_k_batch(
     return allocations
 
 
-def _greedy_order_batch(
+def greedy_order_batch(
     scores: np.ndarray, demands: np.ndarray | None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Row-wise :func:`greedy_order`: ``(order, positive counts)``.
 
     ``order[r, :counts[r]]`` lists row ``r``'s positive-score candidates in
     greedy priority order; later columns hold the non-candidates in
-    unspecified order.
+    unspecified order.  One lexsort covers the whole batch; callers that
+    need both the allocations and the critical scores
+    (:meth:`~repro.core.vcg.SingleRoundVCGAuction.run_batch`) compute the
+    order once and pass it to both :func:`solve_greedy_batch` and
+    :func:`~repro.core.payments.greedy_critical_scores_batch`.
     """
     positive = scores > 0
     if demands is not None:
@@ -348,6 +353,9 @@ def solve_greedy_batch(
     demands: np.ndarray | None = None,
     capacity: float | None = None,
     max_winners: int | None = None,
+    *,
+    order: np.ndarray | None = None,
+    counts: np.ndarray | None = None,
 ) -> list[Allocation]:
     """Row-wise :func:`solve_greedy` over ``(R, N)`` score/demand matrices.
 
@@ -357,6 +365,9 @@ def solve_greedy_batch(
     semantics after the first over-capacity candidate) runs only for rows
     that need it, exactly as in the scalar solver.  Bit-identical to the
     scalar path (pinned property-based in the test suite).
+
+    ``order``/``counts`` accept a precomputed :func:`greedy_order_batch`
+    result so callers that also need critical scores sort only once.
     """
     scores = np.asarray(scores, dtype=float)
     if scores.ndim != 2:
@@ -372,7 +383,8 @@ def solve_greedy_batch(
             raise ValueError(
                 f"demands shape {demands.shape} != scores shape {scores.shape}"
             )
-    order, counts = _greedy_order_batch(scores, demands)
+    if order is None or counts is None:
+        order, counts = greedy_order_batch(scores, demands)
 
     def finish(r: int, selected: list[int]) -> Allocation:
         chosen = tuple(sorted(int(i) for i in selected))

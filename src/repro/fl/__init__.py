@@ -19,6 +19,13 @@ from repro.fl.attacks import (
     LabelFlippingClient,
     UpdateScalingClient,
 )
+from repro.fl.batch import (
+    ClientBatch,
+    LocalSolver,
+    SequentialLocalSolver,
+    UpdateBatch,
+    VectorizedLocalSolver,
+)
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.cnn import TinyConvNet
 from repro.fl.compression import Compressor, qsgd_quantize, top_k_sparsify
@@ -40,11 +47,18 @@ from repro.fl.datasets import (
     make_two_spirals,
     train_test_split,
 )
-from repro.fl.linear import SoftmaxRegression
+from repro.fl.linear import SoftmaxRegression, stacked_softmax_kernel
 from repro.fl.metrics import RoundMetrics, TrainingHistory
-from repro.fl.mlp import MLPClassifier
+from repro.fl.mlp import MLPClassifier, stacked_mlp_kernel
 from repro.fl.model import Model
-from repro.fl.optimizer import SGD, Adam, Optimizer
+from repro.fl.optimizer import (
+    SGD,
+    Adam,
+    Optimizer,
+    StackedAdam,
+    StackedSGD,
+    stack_optimizers,
+)
 from repro.fl.partition import (
     dirichlet_partition,
     iid_partition,
@@ -63,8 +77,18 @@ from repro.fl.trainer import (
 
 __all__ = [
     "Adam",
+    "ClientBatch",
     "ClientUpdate",
     "Compressor",
+    "LocalSolver",
+    "SequentialLocalSolver",
+    "StackedAdam",
+    "StackedSGD",
+    "UpdateBatch",
+    "VectorizedLocalSolver",
+    "stack_optimizers",
+    "stacked_mlp_kernel",
+    "stacked_softmax_kernel",
     "FedProxClient",
     "GaussianNoiseClient",
     "HierarchicalAggregator",

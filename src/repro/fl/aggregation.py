@@ -14,8 +14,21 @@ import numpy as np
 __all__ = ["stack_updates", "weighted_mean", "trimmed_mean", "coordinate_median"]
 
 
-def stack_updates(updates: list[np.ndarray]) -> np.ndarray:
-    """Stack equally shaped 1-D update vectors into an ``(m, p)`` matrix."""
+def stack_updates(updates: "list[np.ndarray] | np.ndarray") -> np.ndarray:
+    """Stack equally shaped 1-D update vectors into an ``(m, p)`` matrix.
+
+    An already-stacked 2-D float array (the columnar
+    :class:`~repro.fl.batch.UpdateBatch` path) passes through validated but
+    uncopied, so batched callers pay nothing for the shared entry point.
+    """
+    if isinstance(updates, np.ndarray):
+        if updates.ndim != 2:
+            raise ValueError(
+                f"stacked updates must be 2-D, got shape {updates.shape}"
+            )
+        if updates.shape[0] == 0:
+            raise ValueError("cannot aggregate zero updates")
+        return updates.astype(float, copy=False)
     if not updates:
         raise ValueError("cannot aggregate zero updates")
     stacked = np.stack([np.asarray(u, dtype=float) for u in updates])

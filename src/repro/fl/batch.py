@@ -1,0 +1,402 @@
+"""Vectorised client-local training: stacked shards, pluggable solvers.
+
+The scalar FedAvg local phase (:meth:`repro.fl.client.FLClient.train`) runs
+one client at a time: 5 minibatch-SGD steps of small-matrix numpy work plus
+per-step Python overhead, repeated for every selected client.  At production
+client counts that loop *is* the federated-training wall clock.  This module
+replaces it with a columnar engine:
+
+* :class:`ClientBatch` stacks the selected clients' shards into one
+  columnar store (concatenated samples + per-client offsets; minibatches
+  padded to the widest client with sample masks — mirroring the auction
+  side's :class:`~repro.core.bids.RoundBatch` design), and gathers every
+  step's per-client minibatches through one fancy-index read.  Each
+  client's minibatch plan still comes from its own private rng via
+  :meth:`~repro.fl.client.FLClient.sample_round_indices`, so the random
+  streams are consumed exactly as the scalar loop would.
+* :class:`LocalSolver` is the pluggable protocol for running the local phase
+  of many clients; :class:`SequentialLocalSolver` is the scalar reference
+  (a loop of ``client.train``), :class:`VectorizedLocalSolver` runs every
+  *stackable* group of clients simultaneously as one
+  leading-client-axis matmul pipeline (kernels in :mod:`repro.fl.linear` /
+  :mod:`repro.fl.mlp`, stacked optimizers in :mod:`repro.fl.optimizer`)
+  and falls back to the scalar path per client for everything else (CNNs,
+  heterogeneous architectures, FedProx, Byzantine wrappers).
+* :class:`UpdateBatch` carries the resulting deltas as one ``(m, p)``
+  matrix, which :meth:`repro.fl.server.FLServer.apply_updates` aggregates
+  as a single weighted tensordot without restacking.
+
+Per-client results of the vectorised path match the scalar path to
+floating-point associativity (identical rng draws, identical elementwise
+optimizer arithmetic, batched matmuls in place of per-client matmuls);
+the equivalence suite pins both model families at 1e-9.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.linear import stacked_softmax_kernel
+from repro.fl.mlp import stacked_mlp_kernel
+from repro.fl.optimizer import stack_optimizers
+
+__all__ = [
+    "ClientBatch",
+    "UpdateBatch",
+    "LocalSolver",
+    "SequentialLocalSolver",
+    "VectorizedLocalSolver",
+]
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """A round's client updates in columnar form.
+
+    Attributes
+    ----------
+    client_ids:
+        Producing clients, in training order.
+    deltas:
+        ``(m, p)`` matrix of parameter deltas (one row per client).
+    num_samples:
+        ``(m,)`` shard sizes — the FedAvg aggregation weights.
+    final_losses:
+        ``(m,)`` minibatch losses at each client's last local step.
+    """
+
+    client_ids: tuple[int, ...]
+    deltas: np.ndarray
+    num_samples: np.ndarray
+    final_losses: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.deltas.ndim != 2:
+            raise ValueError(f"deltas must be 2-D, got shape {self.deltas.shape}")
+        m = len(self.client_ids)
+        if self.deltas.shape[0] != m or self.num_samples.shape != (m,) or (
+            self.final_losses.shape != (m,)
+        ):
+            raise ValueError("UpdateBatch fields disagree on the client count")
+
+    def __len__(self) -> int:
+        return len(self.client_ids)
+
+    @classmethod
+    def from_updates(
+        cls, updates: Sequence[ClientUpdate], num_params: int
+    ) -> "UpdateBatch":
+        """Stack scalar :class:`ClientUpdate` objects into columnar form."""
+        if not updates:
+            return cls(
+                client_ids=(),
+                deltas=np.empty((0, num_params)),
+                num_samples=np.empty(0, dtype=int),
+                final_losses=np.empty(0),
+            )
+        return cls(
+            client_ids=tuple(update.client_id for update in updates),
+            deltas=np.stack([np.asarray(u.delta, dtype=float) for u in updates]),
+            num_samples=np.array([u.num_samples for u in updates], dtype=int),
+            final_losses=np.array([u.final_loss for u in updates], dtype=float),
+        )
+
+    def updates(self) -> list[ClientUpdate]:
+        """Expand back into scalar per-client updates (rows are copies)."""
+        return [
+            ClientUpdate(
+                client_id=int(self.client_ids[i]),
+                delta=self.deltas[i].copy(),
+                num_samples=int(self.num_samples[i]),
+                final_loss=float(self.final_losses[i]),
+            )
+            for i in range(len(self))
+        ]
+
+
+class ClientBatch:
+    """Selected clients' shards stacked into one columnar store with masks.
+
+    Mirrors :class:`~repro.core.bids.RoundBatch`: a ragged collection
+    (shards of different sizes, minibatch sizes capped at shard size)
+    becomes fixed-shape minibatch arrays plus masks.  Shards are stored
+    concatenated (``features`` is ``(sum of shard sizes, d)`` with per-client
+    ``offsets``) rather than zero-padded to the largest shard — label-skewed
+    partitions have heavy shard-size tails, and padding to the maximum
+    would multiply the memory the per-step gathers stream through.  The
+    *minibatch* axis is padded: every gathered step is ``(C, B_max, d)``
+    and ``batch_mask`` flags the real columns of each client's minibatch.
+
+    The stack assumes client datasets are immutable after construction —
+    true for every library client (``Dataset`` is frozen;
+    :class:`~repro.fl.attacks.LabelFlippingClient` rewrites labels in its
+    constructor, before any stacking) — which is what lets
+    :class:`VectorizedLocalSolver` cache stacks across rounds.
+    """
+
+    def __init__(self, clients: Sequence[FLClient]) -> None:
+        if not clients:
+            raise ValueError("ClientBatch needs at least one client")
+        self.clients = tuple(clients)
+        self.local_steps = self.clients[0].local_steps
+        if any(c.local_steps != self.local_steps for c in self.clients):
+            raise ValueError("ClientBatch requires uniform local_steps")
+        self.shard_sizes = np.array([c.num_samples for c in self.clients], dtype=int)
+        self.batch_sizes = np.array([c.batch_size for c in self.clients], dtype=int)
+        self.offsets = np.zeros(len(self.clients), dtype=np.int64)
+        np.cumsum(self.shard_sizes[:-1], out=self.offsets[1:])
+        self.features = np.concatenate(
+            [c.dataset.features for c in self.clients], axis=0
+        )
+        self.labels = np.concatenate([c.dataset.labels for c in self.clients])
+        max_batch = int(self.batch_sizes.max())
+        self.uniform_batch = bool((self.batch_sizes == max_batch).all())
+        self.batch_mask = (
+            np.arange(max_batch)[None, :] < self.batch_sizes[:, None]
+        ).astype(float)
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    def round_minibatches(self) -> tuple[np.ndarray, np.ndarray]:
+        """Draw one whole round's minibatches for every client.
+
+        Consumes each client's private rng through
+        :meth:`~repro.fl.client.FLClient.sample_round_indices` — the same
+        draw, in the same order, the scalar loop would make — then gathers
+        all ``(clients, steps, batch)`` minibatches with one flat
+        fancy-index read; per-step slices of the result are views.  Padding
+        columns (for clients with a smaller minibatch) gather the client's
+        shard row 0 and are excluded from loss/grad by ``batch_mask``.
+        """
+        num_clients = len(self.clients)
+        max_batch = self.batch_mask.shape[1]
+        plan = np.zeros((num_clients, self.local_steps, max_batch), dtype=np.int64)
+        for row, client in enumerate(self.clients):
+            plan[row, :, : client.batch_size] = client.sample_round_indices()
+        plan += self.offsets[:, None, None]
+        flat = plan.reshape(-1)
+        shape = (num_clients, self.local_steps, max_batch)
+        features = self.features[flat]
+        labels = self.labels[flat]
+        return features.reshape(*shape, -1), labels.reshape(shape)
+
+
+class LocalSolver:
+    """Protocol for running the local-SGD phase of many clients.
+
+    ``train`` receives the selected clients (in aggregation order) and the
+    flat global parameter vector, and returns an :class:`UpdateBatch` whose
+    rows follow the input order.  Implementations must consume each
+    client's random stream exactly as :meth:`FLClient.train` would, so
+    solvers are interchangeable without perturbing reproducibility.
+    """
+
+    def train(
+        self, clients: Sequence[FLClient], global_params: np.ndarray
+    ) -> UpdateBatch:
+        raise NotImplementedError
+
+
+class SequentialLocalSolver(LocalSolver):
+    """The scalar reference: one ``client.train`` call per client."""
+
+    def train(
+        self, clients: Sequence[FLClient], global_params: np.ndarray
+    ) -> UpdateBatch:
+        global_params = np.asarray(global_params, dtype=float)
+        return UpdateBatch.from_updates(
+            [client.train(global_params) for client in clients],
+            num_params=global_params.size,
+        )
+
+
+def _stack_signature(client: FLClient) -> tuple | None:
+    """Grouping key for clients whose local phases can run as one stack.
+
+    ``None`` marks a client the vectorised engine must not stack (overridden
+    ``train``, or a model family without a stacked kernel).  Clients sharing
+    a signature have the same architecture and local step count; shard
+    sizes, minibatch sizes, L2 and optimizer hyperparameters may differ.
+    """
+    if not client.supports_stacking:
+        return None
+    model = client.model
+    kind = type(model).__name__
+    if kind == "SoftmaxRegression":
+        arch: tuple = (model.num_features, model.num_classes)
+    elif kind == "MLPClassifier":
+        arch = (tuple(model.layer_sizes), model.activation)
+    else:
+        return None
+    return (type(model), arch, client.local_steps)
+
+
+class VectorizedLocalSolver(LocalSolver):
+    """Stacked local training for homogeneous client groups.
+
+    Clients are grouped by architecture signature; each group of at least
+    ``min_group`` clients whose models have a stacked kernel and whose
+    optimizers stack (:func:`~repro.fl.optimizer.stack_optimizers`) trains
+    as one leading-client-axis pipeline — every local step is one batched
+    matmul forward/backward plus one stacked optimizer step for the whole
+    group.  Everything else (CNNs, heterogeneous architectures, FedProx,
+    Byzantine wrappers, exotic optimizers) runs through the scalar path,
+    client by client, unchanged.  Update rows are reassembled in input
+    order, so callers cannot observe the partition.
+
+    Shard stacks (and their resolved kernels) are cached per client-id
+    group (``cache_size`` FIFO entries) — winner sets repeat heavily under
+    both FedAvg sampling and mechanism-driven selection, and datasets are
+    immutable after construction (see :class:`ClientBatch`).
+
+    One observable difference from the scalar path: client *model* objects
+    are not written back by default (the scalar loop leaves each model
+    holding its final local parameters purely as an implementation
+    artifact; nothing in the library reads them between rounds, and
+    :meth:`FLClient.evaluate` loads parameters itself).  Pass
+    ``sync_models=True`` for exact scalar-path fidelity at the cost of one
+    ``set_params`` per client per round.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_group: int = 2,
+        cache_size: int = 8,
+        sync_models: bool = False,
+    ) -> None:
+        if min_group < 1:
+            raise ValueError(f"min_group must be >= 1, got {min_group}")
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        self.min_group = int(min_group)
+        self.cache_size = int(cache_size)
+        self.sync_models = bool(sync_models)
+        self._stacks: dict[tuple[int, ...], tuple[ClientBatch, object]] = {}
+
+    def _stack_for(self, clients: tuple[FLClient, ...]):
+        """``(ClientBatch, kernel)`` for a homogeneous group, cached.
+
+        Keys are ``id()`` tuples, which is safe only because every cached
+        entry's ClientBatch holds the client references (keeping the ids
+        alive); kernel-less resolutions are therefore never cached — they
+        are cheap, and a ref-less cache entry could outlive its clients and
+        capture a recycled id.
+        """
+        key = tuple(id(client) for client in clients)
+        cached = self._stacks.get(key)
+        if cached is not None:
+            return cached
+        kernel = stacked_softmax_kernel([c.model for c in clients])
+        if kernel is None:
+            kernel = stacked_mlp_kernel([c.model for c in clients])
+        if kernel is None:
+            return None, None
+        entry = (ClientBatch(clients), kernel)
+        if self.cache_size:
+            if len(self._stacks) >= self.cache_size:
+                self._stacks.pop(next(iter(self._stacks)))
+            self._stacks[key] = entry
+        return entry
+
+    def _train_group(
+        self, clients: tuple[FLClient, ...], global_params: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Run one homogeneous group stacked; ``None`` defers to scalar.
+
+        Returns ``(deltas (C, P), final_losses (C,))`` with compressors
+        already applied per row.
+        """
+        batch, kernel = self._stack_for(clients)
+        if kernel is None or kernel.num_params != global_params.size:
+            return None
+        optimizer = stack_optimizers([c.optimizer_factory() for c in clients])
+        if optimizer is None:
+            return None
+        params = np.repeat(global_params[None, :], len(clients), axis=0)
+        counts = batch.batch_sizes.astype(float)
+        mask = None if batch.uniform_batch else batch.batch_mask
+        all_features, all_labels = batch.round_minibatches()
+        losses = np.zeros(len(clients))
+        for step in range(batch.local_steps):
+            last = step == batch.local_steps - 1
+            step_losses, grads = kernel.loss_and_grad(
+                params,
+                all_features[:, step],
+                all_labels[:, step],
+                mask,
+                counts,
+                # The loss is a diagnostic only needed from the final step
+                # (the scalar path's final_loss).
+                with_loss=last,
+            )
+            if last:
+                losses = step_losses
+            params = optimizer.step(params, grads)
+
+        if self.sync_models:
+            # Scalar-path fidelity: the client's model holds its final
+            # local parameters after training (set_params copies).
+            for row, client in enumerate(clients):
+                client.model.set_params(params[row])
+        deltas = params
+        deltas -= global_params[None, :]
+        for row, client in enumerate(clients):
+            if client.compressor is not None:
+                deltas[row] = client.compressor.compress(deltas[row])
+        return deltas, losses
+
+    def train(
+        self, clients: Sequence[FLClient], global_params: np.ndarray
+    ) -> UpdateBatch:
+        global_params = np.asarray(global_params, dtype=float)
+        clients = list(clients)
+        groups: dict[tuple, list[int]] = {}
+        for position, client in enumerate(clients):
+            signature = _stack_signature(client)
+            if signature is not None:
+                groups.setdefault(signature, []).append(position)
+
+        if len(groups) == 1 and len(clients) >= self.min_group:
+            positions = next(iter(groups.values()))
+            if len(positions) == len(clients):
+                # Common case — one homogeneous stack covering everyone:
+                # the delta matrix becomes the UpdateBatch without per-row
+                # repacking.
+                result = self._train_group(tuple(clients), global_params)
+                if result is not None:
+                    deltas, losses = result
+                    return UpdateBatch(
+                        client_ids=tuple(c.client_id for c in clients),
+                        deltas=deltas,
+                        num_samples=np.array(
+                            [c.num_samples for c in clients], dtype=int
+                        ),
+                        final_losses=losses,
+                    )
+
+        updates: list[ClientUpdate | None] = [None] * len(clients)
+        for positions in groups.values():
+            if len(positions) < self.min_group:
+                continue
+            group = tuple(clients[p] for p in positions)
+            result = self._train_group(group, global_params)
+            if result is None:
+                continue
+            deltas, losses = result
+            for row, position in enumerate(positions):
+                updates[position] = ClientUpdate(
+                    client_id=group[row].client_id,
+                    delta=deltas[row],
+                    num_samples=group[row].num_samples,
+                    final_loss=float(losses[row]),
+                )
+        for position, client in enumerate(clients):
+            if updates[position] is None:
+                updates[position] = client.train(global_params)
+        return UpdateBatch.from_updates(updates, num_params=global_params.size)

@@ -103,11 +103,42 @@ class FLClient:
         """Size of the client's local shard."""
         return self.dataset.num_samples
 
-    def _sample_batch(self) -> tuple[np.ndarray, np.ndarray]:
-        indices = self.rng.choice(
-            self.dataset.num_samples, size=self.batch_size, replace=False
+    @property
+    def supports_stacking(self) -> bool:
+        """True when this client's local phase is the base-class algorithm.
+
+        Subclasses that override :meth:`train` (FedProx, the Byzantine
+        wrappers) change the local phase itself, so the vectorised engine
+        (:mod:`repro.fl.batch`) must route them through the scalar path;
+        subclasses that only reshape their construction-time state
+        (:class:`~repro.fl.attacks.LabelFlippingClient`) stack fine.
+        """
+        return type(self).train is FLClient.train
+
+    def sample_round_indices(self) -> np.ndarray:
+        """Draw one round's minibatch plan from the client's private rng.
+
+        Returns a ``(local_steps, batch_size)`` matrix of shard indices —
+        row ``t`` is step ``t``'s without-replacement minibatch.  Both
+        local-training paths — :meth:`train` and the stacked engine in
+        :mod:`repro.fl.batch` — draw through this method, once per round,
+        so each client's random stream is consumed identically no matter
+        which engine runs it.  One ``permuted`` call covers all steps on
+        small shards; large shards fall back to per-step ``choice``
+        (``permuted`` is O(steps * shard) regardless of batch size).
+        """
+        num_samples = self.dataset.num_samples
+        if num_samples <= 256:
+            plan = np.empty((self.local_steps, num_samples), dtype=np.int64)
+            plan[:] = np.arange(num_samples)
+            self.rng.permuted(plan, axis=1, out=plan)
+            return plan[:, : self.batch_size]
+        return np.stack(
+            [
+                self.rng.choice(num_samples, size=self.batch_size, replace=False)
+                for _ in range(self.local_steps)
+            ]
         )
-        return self.dataset.features[indices], self.dataset.labels[indices]
 
     def train(self, global_params: np.ndarray) -> ClientUpdate:
         """Run the local phase from ``global_params`` and return the delta."""
@@ -115,10 +146,13 @@ class FLClient:
         self.model.set_params(global_params)
         optimizer = self.optimizer_factory()
 
+        plan = self.sample_round_indices()
         params = self.model.get_params()
         loss = 0.0
-        for _ in range(self.local_steps):
-            features, labels = self._sample_batch()
+        for step in range(self.local_steps):
+            indices = plan[step]
+            features = self.dataset.features[indices]
+            labels = self.dataset.labels[indices]
             self.model.set_params(params)
             loss, grad = self.model.loss_and_grad(features, labels)
             params = optimizer.step(params, grad)

@@ -62,10 +62,13 @@ class FedProxClient(FLClient):
         self.model.set_params(global_params)
         optimizer = self.optimizer_factory()
 
+        plan = self.sample_round_indices()
         params = self.model.get_params()
         loss = 0.0
-        for _ in range(self.local_steps):
-            features, labels = self._sample_batch()
+        for step in range(self.local_steps):
+            indices = plan[step]
+            features = self.dataset.features[indices]
+            labels = self.dataset.labels[indices]
             self.model.set_params(params)
             loss, grad = self.model.loss_and_grad(features, labels)
             drift = params - global_params

@@ -3,16 +3,39 @@
 The workhorse model for mechanism experiments: convex, fast, and accurate
 enough on the synthetic datasets that differences between client-selection
 mechanisms show up clearly in the learning curves.
+
+:func:`stacked_softmax_kernel` provides the leading-client-axis variant of
+:meth:`SoftmaxRegression.loss_and_grad` used by the vectorised
+local-training engine (:mod:`repro.fl.batch`): one batched matmul pipeline
+computes every client's minibatch loss and gradient simultaneously.
 """
 
 from __future__ import annotations
+
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.fl.model import Model, cross_entropy, one_hot, softmax
 from repro.utils.validation import check_non_negative
 
-__all__ = ["SoftmaxRegression"]
+__all__ = ["SoftmaxRegression", "stacked_softmax_kernel", "StackedSoftmaxKernel"]
+
+
+def _colfold_max(tensor: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Last-axis max via a column fold, written into ``out``.
+
+    For the short class axis a chain of ``np.maximum`` over full-width
+    column slices beats numpy's per-row reduce severalfold, and — max being
+    exactly associative — the result is bit-identical to
+    ``tensor.max(axis=-1, keepdims=True)``.
+    """
+    flat = tensor.reshape(-1, tensor.shape[-1])
+    target = out.reshape(-1)
+    np.copyto(target, flat[:, 0])
+    for column in range(1, flat.shape[1]):
+        np.maximum(target, flat[:, column], out=target)
+    return out
 
 
 class SoftmaxRegression(Model):
@@ -89,3 +112,122 @@ class SoftmaxRegression(Model):
             f"SoftmaxRegression(num_features={self.num_features}, "
             f"num_classes={self.num_classes}, l2={self.l2})"
         )
+
+
+class StackedSoftmaxKernel:
+    """Per-client loss/grad for a homogeneous :class:`SoftmaxRegression` stack.
+
+    Operates on a leading client axis: ``params`` is ``(C, P)``, minibatch
+    ``features``/``labels`` are ``(C, B, d)`` / ``(C, B)``, and ``mask``
+    flags the real (non-padding) minibatch rows.  Per client the arithmetic
+    mirrors :meth:`SoftmaxRegression.loss_and_grad` operation for operation
+    (batched matmul in place of the per-client matmul, masked sums in place
+    of full sums), so per-client results agree with the scalar path to
+    floating-point associativity (pinned at 1e-9 in the test suite).
+    """
+
+    def __init__(self, num_features: int, num_classes: int, l2: np.ndarray) -> None:
+        self.num_features = int(num_features)
+        self.num_classes = int(num_classes)
+        self.l2 = np.asarray(l2, dtype=float)
+        self.num_params = self.num_features * self.num_classes + self.num_classes
+        # Scratch buffers reused across local steps (shapes are constant
+        # within a round); lazily sized on first use.
+        self._logits: np.ndarray | None = None
+        self._reduced: np.ndarray | None = None
+        self._grad_weights: np.ndarray | None = None
+
+    def loss_and_grad(
+        self,
+        params: np.ndarray,
+        features: np.ndarray,
+        labels: np.ndarray,
+        mask: np.ndarray | None,
+        counts: np.ndarray,
+        *,
+        with_loss: bool = True,
+    ) -> tuple[np.ndarray | None, np.ndarray]:
+        """``(losses (C,), grads (C, P))`` for one minibatch of every client.
+
+        ``mask=None`` means every minibatch column is real (uniform batch
+        sizes); ``with_loss=False`` skips the loss reduction (a per-step
+        diagnostic the engine only reads at the final local step) and
+        returns ``None`` losses.
+        """
+        num_clients = params.shape[0]
+        split = self.num_features * self.num_classes
+        weights = params[:, :split].reshape(
+            num_clients, self.num_features, self.num_classes
+        )
+        bias = params[:, split:]
+
+        batch_shape = (num_clients, features.shape[1], self.num_classes)
+        if self._logits is None or self._logits.shape != batch_shape:
+            self._logits = np.empty(batch_shape)
+            self._reduced = np.empty((*batch_shape[:2], 1))
+            self._grad_weights = np.empty(
+                (num_clients, self.num_features, self.num_classes)
+            )
+        logits, reduced = self._logits, self._reduced
+
+        # In-place softmax: same arithmetic as model.softmax, no temporaries.
+        np.matmul(features, weights, out=logits)
+        logits += bias[:, None, :]
+        logits -= _colfold_max(logits, reduced)
+        np.exp(logits, out=logits)
+        logits /= np.sum(logits, axis=-1, keepdims=True, out=reduced)
+        probabilities = logits
+
+        client_rows = np.arange(num_clients)[:, None]
+        sample_cols = np.arange(labels.shape[1])[None, :]
+        losses = None
+        if with_loss:
+            picked = probabilities[client_rows, sample_cols, labels]
+            clipped = np.clip(picked, 1e-12, 1.0)
+            if mask is None:
+                losses = -np.log(clipped).sum(axis=1) / counts
+            else:
+                losses = -(np.log(clipped) * mask).sum(axis=1) / counts
+            if self.l2.any():
+                losses = losses + 0.5 * self.l2 * (weights**2).sum(axis=(1, 2))
+
+        # probabilities - one_hot(labels), reusing the probability buffer.
+        delta = probabilities
+        delta[client_rows, sample_cols, labels] -= 1.0
+        delta /= counts[:, None, None]
+        if mask is not None:
+            delta *= mask[:, :, None]
+        grad_weights = np.matmul(
+            features.transpose(0, 2, 1), delta, out=self._grad_weights
+        )
+        if self.l2.any():
+            grad_weights += self.l2[:, None, None] * weights
+        grad_bias = delta.sum(axis=1)
+        grads = np.concatenate(
+            [grad_weights.reshape(num_clients, split), grad_bias], axis=1
+        )
+        return losses, grads
+
+
+def stacked_softmax_kernel(models: Sequence[Model]) -> StackedSoftmaxKernel | None:
+    """A stacked kernel for a homogeneous softmax-regression family, else None.
+
+    Homogeneous means: every model is exactly :class:`SoftmaxRegression`
+    (subclasses could override the loss) with identical dimensions; the L2
+    coefficient may differ per client (it is carried as a vector).
+    """
+    models = list(models)
+    if not models or any(type(model) is not SoftmaxRegression for model in models):
+        return None
+    first = models[0]
+    if any(
+        model.num_features != first.num_features
+        or model.num_classes != first.num_classes
+        for model in models
+    ):
+        return None
+    return StackedSoftmaxKernel(
+        first.num_features,
+        first.num_classes,
+        np.array([model.l2 for model in models], dtype=float),
+    )

@@ -4,6 +4,11 @@ Used in experiments that need a non-convex model (where biased client
 selection hurts measurably more than in the convex case).  Supports an
 arbitrary stack of hidden layers with ReLU or tanh activations and a softmax
 output trained with cross-entropy.
+
+:func:`stacked_mlp_kernel` provides the leading-client-axis variant of
+:meth:`MLPClassifier.loss_and_grad` used by the vectorised local-training
+engine (:mod:`repro.fl.batch`): forward and backward passes run as batched
+matmuls over every client's minibatch simultaneously.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ import numpy as np
 from repro.fl.model import Model, cross_entropy, one_hot, softmax
 from repro.utils.validation import check_non_negative
 
-__all__ = ["MLPClassifier"]
+__all__ = ["MLPClassifier", "stacked_mlp_kernel", "StackedMLPKernel"]
 
 _ACTIVATIONS = {
     "relu": (lambda z: np.maximum(z, 0.0), lambda z: (z > 0).astype(float)),
@@ -149,3 +154,147 @@ class MLPClassifier(Model):
             f"MLPClassifier(layer_sizes={self.layer_sizes}, "
             f"activation={self.activation!r}, l2={self.l2})"
         )
+
+
+class StackedMLPKernel:
+    """Per-client loss/grad for a homogeneous :class:`MLPClassifier` stack.
+
+    Same contract as
+    :class:`~repro.fl.linear.StackedSoftmaxKernel`: ``params`` is ``(C, P)``,
+    minibatches carry a leading client axis, ``mask`` flags real rows, and
+    per-client results agree with :meth:`MLPClassifier.loss_and_grad` to
+    floating-point associativity (pinned at 1e-9 in the test suite).
+    """
+
+    def __init__(
+        self, layer_sizes: Sequence[int], activation: str, l2: np.ndarray
+    ) -> None:
+        self.layer_sizes = [int(size) for size in layer_sizes]
+        self.num_classes = self.layer_sizes[-1]
+        self.activation = activation
+        self.l2 = np.asarray(l2, dtype=float)
+        self._shapes = list(zip(self.layer_sizes[:-1], self.layer_sizes[1:]))
+        self.num_params = sum(
+            fan_in * fan_out + fan_out for fan_in, fan_out in self._shapes
+        )
+
+    def _unflatten(
+        self, params: np.ndarray
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        num_clients = params.shape[0]
+        weights, biases = [], []
+        offset = 0
+        for fan_in, fan_out in self._shapes:
+            size = fan_in * fan_out
+            weights.append(
+                params[:, offset : offset + size].reshape(num_clients, fan_in, fan_out)
+            )
+            offset += size
+            biases.append(params[:, offset : offset + fan_out])
+            offset += fan_out
+        return weights, biases
+
+    def loss_and_grad(
+        self,
+        params: np.ndarray,
+        features: np.ndarray,
+        labels: np.ndarray,
+        mask: np.ndarray | None,
+        counts: np.ndarray,
+        *,
+        with_loss: bool = True,
+    ) -> tuple[np.ndarray | None, np.ndarray]:
+        """``(losses (C,), grads (C, P))`` for one minibatch of every client.
+
+        Same contract as
+        :meth:`~repro.fl.linear.StackedSoftmaxKernel.loss_and_grad`:
+        ``mask=None`` means uniform batch sizes, ``with_loss=False`` skips
+        the diagnostic loss reduction.
+        """
+        num_clients = params.shape[0]
+        act_fn, act_grad_fn = _ACTIVATIONS[self.activation]
+        weights, biases = self._unflatten(params)
+
+        activations = [features]
+        pre_activations = []
+        hidden = features
+        for weight, bias in zip(weights[:-1], biases[:-1]):
+            z = hidden @ weight + bias[:, None, :]
+            pre_activations.append(z)
+            hidden = act_fn(z)
+            activations.append(hidden)
+        # In-place softmax: same arithmetic as model.softmax, no temporaries.
+        logits = hidden @ weights[-1]
+        logits += biases[-1][:, None, :]
+        logits -= logits.max(axis=-1, keepdims=True)
+        np.exp(logits, out=logits)
+        logits /= logits.sum(axis=-1, keepdims=True)
+        probabilities = logits
+
+        client_rows = np.arange(num_clients)[:, None]
+        sample_cols = np.arange(labels.shape[1])[None, :]
+        losses = None
+        if with_loss:
+            picked = probabilities[client_rows, sample_cols, labels]
+            clipped = np.clip(picked, 1e-12, 1.0)
+            if mask is None:
+                losses = -np.log(clipped).sum(axis=1) / counts
+            else:
+                losses = -(np.log(clipped) * mask).sum(axis=1) / counts
+            if self.l2.any():
+                losses = losses + 0.5 * self.l2 * sum(
+                    (weight**2).sum(axis=(1, 2)) for weight in weights
+                )
+
+        # probabilities - one_hot(labels), reusing the probability buffer.
+        delta = probabilities
+        delta[client_rows, sample_cols, labels] -= 1.0
+        delta /= counts[:, None, None]
+        if mask is not None:
+            delta *= mask[:, :, None]
+
+        has_l2 = bool(self.l2.any())
+        grads_w = [None] * len(weights)
+        grads_b = [None] * len(biases)
+        grads_w[-1] = activations[-1].transpose(0, 2, 1) @ delta
+        if has_l2:
+            grads_w[-1] += self.l2[:, None, None] * weights[-1]
+        grads_b[-1] = delta.sum(axis=1)
+        for layer in range(len(weights) - 2, -1, -1):
+            delta = (delta @ weights[layer + 1].transpose(0, 2, 1)) * act_grad_fn(
+                pre_activations[layer]
+            )
+            grads_w[layer] = activations[layer].transpose(0, 2, 1) @ delta
+            if has_l2:
+                grads_w[layer] += self.l2[:, None, None] * weights[layer]
+            grads_b[layer] = delta.sum(axis=1)
+
+        parts = []
+        for grad_w, grad_b in zip(grads_w, grads_b):
+            parts.append(grad_w.reshape(num_clients, -1))
+            parts.append(grad_b)
+        return losses, np.concatenate(parts, axis=1)
+
+
+def stacked_mlp_kernel(models: Sequence[Model]) -> StackedMLPKernel | None:
+    """A stacked kernel for a homogeneous MLP family, else ``None``.
+
+    Homogeneous means: every model is exactly :class:`MLPClassifier` with
+    identical layer sizes and activation; the L2 coefficient may differ per
+    client (it is carried as a vector).
+    """
+    models = list(models)
+    if not models or any(type(model) is not MLPClassifier for model in models):
+        return None
+    first = models[0]
+    if any(
+        model.layer_sizes != first.layer_sizes
+        or model.activation != first.activation
+        for model in models
+    ):
+        return None
+    return StackedMLPKernel(
+        first.layer_sizes,
+        first.activation,
+        np.array([model.l2 for model in models], dtype=float),
+    )

@@ -16,10 +16,15 @@ __all__ = ["Model", "softmax", "one_hot", "cross_entropy"]
 
 
 def softmax(logits: np.ndarray) -> np.ndarray:
-    """Numerically stable row-wise softmax."""
-    shifted = logits - logits.max(axis=1, keepdims=True)
+    """Numerically stable softmax over the last axis.
+
+    Accepts the classic ``(n, C)`` logit matrix as well as stacked
+    ``(clients, n, C)`` tensors from the vectorised local-training engine;
+    for 2-D input the result is unchanged.
+    """
+    shifted = logits - logits.max(axis=-1, keepdims=True)
     exp = np.exp(shifted)
-    return exp / exp.sum(axis=1, keepdims=True)
+    return exp / exp.sum(axis=-1, keepdims=True)
 
 
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:

@@ -5,17 +5,34 @@ the current parameters and a gradient and returns updated parameters.  State
 (momentum buffers, Adam moments) lives inside the optimizer, so each FL
 client owns an independent optimizer instance and local training remains
 self-contained.
+
+The *stacked* variants (:class:`StackedSGD`, :class:`StackedAdam`) run the
+same update rule over a ``(C, P)`` matrix of per-client parameter rows with
+per-client hyperparameter vectors — every arithmetic operation is the same
+elementwise expression as the scalar rule, so row ``c`` of a stacked step is
+bit-identical to the scalar optimizer stepping client ``c`` alone.  They
+back the vectorised local-training engine (:mod:`repro.fl.batch`);
+:func:`stack_optimizers` decides whether a group of per-client optimizer
+instances can be driven as one stack.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.utils.validation import check_in_range, check_positive
 
-__all__ = ["Optimizer", "SGD", "Adam"]
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StackedSGD",
+    "StackedAdam",
+    "stack_optimizers",
+]
 
 
 class Optimizer(ABC):
@@ -103,3 +120,111 @@ class Adam(Optimizer):
             f"Adam(learning_rate={self.learning_rate}, beta1={self.beta1}, "
             f"beta2={self.beta2})"
         )
+
+
+class StackedSGD:
+    """SGD stepping a ``(C, P)`` stack of per-client parameter rows at once.
+
+    ``learning_rates`` / ``momenta`` are per-client ``(C,)`` vectors; row
+    ``c`` of :meth:`step` computes exactly the expression
+    :meth:`SGD.step` would for client ``c`` (same multiplies, same
+    subtraction — bit-identical, pinned in the test suite).
+    """
+
+    def __init__(self, learning_rates: np.ndarray, momenta: np.ndarray) -> None:
+        self.learning_rates = np.asarray(learning_rates, dtype=float)
+        self.momenta = np.asarray(momenta, dtype=float)
+        if self.learning_rates.shape != self.momenta.shape:
+            raise ValueError("learning_rates and momenta must have equal shapes")
+        self._velocity: np.ndarray | None = None
+        self._scratch: np.ndarray | None = None
+
+    def step(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        """Update the stack in place (callers own ``params``) and return it."""
+        lr = self.learning_rates[:, None]
+        if self._scratch is None or self._scratch.shape != grads.shape:
+            self._scratch = np.empty_like(grads)
+        np.multiply(grads, lr, out=self._scratch)
+        if not self.momenta.any():
+            params -= self._scratch
+            return params
+        if self._velocity is None or self._velocity.shape != grads.shape:
+            self._velocity = np.zeros_like(grads)
+        self._velocity *= self.momenta[:, None]
+        self._velocity -= self._scratch
+        params += self._velocity
+        return params
+
+    def reset(self) -> None:
+        self._velocity = None
+
+
+class StackedAdam:
+    """Adam stepping a ``(C, P)`` stack with per-client hyperparameters.
+
+    All rows share the step counter ``t`` (every client steps once per
+    call), so the bias corrections match the scalar optimizer's exactly.
+    """
+
+    def __init__(
+        self,
+        learning_rates: np.ndarray,
+        beta1s: np.ndarray,
+        beta2s: np.ndarray,
+        epsilons: np.ndarray,
+    ) -> None:
+        self.learning_rates = np.asarray(learning_rates, dtype=float)
+        self.beta1s = np.asarray(beta1s, dtype=float)
+        self.beta2s = np.asarray(beta2s, dtype=float)
+        self.epsilons = np.asarray(epsilons, dtype=float)
+        self._m: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+        self._t = 0
+
+    def step(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        if self._m is None or self._m.shape != grads.shape:
+            self._m = np.zeros_like(grads)
+            self._v = np.zeros_like(grads)
+            self._t = 0
+        self._t += 1
+        beta1 = self.beta1s[:, None]
+        beta2 = self.beta2s[:, None]
+        self._m = beta1 * self._m + (1.0 - beta1) * grads
+        self._v = beta2 * self._v + (1.0 - beta2) * grads**2
+        m_hat = self._m / (1.0 - beta1**self._t)
+        v_hat = self._v / (1.0 - beta2**self._t)
+        return params - self.learning_rates[:, None] * m_hat / (
+            np.sqrt(v_hat) + self.epsilons[:, None]
+        )
+
+    def reset(self) -> None:
+        self._m = None
+        self._v = None
+        self._t = 0
+
+
+def stack_optimizers(optimizers: Sequence[Optimizer]):
+    """Stack per-client optimizer instances, or ``None`` when not stackable.
+
+    Only exact :class:`SGD` / :class:`Adam` instances (no subclasses, whose
+    overridden ``step`` the stacked rule could not reproduce) stack, and the
+    whole group must share one family; hyperparameters may differ per
+    client.  Instances must be freshly created — stacking ignores any state
+    already accumulated inside them.
+    """
+    optimizers = list(optimizers)
+    if not optimizers:
+        return None
+    if all(type(opt) is SGD for opt in optimizers):
+        return StackedSGD(
+            np.array([opt.learning_rate for opt in optimizers]),
+            np.array([opt.momentum for opt in optimizers]),
+        )
+    if all(type(opt) is Adam for opt in optimizers):
+        return StackedAdam(
+            np.array([opt.learning_rate for opt in optimizers]),
+            np.array([opt.beta1 for opt in optimizers]),
+            np.array([opt.beta2 for opt in optimizers]),
+            np.array([opt.epsilon for opt in optimizers]),
+        )
+    return None

@@ -14,6 +14,7 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.fl.aggregation import stack_updates, weighted_mean
+from repro.fl.batch import UpdateBatch
 from repro.fl.client import ClientUpdate
 from repro.fl.datasets import Dataset
 from repro.fl.model import Model
@@ -68,17 +69,31 @@ class FLServer:
         """Copy of the current global parameters."""
         return self.model.get_params()
 
-    def apply_updates(self, updates: list[ClientUpdate]) -> np.ndarray:
+    def apply_updates(
+        self, updates: "list[ClientUpdate] | UpdateBatch"
+    ) -> np.ndarray:
         """Aggregate client deltas into the global model; returns new params.
+
+        Accepts either scalar per-client updates or a columnar
+        :class:`~repro.fl.batch.UpdateBatch`; the batch path aggregates the
+        whole ``(m, p)`` delta matrix as one weighted tensordot without
+        restacking.  Both paths produce identical aggregates for identical
+        deltas (same matrix, same rule).
 
         With no updates (a round where nobody was selected) the model is
         unchanged — the global round is simply skipped, as in synchronous
         FedAvg with partial participation.
         """
-        if not updates:
+        if not len(updates):
             return self.global_params()
-        stacked = stack_updates([update.delta for update in updates])
-        weights = np.array([update.num_samples for update in updates], dtype=float)
+        if isinstance(updates, UpdateBatch):
+            stacked = stack_updates(updates.deltas)
+            weights = updates.num_samples.astype(float)
+        else:
+            stacked = stack_updates([update.delta for update in updates])
+            weights = np.array(
+                [update.num_samples for update in updates], dtype=float
+            )
         aggregated = self.aggregation(stacked, weights)
         if self.server_optimizer is not None:
             new_params = self.server_optimizer.apply(self.global_params(), aggregated)

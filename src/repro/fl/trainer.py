@@ -6,6 +6,12 @@ client-id list and returning ``(selected_ids, payments)``.  The plain FL
 experiments use simple policies (everyone, uniform sampling); the auction
 experiments plug in :class:`repro.simulation.runner.SimulationRunner`'s
 mechanism-driven policy — the trainer itself stays mechanism-agnostic.
+
+The local phase runs through a pluggable
+:class:`~repro.fl.batch.LocalSolver`; the default
+:class:`~repro.fl.batch.VectorizedLocalSolver` trains every stackable group
+of selected clients simultaneously and the resulting
+:class:`~repro.fl.batch.UpdateBatch` aggregates as one weighted tensordot.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from collections.abc import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.fl.batch import LocalSolver, VectorizedLocalSolver
 from repro.fl.client import FLClient
 from repro.fl.metrics import RoundMetrics, TrainingHistory
 from repro.fl.server import FLServer
@@ -64,6 +71,11 @@ class FederatedTrainer:
     eval_every:
         Evaluate the global model every this many rounds (always including
         the final round); evaluation dominates runtime for large test sets.
+    local_solver:
+        The engine running the selected clients' local phases; defaults to
+        the vectorised solver (scalar fallback built in — pass
+        :class:`~repro.fl.batch.SequentialLocalSolver` to force the scalar
+        reference path).
     """
 
     def __init__(
@@ -73,6 +85,7 @@ class FederatedTrainer:
         policy: ParticipationPolicy = all_clients_policy,
         *,
         eval_every: int = 1,
+        local_solver: LocalSolver | None = None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -85,6 +98,9 @@ class FederatedTrainer:
         self.clients = {client.client_id: client for client in clients}
         self.policy = policy
         self.eval_every = int(eval_every)
+        self.local_solver = (
+            local_solver if local_solver is not None else VectorizedLocalSolver()
+        )
         self.history = TrainingHistory()
 
     def run_round(self, round_index: int, *, evaluate: bool = True) -> RoundMetrics:
@@ -96,14 +112,16 @@ class FederatedTrainer:
             raise KeyError(f"policy selected unknown clients {unknown}")
 
         global_params = self.server.global_params()
-        updates = [self.clients[cid].train(global_params) for cid in sorted(selected)]
+        updates = self.local_solver.train(
+            [self.clients[cid] for cid in sorted(selected)], global_params
+        )
         self.server.apply_updates(updates)
 
         test_loss = test_accuracy = float("nan")
         if evaluate:
             test_loss, test_accuracy = self.server.evaluate()
         mean_local_loss = (
-            float(np.mean([u.final_loss for u in updates])) if updates else float("nan")
+            float(updates.final_losses.mean()) if len(updates) else float("nan")
         )
         metrics = RoundMetrics(
             round_index=round_index,

@@ -41,6 +41,7 @@ from repro.core.bids import AuctionRound, RoundBatch, RoundOutcome
 from repro.core.mechanism import Mechanism
 from repro.core.valuation import ValuationModel
 from repro.economics.client_profile import EconomicClient
+from repro.fl.batch import LocalSolver, VectorizedLocalSolver
 from repro.fl.client import FLClient
 from repro.fl.server import FLServer
 from repro.logging_utils import get_logger
@@ -65,6 +66,11 @@ class FLAttachment:
         economic clients').
     eval_every:
         Evaluate the global model every this many rounds.
+    local_solver:
+        The engine running the winners' local phases; defaults to the
+        vectorised solver (:class:`~repro.fl.batch.VectorizedLocalSolver`),
+        which stacks homogeneous winner groups and falls back to the scalar
+        path per client otherwise.
     """
 
     def __init__(
@@ -73,12 +79,16 @@ class FLAttachment:
         fl_clients: dict[int, FLClient],
         *,
         eval_every: int = 5,
+        local_solver: LocalSolver | None = None,
     ) -> None:
         if eval_every <= 0:
             raise ValueError(f"eval_every must be > 0, got {eval_every}")
         self.server = server
         self.fl_clients = dict(fl_clients)
         self.eval_every = int(eval_every)
+        self.local_solver = (
+            local_solver if local_solver is not None else VectorizedLocalSolver()
+        )
 
     def step(
         self, round_index: int, selected: tuple[int, ...], *, force_eval: bool = False
@@ -92,16 +102,17 @@ class FLAttachment:
         :class:`repro.core.quality_estimation.LearnedValuation`.
         """
         global_params = self.server.global_params()
-        updates = [
-            self.fl_clients[cid].train(global_params)
-            for cid in selected
-            if cid in self.fl_clients
-        ]
+        updates = self.local_solver.train(
+            [self.fl_clients[cid] for cid in selected if cid in self.fl_clients],
+            global_params,
+        )
         self.server.apply_updates(updates)
-        contributions = {
-            update.client_id: float(np.linalg.norm(update.delta))
-            for update in updates
-        }
+        contributions = dict(
+            zip(
+                updates.client_ids,
+                np.linalg.norm(updates.deltas, axis=1).tolist(),
+            )
+        )
         if force_eval or round_index % self.eval_every == 0:
             loss, accuracy = self.server.evaluate()
             return loss, accuracy, contributions

@@ -10,9 +10,15 @@ ties-heavy scores so positional tie-breaking is actually exercised.
 
 import numpy as np
 
-from repro.core.payments import top_k_critical_scores, top_k_critical_scores_batch
+from repro.core.payments import (
+    greedy_critical_scores,
+    greedy_critical_scores_batch,
+    top_k_critical_scores,
+    top_k_critical_scores_batch,
+)
 from repro.core.winner_determination import (
     WinnerDeterminationProblem,
+    greedy_order_batch,
     solve_greedy,
     solve_greedy_batch,
     solve_top_k,
@@ -109,3 +115,69 @@ class TestGreedyBatch:
         batch = solve_greedy_batch(scores, demands, 10.0)
         assert batch[0].selected == (0,)
         assert batch[1].selected == (0, 1)
+
+
+class TestGreedyCriticalsBatch:
+    def test_cardinality_matches_scalar_bitwise(self):
+        rng = np.random.default_rng(25)
+        for trial in range(60):
+            num, width = int(rng.integers(1, 12)), int(rng.integers(1, 15))
+            scores = tieable_scores(rng, (num, width))
+            max_winners = (
+                int(rng.integers(0, width + 1)) if rng.random() < 0.8 else None
+            )
+            allocations = solve_greedy_batch(scores, max_winners=max_winners)
+            batched = greedy_critical_scores_batch(
+                scores, allocations, max_winners=max_winners
+            )
+            for r in range(num):
+                problem = row_problem(scores[r], max_winners=max_winners)
+                scalar = greedy_critical_scores(problem, solve_greedy(problem))
+                assert batched[r] == scalar, (trial, r)
+
+    def test_knapsack_matches_scalar_bitwise(self):
+        rng = np.random.default_rng(26)
+        for trial in range(60):
+            num, width = int(rng.integers(1, 10)), int(rng.integers(1, 15))
+            scores = tieable_scores(rng, (num, width))
+            # Coarse demand grid too, so equal densities arise.
+            demands = np.array([0.5, 1.0, 1.0, 2.0])[
+                rng.integers(0, 4, size=(num, width))
+            ]
+            capacity = float(rng.uniform(0.5, 5.0))
+            max_winners = (
+                int(rng.integers(1, width + 1)) if rng.random() < 0.5 else None
+            )
+            allocations = solve_greedy_batch(scores, demands, capacity, max_winners)
+            batched = greedy_critical_scores_batch(
+                scores, allocations, demands, capacity, max_winners
+            )
+            for r in range(num):
+                problem = row_problem(scores[r], demands[r], capacity, max_winners)
+                scalar = greedy_critical_scores(problem, solve_greedy(problem))
+                assert batched[r] == scalar, (trial, r)
+
+    def test_precomputed_order_matches_fresh_sort(self):
+        rng = np.random.default_rng(27)
+        scores = tieable_scores(rng, (6, 10))
+        demands = np.array([0.5, 1.0, 1.0, 2.0])[rng.integers(0, 4, size=(6, 10))]
+        order, counts = greedy_order_batch(scores, demands)
+        allocations = solve_greedy_batch(
+            scores, demands, 4.0, 3, order=order, counts=counts
+        )
+        assert allocations == solve_greedy_batch(scores, demands, 4.0, 3)
+        with_order = greedy_critical_scores_batch(
+            scores, allocations, demands, 4.0, 3, order=order, counts=counts
+        )
+        assert with_order == greedy_critical_scores_batch(
+            scores, allocations, demands, 4.0, 3
+        )
+
+    def test_dict_iteration_order_follows_selected(self):
+        # run_batch's winner-major gather relies on this ordering contract.
+        scores = np.array([[3.0, 2.0, 1.0, 2.5]])
+        allocations = solve_greedy_batch(scores, max_winners=3)
+        (critical,) = greedy_critical_scores_batch(
+            scores, allocations, max_winners=3
+        )
+        assert list(critical) == list(allocations[0].selected)

@@ -1,0 +1,332 @@
+"""Equivalence suite for the vectorised local-training engine.
+
+Pins :class:`~repro.fl.batch.VectorizedLocalSolver` to the scalar
+:class:`~repro.fl.batch.SequentialLocalSolver` — per-client deltas and
+final losses must agree on both stackable model families, every stackable
+optimizer configuration, and ragged shard/minibatch shapes — plus the
+fallback behaviour for clients the stack cannot absorb.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fl.batch import (
+    ClientBatch,
+    SequentialLocalSolver,
+    UpdateBatch,
+    VectorizedLocalSolver,
+)
+from repro.fl.client import FLClient
+from repro.fl.cnn import TinyConvNet
+from repro.fl.datasets import make_gaussian_mixture, make_synthetic_images
+from repro.fl.fedprox import FedProxClient
+from repro.fl.linear import SoftmaxRegression, stacked_softmax_kernel
+from repro.fl.mlp import MLPClassifier, stacked_mlp_kernel
+from repro.fl.optimizer import SGD, Adam, stack_optimizers
+from repro.fl.partition import dirichlet_partition
+from repro.fl.server import FLServer
+from repro.fl.trainer import FederatedTrainer
+
+TOL = dict(rtol=1e-9, atol=1e-12)
+
+
+def make_model(kind: str, seed: int, l2: float = 0.0):
+    if kind == "softmax":
+        return SoftmaxRegression(6, 4, l2=l2, seed=seed)
+    if kind == "mlp":
+        return MLPClassifier([6, 8, 4], l2=l2, seed=seed)
+    raise ValueError(kind)
+
+
+def build_clients(
+    kind: str,
+    optimizer_factory_for,
+    *,
+    num_clients: int = 10,
+    seed: int = 0,
+    local_steps: int = 4,
+    batch_size: int = 8,
+    l2: float = 0.0,
+    client_cls=FLClient,
+    **client_kwargs,
+):
+    """A fresh federation; identical seeds rebuild identical clients."""
+    rng = np.random.default_rng(seed)
+    data = make_gaussian_mixture(60 * num_clients, 6, 4, rng=rng)
+    shards = dirichlet_partition(data.labels, num_clients, 0.5, rng)
+    return [
+        client_cls(
+            i,
+            data.subset(shard),
+            make_model(kind, i + 1, l2=l2 * (i + 1)),
+            optimizer_factory_for(i),
+            local_steps=local_steps,
+            batch_size=batch_size,
+            rng=np.random.default_rng(1000 + i),
+            **client_kwargs,
+        )
+        for i, shard in enumerate(shards)
+    ]
+
+
+def assert_batches_equal(a: UpdateBatch, b: UpdateBatch):
+    assert a.client_ids == b.client_ids
+    assert np.array_equal(a.num_samples, b.num_samples)
+    np.testing.assert_allclose(a.deltas, b.deltas, **TOL)
+    np.testing.assert_allclose(a.final_losses, b.final_losses, **TOL)
+
+
+class TestVectorizedEquivalence:
+    @pytest.mark.parametrize("kind", ["softmax", "mlp"])
+    @pytest.mark.parametrize(
+        "optimizer_factory_for",
+        [
+            lambda i: (lambda: SGD(0.1 + 0.01 * i)),
+            lambda i: (lambda: SGD(0.1, momentum=0.5 + 0.04 * i)),
+            lambda i: (lambda: Adam(0.01 + 0.001 * i)),
+        ],
+        ids=["sgd", "sgd-momentum", "adam"],
+    )
+    def test_batched_deltas_match_scalar(self, kind, optimizer_factory_for):
+        global_params = make_model(kind, 0).get_params()
+        sequential = SequentialLocalSolver().train(
+            build_clients(kind, optimizer_factory_for, l2=0.01), global_params
+        )
+        vectorized = VectorizedLocalSolver().train(
+            build_clients(kind, optimizer_factory_for, l2=0.01), global_params
+        )
+        assert_batches_equal(sequential, vectorized)
+
+    @pytest.mark.parametrize("kind", ["softmax", "mlp"])
+    def test_multi_round_equivalence_with_cache_reuse(self, kind):
+        """Repeated rounds through one solver (stack cache warm) stay equal."""
+        factory = lambda i: (lambda: SGD(0.2))  # noqa: E731
+        seq_clients = build_clients(kind, factory)
+        vec_clients = build_clients(kind, factory)
+        solver = VectorizedLocalSolver()
+        params = make_model(kind, 0).get_params()
+        for _ in range(3):
+            sequential = SequentialLocalSolver().train(seq_clients, params)
+            vectorized = solver.train(vec_clients, params)
+            assert_batches_equal(sequential, vectorized)
+            params = params + vectorized.deltas.mean(axis=0)
+
+    def test_ragged_shards_and_capped_batches(self):
+        """Clients whose batch_size caps at tiny shard sizes (mask path)."""
+        rng = np.random.default_rng(3)
+        data = make_gaussian_mixture(200, 6, 4, rng=rng)
+
+        def build():
+            clients = []
+            for i, size in enumerate([3, 9, 17, 40, 5]):
+                shard = rng.integers(0, data.num_samples, size=size)
+                clients.append(
+                    FLClient(
+                        i,
+                        data.subset(shard),
+                        SoftmaxRegression(6, 4, seed=i + 1),
+                        lambda: SGD(0.2),
+                        local_steps=3,
+                        batch_size=16,
+                        rng=np.random.default_rng(55 + i),
+                    )
+                )
+            return clients
+
+        rng_state = rng.bit_generator.state
+        seq_clients = build()
+        rng.bit_generator.state = rng_state
+        vec_clients = build()
+        params = SoftmaxRegression(6, 4, seed=0).get_params()
+        assert_batches_equal(
+            SequentialLocalSolver().train(seq_clients, params),
+            VectorizedLocalSolver().train(vec_clients, params),
+        )
+
+    def test_cnn_federation_falls_back_to_scalar(self):
+        """No stacked kernel exists for the CNN — the engine must defer."""
+        rng = np.random.default_rng(5)
+        images = make_synthetic_images(120, num_classes=4, shape=(4, 4), rng=rng)
+
+        def build():
+            return [
+                FLClient(
+                    i,
+                    images.subset(np.arange(i * 30, (i + 1) * 30)),
+                    TinyConvNet((4, 4), 4, num_filters=2, seed=i + 1),
+                    lambda: SGD(0.1),
+                    local_steps=2,
+                    batch_size=8,
+                    rng=np.random.default_rng(99 + i),
+                )
+                for i in range(4)
+            ]
+
+        params = TinyConvNet((4, 4), 4, num_filters=2, seed=0).get_params()
+        assert_batches_equal(
+            SequentialLocalSolver().train(build(), params),
+            VectorizedLocalSolver().train(build(), params),
+        )
+
+    def test_fedprox_mix_routes_overriders_through_scalar(self):
+        """Honest softmax clients stack; FedProx (overridden train) cannot."""
+
+        def build():
+            clients = build_clients(
+                "softmax", lambda i: (lambda: SGD(0.1)), num_clients=6
+            )
+            prox = build_clients(
+                "softmax",
+                lambda i: (lambda: SGD(0.1)),
+                num_clients=6,
+                seed=1,
+                client_cls=FedProxClient,
+                proximal_mu=0.2,
+            )
+            for i, client in enumerate(prox):
+                client.client_id = 100 + i
+            return clients + prox
+
+        assert not build()[-1].supports_stacking
+        params = make_model("softmax", 0).get_params()
+        assert_batches_equal(
+            SequentialLocalSolver().train(build(), params),
+            VectorizedLocalSolver().train(build(), params),
+        )
+
+    def test_min_group_forces_scalar(self):
+        factory = lambda i: (lambda: SGD(0.2))  # noqa: E731
+        params = make_model("softmax", 0).get_params()
+        reference = SequentialLocalSolver().train(
+            build_clients("softmax", factory), params
+        )
+        forced = VectorizedLocalSolver(min_group=100).train(
+            build_clients("softmax", factory), params
+        )
+        assert_batches_equal(reference, forced)
+
+    def test_sync_models_writes_final_local_params(self):
+        factory = lambda i: (lambda: SGD(0.2))  # noqa: E731
+        params = make_model("softmax", 0).get_params()
+        seq_clients = build_clients("softmax", factory)
+        vec_clients = build_clients("softmax", factory)
+        SequentialLocalSolver().train(seq_clients, params)
+        VectorizedLocalSolver(sync_models=True).train(vec_clients, params)
+        for seq_client, vec_client in zip(seq_clients, vec_clients):
+            np.testing.assert_allclose(
+                seq_client.model.get_params(), vec_client.model.get_params(), **TOL
+            )
+
+    def test_empty_selection(self):
+        params = make_model("softmax", 0).get_params()
+        batch = VectorizedLocalSolver().train([], params)
+        assert len(batch) == 0
+        assert batch.deltas.shape == (0, params.size)
+
+
+class TestTrainerIntegration:
+    def test_trainer_histories_match_across_solvers(self):
+        rng = np.random.default_rng(11)
+        data = make_gaussian_mixture(400, 6, 4, rng=rng)
+        test = data.subset(np.arange(80))
+
+        def build_trainer(solver):
+            clients = [
+                FLClient(
+                    i,
+                    data.subset(np.arange(80 + i * 40, 120 + i * 40)),
+                    SoftmaxRegression(6, 4, seed=i + 1),
+                    lambda: SGD(0.3),
+                    local_steps=3,
+                    batch_size=16,
+                    rng=np.random.default_rng(7 + i),
+                )
+                for i in range(8)
+            ]
+            server = FLServer(SoftmaxRegression(6, 4, seed=0), test)
+            return FederatedTrainer(server, clients, local_solver=solver)
+
+        sequential = build_trainer(SequentialLocalSolver()).run(6)
+        vectorized = build_trainer(VectorizedLocalSolver()).run(6)
+        for seq_round, vec_round in zip(sequential.rounds, vectorized.rounds):
+            assert seq_round.participants == vec_round.participants
+            np.testing.assert_allclose(
+                seq_round.test_accuracy, vec_round.test_accuracy, **TOL
+            )
+            np.testing.assert_allclose(
+                seq_round.test_loss, vec_round.test_loss, **TOL
+            )
+            np.testing.assert_allclose(
+                seq_round.mean_local_loss, vec_round.mean_local_loss, **TOL
+            )
+
+
+class TestBuildingBlocks:
+    def test_client_batch_requires_uniform_local_steps(self):
+        factory = lambda i: (lambda: SGD(0.2))  # noqa: E731
+        clients = build_clients("softmax", factory, num_clients=3)
+        clients[1].local_steps = 7
+        with pytest.raises(ValueError, match="uniform local_steps"):
+            ClientBatch(clients)
+
+    def test_client_batch_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ClientBatch([])
+
+    def test_update_batch_round_trip(self):
+        factory = lambda i: (lambda: SGD(0.2))  # noqa: E731
+        params = make_model("softmax", 0).get_params()
+        batch = SequentialLocalSolver().train(
+            build_clients("softmax", factory, num_clients=4), params
+        )
+        rebuilt = UpdateBatch.from_updates(batch.updates(), num_params=params.size)
+        assert_batches_equal(batch, rebuilt)
+
+    def test_update_batch_shape_validation(self):
+        with pytest.raises(ValueError, match="disagree"):
+            UpdateBatch(
+                client_ids=(0, 1),
+                deltas=np.zeros((3, 4)),
+                num_samples=np.array([1, 2]),
+                final_losses=np.zeros(2),
+            )
+
+    def test_stack_optimizers_families(self):
+        assert stack_optimizers([SGD(0.1), SGD(0.2, momentum=0.3)]) is not None
+        assert stack_optimizers([Adam(0.1), Adam(0.2)]) is not None
+        assert stack_optimizers([SGD(0.1), Adam(0.1)]) is None
+        assert stack_optimizers([]) is None
+
+    def test_stacked_optimizer_rows_match_scalar(self):
+        rng = np.random.default_rng(0)
+        params = rng.normal(size=(3, 12))
+        scalars = [SGD(0.1), SGD(0.2), SGD(0.3)]
+        stacked = stack_optimizers([SGD(0.1), SGD(0.2), SGD(0.3)])
+        current = params.copy()
+        scalar_current = [params[i].copy() for i in range(3)]
+        for _ in range(4):
+            grads = rng.normal(size=(3, 12))
+            current = stacked.step(current, grads)
+            for i, optimizer in enumerate(scalars):
+                scalar_current[i] = optimizer.step(scalar_current[i], grads[i])
+        for i in range(3):
+            np.testing.assert_array_equal(current[i], scalar_current[i])
+
+    def test_kernel_resolution_rules(self):
+        softmax_models = [SoftmaxRegression(4, 3, seed=i) for i in range(3)]
+        assert stacked_softmax_kernel(softmax_models) is not None
+        assert stacked_softmax_kernel(
+            softmax_models + [SoftmaxRegression(5, 3, seed=9)]
+        ) is None
+        assert stacked_softmax_kernel([]) is None
+        mlp_models = [MLPClassifier([4, 6, 3], seed=i) for i in range(3)]
+        assert stacked_mlp_kernel(mlp_models) is not None
+        assert stacked_mlp_kernel(
+            mlp_models + [MLPClassifier([4, 5, 3], seed=9)]
+        ) is None
+        assert stacked_mlp_kernel(
+            [MLPClassifier([4, 6, 3], activation="tanh", seed=1)] + mlp_models
+        ) is None
+        # Cross-family stacks never resolve.
+        assert stacked_softmax_kernel(mlp_models) is None
+        assert stacked_mlp_kernel(softmax_models) is None

@@ -8,19 +8,26 @@ Three ablations isolating each design ingredient:
 (c) **non-IID severity sweep** (Dirichlet alpha): the value-aware auction's
     FL-accuracy advantage over random selection grows as the partition gets
     more skewed, because data quality varies more across clients.
+
+Runs through :mod:`repro.orchestration` (like E2/E3/E11): three declarative
+campaigns — one per ablation — whose cells shard across the thread
+execution backend; table rows come back from the stored per-cell metrics,
+and the starvation counts of (b) from the archived event logs.  The
+mechanism/participation/staleness knobs all resolve through the registry
+and the ``staleness_boost`` extra, so every variant is expressible as a
+grid axis instead of a hand-rolled loop.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import tempfile
+from pathlib import Path
 
 from benchmarks.conftest import run_once
-from repro import LongTermVCGConfig, LongTermVCGMechanism, SimulationRunner
-from repro.analysis.budget import budget_report
-from repro.analysis.fairness import jain_index, participation_rates, starvation_count
-from repro.analysis.welfare import welfare_summary
-from repro.mechanisms import MyopicVCGMechanism, RandomSelectionMechanism
-from repro.simulation.scenarios import build_fl_scenario, build_mechanism_scenario
+from repro.analysis.fairness import starvation_count
+from repro.config import ExperimentConfig
+from repro.orchestration import SweepSpec, load_results, run_campaign
+from repro.simulation.replay import load_event_log
 from repro.utils.tables import format_table
 
 SEED = 101
@@ -32,83 +39,124 @@ V = 20.0
 ALPHAS = (0.1, 0.5, 5.0, None)  # None = IID
 
 
+def _run(spec: SweepSpec, *, load_logs: bool = False):
+    """Execute one ablation campaign; returns its completed CellResults.
+
+    ``load_logs`` attaches each cell's archived event log (for metrics the
+    summary row does not carry, e.g. starvation counts).
+    """
+    with tempfile.TemporaryDirectory() as campaign_dir:
+        summary = run_campaign(spec, campaign_dir, backend="thread", max_workers=2)
+        assert summary.failed == 0, f"{spec.name} campaign had failed cells"
+        results = load_results(campaign_dir)
+        logs = {}
+        if load_logs:
+            for result in results:
+                assert result.event_log_path is not None
+                logs[result.cell_id] = load_event_log(Path(result.event_log_path))
+    return results, logs
+
+
 def ablation_lyapunov():
+    spec = SweepSpec(
+        base=ExperimentConfig(
+            num_clients=NUM_CLIENTS, num_rounds=ROUNDS, max_winners=K,
+            budget_per_round=BUDGET, v=V, seed=SEED,
+        ),
+        mechanisms=("lt-vcg", "myopic-vcg"),
+        seeds=(SEED,),
+        name="e10-lyapunov",
+    )
+    results, _ = _run(spec)
     rows = []
-    for name, mechanism in (
-        ("lt-vcg", LongTermVCGMechanism(
-            LongTermVCGConfig(v=V, budget_per_round=BUDGET, max_winners=K))),
-        ("no-lyapunov", MyopicVCGMechanism(max_winners=K)),
-    ):
-        scenario = build_mechanism_scenario(NUM_CLIENTS, seed=SEED)
-        log = SimulationRunner(
-            mechanism, scenario.clients, scenario.valuation, seed=7
-        ).run(ROUNDS)
-        summary = welfare_summary(log)
-        rep = budget_report(log, BUDGET)
-        rows.append([name, summary.total_welfare, rep.average_spend,
-                     rep.final_overspend_ratio, rep.compliant])
+    for result in results:
+        name = "lt-vcg" if result.mechanism == "lt-vcg" else "no-lyapunov"
+        metrics = result.metrics
+        rows.append([
+            name, metrics["total_welfare"], metrics["average_payment"],
+            metrics["spend_over_budget"], bool(metrics["budget_compliant"]),
+        ])
     return rows
 
 
 def ablation_sustainability():
+    spec = SweepSpec(
+        base=ExperimentConfig(
+            num_clients=NUM_CLIENTS, num_rounds=ROUNDS, max_winners=K,
+            budget_per_round=BUDGET, v=V, seed=SEED,
+            sustainability_weight=5.0,
+        ),
+        mechanisms=("lt-vcg",),
+        scenarios=("energy",),
+        seeds=(SEED,),
+        params={"participation_target": (0.15, 0.0)},
+        name="e10-sustainability",
+    )
+    results, logs = _run(spec, load_logs=True)
+    ids = list(range(NUM_CLIENTS))
     rows = []
-    targets = {cid: 0.15 for cid in range(NUM_CLIENTS)}
-    for name, participation in (("with-queues", targets), ("no-queues", None)):
-        mechanism = LongTermVCGMechanism(
-            LongTermVCGConfig(
-                v=V, budget_per_round=BUDGET, max_winners=K,
-                participation_targets=participation, sustainability_weight=5.0,
-            )
+    for result in results:
+        name = (
+            "with-queues"
+            if float(result.params["participation_target"]) > 0
+            else "no-queues"
         )
-        scenario = build_mechanism_scenario(
-            NUM_CLIENTS, seed=SEED, energy_constrained=True
-        )
-        log = SimulationRunner(
-            mechanism, scenario.clients, scenario.valuation, seed=7
-        ).run(ROUNDS)
-        ids = list(range(NUM_CLIENTS))
-        rates = list(participation_rates(log, ids).values())
         rows.append([
-            name, welfare_summary(log).total_welfare, jain_index(rates),
-            starvation_count(log, ids, minimum_rate=0.05),
+            name,
+            result.metrics["total_welfare"],
+            result.metrics["jain_index"],
+            starvation_count(logs[result.cell_id], ids, minimum_rate=0.05),
         ])
-    return rows
+    return sorted(rows, key=lambda row: row[0], reverse=True)
 
 
 def ablation_noniid():
     """LT-VCG in its headline configuration (coverage signals on, as in E1)
     versus random selection, across partition-skew levels."""
+    base = ExperimentConfig(
+        num_clients=NUM_CLIENTS, num_rounds=100, max_winners=K,
+        budget_per_round=3.0, v=V, seed=SEED,
+        num_samples=4000, eval_every=20,
+    )
+    # Two specs instead of a full cross: the coverage signal
+    # (staleness_boost) belongs to the LT-VCG configuration only, so it
+    # rides each spec's base extras rather than a swept axis.
+    specs = {
+        "lt-vcg": SweepSpec(
+            base=base.with_overrides(
+                participation_target=0.2, sustainability_weight=5.0,
+                extras={"staleness_boost": 1.0},
+            ),
+            mechanisms=("lt-vcg",),
+            scenarios=("fl",),
+            seeds=(SEED,),
+            params={"dirichlet_alpha": ALPHAS},
+            name="e10-noniid",
+        ),
+        "random": SweepSpec(
+            base=base,
+            mechanisms=("random",),
+            scenarios=("fl",),
+            seeds=(SEED,),
+            params={"dirichlet_alpha": ALPHAS},
+            name="e10-noniid-baseline",
+        ),
+    }
+    finals: dict[tuple[str, object], float] = {}
+    spends: dict[tuple[str, object], float] = {}
+    for name, spec in specs.items():
+        results, _ = _run(spec)
+        for result in results:
+            alpha = result.params["dirichlet_alpha"]
+            finals[(name, alpha)] = result.metrics["final_accuracy"]
+            spends[(name, alpha)] = result.metrics["average_payment"]
     rows = []
-    targets = {cid: 0.2 for cid in range(NUM_CLIENTS)}
     for alpha in ALPHAS:
-        finals = {}
-        spends = {}
-        for name in ("lt-vcg", "random"):
-            if name == "lt-vcg":
-                mechanism = LongTermVCGMechanism(
-                    LongTermVCGConfig(
-                        v=V, budget_per_round=3.0, max_winners=K,
-                        participation_targets=targets, sustainability_weight=5.0,
-                    )
-                )
-            else:
-                mechanism = RandomSelectionMechanism(K, np.random.default_rng(1))
-            scenario = build_fl_scenario(
-                NUM_CLIENTS, seed=SEED, num_samples=4000,
-                dirichlet_alpha=alpha, eval_every=20,
-                staleness_boost=1.0 if name == "lt-vcg" else 0.0,
-            )
-            log = SimulationRunner(
-                mechanism, scenario.clients, scenario.valuation,
-                fl=scenario.fl, seed=7,
-            ).run(100)
-            finals[name] = log.accuracy_series()[1][-1]
-            spends[name] = log.average_payment()
         rows.append([
             "iid" if alpha is None else f"alpha={alpha}",
-            finals["lt-vcg"], finals["random"],
-            finals["lt-vcg"] - finals["random"],
-            spends["lt-vcg"] / spends["random"],
+            finals[("lt-vcg", alpha)], finals[("random", alpha)],
+            finals[("lt-vcg", alpha)] - finals[("random", alpha)],
+            spends[("lt-vcg", alpha)] / spends[("random", alpha)],
         ])
     return rows
 

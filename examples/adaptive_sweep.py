@@ -1,0 +1,66 @@
+"""Adaptive sweep: successive halving over a mechanism grid.
+
+Instead of giving every grid arm the full round budget, run the grid as a
+tournament: every (mechanism, scenario, params) arm gets a short budget,
+the scheduler ranks arms on a stored metric from their ``cell_finished``
+events, early-stops the dominated half, and doubles the survivors' budget
+each rung.  Dominated mechanisms cost ``min_rounds`` rounds instead of the
+full budget — with 6 arms and 3 rungs below, the tournament simulates
+roughly half the rounds of the equivalent full-factorial campaign.
+
+Every rung is an ordinary resumable campaign under
+``results/adaptive_sweep/rungs/<rung>/<arm>``; kill the script whenever
+and rerun it — finished cells are never re-simulated.  Any execution
+backend works (pass ``backend="work-queue"`` and start
+``python -m repro.cli work`` drainers to shard the rungs across machines).
+
+Usage::
+
+    python examples/adaptive_sweep.py
+"""
+
+from repro import ExperimentConfig
+from repro.orchestration import (
+    SuccessiveHalvingScheduler,
+    SweepSpec,
+    run_successive_halving,
+)
+
+CAMPAIGN_DIR = "results/adaptive_sweep"
+
+
+def main() -> None:
+    spec = SweepSpec(
+        base=ExperimentConfig(
+            num_clients=30, max_winners=8, budget_per_round=2.0, v=15.0
+        ),
+        mechanisms=(
+            "lt-vcg", "lt-vcg-greedy", "myopic-vcg",
+            "prop-share", "greedy-first-price", "random",
+        ),
+        seeds=(0, 1, 2),
+        name="adaptive-example",
+    )
+    result = run_successive_halving(
+        spec,
+        CAMPAIGN_DIR,
+        scheduler=SuccessiveHalvingScheduler(metric="total_welfare", eta=2),
+        num_rungs=3,
+        min_rounds=50,  # rung budgets: 50, 100, 200 rounds
+    )
+
+    for rung in result.rungs:
+        print(f"rung {rung.index} ({rung.num_rounds} rounds):")
+        for arm in rung.scores:
+            survived = "->" if arm.label in rung.survivors else "  "
+            print(f"  {survived} {arm.label:45s} "
+                  f"{result.metric}={arm.score:.3f} (n={arm.cells})")
+    print(
+        f"\nwinner: {result.winner.label} "
+        f"({result.metric}={result.winner.score:.3f}) "
+        f"after {result.total_cells} cells"
+    )
+
+
+if __name__ == "__main__":
+    main()

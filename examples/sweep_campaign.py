@@ -21,6 +21,18 @@ The same campaign from the shell::
         --rounds 200 --clients 30 --budget 2.0 --v 15.0 --max-winners 8
     python -m repro.cli report results/sweep_campaign --logs
 
+Execution is pluggable (``run_campaign(backend=...)`` / ``--backend``):
+``inline`` for debugging, ``thread``/``process`` pools on one host, or
+``work-queue`` to shard the campaign across any number of
+``python -m repro.cli work results/sweep_campaign`` drainer processes —
+on this or any machine sharing the directory.  While it runs, tail the
+live dashboard from another terminal::
+
+    python -m repro.cli watch results/sweep_campaign
+
+For million-cell campaigns pass ``store="columnar"`` (one compressed NPZ
+instead of SQLite+JSONL); resume/report sniff the store automatically.
+
 Usage::
 
     python examples/sweep_campaign.py

@@ -18,8 +18,14 @@ Usage::
     python -m repro.cli sweep --out results/camp \\
         --mechanisms lt-vcg,myopic-vcg,random --scenarios mechanism,energy \\
         --seeds 0,1,2 --rounds 300
-    python -m repro.cli resume results/camp
+    python -m repro.cli resume results/camp --retry-failed
     python -m repro.cli report results/camp --logs
+
+    # distributed / observed campaigns
+    python -m repro.cli sweep --out results/camp --backend work-queue \\
+        --store columnar --workers 0 ...   # enqueue; drainers do the work
+    python -m repro.cli work results/camp  # drain cells (run on any host)
+    python -m repro.cli watch results/camp # live dashboard off events.jsonl
 
 The config file is an :class:`repro.config.ExperimentConfig` JSON document;
 command-line flags override its fields.  Mechanism names resolve through
@@ -155,7 +161,13 @@ def _print_progress(outcome: dict, done: int, total: int) -> None:
 
 
 def _main_sweep(argv: list[str]) -> int:
-    from repro.orchestration import SCENARIO_NAMES, SweepSpec, run_campaign
+    from repro.orchestration import (
+        EXECUTION_BACKENDS,
+        SCENARIO_NAMES,
+        STORE_BACKENDS,
+        SweepSpec,
+        run_campaign,
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro.cli sweep",
@@ -183,7 +195,22 @@ def _main_sweep(argv: list[str]) -> int:
     parser.add_argument("--budget", type=float, dest="budget_per_round")
     parser.add_argument(
         "--workers", type=int, default=None,
-        help="process-pool width (0 = run inline; default: cpu count)",
+        help="worker width (0 = run inline; default: cpu count; with "
+             "--backend work-queue, 0 = rely on external `work` drainers)",
+    )
+    parser.add_argument(
+        "--backend", choices=EXECUTION_BACKENDS, default=None,
+        help="execution backend (default: process pool; inline when "
+             "--workers 0)",
+    )
+    parser.add_argument(
+        "--store", choices=STORE_BACKENDS, default=None,
+        help="result-store backend (default: sqlite for new campaigns; an "
+             "existing campaign's store is sniffed)",
+    )
+    parser.add_argument(
+        "--retry-failed", action="store_true",
+        help="re-queue cells previously recorded as failed",
     )
     parser.add_argument(
         "--regret", action="store_true", help="also compute hindsight regret per cell"
@@ -234,6 +261,9 @@ def _main_sweep(argv: list[str]) -> int:
             max_workers=args.workers,
             resume=not args.fresh,
             progress=_print_progress,
+            backend=args.backend,
+            store=args.store,
+            retry_failed=args.retry_failed,
         )
     except ValueError as error:  # e.g. directory holds a different campaign
         parser.error(str(error))
@@ -241,7 +271,7 @@ def _main_sweep(argv: list[str]) -> int:
 
 
 def _main_resume(argv: list[str]) -> int:
-    from repro.orchestration import resume_campaign
+    from repro.orchestration import EXECUTION_BACKENDS, resume_campaign
 
     parser = argparse.ArgumentParser(
         prog="repro.cli resume",
@@ -249,9 +279,21 @@ def _main_resume(argv: list[str]) -> int:
     )
     parser.add_argument("campaign_dir", type=Path)
     parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument(
+        "--backend", choices=EXECUTION_BACKENDS, default=None,
+        help="execution backend (the store backend is always sniffed)",
+    )
+    parser.add_argument(
+        "--retry-failed", action="store_true",
+        help="re-queue cells previously recorded as failed",
+    )
     args = parser.parse_args(argv)
     summary = resume_campaign(
-        args.campaign_dir, max_workers=args.workers, progress=_print_progress
+        args.campaign_dir,
+        max_workers=args.workers,
+        progress=_print_progress,
+        backend=args.backend,
+        retry_failed=args.retry_failed,
     )
     return _finish_campaign(summary, args.campaign_dir)
 
@@ -259,13 +301,21 @@ def _main_resume(argv: list[str]) -> int:
 def _finish_campaign(summary, campaign_dir: Path) -> int:
     from repro.orchestration import campaign_report
 
-    print(
+    line = (
         f"done: {summary.completed} completed, {summary.skipped} skipped "
         f"(already done), {summary.failed} failed"
     )
+    if summary.skipped_failed:
+        line += (
+            f" [{summary.skipped_failed} previously-failed cells skipped; "
+            f"--retry-failed re-queues them]"
+        )
+    print(line)
     print()
     print(campaign_report(campaign_dir))
-    return 1 if summary.failed else 0
+    # Skipped-but-still-failed cells keep the campaign red: a pipeline
+    # gating on this exit code must not publish a partly-failed grid.
+    return 1 if (summary.failed or summary.skipped_failed) else 0
 
 
 def _main_report(argv: list[str]) -> int:
@@ -295,10 +345,216 @@ def _main_report(argv: list[str]) -> int:
     return 0
 
 
+# -- distributed workers and live observation ---------------------------------
+
+
+def _main_work(argv: list[str]) -> int:
+    """Drain cells from a campaign's work queue in this process."""
+    from repro.orchestration import drain_queue
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli work",
+        description=(
+            "Drain cells from a work-queue campaign (start any number of "
+            "these, on any host sharing the campaign directory)."
+        ),
+    )
+    parser.add_argument("campaign_dir", type=Path)
+    parser.add_argument(
+        "--max-cells", type=int, default=None, help="stop after this many cells"
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=None,
+        help="keep polling this many seconds for new work before exiting "
+             "(default: exit as soon as the queue is drained)",
+    )
+    parser.add_argument(
+        "--lease-seconds", type=float, default=600.0,
+        help="how long a claimed cell may run before others may reclaim it",
+    )
+    parser.add_argument("--worker-id", default=None, help="label in the event trail")
+    args = parser.parse_args(argv)
+
+    def progress(outcome: dict, executed: int) -> None:
+        print(
+            f"[{executed}] {outcome['cell_id']}: {outcome['status']} "
+            f"({outcome['duration_seconds']:.2f}s)",
+            flush=True,
+        )
+
+    executed = drain_queue(
+        args.campaign_dir,
+        worker=args.worker_id,
+        lease_seconds=args.lease_seconds,
+        idle_timeout=args.idle_timeout,
+        max_cells=args.max_cells,
+        progress=progress,
+    )
+    print(f"drained {executed} cells from {args.campaign_dir}")
+    return 0
+
+
+class _WatchState:
+    """Incremental dashboard aggregation over a campaign's event trail.
+
+    Events fold in one at a time (the watch loop tails the file by
+    offset, so a long campaign never re-parses its backlog), and a
+    ``campaign_started`` event resets the counters — an append-only trail
+    accumulates every invocation of a resumed campaign, and the dashboard
+    must describe the *latest* one, not the union.
+    """
+
+    RECENT = 5
+    THROUGHPUT_WINDOW = 20
+
+    def __init__(self, grid_cells: int | None) -> None:
+        self.grid_cells = grid_cells
+        self._begin({})
+
+    def _begin(self, meta: dict) -> None:
+        self.meta = meta
+        self.skipped = int(meta.get("skipped", 0) or 0)
+        if meta.get("total_cells"):
+            self.grid_cells = int(meta["total_cells"])
+        self.in_flight: set[str] = set()
+        self.finished = 0
+        self.failed = 0
+        self.duration_sum = 0.0
+        self.finish_times: list[float] = []
+        self.workers: set[str] = set()
+        self.recent: list[str] = []
+        self.campaign_done = False
+
+    def add(self, event) -> None:
+        if event.type == "campaign_started":
+            self._begin(dict(event.data))
+            return
+        if event.worker:
+            self.workers.add(event.worker)
+        if event.type in ("campaign_finished", "campaign_interrupted"):
+            self.campaign_done = True
+        elif event.type == "cell_started" and event.cell_id:
+            self.in_flight.add(event.cell_id)
+        elif event.type in ("cell_finished", "cell_failed") and event.cell_id:
+            self.in_flight.discard(event.cell_id)
+            duration = float(event.data.get("duration_seconds", 0.0))
+            self.duration_sum += duration
+            self.finish_times = (
+                self.finish_times + [event.timestamp]
+            )[-self.THROUGHPUT_WINDOW:]
+            if event.type == "cell_finished":
+                self.finished += 1
+                welfare = event.data.get("metrics", {}).get("total_welfare")
+                tail = (
+                    f" welfare={welfare:.3f}" if isinstance(welfare, float) else ""
+                )
+            else:
+                self.failed += 1
+                tail = f" error={event.data.get('error', '?')}"
+            self.recent = (
+                self.recent
+                + [
+                    f"  {event.cell_id}: {event.type.removeprefix('cell_')} "
+                    f"({duration:.2f}s){tail}"
+                ]
+            )[-self.RECENT:]
+
+    def render(self) -> str:
+        lines = [
+            f"campaign {self.meta.get('name', '?')!r}  "
+            f"backend={self.meta.get('backend', '?')}  "
+            f"store={self.meta.get('store', '?')}"
+        ]
+        done = self.skipped + self.finished + self.failed
+        if self.grid_cells:
+            bar_width = 30
+            filled = int(bar_width * min(1.0, done / self.grid_cells))
+            lines.append(
+                f"[{'#' * filled}{'.' * (bar_width - filled)}] "
+                f"{done}/{self.grid_cells} cells"
+                + (f" ({self.skipped} from checkpoint)" if self.skipped else "")
+            )
+        lines.append(
+            f"finished={self.finished} failed={self.failed} "
+            f"in-flight={len(self.in_flight)} workers-seen={len(self.workers)}"
+        )
+        executed = self.finished + self.failed
+        if executed:
+            span = self.finish_times[-1] - self.finish_times[0]
+            rate = (
+                (len(self.finish_times) - 1) / span if span > 0 else float("inf")
+            )
+            lines.append(
+                f"mean cell {self.duration_sum / executed:.2f}s; "
+                f"recent throughput {rate:.2f} cells/s"
+            )
+        if self.recent:
+            lines.append("recent:")
+            lines.extend(self.recent)
+        return "\n".join(lines)
+
+
+def _main_watch(argv: list[str]) -> int:
+    """Tail a campaign's event trail into a live terminal dashboard."""
+    import json
+    import time
+
+    from repro.orchestration import EVENTS_NAME
+    from repro.orchestration.events import CampaignEvent
+    from repro.orchestration.executor import SWEEP_SPEC_NAME
+    from repro.orchestration.sweep import SweepSpec
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli watch",
+        description="Live dashboard over a campaign's events.jsonl trail.",
+    )
+    parser.add_argument("campaign_dir", type=Path)
+    parser.add_argument("--poll", type=float, default=0.5, help="refresh seconds")
+    parser.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (non-interactive use)",
+    )
+    args = parser.parse_args(argv)
+
+    events_path = args.campaign_dir / EVENTS_NAME
+    total_cells = None
+    spec_path = args.campaign_dir / SWEEP_SPEC_NAME
+    if spec_path.exists():
+        total_cells = SweepSpec.load(spec_path).num_cells
+
+    state = _WatchState(total_cells)
+    position = 0
+    buffer = ""
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+    try:
+        while True:
+            if events_path.exists():
+                with open(events_path) as handle:
+                    handle.seek(position)
+                    buffer += handle.read()
+                    position = handle.tell()
+                while "\n" in buffer:
+                    line, buffer = buffer.split("\n", 1)
+                    try:
+                        state.add(CampaignEvent.from_dict(json.loads(line)))
+                    except (ValueError, KeyError):
+                        continue  # torn write; skip the line
+            print(clear + state.render(), flush=True)
+            if args.once:
+                return 0
+            if state.campaign_done:
+                return 0
+            time.sleep(args.poll)
+    except KeyboardInterrupt:
+        return 0
+
+
 _SUBCOMMANDS = {
     "sweep": _main_sweep,
     "resume": _main_resume,
     "report": _main_report,
+    "work": _main_work,
+    "watch": _main_watch,
 }
 
 

@@ -19,9 +19,10 @@ replaces it with a columnar engine:
   (a loop of ``client.train``), :class:`VectorizedLocalSolver` runs every
   *stackable* group of clients simultaneously as one
   leading-client-axis matmul pipeline (kernels in :mod:`repro.fl.linear` /
-  :mod:`repro.fl.mlp`, stacked optimizers in :mod:`repro.fl.optimizer`)
-  and falls back to the scalar path per client for everything else (CNNs,
-  heterogeneous architectures, FedProx, Byzantine wrappers).
+  :mod:`repro.fl.mlp`, stacked optimizers in :mod:`repro.fl.optimizer`,
+  FedProx proximal pulls applied as one elementwise row operation per
+  step) and falls back to the scalar path per client for everything else
+  (CNNs, heterogeneous architectures, Byzantine wrappers).
 * :class:`UpdateBatch` carries the resulting deltas as one ``(m, p)``
   matrix, which :meth:`repro.fl.server.FLServer.apply_updates` aggregates
   as a single weighted tensordot without restacking.
@@ -244,10 +245,12 @@ class VectorizedLocalSolver(LocalSolver):
     optimizers stack (:func:`~repro.fl.optimizer.stack_optimizers`) trains
     as one leading-client-axis pipeline — every local step is one batched
     matmul forward/backward plus one stacked optimizer step for the whole
-    group.  Everything else (CNNs, heterogeneous architectures, FedProx,
-    Byzantine wrappers, exotic optimizers) runs through the scalar path,
-    client by client, unchanged.  Update rows are reassembled in input
-    order, so callers cannot observe the partition.
+    group (clients with a FedProx ``proximal_mu`` get their pull applied
+    per row, so proximal and plain clients stack together).  Everything
+    else (CNNs, heterogeneous architectures, Byzantine wrappers, exotic
+    optimizers) runs through the scalar path, client by client,
+    unchanged.  Update rows are reassembled in input order, so callers
+    cannot observe the partition.
 
     Shard stacks (and their resolved kernels) are cached per client-id
     group (``cache_size`` FIFO entries) — winner sets repeat heavily under
@@ -321,6 +324,10 @@ class VectorizedLocalSolver(LocalSolver):
         params = np.repeat(global_params[None, :], len(clients), axis=0)
         counts = batch.batch_sizes.astype(float)
         mask = None if batch.uniform_batch else batch.batch_mask
+        proximal_mu = np.array(
+            [getattr(c, "proximal_mu", 0.0) for c in clients], dtype=float
+        )
+        proximal = bool(proximal_mu.any())
         all_features, all_labels = batch.round_minibatches()
         losses = np.zeros(len(clients))
         for step in range(batch.local_steps):
@@ -335,6 +342,17 @@ class VectorizedLocalSolver(LocalSolver):
                 # (the scalar path's final_loss).
                 with_loss=last,
             )
+            if proximal:
+                # FedProx pull, row per client: the same elementwise
+                # arithmetic FLClient.train applies (mu may differ per
+                # client).  Per-row dot products keep the drift-norm loss
+                # term bit-identical to the scalar path's `drift @ drift`.
+                drift = params - global_params[None, :]
+                if last:
+                    step_losses = step_losses + 0.5 * proximal_mu * np.array(
+                        [float(row @ row) for row in drift]
+                    )
+                grads += proximal_mu[:, None] * drift
             if last:
                 losses = step_losses
             params = optimizer.step(params, grads)

@@ -69,6 +69,15 @@ class FLClient:
         Optional :class:`repro.fl.compression.Compressor` applied to the
         update delta before upload (lossy; models bandwidth-limited
         clients).
+    proximal_mu:
+        FedProx proximal coefficient ``mu >= 0``: every local gradient
+        gains a ``mu * (w - w_global)`` pull toward the global model (and
+        the reported loss the matching ``mu/2 ||w - w_global||^2`` term).
+        The default 0 is plain FedAvg.  Carrying the term here — one
+        elementwise pull per step, on both the scalar and the stacked
+        training paths — is what lets :class:`~repro.fl.fedprox
+        .FedProxClient` ride the vectorised engine instead of forcing the
+        scalar fallback.
     """
 
     def __init__(
@@ -82,6 +91,7 @@ class FLClient:
         batch_size: int = 32,
         rng: np.random.Generator,
         compressor=None,
+        proximal_mu: float = 0.0,
     ) -> None:
         if dataset.num_samples == 0:
             raise ValueError(f"client {client_id} has an empty shard")
@@ -89,6 +99,8 @@ class FLClient:
             raise ValueError(f"local_steps must be > 0, got {local_steps}")
         if batch_size <= 0:
             raise ValueError(f"batch_size must be > 0, got {batch_size}")
+        if proximal_mu < 0:
+            raise ValueError(f"proximal_mu must be >= 0, got {proximal_mu}")
         self.client_id = int(client_id)
         self.dataset = dataset
         self.model = model
@@ -97,6 +109,7 @@ class FLClient:
         self.batch_size = min(int(batch_size), dataset.num_samples)
         self.rng = rng
         self.compressor = compressor
+        self.proximal_mu = float(proximal_mu)
 
     @property
     def num_samples(self) -> int:
@@ -107,11 +120,13 @@ class FLClient:
     def supports_stacking(self) -> bool:
         """True when this client's local phase is the base-class algorithm.
 
-        Subclasses that override :meth:`train` (FedProx, the Byzantine
-        wrappers) change the local phase itself, so the vectorised engine
+        Subclasses that override :meth:`train` (the Byzantine wrappers)
+        change the local phase itself, so the vectorised engine
         (:mod:`repro.fl.batch`) must route them through the scalar path;
-        subclasses that only reshape their construction-time state
-        (:class:`~repro.fl.attacks.LabelFlippingClient`) stack fine.
+        subclasses that only reshape construction-time state
+        (:class:`~repro.fl.attacks.LabelFlippingClient`) or parameterise
+        the base algorithm (:class:`~repro.fl.fedprox.FedProxClient` via
+        ``proximal_mu``) stack fine.
         """
         return type(self).train is FLClient.train
 
@@ -155,6 +170,10 @@ class FLClient:
             labels = self.dataset.labels[indices]
             self.model.set_params(params)
             loss, grad = self.model.loss_and_grad(features, labels)
+            if self.proximal_mu:
+                drift = params - global_params
+                loss += 0.5 * self.proximal_mu * float(drift @ drift)
+                grad = grad + self.proximal_mu * drift
             params = optimizer.step(params, grad)
         self.model.set_params(params)
 

@@ -8,6 +8,15 @@ local gradient.  In the auction setting this matters because the mechanism
 deliberately *skews* participation (by value, by cost, by sustainability
 queues), which amplifies client drift — the FedProx client is the standard
 antidote and is used in the robustness ablations.
+
+The proximal pull is carried by the base :class:`~repro.fl.client.FLClient`
+algorithm (its ``proximal_mu`` knob), not by an overridden ``train`` —
+it is one elementwise operation per local step, which both the scalar loop
+and the stacked kernels of :class:`~repro.fl.batch.VectorizedLocalSolver`
+apply identically.  :class:`FedProxClient` is therefore just the named,
+validated constructor for a proximal client, and FedProx federations ride
+the vectorised fast path like any homogeneous FedAvg group (the
+equivalence suite pins batched == scalar for mixed per-client ``mu``).
 """
 
 from __future__ import annotations
@@ -16,7 +25,7 @@ from collections.abc import Callable
 
 import numpy as np
 
-from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.client import FLClient
 from repro.fl.datasets import Dataset
 from repro.fl.model import Model
 from repro.fl.optimizer import Optimizer
@@ -54,34 +63,7 @@ class FedProxClient(FLClient):
             local_steps=local_steps,
             batch_size=batch_size,
             rng=rng,
-        )
-        self.proximal_mu = check_non_negative("proximal_mu", proximal_mu)
-
-    def train(self, global_params: np.ndarray) -> ClientUpdate:
-        global_params = np.asarray(global_params, dtype=float)
-        self.model.set_params(global_params)
-        optimizer = self.optimizer_factory()
-
-        plan = self.sample_round_indices()
-        params = self.model.get_params()
-        loss = 0.0
-        for step in range(self.local_steps):
-            indices = plan[step]
-            features = self.dataset.features[indices]
-            labels = self.dataset.labels[indices]
-            self.model.set_params(params)
-            loss, grad = self.model.loss_and_grad(features, labels)
-            drift = params - global_params
-            loss += 0.5 * self.proximal_mu * float(drift @ drift)
-            grad = grad + self.proximal_mu * drift
-            params = optimizer.step(params, grad)
-        self.model.set_params(params)
-
-        return ClientUpdate(
-            client_id=self.client_id,
-            delta=params - global_params,
-            num_samples=self.num_samples,
-            final_loss=float(loss),
+            proximal_mu=check_non_negative("proximal_mu", proximal_mu),
         )
 
     def __repr__(self) -> str:

@@ -1,19 +1,29 @@
-"""Parallel experiment orchestration: sweep grids, result store, resume.
+"""Parallel experiment orchestration: sweep grids, pluggable execution.
 
 The paper's claims rest on multi-seed, multi-mechanism sweeps; this
 subsystem turns those campaigns from hand-rolled loops into declarative,
-parallel, resumable runs:
+parallel, resumable runs behind three public seams:
 
 * :class:`SweepSpec` / :class:`CellSpec` — a declarative
   (mechanism × scenario × seed × params) grid expanded from one base
   :class:`~repro.config.ExperimentConfig` (:mod:`repro.orchestration.sweep`).
-* :func:`run_campaign` / :func:`resume_campaign` — fan cells across a
-  process pool with deterministic per-cell seeding, per-cell timing, and
-  graceful failure capture (:mod:`repro.orchestration.executor`).
-* :class:`ResultStore` / :class:`CellResult` — SQLite index plus JSONL
-  audit trail and per-cell event-log artifacts under one campaign
-  directory; the checkpoint resume skips from
-  (:mod:`repro.orchestration.store`).
+* :func:`run_campaign` / :func:`resume_campaign` — fan cells across an
+  :class:`ExecutionBackend` (``inline`` / ``thread`` / ``process`` /
+  ``work-queue``) with deterministic per-cell seeding, per-cell timing,
+  and graceful failure capture (:mod:`repro.orchestration.executor`,
+  :mod:`repro.orchestration.backends`).  The work-queue backend persists
+  cells on disk with lease/ack semantics so any number of
+  ``python -m repro.cli work <dir>`` drainers — local or remote — share
+  one campaign (:mod:`repro.orchestration.queue`).
+* :class:`ResultStore` / :class:`StoreBackend` — pluggable result
+  persistence: the SQLite+JSONL default or a compact columnar NPZ for
+  million-cell campaigns, sniffed automatically on resume
+  (:mod:`repro.orchestration.store`, :mod:`repro.orchestration.columnar`).
+* :class:`CampaignEvents <repro.orchestration.events.CampaignEvent>` bus —
+  workers stream typed progress events to ``events.jsonl``;
+  ``repro.cli watch`` renders it live and
+  :func:`run_successive_halving` consumes it to early-stop dominated arms
+  (:mod:`repro.orchestration.events`, :mod:`repro.orchestration.scheduler`).
 * :func:`campaign_report`, :func:`welfare_comparison_table`,
   :func:`aggregate_metric` — regenerate the paper's comparison tables from
   stored results via :mod:`repro.analysis`
@@ -33,14 +43,34 @@ Quickstart::
     run_campaign(spec, "results/campaign")          # parallel, resumable
     print(campaign_report("results/campaign"))      # E2-style tables
 
-The CLI mirrors this as ``python -m repro.cli sweep | resume | report``.
+The CLI mirrors this as ``python -m repro.cli sweep | resume | report |
+work | watch``.
 """
 
+from repro.orchestration.backends import (
+    EXECUTION_BACKENDS,
+    BackendCapabilities,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessBackend,
+    ThreadBackend,
+    WorkQueueBackend,
+    resolve_backend,
+)
+from repro.orchestration.columnar import ColumnarStoreBackend
+from repro.orchestration.events import (
+    EVENTS_NAME,
+    CampaignEvent,
+    EventWriter,
+    follow_events,
+    read_events,
+)
 from repro.orchestration.executor import (
     CampaignSummary,
     resume_campaign,
     run_campaign,
 )
+from repro.orchestration.queue import WorkQueue, drain_queue
 from repro.orchestration.report import (
     aggregate_metric,
     campaign_report,
@@ -48,24 +78,63 @@ from repro.orchestration.report import (
     load_results,
     welfare_comparison_table,
 )
-from repro.orchestration.store import CellResult, ResultStore
+from repro.orchestration.scheduler import (
+    ArmScore,
+    HalvingResult,
+    HalvingRung,
+    SuccessiveHalvingScheduler,
+    run_successive_halving,
+)
+from repro.orchestration.store import (
+    STORE_BACKENDS,
+    CellResult,
+    ResultStore,
+    SqliteJsonlBackend,
+    StoreBackend,
+    detect_store_backend,
+)
 from repro.orchestration.sweep import SCENARIO_NAMES, CellSpec, SweepSpec
 from repro.orchestration.worker import execute_config, run_cell
 
 __all__ = [
+    "EVENTS_NAME",
+    "EXECUTION_BACKENDS",
     "SCENARIO_NAMES",
+    "STORE_BACKENDS",
+    "ArmScore",
+    "BackendCapabilities",
+    "CampaignEvent",
     "CampaignSummary",
     "CellResult",
     "CellSpec",
+    "ColumnarStoreBackend",
+    "EventWriter",
+    "ExecutionBackend",
+    "HalvingResult",
+    "HalvingRung",
+    "InlineBackend",
+    "ProcessBackend",
     "ResultStore",
+    "SqliteJsonlBackend",
+    "StoreBackend",
+    "SuccessiveHalvingScheduler",
     "SweepSpec",
+    "ThreadBackend",
+    "WorkQueue",
+    "WorkQueueBackend",
     "aggregate_metric",
     "campaign_report",
+    "detect_store_backend",
+    "drain_queue",
     "event_log_tables",
     "execute_config",
+    "follow_events",
     "load_results",
+    "read_events",
+    "resolve_backend",
     "resume_campaign",
     "run_campaign",
     "run_cell",
+    "run_successive_halving",
     "welfare_comparison_table",
 ]

@@ -1,0 +1,495 @@
+"""Pluggable campaign execution: the ``ExecutionBackend`` protocol.
+
+:func:`~repro.orchestration.executor.run_campaign` no longer owns *how*
+cells execute — it expands the grid, hands the pending payloads to an
+:class:`ExecutionBackend`, and records outcomes as the backend yields
+them.  The protocol is three calls and a capability declaration:
+
+* :meth:`ExecutionBackend.submit` — accept the pending cell payloads;
+* :meth:`ExecutionBackend.as_completed` — yield outcome dicts as cells
+  finish, in completion order;
+* :meth:`ExecutionBackend.shutdown` — release workers (idempotent; also
+  called on interrupt, so it must tolerate unfinished work).
+
+Four implementations ship, selected by name through
+:func:`resolve_backend` (``run_campaign(backend=...)`` / the CLI's
+``--backend`` flag):
+
+========== ===================================================================
+inline     this process, one cell at a time — debuggers, tests, determinism
+thread     a thread pool — parallel I/O-light cells without process spawn cost
+process    a process pool — the default; today's single-host behaviour
+work-queue a durable on-disk queue (lease/ack) drained by N independent
+           worker processes: local children and/or external
+           ``python -m repro.cli work <dir>`` drainers on any host sharing
+           the filesystem
+========== ===================================================================
+
+Every backend runs the same :func:`~repro.orchestration.worker.run_cell`
+payloads and reports the same outcome dicts, so per-cell results are
+identical across all four (the equivalence suite pins this), and
+checkpoint/resume works the same way everywhere — the work-queue backend
+additionally survives losing *workers* mid-cell via lease reclaim.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections.abc import Iterator, Sequence
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.logging_utils import get_logger
+from repro.orchestration.queue import WorkQueue
+from repro.orchestration.worker import run_cell
+
+__all__ = [
+    "EXECUTION_BACKENDS",
+    "BackendCapabilities",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "WorkQueueBackend",
+    "resolve_backend",
+]
+
+EXECUTION_BACKENDS = ("inline", "thread", "process", "work-queue")
+
+_LOGGER = get_logger("orchestration.backends")
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can do, for callers that must choose or warn.
+
+    Attributes
+    ----------
+    parallel:
+        Cells may execute concurrently.
+    distributed:
+        Workers outside the coordinator process tree can join the
+        campaign (today: the work queue's external drainers).
+    durable_dispatch:
+        Submitted-but-unfinished work survives the coordinator dying
+        (a re-run re-submits idempotently either way; durable dispatch
+        means already-queued cells keep draining meanwhile).
+    """
+
+    parallel: bool
+    distributed: bool = False
+    durable_dispatch: bool = False
+
+
+def _local_drain(campaign_dir: str, index: int, lease_seconds: float) -> None:
+    """Worker-process entry point for coordinator-spawned drainers.
+
+    The label is stamped *inside* the child so its pid is the drainer's
+    own — that pid is what lease-release checks probe for liveness.
+    """
+    from repro.orchestration.queue import drain_queue
+
+    drain_queue(
+        campaign_dir,
+        worker=(
+            f"{WorkQueueBackend.LOCAL_WORKER_PREFIX}{index}"
+            f"@{os.uname().nodename}:{os.getpid()}"
+        ),
+        lease_seconds=lease_seconds,
+    )
+
+
+def _infrastructure_failure(cell_id: str, error: BaseException) -> dict[str, Any]:
+    """The outcome attributed to a cell whose worker died hard."""
+    return {
+        "cell_id": cell_id,
+        "status": "failed",
+        "error": repr(error),
+        "duration_seconds": 0.0,
+        "event_log_path": None,
+    }
+
+
+class ExecutionBackend:
+    """Protocol for executing a campaign's pending cells (see module doc).
+
+    Lifecycle: one campaign invocation per instance —
+    ``submit(payloads)`` once, iterate ``as_completed()`` to exhaustion
+    (or until interrupted), ``shutdown()`` always.
+    """
+
+    name: str = "abstract"
+    capabilities = BackendCapabilities(parallel=False)
+
+    def submit(self, payloads: Sequence[dict[str, Any]]) -> None:
+        raise NotImplementedError
+
+    def as_completed(self) -> Iterator[dict[str, Any]]:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Discard any dispatch state a previous run left behind.
+
+        Called before ``submit`` when a campaign runs with
+        ``resume=False``: a fresh run promises every cell re-executes, so
+        backends with durable dispatch (the work queue) must not replay
+        stale queued payloads or acked outcomes.  A no-op for backends
+        whose dispatch dies with the process.
+        """
+
+
+class InlineBackend(ExecutionBackend):
+    """Run cells in this process, one at a time, as the iterator is pulled.
+
+    The reference backend: no concurrency, no serialisation, exceptions
+    and debuggers behave exactly as in a plain loop.  ``max_workers=0``
+    and ``--workers 0`` map here.
+    """
+
+    name = "inline"
+    capabilities = BackendCapabilities(parallel=False)
+
+    def __init__(self) -> None:
+        self._payloads: list[dict[str, Any]] = []
+
+    def submit(self, payloads: Sequence[dict[str, Any]]) -> None:
+        self._payloads.extend(payloads)
+
+    def as_completed(self) -> Iterator[dict[str, Any]]:
+        for payload in self._payloads:
+            yield run_cell(payload)
+
+    def shutdown(self) -> None:
+        self._payloads.clear()
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared submit/drain logic of the thread and process pool backends."""
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = int(max_workers)
+        self._pool = None
+        self._futures: dict[Future, str] = {}
+
+    def _make_pool(self, width: int):
+        raise NotImplementedError
+
+    def submit(self, payloads: Sequence[dict[str, Any]]) -> None:
+        if self._pool is None:
+            width = max(1, min(self.max_workers, len(payloads) or 1))
+            self._pool = self._make_pool(width)
+        for payload in payloads:
+            future = self._pool.submit(run_cell, payload)
+            self._futures[future] = str(payload["cell"]["cell_id"])
+
+    def as_completed(self) -> Iterator[dict[str, Any]]:
+        remaining = set(self._futures)
+        while remaining:
+            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in finished:
+                error = future.exception()
+                if error is not None:
+                    # Infrastructure failure (e.g. a pool worker died
+                    # hard); attribute it to the cell and go on.
+                    yield _infrastructure_failure(self._futures[future], error)
+                else:
+                    yield future.result()
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            for future in self._futures:
+                future.cancel()
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self._futures.clear()
+
+
+class ThreadBackend(_PoolBackend):
+    """A thread pool in the coordinator process.
+
+    Cells share the interpreter (numpy releases the GIL inside its
+    kernels, so simulation-heavy cells still overlap usefully) and skip
+    process-spawn and pickling costs entirely — the right middle ground
+    for many small cells on one host.
+    """
+
+    name = "thread"
+    capabilities = BackendCapabilities(parallel=True)
+
+    def _make_pool(self, width: int):
+        return ThreadPoolExecutor(
+            max_workers=width, thread_name_prefix="repro-cell"
+        )
+
+
+class ProcessBackend(_PoolBackend):
+    """A single-host process pool — the default backend."""
+
+    name = "process"
+    capabilities = BackendCapabilities(parallel=True)
+
+    def _make_pool(self, width: int):
+        return ProcessPoolExecutor(max_workers=width)
+
+
+class WorkQueueBackend(ExecutionBackend):
+    """Drain cells through the durable on-disk queue.
+
+    ``submit`` enqueues payloads under ``<campaign>/queue/`` (idempotent:
+    cells already pending, leased, or done are left alone);
+    ``as_completed`` spawns ``num_workers`` local drainer processes and
+    then *collects* — polling acked outcomes, reclaiming expired leases —
+    until every submitted cell is accounted for.  External drainers
+    (``python -m repro.cli work <dir>`` on any machine sharing the
+    filesystem) join and leave freely at any point; ``num_workers=0``
+    relies on them entirely.
+
+    The queue files, not the worker processes, are the source of truth:
+    killing the coordinator loses nothing (outcomes keep accumulating in
+    ``done/`` and the next ``resume`` ingests them), and killing a worker
+    mid-cell only delays that cell until its lease expires.
+
+    One coordinator per campaign: collection consumes the ``done/`` files,
+    so two concurrent ``sweep``/``resume`` coordinators over one directory
+    would race for each other's outcomes.  Drainers may be legion;
+    coordinators may not.
+    """
+
+    name = "work-queue"
+    capabilities = BackendCapabilities(
+        parallel=True, distributed=True, durable_dispatch=True
+    )
+
+    def __init__(
+        self,
+        campaign_dir: str | Path,
+        *,
+        num_workers: int | None = None,
+        lease_seconds: float = 600.0,
+        poll_interval: float = 0.05,
+    ) -> None:
+        if num_workers is not None and num_workers < 0:
+            raise ValueError(f"num_workers must be >= 0, got {num_workers}")
+        self.campaign_dir = Path(campaign_dir)
+        self.num_workers = (
+            num_workers if num_workers is not None else (os.cpu_count() or 1)
+        )
+        self.poll_interval = float(poll_interval)
+        self.queue = WorkQueue(self.campaign_dir, lease_seconds=lease_seconds)
+        self._expected: set[str] = set()
+        self._payloads: dict[str, dict[str, Any]] = {}
+        self._requeued: set[str] = set()
+        self._processes: list[multiprocessing.Process] = []
+
+    LOCAL_WORKER_PREFIX = "local-"
+
+    @staticmethod
+    def _label_pid(worker: str) -> int | None:
+        """The drainer pid out of a ``local-<i>@<host>:<pid>`` label.
+
+        ``None`` for labels that are not local drainers of *this host* —
+        external drainers and other hosts' locals are never touched by
+        pid-based release.
+        """
+        if not worker.startswith(WorkQueueBackend.LOCAL_WORKER_PREFIX):
+            return None
+        _, separator, host_pid = worker.rpartition("@")
+        host, _, pid_text = host_pid.rpartition(":")
+        if not separator or host != os.uname().nodename:
+            return None
+        try:
+            return int(pid_text)
+        except ValueError:
+            return None
+
+    def _is_own_worker(self, worker: str) -> bool:
+        pid = self._label_pid(worker)
+        return pid is not None and pid in {
+            process.pid for process in self._processes
+        }
+
+    def _is_dead_local_worker(self, worker: str) -> bool:
+        """A local drainer on this host whose process no longer exists.
+
+        Only provably-dead workers qualify — a second live coordinator's
+        drainers (or an external drainer with a look-alike label) keep
+        their leases.
+        """
+        pid = self._label_pid(worker)
+        if pid is None or pid == os.getpid():
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except PermissionError:
+            pass  # exists under another uid: alive
+        return False
+
+    def reset(self) -> None:
+        self.queue.purge()
+
+    def submit(self, payloads: Sequence[dict[str, Any]]) -> None:
+        self.queue.enqueue(list(payloads))
+        for payload in payloads:
+            self._payloads[str(payload["cell"]["cell_id"])] = payload
+        self._expected.update(self._payloads)
+        # Hand back leases left by a dead previous coordinator's local
+        # drainers instead of waiting out their expiry.
+        self.queue.release_worker_leases(self._is_dead_local_worker)
+
+    def _spawn_workers(self) -> None:
+        # fork where available: workers inherit the warm interpreter
+        # instead of re-importing numpy, which is what makes short
+        # campaigns scale with worker count.
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = multiprocessing.get_context()
+        width = max(0, min(self.num_workers, len(self._expected)))
+        for index in range(width):
+            process = context.Process(
+                target=_local_drain,
+                args=(
+                    str(self.campaign_dir), index, self.queue.lease_seconds
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+
+    def as_completed(self) -> Iterator[dict[str, Any]]:
+        self._spawn_workers()
+        pending = set(self._expected)
+        last_reclaim = time.monotonic()
+        while pending:
+            drained = False
+            for outcome in self.queue.pop_outcomes():
+                cell_id = str(outcome["cell_id"])
+                if cell_id in pending:
+                    pending.discard(cell_id)
+                    drained = True
+                    yield outcome
+            if not pending:
+                break
+            now = time.monotonic()
+            if now - last_reclaim > self.queue.lease_seconds / 4:
+                self.queue.reclaim_expired()
+                last_reclaim = now
+            if not drained:
+                if self.num_workers > 0 and not any(
+                    process.is_alive() for process in self._processes
+                ):
+                    # All local workers exited with cells still
+                    # unaccounted for.  With no external drainers the
+                    # queue would now stall forever, so spin up
+                    # replacements for whatever remains.  A crashed local
+                    # drainer's lease is provably stale (its pid is gone)
+                    # — release it now rather than waiting out the full
+                    # lease_seconds expiry.
+                    self.queue.release_worker_leases(self._is_dead_local_worker)
+                    self.queue.reclaim_expired()
+                    if self.queue.counts()["pending"]:
+                        self._processes = [
+                            p for p in self._processes if p.is_alive()
+                        ]
+                        self._spawn_workers()
+                    elif self.queue.is_drained() and not self.queue.counts()["done"]:
+                        # Nothing pending, nothing leased, nothing acked,
+                        # yet cells are unaccounted: they vanished from
+                        # the queue (manual surgery, or a second
+                        # coordinator racing for this one's outcomes —
+                        # unsupported, see the class docstring).  Give
+                        # each lost cell one re-enqueue before failing it:
+                        # re-running a deterministic cell is recoverable,
+                        # a bogus failure clobbering a completed result in
+                        # the store is not.
+                        retry = sorted(pending - self._requeued)
+                        if retry:
+                            _LOGGER.warning(
+                                "%d cells vanished from the work queue; "
+                                "re-enqueueing them once", len(retry),
+                            )
+                            self._requeued.update(retry)
+                            self.queue.enqueue(
+                                [self._payloads[cell_id] for cell_id in retry]
+                            )
+                            self._processes = [
+                                p for p in self._processes if p.is_alive()
+                            ]
+                            self._spawn_workers()
+                        else:
+                            for cell_id in sorted(pending):
+                                yield _infrastructure_failure(
+                                    cell_id,
+                                    RuntimeError("cell lost from work queue"),
+                                )
+                            return
+                time.sleep(self.poll_interval)
+
+    def shutdown(self) -> None:
+        terminated = False
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                terminated = True
+        for process in self._processes:
+            process.join(timeout=5.0)
+        if terminated:
+            # A worker killed mid-cell leaves its lease behind; hand those
+            # cells back now so the next resume re-runs them immediately
+            # instead of waiting out the lease.  Only this coordinator's
+            # own workers qualify — other coordinators' live on.  (Release
+            # before forgetting the processes: _is_own_worker matches on
+            # their pids.)
+            self.queue.release_worker_leases(self._is_own_worker)
+        self._processes.clear()
+
+
+def resolve_backend(
+    backend: str | ExecutionBackend | None,
+    *,
+    campaign_dir: str | Path,
+    max_workers: int | None = None,
+) -> ExecutionBackend:
+    """Turn a backend selection into a live instance.
+
+    ``None`` keeps the historical behaviour: a process pool sized by
+    ``max_workers``, or the inline backend when ``max_workers == 0``.
+    String names come from :data:`EXECUTION_BACKENDS`; a ready-made
+    :class:`ExecutionBackend` instance passes through untouched.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        backend = "inline" if max_workers == 0 else "process"
+    # An explicit 0 must not silently widen to cpu_count: the pool
+    # backends reject it (inline is the zero-worker execution mode).
+    width = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    if backend == "inline":
+        return InlineBackend()
+    if backend == "thread":
+        return ThreadBackend(width)
+    if backend == "process":
+        return ProcessBackend(width)
+    if backend == "work-queue":
+        return WorkQueueBackend(campaign_dir, num_workers=max_workers)
+    raise ValueError(
+        f"unknown execution backend {backend!r}; "
+        f"choose from {', '.join(EXECUTION_BACKENDS)}"
+    )

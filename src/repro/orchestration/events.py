@@ -1,0 +1,205 @@
+"""The campaign event bus: a typed JSONL trail from workers to observers.
+
+Every campaign appends progress events to ``events.jsonl`` inside its
+directory: the coordinator announces the campaign (``campaign_started`` /
+``campaign_finished``), each worker announces every cell it touches
+(``cell_started``, then ``cell_finished`` or ``cell_failed`` carrying the
+wall-clock duration and a scalar metric snapshot).  The trail is the
+streaming seam between execution and observation:
+
+* ``python -m repro.cli watch <dir>`` tails it into a live terminal
+  dashboard while the campaign runs (any backend, any host sharing the
+  filesystem);
+* :class:`~repro.orchestration.scheduler.SuccessiveHalvingScheduler`
+  consumes ``cell_finished`` snapshots to rank arms and reallocate budget;
+* post-hoc, the trail is a greppable timing log (who ran what, where,
+  how long) that the result store deliberately does not duplicate.
+
+Writes are one ``O_APPEND`` line per event, so workers in different
+processes (local pool workers, ``repro.cli work`` drainers on other
+machines sharing the directory) interleave without locks; lines are far
+below ``PIPE_BUF`` except for pathological metric payloads, and the reader
+side skips any line that fails to parse rather than dying mid-tail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "EVENTS_NAME",
+    "CampaignEvent",
+    "EventWriter",
+    "read_events",
+    "follow_events",
+    "metric_snapshot",
+]
+
+EVENTS_NAME = "events.jsonl"
+
+
+@dataclass(frozen=True)
+class CampaignEvent:
+    """One typed entry of the campaign event trail.
+
+    Attributes
+    ----------
+    type:
+        ``campaign_started``, ``cell_started``, ``cell_finished``,
+        ``cell_failed``, ``campaign_finished``, or ``worker_started`` /
+        ``worker_finished`` for queue drainers.
+    timestamp:
+        Unix time the event was emitted.
+    cell_id:
+        The cell concerned, when the event is cell-scoped.
+    worker:
+        Emitting worker label (``host:pid`` by default).
+    data:
+        Event-specific payload: durations, counts, metric snapshots.
+    """
+
+    type: str
+    timestamp: float
+    cell_id: str | None = None
+    worker: str | None = None
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        entry: dict[str, Any] = {"type": self.type, "timestamp": self.timestamp}
+        if self.cell_id is not None:
+            entry["cell_id"] = self.cell_id
+        if self.worker is not None:
+            entry["worker"] = self.worker
+        if self.data:
+            entry["data"] = self.data
+        return entry
+
+    @classmethod
+    def from_dict(cls, entry: dict[str, Any]) -> "CampaignEvent":
+        return cls(
+            type=str(entry["type"]),
+            timestamp=float(entry["timestamp"]),
+            cell_id=entry.get("cell_id"),
+            worker=entry.get("worker"),
+            data=dict(entry.get("data", {})),
+        )
+
+
+def default_worker_label() -> str:
+    """``host:pid`` — unique enough to attribute events across machines."""
+    return f"{os.uname().nodename}:{os.getpid()}"
+
+
+def metric_snapshot(metrics: dict[str, Any]) -> dict[str, Any]:
+    """The scalar slice of a metrics row — what cell events carry.
+
+    Series-valued metrics (``per_round_regret`` and friends) stay in the
+    result store; the event trail only needs numbers a dashboard or a
+    scheduler can rank on.
+    """
+    return {
+        key: value
+        for key, value in metrics.items()
+        if isinstance(value, (int, float, bool, str))
+    }
+
+
+class EventWriter:
+    """Appends :class:`CampaignEvent` lines to a campaign's trail.
+
+    Safe to construct in any process; each emit opens, appends one line,
+    and closes, so concurrent writers never interleave partial lines
+    (``O_APPEND`` semantics).  A ``None`` path makes every emit a no-op,
+    which is how event emission is disabled without branching at call
+    sites.
+    """
+
+    def __init__(self, path: str | Path | None, *, worker: str | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.worker = worker if worker is not None else default_worker_label()
+
+    def emit(
+        self,
+        type: str,
+        *,
+        cell_id: str | None = None,
+        **data: Any,
+    ) -> None:
+        """Append one event (no-op when the writer is disabled)."""
+        if self.path is None:
+            return
+        event = CampaignEvent(
+            type=type,
+            timestamp=time.time(),
+            cell_id=cell_id,
+            worker=self.worker,
+            data=data,
+        )
+        line = json.dumps(event.to_dict(), sort_keys=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+
+
+def read_events(path: str | Path) -> list[CampaignEvent]:
+    """Parse a whole event trail; a missing file is an empty trail.
+
+    Unparseable lines (a torn write from a worker killed mid-append) are
+    skipped — observers must keep working against a trail that is being
+    written this instant.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            try:
+                events.append(CampaignEvent.from_dict(json.loads(line)))
+            except (ValueError, KeyError):
+                continue
+    return events
+
+
+def follow_events(
+    path: str | Path,
+    *,
+    poll_interval: float = 0.25,
+    from_start: bool = True,
+    stop: Any | None = None,
+) -> Iterator[CampaignEvent]:
+    """``tail -f`` over an event trail (yields events as they are appended).
+
+    Starts before the file exists (the campaign may not have begun) and
+    never returns on its own; pass ``stop`` (any object with a truthy
+    ``is_set()``, e.g. ``threading.Event``) to break the loop, or close the
+    generator.  ``from_start=False`` skips the existing backlog and yields
+    only events appended after the call.
+    """
+    path = Path(path)
+    position = 0
+    if not from_start and path.exists():
+        position = path.stat().st_size
+    buffer = ""
+    while True:
+        if path.exists():
+            with open(path) as handle:
+                handle.seek(position)
+                chunk = handle.read()
+                position = handle.tell()
+            buffer += chunk
+            while "\n" in buffer:
+                line, buffer = buffer.split("\n", 1)
+                try:
+                    yield CampaignEvent.from_dict(json.loads(line))
+                except (ValueError, KeyError):
+                    continue
+        if stop is not None and stop.is_set():
+            return
+        time.sleep(poll_interval)

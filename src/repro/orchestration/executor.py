@@ -1,32 +1,39 @@
-"""Campaign execution: fan a sweep grid across worker processes.
+"""Campaign execution: fan a sweep grid across a pluggable backend.
 
 :func:`run_campaign` is the one entry point.  It expands the grid, skips
 every cell the campaign's :class:`~repro.orchestration.store.ResultStore`
-already holds (checkpoint/resume), and dispatches the remainder to a
-:class:`concurrent.futures.ProcessPoolExecutor` — or runs them inline with
-``max_workers=0``, which keeps tests and debuggers single-process.
+already holds (checkpoint/resume), and hands the remainder to an
+:class:`~repro.orchestration.backends.ExecutionBackend` — inline, thread
+pool, process pool (the default), or the durable work queue that external
+``python -m repro.cli work <dir>`` drainers share.  The result store is
+equally pluggable (``store="sqlite" | "columnar"``) and sniffed
+automatically on resume, so a campaign is always reopened the way it was
+written.
 
 Results are persisted *as each cell completes*, so killing a campaign at
 any point loses at most the in-flight cells: rerunning the same command (or
-``python -m repro.cli resume <dir>``) picks up where it stopped.  A cell
-that crashes records its traceback and the campaign keeps going; the
-failure surfaces in the summary and the report instead of as a dead
-process.
+``python -m repro.cli resume <dir>``) picks up where it stopped — on every
+backend, including mid-drain work queues.  A cell that crashes records its
+traceback and the campaign keeps going; the failure surfaces in the
+summary and the report, and such cells are only re-queued when
+``retry_failed`` (the CLI's ``--retry-failed``) asks for it.  Progress
+streams onto the campaign's event trail
+(:mod:`repro.orchestration.events`) for ``repro.cli watch`` dashboards and
+adaptive schedulers.
 """
 
 from __future__ import annotations
 
-import os
 from collections.abc import Callable
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
 from repro.logging_utils import get_logger
-from repro.orchestration.store import ResultStore
+from repro.orchestration.backends import ExecutionBackend, resolve_backend
+from repro.orchestration.events import EVENTS_NAME, EventWriter
+from repro.orchestration.store import ResultStore, StoreBackend
 from repro.orchestration.sweep import CellSpec, SweepSpec
-from repro.orchestration.worker import run_cell
 
 __all__ = ["CampaignSummary", "run_campaign", "resume_campaign"]
 
@@ -47,6 +54,7 @@ class CampaignSummary:
     executed: int
     skipped: int
     failed: int
+    skipped_failed: int = 0
 
     @property
     def completed(self) -> int:
@@ -54,9 +62,15 @@ class CampaignSummary:
         return self.executed - self.failed
 
 
-def _payload(cell: CellSpec, campaign_dir: Path) -> dict[str, Any]:
+def _payload(
+    cell: CellSpec, campaign_dir: Path, *, events: bool
+) -> dict[str, Any]:
     cell_dir = campaign_dir / CELLS_DIR_NAME / cell.cell_id
-    return {"cell": cell.to_dict(), "cell_dir": str(cell_dir)}
+    return {
+        "cell": cell.to_dict(),
+        "cell_dir": str(cell_dir),
+        "events_path": str(campaign_dir / EVENTS_NAME) if events else None,
+    }
 
 
 def _record(store: ResultStore, cell: CellSpec, outcome: dict[str, Any]) -> None:
@@ -93,6 +107,10 @@ def run_campaign(
     max_workers: int | None = None,
     resume: bool = True,
     progress: ProgressCallback | None = None,
+    backend: str | ExecutionBackend | None = None,
+    store: str | StoreBackend | None = None,
+    retry_failed: bool = False,
+    events: bool = True,
 ) -> CampaignSummary:
     """Run (or resume) a sweep campaign; returns the invocation summary.
 
@@ -106,13 +124,36 @@ def run_campaign(
         directory resumes it (completed cells are skipped) as long as
         ``resume`` stays True.
     max_workers:
-        Process-pool width; defaults to ``os.cpu_count()`` capped by the
-        number of pending cells.  ``0`` runs cells inline in this process.
+        Worker width for the parallel backends; defaults to
+        ``os.cpu_count()`` capped by the number of pending cells.  ``0``
+        selects the inline backend (single-process; tests and debuggers).
     resume:
         When False, every cell is re-executed even if already recorded.
     progress:
         Optional ``(outcome_dict, done_so_far, total_pending)`` callback,
         invoked after each cell's result is persisted.
+    backend:
+        Execution backend: ``"inline"``, ``"thread"``, ``"process"``,
+        ``"work-queue"``, or a ready
+        :class:`~repro.orchestration.backends.ExecutionBackend`.  ``None``
+        keeps the historical default (process pool; inline when
+        ``max_workers == 0``).  Per-cell results are identical across
+        backends.
+    store:
+        Result-store backend: ``"sqlite"`` (default), ``"columnar"``, or a
+        ready :class:`~repro.orchestration.store.StoreBackend`.  ``None``
+        sniffs an existing campaign's store and only then falls back to
+        SQLite, so resume never switches formats mid-campaign.
+    retry_failed:
+        Re-queue cells previously recorded as ``failed``.  Off by
+        default: a deterministic cell that crashed once will crash again,
+        so failures stay visible in the report instead of burning time
+        every resume; pass True (CLI ``--retry-failed``) after fixing the
+        cause.
+    events:
+        Stream progress events to ``events.jsonl`` (the ``watch``
+        dashboard / scheduler feed).  On by default; costs one appended
+        line per cell transition.
     """
     campaign_dir = Path(campaign_dir)
     campaign_dir.mkdir(parents=True, exist_ok=True)
@@ -131,69 +172,81 @@ def run_campaign(
     spec.save(spec_path)
 
     cells = spec.expand()
-    with ResultStore(campaign_dir) as store:
-        done = store.completed_ids() if resume else set()
+    with ResultStore(campaign_dir, backend=store) as result_store:
+        skipped_failed = 0
+        if resume:
+            done = result_store.completed_ids()
+            if not retry_failed:
+                failed_ids = {
+                    result.cell_id
+                    for result in result_store.results(status="failed")
+                }
+                skipped_failed = len(failed_ids)
+                done = done | failed_ids
+        else:
+            done = set()
         pending = [cell for cell in cells if cell.cell_id not in done]
         skipped = len(cells) - len(pending)
         if skipped:
-            _LOGGER.info("resume: skipping %d completed cells", skipped)
+            _LOGGER.info(
+                "resume: skipping %d recorded cells (%d failed; "
+                "--retry-failed re-queues those)",
+                skipped, skipped_failed,
+            )
 
         failed = 0
         executed = 0
         if not pending:
-            return CampaignSummary(campaign_dir, len(cells), 0, skipped, 0)
+            return CampaignSummary(
+                campaign_dir, len(cells), 0, skipped, 0, skipped_failed
+            )
 
-        if max_workers == 0:
-            for cell in pending:
-                outcome = run_cell(_payload(cell, campaign_dir))
+        bus = EventWriter((campaign_dir / EVENTS_NAME) if events else None)
+        execution = resolve_backend(
+            backend, campaign_dir=campaign_dir, max_workers=max_workers
+        )
+        bus.emit(
+            "campaign_started",
+            name=spec.name,
+            backend=execution.name,
+            store=result_store.backend.name,
+            total_cells=len(cells),
+            pending=len(pending),
+            skipped=skipped,
+        )
+        by_id = {cell.cell_id: cell for cell in pending}
+        try:
+            if not resume:
+                # --fresh re-executes everything: durable backends must
+                # not replay stale queued payloads or acked outcomes.
+                execution.reset()
+            execution.submit(
+                [_payload(cell, campaign_dir, events=events) for cell in pending]
+            )
+            for outcome in execution.as_completed():
+                cell = by_id[str(outcome["cell_id"])]
                 executed += 1
                 failed += outcome["status"] != "completed"
-                _record(store, cell, outcome)
+                _record(result_store, cell, outcome)
                 if progress is not None:
                     progress(outcome, executed, len(pending))
-        else:
-            if max_workers is None:
-                max_workers = os.cpu_count() or 1
-            max_workers = max(1, min(max_workers, len(pending)))
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                futures = {
-                    pool.submit(run_cell, _payload(cell, campaign_dir)): cell
-                    for cell in pending
-                }
-                try:
-                    remaining = set(futures)
-                    while remaining:
-                        finished, remaining = wait(
-                            remaining, return_when=FIRST_COMPLETED
-                        )
-                        for future in finished:
-                            cell = futures[future]
-                            error = future.exception()
-                            if error is not None:
-                                # Infrastructure failure (e.g. a worker died
-                                # hard); attribute it to the cell and go on.
-                                outcome = {
-                                    "cell_id": cell.cell_id,
-                                    "status": "failed",
-                                    "error": repr(error),
-                                    "duration_seconds": 0.0,
-                                    "event_log_path": None,
-                                }
-                            else:
-                                outcome = future.result()
-                            executed += 1
-                            failed += outcome["status"] != "completed"
-                            _record(store, cell, outcome)
-                            if progress is not None:
-                                progress(outcome, executed, len(pending))
-                except KeyboardInterrupt:
-                    # Completed cells are already persisted; drop the rest
-                    # so the campaign can resume from the checkpoint.
-                    for future in remaining:
-                        future.cancel()
-                    raise
+        except (KeyboardInterrupt, GeneratorExit):
+            # Completed cells are already persisted; drop the rest so the
+            # campaign can resume from the checkpoint.
+            bus.emit("campaign_interrupted", executed=executed, failed=failed)
+            raise
+        finally:
+            execution.shutdown()
+        bus.emit(
+            "campaign_finished",
+            executed=executed,
+            failed=failed,
+            skipped=skipped,
+        )
 
-    return CampaignSummary(campaign_dir, len(cells), executed, skipped, failed)
+    return CampaignSummary(
+        campaign_dir, len(cells), executed, skipped, failed, skipped_failed
+    )
 
 
 def resume_campaign(
@@ -201,8 +254,16 @@ def resume_campaign(
     *,
     max_workers: int | None = None,
     progress: ProgressCallback | None = None,
+    backend: str | ExecutionBackend | None = None,
+    store: str | StoreBackend | None = None,
+    retry_failed: bool = False,
 ) -> CampaignSummary:
-    """Resume a campaign from its directory alone (re-reads ``sweep.json``)."""
+    """Resume a campaign from its directory alone (re-reads ``sweep.json``).
+
+    The store backend is sniffed from the directory unless given, so a
+    columnar campaign resumes columnar; ``retry_failed`` re-queues cells
+    recorded as failed (they are otherwise skipped and reported).
+    """
     campaign_dir = Path(campaign_dir)
     spec_path = campaign_dir / SWEEP_SPEC_NAME
     if not spec_path.exists():
@@ -211,5 +272,12 @@ def resume_campaign(
         )
     spec = SweepSpec.load(spec_path)
     return run_campaign(
-        spec, campaign_dir, max_workers=max_workers, resume=True, progress=progress
+        spec,
+        campaign_dir,
+        max_workers=max_workers,
+        resume=True,
+        progress=progress,
+        backend=backend,
+        store=store,
+        retry_failed=retry_failed,
     )

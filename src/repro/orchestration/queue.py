@@ -1,0 +1,343 @@
+"""Durable on-disk work queue: lease/ack cell distribution for campaigns.
+
+The queue is a directory protocol under ``<campaign>/queue/`` that lets any
+number of independent worker processes — local children of the
+coordinator, or ``python -m repro.cli work <dir>`` drainers started by hand
+on any machine sharing the filesystem — drain one campaign without a
+broker:
+
+* ``tasks/<cell_id>.json`` — a pending cell payload, exactly what
+  :func:`~repro.orchestration.worker.run_cell` consumes;
+* ``leases/<cell_id>.json`` — a claimed cell.  Claiming is one atomic
+  :func:`os.rename` from ``tasks/`` to ``leases/``, so two workers racing
+  for the same cell cannot both win: the loser's rename raises and it
+  moves on.  A sidecar ``<cell_id>.claim.json`` records who holds the
+  lease and since when;
+* ``done/<cell_id>.json`` — the acked outcome, written tmp-then-rename so
+  readers never see a torn file.  Acking also releases the lease.
+
+A worker that dies mid-cell leaves its lease behind; anyone calling
+:meth:`WorkQueue.reclaim_expired` (the coordinator does, and so do idle
+workers) moves leases older than ``lease_seconds`` back to ``tasks/``, so
+the cell is re-run by someone else instead of being lost.  Outcomes are
+consumed by the coordinator (:meth:`WorkQueue.pop_outcomes`), which
+records them into the result store — workers never touch the store, so
+the single-writer store contract holds no matter how many drainers run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.logging_utils import get_logger
+from repro.orchestration.events import EVENTS_NAME, EventWriter, default_worker_label
+
+__all__ = ["QUEUE_DIR_NAME", "WorkQueue", "drain_queue"]
+
+QUEUE_DIR_NAME = "queue"
+
+_LOGGER = get_logger("orchestration.queue")
+
+
+class WorkQueue:
+    """One campaign's durable cell queue (see module docstring).
+
+    Parameters
+    ----------
+    campaign_dir:
+        The campaign directory; the queue lives in its ``queue/`` subdir.
+    lease_seconds:
+        How long a claimed cell may go without finishing before
+        :meth:`reclaim_expired` hands it back to the pending pool.  Must
+        comfortably exceed the slowest cell's runtime.
+    """
+
+    def __init__(
+        self, campaign_dir: str | Path, *, lease_seconds: float = 600.0
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ValueError(f"lease_seconds must be > 0, got {lease_seconds}")
+        self.campaign_dir = Path(campaign_dir)
+        self.queue_dir = self.campaign_dir / QUEUE_DIR_NAME
+        self.lease_seconds = float(lease_seconds)
+        self.tasks_dir = self.queue_dir / "tasks"
+        self.leases_dir = self.queue_dir / "leases"
+        self.done_dir = self.queue_dir / "done"
+        for directory in (self.tasks_dir, self.leases_dir, self.done_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        # Pending-task names this instance has listed but not yet tried to
+        # claim; refilled from the directory only when exhausted, so a
+        # full drain lists tasks/ O(N/batch) times instead of once per
+        # claim (N^2 directory scans hurt at large N, brutally so on NFS).
+        self._claim_candidates: list[str] = []
+
+    # -- producing ---------------------------------------------------------
+
+    def enqueue(self, payloads: list[dict[str, Any]]) -> int:
+        """Add pending cell payloads; already-known cells are skipped.
+
+        A cell is "known" when it is pending, leased, or done — re-running
+        ``sweep``/``resume`` against a live queue must not duplicate work
+        that is already in flight.
+        """
+        added = 0
+        for payload in payloads:
+            cell_id = str(payload["cell"]["cell_id"])
+            name = f"{cell_id}.json"
+            if (
+                (self.tasks_dir / name).exists()
+                or (self.leases_dir / name).exists()
+                or (self.done_dir / name).exists()
+            ):
+                continue
+            self._write_json(self.tasks_dir / name, payload)
+            added += 1
+        return added
+
+    # -- claiming ----------------------------------------------------------
+
+    def claim(self, worker: str) -> dict[str, Any] | None:
+        """Atomically claim one pending cell, or None when none are pending.
+
+        The claim is the ``tasks/ -> leases/`` rename; losing a race for a
+        particular cell just moves on to the next one.
+        """
+        for attempt in range(2):
+            while self._claim_candidates:
+                name = self._claim_candidates.pop()
+                task_path = self.tasks_dir / name
+                lease_path = self.leases_dir / name
+                try:
+                    # Refresh the mtime *before* renaming: rename preserves
+                    # it, and the sidecar-less expiry fallback must age the
+                    # lease from the claim, not from enqueue time.
+                    os.utime(task_path)
+                    os.rename(task_path, lease_path)
+                except FileNotFoundError:
+                    continue  # another worker won this cell
+                claim_path = self.leases_dir / f"{task_path.stem}.claim.json"
+                try:
+                    self._write_json(
+                        claim_path, {"worker": worker, "claimed_at": time.time()}
+                    )
+                    with open(lease_path) as handle:
+                        return json.load(handle)
+                except FileNotFoundError:
+                    # The lease vanished between rename and read — someone
+                    # reclaimed it out from under us (clock skew on a
+                    # shared filesystem).  Drop our sidecar and move on.
+                    claim_path.unlink(missing_ok=True)
+                    continue
+            if attempt == 0:
+                # Reverse-sorted so list.pop() (O(1), from the end) hands
+                # out cells in ascending name order.
+                self._claim_candidates = sorted(
+                    (
+                        entry.name
+                        for entry in os.scandir(self.tasks_dir)
+                        if entry.name.endswith(".json")
+                    ),
+                    reverse=True,
+                )
+        return None
+
+    def extend_lease(self, cell_id: str, worker: str) -> None:
+        """Refresh a held lease's heartbeat (long-running cells)."""
+        claim_path = self.leases_dir / f"{cell_id}.claim.json"
+        self._write_json(claim_path, {"worker": worker, "claimed_at": time.time()})
+
+    def reclaim_expired(self) -> int:
+        """Move leases past their deadline back to pending; returns count."""
+        reclaimed = 0
+        now = time.time()
+        for lease_path in sorted(self.leases_dir.glob("*.json")):
+            if lease_path.name.endswith(".claim.json"):
+                continue
+            claim_path = self.leases_dir / f"{lease_path.stem}.claim.json"
+            claimed_at = None
+            try:
+                with open(claim_path) as handle:
+                    claimed_at = float(json.load(handle)["claimed_at"])
+            except (OSError, ValueError, KeyError):
+                # No readable claim sidecar (claimer died between renaming
+                # and writing it): age the lease on the file's own mtime.
+                try:
+                    claimed_at = lease_path.stat().st_mtime
+                except OSError:
+                    continue
+            if now - claimed_at <= self.lease_seconds:
+                continue
+            try:
+                os.rename(lease_path, self.tasks_dir / lease_path.name)
+            except FileNotFoundError:
+                continue  # acked (or reclaimed) by someone else meanwhile
+            claim_path.unlink(missing_ok=True)
+            reclaimed += 1
+            _LOGGER.warning("reclaimed expired lease for %s", lease_path.stem)
+        return reclaimed
+
+    def release_worker_leases(self, should_release) -> int:
+        """Hand leases held by matching workers back to the pending pool.
+
+        ``should_release`` maps a worker label to True when its leases are
+        known-stale.  The coordinator calls this for spawned local
+        drainers it can *prove* dead — its own just-terminated workers at
+        shutdown, and same-host workers whose pid no longer exists at
+        startup.  External drainers' leases are never touched; a crashed
+        external worker is covered by :meth:`reclaim_expired` instead.
+        """
+        released = 0
+        for claim_path in sorted(self.leases_dir.glob("*.claim.json")):
+            try:
+                with open(claim_path) as handle:
+                    worker = str(json.load(handle)["worker"])
+            except (OSError, ValueError, KeyError):
+                continue
+            if not should_release(worker):
+                continue
+            lease_path = self.leases_dir / claim_path.name.replace(
+                ".claim.json", ".json"
+            )
+            try:
+                os.rename(lease_path, self.tasks_dir / lease_path.name)
+            except FileNotFoundError:
+                pass  # acked meanwhile; just drop the stale sidecar
+            else:
+                released += 1
+                _LOGGER.info("released lease %s held by %s", lease_path.stem, worker)
+            claim_path.unlink(missing_ok=True)
+        return released
+
+    # -- finishing ---------------------------------------------------------
+
+    def ack(self, cell_id: str, outcome: dict[str, Any]) -> None:
+        """Durably record a cell's outcome and release its lease."""
+        self._write_json(self.done_dir / f"{cell_id}.json", outcome)
+        (self.leases_dir / f"{cell_id}.json").unlink(missing_ok=True)
+        (self.leases_dir / f"{cell_id}.claim.json").unlink(missing_ok=True)
+
+    def pop_outcomes(self) -> list[dict[str, Any]]:
+        """Consume every acked outcome (coordinator side; removes the files)."""
+        outcomes = []
+        for done_path in sorted(self.done_dir.glob("*.json")):
+            try:
+                with open(done_path) as handle:
+                    outcomes.append(json.load(handle))
+            except (OSError, ValueError):
+                continue  # written this very instant; next poll gets it
+            done_path.unlink(missing_ok=True)
+        return outcomes
+
+    def purge(self) -> None:
+        """Drop every queued task, lease, and acked outcome.
+
+        The ``resume=False`` (``--fresh``) path calls this before
+        re-submitting: a fresh run promises every cell re-executes, so
+        stale acked outcomes must not be replayed into the store and
+        stale payloads must not shadow the new ones.
+        """
+        for directory in (self.tasks_dir, self.leases_dir, self.done_dir):
+            for path in directory.glob("*.json"):
+                path.unlink(missing_ok=True)
+        self._claim_candidates = []
+
+    # -- introspection -----------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """``{"pending", "leased", "done"}`` file counts."""
+        return {
+            "pending": sum(1 for _ in self.tasks_dir.glob("*.json")),
+            "leased": sum(
+                1
+                for path in self.leases_dir.glob("*.json")
+                if not path.name.endswith(".claim.json")
+            ),
+            "done": sum(1 for _ in self.done_dir.glob("*.json")),
+        }
+
+    def is_drained(self) -> bool:
+        """True when nothing is pending or in flight."""
+        counts = self.counts()
+        return counts["pending"] == 0 and counts["leased"] == 0
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _write_json(path: Path, payload: dict[str, Any]) -> None:
+        """tmp-then-rename write so readers never observe a torn file."""
+        tmp_path = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with open(tmp_path, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+
+
+def drain_queue(
+    campaign_dir: str | Path,
+    *,
+    worker: str | None = None,
+    lease_seconds: float = 600.0,
+    poll_interval: float = 0.2,
+    idle_timeout: float | None = None,
+    max_cells: int | None = None,
+    progress=None,
+) -> int:
+    """Run cells from a campaign's queue until it is drained; returns count.
+
+    This is the body of ``python -m repro.cli work <dir>`` and of the
+    local workers :class:`~repro.orchestration.backends.WorkQueueBackend`
+    spawns.  The loop claims a cell, executes it via
+    :func:`~repro.orchestration.worker.run_cell` (which never raises), and
+    acks the outcome; when nothing is pending it reclaims expired leases,
+    then exits once the queue is fully drained (or after ``idle_timeout``
+    seconds without work — for workers started before the coordinator has
+    enqueued anything).
+
+    Every cell execution also feeds the campaign's event trail (the
+    payloads carry ``events_path``), plus ``worker_started`` /
+    ``worker_finished`` markers from this drainer itself.
+    """
+    from repro.orchestration.worker import run_cell
+
+    queue = WorkQueue(campaign_dir, lease_seconds=lease_seconds)
+    worker = worker or default_worker_label()
+    events = EventWriter(Path(campaign_dir) / EVENTS_NAME, worker=worker)
+    events.emit("worker_started")
+    executed = 0
+    idle_since: float | None = None
+    # Reclaim is a full leases/ scan (every claim sidecar read); doing it
+    # on every idle poll would be a metadata storm on shared filesystems,
+    # so idle drainers throttle it the way the coordinator does.
+    reclaim_interval = max(1.0, lease_seconds / 4)
+    last_reclaim = 0.0
+    try:
+        while max_cells is None or executed < max_cells:
+            payload = queue.claim(worker)
+            if payload is None:
+                if time.monotonic() - last_reclaim >= reclaim_interval:
+                    queue.reclaim_expired()
+                    last_reclaim = time.monotonic()
+                # With an idle timeout the worker lingers even on a fully
+                # drained queue (it may have been started before the
+                # coordinator enqueued, or more waves may be coming);
+                # without one, a drained queue means the job is over.
+                if idle_timeout is None and queue.is_drained():
+                    break
+                now = time.time()
+                idle_since = idle_since if idle_since is not None else now
+                if idle_timeout is not None and now - idle_since > idle_timeout:
+                    break
+                time.sleep(poll_interval)
+                continue
+            idle_since = None
+            outcome = run_cell(payload)
+            queue.ack(str(outcome["cell_id"]), outcome)
+            executed += 1
+            if progress is not None:
+                progress(outcome, executed)
+    finally:
+        events.emit("worker_finished", cells=executed)
+    return executed

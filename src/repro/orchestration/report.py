@@ -21,7 +21,7 @@ from pathlib import Path
 from repro.analysis.reporting import mechanism_comparison_table, payment_table
 from repro.analysis.stats import SummaryStatistics, summarize
 from repro.config import ExperimentConfig
-from repro.orchestration.store import CellResult, ResultStore
+from repro.orchestration.store import CellResult, ResultStore, detect_store_backend
 from repro.simulation.events import EventLog
 from repro.simulation.replay import load_event_log
 from repro.utils.serialization import load_json
@@ -49,9 +49,10 @@ def load_results(campaign_dir: str | Path) -> list[CellResult]:
     created as a side effect — reporting is read-only).
     """
     campaign_dir = Path(campaign_dir)
-    if not (campaign_dir / ResultStore.DB_NAME).exists():
+    backend = detect_store_backend(campaign_dir)
+    if backend is None:
         return []
-    with ResultStore(campaign_dir) as store:
+    with ResultStore(campaign_dir, backend=backend) as store:
         return store.results()
 
 

@@ -1,0 +1,259 @@
+"""Adaptive sweeps: successive halving over a campaign grid.
+
+A full-factorial campaign spends the same round budget on every grid arm,
+including the ones that are clearly dominated after a fraction of the
+rounds.  :func:`run_successive_halving` instead runs the grid in *rungs*:
+every surviving arm (a (mechanism, scenario, params) combination, with the
+seed axis as its replicates) gets a short budget first, the
+:class:`SuccessiveHalvingScheduler` ranks arms on a stored metric and
+keeps the top ``1/eta`` fraction, and each survivor's round budget grows
+``eta``-fold in the next rung — dominated arms are early-stopped and their
+budget reallocated to the contenders, classic successive halving
+(Karnin et al. 2013 / Hyperband's inner loop).
+
+The scheduler deliberately ranks from the **campaign event trail**
+(``cell_finished`` events carry scalar metric snapshots), not from the
+result store: the event bus is the streaming seam every execution backend
+already feeds — local pools and remote ``repro.cli work`` drainers alike —
+so adaptive decisions need no store round-trip and work on any backend.
+Each rung is an ordinary resumable campaign in its own subdirectory
+(``rungs/<r>/<arm>``), so a killed adaptive sweep resumes mid-rung like
+any other campaign.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.logging_utils import get_logger
+from repro.orchestration.events import EVENTS_NAME, read_events
+from repro.orchestration.executor import run_campaign
+from repro.orchestration.sweep import SweepSpec
+
+__all__ = [
+    "ArmScore",
+    "HalvingRung",
+    "HalvingResult",
+    "SuccessiveHalvingScheduler",
+    "run_successive_halving",
+]
+
+_LOGGER = get_logger("orchestration.scheduler")
+
+
+def _slug(value: Any) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", str(value))
+
+
+@dataclass(frozen=True)
+class ArmScore:
+    """One arm's standing after a rung."""
+
+    mechanism: str
+    scenario: str
+    params: dict[str, Any]
+    score: float
+    cells: int
+
+    @property
+    def label(self) -> str:
+        parts = [self.mechanism, self.scenario]
+        parts += [f"{key}-{_slug(val)}" for key, val in sorted(self.params.items())]
+        return "__".join(_slug(part) for part in parts)
+
+
+@dataclass(frozen=True)
+class HalvingRung:
+    """What one rung ran and decided."""
+
+    index: int
+    num_rounds: int
+    scores: tuple[ArmScore, ...]  # ranked best-first
+    survivors: tuple[str, ...]  # labels advancing to the next rung
+
+
+@dataclass(frozen=True)
+class HalvingResult:
+    """Outcome of :func:`run_successive_halving`.
+
+    The per-rung ranking trail lives in ``rungs``; ``winner`` is the
+    best-ranked arm of the final rung.
+    """
+
+    rungs: tuple[HalvingRung, ...]
+    winner: ArmScore
+    metric: str
+    total_cells: int = 0
+
+
+class SuccessiveHalvingScheduler:
+    """Ranks arms from the event trail and picks rung survivors.
+
+    Parameters
+    ----------
+    metric:
+        Key of the scalar metric snapshot to rank on (e.g.
+        ``total_welfare``, ``final_accuracy``).
+    mode:
+        ``"max"`` (default) or ``"min"``.
+    eta:
+        Halving rate: the top ``1/eta`` of arms survive each rung and the
+        round budget multiplies by ``eta``.
+    """
+
+    def __init__(
+        self, *, metric: str = "total_welfare", mode: str = "max", eta: int = 2
+    ) -> None:
+        if mode not in ("max", "min"):
+            raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        if eta < 2:
+            raise ValueError(f"eta must be >= 2, got {eta}")
+        self.metric = metric
+        self.mode = mode
+        self.eta = int(eta)
+
+    def score_arm(self, arm_dir: str | Path) -> tuple[float, int]:
+        """``(mean metric, finished cells)`` from one arm campaign's trail.
+
+        Averages the metric over the arm's cells (the seed replicates),
+        keeping each cell's *latest* ``cell_finished`` event — the trail
+        is append-only, so a cell interrupted and re-run on resume
+        appears twice and must not be double-weighted.  Arms whose cells
+        never report the metric score ``nan`` and rank last.
+        """
+        values: dict[str, float] = {}
+        for event in read_events(Path(arm_dir) / EVENTS_NAME):
+            if event.type != "cell_finished" or event.cell_id is None:
+                continue
+            value = event.data.get("metrics", {}).get(self.metric)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                values[event.cell_id] = float(value)
+        if not values:
+            return float("nan"), 0
+        return sum(values.values()) / len(values), len(values)
+
+    def rank(self, scores: list[ArmScore]) -> list[ArmScore]:
+        """Best-first order under the configured metric/mode (NaNs last)."""
+        sign = -1.0 if self.mode == "max" else 1.0
+
+        def sort_key(arm: ArmScore):
+            return (math.isnan(arm.score), sign * arm.score, arm.label)
+
+        return sorted(scores, key=sort_key)
+
+    def survivors(self, ranked: list[ArmScore]) -> list[ArmScore]:
+        """The top ``1/eta`` fraction (at least one arm)."""
+        keep = max(1, math.ceil(len(ranked) / self.eta))
+        return list(ranked[:keep])
+
+
+def _arms_of(spec: SweepSpec) -> list[tuple[str, str, dict[str, Any]]]:
+    """Every (mechanism, scenario, params) combination, seeds collapsed."""
+    seen = {}
+    for cell in spec.expand():
+        key = (cell.mechanism, cell.scenario, tuple(sorted(cell.params.items())))
+        if key not in seen:
+            seen[key] = (cell.mechanism, cell.scenario, dict(cell.params))
+    return list(seen.values())
+
+
+def _arm_spec(
+    spec: SweepSpec, arm: tuple[str, str, dict[str, Any]], num_rounds: int
+) -> SweepSpec:
+    mechanism, scenario, params = arm
+    return SweepSpec(
+        base=spec.base.with_overrides(num_rounds=num_rounds),
+        mechanisms=(mechanism,),
+        scenarios=(scenario,),
+        seeds=spec.seeds,
+        params={key: (value,) for key, value in params.items()},
+        compute_regret=spec.compute_regret,
+        name=f"{spec.name}-halving",
+    )
+
+
+def run_successive_halving(
+    spec: SweepSpec,
+    campaign_dir: str | Path,
+    *,
+    scheduler: SuccessiveHalvingScheduler | None = None,
+    num_rungs: int = 3,
+    min_rounds: int = 25,
+    backend: str | None = None,
+    store: str | None = None,
+    max_workers: int | None = None,
+    progress=None,
+) -> HalvingResult:
+    """Run ``spec``'s grid as a successive-halving tournament.
+
+    Rung ``r`` runs every surviving arm for ``min_rounds * eta**r`` rounds
+    (all seed replicates), then the scheduler early-stops the dominated
+    fraction.  Any execution/store backend works — each arm rung is a
+    plain :func:`~repro.orchestration.executor.run_campaign` under
+    ``<campaign_dir>/rungs/<r>/<arm>`` and resumes like one.
+
+    Returns the per-rung ranking trail and the winning arm at the final
+    rung's budget.
+    """
+    if num_rungs < 1:
+        raise ValueError(f"num_rungs must be >= 1, got {num_rungs}")
+    if min_rounds < 1:
+        raise ValueError(f"min_rounds must be >= 1, got {min_rounds}")
+    scheduler = scheduler or SuccessiveHalvingScheduler()
+    campaign_dir = Path(campaign_dir)
+    arms = _arms_of(spec)
+    rungs: list[HalvingRung] = []
+    total_cells = 0
+
+    for rung_index in range(num_rungs):
+        num_rounds = min_rounds * scheduler.eta**rung_index
+        scores = []
+        for arm in arms:
+            mechanism, scenario, params = arm
+            arm_label = ArmScore(mechanism, scenario, params, 0.0, 0).label
+            arm_dir = campaign_dir / "rungs" / str(rung_index) / arm_label
+            summary = run_campaign(
+                _arm_spec(spec, arm, num_rounds),
+                arm_dir,
+                backend=backend,
+                store=store,
+                max_workers=max_workers,
+                progress=progress,
+            )
+            total_cells += summary.executed
+            score, cells = scheduler.score_arm(arm_dir)
+            scores.append(ArmScore(mechanism, scenario, params, score, cells))
+        ranked = scheduler.rank(scores)
+        keep = scheduler.survivors(ranked)
+        rungs.append(
+            HalvingRung(
+                index=rung_index,
+                num_rounds=num_rounds,
+                scores=tuple(ranked),
+                survivors=tuple(arm.label for arm in keep),
+            )
+        )
+        _LOGGER.info(
+            "rung %d (%d rounds): %d arms -> %d survive",
+            rung_index, num_rounds, len(ranked), len(keep),
+        )
+        # A single survivor still runs every remaining rung, so the
+        # winner's score is always measured at the final-rung budget.
+        kept_labels = {arm.label for arm in keep}
+        arms = [
+            arm
+            for arm in arms
+            if ArmScore(arm[0], arm[1], arm[2], 0.0, 0).label in kept_labels
+        ]
+
+    winner = rungs[-1].scores[0]
+    return HalvingResult(
+        rungs=tuple(rungs),
+        winner=winner,
+        metric=scheduler.metric,
+        total_cells=total_cells,
+    )

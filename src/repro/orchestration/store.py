@@ -1,18 +1,31 @@
-"""Durable campaign results: SQLite index + JSONL artifact trail.
+"""Durable campaign results behind one pluggable ``StoreBackend`` seam.
 
 A campaign directory is self-contained::
 
     campaign/
       sweep.json        — the SweepSpec that generated the grid
-      campaign.db       — SQLite: one row per cell (metrics, status, timing)
+      campaign.db       — SQLite backend: one row per cell (the default)
       results.jsonl     — append-only mirror of every recorded outcome
+      results.npz       — columnar backend (chosen with ``store="columnar"``)
+      events.jsonl      — streaming progress trail (repro.orchestration.events)
       cells/<cell_id>/  — per-cell artifacts (config.json, event_log.json)
 
-The SQLite table is the queryable index the aggregation layer reads and the
-checkpoint the executor resumes from (:meth:`ResultStore.completed_ids`);
-the JSONL mirror is the greppable, machine-independent audit trail.  Only
-the campaign's parent process writes — workers return their rows — so no
-cross-process locking is needed.
+:class:`ResultStore` is the façade every caller sees: it speaks
+record/completed_ids/results/counts and delegates to a
+:class:`StoreBackend`.  Two backends ship:
+
+* :class:`SqliteJsonlBackend` (default) — a queryable SQLite index the
+  aggregation layer reads plus a greppable JSONL audit trail; the right
+  tool up to ~100k cells.
+* :class:`~repro.orchestration.columnar.ColumnarStoreBackend` — one
+  compressed NPZ of parallel columns, for million-cell campaigns where
+  per-row SQL and a JSONL mirror are pure overhead.
+
+On resume the backend is *sniffed* from the files already in the
+directory (:func:`detect_store_backend`), so ``repro.cli resume`` and
+``report`` never need to be told how a campaign was stored.  Only one
+process writes the store — queue workers return their rows through the
+work queue's ack files — so no cross-process locking is needed.
 """
 
 from __future__ import annotations
@@ -25,7 +38,16 @@ from typing import Any
 
 from repro.utils.serialization import to_jsonable
 
-__all__ = ["CellResult", "ResultStore"]
+__all__ = [
+    "CellResult",
+    "StoreBackend",
+    "SqliteJsonlBackend",
+    "ResultStore",
+    "STORE_BACKENDS",
+    "detect_store_backend",
+]
+
+STORE_BACKENDS = ("sqlite", "columnar")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS cells (
@@ -68,16 +90,73 @@ class CellResult:
         return self.status == "completed"
 
 
-class ResultStore:
-    """Per-campaign persistent result index (context manager).
+def resolve_event_log_path(campaign_dir: Path, log_path: str | None) -> str | None:
+    """Make a stored artifact path absolute.
 
-    Parameters
-    ----------
-    campaign_dir:
-        Directory holding ``campaign.db`` and ``results.jsonl`` (created on
-        first use).
+    Relative paths are campaign-dir-relative (the executor stores them that
+    way so campaigns stay movable across cwds and machines).
+    """
+    if log_path is None or Path(log_path).is_absolute():
+        return log_path
+    return str(campaign_dir / log_path)
+
+
+class StoreBackend:
+    """Storage seam of a campaign's per-cell results.
+
+    One backend instance serves one campaign directory.  The contract is
+    deliberately small — exactly what the executor and the reporting layer
+    consume:
+
+    * :meth:`record` — idempotent upsert of one cell outcome (re-recording
+      the same cell bumps its attempt counter);
+    * :meth:`completed_ids` — the resume checkpoint;
+    * :meth:`results` — every recorded cell, ordered by cell id, with
+      artifact paths resolved to absolute form;
+    * :meth:`counts` — recorded cells per status;
+    * :meth:`close` — release file handles (idempotent).
+
+    Implementations must make each :meth:`record` durable before returning
+    — kill-at-any-point resume is part of the contract, and the
+    equivalence suite kills campaigns mid-flight on every backend.
     """
 
+    name: str = "abstract"
+
+    def record(
+        self,
+        cell: Any,
+        *,
+        status: str,
+        metrics: dict[str, Any] | None,
+        error: str | None,
+        duration_seconds: float,
+        event_log_path: str | None,
+    ) -> None:
+        raise NotImplementedError
+
+    def completed_ids(self) -> set[str]:
+        raise NotImplementedError
+
+    def results(self, *, status: str | None = None) -> list[CellResult]:
+        raise NotImplementedError
+
+    def counts(self) -> dict[str, int]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class SqliteJsonlBackend(StoreBackend):
+    """SQLite index plus append-only JSONL mirror (the default backend).
+
+    The SQLite table is the queryable index the aggregation layer reads
+    and the checkpoint the executor resumes from; the JSONL mirror is the
+    greppable, machine-independent audit trail.
+    """
+
+    name = "sqlite"
     DB_NAME = "campaign.db"
     JSONL_NAME = "results.jsonl"
 
@@ -88,25 +167,14 @@ class ResultStore:
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
 
-    # -- lifecycle ---------------------------------------------------------
-
     def close(self) -> None:
-        """Close the underlying connection (idempotent)."""
         if self._conn is not None:
             self._conn.close()
             self._conn = None
 
-    def __enter__(self) -> "ResultStore":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
-
-    # -- writes ------------------------------------------------------------
-
-    def _record(
+    def record(
         self,
-        cell: "Any",
+        cell: Any,
         *,
         status: str,
         metrics: dict[str, Any] | None,
@@ -159,48 +227,13 @@ class ResultStore:
         with open(self.campaign_dir / self.JSONL_NAME, "a") as handle:
             handle.write(json.dumps(entry, sort_keys=True) + "\n")
 
-    def record_success(
-        self,
-        cell: "Any",
-        metrics: dict[str, Any],
-        *,
-        duration_seconds: float = 0.0,
-        event_log_path: str | None = None,
-    ) -> None:
-        """Record a completed cell (idempotent upsert; bumps ``attempts``)."""
-        self._record(
-            cell,
-            status="completed",
-            metrics=metrics,
-            error=None,
-            duration_seconds=duration_seconds,
-            event_log_path=event_log_path,
-        )
-
-    def record_failure(
-        self, cell: "Any", error: str, *, duration_seconds: float = 0.0
-    ) -> None:
-        """Record a crashed cell with its traceback; the campaign goes on."""
-        self._record(
-            cell,
-            status="failed",
-            metrics=None,
-            error=error,
-            duration_seconds=duration_seconds,
-            event_log_path=None,
-        )
-
-    # -- reads -------------------------------------------------------------
-
     def completed_ids(self) -> set[str]:
-        """Cell ids already finished — the resume checkpoint."""
         rows = self._conn.execute(
             "SELECT cell_id FROM cells WHERE status = 'completed'"
         ).fetchall()
         return {row[0] for row in rows}
 
     def results(self, *, status: str | None = None) -> list[CellResult]:
-        """All recorded cells (optionally filtered), ordered by cell id."""
         query = (
             "SELECT cell_id, mechanism, scenario, seed, params, status, metrics,"
             " error, duration_seconds, attempts, event_log_path FROM cells"
@@ -210,14 +243,6 @@ class ResultStore:
             query += " WHERE status = ?"
             args = (status,)
         query += " ORDER BY cell_id"
-
-        def resolve(log_path: str | None) -> str | None:
-            # Relative artifact paths are campaign-dir-relative (the
-            # executor stores them that way so campaigns stay movable).
-            if log_path is None or Path(log_path).is_absolute():
-                return log_path
-            return str(self.campaign_dir / log_path)
-
         return [
             CellResult(
                 cell_id=row[0],
@@ -230,10 +255,151 @@ class ResultStore:
                 error=row[7],
                 duration_seconds=float(row[8]),
                 attempts=int(row[9]),
-                event_log_path=resolve(row[10]),
+                event_log_path=resolve_event_log_path(self.campaign_dir, row[10]),
             )
             for row in self._conn.execute(query, args).fetchall()
         ]
+
+    def counts(self) -> dict[str, int]:
+        rows = self._conn.execute(
+            "SELECT status, COUNT(*) FROM cells GROUP BY status"
+        ).fetchall()
+        return {row[0]: int(row[1]) for row in rows}
+
+
+def detect_store_backend(campaign_dir: str | Path) -> str | None:
+    """Which store backend's files live in a campaign directory, if any.
+
+    This is how resume/report/watch pick the right backend without being
+    told: a ``campaign.db`` marks SQLite, a ``results.npz`` marks the
+    columnar store.  ``None`` means no store has recorded anything yet.
+    """
+    from repro.orchestration.columnar import ColumnarStoreBackend
+
+    campaign_dir = Path(campaign_dir)
+    if (campaign_dir / SqliteJsonlBackend.DB_NAME).exists():
+        return "sqlite"
+    if (campaign_dir / ColumnarStoreBackend.NPZ_NAME).exists():
+        return "columnar"
+    return None
+
+
+def build_store_backend(campaign_dir: str | Path, name: str) -> StoreBackend:
+    """Construct a named backend over a campaign directory."""
+    if name == "sqlite":
+        return SqliteJsonlBackend(campaign_dir)
+    if name == "columnar":
+        from repro.orchestration.columnar import ColumnarStoreBackend
+
+        return ColumnarStoreBackend(campaign_dir)
+    raise ValueError(
+        f"unknown store backend {name!r}; choose from {', '.join(STORE_BACKENDS)}"
+    )
+
+
+class ResultStore:
+    """Per-campaign persistent result index (context manager).
+
+    Parameters
+    ----------
+    campaign_dir:
+        Directory holding the store files (created on first use).
+    backend:
+        ``"sqlite"`` (default for new campaigns), ``"columnar"``, a
+        ready-made :class:`StoreBackend` instance, or ``None`` to sniff
+        the backend from the files already present
+        (:func:`detect_store_backend`) — the resume path's behaviour, so
+        a campaign is always reopened with the store that wrote it.
+    """
+
+    # Kept for callers that check for a campaign's store files directly.
+    DB_NAME = SqliteJsonlBackend.DB_NAME
+    JSONL_NAME = SqliteJsonlBackend.JSONL_NAME
+
+    def __init__(
+        self,
+        campaign_dir: str | Path,
+        *,
+        backend: str | StoreBackend | None = None,
+    ) -> None:
+        self.campaign_dir = Path(campaign_dir)
+        self.campaign_dir.mkdir(parents=True, exist_ok=True)
+        if isinstance(backend, StoreBackend):
+            self._backend = backend
+        else:
+            existing = detect_store_backend(self.campaign_dir)
+            if backend is None:
+                backend = existing or "sqlite"
+            elif existing is not None and existing != backend:
+                # Building a second, empty store next to the existing one
+                # would fork the campaign's results: writes land in the
+                # new store while resume/report keep reading the old.
+                raise ValueError(
+                    f"{self.campaign_dir} already holds a {existing!r} "
+                    f"result store; it cannot be reopened as {backend!r} — "
+                    f"use a new directory"
+                )
+            self._backend = build_store_backend(self.campaign_dir, backend)
+
+    @property
+    def backend(self) -> StoreBackend:
+        """The live storage backend (exposes its ``name``)."""
+        return self._backend
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying backend (idempotent)."""
+        self._backend.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- writes ------------------------------------------------------------
+
+    def record_success(
+        self,
+        cell: Any,
+        metrics: dict[str, Any],
+        *,
+        duration_seconds: float = 0.0,
+        event_log_path: str | None = None,
+    ) -> None:
+        """Record a completed cell (idempotent upsert; bumps ``attempts``)."""
+        self._backend.record(
+            cell,
+            status="completed",
+            metrics=metrics,
+            error=None,
+            duration_seconds=duration_seconds,
+            event_log_path=event_log_path,
+        )
+
+    def record_failure(
+        self, cell: Any, error: str, *, duration_seconds: float = 0.0
+    ) -> None:
+        """Record a crashed cell with its traceback; the campaign goes on."""
+        self._backend.record(
+            cell,
+            status="failed",
+            metrics=None,
+            error=error,
+            duration_seconds=duration_seconds,
+            event_log_path=None,
+        )
+
+    # -- reads -------------------------------------------------------------
+
+    def completed_ids(self) -> set[str]:
+        """Cell ids already finished — the resume checkpoint."""
+        return self._backend.completed_ids()
+
+    def results(self, *, status: str | None = None) -> list[CellResult]:
+        """All recorded cells (optionally filtered), ordered by cell id."""
+        return self._backend.results(status=status)
 
     def get(self, cell_id: str) -> CellResult | None:
         """One cell's recorded outcome, or None if never recorded."""
@@ -244,7 +410,4 @@ class ResultStore:
 
     def counts(self) -> dict[str, int]:
         """Recorded cells per status."""
-        rows = self._conn.execute(
-            "SELECT status, COUNT(*) FROM cells GROUP BY status"
-        ).fetchall()
-        return {row[0]: int(row[1]) for row in rows}
+        return self._backend.counts()

@@ -30,6 +30,7 @@ from repro.analysis.fairness import jain_index, participation_rates
 from repro.analysis.welfare import welfare_summary
 from repro.config import ExperimentConfig
 from repro.mechanisms.registry import build_mechanism
+from repro.orchestration.events import EventWriter, metric_snapshot
 from repro.rng import RngTree
 from repro.simulation.events import EventLog
 from repro.simulation.replay import save_event_log
@@ -51,7 +52,9 @@ def build_scenario(config: ExperimentConfig) -> Scenario:
     ``config.extras['fl']`` selects the FL substrate; the
     ``energy_constrained`` field battery-gates the population.  Both flags
     are folded in by :meth:`~repro.orchestration.sweep.SweepSpec.expand`,
-    so CLI single runs and sweep cells resolve scenarios identically.
+    so CLI single runs and sweep cells resolve scenarios identically.  The
+    ``staleness_boost`` extra passes through to the FL scenario builder
+    (the coverage signal the E10 non-IID ablation sweeps).
     """
     if bool(config.extras.get("fl", False)):
         return build_fl_scenario(
@@ -65,6 +68,7 @@ def build_scenario(config: ExperimentConfig) -> Scenario:
             learning_rate=config.learning_rate,
             eval_every=config.eval_every,
             energy_constrained=config.energy_constrained,
+            staleness_boost=float(config.extras.get("staleness_boost", 0.0)),
         )
     return build_mechanism_scenario(
         config.num_clients,
@@ -179,36 +183,60 @@ def execute_config(
 
 
 def run_cell(payload: dict[str, Any]) -> dict[str, Any]:
-    """Pool entry point: run one cell, never raise.
+    """Worker entry point (every execution backend): run one cell, never raise.
 
-    ``payload`` is ``{"cell": CellSpec.to_dict(), "cell_dir": str | None}``.
-    Returns ``{"cell_id", "status", "metrics" | "error", "duration_seconds",
-    "event_log_path"}`` — a crashed cell reports ``status="failed"`` with
-    its formatted traceback instead of killing the campaign.
+    ``payload`` is ``{"cell": CellSpec.to_dict(), "cell_dir": str | None,
+    "events_path": str | None}``.  Returns ``{"cell_id", "status",
+    "metrics" | "error", "duration_seconds", "event_log_path"}`` — a
+    crashed cell reports ``status="failed"`` with its formatted traceback
+    instead of killing the campaign.
+
+    When ``events_path`` is present the run is narrated onto the campaign
+    event trail: ``cell_started`` at entry, then ``cell_finished`` (with
+    the scalar metric snapshot) or ``cell_failed`` — this is what ``repro
+    .cli watch`` dashboards and the successive-halving scheduler consume.
     """
     from repro.orchestration.sweep import CellSpec
 
     started = time.perf_counter()
     cell_dir = Path(payload["cell_dir"]) if payload.get("cell_dir") else None
+    events = EventWriter(payload.get("events_path"))
+    cell_id = str(payload.get("cell", {}).get("cell_id", "?"))
+    events.emit("cell_started", cell_id=cell_id)
     try:
         cell = CellSpec.from_dict(payload["cell"])
         metrics = execute_config(
             cell.config, cell_dir, compute_regret=cell.compute_regret
         )
+        duration = time.perf_counter() - started
+        events.emit(
+            "cell_finished",
+            cell_id=cell.cell_id,
+            duration_seconds=duration,
+            metrics=metric_snapshot(metrics),
+        )
         return {
             "cell_id": cell.cell_id,
             "status": "completed",
             "metrics": metrics,
-            "duration_seconds": time.perf_counter() - started,
+            "duration_seconds": duration,
             "event_log_path": (
                 str(cell_dir / EVENT_LOG_NAME) if cell_dir is not None else None
             ),
         }
     except Exception:
+        duration = time.perf_counter() - started
+        error = traceback.format_exc()
+        events.emit(
+            "cell_failed",
+            cell_id=cell_id,
+            duration_seconds=duration,
+            error=error.strip().splitlines()[-1],
+        )
         return {
-            "cell_id": str(payload.get("cell", {}).get("cell_id", "?")),
+            "cell_id": cell_id,
             "status": "failed",
-            "error": traceback.format_exc(),
-            "duration_seconds": time.perf_counter() - started,
+            "error": error,
+            "duration_seconds": duration,
             "event_log_path": None,
         }

@@ -168,8 +168,34 @@ class TestVectorizedEquivalence:
             VectorizedLocalSolver().train(build(), params),
         )
 
-    def test_fedprox_mix_routes_overriders_through_scalar(self):
-        """Honest softmax clients stack; FedProx (overridden train) cannot."""
+    @pytest.mark.parametrize("kind", ["softmax", "mlp"])
+    def test_fedprox_batched_matches_scalar(self, kind):
+        """FedProx stacks: its proximal pull is one elementwise row op.
+
+        Pins the batched engine to the scalar reference for a pure
+        FedProx federation with *heterogeneous* per-client mu (the pull
+        is carried as a coefficient vector, like L2).
+        """
+
+        def build():
+            return build_clients(
+                kind,
+                lambda i: (lambda: SGD(0.1 + 0.01 * i)),
+                client_cls=FedProxClient,
+                proximal_mu=0.25,
+            )
+
+        assert all(client.supports_stacking for client in build())
+        for i, client in enumerate(build()):
+            assert client.proximal_mu == 0.25
+        params = make_model(kind, 0).get_params()
+        assert_batches_equal(
+            SequentialLocalSolver().train(build(), params),
+            VectorizedLocalSolver().train(build(), params),
+        )
+
+    def test_fedprox_mixes_with_plain_fedavg_in_one_stack(self):
+        """Proximal and plain clients share one stacked group (mu=0 rows)."""
 
         def build():
             clients = build_clients(
@@ -187,12 +213,19 @@ class TestVectorizedEquivalence:
                 client.client_id = 100 + i
             return clients + prox
 
-        assert not build()[-1].supports_stacking
+        clients = build()
+        assert all(client.supports_stacking for client in clients)
         params = make_model("softmax", 0).get_params()
-        assert_batches_equal(
-            SequentialLocalSolver().train(build(), params),
-            VectorizedLocalSolver().train(build(), params),
-        )
+        sequential = SequentialLocalSolver().train(build(), params)
+        vectorized = VectorizedLocalSolver().train(build(), params)
+        assert_batches_equal(sequential, vectorized)
+        # The proximal pull must actually bite: FedProx deltas differ from
+        # what the same shards produce under plain FedAvg.
+        plain = build()
+        for client in plain[6:]:
+            client.proximal_mu = 0.0
+        unproxed = SequentialLocalSolver().train(plain, params)
+        assert not np.allclose(vectorized.deltas[6:], unproxed.deltas[6:])
 
     def test_min_group_forces_scalar(self):
         factory = lambda i: (lambda: SGD(0.2))  # noqa: E731

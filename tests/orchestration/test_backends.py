@@ -1,0 +1,312 @@
+"""Backend-equivalence suite: every execution backend, both stores.
+
+The execution backend and the result store are pure plumbing: the same
+sweep must produce bit-identical per-cell metrics and identical
+``completed_ids`` whether the cells ran inline, in a thread pool, in a
+process pool, or through the durable work queue — and whether the results
+landed in SQLite or in the columnar NPZ — including after a mid-campaign
+kill+resume, and with several independent drainers sharing one queue.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.orchestration import (
+    EXECUTION_BACKENDS,
+    STORE_BACKENDS,
+    ResultStore,
+    SweepSpec,
+    WorkQueue,
+    drain_queue,
+    load_results,
+    read_events,
+    resolve_backend,
+    resume_campaign,
+    run_campaign,
+)
+from repro.orchestration.backends import (
+    InlineBackend,
+    ProcessBackend,
+    ThreadBackend,
+    WorkQueueBackend,
+)
+from repro.orchestration.events import EVENTS_NAME
+from repro.orchestration.executor import CELLS_DIR_NAME
+
+TIMING_KEYS = ("sim_seconds", "rounds_per_second")
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        base=ExperimentConfig(
+            num_clients=6, num_rounds=8, max_winners=2, budget_per_round=2.0, v=10.0
+        ),
+        mechanisms=("lt-vcg", "prop-share"),
+        scenarios=("mechanism",),
+        seeds=(0, 1),
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def stable_metrics(results):
+    return {
+        r.cell_id: {k: v for k, v in r.metrics.items() if k not in TIMING_KEYS}
+        for r in results
+        if r.completed
+    }
+
+
+class TestBackendResolution:
+    def test_names_resolve(self, tmp_path):
+        expected = {
+            "inline": InlineBackend,
+            "thread": ThreadBackend,
+            "process": ProcessBackend,
+            "work-queue": WorkQueueBackend,
+        }
+        assert set(expected) == set(EXECUTION_BACKENDS)
+        for name, cls in expected.items():
+            backend = resolve_backend(name, campaign_dir=tmp_path, max_workers=2)
+            assert type(backend) is cls
+            assert backend.name == name
+
+    def test_default_keeps_historical_behaviour(self, tmp_path):
+        assert isinstance(
+            resolve_backend(None, campaign_dir=tmp_path, max_workers=0),
+            InlineBackend,
+        )
+        assert isinstance(
+            resolve_backend(None, campaign_dir=tmp_path, max_workers=2),
+            ProcessBackend,
+        )
+
+    def test_instance_passes_through(self, tmp_path):
+        backend = InlineBackend()
+        assert resolve_backend(backend, campaign_dir=tmp_path) is backend
+
+    def test_unknown_name(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            resolve_backend("carrier-pigeon", campaign_dir=tmp_path)
+
+    def test_capabilities(self, tmp_path):
+        assert not InlineBackend.capabilities.parallel
+        assert ThreadBackend.capabilities.parallel
+        assert ProcessBackend.capabilities.parallel
+        queue_caps = WorkQueueBackend.capabilities
+        assert queue_caps.parallel and queue_caps.distributed
+        assert queue_caps.durable_dispatch
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("store", STORE_BACKENDS)
+    @pytest.mark.parametrize("backend", EXECUTION_BACKENDS)
+    def test_all_backends_and_stores_agree(self, tmp_path, backend, store):
+        """The acceptance matrix: 4 backends x 2 stores, one reference."""
+        spec = small_spec()
+        reference_dir = tmp_path / "reference"
+        run_campaign(spec, reference_dir, backend="inline", store="sqlite")
+        reference = load_results(reference_dir)
+
+        target_dir = tmp_path / f"{backend}-{store}"
+        summary = run_campaign(
+            spec, target_dir, backend=backend, store=store, max_workers=2
+        )
+        assert summary.failed == 0
+        results = load_results(target_dir)
+        assert stable_metrics(results) == stable_metrics(reference)
+        with ResultStore(target_dir) as target_store:
+            with ResultStore(reference_dir) as reference_store:
+                assert (
+                    target_store.completed_ids()
+                    == reference_store.completed_ids()
+                )
+
+    def test_stores_return_identical_rows(self, tmp_path):
+        """Beyond metrics: params, status, attempts, artifact paths agree."""
+        spec = small_spec(seeds=(3,))
+        run_campaign(spec, tmp_path / "a", backend="inline", store="sqlite")
+        run_campaign(spec, tmp_path / "b", backend="inline", store="columnar")
+        rows_a = load_results(tmp_path / "a")
+        rows_b = load_results(tmp_path / "b")
+        assert len(rows_a) == len(rows_b) == 2
+        for a, b in zip(rows_a, rows_b):
+            assert a.cell_id == b.cell_id
+            assert a.params == b.params
+            assert a.status == b.status
+            assert a.attempts == b.attempts
+            assert stable_metrics([a]) == stable_metrics([b])
+            # Paths resolve into each store's own campaign dir.
+            assert a.event_log_path.endswith(
+                f"{CELLS_DIR_NAME}/{a.cell_id}/event_log.json"
+            )
+            assert b.event_log_path.endswith(
+                f"{CELLS_DIR_NAME}/{b.cell_id}/event_log.json"
+            )
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("store", STORE_BACKENDS)
+    def test_interrupt_then_resume_matches_uninterrupted(self, tmp_path, store):
+        spec = small_spec()  # 4 cells
+        camp = tmp_path / "camp"
+
+        def kill_after_two(outcome, done, total):
+            if done == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                spec, camp, backend="inline", store=store, progress=kill_after_two
+            )
+
+        with ResultStore(camp) as result_store:
+            assert result_store.backend.name == store
+            assert len(result_store.completed_ids()) == 2
+
+        # Resume sniffs the store backend from the directory alone.
+        summary = resume_campaign(camp, backend="inline")
+        assert summary.skipped == 2
+        assert summary.executed == 2
+        run_campaign(spec, tmp_path / "fresh", backend="inline", store=store)
+        assert stable_metrics(load_results(camp)) == stable_metrics(
+            load_results(tmp_path / "fresh")
+        )
+
+    def test_work_queue_interrupt_then_resume(self, tmp_path):
+        """Killing the coordinator mid-drain loses no completed cells."""
+        spec = small_spec()
+        camp = tmp_path / "camp"
+
+        def kill_after_one(outcome, done, total):
+            if done == 1:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                spec, camp, backend="work-queue", max_workers=1,
+                progress=kill_after_one,
+            )
+
+        # In-flight/acked-but-unrecorded outcomes are ingested on resume:
+        # the queue's done/ files survive the coordinator.
+        summary = resume_campaign(camp, backend="work-queue", max_workers=1)
+        assert summary.failed == 0
+        results = load_results(camp)
+        assert len(stable_metrics(results)) == 4
+        run_campaign(spec, tmp_path / "fresh", backend="inline")
+        assert stable_metrics(results) == stable_metrics(
+            load_results(tmp_path / "fresh")
+        )
+
+
+def _drain(campaign_dir: str, worker: str) -> None:
+    drain_queue(campaign_dir, worker=worker, idle_timeout=20.0)
+
+
+class TestWorkQueueSharing:
+    def test_two_external_drainers_no_duplicated_or_lost_cells(self, tmp_path):
+        """Two `repro.cli work`-style drainers share one campaign."""
+        spec = small_spec(
+            mechanisms=("lt-vcg", "prop-share", "greedy-first-price", "random")
+        )  # 8 cells
+        camp = tmp_path / "camp"
+        context = multiprocessing.get_context()
+        workers = [
+            context.Process(target=_drain, args=(str(camp), f"external-{i}"))
+            for i in range(2)
+        ]
+        for process in workers:
+            process.start()
+        try:
+            # num_workers=0: the coordinator only enqueues and collects —
+            # the external drainers do all the work.
+            summary = run_campaign(
+                spec, camp, backend="work-queue", max_workers=0
+            )
+        finally:
+            for process in workers:
+                process.join(timeout=30)
+                assert process.exitcode == 0
+        assert summary.failed == 0
+        assert summary.executed == 8
+
+        # Every cell ran exactly once, and nothing was lost.
+        events = read_events(camp / EVENTS_NAME)
+        finished = [e.cell_id for e in events if e.type == "cell_finished"]
+        assert sorted(finished) == sorted(c.cell_id for c in spec.expand())
+        assert len(set(finished)) == len(finished)
+
+        # And the results match a plain inline run.
+        run_campaign(spec, tmp_path / "fresh", backend="inline")
+        assert stable_metrics(load_results(camp)) == stable_metrics(
+            load_results(tmp_path / "fresh")
+        )
+
+    def test_lease_reclaim_recovers_a_crashed_worker(self, tmp_path):
+        spec = small_spec(mechanisms=("lt-vcg",), seeds=(0,))
+        camp = tmp_path / "camp"
+        queue = WorkQueue(camp, lease_seconds=0.2)
+        (cell,) = spec.expand()
+        payload = {
+            "cell": cell.to_dict(),
+            "cell_dir": str(camp / CELLS_DIR_NAME / cell.cell_id),
+            "events_path": None,
+        }
+        assert queue.enqueue([payload]) == 1
+        # Worker A claims and "crashes" (never acks).
+        assert queue.claim("doomed") is not None
+        assert queue.claim("other") is None  # nothing else to claim
+        assert queue.counts() == {"pending": 0, "leased": 1, "done": 0}
+
+        time.sleep(0.25)
+        assert queue.reclaim_expired() == 1
+        assert queue.counts()["pending"] == 1
+
+        executed = drain_queue(camp, worker="rescuer", lease_seconds=5.0)
+        assert executed == 1
+        assert queue.counts() == {"pending": 0, "leased": 0, "done": 1}
+        (outcome,) = queue.pop_outcomes()
+        assert outcome["status"] == "completed"
+        assert queue.counts()["done"] == 0
+
+    def test_fresh_run_purges_stale_acked_outcomes(self, tmp_path):
+        # --fresh promises every cell re-executes; a stale outcome left
+        # in queue/done/ by a killed coordinator must not be replayed.
+        spec = small_spec(mechanisms=("lt-vcg",), seeds=(0,))
+        camp = tmp_path / "camp"
+        run_campaign(spec, camp, backend="work-queue", max_workers=1)
+        (cell,) = spec.expand()
+        # Simulate a stale ack surviving from an interrupted run.
+        WorkQueue(camp).ack(
+            cell.cell_id,
+            {
+                "cell_id": cell.cell_id,
+                "status": "completed",
+                "metrics": {"rounds": -1},
+                "duration_seconds": 0.0,
+                "event_log_path": None,
+            },
+        )
+        summary = run_campaign(
+            spec, camp, backend="work-queue", max_workers=1, resume=False
+        )
+        assert summary.executed == 1 and summary.failed == 0
+        (result,) = load_results(camp)
+        assert result.metrics["rounds"] == 8  # re-executed, not replayed
+        assert result.attempts == 2
+
+    def test_enqueue_is_idempotent(self, tmp_path):
+        spec = small_spec(mechanisms=("lt-vcg",), seeds=(0,))
+        queue = WorkQueue(tmp_path / "camp")
+        (cell,) = spec.expand()
+        payload = {"cell": cell.to_dict(), "cell_dir": None, "events_path": None}
+        assert queue.enqueue([payload]) == 1
+        assert queue.enqueue([payload]) == 0  # pending
+        assert queue.claim("w") is not None
+        assert queue.enqueue([payload]) == 0  # leased
+        queue.ack(cell.cell_id, {"cell_id": cell.cell_id, "status": "completed"})
+        assert queue.enqueue([payload]) == 0  # done

@@ -86,13 +86,45 @@ class TestFailureCapture:
         for result in failed:
             assert "price" in result.error  # the captured traceback
 
-    def test_failed_cells_retry_on_resume(self, tmp_path):
+    def test_failed_cells_skip_by_default_and_requeue_with_retry_failed(
+        self, tmp_path
+    ):
+        # A deterministic cell that crashed once will crash again, so a
+        # plain resume skips it (visibly: the summary reports how many)
+        # and only --retry-failed re-queues it.
         spec = small_spec(
             mechanisms=("fixed-price",), seeds=(0,), params={"price": (-1.0,)}
         )
         run_campaign(spec, tmp_path / "camp", max_workers=0)
+
         summary = run_campaign(spec, tmp_path / "camp", max_workers=0)
-        assert summary.skipped == 0  # failed cells are not checkpointed
+        assert summary.skipped == 1
+        assert summary.skipped_failed == 1
+        assert summary.executed == 0
+        (result,) = load_results(tmp_path / "camp")
+        assert result.attempts == 1
+
+        retried = run_campaign(
+            spec, tmp_path / "camp", max_workers=0, retry_failed=True
+        )
+        assert retried.skipped == 0
+        assert retried.skipped_failed == 0
+        assert retried.executed == 1
+        assert retried.failed == 1
+        (result,) = load_results(tmp_path / "camp")
+        assert result.attempts == 2
+
+    def test_resume_campaign_retry_failed_flag(self, tmp_path):
+        spec = small_spec(
+            mechanisms=("fixed-price",), seeds=(0,), params={"price": (-1.0,)}
+        )
+        run_campaign(spec, tmp_path / "camp", max_workers=0)
+        plain = resume_campaign(tmp_path / "camp", max_workers=0)
+        assert plain.executed == 0 and plain.skipped_failed == 1
+        retried = resume_campaign(
+            tmp_path / "camp", max_workers=0, retry_failed=True
+        )
+        assert retried.executed == 1
         (result,) = load_results(tmp_path / "camp")
         assert result.attempts == 2
 

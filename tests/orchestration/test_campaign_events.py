@@ -1,0 +1,240 @@
+"""Tests for the campaign event bus and the successive-halving scheduler."""
+
+import json
+import threading
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.orchestration import (
+    EVENTS_NAME,
+    CampaignEvent,
+    EventWriter,
+    SuccessiveHalvingScheduler,
+    SweepSpec,
+    follow_events,
+    read_events,
+    run_campaign,
+    run_successive_halving,
+)
+from repro.orchestration.events import metric_snapshot
+from repro.orchestration.scheduler import ArmScore
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        base=ExperimentConfig(
+            num_clients=6, num_rounds=8, max_winners=2, budget_per_round=2.0, v=10.0
+        ),
+        mechanisms=("lt-vcg", "random"),
+        scenarios=("mechanism",),
+        seeds=(0, 1),
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+class TestEventTrail:
+    def test_writer_reader_round_trip(self, tmp_path):
+        path = tmp_path / EVENTS_NAME
+        writer = EventWriter(path, worker="tester")
+        writer.emit("cell_started", cell_id="a")
+        writer.emit("cell_finished", cell_id="a", duration_seconds=0.5,
+                    metrics={"total_welfare": 1.25})
+        events = read_events(path)
+        assert [e.type for e in events] == ["cell_started", "cell_finished"]
+        assert events[0].cell_id == "a"
+        assert events[0].worker == "tester"
+        assert events[1].data["metrics"]["total_welfare"] == 1.25
+        assert events[0].timestamp <= events[1].timestamp
+
+    def test_disabled_writer_is_a_noop(self, tmp_path):
+        writer = EventWriter(None)
+        writer.emit("cell_started", cell_id="a")  # must not raise
+        assert read_events(tmp_path / EVENTS_NAME) == []
+
+    def test_torn_lines_are_skipped(self, tmp_path):
+        path = tmp_path / EVENTS_NAME
+        EventWriter(path).emit("cell_started", cell_id="a")
+        with open(path, "a") as handle:
+            handle.write('{"type": "cell_fin')  # a torn append
+        (event,) = read_events(path)
+        assert event.type == "cell_started"
+
+    def test_metric_snapshot_drops_series(self):
+        metrics = {
+            "total_welfare": 4.2,
+            "rounds": 8,
+            "budget_compliant": True,
+            "mechanism": "lt-vcg",
+            "per_round_regret": [0.1, 0.2],
+        }
+        snapshot = metric_snapshot(metrics)
+        assert "per_round_regret" not in snapshot
+        assert snapshot["total_welfare"] == 4.2
+        assert snapshot["rounds"] == 8
+        assert snapshot["budget_compliant"] is True
+
+    def test_event_dict_round_trip(self):
+        event = CampaignEvent(
+            type="cell_finished", timestamp=12.5, cell_id="x",
+            worker="w", data={"duration_seconds": 1.0},
+        )
+        assert CampaignEvent.from_dict(
+            json.loads(json.dumps(event.to_dict()))
+        ) == event
+
+    def test_follow_events_tails_appends(self, tmp_path):
+        path = tmp_path / EVENTS_NAME
+        stop = threading.Event()
+        seen = []
+
+        def tail():
+            for event in follow_events(path, poll_interval=0.01, stop=stop):
+                seen.append(event.type)
+
+        thread = threading.Thread(target=tail)
+        thread.start()
+        writer = EventWriter(path)
+        writer.emit("campaign_started")
+        writer.emit("cell_started", cell_id="a")
+        for _ in range(200):
+            if len(seen) == 2:
+                break
+            threading.Event().wait(0.01)
+        stop.set()
+        thread.join(timeout=5)
+        assert seen == ["campaign_started", "cell_started"]
+
+
+class TestCampaignEmitsEvents:
+    def test_full_trail_shape(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path / "camp", max_workers=0)
+        events = read_events(tmp_path / "camp" / EVENTS_NAME)
+        types = [event.type for event in events]
+        assert types[0] == "campaign_started"
+        assert types[-1] == "campaign_finished"
+        assert types.count("cell_started") == 4
+        assert types.count("cell_finished") == 4
+        started = events[0]
+        assert started.data["total_cells"] == 4
+        assert started.data["backend"] == "inline"
+        assert started.data["store"] == "sqlite"
+        for event in events:
+            if event.type == "cell_finished":
+                assert event.data["metrics"]["rounds"] == 8
+                assert "total_welfare" in event.data["metrics"]
+
+    def test_failures_emit_cell_failed(self, tmp_path):
+        spec = small_spec(
+            mechanisms=("fixed-price",), seeds=(0,), params={"price": (-1.0,)}
+        )
+        run_campaign(spec, tmp_path / "camp", max_workers=0)
+        events = read_events(tmp_path / "camp" / EVENTS_NAME)
+        (failed,) = [e for e in events if e.type == "cell_failed"]
+        assert "price" in failed.data["error"]
+
+    def test_events_false_disables_the_trail(self, tmp_path):
+        run_campaign(small_spec(), tmp_path / "camp", max_workers=0, events=False)
+        assert not (tmp_path / "camp" / EVENTS_NAME).exists()
+
+
+class TestScheduler:
+    def make_arm(self, mechanism, score, cells=2):
+        return ArmScore(mechanism, "mechanism", {}, score, cells)
+
+    def test_rank_and_survivors_max_mode(self):
+        scheduler = SuccessiveHalvingScheduler(eta=2)
+        ranked = scheduler.rank(
+            [self.make_arm("a", 1.0), self.make_arm("b", 3.0),
+             self.make_arm("c", 2.0), self.make_arm("d", float("nan"))]
+        )
+        assert [arm.mechanism for arm in ranked] == ["b", "c", "a", "d"]
+        survivors = scheduler.survivors(ranked)
+        assert [arm.mechanism for arm in survivors] == ["b", "c"]
+
+    def test_min_mode(self):
+        scheduler = SuccessiveHalvingScheduler(mode="min", eta=2)
+        ranked = scheduler.rank([self.make_arm("a", 1.0), self.make_arm("b", 3.0)])
+        assert ranked[0].mechanism == "a"
+
+    def test_at_least_one_arm_survives(self):
+        scheduler = SuccessiveHalvingScheduler(eta=4)
+        assert len(scheduler.survivors([self.make_arm("a", 1.0)])) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            SuccessiveHalvingScheduler(mode="median")
+        with pytest.raises(ValueError, match="eta"):
+            SuccessiveHalvingScheduler(eta=1)
+
+    def test_score_arm_reads_cell_finished_events(self, tmp_path):
+        run_campaign(
+            small_spec(mechanisms=("lt-vcg",)), tmp_path / "camp", max_workers=0
+        )
+        scheduler = SuccessiveHalvingScheduler(metric="total_welfare")
+        score, cells = scheduler.score_arm(tmp_path / "camp")
+        assert cells == 2  # two seed replicates
+        assert score > 0
+
+    def test_missing_metric_scores_nan(self, tmp_path):
+        scheduler = SuccessiveHalvingScheduler(metric="no_such_metric")
+        score, cells = scheduler.score_arm(tmp_path)
+        assert cells == 0
+        assert score != score  # NaN
+
+    def test_score_arm_deduplicates_rerun_cells(self, tmp_path):
+        # An interrupted-then-resumed cell appends two cell_finished
+        # events; only its latest value may count, once.
+        writer = EventWriter(tmp_path / EVENTS_NAME)
+        writer.emit("cell_finished", cell_id="a", metrics={"total_welfare": 1.0})
+        writer.emit("cell_finished", cell_id="a", metrics={"total_welfare": 3.0})
+        writer.emit("cell_finished", cell_id="b", metrics={"total_welfare": 5.0})
+        scheduler = SuccessiveHalvingScheduler(metric="total_welfare")
+        score, cells = scheduler.score_arm(tmp_path)
+        assert cells == 2
+        assert score == pytest.approx(4.0)  # (3 + 5) / 2, not (1+3+5)/3
+
+
+class TestSuccessiveHalving:
+    def test_dominated_arms_stop_early_and_budget_grows(self, tmp_path):
+        spec = small_spec(
+            mechanisms=("lt-vcg", "random", "prop-share", "myopic-vcg")
+        )
+        result = run_successive_halving(
+            spec, tmp_path / "halve", num_rungs=2, min_rounds=4,
+            backend="inline",
+        )
+        assert len(result.rungs) == 2
+        rung0, rung1 = result.rungs
+        assert rung0.num_rounds == 4 and rung1.num_rounds == 8
+        assert len(rung0.scores) == 4
+        assert len(rung1.scores) == 2  # half were early-stopped
+        assert set(rung0.survivors) == {arm.label for arm in rung1.scores}
+        assert result.winner.label in rung0.survivors
+        assert result.winner.score == result.rungs[-1].scores[0].score
+        # 4 arms x 2 seeds at rung 0 + 2 arms x 2 seeds at rung 1.
+        assert result.total_cells == 12
+        # Early-stopped arms have no rung-1 campaign directory.
+        rung1_dirs = {
+            path.name for path in (tmp_path / "halve" / "rungs" / "1").iterdir()
+        }
+        assert rung1_dirs == set(rung0.survivors)
+
+    def test_single_arm_runs_every_rung(self, tmp_path):
+        result = run_successive_halving(
+            small_spec(mechanisms=("lt-vcg",)), tmp_path / "halve",
+            num_rungs=2, min_rounds=4, backend="inline",
+        )
+        assert result.total_cells == 4  # 2 seeds x 2 rungs
+        assert result.rungs[-1].num_rounds == 8
+
+    def test_resumable_mid_tournament(self, tmp_path):
+        spec = small_spec(mechanisms=("lt-vcg", "random"))
+        kwargs = dict(num_rungs=2, min_rounds=4, backend="inline")
+        first = run_successive_halving(spec, tmp_path / "halve", **kwargs)
+        # A re-run resumes every rung campaign: nothing executes again.
+        second = run_successive_halving(spec, tmp_path / "halve", **kwargs)
+        assert second.total_cells == 0
+        assert second.winner.label == first.winner.label

@@ -1,9 +1,18 @@
-"""Tests for repro.orchestration.store (SQLite + JSONL persistence)."""
+"""Tests for repro.orchestration.store (both StoreBackend implementations)."""
 
 import json
 
+import numpy as np
+import pytest
+
 from repro.config import ExperimentConfig
-from repro.orchestration.store import ResultStore
+from repro.orchestration.columnar import ColumnarStoreBackend
+from repro.orchestration.store import (
+    STORE_BACKENDS,
+    ResultStore,
+    SqliteJsonlBackend,
+    detect_store_backend,
+)
 from repro.orchestration.sweep import SweepSpec
 
 
@@ -19,10 +28,15 @@ def one_cell():
 METRICS = {"total_welfare": 12.5, "average_payment": 1.25, "rounds": 5}
 
 
+@pytest.fixture(params=STORE_BACKENDS)
+def backend_name(request):
+    return request.param
+
+
 class TestWrites:
-    def test_success_round_trip(self, tmp_path):
+    def test_success_round_trip(self, tmp_path, backend_name):
         cell = one_cell()
-        with ResultStore(tmp_path) as store:
+        with ResultStore(tmp_path, backend=backend_name) as store:
             store.record_success(
                 cell, METRICS, duration_seconds=0.5, event_log_path="cells/x/log.json"
             )
@@ -30,15 +44,16 @@ class TestWrites:
         assert result.cell_id == cell.cell_id
         assert result.completed
         assert result.metrics["total_welfare"] == 12.5
+        assert result.metrics["rounds"] == 5  # int stays int
         assert result.duration_seconds == 0.5
         # Relative artifact paths resolve against the campaign directory,
         # so a moved campaign keeps working.
         assert result.event_log_path == str(tmp_path / "cells/x/log.json")
         assert result.attempts == 1
 
-    def test_failure_round_trip(self, tmp_path):
+    def test_failure_round_trip(self, tmp_path, backend_name):
         cell = one_cell()
-        with ResultStore(tmp_path) as store:
+        with ResultStore(tmp_path, backend=backend_name) as store:
             store.record_failure(cell, "Traceback: boom", duration_seconds=0.1)
             (result,) = store.results()
         assert result.status == "failed"
@@ -46,9 +61,9 @@ class TestWrites:
         assert "boom" in result.error
         assert result.metrics == {}
 
-    def test_rerecord_bumps_attempts(self, tmp_path):
+    def test_rerecord_bumps_attempts(self, tmp_path, backend_name):
         cell = one_cell()
-        with ResultStore(tmp_path) as store:
+        with ResultStore(tmp_path, backend=backend_name) as store:
             store.record_failure(cell, "first try died")
             store.record_success(cell, METRICS)
             (result,) = store.results()
@@ -58,33 +73,88 @@ class TestWrites:
 
 
 class TestCheckpoint:
-    def test_completed_ids_survive_reopen(self, tmp_path):
+    def test_completed_ids_survive_reopen(self, tmp_path, backend_name):
         cell = one_cell()
-        with ResultStore(tmp_path) as store:
+        with ResultStore(tmp_path, backend=backend_name) as store:
             store.record_success(cell, METRICS)
         # A brand-new store over the same directory sees the checkpoint —
-        # this is what resume-after-kill reads.
+        # this is what resume-after-kill reads.  Note the reopen does not
+        # name the backend: it is sniffed from the files on disk.
         with ResultStore(tmp_path) as store:
+            assert store.backend.name == backend_name
             assert store.completed_ids() == {cell.cell_id}
 
-    def test_failed_cells_not_in_checkpoint(self, tmp_path):
+    def test_failed_cells_not_in_checkpoint(self, tmp_path, backend_name):
         cell = one_cell()
-        with ResultStore(tmp_path) as store:
+        with ResultStore(tmp_path, backend=backend_name) as store:
             store.record_failure(cell, "nope")
             assert store.completed_ids() == set()
 
-    def test_get(self, tmp_path):
+    def test_get(self, tmp_path, backend_name):
         cell = one_cell()
-        with ResultStore(tmp_path) as store:
+        with ResultStore(tmp_path, backend=backend_name) as store:
             assert store.get(cell.cell_id) is None
             store.record_success(cell, METRICS)
             assert store.get(cell.cell_id).completed
 
 
+class TestBackendSelection:
+    def test_detect_store_backend(self, tmp_path):
+        assert detect_store_backend(tmp_path) is None
+        with ResultStore(tmp_path / "a", backend="sqlite") as store:
+            store.record_success(one_cell(), METRICS)
+        assert detect_store_backend(tmp_path / "a") == "sqlite"
+        with ResultStore(tmp_path / "b", backend="columnar") as store:
+            store.record_success(one_cell(), METRICS)
+        assert detect_store_backend(tmp_path / "b") == "columnar"
+
+    def test_unknown_backend_name(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            ResultStore(tmp_path, backend="clay-tablets")
+
+    def test_conflicting_explicit_backend_is_refused(self, tmp_path):
+        # Opening an existing campaign under a different store would fork
+        # its results (writes to the new store, reads from the old one).
+        with ResultStore(tmp_path, backend="sqlite") as store:
+            store.record_success(one_cell(), METRICS)
+        with pytest.raises(ValueError, match="cannot be reopened"):
+            ResultStore(tmp_path, backend="columnar")
+
+    def test_backend_instance_passes_through(self, tmp_path):
+        backend = SqliteJsonlBackend(tmp_path)
+        store = ResultStore(tmp_path, backend=backend)
+        assert store.backend is backend
+
+    def test_backends_agree_on_identical_records(self, tmp_path):
+        """The same writes read back identically from both backends."""
+        cell = one_cell()
+        rich_metrics = {
+            **METRICS,
+            "budget_compliant": True,
+            "mechanism": "lt-vcg",
+            "per_round_regret": [0.5, 0.25, 0.0],
+        }
+        rows = {}
+        for name in STORE_BACKENDS:
+            with ResultStore(tmp_path / name, backend=name) as store:
+                store.record_failure(cell, "first attempt")
+                store.record_success(
+                    cell, rich_metrics, duration_seconds=1.5,
+                    event_log_path="cells/x/log.json",
+                )
+                (row,) = store.results()
+                rows[name] = row
+        sqlite_row, columnar_row = rows["sqlite"], rows["columnar"]
+        assert sqlite_row.metrics == columnar_row.metrics
+        assert sqlite_row.params == columnar_row.params
+        assert sqlite_row.attempts == columnar_row.attempts == 2
+        assert sqlite_row.status == columnar_row.status
+
+
 class TestJsonlMirror:
     def test_every_record_appends_a_line(self, tmp_path):
         cell = one_cell()
-        with ResultStore(tmp_path) as store:
+        with ResultStore(tmp_path, backend="sqlite") as store:
             store.record_failure(cell, "first try died")
             store.record_success(cell, METRICS)
         lines = (tmp_path / ResultStore.JSONL_NAME).read_text().splitlines()
@@ -93,3 +163,68 @@ class TestJsonlMirror:
         assert first["status"] == "failed" and first["attempt"] == 1
         assert second["status"] == "completed" and second["attempt"] == 2
         assert second["metrics"]["total_welfare"] == 12.5
+
+
+class TestColumnarSpecifics:
+    def test_float_metrics_pack_into_the_matrix(self, tmp_path):
+        backend = ColumnarStoreBackend(tmp_path)
+        backend.record(
+            one_cell(), status="completed", metrics=METRICS, error=None,
+            duration_seconds=0.5, event_log_path=None,
+        )
+        backend.close()
+        with np.load(tmp_path / ColumnarStoreBackend.NPZ_NAME) as archive:
+            keys = [str(key) for key in archive["metric_keys"]]
+            # Floats live in the matrix; the int metric rides the residual.
+            assert "total_welfare" in keys and "average_payment" in keys
+            assert "rounds" not in keys
+            residual = json.loads(str(archive["residual_metrics"][0]))
+            assert residual == {"rounds": 5}
+            column = keys.index("total_welfare")
+            assert archive["metric_values"][0, column] == 12.5
+            assert bool(archive["metric_mask"][0, column])
+
+    def test_metric_column_fast_path(self, tmp_path):
+        backend = ColumnarStoreBackend(tmp_path)
+        for seed in range(3):
+            spec = SweepSpec(
+                base=ExperimentConfig(num_clients=6, num_rounds=5, max_winners=2),
+                mechanisms=("lt-vcg",),
+                seeds=(seed,),
+            )
+            (cell,) = spec.expand()
+            backend.record(
+                cell, status="completed",
+                metrics={"total_welfare": float(seed)}, error=None,
+                duration_seconds=0.0, event_log_path=None,
+            )
+        cell_ids, values = backend.metric_column("total_welfare")
+        assert len(cell_ids) == 3
+        np.testing.assert_array_equal(values, [0.0, 1.0, 2.0])
+
+    def test_every_record_is_durable_by_default(self, tmp_path):
+        """flush_every=1: a freshly recorded row survives an abrupt kill
+        (simulated by abandoning the backend without close)."""
+        backend = ColumnarStoreBackend(tmp_path)
+        backend.record(
+            one_cell(), status="completed", metrics=METRICS, error=None,
+            duration_seconds=0.0, event_log_path=None,
+        )
+        # No close(): a second backend over the directory must see the row.
+        reopened = ColumnarStoreBackend(tmp_path)
+        assert reopened.completed_ids() == {one_cell().cell_id}
+
+    def test_flush_every_batches_writes(self, tmp_path):
+        backend = ColumnarStoreBackend(tmp_path, flush_every=10)
+        backend.record(
+            one_cell(), status="completed", metrics=METRICS, error=None,
+            duration_seconds=0.0, event_log_path=None,
+        )
+        assert not (tmp_path / ColumnarStoreBackend.NPZ_NAME).exists()
+        backend.close()  # close always flushes
+        assert (tmp_path / ColumnarStoreBackend.NPZ_NAME).exists()
+        assert ColumnarStoreBackend(tmp_path).counts() == {"completed": 1}
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            ColumnarStoreBackend(tmp_path, flush_every=0)

@@ -183,3 +183,142 @@ class TestCampaignSubcommands:
         ])
         assert code == 1
         assert "1 failed" in capsys.readouterr().out
+
+
+class TestBackendAndStoreFlags:
+    BASE_ARGS = [
+        "sweep",
+        "--mechanisms", "lt-vcg,random",
+        "--seeds", "0",
+        "--rounds", "6",
+        "--clients", "6",
+        "--max-winners", "2",
+    ]
+
+    def test_thread_backend(self, tmp_path, capsys):
+        out = tmp_path / "camp"
+        code = main(
+            self.BASE_ARGS
+            + ["--out", str(out), "--backend", "thread", "--workers", "2"]
+        )
+        assert code == 0
+        assert "2 completed" in capsys.readouterr().out
+
+    def test_work_queue_backend_with_local_workers(self, tmp_path, capsys):
+        out = tmp_path / "camp"
+        code = main(
+            self.BASE_ARGS
+            + ["--out", str(out), "--backend", "work-queue", "--workers", "2"]
+        )
+        assert code == 0
+        assert "2 completed" in capsys.readouterr().out
+        assert (out / "queue" / "done").is_dir()
+
+    def test_columnar_store(self, tmp_path, capsys):
+        out = tmp_path / "camp"
+        code = main(
+            self.BASE_ARGS
+            + ["--out", str(out), "--store", "columnar", "--workers", "0"]
+        )
+        assert code == 0
+        assert (out / "results.npz").exists()
+        assert not (out / "campaign.db").exists()
+        capsys.readouterr()
+        # resume and report sniff the columnar store from the directory.
+        assert main(["resume", str(out), "--workers", "0"]) == 0
+        assert "2 skipped" in capsys.readouterr().out
+        assert main(["report", str(out)]) == 0
+        assert "lt-vcg" in capsys.readouterr().out
+
+    def test_retry_failed_flag(self, tmp_path, capsys):
+        out = tmp_path / "camp"
+        failing = [
+            "sweep", "--out", str(out),
+            "--mechanisms", "fixed-price", "--seeds", "0",
+            "--rounds", "5", "--clients", "6", "--max-winners", "2",
+            "--param", "price=-1.0", "--workers", "0",
+        ]
+        assert main(failing) == 1
+        capsys.readouterr()
+        # A plain resume skips the failed cell, says so, and stays red —
+        # a pipeline gating on the exit code must not publish the grid.
+        assert main(["resume", str(out), "--workers", "0"]) == 1
+        stdout = capsys.readouterr().out
+        assert "previously-failed cells skipped" in stdout
+        # --retry-failed re-queues it (and it fails again: exit code 1).
+        assert main(["resume", str(out), "--workers", "0", "--retry-failed"]) == 1
+        assert "1 failed" in capsys.readouterr().out
+
+
+class TestWorkAndWatch:
+    def test_work_drains_an_enqueued_campaign(self, tmp_path, capsys):
+        from repro.orchestration import SweepSpec, WorkQueue, load_results
+        from repro.orchestration.executor import CELLS_DIR_NAME
+
+        camp = tmp_path / "camp"
+        spec = SweepSpec(
+            base=ExperimentConfig(num_clients=6, num_rounds=6, max_winners=2),
+            mechanisms=("lt-vcg",),
+            seeds=(0, 1),
+        )
+        queue = WorkQueue(camp)
+        queue.enqueue([
+            {
+                "cell": cell.to_dict(),
+                "cell_dir": str(camp / CELLS_DIR_NAME / cell.cell_id),
+                "events_path": str(camp / "events.jsonl"),
+            }
+            for cell in spec.expand()
+        ])
+        assert main(["work", str(camp)]) == 0
+        stdout = capsys.readouterr().out
+        assert "drained 2 cells" in stdout
+        assert queue.counts() == {"pending": 0, "leased": 0, "done": 2}
+
+    def test_work_on_an_empty_queue_exits_cleanly(self, tmp_path, capsys):
+        assert main(["work", str(tmp_path / "camp")]) == 0
+        assert "drained 0 cells" in capsys.readouterr().out
+
+    def test_watch_once_renders_a_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "camp"
+        assert main([
+            "sweep", "--out", str(out),
+            "--mechanisms", "lt-vcg", "--seeds", "0,1",
+            "--rounds", "6", "--clients", "6", "--max-winners", "2",
+            "--workers", "0",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["watch", str(out), "--once"]) == 0
+        stdout = capsys.readouterr().out
+        assert "2/2 cells" in stdout
+        assert "finished=2 failed=0" in stdout
+        assert "backend=inline" in stdout
+
+    def test_watch_shows_failures(self, tmp_path, capsys):
+        out = tmp_path / "camp"
+        main([
+            "sweep", "--out", str(out),
+            "--mechanisms", "fixed-price", "--seeds", "0",
+            "--rounds", "5", "--clients", "6", "--max-winners", "2",
+            "--param", "price=-1.0", "--workers", "0",
+        ])
+        capsys.readouterr()
+        assert main(["watch", str(out), "--once"]) == 0
+        assert "failed=1" in capsys.readouterr().out
+
+    def test_watch_describes_the_latest_invocation_only(self, tmp_path, capsys):
+        # The trail is append-only across resumes; the dashboard must not
+        # double-count cells from earlier invocations.
+        out = tmp_path / "camp"
+        failing = [
+            "sweep", "--out", str(out),
+            "--mechanisms", "fixed-price", "--seeds", "0",
+            "--rounds", "5", "--clients", "6", "--max-winners", "2",
+            "--param", "price=-1.0", "--workers", "0",
+        ]
+        main(failing)
+        main(["resume", str(out), "--workers", "0", "--retry-failed"])
+        capsys.readouterr()
+        assert main(["watch", str(out), "--once"]) == 0
+        stdout = capsys.readouterr().out
+        assert "failed=1" in stdout  # not 2: one per invocation, latest wins

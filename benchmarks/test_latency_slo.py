@@ -1,0 +1,259 @@
+"""Latency SLO harness: per-round auction decisions under a deadline.
+
+An online auction is only deployable if every round's decision (winner
+determination + truthful payments + queue updates) lands inside the
+round's control deadline; the paper's per-round setting makes tail latency
+— not mean throughput — the deployment constraint.  This harness drives
+each mechanism through a stream of fresh auction rounds and measures the
+**decision latency distribution** per (mechanism, population) cell:
+
+* **SLO pass** (telemetry off): every ``run_round`` call is wall-clocked
+  into a :class:`repro.telemetry.Histogram` — exact p50/p95/p99/max,
+  jitter (stddev), and the *deadline-miss rate* against a configurable
+  per-round decision deadline (``SLO_DEADLINE_MS``, default 50 ms).
+* **Profile pass** (telemetry spans): the same stream re-runs with span
+  timers on, yielding the per-span breakdown (``round_decide`` →
+  ``auction`` → ``wd_solve`` / ``pay_*`` / ``queue_update``) that says
+  *where* the tail lives.
+
+Both views land in ``results/BENCH_latency.json`` so latency regressions
+diff across PRs, plus a text table and the span tree of the heaviest
+cell.  Knobs: ``SLO_SIZES`` (comma-separated populations, default
+``50,200``), ``SLO_ROUNDS`` (rounds per cell, default 400) and
+``SLO_DEADLINE_MS`` — CI runs a reduced smoke pass; reduced sweeps are
+not archived over the committed full-sweep baseline.
+
+Regression gates: per cell, p95 must sit inside the deadline and the
+miss rate must stay under 5 %; the profile pass must account for every
+round (decision-span count == rounds driven).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro import LongTermVCGConfig, LongTermVCGMechanism, telemetry
+from repro.core.bids import AuctionRound, Bid
+from repro.mechanisms import GreedyFirstPriceMechanism, MyopicVCGMechanism
+from repro.telemetry import Histogram
+from repro.utils.tables import format_table
+
+K = 10
+BUDGET = 5.0
+DEFAULT_SIZES = (50, 200)
+DEFAULT_ROUNDS = 400
+DEFAULT_DEADLINE_MS = 50.0
+SIZES = tuple(
+    int(s) for s in os.environ.get("SLO_SIZES", "").split(",") if s.strip()
+) or DEFAULT_SIZES
+ROUNDS = int(os.environ.get("SLO_ROUNDS", DEFAULT_ROUNDS))
+DEADLINE_MS = float(os.environ.get("SLO_DEADLINE_MS", DEFAULT_DEADLINE_MS))
+#: Uncounted rounds run first so allocator/numpy warmup does not pollute p99.
+WARMUP_ROUNDS = 5
+
+
+def build_rounds(n: int, count: int) -> list[AuctionRound]:
+    """``count`` independent auction rounds over ``n`` clients."""
+    rng = np.random.default_rng(n)
+    rounds = []
+    for t in range(count):
+        bids = tuple(
+            Bid(
+                client_id=i,
+                cost=float(rng.uniform(0.1, 2.0)),
+                data_size=int(rng.integers(20, 2000)),
+            )
+            for i in range(n)
+        )
+        values = {i: float(rng.uniform(0.2, 3.0)) for i in range(n)}
+        rounds.append(AuctionRound(index=t, bids=bids, values=values))
+    return rounds
+
+
+def make_mechanisms(n: int) -> dict[str, object]:
+    """The mechanism zoo under SLO measurement (fresh state per call)."""
+
+    def ltvcg(wd_method: str) -> LongTermVCGMechanism:
+        return LongTermVCGMechanism(
+            LongTermVCGConfig(
+                v=20.0,
+                budget_per_round=BUDGET,
+                max_winners=K,
+                wd_method=wd_method,
+            )
+        )
+
+    return {
+        "lt-vcg": ltvcg("exact"),
+        "lt-vcg-greedy": ltvcg("greedy"),
+        "myopic-vcg": MyopicVCGMechanism(max_winners=K),
+        "greedy-first-price": GreedyFirstPriceMechanism(BUDGET, K),
+    }
+
+
+def measure_slo(mechanism, rounds: list[AuctionRound]) -> dict:
+    """Telemetry-off pass: the pure decision-latency distribution."""
+    for auction_round in rounds[:WARMUP_ROUNDS]:
+        mechanism.run_round(auction_round)
+    histogram = Histogram()
+    deadline = DEADLINE_MS / 1e3
+    misses = 0
+    for auction_round in rounds:
+        start = time.perf_counter()
+        mechanism.run_round(auction_round)
+        elapsed = time.perf_counter() - start
+        histogram.record(elapsed)
+        misses += elapsed > deadline
+    row = histogram.summary()
+    row["deadline_ms"] = DEADLINE_MS
+    row["deadline_misses"] = misses
+    row["deadline_miss_rate"] = misses / len(rounds)
+    return row
+
+
+def measure_spans(mechanism, rounds: list[AuctionRound]) -> dict:
+    """Spans-on pass: where inside the decision the time goes.
+
+    Wraps each call in the same ``round_decide`` span the simulation
+    runner uses, so the breakdown here matches campaign profiles.
+    """
+    previous = telemetry.telemetry_level()
+    telemetry.set_telemetry_level("spans")
+    try:
+        telemetry.reset()
+        for auction_round in rounds:
+            with telemetry.span("round_decide"):
+                mechanism.run_round(auction_round)
+        return telemetry.snapshot()
+    finally:
+        telemetry.set_telemetry_level(previous)
+
+
+def compact_spans(snap: dict) -> dict:
+    """Per-span stats without the bucket maps (keeps the JSON diffable)."""
+    spans = {}
+    for path, entry in sorted(snap.get("spans", {}).items()):
+        spans[path] = {
+            key: (value if key == "count" else round(float(value), 4))
+            for key, value in entry.items()
+            if key != "hist"
+        }
+    return spans
+
+
+def run_all():
+    cells = []
+    heaviest_snapshot = None
+    for n in SIZES:
+        rounds = build_rounds(n, ROUNDS)
+        for name, mechanism in sorted(make_mechanisms(n).items()):
+            slo = measure_slo(mechanism, rounds)
+            snap = measure_spans(make_mechanisms(n)[name], rounds)
+            cells.append(
+                {"mechanism": name, "n": n, "slo": slo, "spans": compact_spans(snap)}
+            )
+            if name == "lt-vcg" and n == max(SIZES):
+                heaviest_snapshot = snap
+    return cells, heaviest_snapshot
+
+
+def test_latency_slo(benchmark, report):
+    cells, heaviest_snapshot = run_once(benchmark, run_all)
+
+    text = format_table(
+        [
+            "mechanism",
+            "clients",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "max (ms)",
+            "jitter (ms)",
+            f"miss rate (@{DEADLINE_MS:g} ms)",
+        ],
+        [
+            [
+                cell["mechanism"],
+                cell["n"],
+                cell["slo"]["p50_ms"],
+                cell["slo"]["p95_ms"],
+                cell["slo"]["p99_ms"],
+                cell["slo"]["max_ms"],
+                cell["slo"]["jitter_ms"],
+                cell["slo"]["deadline_miss_rate"],
+            ]
+            for cell in cells
+        ],
+        title=(
+            f"Per-round decision latency vs. {DEADLINE_MS:g} ms SLO "
+            f"({ROUNDS} rounds/cell)"
+        ),
+    )
+    if heaviest_snapshot is not None:
+        text += "\n\n" + telemetry.render_snapshot(
+            heaviest_snapshot,
+            title=f"Span breakdown (lt-vcg, n={max(SIZES)})",
+            include_counters=False,
+        )
+    payload = {
+        "experiment": "latency_slo",
+        "unit": "ms",
+        "config": {
+            "k": K,
+            "budget": BUDGET,
+            "sizes": list(SIZES),
+            "rounds": ROUNDS,
+            "warmup_rounds": WARMUP_ROUNDS,
+            "deadline_ms": DEADLINE_MS,
+        },
+        "cells": [
+            {
+                "mechanism": cell["mechanism"],
+                "n": cell["n"],
+                "slo": {
+                    key: (
+                        value
+                        if key in ("count", "deadline_misses")
+                        else round(float(value), 4)
+                    )
+                    for key, value in cell["slo"].items()
+                },
+                "spans": cell["spans"],
+            }
+            for cell in cells
+        ],
+    }
+    # Reduced sweeps (CI smoke / local knobs) must not overwrite the
+    # committed full-sweep baseline.
+    report(
+        "latency_slo",
+        text,
+        json_payload=payload,
+        json_id="latency",
+        archive=(
+            SIZES == DEFAULT_SIZES
+            and ROUNDS == DEFAULT_ROUNDS
+            and DEADLINE_MS == DEFAULT_DEADLINE_MS
+        ),
+    )
+    # CI smoke runs set SLO_JSON_OUT to keep their (reduced-sweep) numbers
+    # as a build artifact without touching results/.
+    out_path = os.environ.get("SLO_JSON_OUT")
+    if out_path:
+        Path(out_path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    for cell in cells:
+        label = f"{cell['mechanism']} @ n={cell['n']}"
+        # SLO gates: the tail must sit inside the deadline, and sporadic
+        # scheduler/GC spikes may not push the miss rate past 5 %.
+        assert cell["slo"]["p95_ms"] < DEADLINE_MS, (label, cell["slo"])
+        assert cell["slo"]["deadline_miss_rate"] <= 0.05, (label, cell["slo"])
+        # Profile pass accounted for every round driven.
+        decision = cell["spans"].get("round_decide")
+        assert decision is not None and decision["count"] == ROUNDS, label

@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.config import ExperimentConfig
+from repro.logging_utils import TELEMETRY_LEVELS, set_telemetry_level
 from repro.mechanisms.registry import build_mechanism, mechanism_names
 from repro.utils.tables import format_table
 
@@ -91,10 +92,19 @@ def _build_single_parser() -> argparse.ArgumentParser:
         help="battery-gated clients",
     )
     parser.add_argument("--out", type=Path, help="output directory for artifacts")
+    _add_telemetry_flag(parser)
     parser.add_argument(
         "--list-mechanisms", action="store_true", help="print mechanism names and exit"
     )
     return parser
+
+
+def _add_telemetry_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", choices=TELEMETRY_LEVELS, default=None,
+        help="instrumentation level (default: the REPRO_TELEMETRY env var, "
+             "else off); 'spans' records per-span latency histograms",
+    )
 
 
 def _main_single(argv: list[str]) -> int:
@@ -102,6 +112,8 @@ def _main_single(argv: list[str]) -> int:
     if args.list_mechanisms:
         print("\n".join(MECHANISM_NAMES))
         return 0
+    if args.telemetry is not None:
+        set_telemetry_level(args.telemetry)
 
     if args.config is not None:
         config = ExperimentConfig.load(args.config)
@@ -129,6 +141,11 @@ def _main_single(argv: list[str]) -> int:
             title=f"Experiment summary ({result['mechanism']}, seed {config.seed})",
         )
     )
+    from repro import telemetry
+
+    if telemetry.enabled(telemetry.TELEMETRY_SPANS):
+        print()
+        print(telemetry.render_snapshot(telemetry.snapshot(), title="Span timing"))
     return 0
 
 
@@ -219,7 +236,13 @@ def _main_sweep(argv: list[str]) -> int:
         "--fresh", action="store_true", help="re-run cells already recorded"
     )
     parser.add_argument("--name", default="campaign")
+    _add_telemetry_flag(parser)
     args = parser.parse_args(argv)
+    if args.telemetry is not None:
+        # The campaign payloads carry this level to every worker (including
+        # remote work-queue drainers), and the campaign collects their
+        # snapshots on its telemetry.jsonl trail.
+        set_telemetry_level(args.telemetry)
 
     base = ExperimentConfig.load(args.config) if args.config else ExperimentConfig()
     overrides = {
@@ -334,14 +357,59 @@ def _main_report(argv: list[str]) -> int:
         "--logs", action="store_true",
         help="also rebuild single-slice tables from archived event logs",
     )
+    parser.add_argument(
+        "--timing", action="store_true",
+        help="append the span-tree timing breakdown from the telemetry trail",
+    )
     args = parser.parse_args(argv)
     print(
         campaign_report(
             args.campaign_dir,
             by=tuple(args.by.split(",")),
             include_event_logs=args.logs,
+            include_timing=args.timing,
         )
     )
+    return 0
+
+
+def _main_profile(argv: list[str]) -> int:
+    """Render a span-tree timing breakdown from archived telemetry."""
+    import json
+
+    from repro.orchestration import timing_report
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli profile",
+        description=(
+            "Render the span-tree latency breakdown of a campaign directory "
+            "(telemetry.jsonl trail) or a single-run output directory "
+            "(telemetry.json snapshot)."
+        ),
+    )
+    parser.add_argument("run_dir", type=Path, help="campaign or single-run dir")
+    args = parser.parse_args(argv)
+
+    timing = timing_report(args.run_dir)
+    if timing is None:
+        # Single-run archive (or one campaign cell): one snapshot document.
+        from repro import telemetry
+        from repro.orchestration.worker import TELEMETRY_SNAPSHOT_NAME
+
+        snapshot_path = args.run_dir / TELEMETRY_SNAPSHOT_NAME
+        if snapshot_path.exists():
+            timing = telemetry.render_snapshot(
+                json.loads(snapshot_path.read_text()),
+                title=f"Span timing ({args.run_dir})",
+            )
+    if timing is None:
+        print(
+            f"no telemetry found under {args.run_dir} — run with "
+            "--telemetry spans (or REPRO_TELEMETRY=spans) first",
+            file=sys.stderr,
+        )
+        return 1
+    print(timing)
     return 0
 
 
@@ -373,7 +441,12 @@ def _main_work(argv: list[str]) -> int:
         help="how long a claimed cell may run before others may reclaim it",
     )
     parser.add_argument("--worker-id", default=None, help="label in the event trail")
+    _add_telemetry_flag(parser)
     args = parser.parse_args(argv)
+    if args.telemetry is not None:
+        # A default for cells whose payload carries no level; payloads from
+        # a --telemetry sweep coordinator override this per cell.
+        set_telemetry_level(args.telemetry)
 
     def progress(outcome: dict, executed: int) -> None:
         print(
@@ -424,6 +497,10 @@ class _WatchState:
         self.workers: set[str] = set()
         self.recent: list[str] = []
         self.campaign_done = False
+        # Per-round decision latency merged across every cell that shipped
+        # a telemetry record on its cell_finished event (--telemetry spans).
+        self.latency = None
+        self.latency_cells = 0
 
     def add(self, event) -> None:
         if event.type == "campaign_started":
@@ -448,6 +525,7 @@ class _WatchState:
                 tail = (
                     f" welfare={welfare:.3f}" if isinstance(welfare, float) else ""
                 )
+                self._fold_latency(event.data.get("telemetry"))
             else:
                 self.failed += 1
                 tail = f" error={event.data.get('error', '?')}"
@@ -458,6 +536,22 @@ class _WatchState:
                     f"({duration:.2f}s){tail}"
                 ]
             )[-self.RECENT:]
+
+    def _fold_latency(self, record) -> None:
+        """Merge one cell's compact decision-latency record (or ignore it)."""
+        if not isinstance(record, dict) or "hist" not in record:
+            return
+        from repro.telemetry import Histogram
+
+        try:
+            histogram = Histogram.from_dict(record["hist"])
+        except (TypeError, ValueError):
+            return
+        if self.latency is None:
+            self.latency = histogram
+        else:
+            self.latency.merge(histogram)
+        self.latency_cells += 1
 
     def render(self) -> str:
         lines = [
@@ -487,6 +581,14 @@ class _WatchState:
             lines.append(
                 f"mean cell {self.duration_sum / executed:.2f}s; "
                 f"recent throughput {rate:.2f} cells/s"
+            )
+        if self.latency is not None and self.latency.count:
+            summary = self.latency.summary()
+            lines.append(
+                f"round latency ({self.latency_cells} cells, "
+                f"{self.latency.count} rounds): "
+                f"p50={summary['p50_ms']:.3f}ms p95={summary['p95_ms']:.3f}ms "
+                f"p99={summary['p99_ms']:.3f}ms max={summary['max_ms']:.3f}ms"
             )
         if self.recent:
             lines.append("recent:")
@@ -553,6 +655,7 @@ _SUBCOMMANDS = {
     "sweep": _main_sweep,
     "resume": _main_resume,
     "report": _main_report,
+    "profile": _main_profile,
     "work": _main_work,
     "watch": _main_watch,
 }

@@ -32,6 +32,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.bids import AuctionRound, RoundBatch, RoundOutcome
 from repro.core.lyapunov import DriftPlusPenaltyController
 from repro.core.mechanism import Mechanism
@@ -156,9 +157,11 @@ class LongTermVCGMechanism(Mechanism):
 
         # Feedback: queues observe this round *after* the decision, so the
         # decision used Q(t)/Z(t) and the next round will use Q(t+1)/Z(t+1).
-        self.controller.post_round(result.total_payment)
-        if self.participation is not None:
-            self.participation.observe_round(result.selected)
+        with telemetry.span("queue_update"):
+            self.controller.post_round(result.total_payment)
+            if self.participation is not None:
+                self.participation.observe_round(result.selected)
+        telemetry.set_gauge("ltvcg_budget_backlog", self.controller.queue.backlog)
 
         return RoundOutcome(
             round_index=auction_round.index,
@@ -178,6 +181,10 @@ class LongTermVCGMechanism(Mechanism):
         through :meth:`run_round` on a fresh copy of this mechanism (pinned
         property-based in the test suite).
         """
+        with telemetry.span("probe_rounds"):
+            return self._probe_rounds(batch)
+
+    def _probe_rounds(self, batch: RoundBatch) -> list[RoundOutcome]:
         if self.participation is not None and len(batch):
             # Offsets are the only per-client auction input; the union of the
             # batch's ids covers every round's candidates.

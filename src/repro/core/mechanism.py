@@ -32,6 +32,7 @@ from __future__ import annotations
 import copy
 from abc import ABC, abstractmethod
 
+from repro import telemetry
 from repro.core.bids import AuctionRound, RoundBatch, RoundOutcome
 from repro.core.winner_determination import SolveCache
 
@@ -89,13 +90,14 @@ class Mechanism(ABC):
             return self.run_rounds(batch)
         cache = getattr(self, "solve_cache", None)
         outcomes = []
-        for auction_round in batch:
-            # Seeding the deepcopy memo shares (instead of copying) the
-            # solve cache, so subproblems repeated across counterfactuals
-            # are still solved once.
-            memo = {id(cache): cache} if cache is not None else {}
-            counterfactual = copy.deepcopy(self, memo)
-            outcomes.append(counterfactual.run_round(auction_round))
+        with telemetry.span("probe_rounds"):
+            for auction_round in batch:
+                # Seeding the deepcopy memo shares (instead of copying) the
+                # solve cache, so subproblems repeated across counterfactuals
+                # are still solved once.
+                memo = {id(cache): cache} if cache is not None else {}
+                counterfactual = copy.deepcopy(self, memo)
+                outcomes.append(counterfactual.run_round(auction_round))
         return outcomes
 
     def attach_solve_cache(self, cache: SolveCache) -> None:

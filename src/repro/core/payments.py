@@ -37,6 +37,7 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
+from repro.telemetry import traced
 from repro.core.winner_determination import (
     Allocation,
     WinnerDeterminationProblem,
@@ -72,6 +73,7 @@ def _clamp(sigma: float, score: float) -> float:
     return min(max(sigma, 0.0), score)
 
 
+@traced("pay_topk")
 def top_k_critical_scores(
     problem: WinnerDeterminationProblem,
     allocation: Allocation,
@@ -119,6 +121,7 @@ def top_k_critical_sigmas_flat(
     return np.minimum(runner_ups[rows], scores[rows, columns])
 
 
+@traced("pay_topk_batch")
 def top_k_critical_scores_batch(
     scores: np.ndarray, allocations: Sequence[Allocation]
 ) -> list[dict[int, float]]:
@@ -148,6 +151,7 @@ def top_k_critical_scores_batch(
     return out
 
 
+@traced("pay_knapsack_dp")
 def knapsack_clarke_critical_scores(
     problem: WinnerDeterminationProblem,
     allocation: Allocation,
@@ -174,6 +178,7 @@ def knapsack_clarke_critical_scores(
     return critical
 
 
+@traced("pay_clarke")
 def clarke_critical_scores(
     problem: WinnerDeterminationProblem,
     allocation: Allocation,
@@ -215,6 +220,7 @@ def clarke_critical_scores(
     return critical
 
 
+@traced("pay_greedy")
 def greedy_critical_scores(
     problem: WinnerDeterminationProblem,
     allocation: Allocation,
@@ -283,6 +289,7 @@ def greedy_critical_scores(
     return critical
 
 
+@traced("pay_greedy_batch")
 def greedy_critical_scores_batch(
     scores: np.ndarray,
     allocations: Sequence[Allocation],

@@ -32,6 +32,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.bids import AuctionRound, RoundBatch
 from repro.core.payments import (
     clarke_critical_scores,
@@ -220,6 +221,10 @@ class SingleRoundVCGAuction:
 
     def run(self, auction_round: AuctionRound) -> VCGAuctionResult:
         """Run the auction: select winners and compute truthful payments."""
+        with telemetry.span("auction"):
+            return self._run(auction_round)
+
+    def _run(self, auction_round: AuctionRound) -> VCGAuctionResult:
         if self.reserve_price is not None:
             for bid in tuple(auction_round.bids):
                 if bid.cost > self.reserve_price + 1e-12:
@@ -297,6 +302,12 @@ class SingleRoundVCGAuction:
         only when ``with_scores`` is set — it is O(candidates) per round and
         the batched callers (probes, batched simulation) never read it.
         """
+        with telemetry.span("auction_batch"):
+            return self._run_batch(batch, with_scores=with_scores)
+
+    def _run_batch(
+        self, batch: RoundBatch, *, with_scores: bool = False
+    ) -> list[VCGAuctionResult]:
         num = len(batch)
         if num == 0:
             return []

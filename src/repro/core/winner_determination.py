@@ -43,6 +43,8 @@ from itertools import combinations
 import numpy as np
 from scipy.optimize import linprog
 
+from repro import telemetry
+
 __all__ = [
     "WinnerDeterminationProblem",
     "Allocation",
@@ -746,8 +748,10 @@ class SolveCache:
         cached = self._store.get(key)
         if cached is not None:
             self.hits += 1
+            telemetry.add_counter("wd_cache_hit")
             return cached
         self.misses += 1
+        telemetry.add_counter("wd_cache_miss")
         allocation = solve(problem, method, resolution=resolution)
         if len(self._store) >= self.maxsize:
             self._store.pop(next(iter(self._store)))
@@ -789,12 +793,13 @@ def solve(
     """
     if method == "exact":
         method = exact_method_for(problem)
-    if method == "greedy":
-        return solve_greedy(problem)
-    if method == "brute-force":
-        return solve_brute_force(problem)
-    if method == "dp":
-        return solve_knapsack_dp(problem, resolution=resolution)
-    if method == "top-k":
-        return solve_top_k(problem)
-    raise ValueError(f"unknown winner-determination method {method!r}")
+    with telemetry.span("wd_solve"):
+        if method == "greedy":
+            return solve_greedy(problem)
+        if method == "brute-force":
+            return solve_brute_force(problem)
+        if method == "dp":
+            return solve_knapsack_dp(problem, resolution=resolution)
+        if method == "top-k":
+            return solve_top_k(problem)
+        raise ValueError(f"unknown winner-determination method {method!r}")

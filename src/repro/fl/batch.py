@@ -40,6 +40,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.telemetry import traced
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.linear import stacked_softmax_kernel
 from repro.fl.mlp import stacked_mlp_kernel
@@ -206,6 +207,7 @@ class LocalSolver:
 class SequentialLocalSolver(LocalSolver):
     """The scalar reference: one ``client.train`` call per client."""
 
+    @traced("fl_local_train")
     def train(
         self, clients: Sequence[FLClient], global_params: np.ndarray
     ) -> UpdateBatch:
@@ -307,6 +309,7 @@ class VectorizedLocalSolver(LocalSolver):
             self._stacks[key] = entry
         return entry
 
+    @traced("fl_stacked_group")
     def _train_group(
         self, clients: tuple[FLClient, ...], global_params: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray] | None:
@@ -369,6 +372,7 @@ class VectorizedLocalSolver(LocalSolver):
                 deltas[row] = client.compressor.compress(deltas[row])
         return deltas, losses
 
+    @traced("fl_local_train")
     def train(
         self, clients: Sequence[FLClient], global_params: np.ndarray
     ) -> UpdateBatch:

@@ -1,17 +1,48 @@
-"""Lightweight structured logging for simulations.
+"""Logging and telemetry configuration for the whole library.
 
-The simulator runs thousands of rounds; Python's :mod:`logging` is used for
-human-readable progress while structured per-round records are collected by
-:class:`repro.simulation.events.EventLog`.  This module only centralises
-logger creation so the whole library shares one naming convention and one
-formatting setup.
+Two observability systems share this module as their config surface:
+
+* **Structured logging** — Python :mod:`logging` under the ``repro`` root
+  logger, for human-readable progress.  :func:`get_logger` centralises
+  logger creation so the library shares one naming convention;
+  :func:`configure` installs a stderr handler for applications.
+* **Telemetry** (:mod:`repro.telemetry`) — span timers, latency histograms
+  and counters on the mechanism/FL hot paths.  Instrumentation level is a
+  single knob, readable from the ``REPRO_TELEMETRY`` environment variable
+  and settable programmatically:
+
+  ========== =====================================================
+  level      meaning
+  ========== =====================================================
+  ``off``    default; every probe is a near-zero-cost no-op
+  ``counters`` named counters and gauges only (cache hit rates …)
+  ``spans``  counters plus hierarchical span timers + histograms
+  ========== =====================================================
+
+  The level lives here (not in :mod:`repro.telemetry`) so low-level modules
+  can check it without importing the telemetry machinery, and so the CLI's
+  ``--telemetry`` flag, the campaign executor (which forwards the level to
+  worker processes inside cell payloads) and the env knob all write through
+  one place.
 """
 
 from __future__ import annotations
 
 import logging
+import os
 
-__all__ = ["get_logger", "configure"]
+__all__ = [
+    "get_logger",
+    "configure",
+    "TELEMETRY_ENV",
+    "TELEMETRY_LEVELS",
+    "TELEMETRY_OFF",
+    "TELEMETRY_COUNTERS",
+    "TELEMETRY_SPANS",
+    "telemetry_level",
+    "set_telemetry_level",
+    "telemetry_enabled",
+]
 
 _ROOT_NAME = "repro"
 _configured = False
@@ -44,3 +75,68 @@ def configure(level: int = logging.INFO) -> None:
         )
         root.addHandler(handler)
         _configured = True
+
+
+# -- telemetry level ----------------------------------------------------------
+
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+#: Numeric levels: probes compare against these module globals directly —
+#: one attribute load and an int compare on the disabled hot path.
+TELEMETRY_OFF = 0
+TELEMETRY_COUNTERS = 1
+TELEMETRY_SPANS = 2
+
+TELEMETRY_LEVELS = ("off", "counters", "spans")
+
+_LEVEL_NUM_BY_NAME = {name: num for num, name in enumerate(TELEMETRY_LEVELS)}
+
+def _level_from_env() -> int:
+    raw = os.environ.get(TELEMETRY_ENV, "off").strip().lower()
+    if raw in _LEVEL_NUM_BY_NAME:
+        return _LEVEL_NUM_BY_NAME[raw]
+    logging.getLogger(_ROOT_NAME).warning(
+        "ignoring unknown %s=%r (expected one of %s)",
+        TELEMETRY_ENV, raw, "|".join(TELEMETRY_LEVELS),
+    )
+    return TELEMETRY_OFF
+
+
+#: Current level as a number.  Read directly by the telemetry fast paths;
+#: write only through :func:`set_telemetry_level`.
+TELEMETRY_LEVEL_NUM = _level_from_env()
+
+
+def telemetry_level() -> str:
+    """The current instrumentation level: ``off``, ``counters`` or ``spans``."""
+    return TELEMETRY_LEVELS[TELEMETRY_LEVEL_NUM]
+
+
+def set_telemetry_level(level: str | int | None) -> str:
+    """Set the instrumentation level; returns the level actually in force.
+
+    Accepts a level name, a numeric level, or ``None`` (re-read the
+    ``REPRO_TELEMETRY`` environment variable).  This is the single write
+    path for the CLI flag, cell payloads and tests.
+    """
+    global TELEMETRY_LEVEL_NUM
+    if level is None:
+        TELEMETRY_LEVEL_NUM = _level_from_env()
+    elif isinstance(level, int):
+        if not TELEMETRY_OFF <= level <= TELEMETRY_SPANS:
+            raise ValueError(f"unknown telemetry level {level!r}")
+        TELEMETRY_LEVEL_NUM = level
+    else:
+        name = str(level).strip().lower()
+        if name not in _LEVEL_NUM_BY_NAME:
+            raise ValueError(
+                f"unknown telemetry level {level!r} "
+                f"(expected one of {'|'.join(TELEMETRY_LEVELS)})"
+            )
+        TELEMETRY_LEVEL_NUM = _LEVEL_NUM_BY_NAME[name]
+    return telemetry_level()
+
+
+def telemetry_enabled(minimum: int = TELEMETRY_COUNTERS) -> bool:
+    """True when the current level is at least ``minimum``."""
+    return TELEMETRY_LEVEL_NUM >= minimum

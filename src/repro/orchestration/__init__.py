@@ -76,6 +76,7 @@ from repro.orchestration.report import (
     campaign_report,
     event_log_tables,
     load_results,
+    timing_report,
     welfare_comparison_table,
 )
 from repro.orchestration.scheduler import (
@@ -136,5 +137,6 @@ __all__ = [
     "run_campaign",
     "run_cell",
     "run_successive_halving",
+    "timing_report",
     "welfare_comparison_table",
 ]

@@ -29,9 +29,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from repro.logging_utils import get_logger
+from repro.logging_utils import get_logger, telemetry_enabled, telemetry_level
 from repro.orchestration.backends import ExecutionBackend, resolve_backend
 from repro.orchestration.events import EVENTS_NAME, EventWriter
+from repro.telemetry import TELEMETRY_TRAIL_NAME
 from repro.orchestration.store import ResultStore, StoreBackend
 from repro.orchestration.sweep import CellSpec, SweepSpec
 
@@ -66,10 +67,20 @@ def _payload(
     cell: CellSpec, campaign_dir: Path, *, events: bool
 ) -> dict[str, Any]:
     cell_dir = campaign_dir / CELLS_DIR_NAME / cell.cell_id
+    # When the coordinator enables telemetry, its level rides in the
+    # payload so every backend's workers — forked pools and remote
+    # work-queue drainers — instrument identically and append their
+    # snapshots to the campaign trail.  Payloads from an uninstrumented
+    # coordinator carry None, leaving each drainer's own setting in force.
+    enabled = telemetry_enabled()
     return {
         "cell": cell.to_dict(),
         "cell_dir": str(cell_dir),
         "events_path": str(campaign_dir / EVENTS_NAME) if events else None,
+        "telemetry": telemetry_level() if enabled else None,
+        "telemetry_path": (
+            str(campaign_dir / TELEMETRY_TRAIL_NAME) if enabled else None
+        ),
     }
 
 

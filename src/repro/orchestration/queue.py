@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import time
 from pathlib import Path
 from typing import Any
@@ -41,6 +42,10 @@ __all__ = ["QUEUE_DIR_NAME", "WorkQueue", "drain_queue"]
 QUEUE_DIR_NAME = "queue"
 
 _LOGGER = get_logger("orchestration.queue")
+
+#: Stamped into claim sidecars so expiry can tell whether the sidecar's
+#: monotonic reading came from this host's clock.
+_HOSTNAME = socket.gethostname()
 
 
 class WorkQueue:
@@ -121,9 +126,7 @@ class WorkQueue:
                     continue  # another worker won this cell
                 claim_path = self.leases_dir / f"{task_path.stem}.claim.json"
                 try:
-                    self._write_json(
-                        claim_path, {"worker": worker, "claimed_at": time.time()}
-                    )
+                    self._write_json(claim_path, self._claim_record(worker))
                     with open(lease_path) as handle:
                         return json.load(handle)
                 except FileNotFoundError:
@@ -148,28 +151,58 @@ class WorkQueue:
     def extend_lease(self, cell_id: str, worker: str) -> None:
         """Refresh a held lease's heartbeat (long-running cells)."""
         claim_path = self.leases_dir / f"{cell_id}.claim.json"
-        self._write_json(claim_path, {"worker": worker, "claimed_at": time.time()})
+        self._write_json(claim_path, self._claim_record(worker))
+
+    @staticmethod
+    def _claim_record(worker: str) -> dict[str, Any]:
+        """A lease heartbeat: wall clock plus a monotonic reading.
+
+        ``claimed_at`` (wall time) is what remote hosts compare against;
+        ``monotonic``/``host`` let expiry checks on the *claiming* host use
+        :func:`time.monotonic`, immune to NTP steps and manual clock
+        changes that would otherwise expire (or immortalise) live leases.
+        """
+        return {
+            "worker": worker,
+            "claimed_at": time.time(),
+            "monotonic": time.monotonic(),
+            "host": _HOSTNAME,
+        }
+
+    @staticmethod
+    def _lease_age(claim: dict[str, Any]) -> float:
+        """Seconds since the claim heartbeat, preferring the monotonic clock.
+
+        The monotonic reading is only meaningful on the host that wrote it
+        and only while that host has not rebooted (a reboot restarts the
+        monotonic clock, showing up as a negative age); in both of those
+        cases the wall-clock timestamp is the fallback.
+        """
+        monotonic = claim.get("monotonic")
+        if monotonic is not None and claim.get("host") == _HOSTNAME:
+            age = time.monotonic() - float(monotonic)
+            if age >= 0:
+                return age
+        return time.time() - float(claim["claimed_at"])
 
     def reclaim_expired(self) -> int:
         """Move leases past their deadline back to pending; returns count."""
         reclaimed = 0
-        now = time.time()
         for lease_path in sorted(self.leases_dir.glob("*.json")):
             if lease_path.name.endswith(".claim.json"):
                 continue
             claim_path = self.leases_dir / f"{lease_path.stem}.claim.json"
-            claimed_at = None
             try:
                 with open(claim_path) as handle:
-                    claimed_at = float(json.load(handle)["claimed_at"])
-            except (OSError, ValueError, KeyError):
+                    age = self._lease_age(json.load(handle))
+            except (OSError, ValueError, KeyError, TypeError):
                 # No readable claim sidecar (claimer died between renaming
                 # and writing it): age the lease on the file's own mtime.
                 try:
-                    claimed_at = lease_path.stat().st_mtime
+                    age = time.time() - lease_path.stat().st_mtime
                 except OSError:
                     continue
-            if now - claimed_at <= self.lease_seconds:
+            if age <= self.lease_seconds:
                 continue
             try:
                 os.rename(lease_path, self.tasks_dir / lease_path.name)

@@ -23,6 +23,12 @@ from repro.analysis.stats import SummaryStatistics, summarize
 from repro.config import ExperimentConfig
 from repro.orchestration.store import CellResult, ResultStore, detect_store_backend
 from repro.simulation.events import EventLog
+from repro.telemetry import (
+    TELEMETRY_TRAIL_NAME,
+    merge_snapshots,
+    read_trail,
+    render_snapshot,
+)
 from repro.simulation.replay import load_event_log
 from repro.utils.serialization import load_json
 from repro.utils.tables import format_table
@@ -36,6 +42,7 @@ __all__ = [
     "failure_table",
     "slice_event_logs",
     "event_log_tables",
+    "timing_report",
     "campaign_report",
 ]
 
@@ -258,11 +265,35 @@ def event_log_tables(
     return table + "\n\n" + payment_table(logs)
 
 
+def timing_report(campaign_dir: str | Path) -> str | None:
+    """Span-tree timing breakdown merged from the campaign telemetry trail.
+
+    Reads ``telemetry.jsonl`` (one snapshot line per cell executed with
+    spans enabled — see :mod:`repro.telemetry`), merges every snapshot
+    exactly through the histograms' bucket maps, and renders the indented
+    span tree.  ``None`` when the campaign ran without span telemetry.
+    """
+    campaign_dir = Path(campaign_dir)
+    records = read_trail(campaign_dir / TELEMETRY_TRAIL_NAME)
+    if not records:
+        return None
+    merged = merge_snapshots([record["snapshot"] for record in records])
+    workers = {record.get("worker") for record in records} - {None}
+    return render_snapshot(
+        merged,
+        title=(
+            f"Span timing ({len(records)} telemetry snapshots, "
+            f"{len(workers)} workers)"
+        ),
+    )
+
+
 def campaign_report(
     campaign_dir: str | Path,
     *,
     by: Sequence[str] = ("mechanism", "scenario"),
     include_event_logs: bool = False,
+    include_timing: bool = False,
 ) -> str:
     """The full text report of a campaign directory."""
     results = load_results(campaign_dir)
@@ -294,4 +325,12 @@ def campaign_report(
         log_tables = event_log_tables(campaign_dir)
         if log_tables is not None:
             sections.append(log_tables)
+    if include_timing:
+        timing = timing_report(campaign_dir)
+        sections.append(
+            timing
+            if timing is not None
+            else "No telemetry trail found (run the campaign with "
+            "--telemetry spans or REPRO_TELEMETRY=spans)."
+        )
     return "\n\n".join(sections)

@@ -20,11 +20,13 @@ carrying its traceback so the campaign records it and moves on.
 
 from __future__ import annotations
 
+import json
 import time
 import traceback
 from pathlib import Path
 from typing import Any
 
+from repro import telemetry
 from repro.analysis.budget import budget_report
 from repro.analysis.fairness import jain_index, participation_rates
 from repro.analysis.welfare import welfare_summary
@@ -44,6 +46,7 @@ from repro.simulation.scenarios import (
 __all__ = ["build_scenario", "summarize_log", "execute_config", "run_cell"]
 
 EVENT_LOG_NAME = "event_log.json"
+TELEMETRY_SNAPSHOT_NAME = "telemetry.json"
 
 
 def build_scenario(config: ExperimentConfig) -> Scenario:
@@ -154,6 +157,9 @@ def execute_config(
     are archived there.  Cells pairing a stateless mechanism with a
     history-free scenario run batched (see :func:`_round_batch_for`).
     """
+    if telemetry.enabled():
+        # Per-run capture: aggregates always describe exactly this config.
+        telemetry.reset()
     mechanism = build_mechanism(config)
     scenario = build_scenario(config)
     runner = SimulationRunner(
@@ -179,6 +185,10 @@ def execute_config(
         out_dir.mkdir(parents=True, exist_ok=True)
         config.save(out_dir / "config.json")
         save_event_log(out_dir / EVENT_LOG_NAME, log)
+        if telemetry.enabled():
+            (out_dir / TELEMETRY_SNAPSHOT_NAME).write_text(
+                json.dumps(telemetry.snapshot(), sort_keys=True)
+            )
     return metrics
 
 
@@ -186,7 +196,8 @@ def run_cell(payload: dict[str, Any]) -> dict[str, Any]:
     """Worker entry point (every execution backend): run one cell, never raise.
 
     ``payload`` is ``{"cell": CellSpec.to_dict(), "cell_dir": str | None,
-    "events_path": str | None}``.  Returns ``{"cell_id", "status",
+    "events_path": str | None, "telemetry": str | None,
+    "telemetry_path": str | None}``.  Returns ``{"cell_id", "status",
     "metrics" | "error", "duration_seconds", "event_log_path"}`` — a
     crashed cell reports ``status="failed"`` with its formatted traceback
     instead of killing the campaign.
@@ -195,10 +206,20 @@ def run_cell(payload: dict[str, Any]) -> dict[str, Any]:
     event trail: ``cell_started`` at entry, then ``cell_finished`` (with
     the scalar metric snapshot) or ``cell_failed`` — this is what ``repro
     .cli watch`` dashboards and the successive-halving scheduler consume.
+
+    The ``telemetry`` key carries the coordinator's instrumentation level
+    into this worker (process pools and remote ``repro.cli work`` drainers
+    alike; it overrides the drainer's own env).  With spans enabled, the
+    cell's telemetry snapshot is appended to the campaign's
+    ``telemetry.jsonl`` trail at ``telemetry_path`` and a compact
+    decision-latency record rides on the ``cell_finished`` event so live
+    dashboards can fold per-round latency percentiles across cells.
     """
     from repro.orchestration.sweep import CellSpec
 
     started = time.perf_counter()
+    if payload.get("telemetry") is not None:
+        telemetry.set_telemetry_level(payload["telemetry"])
     cell_dir = Path(payload["cell_dir"]) if payload.get("cell_dir") else None
     events = EventWriter(payload.get("events_path"))
     cell_id = str(payload.get("cell", {}).get("cell_id", "?"))
@@ -209,11 +230,30 @@ def run_cell(payload: dict[str, Any]) -> dict[str, Any]:
             cell.config, cell_dir, compute_regret=cell.compute_regret
         )
         duration = time.perf_counter() - started
+        extra: dict[str, Any] = {}
+        if telemetry.enabled():
+            snap = telemetry.snapshot()
+            trail_path = payload.get("telemetry_path")
+            if trail_path is None and payload.get("events_path"):
+                # Drainer-side opt-in (repro.cli work --telemetry): the
+                # coordinator sent no trail path, so write next to the
+                # campaign's event trail.
+                trail_path = str(
+                    Path(payload["events_path"]).parent
+                    / telemetry.TELEMETRY_TRAIL_NAME
+                )
+            telemetry.TelemetryTrail(trail_path).append(
+                snap, cell_id=cell.cell_id, duration_seconds=duration
+            )
+            decision = telemetry.decision_latency(snap)
+            if decision is not None:
+                extra["telemetry"] = decision
         events.emit(
             "cell_finished",
             cell_id=cell.cell_id,
             duration_seconds=duration,
             metrics=metric_snapshot(metrics),
+            **extra,
         )
         return {
             "cell_id": cell.cell_id,

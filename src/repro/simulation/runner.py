@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.bids import AuctionRound, RoundBatch, RoundOutcome
 from repro.core.mechanism import Mechanism
 from repro.core.valuation import ValuationModel
@@ -101,12 +102,14 @@ class FLAttachment:
         update — the realised-usefulness signal consumed by
         :class:`repro.core.quality_estimation.LearnedValuation`.
         """
-        global_params = self.server.global_params()
-        updates = self.local_solver.train(
-            [self.fl_clients[cid] for cid in selected if cid in self.fl_clients],
-            global_params,
-        )
-        self.server.apply_updates(updates)
+        with telemetry.span("fl_step"):
+            global_params = self.server.global_params()
+            updates = self.local_solver.train(
+                [self.fl_clients[cid] for cid in selected if cid in self.fl_clients],
+                global_params,
+            )
+            with telemetry.span("fl_aggregate"):
+                self.server.apply_updates(updates)
         contributions = dict(
             zip(
                 updates.client_ids,
@@ -179,21 +182,28 @@ class SimulationRunner:
         Consumes exactly the random draws the sequential loop would, in the
         same order, so batched windows stay on the same streams.
         """
-        available = self._available_clients(round_index)
-        bids = tuple(client.make_bid(round_index) for client in available)
-        if bids:
-            values = self.valuation.values_for(bids)
-            auction_round = AuctionRound(index=round_index, bids=bids, values=values)
-        else:
-            values = {}
-            auction_round = None
+        with telemetry.span("round_prepare"):
+            available = self._available_clients(round_index)
+            bids = tuple(client.make_bid(round_index) for client in available)
+            if bids:
+                values = self.valuation.values_for(bids)
+                auction_round = AuctionRound(
+                    index=round_index, bids=bids, values=values
+                )
+            else:
+                values = {}
+                auction_round = None
         return _PreparedRound(round_index, available, bids, values, auction_round)
 
     def run_round(self, round_index: int, *, force_eval: bool = False) -> RoundRecord:
         """Simulate one round end to end and append its record."""
         prepared = self._prepare_round(round_index)
         if prepared.auction_round is not None:
-            outcome = self.mechanism.run_round(prepared.auction_round)
+            # The per-round decision latency the SLO harness gates on: the
+            # mechanism's whole decide path (winner determination, payments,
+            # queue feedback), excluding simulation bookkeeping.
+            with telemetry.span("round_decide"):
+                outcome = self.mechanism.run_round(prepared.auction_round)
         else:
             outcome = RoundOutcome(round_index=round_index, selected=(), payments={})
         return self._apply_outcome(prepared, outcome, force_eval=force_eval)
@@ -206,6 +216,18 @@ class SimulationRunner:
         force_eval: bool = False,
     ) -> RoundRecord:
         """Phase 2 of a round: consequences, learning, FL step, the record."""
+        with telemetry.span("round_apply"):
+            return self._apply_outcome_inner(
+                prepared, outcome, force_eval=force_eval
+            )
+
+    def _apply_outcome_inner(
+        self,
+        prepared: "_PreparedRound",
+        outcome: RoundOutcome,
+        *,
+        force_eval: bool = False,
+    ) -> RoundRecord:
         round_index = prepared.round_index
         available = prepared.available
         bids = prepared.bids
@@ -305,7 +327,11 @@ class SimulationRunner:
         outcomes: dict[int, RoundOutcome] = {}
         if with_bids:
             batch = RoundBatch.from_rounds([p.auction_round for p in with_bids])
-            for p, outcome in zip(with_bids, self.mechanism.run_rounds(batch)):
+            # The batched decision latency: one sample covers the whole
+            # window, so per-round figures are amortised (count = windows).
+            with telemetry.span("round_decide_batch"):
+                decided = self.mechanism.run_rounds(batch)
+            for p, outcome in zip(with_bids, decided):
                 outcomes[p.round_index] = outcome
         for p in prepared:
             outcome = outcomes.get(

@@ -1,0 +1,324 @@
+"""Hierarchical span timers, latency histograms and counters.
+
+The telemetry spine every latency/SLO harness in the repo reads from.  It
+is engineered around one constraint: **instrumentation must cost nothing
+when it is off**.  Probes sit on the mechanism and FL hot paths (winner
+determination, payment engines, queue updates, local training), so the
+disabled path of every primitive is a module-global integer compare and
+nothing else — no allocation, no lock, no string formatting.  The overhead
+gate in ``tests/utils/test_telemetry.py`` pins this below 2 % on a
+microbenchmark loop.
+
+Three instrumentation levels (config surface in
+:mod:`repro.logging_utils`; knob ``REPRO_TELEMETRY=off|counters|spans``,
+CLI ``--telemetry``):
+
+* ``off`` — every probe is a no-op (the default);
+* ``counters`` — :func:`add_counter` / :func:`set_gauge` record named
+  scalars (solve-cache hit rates, batch sizes);
+* ``spans`` — additionally, :func:`span` (context manager) and
+  :func:`traced` (decorator) time hierarchical spans.  A span's *path* is
+  its enclosing spans' names joined with ``/`` (per-thread stacks, so
+  concurrent threads nest independently), and every path aggregates into a
+  :class:`~repro.telemetry.histogram.Histogram` — count, total, self time
+  (total minus child spans) and exact p50/p95/p99 latency percentiles.
+
+Aggregation is in-process; crossing process boundaries uses the same
+``O_APPEND`` JSONL discipline as :mod:`repro.orchestration.events`: a
+worker serialises its :func:`snapshot` as one appended line on the
+campaign's ``telemetry.jsonl`` trail (:class:`TelemetryTrail`), and
+readers (``repro.cli profile``, ``report --timing``) merge lines exactly
+via the histograms' sparse bucket maps.
+
+Usage::
+
+    from repro import telemetry
+
+    with telemetry.span("round_decide"):
+        outcome = mechanism.run_round(auction_round)
+
+    @telemetry.traced("pay_greedy")
+    def greedy_critical_scores(...): ...
+
+    telemetry.add_counter("wd_cache_hit")
+    snap = telemetry.snapshot()          # {"spans": {...}, "counters": ...}
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from time import perf_counter
+from typing import Any, Callable, Iterable
+
+from repro import logging_utils
+from repro.logging_utils import (
+    TELEMETRY_COUNTERS,
+    TELEMETRY_ENV,
+    TELEMETRY_LEVELS,
+    TELEMETRY_OFF,
+    TELEMETRY_SPANS,
+    set_telemetry_level,
+    telemetry_level,
+)
+from repro.telemetry.histogram import Histogram
+from repro.telemetry.trail import (
+    TELEMETRY_TRAIL_NAME,
+    TelemetryTrail,
+    read_trail,
+    render_snapshot,
+)
+
+__all__ = [
+    "span",
+    "traced",
+    "add_counter",
+    "set_gauge",
+    "enabled",
+    "snapshot",
+    "reset",
+    "merge_snapshots",
+    "decision_latency",
+    "set_telemetry_level",
+    "telemetry_level",
+    "Histogram",
+    "TelemetryTrail",
+    "read_trail",
+    "render_snapshot",
+    "TELEMETRY_TRAIL_NAME",
+    "TELEMETRY_ENV",
+    "TELEMETRY_LEVELS",
+    "TELEMETRY_OFF",
+    "TELEMETRY_COUNTERS",
+    "TELEMETRY_SPANS",
+]
+
+
+class _SpanStats:
+    """Aggregate of every completed span sharing one path (lock-guarded)."""
+
+    __slots__ = ("count", "total", "child_total", "histogram")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.child_total = 0.0
+        self.histogram = Histogram()
+
+
+_lock = threading.Lock()
+_spans: dict[str, _SpanStats] = {}
+_counters: dict[str, float] = {}
+_gauges: dict[str, float] = {}
+_local = threading.local()
+
+
+def enabled(minimum: int = TELEMETRY_COUNTERS) -> bool:
+    """True when the current level is at least ``minimum``.
+
+    The guard for call sites whose probe *arguments* cost something to
+    build (an f-string span name, a computed counter value)::
+
+        if telemetry.enabled(telemetry.TELEMETRY_COUNTERS):
+            telemetry.add_counter(f"wd/{method}")
+    """
+    return logging_utils.TELEMETRY_LEVEL_NUM >= minimum
+
+
+class _NullSpan:
+    """The disabled-path span: enter/exit do nothing, one shared instance."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span frame: resolves its path from the per-thread stack."""
+
+    __slots__ = ("name", "path", "start", "child_seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __enter__(self) -> "_Span":
+        stack = getattr(_local, "stack", None)
+        if stack is None:
+            stack = _local.stack = []
+        self.path = f"{stack[-1].path}/{self.name}" if stack else self.name
+        self.child_seconds = 0.0
+        stack.append(self)
+        self.start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        duration = perf_counter() - self.start
+        stack = _local.stack
+        stack.pop()
+        if stack:
+            stack[-1].child_seconds += duration
+        with _lock:
+            stats = _spans.get(self.path)
+            if stats is None:
+                stats = _spans[self.path] = _SpanStats()
+            stats.count += 1
+            stats.total += duration
+            stats.child_total += self.child_seconds
+            stats.histogram.record(duration)
+
+
+def span(name: str) -> "_Span | _NullSpan":
+    """Context manager timing one hierarchical span.
+
+    Nested ``span``/:func:`traced` frames on the same thread extend the
+    path with ``/``; when the level is below ``spans`` the shared no-op
+    span is returned and nothing is recorded.
+    """
+    if logging_utils.TELEMETRY_LEVEL_NUM < TELEMETRY_SPANS:
+        return _NULL_SPAN
+    return _Span(name)
+
+
+def traced(name: str | None = None) -> Callable:
+    """Decorator form of :func:`span` (span name defaults to the qualname).
+
+    The disabled path is one integer compare before calling through —
+    cheap enough for per-round payment engines.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        label = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if logging_utils.TELEMETRY_LEVEL_NUM < TELEMETRY_SPANS:
+                return fn(*args, **kwargs)
+            with _Span(label):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def add_counter(name: str, value: float = 1.0) -> None:
+    """Add to a named counter (no-op below the ``counters`` level)."""
+    if logging_utils.TELEMETRY_LEVEL_NUM < TELEMETRY_COUNTERS:
+        return
+    with _lock:
+        _counters[name] = _counters.get(name, 0.0) + value
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a named gauge to its latest value (no-op below ``counters``)."""
+    if logging_utils.TELEMETRY_LEVEL_NUM < TELEMETRY_COUNTERS:
+        return
+    with _lock:
+        _gauges[name] = float(value)
+
+
+def reset() -> None:
+    """Drop every aggregated span, counter and gauge (not the level)."""
+    with _lock:
+        _spans.clear()
+        _counters.clear()
+        _gauges.clear()
+
+
+def snapshot() -> dict[str, Any]:
+    """The current aggregate state as one JSON-ready document.
+
+    Per span path: ``count``, ``total_s``, ``self_s`` (total minus time in
+    child spans), the latency summary (``p50_ms``/``p95_ms``/``p99_ms``/
+    ``max_ms``/``jitter_ms`` — exact while the histogram still holds its
+    raw samples) and the serialised histogram (``hist``) so snapshots from
+    different processes merge exactly.  Reading does not reset; pair with
+    :func:`reset` for per-cell capture.
+    """
+    with _lock:
+        spans = {}
+        for path, stats in _spans.items():
+            entry: dict[str, Any] = {
+                "count": stats.count,
+                "total_s": stats.total,
+                "self_s": max(stats.total - stats.child_total, 0.0),
+            }
+            entry.update(stats.histogram.summary())
+            entry["hist"] = stats.histogram.to_dict()
+            spans[path] = entry
+        return {
+            "level": telemetry_level(),
+            "spans": spans,
+            "counters": dict(_counters),
+            "gauges": dict(_gauges),
+        }
+
+
+def merge_snapshots(snapshots: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Fold many snapshots (e.g. one per campaign cell) into one.
+
+    Span counts/totals and counters add exactly; histograms merge through
+    their bucket maps, so merged percentiles are bucket-resolution (see
+    :mod:`repro.telemetry.histogram`).  Gauges keep the last value seen.
+    """
+    spans: dict[str, dict[str, Any]] = {}
+    histograms: dict[str, Histogram] = {}
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    level = "off"
+    for snap in snapshots:
+        level = snap.get("level", level)
+        for path, entry in snap.get("spans", {}).items():
+            merged = spans.setdefault(
+                path, {"count": 0, "total_s": 0.0, "self_s": 0.0}
+            )
+            merged["count"] += int(entry.get("count", 0))
+            merged["total_s"] += float(entry.get("total_s", 0.0))
+            merged["self_s"] += float(entry.get("self_s", 0.0))
+            if "hist" in entry:
+                histogram = Histogram.from_dict(entry["hist"])
+                if path in histograms:
+                    histograms[path].merge(histogram)
+                else:
+                    histograms[path] = histogram
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + float(value)
+        gauges.update(snap.get("gauges", {}))
+    for path, histogram in histograms.items():
+        spans[path].update(histogram.summary())
+        spans[path]["hist"] = histogram.to_dict()
+    return {"level": level, "spans": spans, "counters": counters, "gauges": gauges}
+
+
+#: Span paths carrying the per-round decision latency, in preference order
+#: (the sequential loop's span first, then the batched window's).
+DECISION_SPANS = ("round_decide", "round_decide_batch")
+
+
+def decision_latency(snap: dict[str, Any]) -> dict[str, Any] | None:
+    """Compact decision-latency record for the campaign event bus.
+
+    Picks the per-round decision span out of a snapshot and strips it to
+    what a live dashboard needs: the percentile summary plus the sparse
+    histogram (so ``repro.cli watch`` can merge latency across cells
+    exactly).  ``None`` when the snapshot has no decision span.
+    """
+    spans = snap.get("spans", {})
+    for path in DECISION_SPANS:
+        entry = spans.get(path)
+        if entry is not None and entry.get("count"):
+            record = {"span": path}
+            for key in ("count", "p50_ms", "p95_ms", "p99_ms", "max_ms", "jitter_ms"):
+                if key in entry:
+                    record[key] = entry[key]
+            if "hist" in entry:
+                record["hist"] = entry["hist"]
+            return record
+    return None

@@ -1,0 +1,199 @@
+"""Fixed-bucket latency histograms with exact small-sample percentiles.
+
+The recording side is built for hot loops: one ``math.log10`` and a dict
+increment per sample, no allocation growth beyond the (bounded) bucket map.
+Buckets are log-spaced — ``BUCKETS_PER_DECADE`` per factor of 10, spanning
+``MIN_SECONDS`` to ``MAX_SECONDS`` — so a bucket index is meaningful across
+processes and merges are plain per-index sums, the property the campaign
+telemetry trail relies on (every worker serialises its sparse bucket map;
+readers merge exactly).
+
+Percentiles are *exact* while the histogram still holds every raw sample
+(up to ``exact_cap``, default 4096 — far above any per-cell round count the
+benchmarks use): the requested rank is read from the sorted samples, the
+same number ``numpy.percentile(..., method="lower")`` would produce.  Past
+the cap, or after a merge of serialised histograms (raw samples are not
+shipped), percentiles degrade gracefully to the *upper edge* of the bucket
+containing the rank — a conservative bound within one bucket width
+(``10^(1/BUCKETS_PER_DECADE)``, about 12 % at the default resolution).
+
+Jitter is the standard deviation, computed exactly from running
+``sum``/``sum of squares`` regardless of the sample cap.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Histogram"]
+
+#: Bucket resolution: 20 buckets per decade => upper/lower edge ratio ~1.122.
+BUCKETS_PER_DECADE = 20
+#: Full scale: 100 ns .. 1000 s covers a numpy scalar op through a full
+#: campaign cell; samples outside clamp into the edge buckets.
+MIN_SECONDS = 1e-7
+MAX_SECONDS = 1e3
+
+_DECADES = int(round(math.log10(MAX_SECONDS / MIN_SECONDS)))
+NUM_BUCKETS = _DECADES * BUCKETS_PER_DECADE + 1
+_LOG_MIN = math.log10(MIN_SECONDS)
+
+
+def _bucket_of(seconds: float) -> int:
+    if seconds <= MIN_SECONDS:
+        return 0
+    if seconds >= MAX_SECONDS:
+        return NUM_BUCKETS - 1
+    return int((math.log10(seconds) - _LOG_MIN) * BUCKETS_PER_DECADE)
+
+
+def bucket_upper_edge(index: int) -> float:
+    """Upper boundary (seconds) of a bucket — the conservative percentile."""
+    return 10.0 ** (_LOG_MIN + (index + 1) / BUCKETS_PER_DECADE)
+
+
+class Histogram:
+    """One latency distribution: sparse log buckets + capped raw samples."""
+
+    __slots__ = (
+        "buckets",
+        "count",
+        "total",
+        "sumsq",
+        "min",
+        "max",
+        "samples",
+        "exact_cap",
+    )
+
+    def __init__(self, *, exact_cap: int = 4096) -> None:
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.sumsq = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self.samples: list[float] | None = []
+        self.exact_cap = exact_cap
+
+    def record(self, seconds: float) -> None:
+        """Fold one latency sample (seconds) in."""
+        index = _bucket_of(seconds)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += seconds
+        self.sumsq += seconds * seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        if self.samples is not None:
+            if len(self.samples) < self.exact_cap:
+                self.samples.append(seconds)
+            else:
+                # Past the cap the sample list no longer covers every
+                # record; drop it so percentiles honestly fall back to
+                # bucket resolution instead of silently describing a prefix.
+                self.samples = None
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (exact for every aggregate but samples)."""
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        self.count += other.count
+        self.total += other.total
+        self.sumsq += other.sumsq
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        if self.samples is not None and other.samples is not None and (
+            len(self.samples) + len(other.samples) <= self.exact_cap
+        ):
+            self.samples.extend(other.samples)
+        else:
+            self.samples = None
+
+    @property
+    def exact(self) -> bool:
+        """True while percentiles come from raw samples, not bucket edges."""
+        return self.samples is not None
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile in seconds (``q`` in [0, 100]).
+
+        Exact (rank statistic of the raw samples) while :attr:`exact` holds;
+        otherwise the upper edge of the bucket containing the rank.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        # numpy's method="lower" rank: floor of the linear-interpolation
+        # position over count-1 gaps.
+        rank = int(q / 100.0 * (self.count - 1))
+        if self.samples is not None:
+            return sorted(self.samples)[rank]
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen > rank:
+                return bucket_upper_edge(index)
+        return bucket_upper_edge(max(self.buckets))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def jitter(self) -> float:
+        """Standard deviation of the samples (exact at any count)."""
+        if self.count == 0:
+            return 0.0
+        variance = self.sumsq / self.count - self.mean**2
+        return math.sqrt(max(variance, 0.0))
+
+    def summary(self, *, unit_ms: bool = True) -> dict[str, float]:
+        """``{count, mean, p50, p95, p99, max, jitter}`` (milliseconds)."""
+        scale = 1e3 if unit_ms else 1.0
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * scale,
+            "p50_ms": self.percentile(50) * scale,
+            "p95_ms": self.percentile(95) * scale,
+            "p99_ms": self.percentile(99) * scale,
+            "max_ms": (self.max if self.count else 0.0) * scale,
+            "jitter_ms": self.jitter * scale,
+        }
+
+    # -- serialisation (the telemetry trail) --------------------------------
+
+    def to_dict(self) -> dict:
+        """Compact JSON form: sparse buckets + exact scalar aggregates.
+
+        Raw samples are deliberately not shipped — a trail line must stay
+        small — so percentiles of a deserialised histogram are
+        bucket-resolution (see the module docstring).
+        """
+        return {
+            "buckets": {str(index): count for index, count in self.buckets.items()},
+            "count": self.count,
+            "total": self.total,
+            "sumsq": self.sumsq,
+            "min": self.min if self.count else None,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, entry: dict) -> "Histogram":
+        histogram = cls()
+        histogram.buckets = {
+            int(index): int(count)
+            for index, count in dict(entry.get("buckets", {})).items()
+        }
+        histogram.count = int(entry.get("count", 0))
+        histogram.total = float(entry.get("total", 0.0))
+        histogram.sumsq = float(entry.get("sumsq", 0.0))
+        minimum = entry.get("min")
+        histogram.min = math.inf if minimum is None else float(minimum)
+        histogram.max = float(entry.get("max", 0.0))
+        histogram.samples = None if histogram.count else []
+        return histogram

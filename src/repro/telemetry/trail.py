@@ -1,0 +1,203 @@
+"""The telemetry trail: per-worker snapshot lines, and span-tree rendering.
+
+A campaign's telemetry lives in ``<campaign>/telemetry.jsonl``: every
+worker that executes a cell with spans enabled appends one line carrying
+its :func:`repro.telemetry.snapshot` for that cell.  Writes follow the same
+``O_APPEND`` one-line-per-record discipline as
+:mod:`repro.orchestration.events`, so any number of processes — local pool
+workers, ``repro.cli work`` drainers on other hosts sharing the directory —
+interleave without locks, and readers skip torn lines instead of dying.
+
+``repro.cli profile`` and ``repro.cli report --timing`` read the trail
+back (:func:`read_trail`), merge the snapshots exactly through the
+histograms' bucket maps, and render the result as an indented span tree
+(:func:`render_snapshot`): count, total, self time and latency percentiles
+per span path, followed by counters and gauges.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "TELEMETRY_TRAIL_NAME",
+    "TelemetryTrail",
+    "read_trail",
+    "render_snapshot",
+]
+
+TELEMETRY_TRAIL_NAME = "telemetry.jsonl"
+
+
+def _worker_label() -> str:
+    return f"{os.uname().nodename}:{os.getpid()}"
+
+
+class TelemetryTrail:
+    """Appends snapshot records to a trail file (no-op when path is None)."""
+
+    def __init__(self, path: str | Path | None, *, worker: str | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.worker = worker if worker is not None else _worker_label()
+
+    def append(
+        self,
+        snapshot: dict[str, Any],
+        *,
+        cell_id: str | None = None,
+        **data: Any,
+    ) -> None:
+        """Append one ``{"timestamp", "worker", "cell_id"?, "snapshot"}`` line."""
+        if self.path is None:
+            return
+        record: dict[str, Any] = {
+            "timestamp": time.time(),
+            "worker": self.worker,
+            "snapshot": snapshot,
+        }
+        if cell_id is not None:
+            record["cell_id"] = cell_id
+        if data:
+            record.update(data)
+        line = json.dumps(record, sort_keys=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+
+
+def read_trail(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a trail; a missing file is an empty trail, torn lines skipped."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and isinstance(record.get("snapshot"), dict):
+                records.append(record)
+    return records
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def _tree_rows(spans: dict[str, dict[str, Any]]) -> list[tuple[int, str, dict]]:
+    """``(depth, label, entry)`` rows in depth-first, total-descending order.
+
+    Span paths nest on ``/``; a path segment that was never itself recorded
+    as a span (possible after partial trails) renders as a bare grouping
+    row with empty stats.
+    """
+    children: dict[str, list[str]] = {"": []}
+    for path in spans:
+        parts = path.split("/")
+        for depth in range(len(parts)):
+            parent = "/".join(parts[:depth])
+            node = "/".join(parts[: depth + 1])
+            siblings = children.setdefault(parent, [])
+            if node not in siblings:
+                siblings.append(node)
+            children.setdefault(node, [])
+
+    def total_of(node: str) -> float:
+        entry = spans.get(node)
+        if entry is not None:
+            return float(entry.get("total_s", 0.0))
+        return sum(total_of(child) for child in children.get(node, ()))
+
+    rows: list[tuple[int, str, dict]] = []
+
+    def visit(node: str, depth: int) -> None:
+        if node:
+            rows.append((depth - 1, node.rsplit("/", 1)[-1], spans.get(node, {})))
+        for child in sorted(children.get(node, ()), key=total_of, reverse=True):
+            visit(child, depth + 1)
+
+    visit("", 0)
+    return rows
+
+
+def _fmt(value: Any, spec: str) -> str:
+    if value is None or value == "":
+        return ""
+    return format(float(value), spec)
+
+
+def render_snapshot(
+    snap: dict[str, Any],
+    *,
+    title: str | None = None,
+    include_counters: bool = True,
+) -> str:
+    """Render a (possibly merged) snapshot as an indented span-tree table."""
+    spans = snap.get("spans", {})
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not spans:
+        lines.append(
+            "no spans recorded (run with REPRO_TELEMETRY=spans or --telemetry spans)"
+        )
+    else:
+        rows = []
+        for depth, label, entry in _tree_rows(spans):
+            rows.append(
+                [
+                    "  " * depth + label,
+                    str(entry.get("count", "")),
+                    _fmt(entry.get("total_s"), ".3f"),
+                    _fmt(entry.get("self_s"), ".3f"),
+                    _fmt(entry.get("p50_ms"), ".3f"),
+                    _fmt(entry.get("p95_ms"), ".3f"),
+                    _fmt(entry.get("p99_ms"), ".3f"),
+                    _fmt(entry.get("max_ms"), ".3f"),
+                ]
+            )
+        headers = [
+            "span",
+            "count",
+            "total s",
+            "self s",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "max ms",
+        ]
+        widths = [len(h) for h in headers]
+        for row in rows:
+            for j, cell in enumerate(row):
+                widths[j] = max(widths[j], len(cell))
+        # The span column is a tree: left-justified; every stat right-justified.
+        lines.append(
+            " | ".join(
+                (h.ljust(widths[j]) if j == 0 else h.rjust(widths[j]))
+                for j, h in enumerate(headers)
+            )
+        )
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in rows:
+            lines.append(
+                " | ".join(
+                    (cell.ljust(widths[j]) if j == 0 else cell.rjust(widths[j]))
+                    for j, cell in enumerate(row)
+                )
+            )
+    if include_counters and (snap.get("counters") or snap.get("gauges")):
+        lines.append("")
+        for kind in ("counters", "gauges"):
+            table = snap.get(kind, {})
+            if not table:
+                continue
+            lines.append(f"{kind}:")
+            width = max(len(name) for name in table)
+            for name in sorted(table):
+                lines.append(f"  {name.ljust(width)}  {table[name]:g}")
+    return "\n".join(lines)

@@ -8,6 +8,7 @@ landed in SQLite or in the columnar NPZ — including after a mid-campaign
 kill+resume, and with several independent drainers sharing one queue.
 """
 
+import json
 import multiprocessing
 import time
 
@@ -310,3 +311,62 @@ class TestWorkQueueSharing:
         assert queue.enqueue([payload]) == 0  # leased
         queue.ack(cell.cell_id, {"cell_id": cell.cell_id, "status": "completed"})
         assert queue.enqueue([payload]) == 0  # done
+
+
+class TestLeaseClocks:
+    """Lease expiry prefers the monotonic clock over adjustable wall time."""
+
+    def _claimed_queue(self, tmp_path, lease_seconds=30.0):
+        spec = small_spec(mechanisms=("lt-vcg",), seeds=(0,))
+        queue = WorkQueue(tmp_path / "camp", lease_seconds=lease_seconds)
+        (cell,) = spec.expand()
+        payload = {"cell": cell.to_dict(), "cell_dir": None, "events_path": None}
+        assert queue.enqueue([payload]) == 1
+        assert queue.claim("w") is not None
+        (claim_path,) = queue.leases_dir.glob("*.claim.json")
+        return queue, claim_path
+
+    def test_claim_sidecar_records_both_clocks(self, tmp_path):
+        _, claim_path = self._claimed_queue(tmp_path)
+        claim = json.loads(claim_path.read_text())
+        assert {"worker", "claimed_at", "monotonic", "host"} <= claim.keys()
+
+    def test_wall_clock_jump_does_not_expire_live_lease(self, tmp_path):
+        # An NTP step (or manual clock change) makes the wall-clock age
+        # look huge, but the same-host monotonic reading says the lease is
+        # fresh — it must stay held.
+        queue, claim_path = self._claimed_queue(tmp_path)
+        claim = json.loads(claim_path.read_text())
+        claim["claimed_at"] -= 3600.0
+        claim_path.write_text(json.dumps(claim))
+        assert queue.reclaim_expired() == 0
+        assert queue.counts()["leased"] == 1
+
+    def test_remote_host_falls_back_to_wall_clock(self, tmp_path):
+        # A sidecar written on another host carries a monotonic reading
+        # from a foreign clock: only the wall timestamp is comparable.
+        queue, claim_path = self._claimed_queue(tmp_path)
+        claim = json.loads(claim_path.read_text())
+        claim["claimed_at"] -= 3600.0
+        claim["host"] = claim["host"] + "-elsewhere"
+        claim_path.write_text(json.dumps(claim))
+        assert queue.reclaim_expired() == 1
+        assert queue.counts()["pending"] == 1
+
+    def test_rebooted_host_negative_age_falls_back(self, tmp_path):
+        # A reboot restarts the monotonic clock, so a pre-reboot reading
+        # can exceed the current one (negative age); expiry must then
+        # trust the wall clock instead of immortalising the lease.
+        queue, claim_path = self._claimed_queue(tmp_path)
+        claim = json.loads(claim_path.read_text())
+        claim["claimed_at"] -= 3600.0
+        claim["monotonic"] += 1e9
+        claim_path.write_text(json.dumps(claim))
+        assert queue.reclaim_expired() == 1
+
+    def test_legacy_sidecar_without_monotonic_still_expires(self, tmp_path):
+        queue, claim_path = self._claimed_queue(tmp_path)
+        claim_path.write_text(
+            json.dumps({"worker": "w", "claimed_at": time.time() - 3600.0})
+        )
+        assert queue.reclaim_expired() == 1

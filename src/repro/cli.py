@@ -107,6 +107,28 @@ def _add_telemetry_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="arm deterministic fault injection (chaos testing): comma list "
+             "of site:mode[@prob][#max], e.g. "
+             "'queue.claim:crash@0.1,store.flush:torn_write'; default: the "
+             "REPRO_FAULTS env var, else off",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed of the fault injector's RNG (default: REPRO_FAULTS_SEED, "
+             "else 0)",
+    )
+
+
+def _configure_faults(args: argparse.Namespace) -> None:
+    if args.faults is not None:
+        from repro import faults
+
+        faults.configure(args.faults, seed=args.fault_seed)
+
+
 def _main_single(argv: list[str]) -> int:
     args = _build_single_parser().parse_args(argv)
     if args.list_mechanisms:
@@ -182,6 +204,7 @@ def _main_sweep(argv: list[str]) -> int:
         EXECUTION_BACKENDS,
         SCENARIO_NAMES,
         STORE_BACKENDS,
+        RetryPolicy,
         SweepSpec,
         run_campaign,
     )
@@ -235,9 +258,16 @@ def _main_sweep(argv: list[str]) -> int:
     parser.add_argument(
         "--fresh", action="store_true", help="re-run cells already recorded"
     )
+    parser.add_argument(
+        "--max-attempts", type=int, default=None,
+        help="total attempts per cell before a transient failure is "
+             "quarantined (default: 3; 1 disables in-flight retries)",
+    )
     parser.add_argument("--name", default="campaign")
     _add_telemetry_flag(parser)
+    _add_fault_flags(parser)
     args = parser.parse_args(argv)
+    _configure_faults(args)
     if args.telemetry is not None:
         # The campaign payloads carry this level to every worker (including
         # remote work-queue drainers), and the campaign collects their
@@ -287,6 +317,11 @@ def _main_sweep(argv: list[str]) -> int:
             backend=args.backend,
             store=args.store,
             retry_failed=args.retry_failed,
+            retry=(
+                RetryPolicy(max_attempts=args.max_attempts)
+                if args.max_attempts is not None
+                else None
+            ),
         )
     except ValueError as error:  # e.g. directory holds a different campaign
         parser.error(str(error))
@@ -294,7 +329,7 @@ def _main_sweep(argv: list[str]) -> int:
 
 
 def _main_resume(argv: list[str]) -> int:
-    from repro.orchestration import EXECUTION_BACKENDS, resume_campaign
+    from repro.orchestration import EXECUTION_BACKENDS, RetryPolicy, resume_campaign
 
     parser = argparse.ArgumentParser(
         prog="repro.cli resume",
@@ -310,13 +345,25 @@ def _main_resume(argv: list[str]) -> int:
         "--retry-failed", action="store_true",
         help="re-queue cells previously recorded as failed",
     )
+    parser.add_argument(
+        "--max-attempts", type=int, default=None,
+        help="total attempts per cell before a transient failure is "
+             "quarantined (default: 3; 1 disables in-flight retries)",
+    )
+    _add_fault_flags(parser)
     args = parser.parse_args(argv)
+    _configure_faults(args)
     summary = resume_campaign(
         args.campaign_dir,
         max_workers=args.workers,
         progress=_print_progress,
         backend=args.backend,
         retry_failed=args.retry_failed,
+        retry=(
+            RetryPolicy(max_attempts=args.max_attempts)
+            if args.max_attempts is not None
+            else None
+        ),
     )
     return _finish_campaign(summary, args.campaign_dir)
 
@@ -328,6 +375,13 @@ def _finish_campaign(summary, campaign_dir: Path) -> int:
         f"done: {summary.completed} completed, {summary.skipped} skipped "
         f"(already done), {summary.failed} failed"
     )
+    if summary.retried:
+        line += f", {summary.retried} transient retries"
+    if summary.quarantined:
+        line += (
+            f" [{summary.quarantined} cells quarantined; see "
+            f"{campaign_dir / 'quarantine'}]"
+        )
     if summary.skipped_failed:
         line += (
             f" [{summary.skipped_failed} previously-failed cells skipped; "
@@ -441,8 +495,15 @@ def _main_work(argv: list[str]) -> int:
         help="how long a claimed cell may run before others may reclaim it",
     )
     parser.add_argument("--worker-id", default=None, help="label in the event trail")
+    parser.add_argument(
+        "--no-heartbeat", action="store_true",
+        help="disable the mid-cell lease heartbeat (leases then expire "
+             "after --lease-seconds regardless of cell progress)",
+    )
     _add_telemetry_flag(parser)
+    _add_fault_flags(parser)
     args = parser.parse_args(argv)
+    _configure_faults(args)
     if args.telemetry is not None:
         # A default for cells whose payload carries no level; payloads from
         # a --telemetry sweep coordinator override this per cell.
@@ -461,6 +522,7 @@ def _main_work(argv: list[str]) -> int:
         lease_seconds=args.lease_seconds,
         idle_timeout=args.idle_timeout,
         max_cells=args.max_cells,
+        heartbeat=not args.no_heartbeat,
         progress=progress,
     )
     print(f"drained {executed} cells from {args.campaign_dir}")
@@ -492,6 +554,9 @@ class _WatchState:
         self.in_flight: set[str] = set()
         self.finished = 0
         self.failed = 0
+        self.retried = 0
+        self.quarantined: set[str] = set()
+        self.lease_lost = 0
         self.duration_sum = 0.0
         self.finish_times: list[float] = []
         self.workers: set[str] = set()
@@ -512,6 +577,23 @@ class _WatchState:
             self.campaign_done = True
         elif event.type == "cell_started" and event.cell_id:
             self.in_flight.add(event.cell_id)
+        elif event.type == "cell_retry" and event.cell_id:
+            self.retried += 1
+            # The attempt's cell_failed already counted; the cell is being
+            # re-queued, so it is not a *final* failure (nor done).
+            self.failed = max(0, self.failed - 1)
+            attempt = event.data.get("attempt", "?")
+            self.recent = (
+                self.recent
+                + [
+                    f"  {event.cell_id}: retry (attempt {attempt} failed: "
+                    f"{event.data.get('exception_type', '?')})"
+                ]
+            )[-self.RECENT:]
+        elif event.type == "cell_quarantined" and event.cell_id:
+            self.quarantined.add(event.cell_id)
+        elif event.type == "cell_lease_lost" and event.cell_id:
+            self.lease_lost += 1
         elif event.type in ("cell_finished", "cell_failed") and event.cell_id:
             self.in_flight.discard(event.cell_id)
             duration = float(event.data.get("duration_seconds", 0.0))
@@ -568,10 +650,17 @@ class _WatchState:
                 f"{done}/{self.grid_cells} cells"
                 + (f" ({self.skipped} from checkpoint)" if self.skipped else "")
             )
-        lines.append(
+        status = (
             f"finished={self.finished} failed={self.failed} "
             f"in-flight={len(self.in_flight)} workers-seen={len(self.workers)}"
         )
+        if self.retried:
+            status += f" retried={self.retried}"
+        if self.quarantined:
+            status += f" quarantined={len(self.quarantined)}"
+        if self.lease_lost:
+            status += f" lease-lost={self.lease_lost}"
+        lines.append(status)
         executed = self.finished + self.failed
         if executed:
             span = self.finish_times[-1] - self.finish_times[0]

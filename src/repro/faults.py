@@ -1,0 +1,353 @@
+"""Deterministic fault injection for chaos-testing the campaign fabric.
+
+The orchestration layer promises exactly-once cell execution under worker
+crashes, stalls, torn writes, and transient I/O failures.  This module
+makes those promises *testable* instead of asserted: named fault sites are
+woven into the queue, store, event, and worker hot paths, and a seeded
+injector arms them from one declarative plan::
+
+    REPRO_FAULTS="queue.claim:crash@0.1,store.flush:torn_write@0.05" \\
+        python -m repro.cli work results/camp
+
+Plan syntax is a comma list of ``site:mode[@probability][#max_triggers]``
+entries.  Four fault modes exist:
+
+``crash``
+    Hard process death (``os._exit``) — no cleanup, no finally blocks,
+    exactly what ``kill -9`` or an OOM kill looks like to everyone else.
+``stall``
+    An injected sleep (``REPRO_FAULTS_STALL_SECONDS``, default 0.75 s)
+    long enough to push a claimed cell past a short lease — the hung-
+    worker scenario heartbeats and lease reclaim exist for.
+``torn_write``
+    Truncates the tail of the file the site just wrote, then crashes:
+    a process that died while the kernel had flushed only part of its
+    data.  Exercises the startup repair paths
+    (:meth:`~repro.orchestration.queue.WorkQueue.repair`, the columnar
+    store's ``.bak`` recovery) and torn-line tolerance in every reader.
+``io_error``
+    Raises :class:`TransientFaultError` (an ``OSError``) — the NFS blip /
+    full-disk / EINTR class of failure the retry policy must absorb.
+
+Sites are probed through :func:`fault_point` / :func:`torn_write_point`;
+with no plan configured a probe is one module-global load and a ``None``
+check.  The injector's RNG is seeded (``REPRO_FAULTS_SEED``), so a fault
+schedule is reproducible for a given process and probe sequence; tests
+that need full determinism pin ``@1.0`` probabilities with ``#N`` trigger
+caps.  Worker processes forked by the coordinator inherit the parent's
+resolved injector; fresh processes (``repro.cli work``) resolve the plan
+from their own environment on first probe.
+
+Registered sites (the plan parser rejects unknown names):
+
+=================  =========================================================
+``queue.enqueue``  coordinator, per task payload written
+``queue.claim``    worker, after winning a lease (before reading the payload)
+``queue.ack``      worker, between finishing a cell and durably acking it
+``queue.reclaim``  whoever sweeps expired leases
+``store.flush``    coordinator, around each columnar NPZ snapshot
+``events.emit``    any process appending to the campaign event trail
+``worker.run_cell``  worker, inside cell execution (after ``cell_started``)
+``executor.record``  coordinator, before recording an outcome in the store
+=================  =========================================================
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.logging_utils import get_logger
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAULT_MODES",
+    "FAULT_SITES",
+    "FAULTS_ENV",
+    "FAULTS_SEED_ENV",
+    "STALL_SECONDS_ENV",
+    "FaultSpec",
+    "FaultInjector",
+    "TransientFaultError",
+    "configure",
+    "configure_from_env",
+    "enabled",
+    "fault_point",
+    "torn_write_point",
+    "parse_fault_plan",
+]
+
+FAULTS_ENV = "REPRO_FAULTS"
+FAULTS_SEED_ENV = "REPRO_FAULTS_SEED"
+STALL_SECONDS_ENV = "REPRO_FAULTS_STALL_SECONDS"
+
+#: Distinctive exit status for injected crashes, so a test (or a human
+#: reading worker exit codes) can tell an injected death from a real one.
+CRASH_EXIT_CODE = 86
+
+FAULT_MODES = ("crash", "stall", "torn_write", "io_error")
+
+FAULT_SITES = (
+    "queue.enqueue",
+    "queue.claim",
+    "queue.ack",
+    "queue.reclaim",
+    "store.flush",
+    "events.emit",
+    "worker.run_cell",
+    "executor.record",
+)
+
+_LOGGER = get_logger("faults")
+
+
+class TransientFaultError(OSError):
+    """Injected transient I/O failure (classified retryable, like any OSError)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: where, what, how often, and for how long.
+
+    ``max_triggers`` caps how many times this spec may fire *per process*
+    — the knob that turns "fails forever" into "fails twice, then
+    succeeds", which is what retry tests need.
+    """
+
+    site: str
+    mode: str
+    probability: float = 1.0
+    max_triggers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; "
+                f"choose from {', '.join(FAULT_SITES)}"
+            )
+        if self.mode not in FAULT_MODES:
+            raise ValueError(
+                f"unknown fault mode {self.mode!r}; "
+                f"choose from {', '.join(FAULT_MODES)}"
+            )
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"fault probability must be in (0, 1], got {self.probability}"
+            )
+        if self.max_triggers is not None and self.max_triggers < 1:
+            raise ValueError(
+                f"max_triggers must be >= 1, got {self.max_triggers}"
+            )
+
+
+def parse_fault_plan(text: str) -> tuple[FaultSpec, ...]:
+    """Parse ``site:mode[@prob][#max],...`` into fault specs.
+
+    Empty text parses to an empty plan (fault injection disabled).
+    """
+    specs = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        body, _, max_text = token.partition("#")
+        body, _, prob_text = body.partition("@")
+        site, separator, mode = body.partition(":")
+        if not separator:
+            raise ValueError(
+                f"bad fault entry {token!r}: expected site:mode[@prob][#max]"
+            )
+        specs.append(
+            FaultSpec(
+                site=site.strip(),
+                mode=mode.strip(),
+                probability=float(prob_text) if prob_text else 1.0,
+                max_triggers=int(max_text) if max_text else None,
+            )
+        )
+    return tuple(specs)
+
+
+class FaultInjector:
+    """Arms fault sites from a plan; every roll comes from one seeded RNG.
+
+    Thread-safe: drainer heartbeat threads and the main loop may probe
+    concurrently.  ``triggered`` counts fired faults per ``(site, mode)``
+    so tests and post-mortems can see what the schedule actually did.
+    """
+
+    def __init__(
+        self,
+        specs: tuple[FaultSpec, ...],
+        *,
+        seed: int = 0,
+        stall_seconds: float = 0.75,
+    ) -> None:
+        self.specs = tuple(specs)
+        self.seed = int(seed)
+        self.stall_seconds = float(stall_seconds)
+        self._rng = random.Random(self.seed)
+        self._pid = os.getpid()
+        self._lock = threading.Lock()
+        self._by_site: dict[str, list[FaultSpec]] = {}
+        for spec in self.specs:
+            self._by_site.setdefault(spec.site, []).append(spec)
+        self.triggered: dict[tuple[str, str], int] = {}
+
+    def _arm(self, site: str, modes: tuple[str, ...]) -> FaultSpec | None:
+        """Roll the dice for each matching spec; returns the one that fires.
+
+        One RNG draw per matching spec per probe keeps the schedule
+        deterministic for a given seed and probe sequence.
+        """
+        with self._lock:
+            pid = os.getpid()
+            if pid != self._pid:
+                # Forked child: derive an independent (still deterministic,
+                # per-pid) stream and a fresh trigger budget.  Children all
+                # inherit the parent's RNG state at fork, so without this a
+                # crash-at-first-probe draw would kill every respawned
+                # replacement at the same probe, forever.
+                self._rng = random.Random(f"{self.seed}:{pid}")
+                self.triggered = {}
+                self._pid = pid
+            for spec in self._by_site.get(site, ()):
+                if spec.mode not in modes:
+                    continue
+                count = self.triggered.get((site, spec.mode), 0)
+                if spec.max_triggers is not None and count >= spec.max_triggers:
+                    continue
+                if self._rng.random() >= spec.probability:
+                    continue
+                self.triggered[(site, spec.mode)] = count + 1
+                return spec
+        return None
+
+    def fire(self, site: str) -> None:
+        """Probe a control-flow site (crash / stall / io_error modes)."""
+        spec = self._arm(site, ("crash", "stall", "io_error"))
+        if spec is None:
+            return
+        if spec.mode == "crash":
+            _LOGGER.warning("injected crash at %s (pid %d)", site, os.getpid())
+            os._exit(CRASH_EXIT_CODE)
+        if spec.mode == "stall":
+            _LOGGER.warning(
+                "injected %.2fs stall at %s", self.stall_seconds, site
+            )
+            import time
+
+            time.sleep(self.stall_seconds)
+            return
+        _LOGGER.warning("injected transient I/O failure at %s", site)
+        raise TransientFaultError(f"injected transient I/O failure at {site}")
+
+    def torn_write(
+        self, site: str, path: str | Path, tail_bytes: int | None = None
+    ) -> None:
+        """Probe a just-completed write: maybe tear its tail, then crash.
+
+        Truncates between 1 byte and ``tail_bytes`` (default: the whole
+        file) off the end of ``path`` and hard-exits — the on-disk state a
+        reader sees when a writer died with only part of its data flushed.
+        """
+        spec = self._arm(site, ("torn_write",))
+        if spec is None:
+            return
+        path = Path(path)
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        if size > 1:
+            cut = self._rng.randint(1, max(1, min(tail_bytes or size, size - 1)))
+            with open(path, "r+b") as handle:
+                handle.truncate(size - cut)
+                handle.flush()
+                os.fsync(handle.fileno())
+        _LOGGER.warning(
+            "injected torn write at %s (%s truncated), crashing", site, path
+        )
+        os._exit(CRASH_EXIT_CODE)
+
+
+#: Module-level injector: ``None`` = disabled.  ``_RESOLVED`` distinguishes
+#: "explicitly disabled" from "environment not read yet" so the first probe
+#: in any process (including fresh ``repro.cli work`` drainers) picks up
+#: ``REPRO_FAULTS`` lazily, while forked workers inherit the parent's state.
+_INJECTOR: FaultInjector | None = None
+_RESOLVED = False
+
+
+def configure(
+    plan: str | tuple[FaultSpec, ...] | None = None,
+    *,
+    seed: int | None = None,
+    stall_seconds: float | None = None,
+) -> FaultInjector | None:
+    """Install (or clear, with an empty plan) the process-wide injector."""
+    global _INJECTOR, _RESOLVED
+    _RESOLVED = True
+    if not plan:
+        _INJECTOR = None
+        return None
+    specs = parse_fault_plan(plan) if isinstance(plan, str) else tuple(plan)
+    if not specs:
+        _INJECTOR = None
+        return None
+    _INJECTOR = FaultInjector(
+        specs,
+        seed=seed if seed is not None else 0,
+        stall_seconds=stall_seconds if stall_seconds is not None else 0.75,
+    )
+    _LOGGER.warning(
+        "fault injection armed (seed %d): %s",
+        _INJECTOR.seed,
+        ", ".join(
+            f"{s.site}:{s.mode}@{s.probability:g}"
+            + (f"#{s.max_triggers}" if s.max_triggers else "")
+            for s in specs
+        ),
+    )
+    return _INJECTOR
+
+
+def configure_from_env() -> FaultInjector | None:
+    """Resolve the injector from ``REPRO_FAULTS`` / seed / stall env vars."""
+    seed_text = os.environ.get(FAULTS_SEED_ENV, "").strip()
+    stall_text = os.environ.get(STALL_SECONDS_ENV, "").strip()
+    return configure(
+        os.environ.get(FAULTS_ENV, ""),
+        seed=int(seed_text) if seed_text else None,
+        stall_seconds=float(stall_text) if stall_text else None,
+    )
+
+
+def _injector() -> FaultInjector | None:
+    if not _RESOLVED:
+        configure_from_env()
+    return _INJECTOR
+
+
+def enabled() -> bool:
+    """True when a fault plan is armed in this process."""
+    return _injector() is not None
+
+
+def fault_point(site: str) -> None:
+    """Probe a named control-flow fault site (no-op when disabled)."""
+    injector = _injector()
+    if injector is not None:
+        injector.fire(site)
+
+
+def torn_write_point(
+    site: str, path: str | Path | None, tail_bytes: int | None = None
+) -> None:
+    """Probe a named write site against the file just written."""
+    injector = _injector()
+    if injector is not None and path is not None:
+        injector.torn_write(site, path, tail_bytes)

@@ -28,6 +28,12 @@ parallel, resumable runs behind three public seams:
   :func:`aggregate_metric` — regenerate the paper's comparison tables from
   stored results via :mod:`repro.analysis`
   (:mod:`repro.orchestration.report`).
+* :class:`RetryPolicy` + quarantine — transient cell failures are retried
+  with exponential backoff and capped attempts; cells that keep failing
+  are dead-lettered under ``<campaign>/quarantine/`` with their full
+  traceback instead of wedging the campaign
+  (:mod:`repro.orchestration.retry`).  Deterministic fault injection for
+  exercising these paths lives in :mod:`repro.faults`.
 
 Quickstart::
 
@@ -71,6 +77,15 @@ from repro.orchestration.executor import (
     run_campaign,
 )
 from repro.orchestration.queue import WorkQueue, drain_queue
+from repro.orchestration.retry import (
+    QUARANTINE_DIR_NAME,
+    RetryPolicy,
+    classify_transient,
+    clear_quarantine,
+    load_quarantine_record,
+    quarantine_cell,
+    quarantined_ids,
+)
 from repro.orchestration.report import (
     aggregate_metric,
     campaign_report,
@@ -100,6 +115,7 @@ from repro.orchestration.worker import execute_config, run_cell
 __all__ = [
     "EVENTS_NAME",
     "EXECUTION_BACKENDS",
+    "QUARANTINE_DIR_NAME",
     "SCENARIO_NAMES",
     "STORE_BACKENDS",
     "ArmScore",
@@ -116,6 +132,7 @@ __all__ = [
     "InlineBackend",
     "ProcessBackend",
     "ResultStore",
+    "RetryPolicy",
     "SqliteJsonlBackend",
     "StoreBackend",
     "SuccessiveHalvingScheduler",
@@ -125,12 +142,17 @@ __all__ = [
     "WorkQueueBackend",
     "aggregate_metric",
     "campaign_report",
+    "classify_transient",
+    "clear_quarantine",
     "detect_store_backend",
     "drain_queue",
     "event_log_tables",
     "execute_config",
     "follow_events",
+    "load_quarantine_record",
     "load_results",
+    "quarantine_cell",
+    "quarantined_ids",
     "read_events",
     "resolve_backend",
     "resume_campaign",

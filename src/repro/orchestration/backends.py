@@ -40,6 +40,7 @@ import time
 from collections.abc import Iterator, Sequence
 from concurrent.futures import (
     FIRST_COMPLETED,
+    BrokenExecutor,
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
@@ -109,23 +110,46 @@ def _local_drain(campaign_dir: str, index: int, lease_seconds: float) -> None:
     )
 
 
-def _infrastructure_failure(cell_id: str, error: BaseException) -> dict[str, Any]:
-    """The outcome attributed to a cell whose worker died hard."""
-    return {
+def _infrastructure_failure(
+    cell_id: str,
+    error: BaseException,
+    *,
+    attempt: int = 1,
+    transient: bool | None = None,
+) -> dict[str, Any]:
+    """The outcome attributed to a cell whose worker died hard.
+
+    By default carries no ``transient`` classification: the executor
+    presumes a died-worker failure transient and retries it, and
+    ``attempt`` (echoed from the payload) is what stops a cell whose
+    worker dies *every* time from being retried forever.  Pass
+    ``transient=False`` for failures the backend has already exhausted
+    its own recovery for.
+    """
+    outcome = {
         "cell_id": cell_id,
         "status": "failed",
         "error": repr(error),
         "duration_seconds": 0.0,
+        "attempt": int(attempt),
+        "exception_type": type(error).__name__,
         "event_log_path": None,
     }
+    if transient is not None:
+        outcome["transient"] = transient
+    return outcome
 
 
 class ExecutionBackend:
     """Protocol for executing a campaign's pending cells (see module doc).
 
     Lifecycle: one campaign invocation per instance —
-    ``submit(payloads)`` once, iterate ``as_completed()`` to exhaustion
-    (or until interrupted), ``shutdown()`` always.
+    ``submit(payloads)``, iterate ``as_completed()`` to exhaustion
+    (or until interrupted), ``shutdown()`` always.  ``submit`` may be
+    called again *while* ``as_completed`` is being iterated: that is how
+    the executor re-queues transient failures for another attempt, so
+    every backend tracks outstanding work in instance state rather than
+    a snapshot taken when iteration starts.
     """
 
     name: str = "abstract"
@@ -169,7 +193,12 @@ class InlineBackend(ExecutionBackend):
         self._payloads.extend(payloads)
 
     def as_completed(self) -> Iterator[dict[str, Any]]:
-        for payload in self._payloads:
+        # Index loop, not a list iterator: the executor may submit retry
+        # payloads between yields, growing the list mid-iteration.
+        index = 0
+        while index < len(self._payloads):
+            payload = self._payloads[index]
+            index += 1
             yield run_cell(payload)
 
     def shutdown(self) -> None:
@@ -184,7 +213,8 @@ class _PoolBackend(ExecutionBackend):
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = int(max_workers)
         self._pool = None
-        self._futures: dict[Future, str] = {}
+        self._futures: dict[Future, dict[str, Any]] = {}
+        self._unfinished: set[Future] = set()
 
     def _make_pool(self, width: int):
         raise NotImplementedError
@@ -194,19 +224,38 @@ class _PoolBackend(ExecutionBackend):
             width = max(1, min(self.max_workers, len(payloads) or 1))
             self._pool = self._make_pool(width)
         for payload in payloads:
-            future = self._pool.submit(run_cell, payload)
-            self._futures[future] = str(payload["cell"]["cell_id"])
+            try:
+                future = self._pool.submit(run_cell, payload)
+            except BrokenExecutor:
+                # A worker's hard death (os._exit, OOM kill) breaks the
+                # whole pool: every in-flight future fails and further
+                # submits are refused.  Those failures are already on
+                # their way to the executor as retries — rebuild the pool
+                # so the retries have somewhere to run.
+                _LOGGER.warning("execution pool broken; rebuilding")
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = self._make_pool(
+                    max(1, min(self.max_workers, len(payloads)))
+                )
+                future = self._pool.submit(run_cell, payload)
+            self._futures[future] = payload
+            self._unfinished.add(future)
 
     def as_completed(self) -> Iterator[dict[str, Any]]:
-        remaining = set(self._futures)
-        while remaining:
-            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+        while self._unfinished:
+            finished, _ = wait(self._unfinished, return_when=FIRST_COMPLETED)
             for future in finished:
+                self._unfinished.discard(future)
+                payload = self._futures.pop(future)
                 error = future.exception()
                 if error is not None:
                     # Infrastructure failure (e.g. a pool worker died
                     # hard); attribute it to the cell and go on.
-                    yield _infrastructure_failure(self._futures[future], error)
+                    yield _infrastructure_failure(
+                        str(payload["cell"]["cell_id"]),
+                        error,
+                        attempt=int(payload.get("attempt", 1)),
+                    )
                 else:
                     yield future.result()
 
@@ -217,6 +266,7 @@ class _PoolBackend(ExecutionBackend):
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
         self._futures.clear()
+        self._unfinished.clear()
 
 
 class ThreadBackend(_PoolBackend):
@@ -291,10 +341,11 @@ class WorkQueueBackend(ExecutionBackend):
         )
         self.poll_interval = float(poll_interval)
         self.queue = WorkQueue(self.campaign_dir, lease_seconds=lease_seconds)
-        self._expected: set[str] = set()
+        self._outstanding: set[str] = set()
         self._payloads: dict[str, dict[str, Any]] = {}
         self._requeued: set[str] = set()
         self._processes: list[multiprocessing.Process] = []
+        self._repaired = False
 
     LOCAL_WORKER_PREFIX = "local-"
 
@@ -345,10 +396,17 @@ class WorkQueueBackend(ExecutionBackend):
         self.queue.purge()
 
     def submit(self, payloads: Sequence[dict[str, Any]]) -> None:
+        if not self._repaired:
+            # Startup crash-consistency pass: a previous coordinator or
+            # drainer may have died mid-write, leaving orphaned claim
+            # sidecars or torn JSON that would poison the scans below.
+            self.queue.repair()
+            self._repaired = True
         self.queue.enqueue(list(payloads))
         for payload in payloads:
-            self._payloads[str(payload["cell"]["cell_id"])] = payload
-        self._expected.update(self._payloads)
+            cell_id = str(payload["cell"]["cell_id"])
+            self._payloads[cell_id] = payload
+            self._outstanding.add(cell_id)
         # Hand back leases left by a dead previous coordinator's local
         # drainers instead of waiting out their expiry.
         self.queue.release_worker_leases(self._is_dead_local_worker)
@@ -361,7 +419,7 @@ class WorkQueueBackend(ExecutionBackend):
             context = multiprocessing.get_context("fork")
         except ValueError:
             context = multiprocessing.get_context()
-        width = max(0, min(self.num_workers, len(self._expected)))
+        width = max(0, min(self.num_workers, len(self._outstanding)))
         for index in range(width):
             process = context.Process(
                 target=_local_drain,
@@ -375,21 +433,26 @@ class WorkQueueBackend(ExecutionBackend):
 
     def as_completed(self) -> Iterator[dict[str, Any]]:
         self._spawn_workers()
-        pending = set(self._expected)
+        # self._outstanding, not a snapshot: the executor re-submits
+        # transient failures between yields, and those must keep the
+        # collection loop alive until their fresh outcomes land.
         last_reclaim = time.monotonic()
-        while pending:
+        while self._outstanding:
             drained = False
             for outcome in self.queue.pop_outcomes():
                 cell_id = str(outcome["cell_id"])
-                if cell_id in pending:
-                    pending.discard(cell_id)
+                if cell_id in self._outstanding:
+                    self._outstanding.discard(cell_id)
                     drained = True
                     yield outcome
-            if not pending:
+            if not self._outstanding:
                 break
             now = time.monotonic()
             if now - last_reclaim > self.queue.lease_seconds / 4:
-                self.queue.reclaim_expired()
+                try:
+                    self.queue.reclaim_expired()
+                except OSError:
+                    pass  # transient; an expired lease waits one interval
                 last_reclaim = now
             if not drained:
                 if self.num_workers > 0 and not any(
@@ -419,7 +482,7 @@ class WorkQueueBackend(ExecutionBackend):
                         # re-running a deterministic cell is recoverable,
                         # a bogus failure clobbering a completed result in
                         # the store is not.
-                        retry = sorted(pending - self._requeued)
+                        retry = sorted(self._outstanding - self._requeued)
                         if retry:
                             _LOGGER.warning(
                                 "%d cells vanished from the work queue; "
@@ -434,11 +497,20 @@ class WorkQueueBackend(ExecutionBackend):
                             ]
                             self._spawn_workers()
                         else:
-                            for cell_id in sorted(pending):
+                            for cell_id in sorted(self._outstanding):
                                 yield _infrastructure_failure(
                                     cell_id,
                                     RuntimeError("cell lost from work queue"),
+                                    attempt=int(
+                                        self._payloads[cell_id].get("attempt", 1)
+                                    ),
+                                    # The one-shot re-enqueue above was this
+                                    # backend's own retry; don't let the
+                                    # executor spin more attempts into a
+                                    # queue nobody is collecting.
+                                    transient=False,
                                 )
+                            self._outstanding.clear()
                             return
                 time.sleep(self.poll_interval)
 

@@ -42,6 +42,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.faults import torn_write_point
+from repro.logging_utils import get_logger
 from repro.orchestration.store import (
     CellResult,
     StoreBackend,
@@ -50,6 +52,8 @@ from repro.orchestration.store import (
 from repro.utils.serialization import to_jsonable
 
 __all__ = ["ColumnarStoreBackend"]
+
+_LOGGER = get_logger("orchestration.columnar")
 
 
 def _is_float_metric(value: Any) -> bool:
@@ -68,6 +72,12 @@ class ColumnarStoreBackend(StoreBackend):
 
     name = "columnar"
     NPZ_NAME = "results.npz"
+    #: Previous good snapshot, rotated on every flush.  The crash window
+    #: of the snapshot dance (torn tmp write, or death between the two
+    #: renames) therefore never loses more than one flush interval: the
+    #: load chain falls back ``results.npz`` → ``results.npz.bak`` →
+    #: empty, and deterministic cells re-run to identical rows.
+    BAK_NAME = "results.npz.bak"
 
     def __init__(
         self, campaign_dir: str | Path, *, flush_every: int | None = None
@@ -78,16 +88,47 @@ class ColumnarStoreBackend(StoreBackend):
         self.campaign_dir.mkdir(parents=True, exist_ok=True)
         self.flush_every = int(flush_every) if flush_every is not None else None
         self._path = self.campaign_dir / self.NPZ_NAME
+        self._bak_path = self.campaign_dir / self.BAK_NAME
         self._rows: dict[str, dict[str, Any]] = {}
         self._dirty = 0
         self._closed = False
-        if self._path.exists():
-            self._load()
+        self._recover_and_load()
 
     # -- persistence -------------------------------------------------------
 
-    def _load(self) -> None:
-        with np.load(self._path, allow_pickle=False) as archive:
+    def _recover_and_load(self) -> None:
+        """Open the snapshot, falling back to the ``.bak`` on a torn file."""
+        if self._path.exists():
+            try:
+                self._load(self._path)
+                return
+            except Exception:
+                # A torn or otherwise unreadable snapshot (np.load surfaces
+                # truncation as BadZipFile/OSError/ValueError depending on
+                # where the tear landed).  Park it for post-mortems and
+                # fall through to the rotated predecessor.
+                corrupt = self._path.with_suffix(".npz.corrupt")
+                _LOGGER.warning(
+                    "torn columnar snapshot %s; recovering from %s",
+                    self._path,
+                    self._bak_path if self._bak_path.exists() else "empty",
+                )
+                try:
+                    os.replace(self._path, corrupt)
+                except OSError:
+                    pass
+        if self._bak_path.exists():
+            try:
+                self._load(self._bak_path)
+            except Exception:
+                _LOGGER.warning(
+                    "backup snapshot %s also unreadable; starting empty",
+                    self._bak_path,
+                )
+                self._rows = {}
+
+    def _load(self, path: Path) -> None:
+        with np.load(path, allow_pickle=False) as archive:
             cell_ids = archive["cell_id"]
             metric_keys = [str(key) for key in archive["metric_keys"]]
             values = archive["metric_values"]
@@ -116,6 +157,13 @@ class ColumnarStoreBackend(StoreBackend):
                     "attempts": int(archive["attempts"][row_index]),
                     "event_log_path": json.loads(
                         str(archive["event_log_path"][row_index])
+                    ),
+                    # Archives written before this column existed load as
+                    # None everywhere.
+                    "exception_type": (
+                        json.loads(str(archive["exception_type"][row_index]))
+                        if "exception_type" in archive.files
+                        else None
                     ),
                 }
 
@@ -174,6 +222,9 @@ class ColumnarStoreBackend(StoreBackend):
             "event_log_path": np.array(
                 [json.dumps(row["event_log_path"]) for row in rows], dtype=str
             ),
+            "exception_type": np.array(
+                [json.dumps(row.get("exception_type")) for row in rows], dtype=str
+            ),
         }
         handle, tmp_path = tempfile.mkstemp(
             dir=self.campaign_dir, prefix=".results-", suffix=".npz.tmp"
@@ -181,12 +232,19 @@ class ColumnarStoreBackend(StoreBackend):
         try:
             with os.fdopen(handle, "wb") as tmp:
                 np.savez_compressed(tmp, **columns)
+            # Rotate before replacing: if the process dies between these
+            # two renames the final is briefly absent, but the .bak it
+            # just became is a complete snapshot and the load chain (and
+            # detect_store_backend) know to use it.
+            if self._path.exists():
+                os.replace(self._path, self._bak_path)
             os.replace(tmp_path, self._path)
         except BaseException:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
             raise
         self._dirty = 0
+        torn_write_point("store.flush", self._path)
 
     def close(self) -> None:
         if self._closed:
@@ -206,9 +264,13 @@ class ColumnarStoreBackend(StoreBackend):
         error: str | None,
         duration_seconds: float,
         event_log_path: str | None,
+        attempts: int = 1,
+        exception_type: str | None = None,
     ) -> None:
         previous = self._rows.get(cell.cell_id)
-        attempts = (previous["attempts"] + 1) if previous else 1
+        total_attempts = (previous["attempts"] if previous else 0) + max(
+            1, int(attempts)
+        )
         self._rows[cell.cell_id] = {
             "cell_id": cell.cell_id,
             "mechanism": cell.mechanism,
@@ -219,8 +281,9 @@ class ColumnarStoreBackend(StoreBackend):
             "metrics": to_jsonable(metrics) if metrics is not None else None,
             "error": error,
             "duration_seconds": float(duration_seconds),
-            "attempts": attempts,
+            "attempts": total_attempts,
             "event_log_path": event_log_path,
+            "exception_type": exception_type,
         }
         self._dirty += 1
         # Adaptive default: per-record durability while cheap, amortised
@@ -258,6 +321,7 @@ class ColumnarStoreBackend(StoreBackend):
                 event_log_path=resolve_event_log_path(
                     self.campaign_dir, row["event_log_path"]
                 ),
+                exception_type=row.get("exception_type"),
             )
             for row in rows
             if status is None or row["status"] == status

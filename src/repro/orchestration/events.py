@@ -32,6 +32,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.faults import fault_point, torn_write_point
+from repro.logging_utils import get_logger
+
+_LOGGER = get_logger("orchestration.events")
+
 __all__ = [
     "EVENTS_NAME",
     "CampaignEvent",
@@ -52,8 +57,9 @@ class CampaignEvent:
     ----------
     type:
         ``campaign_started``, ``cell_started``, ``cell_finished``,
-        ``cell_failed``, ``campaign_finished``, or ``worker_started`` /
-        ``worker_finished`` for queue drainers.
+        ``cell_failed``, ``cell_retry``, ``cell_quarantined``,
+        ``campaign_finished``; ``worker_started`` / ``worker_finished``
+        / ``cell_lease_lost`` for queue drainers.
     timestamp:
         Unix time the event was emitted.
     cell_id:
@@ -123,6 +129,7 @@ class EventWriter:
     def __init__(self, path: str | Path | None, *, worker: str | None = None) -> None:
         self.path = Path(path) if path is not None else None
         self.worker = worker if worker is not None else default_worker_label()
+        self._warned = False
 
     def emit(
         self,
@@ -131,7 +138,13 @@ class EventWriter:
         cell_id: str | None = None,
         **data: Any,
     ) -> None:
-        """Append one event (no-op when the writer is disabled)."""
+        """Append one event (no-op when the writer is disabled).
+
+        The trail is observability, not correctness: if the append fails
+        (disk full, the directory went away) the event is dropped with a
+        one-time warning rather than turning a healthy cell execution
+        into a failed one.
+        """
         if self.path is None:
             return
         event = CampaignEvent(
@@ -142,9 +155,22 @@ class EventWriter:
             data=data,
         )
         line = json.dumps(event.to_dict(), sort_keys=True)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a") as handle:
-            handle.write(line + "\n")
+        try:
+            fault_point("events.emit")
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a") as handle:
+                handle.write(line + "\n")
+        except OSError as error:
+            if not self._warned:
+                self._warned = True
+                _LOGGER.warning(
+                    "dropping campaign events (%s): %s", self.path, error
+                )
+            return
+        # The torn-write probe sits after a *successful* append and only
+        # tears within this event's own line, so chaos runs exercise the
+        # readers' torn-line tolerance without rewriting history.
+        torn_write_point("events.emit", self.path, tail_bytes=len(line))
 
 
 def read_events(path: str | Path) -> list[CampaignEvent]:
@@ -181,25 +207,47 @@ def follow_events(
     ``is_set()``, e.g. ``threading.Event``) to break the loop, or close the
     generator.  ``from_start=False`` skips the existing backlog and yields
     only events appended after the call.
+
+    A line still being appended is never parsed: bytes after the last
+    newline stay buffered until the terminating ``\\n`` lands, then the
+    completed event is yielded — the tailer drops nothing a slow or
+    interrupted writer eventually finishes.  Reads are *binary* with
+    per-line decoding, so a read boundary falling inside a multi-byte
+    character cannot corrupt the line the way a text-mode read would.
+    A shrinking file (trail truncated or rotated underneath the tailer)
+    resets the follower to the new beginning instead of wedging it past
+    the end forever.
     """
     path = Path(path)
     position = 0
     if not from_start and path.exists():
         position = path.stat().st_size
-    buffer = ""
+    buffer = b""
     while True:
-        if path.exists():
-            with open(path) as handle:
-                handle.seek(position)
-                chunk = handle.read()
-                position = handle.tell()
-            buffer += chunk
-            while "\n" in buffer:
-                line, buffer = buffer.split("\n", 1)
-                try:
-                    yield CampaignEvent.from_dict(json.loads(line))
-                except (ValueError, KeyError):
-                    continue
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = None
+        if size is not None:
+            if size < position:
+                # Truncated/rotated underneath us: start over from the
+                # top of whatever the file is now (any half-line we were
+                # buffering belonged to the old incarnation).
+                position = 0
+                buffer = b""
+            if size > position:
+                with open(path, "rb") as handle:
+                    handle.seek(position)
+                    chunk = handle.read()
+                    position = handle.tell()
+                buffer += chunk
+                while b"\n" in buffer:
+                    raw, buffer = buffer.split(b"\n", 1)
+                    try:
+                        line = raw.decode("utf-8")
+                        yield CampaignEvent.from_dict(json.loads(line))
+                    except (ValueError, KeyError):
+                        continue
         if stop is not None and stop.is_set():
             return
         time.sleep(poll_interval)

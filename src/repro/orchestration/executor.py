@@ -24,14 +24,22 @@ adaptive schedulers.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.faults import fault_point
 from repro.logging_utils import get_logger, telemetry_enabled, telemetry_level
 from repro.orchestration.backends import ExecutionBackend, resolve_backend
 from repro.orchestration.events import EVENTS_NAME, EventWriter
+from repro.orchestration.retry import (
+    RetryPolicy,
+    clear_quarantine,
+    quarantine_cell,
+    quarantined_ids,
+)
 from repro.telemetry import TELEMETRY_TRAIL_NAME
 from repro.orchestration.store import ResultStore, StoreBackend
 from repro.orchestration.sweep import CellSpec, SweepSpec
@@ -56,6 +64,13 @@ class CampaignSummary:
     skipped: int
     failed: int
     skipped_failed: int = 0
+    #: Transient-failure re-queues performed during this invocation (a
+    #: cell retried twice counts twice; retries are not in ``executed``).
+    retried: int = 0
+    #: Cells currently dead-lettered under ``quarantine/`` — counted from
+    #: disk at summary time, so it includes poison cells from earlier
+    #: invocations, not just this one's failures.
+    quarantined: int = 0
 
     @property
     def completed(self) -> int:
@@ -81,10 +96,12 @@ def _payload(
         "telemetry_path": (
             str(campaign_dir / TELEMETRY_TRAIL_NAME) if enabled else None
         ),
+        "attempt": 1,
     }
 
 
 def _record(store: ResultStore, cell: CellSpec, outcome: dict[str, Any]) -> None:
+    attempts = int(outcome.get("attempt", 1))
     if outcome["status"] == "completed":
         # Store the artifact path relative to the campaign directory so the
         # directory stays self-contained (movable across cwds/machines);
@@ -102,12 +119,15 @@ def _record(store: ResultStore, cell: CellSpec, outcome: dict[str, Any]) -> None
             outcome["metrics"],
             duration_seconds=outcome["duration_seconds"],
             event_log_path=log_path,
+            attempts=attempts,
         )
     else:
         _LOGGER.warning("cell %s failed:\n%s", cell.cell_id, outcome.get("error"))
         store.record_failure(
             cell, outcome.get("error", "unknown error"),
             duration_seconds=outcome["duration_seconds"],
+            attempts=attempts,
+            exception_type=outcome.get("exception_type"),
         )
 
 
@@ -122,6 +142,7 @@ def run_campaign(
     store: str | StoreBackend | None = None,
     retry_failed: bool = False,
     events: bool = True,
+    retry: RetryPolicy | None = None,
 ) -> CampaignSummary:
     """Run (or resume) a sweep campaign; returns the invocation summary.
 
@@ -165,6 +186,16 @@ def run_campaign(
         Stream progress events to ``events.jsonl`` (the ``watch``
         dashboard / scheduler feed).  On by default; costs one appended
         line per cell transition.
+    retry:
+        In-flight retry policy (distinct from ``retry_failed``, which
+        re-queues cells recorded as failed by *previous* invocations).
+        Defaults to :class:`~repro.orchestration.retry.RetryPolicy`
+        (3 total attempts): a cell whose failure classifies as transient
+        — ``OSError`` and friends — is re-queued with exponential backoff
+        + jitter instead of being recorded failed; a cell that fails
+        deterministically, or exhausts its attempts, is recorded failed
+        and dead-lettered under ``quarantine/``.  Pass
+        ``RetryPolicy(max_attempts=1)`` to disable retries.
     """
     campaign_dir = Path(campaign_dir)
     campaign_dir.mkdir(parents=True, exist_ok=True)
@@ -205,11 +236,14 @@ def run_campaign(
                 skipped, skipped_failed,
             )
 
+        policy = retry if retry is not None else RetryPolicy()
         failed = 0
         executed = 0
+        retried = 0
         if not pending:
             return CampaignSummary(
-                campaign_dir, len(cells), 0, skipped, 0, skipped_failed
+                campaign_dir, len(cells), 0, skipped, 0, skipped_failed,
+                0, len(quarantined_ids(campaign_dir)),
             )
 
         bus = EventWriter((campaign_dir / EVENTS_NAME) if events else None)
@@ -226,19 +260,77 @@ def run_campaign(
             skipped=skipped,
         )
         by_id = {cell.cell_id: cell for cell in pending}
+        payloads = {
+            cell.cell_id: _payload(cell, campaign_dir, events=events)
+            for cell in pending
+        }
         try:
             if not resume:
                 # --fresh re-executes everything: durable backends must
                 # not replay stale queued payloads or acked outcomes.
                 execution.reset()
-            execution.submit(
-                [_payload(cell, campaign_dir, events=events) for cell in pending]
-            )
+            execution.submit(list(payloads.values()))
             for outcome in execution.as_completed():
-                cell = by_id[str(outcome["cell_id"])]
+                cell_id = str(outcome["cell_id"])
+                cell = by_id[cell_id]
+                if outcome["status"] != "completed":
+                    # A worker-classified transient failure (or an
+                    # infrastructure one — a died worker carries no
+                    # classification and is presumed transient) gets a
+                    # fresh attempt with backoff instead of a store row.
+                    attempt = int(outcome.get("attempt", 1))
+                    transient = bool(outcome.get("transient", True))
+                    if policy.should_retry(attempt, transient=transient):
+                        backoff = policy.backoff_seconds(cell_id, attempt)
+                        retried += 1
+                        bus.emit(
+                            "cell_retry",
+                            cell_id=cell_id,
+                            attempt=attempt,
+                            backoff_seconds=backoff,
+                            exception_type=outcome.get("exception_type"),
+                            transient=transient,
+                            error=_error_tail(outcome),
+                        )
+                        _LOGGER.warning(
+                            "cell %s attempt %d failed (%s); retrying in %.2fs",
+                            cell_id, attempt,
+                            outcome.get("exception_type") or "worker died",
+                            backoff,
+                        )
+                        requeue = dict(payloads[cell_id])
+                        requeue["attempt"] = attempt + 1
+                        requeue["not_before"] = time.time() + backoff
+                        execution.submit([requeue])
+                        continue
+                    classification = (
+                        "transient-exhausted" if transient else "deterministic"
+                    )
+                    quarantine_cell(
+                        campaign_dir,
+                        cell_id,
+                        payload=payloads[cell_id],
+                        attempts=attempt,
+                        classification=classification,
+                        exception_type=outcome.get("exception_type"),
+                        error=outcome.get("error"),
+                    )
+                    bus.emit(
+                        "cell_quarantined",
+                        cell_id=cell_id,
+                        attempts=attempt,
+                        classification=classification,
+                        exception_type=outcome.get("exception_type"),
+                    )
+                    failed += 1
                 executed += 1
-                failed += outcome["status"] != "completed"
+                fault_point("executor.record")
                 _record(result_store, cell, outcome)
+                if outcome["status"] == "completed":
+                    # A cell dead-lettered by an earlier invocation that
+                    # now succeeded (e.g. --retry-failed after a fix) is
+                    # no longer poison.
+                    clear_quarantine(campaign_dir, cell_id)
                 if progress is not None:
                     progress(outcome, executed, len(pending))
         except (KeyboardInterrupt, GeneratorExit):
@@ -248,16 +340,27 @@ def run_campaign(
             raise
         finally:
             execution.shutdown()
+        quarantined = len(quarantined_ids(campaign_dir))
         bus.emit(
             "campaign_finished",
             executed=executed,
             failed=failed,
             skipped=skipped,
+            retried=retried,
+            quarantined=quarantined,
         )
 
     return CampaignSummary(
-        campaign_dir, len(cells), executed, skipped, failed, skipped_failed
+        campaign_dir, len(cells), executed, skipped, failed, skipped_failed,
+        retried, quarantined,
     )
+
+
+def _error_tail(outcome: dict[str, Any]) -> str | None:
+    error = outcome.get("error")
+    if not error:
+        return None
+    return str(error).strip().splitlines()[-1]
 
 
 def resume_campaign(
@@ -268,6 +371,7 @@ def resume_campaign(
     backend: str | ExecutionBackend | None = None,
     store: str | StoreBackend | None = None,
     retry_failed: bool = False,
+    retry: RetryPolicy | None = None,
 ) -> CampaignSummary:
     """Resume a campaign from its directory alone (re-reads ``sweep.json``).
 
@@ -291,4 +395,5 @@ def resume_campaign(
         backend=backend,
         store=store,
         retry_failed=retry_failed,
+        retry=retry,
     )

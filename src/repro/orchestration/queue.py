@@ -30,16 +30,22 @@ from __future__ import annotations
 import json
 import os
 import socket
+import threading
 import time
 from pathlib import Path
 from typing import Any
 
+from repro.faults import fault_point, torn_write_point
 from repro.logging_utils import get_logger
 from repro.orchestration.events import EVENTS_NAME, EventWriter, default_worker_label
 
-__all__ = ["QUEUE_DIR_NAME", "WorkQueue", "drain_queue"]
+__all__ = ["CORRUPT_DIR_NAME", "QUEUE_DIR_NAME", "WorkQueue", "drain_queue"]
 
 QUEUE_DIR_NAME = "queue"
+
+#: Subdirectory of ``queue/`` where unreadable task/lease/outcome files are
+#: parked by :meth:`WorkQueue.repair` instead of poisoning every scan.
+CORRUPT_DIR_NAME = "corrupt"
 
 _LOGGER = get_logger("orchestration.queue")
 
@@ -100,6 +106,7 @@ class WorkQueue:
             ):
                 continue
             self._write_json(self.tasks_dir / name, payload)
+            torn_write_point("queue.enqueue", self.tasks_dir / name)
             added += 1
         return added
 
@@ -127,12 +134,22 @@ class WorkQueue:
                 claim_path = self.leases_dir / f"{task_path.stem}.claim.json"
                 try:
                     self._write_json(claim_path, self._claim_record(worker))
+                    fault_point("queue.claim")
                     with open(lease_path) as handle:
                         return json.load(handle)
                 except FileNotFoundError:
                     # The lease vanished between rename and read — someone
                     # reclaimed it out from under us (clock skew on a
                     # shared filesystem).  Drop our sidecar and move on.
+                    claim_path.unlink(missing_ok=True)
+                    continue
+                except ValueError:
+                    # Torn payload (the enqueuer died mid-write on a
+                    # filesystem without atomic rename semantics, or the
+                    # file was corrupted at rest).  A poison payload must
+                    # not kill every drainer that touches it: park it in
+                    # corrupt/ and keep claiming.
+                    self._quarantine_corrupt(lease_path)
                     claim_path.unlink(missing_ok=True)
                     continue
             if attempt == 0:
@@ -148,10 +165,37 @@ class WorkQueue:
                 )
         return None
 
-    def extend_lease(self, cell_id: str, worker: str) -> None:
-        """Refresh a held lease's heartbeat (long-running cells)."""
+    def extend_lease(self, cell_id: str, worker: str) -> bool:
+        """Refresh a held lease's heartbeat; False when the lease is lost.
+
+        The refresh only lands if ``worker`` still owns the lease: a
+        stalled worker whose lease was reclaimed (and possibly re-claimed
+        by someone else) must not resurrect it with a late heartbeat.  A
+        False return tells the caller its execution is now speculative —
+        abort rather than ack, or the cell could run twice.
+        """
         claim_path = self.leases_dir / f"{cell_id}.claim.json"
+        if not self.owns_lease(cell_id, worker):
+            return False
         self._write_json(claim_path, self._claim_record(worker))
+        # Between the ownership check and the write a reclaimer may have
+        # moved the lease back to tasks/; re-check so a heartbeat that
+        # lost that race reports the loss instead of leaving an orphaned
+        # sidecar pinning a nonexistent lease.
+        if not (self.leases_dir / f"{cell_id}.json").exists():
+            claim_path.unlink(missing_ok=True)
+            return False
+        return True
+
+    def owns_lease(self, cell_id: str, worker: str) -> bool:
+        """True while ``worker`` holds a live lease on ``cell_id``."""
+        if not (self.leases_dir / f"{cell_id}.json").exists():
+            return False
+        try:
+            with open(self.leases_dir / f"{cell_id}.claim.json") as handle:
+                return str(json.load(handle).get("worker")) == worker
+        except (OSError, ValueError):
+            return False
 
     @staticmethod
     def _claim_record(worker: str) -> dict[str, Any]:
@@ -186,7 +230,15 @@ class WorkQueue:
         return time.time() - float(claim["claimed_at"])
 
     def reclaim_expired(self) -> int:
-        """Move leases past their deadline back to pending; returns count."""
+        """Move leases past their deadline back to pending; returns count.
+
+        Safe to run concurrently from any number of coordinators/workers:
+        the reclaim itself is one atomic rename, so when two sweeps race
+        over the same expired lease exactly one rename succeeds and the
+        loser's ``FileNotFoundError`` is swallowed — a lease is never
+        requeued twice.
+        """
+        fault_point("queue.reclaim")
         reclaimed = 0
         for lease_path in sorted(self.leases_dir.glob("*.json")):
             if lease_path.name.endswith(".claim.json"):
@@ -250,8 +302,24 @@ class WorkQueue:
     def ack(self, cell_id: str, outcome: dict[str, Any]) -> None:
         """Durably record a cell's outcome and release its lease."""
         self._write_json(self.done_dir / f"{cell_id}.json", outcome)
+        torn_write_point("queue.ack", self.done_dir / f"{cell_id}.json")
         (self.leases_dir / f"{cell_id}.json").unlink(missing_ok=True)
         (self.leases_dir / f"{cell_id}.claim.json").unlink(missing_ok=True)
+
+    def ack_owned(self, cell_id: str, worker: str, outcome: dict[str, Any]) -> bool:
+        """Ack only if ``worker`` still holds the lease; False if it lost it.
+
+        This is the fencing check that makes stalled workers safe: a
+        worker that slept past its lease (and whose cell was reclaimed
+        and re-run elsewhere) discovers here that its result is stale and
+        must be discarded — acking anyway could overwrite the live
+        holder's in-flight work or double-deliver the outcome.
+        """
+        fault_point("queue.ack")
+        if not self.owns_lease(cell_id, worker):
+            return False
+        self.ack(cell_id, outcome)
+        return True
 
     def pop_outcomes(self) -> list[dict[str, Any]]:
         """Consume every acked outcome (coordinator side; removes the files)."""
@@ -277,6 +345,65 @@ class WorkQueue:
             for path in directory.glob("*.json"):
                 path.unlink(missing_ok=True)
         self._claim_candidates = []
+
+    # -- crash-consistency repair ------------------------------------------
+
+    def repair(self) -> dict[str, int]:
+        """Recover the queue from a crash: run before (re)submitting work.
+
+        Three kinds of wreckage a dead process can leave behind:
+
+        * **Orphaned claim sidecars** — a worker that crashed between
+          acking (which removed the lease) and the sidecar unlink, or
+          whose lease was reclaimed.  The sidecar pins nothing; drop it.
+        * **Torn task/lease payloads** — unreadable JSON that would
+          otherwise poison every claim scan.  Parked in ``corrupt/``.
+        * **Torn acked outcomes** — an ack that died mid-truncation.
+          If the lease still exists the cell will be reclaimed and re-run
+          (the fresh ack overwrites the torn file), so leave it; only a
+          torn outcome with *no* lease is unrecoverable and parked, after
+          which the coordinator's vanished-cell logic re-enqueues it.
+        """
+        repaired = {"orphaned_claims": 0, "corrupt": 0}
+        for claim_path in list(self.leases_dir.glob("*.claim.json")):
+            lease_name = claim_path.name.replace(".claim.json", ".json")
+            if not (self.leases_dir / lease_name).exists():
+                claim_path.unlink(missing_ok=True)
+                repaired["orphaned_claims"] += 1
+        for directory in (self.tasks_dir, self.leases_dir, self.done_dir):
+            for path in list(directory.glob("*.json")):
+                if path.name.endswith(".claim.json"):
+                    continue
+                try:
+                    with open(path) as handle:
+                        json.load(handle)
+                except ValueError:
+                    if (
+                        directory is self.done_dir
+                        and (self.leases_dir / path.name).exists()
+                    ):
+                        continue  # lease holder (or a reclaim) will re-ack
+                    self._quarantine_corrupt(path)
+                    repaired["corrupt"] += 1
+                except OSError:
+                    continue
+        if repaired["orphaned_claims"] or repaired["corrupt"]:
+            _LOGGER.warning(
+                "queue repair: dropped %d orphaned claim(s), parked %d corrupt file(s)",
+                repaired["orphaned_claims"],
+                repaired["corrupt"],
+            )
+        return repaired
+
+    def _quarantine_corrupt(self, path: Path) -> None:
+        """Move an unreadable queue file into ``queue/corrupt/``."""
+        corrupt_dir = self.queue_dir / CORRUPT_DIR_NAME
+        corrupt_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, corrupt_dir / f"{path.name}.{int(time.time())}")
+            _LOGGER.warning("parked corrupt queue file %s", path)
+        except OSError:
+            pass
 
     # -- introspection -----------------------------------------------------
 
@@ -308,6 +435,46 @@ class WorkQueue:
         os.replace(tmp_path, path)
 
 
+class _LeaseHeartbeat:
+    """Daemon ticker that keeps a claimed cell's lease fresh mid-execution.
+
+    Ticks every ``lease_seconds / 4``, so ``lease_seconds`` can sit near
+    the *median* cell cost instead of padding for the slowest tail.  If a
+    heartbeat ever fails — the lease was reclaimed out from under a
+    stalled worker, or the filesystem went away — ``lost`` latches True
+    and the drainer must treat its in-flight execution as speculative:
+    finish (it cannot safely interrupt the cell) but never ack.
+    """
+
+    def __init__(self, queue: WorkQueue, cell_id: str, worker: str) -> None:
+        self._queue = queue
+        self._cell_id = cell_id
+        self._worker = worker
+        self._stop = threading.Event()
+        self._lost = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"lease-heartbeat-{cell_id}", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        interval = max(0.05, self._queue.lease_seconds / 4)
+        while not self._stop.wait(interval):
+            try:
+                alive = self._queue.extend_lease(self._cell_id, self._worker)
+            except OSError:
+                continue  # transient I/O: the next tick retries
+            if not alive:
+                self._lost.set()
+                return
+
+    def stop(self) -> bool:
+        """Stop ticking; returns True while the lease was never lost."""
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        return not self._lost.is_set()
+
+
 def drain_queue(
     campaign_dir: str | Path,
     *,
@@ -316,6 +483,7 @@ def drain_queue(
     poll_interval: float = 0.2,
     idle_timeout: float | None = None,
     max_cells: int | None = None,
+    heartbeat: bool = True,
     progress=None,
 ) -> int:
     """Run cells from a campaign's queue until it is drained; returns count.
@@ -348,10 +516,18 @@ def drain_queue(
     last_reclaim = 0.0
     try:
         while max_cells is None or executed < max_cells:
-            payload = queue.claim(worker)
+            try:
+                payload = queue.claim(worker)
+            except OSError:
+                # Transient filesystem failure mid-claim: any half-taken
+                # lease will expire and be reclaimed; just poll again.
+                payload = None
             if payload is None:
                 if time.monotonic() - last_reclaim >= reclaim_interval:
-                    queue.reclaim_expired()
+                    try:
+                        queue.reclaim_expired()
+                    except OSError:
+                        pass
                     last_reclaim = time.monotonic()
                 # With an idle timeout the worker lingers even on a fully
                 # drained queue (it may have been started before the
@@ -366,8 +542,29 @@ def drain_queue(
                 time.sleep(poll_interval)
                 continue
             idle_since = None
+            cell_id = str(payload["cell"]["cell_id"])
+            ticker = _LeaseHeartbeat(queue, cell_id, worker) if heartbeat else None
             outcome = run_cell(payload)
-            queue.ack(str(outcome["cell_id"]), outcome)
+            owns = ticker.stop() if ticker is not None else True
+            if not owns:
+                # The lease was reclaimed mid-cell (we stalled past it, or
+                # the clock was yanked): someone else owns this cell now.
+                # Acking would double-deliver; drop the result.
+                events.emit("cell_lease_lost", cell_id=cell_id)
+                _LOGGER.warning(
+                    "lost lease on %s mid-execution; discarding result", cell_id
+                )
+                continue
+            try:
+                acked = queue.ack_owned(cell_id, worker, outcome)
+            except OSError:
+                acked = False
+            if not acked:
+                events.emit("cell_lease_lost", cell_id=cell_id)
+                _LOGGER.warning(
+                    "lease on %s gone at ack time; discarding result", cell_id
+                )
+                continue
             executed += 1
             if progress is not None:
                 progress(outcome, executed)

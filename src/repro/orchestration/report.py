@@ -180,11 +180,18 @@ def failure_table(
             continue
         last_line = (result.error or "").strip().splitlines()[-1:]
         rows.append(
-            [result.cell_id, result.attempts, last_line[0] if last_line else "?"]
+            [
+                result.cell_id,
+                result.attempts,
+                result.exception_type or "?",
+                last_line[0] if last_line else "?",
+            ]
         )
     if not rows:
         return None
-    return format_table(["cell_id", "attempts", "error"], rows, title=title)
+    return format_table(
+        ["cell_id", "attempts", "exception", "error"], rows, title=title
+    )
 
 
 def _resolve_slice(
@@ -296,6 +303,8 @@ def campaign_report(
     include_timing: bool = False,
 ) -> str:
     """The full text report of a campaign directory."""
+    from repro.orchestration.retry import load_quarantine_record, quarantined_ids
+
     results = load_results(campaign_dir)
     completed = [r for r in results if r.completed]
     sections = [
@@ -303,6 +312,29 @@ def campaign_report(
         f"cells recorded: {len(results)} ({len(completed)} completed, "
         f"{len(results) - len(completed)} failed)",
     ]
+    quarantined = sorted(quarantined_ids(campaign_dir))
+    if quarantined:
+        rows = []
+        for cell_id in quarantined:
+            record = load_quarantine_record(campaign_dir, cell_id) or {}
+            rows.append(
+                [
+                    cell_id,
+                    record.get("attempts", "?"),
+                    record.get("classification", "?"),
+                    record.get("exception_type") or "?",
+                ]
+            )
+        sections.append(
+            format_table(
+                ["cell_id", "attempts", "classification", "exception"],
+                rows,
+                title=(
+                    f"Quarantined cells ({len(quarantined)} dead-lettered; "
+                    f"full tracebacks under quarantine/)"
+                ),
+            )
+        )
     if completed:
         sections.append(welfare_comparison_table(results, by=by))
         sections.append(throughput_table(results))

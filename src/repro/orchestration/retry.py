@@ -1,0 +1,155 @@
+"""Retry policy, failure classification, and poison-cell quarantine.
+
+The coordinator decides a failed cell's fate with three inputs: whether
+the failure looked *transient* (worker-side classification riding in the
+outcome), how many attempts the cell has burned, and the
+:class:`RetryPolicy` bounds.  Transient failures re-queue with
+exponential backoff + deterministic jitter; anything still failing at
+``max_attempts`` — or failing deterministically on the first try — is a
+poison cell and moves to the campaign's ``quarantine/`` dead-letter
+directory with its full traceback, where ``repro.cli watch`` and
+``report`` surface it for a human.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "QUARANTINE_DIR_NAME",
+    "TRANSIENT_EXCEPTIONS",
+    "RetryPolicy",
+    "classify_transient",
+    "quarantine_cell",
+    "clear_quarantine",
+    "quarantined_ids",
+    "load_quarantine_record",
+]
+
+#: Directory (under the campaign dir) holding dead-letter records.
+QUARANTINE_DIR_NAME = "quarantine"
+
+#: Exception classes treated as retryable.  OSError covers the injected
+#: TransientFaultError plus the real-world class it imitates (NFS blips,
+#: EINTR, disk-full); everything else — ValueError from a bad cell spec,
+#: assertion failures in a mechanism — is deterministic: retrying would
+#: burn compute to fail identically.
+TRANSIENT_EXCEPTIONS: tuple[type[BaseException], ...] = (OSError,)
+
+
+def classify_transient(exc: BaseException) -> bool:
+    """True when ``exc`` is worth retrying on a fresh attempt."""
+    return isinstance(exc, TRANSIENT_EXCEPTIONS)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    ``max_attempts`` counts *total* attempts, not retries: the default 3
+    means one initial run plus at most two re-queues.  Jitter is seeded
+    from ``(cell_id, attempt)`` so a resumed coordinator computes the
+    same schedule — no wall-clock or global RNG involved.
+    """
+
+    max_attempts: int = 3
+    backoff_base_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_seconds: float = 5.0
+    jitter_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def should_retry(self, attempt: int, *, transient: bool) -> bool:
+        """Decide the fate of attempt number ``attempt`` (1-based)."""
+        return transient and attempt < self.max_attempts
+
+    def backoff_seconds(self, cell_id: str, attempt: int) -> float:
+        """Delay before attempt ``attempt + 1`` of ``cell_id``."""
+        delay = self.backoff_base_seconds * (
+            self.backoff_factor ** max(0, attempt - 1)
+        )
+        delay = min(delay, self.backoff_max_seconds)
+        token = f"{cell_id}:{attempt}".encode()
+        unit = (zlib.crc32(token) % 10_000) / 10_000.0
+        return delay * (1.0 + self.jitter_fraction * (2.0 * unit - 1.0))
+
+
+def _quarantine_dir(campaign_dir: str | Path) -> Path:
+    return Path(campaign_dir) / QUARANTINE_DIR_NAME
+
+
+def quarantine_cell(
+    campaign_dir: str | Path,
+    cell_id: str,
+    *,
+    payload: dict | None = None,
+    attempts: int = 1,
+    classification: str = "deterministic",
+    exception_type: str | None = None,
+    error: str | None = None,
+) -> Path:
+    """Write a dead-letter record for a poison cell (tmp+rename, atomic)."""
+    directory = _quarantine_dir(campaign_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    record = {
+        "cell_id": cell_id,
+        "attempts": attempts,
+        "classification": classification,
+        "exception_type": exception_type,
+        "error": error,
+        "quarantined_at": time.time(),
+        "payload": payload,
+    }
+    final = directory / f"{cell_id}.json"
+    fd, tmp = tempfile.mkstemp(prefix=f".{cell_id}.", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, default=str)
+        os.replace(tmp, final)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return final
+
+
+def clear_quarantine(campaign_dir: str | Path, cell_id: str) -> bool:
+    """Drop a cell's dead-letter record (it later succeeded); True if one existed."""
+    try:
+        (_quarantine_dir(campaign_dir) / f"{cell_id}.json").unlink()
+        return True
+    except FileNotFoundError:
+        return False
+
+
+def quarantined_ids(campaign_dir: str | Path) -> set[str]:
+    """Cell IDs currently dead-lettered under ``campaign_dir``."""
+    directory = _quarantine_dir(campaign_dir)
+    if not directory.is_dir():
+        return set()
+    return {
+        path.stem
+        for path in directory.glob("*.json")
+        if not path.name.startswith(".")
+    }
+
+
+def load_quarantine_record(campaign_dir: str | Path, cell_id: str) -> dict | None:
+    """Read one dead-letter record, or None if absent/unreadable."""
+    path = _quarantine_dir(campaign_dir) / f"{cell_id}.json"
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None

@@ -61,7 +61,8 @@ CREATE TABLE IF NOT EXISTS cells (
     error TEXT,
     duration_seconds REAL NOT NULL DEFAULT 0.0,
     attempts INTEGER NOT NULL DEFAULT 1,
-    event_log_path TEXT
+    event_log_path TEXT,
+    exception_type TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_cells_axes ON cells (mechanism, scenario, seed);
 CREATE INDEX IF NOT EXISTS idx_cells_status ON cells (status);
@@ -83,6 +84,10 @@ class CellResult:
     duration_seconds: float = 0.0
     attempts: int = 1
     event_log_path: str | None = None
+    #: Exception class name of the last failure (``None`` for successes
+    #: and rows written before this column existed) — the classification
+    #: the report's failure table groups on.
+    exception_type: str | None = None
 
     @property
     def completed(self) -> bool:
@@ -108,8 +113,11 @@ class StoreBackend:
     deliberately small — exactly what the executor and the reporting layer
     consume:
 
-    * :meth:`record` — idempotent upsert of one cell outcome (re-recording
-      the same cell bumps its attempt counter);
+    * :meth:`record` — idempotent upsert of one cell outcome
+      (re-recording the same cell accumulates its attempt counter;
+      ``attempts`` is the *delta* this record contributes, so a cell the
+      executor retried twice before recording adds all three attempts in
+      one upsert);
     * :meth:`completed_ids` — the resume checkpoint;
     * :meth:`results` — every recorded cell, ordered by cell id, with
       artifact paths resolved to absolute form;
@@ -132,6 +140,8 @@ class StoreBackend:
         error: str | None,
         duration_seconds: float,
         event_log_path: str | None,
+        attempts: int = 1,
+        exception_type: str | None = None,
     ) -> None:
         raise NotImplementedError
 
@@ -165,6 +175,14 @@ class SqliteJsonlBackend(StoreBackend):
         self.campaign_dir.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(self.campaign_dir / self.DB_NAME)
         self._conn.executescript(_SCHEMA)
+        # Schema migration for campaigns written before exception_type
+        # existed (CREATE IF NOT EXISTS leaves the old table untouched).
+        columns = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(cells)").fetchall()
+        }
+        if "exception_type" not in columns:
+            self._conn.execute("ALTER TABLE cells ADD COLUMN exception_type TEXT")
         self._conn.commit()
 
     def close(self) -> None:
@@ -181,11 +199,13 @@ class SqliteJsonlBackend(StoreBackend):
         error: str | None,
         duration_seconds: float,
         event_log_path: str | None,
+        attempts: int = 1,
+        exception_type: str | None = None,
     ) -> None:
         row = self._conn.execute(
             "SELECT attempts FROM cells WHERE cell_id = ?", (cell.cell_id,)
         ).fetchone()
-        attempts = (int(row[0]) + 1) if row else 1
+        total_attempts = (int(row[0]) if row else 0) + max(1, int(attempts))
         metrics_json = (
             json.dumps(to_jsonable(metrics), sort_keys=True)
             if metrics is not None
@@ -194,8 +214,8 @@ class SqliteJsonlBackend(StoreBackend):
         self._conn.execute(
             "INSERT OR REPLACE INTO cells "
             "(cell_id, mechanism, scenario, seed, params, status, metrics, error,"
-            " duration_seconds, attempts, event_log_path) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            " duration_seconds, attempts, event_log_path, exception_type) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 cell.cell_id,
                 cell.mechanism,
@@ -206,8 +226,9 @@ class SqliteJsonlBackend(StoreBackend):
                 metrics_json,
                 error,
                 float(duration_seconds),
-                attempts,
+                total_attempts,
                 event_log_path,
+                exception_type,
             ),
         )
         self._conn.commit()
@@ -221,8 +242,9 @@ class SqliteJsonlBackend(StoreBackend):
             "metrics": to_jsonable(metrics) if metrics is not None else None,
             "error": error,
             "duration_seconds": float(duration_seconds),
-            "attempt": attempts,
+            "attempt": total_attempts,
             "event_log_path": event_log_path,
+            "exception_type": exception_type,
         }
         with open(self.campaign_dir / self.JSONL_NAME, "a") as handle:
             handle.write(json.dumps(entry, sort_keys=True) + "\n")
@@ -236,7 +258,8 @@ class SqliteJsonlBackend(StoreBackend):
     def results(self, *, status: str | None = None) -> list[CellResult]:
         query = (
             "SELECT cell_id, mechanism, scenario, seed, params, status, metrics,"
-            " error, duration_seconds, attempts, event_log_path FROM cells"
+            " error, duration_seconds, attempts, event_log_path, exception_type"
+            " FROM cells"
         )
         args: tuple[Any, ...] = ()
         if status is not None:
@@ -256,6 +279,7 @@ class SqliteJsonlBackend(StoreBackend):
                 duration_seconds=float(row[8]),
                 attempts=int(row[9]),
                 event_log_path=resolve_event_log_path(self.campaign_dir, row[10]),
+                exception_type=row[11],
             )
             for row in self._conn.execute(query, args).fetchall()
         ]
@@ -280,6 +304,10 @@ def detect_store_backend(campaign_dir: str | Path) -> str | None:
     if (campaign_dir / SqliteJsonlBackend.DB_NAME).exists():
         return "sqlite"
     if (campaign_dir / ColumnarStoreBackend.NPZ_NAME).exists():
+        return "columnar"
+    if (campaign_dir / ColumnarStoreBackend.BAK_NAME).exists():
+        # The snapshot was torn/lost but its predecessor survives: still
+        # a columnar campaign, and the backend will recover from the .bak.
         return "columnar"
     return None
 
@@ -367,8 +395,9 @@ class ResultStore:
         *,
         duration_seconds: float = 0.0,
         event_log_path: str | None = None,
+        attempts: int = 1,
     ) -> None:
-        """Record a completed cell (idempotent upsert; bumps ``attempts``)."""
+        """Record a completed cell (idempotent upsert; accumulates ``attempts``)."""
         self._backend.record(
             cell,
             status="completed",
@@ -376,12 +405,24 @@ class ResultStore:
             error=None,
             duration_seconds=duration_seconds,
             event_log_path=event_log_path,
+            attempts=attempts,
         )
 
     def record_failure(
-        self, cell: Any, error: str, *, duration_seconds: float = 0.0
+        self,
+        cell: Any,
+        error: str,
+        *,
+        duration_seconds: float = 0.0,
+        attempts: int = 1,
+        exception_type: str | None = None,
     ) -> None:
-        """Record a crashed cell with its traceback; the campaign goes on."""
+        """Record a crashed cell with its traceback; the campaign goes on.
+
+        ``attempts`` is how many attempts this failure consumed (the
+        executor's in-flight retries land as one record); the exception
+        class name makes failure classes greppable from the store.
+        """
         self._backend.record(
             cell,
             status="failed",
@@ -389,6 +430,8 @@ class ResultStore:
             error=error,
             duration_seconds=duration_seconds,
             event_log_path=None,
+            attempts=attempts,
+            exception_type=exception_type,
         )
 
     # -- reads -------------------------------------------------------------

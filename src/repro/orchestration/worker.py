@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Any
 
 from repro import telemetry
+from repro.faults import fault_point
 from repro.analysis.budget import budget_report
 from repro.analysis.fairness import jain_index, participation_rates
 from repro.analysis.welfare import welfare_summary
@@ -197,10 +198,13 @@ def run_cell(payload: dict[str, Any]) -> dict[str, Any]:
 
     ``payload`` is ``{"cell": CellSpec.to_dict(), "cell_dir": str | None,
     "events_path": str | None, "telemetry": str | None,
-    "telemetry_path": str | None}``.  Returns ``{"cell_id", "status",
-    "metrics" | "error", "duration_seconds", "event_log_path"}`` — a
-    crashed cell reports ``status="failed"`` with its formatted traceback
-    instead of killing the campaign.
+    "telemetry_path": str | None}`` plus, on retried cells, ``attempt``
+    (1-based) and ``not_before`` (a unix-time backoff deadline honoured
+    before execution).  Returns ``{"cell_id", "status", "metrics" |
+    "error", "duration_seconds", "attempt", "event_log_path"}`` — a
+    crashed cell reports ``status="failed"`` with its formatted
+    traceback, its exception class name, and a ``transient`` retryability
+    classification instead of killing the campaign.
 
     When ``events_path`` is present the run is narrated onto the campaign
     event trail: ``cell_started`` at entry, then ``cell_finished`` (with
@@ -215,17 +219,28 @@ def run_cell(payload: dict[str, Any]) -> dict[str, Any]:
     decision-latency record rides on the ``cell_finished`` event so live
     dashboards can fold per-round latency percentiles across cells.
     """
+    from repro.orchestration.retry import classify_transient
     from repro.orchestration.sweep import CellSpec
 
     started = time.perf_counter()
+    # Retried cells carry a backoff deadline: honour it here (in the
+    # worker, off the coordinator's critical path) so a re-queued cell is
+    # not re-attempted while whatever hurt it is plausibly still hurting.
+    not_before = payload.get("not_before")
+    if not_before is not None:
+        delay = float(not_before) - time.time()
+        if delay > 0:
+            time.sleep(min(delay, 30.0))
+    attempt = int(payload.get("attempt", 1))
     if payload.get("telemetry") is not None:
         telemetry.set_telemetry_level(payload["telemetry"])
     cell_dir = Path(payload["cell_dir"]) if payload.get("cell_dir") else None
     events = EventWriter(payload.get("events_path"))
     cell_id = str(payload.get("cell", {}).get("cell_id", "?"))
-    events.emit("cell_started", cell_id=cell_id)
+    events.emit("cell_started", cell_id=cell_id, attempt=attempt)
     try:
         cell = CellSpec.from_dict(payload["cell"])
+        fault_point("worker.run_cell")
         metrics = execute_config(
             cell.config, cell_dir, compute_regret=cell.compute_regret
         )
@@ -260,23 +275,31 @@ def run_cell(payload: dict[str, Any]) -> dict[str, Any]:
             "status": "completed",
             "metrics": metrics,
             "duration_seconds": duration,
+            "attempt": attempt,
             "event_log_path": (
                 str(cell_dir / EVENT_LOG_NAME) if cell_dir is not None else None
             ),
         }
-    except Exception:
+    except Exception as exc:
         duration = time.perf_counter() - started
         error = traceback.format_exc()
+        transient = classify_transient(exc)
         events.emit(
             "cell_failed",
             cell_id=cell_id,
             duration_seconds=duration,
             error=error.strip().splitlines()[-1],
+            exception_type=type(exc).__name__,
+            transient=transient,
+            attempt=attempt,
         )
         return {
             "cell_id": cell_id,
             "status": "failed",
             "error": error,
             "duration_seconds": duration,
+            "attempt": attempt,
+            "exception_type": type(exc).__name__,
+            "transient": transient,
             "event_log_path": None,
         }

@@ -10,6 +10,8 @@ kill+resume, and with several independent drainers sharing one queue.
 
 import json
 import multiprocessing
+import os
+import threading
 import time
 
 import pytest
@@ -36,6 +38,7 @@ from repro.orchestration.backends import (
 )
 from repro.orchestration.events import EVENTS_NAME
 from repro.orchestration.executor import CELLS_DIR_NAME
+from repro.orchestration.queue import _LeaseHeartbeat
 
 TIMING_KEYS = ("sim_seconds", "rounds_per_second")
 
@@ -311,6 +314,95 @@ class TestWorkQueueSharing:
         assert queue.enqueue([payload]) == 0  # leased
         queue.ack(cell.cell_id, {"cell_id": cell.cell_id, "status": "completed"})
         assert queue.enqueue([payload]) == 0  # done
+
+
+class TestLeaseOwnership:
+    """Heartbeats, fencing, and concurrent reclaim on the shared queue."""
+
+    def _claimed(self, tmp_path, lease_seconds):
+        spec = small_spec(mechanisms=("lt-vcg",), seeds=(0,))
+        queue = WorkQueue(tmp_path / "camp", lease_seconds=lease_seconds)
+        (cell,) = spec.expand()
+        payload = {"cell": cell.to_dict(), "cell_dir": None, "events_path": None}
+        assert queue.enqueue([payload]) == 1
+        assert queue.claim("holder") is not None
+        return queue, cell.cell_id
+
+    def test_concurrent_reclaim_from_two_coordinators(self, tmp_path):
+        # Two coordinators sweeping the same expired lease: the atomic
+        # rename means exactly one wins — the cell is requeued once, not
+        # twice, and the loser's FileNotFoundError is swallowed.
+        queue_a, cell_id = self._claimed(tmp_path, lease_seconds=0.1)
+        queue_b = WorkQueue(tmp_path / "camp", lease_seconds=0.1)
+        time.sleep(0.15)
+        reclaimed = []
+        barrier = threading.Barrier(2)
+
+        def sweep(queue):
+            barrier.wait()
+            reclaimed.append(queue.reclaim_expired())
+
+        threads = [
+            threading.Thread(target=sweep, args=(q,))
+            for q in (queue_a, queue_b)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert sum(reclaimed) == 1
+        assert queue_a.counts() == {"pending": 1, "leased": 0, "done": 0}
+
+    def test_heartbeat_keeps_lease_alive_past_lease_seconds(self, tmp_path):
+        # A heartbeat-extended lease survives 3x lease_seconds of wall
+        # time; once the ticker stops, expiry resumes normally.
+        queue, cell_id = self._claimed(tmp_path, lease_seconds=0.3)
+        ticker = _LeaseHeartbeat(queue, cell_id, "holder")
+        try:
+            time.sleep(0.9)
+            assert queue.reclaim_expired() == 0
+            assert queue.owns_lease(cell_id, "holder")
+        finally:
+            assert ticker.stop()  # never lost the lease
+        time.sleep(0.35)
+        assert queue.reclaim_expired() == 1
+
+    def test_heartbeat_reports_lost_lease(self, tmp_path):
+        queue, cell_id = self._claimed(tmp_path, lease_seconds=0.2)
+        ticker = _LeaseHeartbeat(queue, cell_id, "holder")
+        # A reclaimer (clock skew, manual surgery) yanks the lease away.
+        os.rename(
+            queue.leases_dir / f"{cell_id}.json",
+            queue.tasks_dir / f"{cell_id}.json",
+        )
+        (queue.leases_dir / f"{cell_id}.claim.json").unlink()
+        assert ticker._lost.wait(timeout=5.0)
+        assert not ticker.stop()  # latched: execution is now speculative
+
+    def test_extend_lease_denied_for_non_owner(self, tmp_path):
+        queue, cell_id = self._claimed(tmp_path, lease_seconds=30.0)
+        assert queue.extend_lease(cell_id, "holder")
+        assert not queue.extend_lease(cell_id, "impostor")
+        assert queue.owns_lease(cell_id, "holder")
+
+    def test_extend_lease_after_reclaim_leaves_no_orphan_sidecar(self, tmp_path):
+        queue, cell_id = self._claimed(tmp_path, lease_seconds=0.1)
+        time.sleep(0.15)
+        assert queue.reclaim_expired() == 1
+        assert not queue.extend_lease(cell_id, "holder")
+        assert not list(queue.leases_dir.glob("*.claim.json"))
+
+    def test_ack_owned_fences_stale_worker(self, tmp_path):
+        # The stalled worker's lease was reclaimed and re-claimed by
+        # someone else: its late ack must be refused, not double-deliver.
+        queue, cell_id = self._claimed(tmp_path, lease_seconds=0.1)
+        time.sleep(0.15)
+        assert queue.reclaim_expired() == 1
+        assert queue.claim("rescuer") is not None
+        assert not queue.ack_owned(cell_id, "holder", {"cell_id": cell_id})
+        assert queue.counts()["done"] == 0
+        assert queue.ack_owned(cell_id, "rescuer", {"cell_id": cell_id})
+        assert queue.counts()["done"] == 1
 
 
 class TestLeaseClocks:

@@ -84,6 +84,86 @@ class TestEventTrail:
             json.loads(json.dumps(event.to_dict()))
         ) == event
 
+    def test_emit_swallows_os_errors(self, tmp_path):
+        # The trail is observability, not correctness: an unwritable path
+        # (here: the parent "directory" is a regular file) drops events
+        # with a warning instead of failing the cell being narrated.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        writer = EventWriter(blocker / EVENTS_NAME)
+        writer.emit("cell_started", cell_id="a")  # must not raise
+        writer.emit("cell_finished", cell_id="a")  # warning is one-time
+
+    def test_follow_events_buffers_partial_trailing_line(self, tmp_path):
+        # A reader polling mid-append must not parse (and then skip) the
+        # half-written line: bytes after the last newline stay buffered
+        # until the writer finishes, then the completed event is yielded.
+        path = tmp_path / EVENTS_NAME
+        stop = threading.Event()
+        seen = []
+
+        def tail():
+            for event in follow_events(path, poll_interval=0.01, stop=stop):
+                seen.append(event)
+
+        thread = threading.Thread(target=tail)
+        thread.start()
+        try:
+            EventWriter(path, worker="w").emit("campaign_started")
+            self._wait_for(lambda: len(seen) == 1)
+            line = json.dumps(
+                {"type": "cell_started", "timestamp": 1.0, "cell_id": "a"}
+            )
+            with open(path, "a") as handle:
+                handle.write(line[:10])
+                handle.flush()
+            threading.Event().wait(0.1)
+            assert len(seen) == 1  # nothing torn was yielded
+            with open(path, "a") as handle:
+                handle.write(line[10:] + "\n")
+            self._wait_for(lambda: len(seen) == 2)
+            assert seen[1].type == "cell_started"
+            assert seen[1].cell_id == "a"
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+
+    def test_follow_events_resets_on_truncation(self, tmp_path):
+        path = tmp_path / EVENTS_NAME
+        stop = threading.Event()
+        seen = []
+
+        def tail():
+            for event in follow_events(path, poll_interval=0.01, stop=stop):
+                seen.append(event.type)
+
+        thread = threading.Thread(target=tail)
+        thread.start()
+        try:
+            EventWriter(path).emit("campaign_started")
+            EventWriter(path).emit("cell_started", cell_id="a")
+            self._wait_for(lambda: len(seen) == 2)
+            # The trail is rotated underneath the tailer (shorter file):
+            # the follower must restart from the new top, not wedge.
+            path.write_text(
+                json.dumps({"type": "campaign_finished", "timestamp": 2.0})
+                + "\n"
+            )
+            self._wait_for(lambda: len(seen) == 3)
+            assert seen[2] == "campaign_finished"
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+
+    @staticmethod
+    def _wait_for(predicate, timeout=5.0):
+        deadline = threading.Event()
+        for _ in range(int(timeout / 0.01)):
+            if predicate():
+                return
+            deadline.wait(0.01)
+        assert predicate()
+
     def test_follow_events_tails_appends(self, tmp_path):
         path = tmp_path / EVENTS_NAME
         stop = threading.Event()

@@ -1,0 +1,505 @@
+"""Chaos suite: deterministic fault injection against the campaign fabric.
+
+Three layers:
+
+* unit tests of :mod:`repro.faults` (plan parsing, seeded determinism,
+  trigger caps, each fault mode);
+* retry/quarantine semantics on the inline backend — transient failures
+  succeed on a later attempt, poison cells dead-letter;
+* randomized fault schedules against the work-queue backend (worker
+  crashes, stalls past the lease, torn acks) plus coordinator-side
+  crashes in subprocesses, all asserting the recovered campaign's store
+  is bit-identical to a fault-free run.
+
+``CHAOS_SEEDS`` (comma-separated ints, default ``0``) widens the
+schedule matrix — CI's chaos-smoke job sweeps several seeds.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import faults
+from repro.config import ExperimentConfig
+from repro.faults import (
+    CRASH_EXIT_CODE,
+    FaultInjector,
+    FaultSpec,
+    TransientFaultError,
+    parse_fault_plan,
+)
+from repro.orchestration import (
+    EVENTS_NAME,
+    RetryPolicy,
+    SweepSpec,
+    load_quarantine_record,
+    load_results,
+    quarantine_cell,
+    quarantined_ids,
+    read_events,
+    resume_campaign,
+    run_campaign,
+)
+from repro.orchestration.backends import WorkQueueBackend
+
+TIMING_KEYS = ("sim_seconds", "rounds_per_second")
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        base=ExperimentConfig(
+            num_clients=6, num_rounds=8, max_winners=2, budget_per_round=2.0, v=10.0
+        ),
+        mechanisms=("lt-vcg", "prop-share"),
+        scenarios=("mechanism",),
+        seeds=(0, 1),
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def stable_metrics(results):
+    return {
+        r.cell_id: {k: v for k, v in r.metrics.items() if k not in TIMING_KEYS}
+        for r in results
+        if r.completed
+    }
+
+
+@pytest.fixture(autouse=True)
+def _pristine_faults(monkeypatch):
+    """No plan armed going in; module globals fully reset going out."""
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    monkeypatch.delenv(faults.FAULTS_SEED_ENV, raising=False)
+    monkeypatch.delenv(faults.STALL_SECONDS_ENV, raising=False)
+    faults.configure("")
+    yield
+    faults._INJECTOR = None
+    faults._RESOLVED = False
+
+
+class TestPlanParsing:
+    def test_full_syntax(self):
+        specs = parse_fault_plan(
+            "queue.claim:crash@0.1, store.flush:torn_write@0.05#3 ,"
+            "worker.run_cell:io_error"
+        )
+        assert specs == (
+            FaultSpec("queue.claim", "crash", 0.1),
+            FaultSpec("store.flush", "torn_write", 0.05, 3),
+            FaultSpec("worker.run_cell", "io_error", 1.0),
+        )
+
+    def test_empty_plan_disables(self):
+        assert parse_fault_plan("") == ()
+        assert parse_fault_plan(" , ") == ()
+        assert faults.configure("") is None
+        assert not faults.enabled()
+
+    @pytest.mark.parametrize(
+        "bad, match",
+        [
+            ("queue.claim", "expected site:mode"),
+            ("nowhere:crash", "unknown fault site"),
+            ("queue.claim:melt", "unknown fault mode"),
+            ("queue.claim:crash@0", "probability"),
+            ("queue.claim:crash@1.5", "probability"),
+            ("queue.claim:crash#0", "max_triggers"),
+        ],
+    )
+    def test_rejects_bad_entries(self, bad, match):
+        with pytest.raises(ValueError, match=match):
+            parse_fault_plan(bad)
+
+
+class TestInjector:
+    def test_io_error_respects_trigger_cap(self):
+        injector = FaultInjector(
+            parse_fault_plan("worker.run_cell:io_error#2"), seed=1
+        )
+        raised = 0
+        for _ in range(5):
+            try:
+                injector.fire("worker.run_cell")
+            except TransientFaultError:
+                raised += 1
+        assert raised == 2
+        assert injector.triggered[("worker.run_cell", "io_error")] == 2
+
+    def test_unarmed_site_never_fires(self):
+        injector = FaultInjector(parse_fault_plan("queue.ack:io_error"), seed=1)
+        for _ in range(10):
+            injector.fire("queue.claim")  # must not raise
+        assert injector.triggered == {}
+
+    def test_same_seed_same_schedule(self):
+        def schedule(seed):
+            injector = FaultInjector(
+                parse_fault_plan("queue.claim:io_error@0.4"), seed=seed
+            )
+            fired = []
+            for _ in range(40):
+                try:
+                    injector.fire("queue.claim")
+                    fired.append(False)
+                except TransientFaultError:
+                    fired.append(True)
+            return fired
+
+        assert schedule(7) == schedule(7)
+        assert any(schedule(7)) and not all(schedule(7))
+
+    def test_stall_sleeps(self):
+        injector = FaultInjector(
+            parse_fault_plan("queue.ack:stall#1"), seed=0, stall_seconds=0.05
+        )
+        started = time.perf_counter()
+        injector.fire("queue.ack")
+        assert time.perf_counter() - started >= 0.05
+        injector.fire("queue.ack")  # capped: no second stall
+
+    def test_configure_from_env_is_lazy(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "worker.run_cell:io_error#1")
+        faults._INJECTOR = None
+        faults._RESOLVED = False
+        with pytest.raises(TransientFaultError):
+            faults.fault_point("worker.run_cell")
+        faults.fault_point("worker.run_cell")  # cap reached
+
+    def test_crash_exits_with_marker_code(self, tmp_path):
+        result = _run_py(
+            "from repro import faults\n"
+            "faults.configure('queue.claim:crash')\n"
+            "faults.fault_point('queue.claim')\n"
+        )
+        assert result.returncode == CRASH_EXIT_CODE
+
+    def test_torn_write_truncates_then_crashes(self, tmp_path):
+        victim = tmp_path / "victim.bin"
+        victim.write_bytes(b"x" * 100)
+        result = _run_py(
+            "import sys\n"
+            "from repro import faults\n"
+            "faults.configure('store.flush:torn_write', seed=3)\n"
+            "faults.torn_write_point('store.flush', sys.argv[1])\n",
+            args=[str(victim)],
+        )
+        assert result.returncode == CRASH_EXIT_CODE
+        assert 0 < victim.stat().st_size < 100
+
+
+class TestRetryAndQuarantine:
+    def test_transient_failure_succeeds_on_retry(self, tmp_path):
+        spec = small_spec(mechanisms=("lt-vcg",), seeds=(0,))
+        faults.configure("worker.run_cell:io_error#2")
+        summary = run_campaign(spec, tmp_path / "camp", backend="inline")
+        assert summary.executed == 1 and summary.failed == 0
+        assert summary.retried == 2
+        assert summary.quarantined == 0
+        (result,) = load_results(tmp_path / "camp")
+        assert result.completed
+        assert result.attempts == 3
+        events = read_events(tmp_path / "camp" / EVENTS_NAME)
+        retries = [e for e in events if e.type == "cell_retry"]
+        assert [e.data["attempt"] for e in retries] == [1, 2]
+        assert all(
+            e.data["exception_type"] == "TransientFaultError" for e in retries
+        )
+        # The fault-injected result matches a clean run bit for bit.
+        faults.configure("")
+        run_campaign(spec, tmp_path / "clean", backend="inline")
+        assert stable_metrics(load_results(tmp_path / "camp")) == stable_metrics(
+            load_results(tmp_path / "clean")
+        )
+
+    def test_persistent_transient_failure_quarantines(self, tmp_path):
+        spec = small_spec(mechanisms=("lt-vcg",), seeds=(0,))
+        faults.configure("worker.run_cell:io_error")  # fails every attempt
+        summary = run_campaign(spec, tmp_path / "camp", backend="inline")
+        assert summary.executed == 1 and summary.failed == 1
+        assert summary.retried == 2  # max_attempts=3 total
+        assert summary.quarantined == 1
+        (result,) = load_results(tmp_path / "camp")
+        assert result.status == "failed"
+        assert result.attempts == 3
+        assert result.exception_type == "TransientFaultError"
+        (cell_id,) = quarantined_ids(tmp_path / "camp")
+        record = load_quarantine_record(tmp_path / "camp", cell_id)
+        assert record["classification"] == "transient-exhausted"
+        assert record["attempts"] == 3
+        assert record["exception_type"] == "TransientFaultError"
+        assert "TransientFaultError" in record["error"]
+        events = read_events(tmp_path / "camp" / EVENTS_NAME)
+        (quarantined,) = [e for e in events if e.type == "cell_quarantined"]
+        assert quarantined.cell_id == cell_id
+
+    def test_deterministic_failure_quarantines_without_retry(self, tmp_path):
+        spec = small_spec(
+            mechanisms=("fixed-price",), seeds=(0,), params={"price": (-1.0,)}
+        )
+        summary = run_campaign(spec, tmp_path / "camp", backend="inline")
+        assert summary.failed == 1
+        assert summary.retried == 0  # ValueError: retrying would be futile
+        assert summary.quarantined == 1
+        (result,) = load_results(tmp_path / "camp")
+        assert result.attempts == 1
+        assert result.exception_type == "ValueError"
+        (cell_id,) = quarantined_ids(tmp_path / "camp")
+        record = load_quarantine_record(tmp_path / "camp", cell_id)
+        assert record["classification"] == "deterministic"
+
+    def test_quarantine_cleared_when_cell_later_succeeds(self, tmp_path):
+        spec = small_spec(mechanisms=("lt-vcg",), seeds=(0,))
+        (cell,) = spec.expand()
+        quarantine_cell(tmp_path / "camp", cell.cell_id)
+        summary = run_campaign(spec, tmp_path / "camp", backend="inline")
+        assert summary.failed == 0
+        assert summary.quarantined == 0
+        assert quarantined_ids(tmp_path / "camp") == set()
+
+    def test_retry_policy_disabled_records_first_failure(self, tmp_path):
+        spec = small_spec(mechanisms=("lt-vcg",), seeds=(0,))
+        faults.configure("worker.run_cell:io_error#1")
+        summary = run_campaign(
+            spec, tmp_path / "camp", backend="inline",
+            retry=RetryPolicy(max_attempts=1),
+        )
+        assert summary.failed == 1 and summary.retried == 0
+        (result,) = load_results(tmp_path / "camp")
+        assert result.attempts == 1
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = RetryPolicy()
+        first = policy.backoff_seconds("cell-a", 1)
+        assert first == policy.backoff_seconds("cell-a", 1)
+        assert first != policy.backoff_seconds("cell-b", 1)
+        for attempt in range(1, 12):
+            delay = policy.backoff_seconds("cell-a", attempt)
+            assert 0 < delay <= policy.backoff_max_seconds * (
+                1 + policy.jitter_fraction
+            )
+
+
+def _chaos_seeds():
+    return [int(s) for s in os.environ.get("CHAOS_SEEDS", "0").split(",")]
+
+
+#: Worker-side-only fault schedules: these sites are probed exclusively in
+#: drainer processes, so the pytest process (the coordinator) survives and
+#: the fabric's recovery machinery — lease reclaim, ack fencing, dead-
+#: worker release, respawn — has to absorb every injected death.
+WORKER_SCHEDULES = {
+    "crash": dict(
+        plan="queue.claim:crash@0.4#2,worker.run_cell:crash@0.25#2",
+        lease_seconds=0.4,
+        stall_seconds=0.75,
+    ),
+    "stall": dict(
+        plan="queue.ack:stall#2",
+        lease_seconds=0.3,
+        stall_seconds=1.0,
+    ),
+    "torn-write": dict(
+        plan="queue.ack:torn_write@0.5#1,queue.claim:crash@0.25#1",
+        lease_seconds=0.4,
+        stall_seconds=0.75,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def reference_metrics(tmp_path_factory):
+    """Fault-free metrics of the chaos spec, shared across schedules."""
+    camp = tmp_path_factory.mktemp("reference") / "camp"
+    run_campaign(small_spec(), camp, backend="inline")
+    return stable_metrics(load_results(camp))
+
+
+class TestChaosCampaigns:
+    @pytest.mark.parametrize("seed", _chaos_seeds())
+    @pytest.mark.parametrize("schedule", sorted(WORKER_SCHEDULES))
+    def test_fault_schedule_preserves_results(
+        self, tmp_path, reference_metrics, schedule, seed
+    ):
+        config = WORKER_SCHEDULES[schedule]
+        spec = small_spec()
+        camp = tmp_path / "camp"
+        backend = WorkQueueBackend(
+            camp, num_workers=2, lease_seconds=config["lease_seconds"]
+        )
+        faults.configure(
+            config["plan"], seed=seed, stall_seconds=config["stall_seconds"]
+        )
+        try:
+            summary = run_campaign(spec, camp, backend=backend)
+        finally:
+            faults.configure("")
+        assert summary.failed == 0
+        assert summary.executed == 4
+        assert summary.quarantined == 0
+        # Exactly-once store contents, bit-identical to the clean run.
+        assert stable_metrics(load_results(camp)) == reference_metrics
+
+    def test_stalled_worker_loses_lease_and_result_is_discarded(self, tmp_path):
+        # Deterministic variant of the stall schedule: the first ack stalls
+        # 1 s against a 0.2 s lease, so the fencing path *must* trigger.
+        spec = small_spec(mechanisms=("lt-vcg",), seeds=(0,))
+        camp = tmp_path / "camp"
+        backend = WorkQueueBackend(camp, num_workers=1, lease_seconds=0.2)
+        faults.configure("queue.ack:stall#1", stall_seconds=1.0)
+        try:
+            summary = run_campaign(spec, camp, backend=backend)
+        finally:
+            faults.configure("")
+        assert summary.failed == 0 and summary.executed == 1
+        events = read_events(camp / EVENTS_NAME)
+        assert any(e.type == "cell_lease_lost" for e in events)
+        # The cell still landed exactly once in the store.
+        (result,) = load_results(camp)
+        assert result.completed
+
+
+def _run_py(code, *, args=(), env=None):
+    """Run a snippet with ``repro`` importable, as a fresh process."""
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    merged = dict(os.environ)
+    merged["PYTHONPATH"] = os.pathsep.join(
+        [src_dir] + [p for p in merged.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    if env:
+        merged.update(env)
+    return subprocess.run(
+        [sys.executable, "-c", code, *args],
+        env=merged,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+_COORDINATOR_SNIPPET = """
+import sys
+from repro.config import ExperimentConfig
+from repro.orchestration import SweepSpec, run_campaign
+spec = SweepSpec(
+    base=ExperimentConfig(
+        num_clients=6, num_rounds=8, max_winners=2, budget_per_round=2.0, v=10.0
+    ),
+    mechanisms=("lt-vcg", "prop-share"),
+    scenarios=("mechanism",),
+    seeds=(0, 1),
+)
+run_campaign(spec, sys.argv[1], backend="inline", store=sys.argv[2])
+"""
+
+
+class TestCoordinatorCrashRecovery:
+    """Coordinator-side faults need their own process: crashes are real."""
+
+    @pytest.mark.parametrize(
+        "store, plan, backend, resume_backend, resume_workers",
+        [
+            ("columnar", "store.flush:torn_write#1", "inline", "inline", 0),
+            ("sqlite", "executor.record:crash#1", "inline", "inline", 0),
+            # The torn enqueue leaves unreadable JSON in queue/tasks/;
+            # resuming through the work-queue backend exercises the
+            # startup repair() pass that parks it and re-enqueues cleanly.
+            ("sqlite", "queue.enqueue:torn_write#1", "work-queue", "work-queue", 1),
+        ],
+    )
+    def test_killed_coordinator_resumes_to_identical_results(
+        self, tmp_path, reference_metrics, store, plan,
+        backend, resume_backend, resume_workers,
+    ):
+        camp = tmp_path / "camp"
+        snippet = _COORDINATOR_SNIPPET.replace(
+            'backend="inline"', f'backend="{backend}"'
+        )
+        first = _run_py(
+            snippet,
+            args=[str(camp), store],
+            env={faults.FAULTS_ENV: plan, faults.FAULTS_SEED_ENV: "5"},
+        )
+        assert first.returncode == CRASH_EXIT_CODE, first.stderr
+        # The crash left a campaign directory behind; resuming without any
+        # fault plan must converge to the clean run's exact results.
+        summary = resume_campaign(
+            camp, backend=resume_backend, max_workers=resume_workers
+        )
+        assert summary.failed == 0
+        assert stable_metrics(load_results(camp)) == reference_metrics
+
+    def test_torn_columnar_snapshot_is_parked_and_recovered(self, tmp_path):
+        camp = tmp_path / "camp"
+        first = _run_py(
+            _COORDINATOR_SNIPPET,
+            args=[str(camp), "columnar"],
+            env={faults.FAULTS_ENV: "store.flush:torn_write#1"},
+        )
+        assert first.returncode == CRASH_EXIT_CODE, first.stderr
+        assert (camp / "results.npz").exists()  # torn snapshot on disk
+        summary = resume_campaign(camp, backend="inline", max_workers=0)
+        assert summary.failed == 0
+        # The unreadable snapshot was parked for post-mortems, not deleted.
+        assert (camp / "results.npz.corrupt").exists()
+        assert len(stable_metrics(load_results(camp))) == 4
+
+
+class TestQueueRepair:
+    def _queue(self, tmp_path):
+        from repro.orchestration.queue import WorkQueue
+
+        spec = small_spec(mechanisms=("lt-vcg",), seeds=(0,))
+        queue = WorkQueue(tmp_path / "camp", lease_seconds=30.0)
+        (cell,) = spec.expand()
+        payload = {"cell": cell.to_dict(), "cell_dir": None, "events_path": None}
+        assert queue.enqueue([payload]) == 1
+        return queue, cell.cell_id
+
+    def test_orphaned_claim_sidecar_is_dropped(self, tmp_path):
+        queue, cell_id = self._queue(tmp_path)
+        (queue.leases_dir / f"{cell_id}.claim.json").write_text(
+            json.dumps({"worker": "ghost", "claimed_at": 0.0})
+        )
+        repaired = queue.repair()
+        assert repaired["orphaned_claims"] == 1
+        assert not (queue.leases_dir / f"{cell_id}.claim.json").exists()
+
+    def test_torn_task_payload_is_parked(self, tmp_path):
+        queue, cell_id = self._queue(tmp_path)
+        (queue.tasks_dir / f"{cell_id}.json").write_text('{"cell": {"cell')
+        repaired = queue.repair()
+        assert repaired["corrupt"] == 1
+        assert not (queue.tasks_dir / f"{cell_id}.json").exists()
+        assert list((queue.queue_dir / "corrupt").iterdir())
+
+    def test_torn_outcome_with_live_lease_is_left_for_reack(self, tmp_path):
+        queue, cell_id = self._queue(tmp_path)
+        assert queue.claim("w") is not None
+        (queue.done_dir / f"{cell_id}.json").write_text('{"status": "comp')
+        repaired = queue.repair()
+        assert repaired["corrupt"] == 0
+        assert (queue.done_dir / f"{cell_id}.json").exists()
+
+    def test_torn_outcome_without_lease_is_parked(self, tmp_path):
+        queue, cell_id = self._queue(tmp_path)
+        (queue.done_dir / f"{cell_id}.json").write_text('{"status": "comp')
+        repaired = queue.repair()
+        assert repaired["corrupt"] == 1
+        assert not (queue.done_dir / f"{cell_id}.json").exists()
+
+    def test_torn_claim_scan_survives_poison_payload(self, tmp_path):
+        # A torn *pending* payload must not kill the drainer that claims
+        # it: it is parked mid-claim and the next task is handed out.
+        queue, cell_id = self._queue(tmp_path)
+        (queue.tasks_dir / "aaa-torn.json").write_text('{"cell": {"cell')
+        claimed = queue.claim("w")
+        assert claimed is not None
+        assert claimed["cell"]["cell_id"] == cell_id
+        assert list((queue.queue_dir / "corrupt").iterdir())

@@ -71,6 +71,38 @@ class TestWrites:
             assert result.completed
             assert store.counts() == {"completed": 1}
 
+    def test_attempts_is_a_delta_per_record(self, tmp_path, backend_name):
+        # A retried cell records once with the attempts it burned; a later
+        # re-record (e.g. --retry-failed in a new invocation) accumulates
+        # on top of what the store already holds.
+        cell = one_cell()
+        with ResultStore(tmp_path, backend=backend_name) as store:
+            store.record_failure(cell, "exhausted retries", attempts=3)
+            (result,) = store.results()
+            assert result.attempts == 3
+            store.record_success(cell, METRICS, attempts=2)
+            (result,) = store.results()
+            assert result.attempts == 5
+            assert result.completed
+
+    def test_exception_type_round_trip(self, tmp_path, backend_name):
+        cell = one_cell()
+        with ResultStore(tmp_path, backend=backend_name) as store:
+            store.record_failure(
+                cell, "Traceback: boom", exception_type="ValueError"
+            )
+            (result,) = store.results()
+            assert result.exception_type == "ValueError"
+        # Survives a reopen (SQLite reads the column back; columnar
+        # round-trips it through the NPZ snapshot).
+        with ResultStore(tmp_path) as store:
+            (result,) = store.results()
+            assert result.exception_type == "ValueError"
+            # A success clears the classification.
+            store.record_success(cell, METRICS)
+            (result,) = store.results()
+            assert result.exception_type is None
+
 
 class TestCheckpoint:
     def test_completed_ids_survive_reopen(self, tmp_path, backend_name):

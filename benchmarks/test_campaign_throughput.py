@@ -13,7 +13,9 @@ per-cell cost is simulation, not overhead):
    so coordinator startup is excluded and the number is the steady-state
    drain rate.  The >=1.6x gate (2x minus scheduling-tail allowance) only
    applies on multi-core hosts — on a single core two workers cannot beat
-   one, and the run records the measured ratio instead of asserting it.
+   one, so the run records the measured ratio, reports as usual, and then
+   *skips visibly* (with the core count in the reason) rather than passing
+   as if the gate had been verified.
 
 Numbers land in ``benchmarks/results/BENCH_campaign.json`` so the CI
 campaign-smoke step can diff them across PRs.  ``CAMPAIGN_ROUNDS`` /
@@ -26,6 +28,8 @@ from __future__ import annotations
 import os
 import tempfile
 from pathlib import Path
+
+import pytest
 
 from benchmarks.conftest import run_once
 from repro.config import ExperimentConfig
@@ -150,7 +154,15 @@ def test_campaign_throughput(benchmark, report):
     for stats in runs.values():
         assert stats["cells"] == results["num_cells"]
     assert runs["queue_2w"]["workers"] == 2
-    if MULTICORE:
-        assert results["speedup_2w_vs_1w"] >= 1.6, (
-            f"2-worker drain only {results['speedup_2w_vs_1w']:.2f}x faster"
+    if not MULTICORE:
+        # Everything above (equivalence, report, archive) has run; only the
+        # scaling gate is impossible here, and a silent pass would misreport
+        # it as verified.
+        pytest.skip(
+            f"single-core host (cpu_count={os.cpu_count()}): the >=1.6x "
+            f"two-drainer gate needs >=2 cores; measured "
+            f"{results['speedup_2w_vs_1w']:.2f}x, recorded but not gated"
         )
+    assert results["speedup_2w_vs_1w"] >= 1.6, (
+        f"2-worker drain only {results['speedup_2w_vs_1w']:.2f}x faster"
+    )

@@ -11,7 +11,11 @@ client counts:
   current scalar reference (already faster than legacy: one round-plan rng
   draw per client);
 * **vectorized** — :class:`repro.fl.batch.VectorizedLocalSolver`, the
-  stacked leading-client-axis engine.
+  stacked leading-client-axis engine;
+* **lean** — the same engine in the bandwidth-lean data-plane
+  configuration (float32 shard/minibatch storage with float64 compute,
+  128-client chunked stacked pipelines) — the memory-bound setting for
+  1000-client federations.
 
 Populations come from :func:`repro.simulation.scenarios.build_fl_scenario`
 with the ``samples_per_client`` scaling knob, so the data pool grows with
@@ -28,7 +32,11 @@ Expected shape: the vectorized engine beats the legacy loop >= 5x at 200
 clients on the softmax model (the per-client Python overhead the stack
 amortises), stays ahead at 1000 clients, and per-client equivalence with
 the sequential engine holds to tight tolerance (the full property suite
-lives in tests/fl/test_local_solvers.py).
+lives in tests/fl/test_local_solvers.py).  On the CNN family — stacked
+through the conv kernels, off the scalar fallback — the lean data plane
+holds clients/sec at 1000 clients at the 200-client figure (the old
+float64 gather path *fell* >10% over that span; the gate asserts the
+falloff is gone, with a small allowance for single-core timing noise).
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ import time
 import numpy as np
 
 from benchmarks.conftest import run_once
+from repro import kernels
 from repro.fl.aggregation import stack_updates
 from repro.fl.batch import SequentialLocalSolver, VectorizedLocalSolver
 from repro.fl.client import ClientUpdate
@@ -50,7 +59,7 @@ DEFAULT_SIZES = (40, 200, 1000)
 SIZES = tuple(
     int(s) for s in os.environ.get("FL_SIZES", "").split(",") if s.strip()
 ) or DEFAULT_SIZES
-MODELS = ("softmax", "mlp")
+MODELS = ("softmax", "mlp", "cnn")
 SAMPLES_PER_CLIENT = 40
 ROUNDS = 3
 TRIALS = 3
@@ -130,13 +139,21 @@ def time_engines(num_clients: int, model: str) -> dict:
         lambda: vec_solver.train(vec_clients, global_params)
     )
 
+    _, lean_clients = federation(num_clients, model)
+    lean_solver = VectorizedLocalSolver(
+        storage_dtype=np.float32, chunk_clients=128
+    )
+    lean = best_round_seconds(lambda: lean_solver.train(lean_clients, global_params))
+
     return {
         "model": model,
         "n": num_clients,
         "legacy_ms": legacy * 1e3,
         "sequential_ms": sequential * 1e3,
         "vectorized_ms": vectorized * 1e3,
+        "lean_ms": lean * 1e3,
         "clients_per_sec": num_clients / vectorized,
+        "lean_clients_per_sec": num_clients / lean,
         "speedup_vs_legacy": legacy / vectorized,
         "speedup_vs_sequential": sequential / vectorized,
     }
@@ -169,14 +186,17 @@ def test_fl_training_throughput(benchmark, report):
             "legacy (ms)",
             "sequential (ms)",
             "vectorized (ms)",
+            "lean (ms)",
             "clients/s",
+            "lean clients/s",
             "vs legacy",
             "vs sequential",
         ],
         [
             [r["model"], r["n"], r["legacy_ms"], r["sequential_ms"],
-             r["vectorized_ms"], r["clients_per_sec"],
-             r["speedup_vs_legacy"], r["speedup_vs_sequential"]]
+             r["vectorized_ms"], r["lean_ms"], r["clients_per_sec"],
+             r["lean_clients_per_sec"], r["speedup_vs_legacy"],
+             r["speedup_vs_sequential"]]
             for r in rows
         ],
         title="Local-training round latency vs. client count",
@@ -193,6 +213,8 @@ def test_fl_training_throughput(benchmark, report):
             "samples_per_client": SAMPLES_PER_CLIENT,
             "rounds": ROUNDS,
             "trials": TRIALS,
+            "backend": kernels.active_backend().name,
+            "lean": {"storage_dtype": "float32", "chunk_clients": 128},
         },
         "rows": [
             {
@@ -229,3 +251,18 @@ def test_fl_training_throughput(benchmark, report):
             # round and the ratio is honestly memory-bound lower; it is
             # recorded, not gated.)
             assert r["speedup_vs_legacy"] >= 5.0, r
+    by_key = {(r["model"], r["n"]): r for r in rows}
+    if ("cnn", 200) in by_key and ("cnn", 1000) in by_key:
+        # Acceptance gate for the bandwidth-lean data plane: on the CNN
+        # family (stacked through the conv kernels, off the scalar
+        # fallback) throughput does not degrade from 200 to 1000 clients —
+        # float32 storage + 128-client chunking keep each chunk's working
+        # set cache-resident, so per-client cost is flat in federation
+        # size (the old float64 gather path fell >10% over this span).
+        # Flat-in-expectation means the two figures are statistically
+        # tied; the 3% allowance is single-host timing noise, not a
+        # permitted slowdown.
+        assert (
+            by_key[("cnn", 1000)]["lean_clients_per_sec"]
+            >= 0.97 * by_key[("cnn", 200)]["lean_clients_per_sec"]
+        ), (by_key[("cnn", 200)], by_key[("cnn", 1000)])

@@ -248,9 +248,16 @@ class RoundBatch:
                 )
         if costs[mask].size and (costs[mask] < 0).any():
             raise ValueError("bid costs must be >= 0")
-        for r in range(num):
-            row = client_ids[r, mask[r]]
-            if len(set(row.tolist())) != row.size:
+        if num and width and mask.any():
+            # Duplicate-id check, vectorised: padded cells get per-column
+            # sentinels strictly below every real id, so after the row sort
+            # only genuine duplicates sit adjacent (previously an O(R*N)
+            # Python set loop on the truthfulness-probe hot path).
+            sentinels = client_ids[mask].min() - 1 - np.arange(width, dtype=np.int64)
+            checked = np.sort(np.where(mask, client_ids, sentinels[None, :]), axis=1)
+            duplicate_rows = (checked[:, 1:] == checked[:, :-1]).any(axis=1)
+            if duplicate_rows.any():
+                r = int(np.flatnonzero(duplicate_rows)[0])
                 raise ValueError(f"duplicate client_id in batch row {r}")
         if data_sizes is None:
             data_sizes = np.ones((num, width), dtype=np.int64)

@@ -157,6 +157,7 @@ def knapsack_clarke_critical_scores(
     allocation: Allocation,
     *,
     resolution: int = 1000,
+    prune: bool = True,
 ) -> dict[int, float]:
     """Clarke critical scores under DP knapsack winner determination.
 
@@ -165,9 +166,11 @@ def knapsack_clarke_critical_scores(
     winner instead of ``len(winners)`` independent DP re-solves.  Matches
     :func:`clarke_critical_scores` with a ``solve_knapsack_dp`` solver at
     the same ``resolution`` (verified property-based in the test suite).
+    ``prune`` is forwarded to the winner-slackened score-upper-bound prune
+    (objectives stay exact either way).
     """
     objectives_without = knapsack_objectives_without(
-        problem, allocation.selected, resolution=resolution
+        problem, allocation.selected, resolution=resolution, prune=prune
     )
     critical: dict[int, float] = {}
     for index in allocation.selected:

@@ -48,7 +48,9 @@ from repro.core.winner_determination import (
     WinnerDeterminationProblem,
     exact_method_for,
     greedy_order_batch,
+    solve,
     solve_greedy_batch,
+    solve_knapsack_dp_rows,
     solve_top_k_batch,
 )
 from repro.utils.validation import check_non_negative, check_positive
@@ -219,6 +221,49 @@ class SingleRoundVCGAuction:
         # through the cache so repeated instances are never re-enumerated.
         return clarke_critical_scores(problem, allocation, solver=self._solve)
 
+    def _knapsack_exact_batch(
+        self, scores: np.ndarray, demands: np.ndarray, num: int
+    ) -> tuple[list[Allocation], list[dict[int, float]]]:
+        """Winner determination + critical scores for an exact knapsack batch.
+
+        Mirrors the scalar pipeline round for round — same cache keys, same
+        allocations, same pivots — but rounds whose (uncached) instance
+        resolves to the DP solver are collected and solved as one stacked DP
+        (:func:`solve_knapsack_dp_rows`) instead of one table fill per
+        round.  Brute-force-sized instances keep the scalar solver.
+        """
+        problems: list[WinnerDeterminationProblem] = []
+        allocations: list[Allocation] = [None] * num  # type: ignore[list-item]
+        pending: list[int] = []
+        for r in range(num):
+            problem = WinnerDeterminationProblem._unchecked(
+                scores[r], demands[r], self.capacity, self.max_winners
+            )
+            problems.append(problem)
+            cached = self.solve_cache.lookup(problem, self.wd_method)
+            if cached is not None:
+                allocations[r] = cached
+                continue
+            resolved = self.wd_method
+            if resolved == "exact":
+                resolved = exact_method_for(problem)
+            if resolved == "dp":
+                pending.append(r)
+            else:
+                allocation = solve(problem, resolved)
+                self.solve_cache.store(problem, self.wd_method, allocation)
+                allocations[r] = allocation
+        if pending:
+            with telemetry.span("wd_solve_batch"):
+                solved = solve_knapsack_dp_rows([problems[r] for r in pending])
+            for r, allocation in zip(pending, solved):
+                self.solve_cache.store(problems[r], self.wd_method, allocation)
+                allocations[r] = allocation
+        criticals = [
+            self._critical_scores(problems[r], allocations[r]) for r in range(num)
+        ]
+        return allocations, criticals
+
     def run(self, auction_round: AuctionRound) -> VCGAuctionResult:
         """Run the auction: select winners and compute truthful payments."""
         with telemetry.span("auction"):
@@ -356,16 +401,8 @@ class SingleRoundVCGAuction:
             # Clarke sigmas are computed flat below.
             allocations = solve_top_k_batch(scores, self.max_winners)
         else:
-            # Exact + knapsack: per-round scalar pipeline through the cache.
-            allocations = []
-            criticals = []
-            for r in range(num):
-                problem = WinnerDeterminationProblem._unchecked(
-                    scores[r], demands[r], self.capacity, self.max_winners
-                )
-                allocation = self._solve(problem)
-                allocations.append(allocation)
-                criticals.append(self._critical_scores(problem, allocation))
+            # Exact + knapsack: stacked DP over the cache misses.
+            allocations, criticals = self._knapsack_exact_batch(scores, demands, num)
 
         # One winner-major gather instead of per-round numpy scalar reads:
         # every winner's (id, cost, value, weight, sigma) lands in flat

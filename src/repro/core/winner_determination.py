@@ -37,13 +37,14 @@ payment computations that re-solve subproblems are stable.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from itertools import combinations
 
 import numpy as np
 from scipy.optimize import linprog
 
-from repro import telemetry
+from repro import kernels, telemetry
 
 __all__ = [
     "WinnerDeterminationProblem",
@@ -56,6 +57,7 @@ __all__ = [
     "solve_top_k_batch",
     "solve_brute_force",
     "solve_knapsack_dp",
+    "solve_knapsack_dp_rows",
     "solve_greedy",
     "solve_greedy_batch",
     "solve_lp_bound",
@@ -70,6 +72,16 @@ _BRUTE_FORCE_LIMIT = 22
 _AUTO_BRUTE_FORCE_LIMIT = 7
 
 _EPS = 1e-12
+
+# Lambda-grid resolution of the prune's companion upper bound; a denser
+# grid tightens the bound marginally but each step costs a sort.
+_PRUNE_LAMBDA_GRID = 8
+# Capacity grid of the prune's core-DP lower bound.  The witness only has
+# to be *feasible* (demands re-round up onto the coarse grid, so any
+# coarse-feasible set fits the fine grid too); a coarser table shrinks the
+# bound's fixed cost ~5x while costing at most a few grid-steps of bound
+# tightness.
+_PRUNE_CORE_RESOLUTION = 200
 
 
 @dataclass(frozen=True)
@@ -479,10 +491,349 @@ def _quantised_demands(
     return [int(i) for i in positive[keep]], units[keep]
 
 
+class _PruneState:
+    """Memoised score-bound state of one quantised knapsack instance.
+
+    Winner determination and the Clarke payment pass prune the *same*
+    instance within one round; everything here is removal-independent, so
+    it is computed once per ``(problem, resolution)`` and both consumers
+    derive their keep-masks from it (the payment pass only adds its
+    removal slack, see :func:`_witness_slack`).
+
+    ``companion is None`` means the bounding step was skipped (no
+    candidates, or the core below would have been the whole instance) and
+    every candidate is kept.
+    """
+
+    __slots__ = ("candidates", "units", "scores", "k_cap", "witness", "lower", "companion")
+
+    def __init__(
+        self,
+        candidates: list[int],
+        units: np.ndarray,
+        scores: np.ndarray,
+        k_cap: int,
+    ) -> None:
+        self.candidates = candidates
+        self.units = units
+        self.scores = scores
+        self.k_cap = k_cap
+        self.witness: list[int] = []
+        self.lower = 0.0
+        self.companion: np.ndarray | None = None
+
+
+_PRUNE_MEMO_SIZE = 128
+
+
+def _prune_state(
+    problem: WinnerDeterminationProblem, resolution: int
+) -> _PruneState:
+    """The (memoised) prune state of ``problem`` at ``resolution``.
+
+    The memo is per-thread (campaign drains solve concurrently under the
+    thread execution backend) with FIFO eviction; state objects are
+    treated as immutable by every consumer.
+
+    A candidate is dropped only when an upper bound on the best solution
+    containing it — its own score plus a Lagrangian fractional-knapsack
+    companion bound — falls short of a core-DP lower bound, so dropped
+    candidates are provably outside every optimal solution (up to exact
+    score ties) and the pruned DP returns the same objective.
+
+    The cardinality shrink is independent of the bound: no feasible set
+    can hold more items than the largest ascending-units prefix that fits,
+    so the DP's count axis never needs to exceed that prefix length.
+    """
+    memo = getattr(_LOCAL, "prune_memo", None)
+    if memo is None:
+        memo = _LOCAL.prune_memo = {}
+    key = (problem, resolution)
+    state = memo.get(key)
+    if state is not None:
+        return state
+
+    candidates, units = _quantised_demands(problem, resolution)
+    int_capacity = resolution
+    scores = (
+        problem.scores_array[candidates]
+        if candidates
+        else np.empty(0, dtype=float)
+    )
+    k_cap = len(candidates)
+    if problem.max_winners is not None:
+        k_cap = min(k_cap, problem.max_winners)
+    if candidates and k_cap > 0:
+        ascending = np.sort(units)
+        k_fit = int(
+            np.searchsorted(np.cumsum(ascending), int_capacity, side="right")
+        )
+        k_cap = min(k_cap, k_fit)
+    state = _PruneState(candidates, units, scores, k_cap)
+    n = len(candidates)
+    # Below ~2K candidates the core (below) would be the whole instance;
+    # the full DP is already that small, so bounding buys nothing.
+    if k_cap > 0 and n > 2 * k_cap:
+        # Lower bound: exact DP over the "core" — the union of the top 2K
+        # candidates by density and by score.  For packing instances the
+        # optimum almost always lives inside the core, making the bound
+        # tight; either way the backtracked witness is feasible, hence a
+        # valid lower bound.
+        density_order = np.argpartition(-(scores / units), 2 * k_cap - 1)[: 2 * k_cap]
+        score_order = np.argpartition(-scores, 2 * k_cap - 1)[: 2 * k_cap]
+        core = np.union1d(density_order, score_order)
+        core_list = [int(j) for j in core]
+        core_units = units[core]
+        # Coarse grid for the bound only (see _PRUNE_CORE_RESOLUTION):
+        # rounding the already-rounded-up units up again keeps any witness
+        # feasible at the full resolution, and the witness is scored with
+        # the true scores, so ``lower`` stays a valid lower bound.
+        coarse = min(int_capacity, _PRUNE_CORE_RESOLUTION)
+        if coarse < int_capacity:
+            core_units = np.maximum(
+                np.ceil(core_units * (coarse / int_capacity) - 1e-9).astype(
+                    np.int64
+                ),
+                1,
+            )
+        dp = np.zeros((coarse + 1, k_cap + 1))
+        cells = dp.size
+        take_packed = np.zeros((len(core_list), (cells + 7) // 8), dtype=np.uint8)
+        kernels.kernel("knapsack_dp_fill")(
+            scores[core], core_units, coarse, k_cap, dp, take_packed
+        )
+        witness = _backtrack(take_packed, core_list, core_units, coarse, k_cap)
+        state.witness = witness
+        state.lower = float(scores[witness].sum()) if witness else 0.0
+        state.companion = _companion_bounds(scores, units, int_capacity, k_cap)
+
+    if len(memo) >= _PRUNE_MEMO_SIZE:
+        memo.pop(next(iter(memo)))
+    memo[key] = state
+    return state
+
+
+def _companion_bounds(
+    scores: np.ndarray, units: np.ndarray, int_capacity: int, k_cap: int
+) -> np.ndarray:
+    """Upper bound per candidate on the best *companion* set it can join.
+
+    The bound covers the remaining capacity ``c_i = R - u_i`` and at most
+    K-1 further items.  For any lambda >= 0 a companion set S satisfies
+    ``s(S) <= sum_{j in S}(s_j - lambda)_+ + lambda*(K-1)
+           <= FracKnap_lambda(c_i) + lambda*(K-1)``
+    where FracKnap_lambda is the fractional knapsack optimum of the
+    lambda-reduced scores — so the elementwise min over a small lambda
+    grid (plus the capacity-free top-(K-1) sum) is still an upper bound,
+    and ``scores + companion`` bounds the best solution containing each
+    candidate.  Every candidate of every optimal solution survives a test
+    against any valid lower bound, so the pruned DP's objective is exact.
+    """
+    c_rem = int_capacity - units
+    top_scores = np.sort(scores)[::-1]
+    companion = np.full(
+        scores.shape[0],
+        float(top_scores[: k_cap - 1].sum()) if k_cap > 1 else 0.0,
+    )
+    score_max = float(top_scores[0])
+    for step in range(_PRUNE_LAMBDA_GRID + 1):
+        lam = score_max * step / _PRUNE_LAMBDA_GRID
+        reduced = scores - lam
+        positive = reduced > 0
+        if not positive.any():
+            companion = np.minimum(companion, lam * (k_cap - 1))
+            continue
+        r_scores = reduced[positive]
+        r_units = units[positive]
+        order = np.argsort(-(r_scores / r_units))
+        r_scores = r_scores[order]
+        r_units = r_units[order]
+        cumw = np.cumsum(r_units)
+        cums = np.cumsum(r_scores)
+        q = np.searchsorted(cumw, c_rem, side="right")
+        prev = np.maximum(q - 1, 0)
+        base = np.where(q > 0, cums[prev], 0.0)
+        used = np.where(q > 0, cumw[prev], 0)
+        nxt = np.minimum(q, r_scores.shape[0] - 1)
+        frac = np.where(
+            q < r_scores.shape[0],
+            base + (c_rem - used) * (r_scores[nxt] / r_units[nxt]),
+            base,
+        )
+        companion = np.minimum(companion, lam * (k_cap - 1) + frac)
+    return companion
+
+
+def _witness_slack(
+    state: _PruneState, queried: list[int], int_capacity: int
+) -> float:
+    """Threshold slack so candidates of every "without i" optimum survive.
+
+    The payment engine queries the objective with each winner removed.
+    Removing witness member ``i`` costs at most ``score_i`` minus the best
+    single replacement that fits the freed capacity, so the worst such
+    drop over the queried positions bounds how far below ``state.lower``
+    any "without i" optimum can fall — far tighter than the naive ``max
+    queried score`` when a near-equal substitute exists.
+    """
+    witness = state.witness
+    if not witness or not queried:
+        return 0.0
+    scores, units = state.scores, state.units
+    n = scores.shape[0]
+    witness_set = set(witness)
+    spare = int_capacity - int(units[witness].sum())
+    in_witness = np.zeros(n, dtype=bool)
+    in_witness[witness] = True
+    outside = np.flatnonzero(~in_witness)
+    out_order = outside[np.argsort(units[outside], kind="stable")]
+    out_units = units[out_order]
+    out_best = np.maximum.accumulate(scores[out_order]) if out_order.size else None
+    slack = 0.0
+    for i in queried:
+        if i not in witness_set:
+            continue
+        replacement = 0.0
+        if out_best is not None:
+            budget = spare + int(units[i])
+            fit = int(np.searchsorted(out_units, budget, side="right"))
+            if fit > 0:
+                replacement = max(float(out_best[fit - 1]), 0.0)
+        slack = max(slack, float(scores[i]) - replacement)
+    return slack
+
+
+def _prune_mask(
+    state: _PruneState, slack: float, queried: list[int] | None = None
+) -> np.ndarray | None:
+    """Keep-mask from the memoised bounds, or ``None`` to keep everything.
+
+    A candidate survives when ``score + companion >= lower - slack`` (up
+    to a relative tolerance, so exact ties never flip).  ``queried``
+    positions are always kept.
+    """
+    if state.companion is None:
+        return None
+    threshold = state.lower - slack
+    tol = 1e-9 * max(1.0, abs(threshold))
+    if threshold <= tol:
+        return None
+    mask = state.scores + state.companion >= threshold - tol
+    if queried:
+        mask[queried] = True
+    if mask.all():
+        return None
+    return mask
+
+
+def _prepare_dp_instance(
+    problem: WinnerDeterminationProblem, resolution: int, prune: bool
+) -> tuple[list[int], np.ndarray, np.ndarray, int]:
+    """Quantise (and optionally prune) one instance for the DP kernels.
+
+    Returns ``(candidates, units, scores, k_cap)``; an empty candidate list
+    or ``k_cap == 0`` means the optimal allocation is empty.  Shared by the
+    scalar and stacked solvers so both make identical pruning decisions —
+    their DP tables, and therefore their tie-broken selections, match
+    bit-for-bit.
+    """
+    if not prune:
+        candidates, int_demands = _quantised_demands(problem, resolution)
+        if not candidates:
+            return candidates, int_demands, np.empty(0, dtype=float), 0
+        k_cap = len(candidates)
+        if problem.max_winners is not None:
+            k_cap = min(k_cap, problem.max_winners)
+        return candidates, int_demands, problem.scores_array[candidates], k_cap
+    state = _prune_state(problem, resolution)
+    candidates, int_demands, inst_scores, k_cap = (
+        state.candidates, state.units, state.scores, state.k_cap,
+    )
+    mask = _prune_mask(state, 0.0)
+    if mask is not None:
+        telemetry.add_counter(
+            "knapsack_prune_hits", float(len(candidates) - int(mask.sum()))
+        )
+        candidates = [i for i, kept in zip(candidates, mask) if kept]
+        int_demands = int_demands[mask]
+        inst_scores = inst_scores[mask]
+        k_cap = min(k_cap, len(candidates))
+    telemetry.set_gauge("knapsack_dp_cells", float((resolution + 1) * (k_cap + 1)))
+    return candidates, int_demands, inst_scores, k_cap
+
+
+class _DPWorkspace:
+    """Reusable DP scratch: table, shift buffer, and bit-packed take rows.
+
+    Solving a batch of similar rounds re-uses one allocation instead of
+    three fresh ``(R+1, K+1)`` arrays per solve; buffers are re-zeroed on
+    every acquisition.  One workspace per thread (campaign drains solve
+    concurrently under the thread execution backend).
+    """
+
+    def __init__(self) -> None:
+        self._dp: np.ndarray | None = None
+        self._scratch: np.ndarray | None = None
+        self._take: np.ndarray | None = None
+
+    def tables(
+        self, num_items: int, int_capacity: int, k_cap: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        shape = (int_capacity + 1, k_cap + 1)
+        if self._dp is None or self._dp.shape != shape:
+            self._dp = np.empty(shape, dtype=float)
+            self._scratch = np.empty(shape, dtype=float)
+        nbytes = (shape[0] * shape[1] + 7) // 8
+        if (
+            self._take is None
+            or self._take.shape[0] < num_items
+            or self._take.shape[1] != nbytes
+        ):
+            self._take = np.empty((max(num_items, 64), nbytes), dtype=np.uint8)
+        dp = self._dp
+        dp.fill(0.0)
+        take_packed = self._take[:num_items, :nbytes]
+        take_packed.fill(0)
+        return dp, take_packed, self._scratch
+
+
+_LOCAL = threading.local()
+
+
+def _workspace() -> _DPWorkspace:
+    workspace = getattr(_LOCAL, "workspace", None)
+    if workspace is None:
+        workspace = _LOCAL.workspace = _DPWorkspace()
+    return workspace
+
+
+def _backtrack(
+    take_packed: np.ndarray,
+    candidates: list[int],
+    units: np.ndarray,
+    int_capacity: int,
+    k_cap: int,
+) -> list[int]:
+    """Replay the take bits: scan items in reverse; the first recorded
+    improvement at the current cell is the last one applied, i.e. the one
+    the final value used."""
+    c, k = int_capacity, k_cap
+    width = k_cap + 1
+    selected: list[int] = []
+    for item_pos in range(len(candidates) - 1, -1, -1):
+        bit = c * width + k
+        if (take_packed[item_pos, bit >> 3] >> (7 - (bit & 7))) & 1:
+            selected.append(candidates[item_pos])
+            c -= int(units[item_pos])
+            k -= 1
+    return selected
+
+
 def solve_knapsack_dp(
     problem: WinnerDeterminationProblem,
     *,
     resolution: int = 1000,
+    prune: bool = True,
 ) -> Allocation:
     """Dynamic-programming knapsack solver with a cardinality dimension.
 
@@ -492,52 +843,103 @@ def solve_knapsack_dp(
     capacity are integers and ``resolution >= capacity`` the solution is
     exact.
 
-    The backtracking table is bit-packed: one bit per (item, capacity,
-    count) cell instead of one byte, an 8x memory cut (the dense bool array
-    was ~160 MB at n=400 with an uncapped winner count).
+    ``prune=True`` (the default) first drops candidates whose score upper
+    bound (a Lagrangian fractional-knapsack companion bound) cannot reach
+    a core-DP lower bound (see :func:`_prune_state`) — the objective is
+    unchanged (the selected set can differ only between exactly-tied
+    optima), while the DP fill runs over the handful of survivors instead
+    of every candidate.  ``prune=False`` keeps the full instance and
+    serves as the oracle the pruned path is pinned against.
+
+    The table fill itself dispatches through the compute-backend seam
+    (:func:`repro.kernels.kernel`, entry ``"knapsack_dp_fill"``); the
+    backtracking table is bit-packed — one bit per (item, capacity, count)
+    cell instead of one byte, an 8x memory cut (the dense bool array was
+    ~160 MB at n=400 with an uncapped winner count).
     """
     if problem.capacity is None:
         return solve_top_k(problem)
     if resolution <= 0:
         raise ValueError(f"resolution must be > 0, got {resolution}")
-    candidates, int_demands = _quantised_demands(problem, resolution)
-    if not candidates:
+    candidates, int_demands, inst_scores, k_cap = _prepare_dp_instance(
+        problem, resolution, prune
+    )
+    if not candidates or k_cap == 0:
         return _empty()
     int_capacity = resolution
 
-    k_cap = len(candidates)
-    if problem.max_winners is not None:
-        k_cap = min(k_cap, problem.max_winners)
-    if k_cap == 0:
-        return _empty()
-
-    scores = problem.scores_array
-    # dp[c, k] = best score using capacity <= c with <= k items.
-    dp = np.zeros((int_capacity + 1, k_cap + 1), dtype=float)
-    cells = (int_capacity + 1) * (k_cap + 1)
-    take_packed = np.zeros((len(candidates), (cells + 7) // 8), dtype=np.uint8)
-    shifted = np.empty_like(dp)
-    for item_pos, i in enumerate(candidates):
-        weight = int(int_demands[item_pos])
-        score = scores[i]
-        shifted.fill(-np.inf)
-        shifted[weight:, 1:] = dp[: int_capacity + 1 - weight, :k_cap] + score
-        improved = shifted > dp + _EPS
-        take_packed[item_pos] = np.packbits(improved.ravel(), bitorder="big")
-        np.copyto(dp, shifted, where=improved)
-
-    # Backtrack: scan items in reverse; the first recorded improvement at the
-    # current cell is the last one applied, i.e. the one the final value used.
-    c, k = int_capacity, k_cap
-    selected: list[int] = []
-    width = k_cap + 1
-    for item_pos in range(len(candidates) - 1, -1, -1):
-        bit = c * width + k
-        if (take_packed[item_pos, bit >> 3] >> (7 - (bit & 7))) & 1:
-            selected.append(candidates[item_pos])
-            c -= int(int_demands[item_pos])
-            k -= 1
+    dp, take_packed, scratch = _workspace().tables(
+        len(candidates), int_capacity, k_cap
+    )
+    kernels.kernel("knapsack_dp_fill")(
+        inst_scores, int_demands, int_capacity, k_cap, dp, take_packed, scratch
+    )
+    selected = _backtrack(take_packed, candidates, int_demands, int_capacity, k_cap)
     return _finish(problem, selected)
+
+
+# Cap on the stacked DP tensor size per kernel call; groups larger than
+# this are chunked (the tables dominate: ~8 MB per row at the default
+# resolution with K=10).
+_BATCH_TABLE_BYTES = 32 * 1024 * 1024
+
+
+def solve_knapsack_dp_rows(
+    problems: list[WinnerDeterminationProblem],
+    *,
+    resolution: int = 1000,
+    prune: bool = True,
+) -> list[Allocation]:
+    """Stacked :func:`solve_knapsack_dp` over many independent instances.
+
+    Each instance is quantised and pruned through the same preparation as
+    the scalar solver, then instances are grouped by effective cardinality
+    cap and solved as one ``(G, R+1, K+1)`` DP tensor per group through the
+    ``"knapsack_dp_fill_batch"`` kernel.  Short rows are padded with items
+    of weight ``resolution + 1`` (they can never fit, so they never improve
+    a cell); per row the fill is the elementwise image of the scalar fill,
+    so every returned allocation is bit-identical to the scalar solve of
+    that instance.  Capacity-free instances route to :func:`solve_top_k`.
+    """
+    if resolution <= 0:
+        raise ValueError(f"resolution must be > 0, got {resolution}")
+    problems = list(problems)
+    results: list[Allocation | None] = [None] * len(problems)
+    groups: dict[int, list[tuple[int, list[int], np.ndarray, np.ndarray]]] = {}
+    for idx, problem in enumerate(problems):
+        if problem.capacity is None:
+            results[idx] = solve_top_k(problem)
+            continue
+        candidates, units, inst_scores, k_cap = _prepare_dp_instance(
+            problem, resolution, prune
+        )
+        if not candidates or k_cap == 0:
+            results[idx] = _empty()
+            continue
+        groups.setdefault(k_cap, []).append((idx, candidates, units, inst_scores))
+
+    int_capacity = resolution
+    fill_batch = kernels.kernel("knapsack_dp_fill_batch")
+    for k_cap, entries in groups.items():
+        table_bytes = (int_capacity + 1) * (k_cap + 1) * 8
+        chunk = max(1, _BATCH_TABLE_BYTES // table_bytes)
+        for start in range(0, len(entries), chunk):
+            block = entries[start : start + chunk]
+            width_max = max(len(entry[1]) for entry in block)
+            scores_mat = np.zeros((len(block), width_max), dtype=float)
+            weights_mat = np.full(
+                (len(block), width_max), int_capacity + 1, dtype=np.int64
+            )
+            for row, (_, candidates, units, inst_scores) in enumerate(block):
+                scores_mat[row, : len(candidates)] = inst_scores
+                weights_mat[row, : len(candidates)] = units
+            _, take_packed = fill_batch(scores_mat, weights_mat, int_capacity, k_cap)
+            for row, (idx, candidates, units, _) in enumerate(block):
+                selected = _backtrack(
+                    take_packed[row], candidates, units, int_capacity, k_cap
+                )
+                results[idx] = _finish(problems[idx], selected)
+    return results  # type: ignore[return-value]
 
 
 def _forward_dp_tables(
@@ -574,6 +976,7 @@ def knapsack_objectives_without(
     indices: tuple[int, ...],
     *,
     resolution: int = 1000,
+    prune: bool = True,
 ) -> dict[int, float]:
     """Best DP objective of ``problem`` with one candidate removed, for each
     candidate in ``indices`` — all from two DP passes.
@@ -583,6 +986,13 @@ def knapsack_objectives_without(
     independent O(n·R·K) re-solves it runs one forward and one backward
     budget-form DP with snapshots at the queried positions and combines each
     pair with an O(R·K) elementwise max — the Clarke-payment hot path.
+
+    ``prune=True`` shrinks the instance with the score-upper-bound prune
+    before the passes, slackening the threshold for the queried removals
+    (see :func:`_prune_state` and :func:`_witness_slack`): every candidate
+    of every "without i" optimum survives, keeping each returned objective
+    exact.  The bound state is memoised per problem, so this reuses the
+    core DP already computed by the winner-determination solve.
     """
     if problem.capacity is None:
         raise ValueError("knapsack_objectives_without requires a knapsack constraint")
@@ -604,13 +1014,28 @@ def knapsack_objectives_without(
     missing = [i for i in indices if i not in position_of]
     queried = [i for i in indices if i in position_of]
     if missing:
-        base = solve_knapsack_dp(problem, resolution=resolution).objective
+        base = solve_knapsack_dp(problem, resolution=resolution, prune=prune).objective
         for i in missing:
             out[i] = base
     if not queried:
         return out
 
     scores = problem.scores_array[candidates]
+    if prune:
+        state = _prune_state(problem, resolution)
+        k_cap = state.k_cap
+        keep_positions = [position_of[i] for i in queried]
+        slack = _witness_slack(state, keep_positions, int_capacity)
+        mask = _prune_mask(state, slack, keep_positions)
+        if mask is not None:
+            telemetry.add_counter(
+                "knapsack_prune_hits", float(len(candidates) - int(mask.sum()))
+            )
+            candidates = [i for i, kept in zip(candidates, mask) if kept]
+            int_demands = int_demands[mask]
+            scores = scores[mask]
+            position_of = {i: pos for pos, i in enumerate(candidates)}
+        k_cap = min(k_cap, len(candidates))
     positions = sorted(position_of[i] for i in queried)
     forward = _forward_dp_tables(
         scores, int_demands, int_capacity, k_cap, snapshot_at=set(positions)
@@ -737,6 +1162,41 @@ class SolveCache:
     def clear(self) -> None:
         self._store.clear()
 
+    def lookup(
+        self,
+        problem: WinnerDeterminationProblem,
+        method: str,
+        *,
+        resolution: int = 1000,
+    ) -> Allocation | None:
+        """Cached allocation for the key, or ``None`` (counts hit/miss).
+
+        Split out of :meth:`solve` for callers that batch the misses (the
+        stacked knapsack path probes the whole batch first, solves the
+        misses together, then :meth:`store`\\ s them).
+        """
+        cached = self._store.get((problem, method, resolution))
+        if cached is not None:
+            self.hits += 1
+            telemetry.add_counter("wd_cache_hit")
+        else:
+            self.misses += 1
+            telemetry.add_counter("wd_cache_miss")
+        return cached
+
+    def store(
+        self,
+        problem: WinnerDeterminationProblem,
+        method: str,
+        allocation: Allocation,
+        *,
+        resolution: int = 1000,
+    ) -> None:
+        """Insert a solved allocation under the cache key (FIFO eviction)."""
+        if len(self._store) >= self.maxsize:
+            self._store.pop(next(iter(self._store)))
+        self._store[(problem, method, resolution)] = allocation
+
     def solve(
         self,
         problem: WinnerDeterminationProblem,
@@ -744,18 +1204,11 @@ class SolveCache:
         *,
         resolution: int = 1000,
     ) -> Allocation:
-        key = (problem, method, resolution)
-        cached = self._store.get(key)
+        cached = self.lookup(problem, method, resolution=resolution)
         if cached is not None:
-            self.hits += 1
-            telemetry.add_counter("wd_cache_hit")
             return cached
-        self.misses += 1
-        telemetry.add_counter("wd_cache_miss")
         allocation = solve(problem, method, resolution=resolution)
-        if len(self._store) >= self.maxsize:
-            self._store.pop(next(iter(self._store)))
-        self._store[key] = allocation
+        self.store(problem, method, allocation, resolution=resolution)
         return allocation
 
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
+
 __all__ = ["stack_updates", "weighted_mean", "trimmed_mean", "coordinate_median"]
 
 
@@ -50,9 +52,13 @@ def _normalise_weights(weights: np.ndarray, count: int) -> np.ndarray:
 
 
 def weighted_mean(stacked: np.ndarray, weights: np.ndarray) -> np.ndarray:
-    """FedAvg: convex combination with the given (normalised) weights."""
+    """FedAvg: convex combination with the given (normalised) weights.
+
+    The reduction itself — one ``(m,) @ (m, p)`` tensordot — dispatches
+    through the compute-backend seam (entry ``"fedavg_combine"``).
+    """
     weights = _normalise_weights(weights, stacked.shape[0])
-    return weights @ stacked
+    return kernels.kernel("fedavg_combine")(weights, stacked)
 
 
 def trimmed_mean(

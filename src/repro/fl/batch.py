@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.telemetry import traced
 from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.cnn import stacked_convnet_kernel
 from repro.fl.linear import stacked_softmax_kernel
 from repro.fl.mlp import stacked_mlp_kernel
 from repro.fl.optimizer import stack_optimizers
@@ -140,7 +141,12 @@ class ClientBatch:
     :class:`VectorizedLocalSolver` cache stacks across rounds.
     """
 
-    def __init__(self, clients: Sequence[FLClient]) -> None:
+    def __init__(
+        self,
+        clients: Sequence[FLClient],
+        *,
+        storage_dtype: np.dtype | str | None = None,
+    ) -> None:
         if not clients:
             raise ValueError("ClientBatch needs at least one client")
         self.clients = tuple(clients)
@@ -154,6 +160,18 @@ class ClientBatch:
         self.features = np.concatenate(
             [c.dataset.features for c in self.clients], axis=0
         )
+        # Bandwidth-lean storage: an opt-in narrower dtype (float32) for
+        # the stacked shard store and hence every per-step minibatch
+        # gather.  Compute stays float64 — numpy promotes mixed-dtype
+        # matmuls against the float64 parameter stack — so only the input
+        # quantisation (~1e-7 relative) separates results from the scalar
+        # path (tolerance-pinned in the backend equivalence suite).
+        self.storage_dtype = None if storage_dtype is None else np.dtype(storage_dtype)
+        if (
+            self.storage_dtype is not None
+            and self.features.dtype != self.storage_dtype
+        ):
+            self.features = self.features.astype(self.storage_dtype)
         self.labels = np.concatenate([c.dataset.labels for c in self.clients])
         max_batch = int(self.batch_sizes.max())
         self.uniform_batch = bool((self.batch_sizes == max_batch).all())
@@ -234,6 +252,11 @@ def _stack_signature(client: FLClient) -> tuple | None:
         arch: tuple = (model.num_features, model.num_classes)
     elif kind == "MLPClassifier":
         arch = (tuple(model.layer_sizes), model.activation)
+    elif kind == "TinyConvNet":
+        arch = (
+            model.image_shape, model.num_classes, model.num_filters,
+            model.kernel,
+        )
     else:
         return None
     return (type(model), arch, client.local_steps)
@@ -248,11 +271,25 @@ class VectorizedLocalSolver(LocalSolver):
     as one leading-client-axis pipeline — every local step is one batched
     matmul forward/backward plus one stacked optimizer step for the whole
     group (clients with a FedProx ``proximal_mu`` get their pull applied
-    per row, so proximal and plain clients stack together).  Everything
-    else (CNNs, heterogeneous architectures, Byzantine wrappers, exotic
-    optimizers) runs through the scalar path, client by client,
-    unchanged.  Update rows are reassembled in input order, so callers
-    cannot observe the partition.
+    per row, so proximal and plain clients stack together).  Softmax, MLP
+    and TinyConvNet families all have stacked kernels; everything else
+    (heterogeneous architectures, Byzantine wrappers, exotic optimizers)
+    runs through the scalar path, client by client, unchanged.  Update
+    rows are reassembled in input order, so callers cannot observe the
+    partition.
+
+    ``storage_dtype`` opts the stacked shard stores into a narrower dtype
+    (float32 halves what every per-step gather streams); compute stays
+    float64 (see :class:`ClientBatch`).  ``chunk_clients`` caps how many
+    clients one stacked pipeline holds in flight: groups larger than the
+    cap train in consecutive chunks (same client order, so the random
+    streams are consumed identically) whose delta rows are concatenated —
+    bounding the transient minibatch/activation tensors at large
+    federation sizes without giving up stacking.  Chunking is on by
+    default (128 — full-width 1000-client CNN stacks measurably spill
+    cache, and 128 keeps per-chunk working sets inside it across
+    federation sizes); pass ``None`` to stack whole groups.  Both knobs
+    preserve result order and per-client semantics.
 
     Shard stacks (and their resolved kernels) are cached per client-id
     group (``cache_size`` FIFO entries) — winner sets repeat heavily under
@@ -274,15 +311,32 @@ class VectorizedLocalSolver(LocalSolver):
         min_group: int = 2,
         cache_size: int = 8,
         sync_models: bool = False,
+        storage_dtype: np.dtype | str | None = None,
+        chunk_clients: int | None = 128,
     ) -> None:
         if min_group < 1:
             raise ValueError(f"min_group must be >= 1, got {min_group}")
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        if chunk_clients is not None and chunk_clients < 1:
+            raise ValueError(f"chunk_clients must be >= 1, got {chunk_clients}")
         self.min_group = int(min_group)
         self.cache_size = int(cache_size)
         self.sync_models = bool(sync_models)
+        self.storage_dtype = storage_dtype
+        self.chunk_clients = None if chunk_clients is None else int(chunk_clients)
         self._stacks: dict[tuple[int, ...], tuple[ClientBatch, object]] = {}
+
+    @staticmethod
+    def _resolve_kernel(clients: Sequence[FLClient]):
+        """The stacked kernel for a homogeneous group's models, or ``None``."""
+        models = [c.model for c in clients]
+        kernel = stacked_softmax_kernel(models)
+        if kernel is None:
+            kernel = stacked_mlp_kernel(models)
+        if kernel is None:
+            kernel = stacked_convnet_kernel(models)
+        return kernel
 
     def _stack_for(self, clients: tuple[FLClient, ...]):
         """``(ClientBatch, kernel)`` for a homogeneous group, cached.
@@ -297,12 +351,10 @@ class VectorizedLocalSolver(LocalSolver):
         cached = self._stacks.get(key)
         if cached is not None:
             return cached
-        kernel = stacked_softmax_kernel([c.model for c in clients])
-        if kernel is None:
-            kernel = stacked_mlp_kernel([c.model for c in clients])
+        kernel = self._resolve_kernel(clients)
         if kernel is None:
             return None, None
-        entry = (ClientBatch(clients), kernel)
+        entry = (ClientBatch(clients, storage_dtype=self.storage_dtype), kernel)
         if self.cache_size:
             if len(self._stacks) >= self.cache_size:
                 self._stacks.pop(next(iter(self._stacks)))
@@ -316,8 +368,36 @@ class VectorizedLocalSolver(LocalSolver):
         """Run one homogeneous group stacked; ``None`` defers to scalar.
 
         Returns ``(deltas (C, P), final_losses (C,))`` with compressors
-        already applied per row.
+        already applied per row.  Groups above ``chunk_clients`` train in
+        consecutive chunks; stackability is probed for the whole group
+        first, so a chunk can never fall back to scalar after an earlier
+        chunk already consumed its clients' random streams.
         """
+        chunk = self.chunk_clients
+        if chunk is not None and len(clients) > chunk:
+            kernel = self._resolve_kernel(clients)
+            if kernel is None or kernel.num_params != global_params.size:
+                return None
+            if stack_optimizers([c.optimizer_factory() for c in clients]) is None:
+                return None
+            deltas_parts, losses_parts = [], []
+            for start in range(0, len(clients), chunk):
+                part = self._train_chunk(
+                    clients[start : start + chunk], global_params
+                )
+                if part is None:  # pragma: no cover - excluded by the probe
+                    return None
+                deltas_parts.append(part[0])
+                losses_parts.append(part[1])
+            return (
+                np.concatenate(deltas_parts, axis=0),
+                np.concatenate(losses_parts),
+            )
+        return self._train_chunk(clients, global_params)
+
+    def _train_chunk(
+        self, clients: tuple[FLClient, ...], global_params: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray] | None:
         batch, kernel = self._stack_for(clients)
         if kernel is None or kernel.num_params != global_params.size:
             return None

@@ -6,16 +6,25 @@ dense -> softmax``.  Designed for the small synthetic image datasets
 on a laptop while still exercising a genuinely non-linear, weight-shared
 model — the substitute for the paper family's usual small CNN on
 MNIST/CIFAR (see DESIGN.md, substitutions).
+
+:func:`stacked_convnet_kernel` provides the leading-client-axis variant of
+:meth:`TinyConvNet.loss_and_grad` used by the vectorised local-training
+engine (:mod:`repro.fl.batch`): the conv/pool forward and backward passes
+dispatch through the compute-backend seam (:func:`repro.kernels.kernel`,
+entries ``"stacked_conv_forward"`` / ``"stacked_conv_backward"``), so CNN
+federations no longer fall back to the scalar per-client loop.
 """
 
 from __future__ import annotations
+
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.fl.model import Model, cross_entropy, one_hot, softmax
 from repro.utils.validation import check_non_negative
 
-__all__ = ["TinyConvNet"]
+__all__ = ["TinyConvNet", "stacked_convnet_kernel", "StackedConvNetKernel"]
 
 
 def _im2col(images: np.ndarray, kernel: int) -> np.ndarray:
@@ -212,3 +221,156 @@ class TinyConvNet(Model):
             f"TinyConvNet(image_shape={self.image_shape}, "
             f"num_classes={self.num_classes}, num_filters={self.num_filters})"
         )
+
+
+class StackedConvNetKernel:
+    """Per-client loss/grad for a homogeneous :class:`TinyConvNet` stack.
+
+    Operates on a leading client axis: ``params`` is ``(C, P)``, minibatch
+    ``features``/``labels`` are ``(C, B, H*W)`` / ``(C, B)``, and ``mask``
+    flags the real (non-padding) minibatch rows.  The conv forward and
+    backward passes route through the compute-backend seam; per client the
+    arithmetic mirrors :meth:`TinyConvNet.loss_and_grad` operation for
+    operation (im2col over the flattened client-sample axis, batched
+    matmuls in place of per-client matmuls), so per-client results agree
+    with the scalar path to floating-point associativity (pinned at 1e-9
+    in the test suite).
+    """
+
+    def __init__(
+        self,
+        image_shape: tuple[int, int],
+        num_classes: int,
+        num_filters: int,
+        kernel: int,
+        l2: np.ndarray,
+    ) -> None:
+        self.image_shape = image_shape
+        self.num_classes = int(num_classes)
+        self.num_filters = int(num_filters)
+        self.kernel = int(kernel)
+        self.l2 = np.asarray(l2, dtype=float)
+        height, width = image_shape
+        out_h, out_w = height - kernel + 1, width - kernel + 1
+        self._dense_in = num_filters * (out_h // 2) * (out_w // 2)
+        self._kk = kernel * kernel
+        self.num_params = (
+            num_filters * self._kk
+            + num_filters
+            + self._dense_in * num_classes
+            + num_classes
+        )
+
+    def _unflatten(self, params: np.ndarray):
+        """Split the ``(C, P)`` stack into the four parameter tensors.
+
+        Offsets follow :meth:`TinyConvNet.get_params`'s concatenation
+        order; the views share ``params``'s memory.
+        """
+        num_clients = params.shape[0]
+        sizes = (
+            self.num_filters * self._kk,
+            self.num_filters,
+            self._dense_in * self.num_classes,
+            self.num_classes,
+        )
+        offsets = np.cumsum((0,) + sizes)
+        conv_w = params[:, offsets[0] : offsets[1]].reshape(
+            num_clients, self.num_filters, self._kk
+        )
+        conv_b = params[:, offsets[1] : offsets[2]]
+        dense_w = params[:, offsets[2] : offsets[3]].reshape(
+            num_clients, self._dense_in, self.num_classes
+        )
+        dense_b = params[:, offsets[3] : offsets[4]]
+        return conv_w, conv_b, dense_w, dense_b
+
+    def loss_and_grad(
+        self,
+        params: np.ndarray,
+        features: np.ndarray,
+        labels: np.ndarray,
+        mask: np.ndarray | None,
+        counts: np.ndarray,
+        *,
+        with_loss: bool = True,
+    ) -> tuple[np.ndarray | None, np.ndarray]:
+        """``(losses (C,), grads (C, P))`` for one minibatch of every client.
+
+        ``mask=None`` means every minibatch column is real (uniform batch
+        sizes); ``with_loss=False`` skips the loss reduction (a per-step
+        diagnostic the engine only reads at the final local step) and
+        returns ``None`` losses.
+        """
+        from repro import kernels
+
+        num_clients = params.shape[0]
+        conv_w, conv_b, dense_w, dense_b = self._unflatten(params)
+        cache = kernels.kernel("stacked_conv_forward")(
+            features, conv_w, conv_b, dense_w, dense_b,
+            self.image_shape, self.kernel,
+        )
+        probabilities = softmax(cache["logits"])  # (C, B, K)
+
+        client_rows = np.arange(num_clients)[:, None]
+        sample_cols = np.arange(labels.shape[1])[None, :]
+        losses = None
+        if with_loss:
+            picked = probabilities[client_rows, sample_cols, labels]
+            clipped = np.clip(picked, 1e-12, 1.0)
+            if mask is None:
+                losses = -np.log(clipped).sum(axis=1) / counts
+            else:
+                losses = -(np.log(clipped) * mask).sum(axis=1) / counts
+            if self.l2.any():
+                losses = losses + 0.5 * self.l2 * (
+                    (conv_w**2).sum(axis=(1, 2)) + (dense_w**2).sum(axis=(1, 2))
+                )
+
+        delta = probabilities
+        delta[client_rows, sample_cols, labels] -= 1.0
+        delta /= counts[:, None, None]
+        if mask is not None:
+            delta *= mask[:, :, None]
+        grad_conv_w, grad_conv_b, grad_dense_w, grad_dense_b = kernels.kernel(
+            "stacked_conv_backward"
+        )(delta, cache, conv_w, dense_w, self.l2)
+        grads = np.concatenate(
+            [
+                grad_conv_w.reshape(num_clients, -1),
+                grad_conv_b,
+                grad_dense_w.reshape(num_clients, -1),
+                grad_dense_b,
+            ],
+            axis=1,
+        )
+        return losses, grads
+
+
+def stacked_convnet_kernel(models: Sequence[Model]) -> StackedConvNetKernel | None:
+    """A stacked kernel for a homogeneous TinyConvNet family, else ``None``.
+
+    Homogeneous means: every model is exactly :class:`TinyConvNet` (no
+    subclasses, whose overridden loss the stack could not reproduce) with
+    identical architecture; the L2 coefficient may differ per client (it
+    is carried as a vector).
+    """
+    models = list(models)
+    if not models or any(type(model) is not TinyConvNet for model in models):
+        return None
+    first = models[0]
+    if any(
+        model.image_shape != first.image_shape
+        or model.num_classes != first.num_classes
+        or model.num_filters != first.num_filters
+        or model.kernel != first.kernel
+        for model in models
+    ):
+        return None
+    return StackedConvNetKernel(
+        first.image_shape,
+        first.num_classes,
+        first.num_filters,
+        first.kernel,
+        np.array([model.l2 for model in models], dtype=float),
+    )

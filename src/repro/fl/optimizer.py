@@ -14,6 +14,12 @@ bit-identical to the scalar optimizer stepping client ``c`` alone.  They
 back the vectorised local-training engine (:mod:`repro.fl.batch`);
 :func:`stack_optimizers` decides whether a group of per-client optimizer
 instances can be driven as one stack.
+
+The stacked update rules dispatch through the compute-backend seam
+(:func:`repro.kernels.kernel`, entries ``"stacked_sgd_step"`` /
+``"stacked_adam_step"``); state (velocity, Adam moments, the step counter)
+stays in these classes and is passed into the kernel, so a backend swap
+never changes what is remembered between steps.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.utils.validation import check_in_range, check_positive
 
 __all__ = [
@@ -141,19 +148,17 @@ class StackedSGD:
 
     def step(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
         """Update the stack in place (callers own ``params``) and return it."""
-        lr = self.learning_rates[:, None]
         if self._scratch is None or self._scratch.shape != grads.shape:
             self._scratch = np.empty_like(grads)
-        np.multiply(grads, lr, out=self._scratch)
-        if not self.momenta.any():
-            params -= self._scratch
-            return params
-        if self._velocity is None or self._velocity.shape != grads.shape:
-            self._velocity = np.zeros_like(grads)
-        self._velocity *= self.momenta[:, None]
-        self._velocity -= self._scratch
-        params += self._velocity
-        return params
+        velocity = None
+        if self.momenta.any():
+            if self._velocity is None or self._velocity.shape != grads.shape:
+                self._velocity = np.zeros_like(grads)
+            velocity = self._velocity
+        return kernels.kernel("stacked_sgd_step")(
+            params, grads, self.learning_rates, self.momenta, velocity,
+            self._scratch,
+        )
 
     def reset(self) -> None:
         self._velocity = None
@@ -182,19 +187,19 @@ class StackedAdam:
         self._t = 0
 
     def step(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        """Update the stack in place (callers own ``params``) and return it."""
         if self._m is None or self._m.shape != grads.shape:
             self._m = np.zeros_like(grads)
             self._v = np.zeros_like(grads)
             self._t = 0
         self._t += 1
-        beta1 = self.beta1s[:, None]
-        beta2 = self.beta2s[:, None]
-        self._m = beta1 * self._m + (1.0 - beta1) * grads
-        self._v = beta2 * self._v + (1.0 - beta2) * grads**2
-        m_hat = self._m / (1.0 - beta1**self._t)
-        v_hat = self._v / (1.0 - beta2**self._t)
-        return params - self.learning_rates[:, None] * m_hat / (
-            np.sqrt(v_hat) + self.epsilons[:, None]
+        # The bias corrections stay outside the kernel so every backend
+        # consumes the exact same float64 correction values.
+        bias1 = 1.0 - self.beta1s**self._t
+        bias2 = 1.0 - self.beta2s**self._t
+        return kernels.kernel("stacked_adam_step")(
+            params, grads, self.learning_rates, self.beta1s, self.beta2s,
+            self.epsilons, self._m, self._v, bias1, bias2,
         )
 
     def reset(self) -> None:

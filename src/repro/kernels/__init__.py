@@ -1,0 +1,187 @@
+"""Pluggable compute backends for the hot kernels.
+
+The profile's residue concentrates in a handful of dense numeric kernels:
+the knapsack DP fill (winner determination and its batched/stacked variant),
+the stacked conv forward/backward (CNN federations), the stacked optimizer
+steps, and the FedAvg aggregation combine.  This package puts one seam in
+front of them, modelled on a pluggable-kernel ABI: a named registry of
+backends, each exposing some subset of the kernel entry points, with the
+numpy implementation as the default *and* the pinned oracle.
+
+Backends
+--------
+``numpy``
+    The reference implementation (:mod:`repro.kernels.numpy_backend`).
+    Always available; every other backend is pinned against it —
+    bit-exact for the integer/float64 kernels, tolerance-pinned where
+    float32 storage applies (see ``tests/core/test_backend_kernels.py``).
+``numba``
+    Optional njit/prange implementations of the knapsack DP fills and the
+    fused optimizer steps (:mod:`repro.kernels.numba_backend`).  Loaded
+    only when numba is importable; entry points it does not implement fall
+    back to the numpy oracle per kernel.
+
+Selection
+---------
+``REPRO_BACKEND=numpy|numba|auto`` (default ``auto``: numba when
+importable, else numpy).  Tests and benchmarks pin a backend in-process
+with :func:`use_backend`.
+
+Adding a backend
+----------------
+Call :func:`register_backend` with a zero-argument loader returning a
+:class:`KernelBackend` (or ``None`` when the platform dependency is
+missing).  A backend's ``xp`` is its array namespace — numpy for the
+built-ins, and the door through which an array-API GPU backend (cupy,
+torch) would plug in: implement the same entry points over ``xp`` arrays
+and register the loader; callers only ever go through :func:`kernel`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "KernelBackend",
+    "KERNEL_NAMES",
+    "register_backend",
+    "available_backends",
+    "active_backend",
+    "kernel",
+    "use_backend",
+]
+
+#: The seam's entry points.  A backend may implement any subset; missing
+#: entries resolve to the numpy oracle.
+KERNEL_NAMES = (
+    "knapsack_dp_fill",
+    "knapsack_dp_fill_batch",
+    "stacked_conv_forward",
+    "stacked_conv_backward",
+    "stacked_sgd_step",
+    "stacked_adam_step",
+    "fedavg_combine",
+)
+
+
+@dataclass
+class KernelBackend:
+    """One backend: a name, an array namespace, and its kernel table."""
+
+    name: str
+    xp: object
+    kernels: dict[str, Callable] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelBackend(name={self.name!r}, "
+            f"kernels={sorted(self.kernels)})"
+        )
+
+
+_LOADERS: dict[str, Callable[[], KernelBackend | None]] = {}
+# Loader results, memoised: a backend whose dependency is missing caches
+# None so availability is probed once per process.
+_LOADED: dict[str, KernelBackend | None] = {}
+# In-process selection overrides (use_backend), innermost last.
+_OVERRIDES: list[str] = []
+
+
+def register_backend(
+    name: str, loader: Callable[[], KernelBackend | None]
+) -> None:
+    """Register ``loader`` under ``name`` (replacing any previous loader)."""
+    _LOADERS[name] = loader
+    _LOADED.pop(name, None)
+
+
+def _load(name: str) -> KernelBackend | None:
+    if name not in _LOADED:
+        loader = _LOADERS.get(name)
+        _LOADED[name] = loader() if loader is not None else None
+    return _LOADED[name]
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of registered backends whose dependencies are present."""
+    return tuple(name for name in _LOADERS if _load(name) is not None)
+
+
+def _resolve_name() -> str:
+    if _OVERRIDES:
+        return _OVERRIDES[-1]
+    return os.environ.get("REPRO_BACKEND", "auto").strip().lower() or "auto"
+
+
+def active_backend() -> KernelBackend:
+    """The backend the current selection resolves to.
+
+    ``auto`` prefers numba when it loads and falls back to numpy; a named
+    backend that is registered but unavailable raises (a silent fallback
+    would misreport every benchmark it labels).
+    """
+    name = _resolve_name()
+    if name == "auto":
+        backend = _load("numba")
+        if backend is not None:
+            return backend
+        name = "numpy"
+    if name not in _LOADERS:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {sorted(_LOADERS)}"
+        )
+    backend = _load(name)
+    if backend is None:
+        raise RuntimeError(
+            f"backend {name!r} is registered but unavailable "
+            f"(missing dependency); set REPRO_BACKEND=auto or numpy"
+        )
+    return backend
+
+
+def kernel(name: str) -> Callable:
+    """The active backend's implementation of ``name``.
+
+    Falls back to the numpy oracle per entry point, so partial backends
+    (numba implements only the DP fills and optimizer steps) compose with
+    the reference for everything else.
+    """
+    backend = active_backend()
+    fn = backend.kernels.get(name)
+    if fn is not None:
+        return fn
+    reference = _load("numpy")
+    assert reference is not None
+    fn = reference.kernels.get(name)
+    if fn is None:
+        raise KeyError(f"unknown kernel {name!r}")
+    return fn
+
+
+@contextmanager
+def use_backend(name: str):
+    """Temporarily pin the backend selection (tests / benchmarks)."""
+    _OVERRIDES.append(name)
+    try:
+        yield active_backend()
+    finally:
+        _OVERRIDES.pop()
+
+
+def _load_numpy() -> KernelBackend:
+    from repro.kernels import numpy_backend
+
+    return numpy_backend.load()
+
+
+def _load_numba() -> KernelBackend | None:
+    from repro.kernels import numba_backend
+
+    return numba_backend.load()
+
+
+register_backend("numpy", _load_numpy)
+register_backend("numba", _load_numba)

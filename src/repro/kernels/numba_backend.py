@@ -1,0 +1,172 @@
+"""Optional numba (njit/prange) backend for the kernel seam.
+
+Implements the knapsack DP fills (scalar and stacked) and the fused
+optimizer steps; every other entry point falls back to the numpy oracle
+through :func:`repro.kernels.kernel`.  All arithmetic replays the oracle's
+rounding sequence operation for operation — same products, same adds, same
+compares on the same float64 values — so results are bit-identical to
+:mod:`repro.kernels.numpy_backend` (pinned in the backend equivalence
+suite whenever numba is importable).
+
+numba is an optional dependency: :func:`load` returns ``None`` when the
+import fails, and the registry then reports only the numpy backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def load():
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return None
+
+    from repro.kernels import KernelBackend
+
+    _compile()
+    return KernelBackend(
+        name="numba",
+        xp=np,
+        kernels={
+            "knapsack_dp_fill": knapsack_dp_fill,
+            "knapsack_dp_fill_batch": knapsack_dp_fill_batch,
+            "stacked_sgd_step": stacked_sgd_step,
+            "stacked_adam_step": stacked_adam_step,
+        },
+    )
+
+
+# Compiled lazily by load() so importing this module never requires numba.
+_jit = {}
+
+
+def _compile() -> None:
+    if _jit:
+        return
+    from numba import njit, prange
+
+    @njit(cache=True)
+    def dp_fill(scores, weights, int_capacity, k_cap, dp, take_packed):
+        # In-place image of the oracle's two-buffer fill: c descends, so
+        # dp[c - w] is still the pre-item value when dp[c] updates, and the
+        # take bit uses the same big-endian row-major layout packbits emits.
+        width = k_cap + 1
+        for item_pos in range(scores.shape[0]):
+            weight = weights[item_pos]
+            score = scores[item_pos]
+            if weight > int_capacity:
+                continue
+            for c in range(int_capacity, weight - 1, -1):
+                source = c - weight
+                for k in range(k_cap, 0, -1):
+                    cand = dp[source, k - 1] + score
+                    if cand > dp[c, k] + _EPS:
+                        dp[c, k] = cand
+                        bit = c * width + k
+                        take_packed[item_pos, bit >> 3] |= np.uint8(
+                            1 << (7 - (bit & 7))
+                        )
+
+    @njit(cache=True, parallel=True)
+    def dp_fill_batch(scores, weights, int_capacity, k_cap, dp, take_packed):
+        for g in prange(scores.shape[0]):
+            dp_fill(scores[g], weights[g], int_capacity, k_cap, dp[g], take_packed[g])
+
+    @njit(cache=True, parallel=True)
+    def sgd_plain(params, grads, learning_rates):
+        for c in prange(params.shape[0]):
+            lr = learning_rates[c]
+            for p in range(params.shape[1]):
+                params[c, p] -= grads[c, p] * lr
+
+    @njit(cache=True, parallel=True)
+    def sgd_momentum(params, grads, learning_rates, momenta, velocity):
+        for c in prange(params.shape[0]):
+            lr = learning_rates[c]
+            momentum = momenta[c]
+            for p in range(params.shape[1]):
+                updated = velocity[c, p] * momentum - grads[c, p] * lr
+                velocity[c, p] = updated
+                params[c, p] += updated
+
+    @njit(cache=True, parallel=True)
+    def adam(params, grads, learning_rates, beta1s, beta2s, epsilons,
+             m, v, bias1, bias2):
+        for c in prange(params.shape[0]):
+            lr = learning_rates[c]
+            beta1 = beta1s[c]
+            beta2 = beta2s[c]
+            one_minus_beta1 = 1.0 - beta1
+            one_minus_beta2 = 1.0 - beta2
+            epsilon = epsilons[c]
+            correction1 = bias1[c]
+            correction2 = bias2[c]
+            for p in range(params.shape[1]):
+                grad = grads[c, p]
+                m_new = m[c, p] * beta1 + one_minus_beta1 * grad
+                v_new = v[c, p] * beta2 + one_minus_beta2 * (grad * grad)
+                m[c, p] = m_new
+                v[c, p] = v_new
+                m_hat = m_new / correction1
+                v_hat = v_new / correction2
+                params[c, p] -= lr * m_hat / (np.sqrt(v_hat) + epsilon)
+
+    _jit.update(
+        dp_fill=dp_fill,
+        dp_fill_batch=dp_fill_batch,
+        sgd_plain=sgd_plain,
+        sgd_momentum=sgd_momentum,
+        adam=adam,
+    )
+
+
+def knapsack_dp_fill(scores, weights, int_capacity, k_cap, dp, take_packed,
+                     scratch=None):
+    _jit["dp_fill"](
+        np.ascontiguousarray(scores),
+        np.ascontiguousarray(weights),
+        int_capacity,
+        k_cap,
+        dp,
+        take_packed,
+    )
+
+
+def knapsack_dp_fill_batch(scores, weights, int_capacity, k_cap):
+    num_groups, num_items = scores.shape
+    width = k_cap + 1
+    cells = (int_capacity + 1) * width
+    dp = np.zeros((num_groups, int_capacity + 1, width))
+    take_packed = np.zeros(
+        (num_groups, num_items, (cells + 7) // 8), dtype=np.uint8
+    )
+    _jit["dp_fill_batch"](
+        np.ascontiguousarray(scores),
+        np.ascontiguousarray(weights),
+        int_capacity,
+        k_cap,
+        dp,
+        take_packed,
+    )
+    return dp, take_packed
+
+
+def stacked_sgd_step(params, grads, learning_rates, momenta, velocity, scratch):
+    if velocity is None:
+        _jit["sgd_plain"](params, grads, learning_rates)
+    else:
+        _jit["sgd_momentum"](params, grads, learning_rates, momenta, velocity)
+    return params
+
+
+def stacked_adam_step(params, grads, learning_rates, beta1s, beta2s, epsilons,
+                      m, v, bias1, bias2):
+    _jit["adam"](
+        params, grads, learning_rates, beta1s, beta2s, epsilons, m, v,
+        bias1, bias2,
+    )
+    return params

@@ -1,0 +1,288 @@
+"""Reference (oracle) implementations of the kernel seam, on numpy.
+
+Every entry point here defines the pinned semantics of its kernel: other
+backends must reproduce these results bit-exact (the integer/float64
+kernels) or within the documented tolerance (float32-storage inputs).
+The functions are pure array transformations — state (DP scratch tables,
+optimizer moment buffers) lives with the callers, which pass it in, so a
+backend swap never changes what is remembered between calls.
+
+This module is imported lazily through the registry
+(:func:`repro.kernels.active_backend`), never at package import.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# The scalar CNN's patch extractor; the stacked conv kernel runs it over
+# the flattened (client, sample) leading axis.
+from repro.fl.cnn import _im2col
+
+_EPS = 1e-12
+
+
+def load():
+    from repro.kernels import KernelBackend
+
+    return KernelBackend(
+        name="numpy",
+        xp=np,
+        kernels={
+            "knapsack_dp_fill": knapsack_dp_fill,
+            "knapsack_dp_fill_batch": knapsack_dp_fill_batch,
+            "stacked_conv_forward": stacked_conv_forward,
+            "stacked_conv_backward": stacked_conv_backward,
+            "stacked_sgd_step": stacked_sgd_step,
+            "stacked_adam_step": stacked_adam_step,
+            "fedavg_combine": fedavg_combine,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Knapsack DP fills
+# ---------------------------------------------------------------------------
+
+def knapsack_dp_fill(
+    scores: np.ndarray,
+    weights: np.ndarray,
+    int_capacity: int,
+    k_cap: int,
+    dp: np.ndarray,
+    take_packed: np.ndarray,
+    scratch: np.ndarray | None = None,
+) -> None:
+    """Budget-form knapsack DP with bit-packed take bits, one instance.
+
+    ``dp`` is a zeroed ``(int_capacity + 1, k_cap + 1)`` table
+    (``dp[c, k]`` = best score using capacity <= c with <= k items);
+    ``take_packed`` is ``(len(scores), ceil(cells / 8))`` and receives, per
+    item, the packed ``improved`` mask (big-endian bit order over the
+    row-major ravel of the table) the backtrack replays.  ``scratch`` is an
+    optional ``dp``-shaped workspace (reused across solves by the caller).
+    """
+    if scratch is None:
+        scratch = np.empty_like(dp)
+    for item_pos in range(len(scores)):
+        weight = int(weights[item_pos])
+        score = scores[item_pos]
+        scratch.fill(-np.inf)
+        scratch[weight:, 1:] = dp[: int_capacity + 1 - weight, :k_cap] + score
+        improved = scratch > dp + _EPS
+        take_packed[item_pos] = np.packbits(improved.ravel(), bitorder="big")
+        np.copyto(dp, scratch, where=improved)
+
+
+def knapsack_dp_fill_batch(
+    scores: np.ndarray,
+    weights: np.ndarray,
+    int_capacity: int,
+    k_cap: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked knapsack DP over ``(G, S)`` instance rows, one table each.
+
+    All rows share the capacity grid and cardinality cap (callers group
+    instances accordingly and pad short rows with never-improving dummy
+    items: ``weight > int_capacity``).  Rows are filled through
+    :func:`knapsack_dp_fill` sharing one scratch buffer — per-row tables
+    and take bits are trivially bit-identical to a scalar solve of that
+    row, and the working set stays one ``(C+1, K+1)`` table (a stacked
+    ``(G, C+1, K+1)`` gather formulation measured slower here: it spills
+    the cache that the row-at-a-time fill lives in).  Parallel backends
+    (numba) run the rows concurrently instead.
+
+    Returns ``(dp (G, C+1, K+1), take_packed (G, S, nbytes))``.
+    """
+    num_groups, num_items = scores.shape
+    width = k_cap + 1
+    cells = (int_capacity + 1) * width
+    dp = np.zeros((num_groups, int_capacity + 1, width))
+    take_packed = np.zeros((num_groups, num_items, (cells + 7) // 8), dtype=np.uint8)
+    scratch = np.empty((int_capacity + 1, width))
+    for g in range(num_groups):
+        knapsack_dp_fill(
+            scores[g], weights[g], int_capacity, k_cap, dp[g], take_packed[g],
+            scratch,
+        )
+    return dp, take_packed
+
+
+# ---------------------------------------------------------------------------
+# Stacked TinyConvNet forward / backward
+# ---------------------------------------------------------------------------
+
+def stacked_conv_forward(
+    features: np.ndarray,
+    conv_w: np.ndarray,
+    conv_b: np.ndarray,
+    dense_w: np.ndarray,
+    dense_b: np.ndarray,
+    image_shape: tuple[int, int],
+    kernel_size: int,
+) -> dict:
+    """Forward pass of the conv -> ReLU -> 2x2 maxpool -> dense stack.
+
+    ``features`` is ``(C, B, H*W)`` (a leading client axis over flat
+    images); parameter tensors carry the same leading axis.  Per client the
+    arithmetic mirrors :meth:`repro.fl.cnn.TinyConvNet._forward` operation
+    for operation (im2col over the flattened client-sample axis, batched
+    matmuls in place of per-client matmuls), so per-client results agree
+    with the scalar path to floating-point associativity.
+
+    Returns the backprop cache: columns, relu_mask, argmax, flat, logits.
+    """
+    num_clients, batch, _ = features.shape
+    height, width = image_shape
+    out_h, out_w = height - kernel_size + 1, width - kernel_size + 1
+    pool_h, pool_w = out_h // 2, out_w // 2
+    num_filters = conv_w.shape[1]
+
+    images = features.reshape(num_clients * batch, height, width)
+    columns = _im2col(images, kernel_size).reshape(
+        num_clients, batch * out_h * out_w, kernel_size * kernel_size
+    )
+    conv = columns @ conv_w.transpose(0, 2, 1)  # (C, B*oh*ow, F)
+    conv = conv.reshape(num_clients, batch, out_h, out_w, num_filters)
+    conv += conv_b[:, None, None, None, :]
+    relu_mask = conv > 0
+    activated = conv * relu_mask
+
+    windows = activated.reshape(
+        num_clients, batch, pool_h, 2, pool_w, 2, num_filters
+    )
+    pooled = windows.max(axis=(3, 5))  # (C, B, ph, pw, F)
+    flat_windows = windows.transpose(0, 1, 2, 4, 6, 3, 5).reshape(
+        num_clients, batch, pool_h, pool_w, num_filters, 4
+    )
+    argmax = flat_windows.argmax(axis=-1)
+
+    flat = pooled.reshape(num_clients, batch, -1)
+    logits = flat @ dense_w
+    logits += dense_b[:, None, :]
+    return {
+        "columns": columns,
+        "relu_mask": relu_mask,
+        "argmax": argmax,
+        "flat": flat,
+        "logits": logits,
+    }
+
+
+def stacked_conv_backward(
+    delta_logits: np.ndarray,
+    cache: dict,
+    conv_w: np.ndarray,
+    dense_w: np.ndarray,
+    l2: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass matching :func:`stacked_conv_forward`.
+
+    ``delta_logits`` is the per-client, already count-normalised (and
+    padding-masked) logit gradient ``(C, B, K)``.  Returns per-client
+    ``(grad_conv_w, grad_conv_b, grad_dense_w, grad_dense_b)`` with the L2
+    pull applied to both weight tensors (``l2`` is a ``(C,)`` vector).
+    """
+    num_clients, batch = delta_logits.shape[:2]
+    relu_mask = cache["relu_mask"]  # (C, B, oh, ow, F)
+    _, _, out_h, out_w, num_filters = relu_mask.shape
+    pool_h, pool_w = out_h // 2, out_w // 2
+    has_l2 = bool(l2.any())
+
+    grad_dense_w = cache["flat"].transpose(0, 2, 1) @ delta_logits
+    if has_l2:
+        grad_dense_w += l2[:, None, None] * dense_w
+    grad_dense_b = delta_logits.sum(axis=1)
+
+    delta_flat = delta_logits @ dense_w.transpose(0, 2, 1)
+    delta_pooled = delta_flat.reshape(
+        num_clients, batch, pool_h, pool_w, num_filters
+    )
+
+    # Un-pool: route gradient to the argmax position of each 2x2 window.
+    delta_windows = np.zeros(
+        (num_clients, batch, pool_h, pool_w, num_filters, 4)
+    )
+    np.put_along_axis(
+        delta_windows, cache["argmax"][..., None], delta_pooled[..., None], axis=-1
+    )
+    delta_act = (
+        delta_windows.reshape(
+            num_clients, batch, pool_h, pool_w, num_filters, 2, 2
+        )
+        .transpose(0, 1, 2, 5, 3, 6, 4)
+        .reshape(num_clients, batch, out_h, out_w, num_filters)
+    )
+    delta_conv = delta_act * relu_mask
+    delta_conv = delta_conv.reshape(
+        num_clients, batch * out_h * out_w, num_filters
+    )
+
+    grad_conv_w = np.einsum("cpf,cpk->cfk", delta_conv, cache["columns"])
+    if has_l2:
+        grad_conv_w += l2[:, None, None] * conv_w
+    grad_conv_b = delta_conv.sum(axis=1)
+    return grad_conv_w, grad_conv_b, grad_dense_w, grad_dense_b
+
+
+# ---------------------------------------------------------------------------
+# Stacked optimizer steps + aggregation combine
+# ---------------------------------------------------------------------------
+
+def stacked_sgd_step(
+    params: np.ndarray,
+    grads: np.ndarray,
+    learning_rates: np.ndarray,
+    momenta: np.ndarray,
+    velocity: np.ndarray | None,
+    scratch: np.ndarray,
+) -> np.ndarray:
+    """One SGD step over a ``(C, P)`` stack, in place.
+
+    ``velocity is None`` selects the momentum-free rule; otherwise the
+    heavy-ball buffer is updated in place.  Row ``c`` computes exactly the
+    scalar :meth:`repro.fl.optimizer.SGD.step` expression (bit-identical).
+    """
+    np.multiply(grads, learning_rates[:, None], out=scratch)
+    if velocity is None:
+        params -= scratch
+        return params
+    velocity *= momenta[:, None]
+    velocity -= scratch
+    params += velocity
+    return params
+
+
+def stacked_adam_step(
+    params: np.ndarray,
+    grads: np.ndarray,
+    learning_rates: np.ndarray,
+    beta1s: np.ndarray,
+    beta2s: np.ndarray,
+    epsilons: np.ndarray,
+    m: np.ndarray,
+    v: np.ndarray,
+    bias1: np.ndarray,
+    bias2: np.ndarray,
+) -> np.ndarray:
+    """One Adam step over a ``(C, P)`` stack, in place.
+
+    ``bias1`` / ``bias2`` are the per-client bias corrections
+    ``1 - beta**t`` precomputed by the caller — keeping the power out of
+    the kernel lets every backend consume the exact same correction values.
+    Moment buffers ``m`` / ``v`` update in place; each rounding step matches
+    the scalar :meth:`repro.fl.optimizer.Adam.step` sequence (bit-identical).
+    """
+    m *= beta1s[:, None]
+    m += (1.0 - beta1s[:, None]) * grads
+    v *= beta2s[:, None]
+    v += (1.0 - beta2s[:, None]) * grads**2
+    m_hat = m / bias1[:, None]
+    v_hat = v / bias2[:, None]
+    params -= learning_rates[:, None] * m_hat / (np.sqrt(v_hat) + epsilons[:, None])
+    return params
+
+
+def fedavg_combine(weights: np.ndarray, stacked: np.ndarray) -> np.ndarray:
+    """The FedAvg reduction: one ``(m,) @ (m, p)`` tensordot."""
+    return weights @ stacked

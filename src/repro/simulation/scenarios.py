@@ -24,7 +24,9 @@ from repro.core.valuation import (
 )
 from repro.economics.client_profile import EconomicClient, build_population
 from repro.economics.data_value import data_quality
+from repro.fl.batch import VectorizedLocalSolver
 from repro.fl.client import FLClient
+from repro.fl.cnn import TinyConvNet
 from repro.fl.datasets import make_synthetic_images, train_test_split
 from repro.fl.linear import SoftmaxRegression
 from repro.fl.mlp import MLPClassifier
@@ -187,14 +189,23 @@ def build_fl_scenario(
     strategy_factory=None,
     value_scale: float = 1.0,
     staleness_boost: float = 0.0,
+    lean_data_plane: bool = False,
 ) -> Scenario:
     """Full scenario: economics + synthetic-image FL substrate (E1/E7/E10).
 
     ``dirichlet_alpha=None`` gives an IID partition; smaller alpha = more
-    label skew.  ``model`` is ``"softmax"`` or ``"mlp"``.
-    ``staleness_boost > 0`` wraps the valuation so long-unselected clients
-    gain value — the coverage signal that makes value-aware selection
-    competitive with uniform sampling under non-IID data.
+    label skew.  ``model`` is ``"softmax"``, ``"mlp"`` or ``"cnn"``
+    (:class:`~repro.fl.cnn.TinyConvNet` on the 8x8 images, stacked through
+    the conv kernels).  ``staleness_boost > 0`` wraps the valuation so
+    long-unselected clients gain value — the coverage signal that makes
+    value-aware selection competitive with uniform sampling under non-IID
+    data.
+
+    ``lean_data_plane=True`` opts the vectorised local solver into the
+    bandwidth-lean configuration: float32 shard/minibatch storage (compute
+    stays float64, see :class:`~repro.fl.batch.ClientBatch`) and chunked
+    stacked pipelines — the memory-bound setting for 1000-client
+    federations.
 
     **Client-count scaling knob**: the canonical scenario runs at the
     paper's 40 clients over a fixed ``num_samples`` pool, which starves
@@ -229,6 +240,8 @@ def build_fl_scenario(
             return SoftmaxRegression(64, 10, seed=model_seed)
         if model == "mlp":
             return MLPClassifier([64, 32, 10], seed=model_seed)
+        if model == "cnn":
+            return TinyConvNet((8, 8), 10, num_filters=4, seed=model_seed)
         raise ValueError(f"unknown model {model!r}")
 
     fl_clients: dict[int, FLClient] = {}
@@ -260,7 +273,14 @@ def build_fl_scenario(
     )
 
     server = FLServer(make_model(0), test)
-    attachment = FLAttachment(server, fl_clients, eval_every=eval_every)
+    local_solver = None
+    if lean_data_plane:
+        local_solver = VectorizedLocalSolver(
+            storage_dtype=np.float32, chunk_clients=128
+        )
+    attachment = FLAttachment(
+        server, fl_clients, eval_every=eval_every, local_solver=local_solver
+    )
     valuation: ValuationModel = DiminishingReturnsValuation(
         scale=value_scale, reference_size=100
     )
@@ -276,6 +296,7 @@ def build_fl_scenario(
             "num_clients": num_clients,
             "dirichlet_alpha": dirichlet_alpha,
             "model": model,
+            "lean_data_plane": lean_data_plane,
             "kind": "fl",
         },
     )

@@ -1,0 +1,294 @@
+"""Backend x kernel equivalence suite: every backend is pinned to numpy.
+
+Each registered, available backend must reproduce the numpy oracle
+bit-exact on the integer/float64 kernels (knapsack DP fills, stacked
+optimizer steps, FedAvg combine) and to documented tolerance where
+float32 storage applies.  The suite parametrises over
+:func:`repro.kernels.available_backends`, so the numba leg runs exactly
+when numba is importable (the CI optional-dependency job) and is skipped
+silently otherwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.core import winner_determination as wd
+from repro.core.winner_determination import (
+    WinnerDeterminationProblem,
+    knapsack_objectives_without,
+    solve_knapsack_dp,
+    solve_knapsack_dp_rows,
+)
+from repro.fl.aggregation import stack_updates, weighted_mean
+from repro.fl.batch import SequentialLocalSolver, VectorizedLocalSolver
+from repro.fl.client import FLClient
+from repro.fl.cnn import TinyConvNet, stacked_convnet_kernel
+from repro.fl.datasets import Dataset
+from repro.fl.optimizer import SGD, Adam, StackedAdam, StackedSGD
+
+BACKENDS = kernels.available_backends()
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    """Pin one backend for the test; fresh prune memo per leg so every
+    backend actually runs its own DP fills."""
+    if hasattr(wd._LOCAL, "prune_memo"):
+        wd._LOCAL.prune_memo.clear()
+    with kernels.use_backend(request.param):
+        yield request.param
+
+
+def _random_problem(rng, kind):
+    n = int(rng.integers(4, 90))
+    if kind == 0:  # ties-heavy: few distinct scores and demands
+        scores = rng.choice([1.0, 2.0, 3.0], n)
+        demands = rng.choice([0.5, 1.0, 1.5], n)
+    elif kind == 1:  # equal-density adversarial
+        demands = np.round(rng.uniform(0.2, 2.0, n), 2)
+        scores = demands * 2.0
+    else:  # generic adversarial mix
+        scores = np.round(rng.uniform(0.01, 5.0, n), 3)
+        demands = np.round(rng.uniform(0.05, 2.5, n), 3)
+    capacity = float(rng.uniform(1.0, 6.0))
+    max_winners = int(rng.integers(1, 12)) if rng.random() < 0.8 else None
+    return WinnerDeterminationProblem(
+        tuple(scores), tuple(demands), capacity, max_winners
+    )
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        assert "numpy" in BACKENDS
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            with kernels.use_backend("no-such-backend"):
+                pass  # pragma: no cover - entry raises
+
+    def test_unavailable_backend_raises(self):
+        if "numba" in BACKENDS:
+            pytest.skip("numba is installed — no unavailable backend to probe")
+        with pytest.raises(RuntimeError, match="unavailable"):
+            with kernels.use_backend("numba"):
+                pass  # pragma: no cover - entry raises
+
+    def test_partial_backend_falls_back_per_kernel(self, backend):
+        # Every seam entry resolves to *some* callable on every backend.
+        for name in kernels.KERNEL_NAMES:
+            assert callable(kernels.kernel(name))
+
+    def test_auto_resolves(self):
+        with kernels.use_backend("auto"):
+            assert kernels.active_backend().name in BACKENDS
+
+
+class TestKnapsackKernels:
+    def test_pruned_solve_matches_unpruned_oracle(self, backend):
+        rng = np.random.default_rng(17)
+        for trial in range(60):
+            problem = _random_problem(rng, trial % 3)
+            oracle = solve_knapsack_dp(problem, prune=False)
+            pruned = solve_knapsack_dp(problem, prune=True)
+            assert abs(oracle.objective - pruned.objective) <= 1e-9
+            # Feasibility of the pruned selection.
+            demands = problem.demands_array
+            assert demands[list(pruned.selected)].sum() <= problem.capacity + 1e-9
+            if problem.max_winners is not None:
+                assert len(pruned.selected) <= problem.max_winners
+
+    def test_batched_rows_bitwise_equal_scalar(self, backend):
+        rng = np.random.default_rng(23)
+        problems = [_random_problem(rng, trial % 3) for trial in range(40)]
+        stacked = solve_knapsack_dp_rows(problems)
+        for problem, got in zip(problems, stacked):
+            want = solve_knapsack_dp(problem)
+            assert got.selected == want.selected
+            assert got.objective == want.objective
+
+    def test_objectives_without_exact_under_prune(self, backend):
+        rng = np.random.default_rng(29)
+        for trial in range(25):
+            problem = _random_problem(rng, trial % 3)
+            winners = solve_knapsack_dp(problem).selected
+            if not winners:
+                continue
+            queried = winners[: min(3, len(winners))]
+            got = knapsack_objectives_without(problem, queried, prune=True)
+            want = knapsack_objectives_without(problem, queried, prune=False)
+            for i in queried:
+                assert abs(got[i] - want[i]) <= 1e-9
+
+
+def _cnn_clients(num_clients, optimizer_factory):
+    rng = np.random.default_rng(3)
+    clients = []
+    for i in range(num_clients):
+        shard = int(rng.integers(8, 24))
+        dataset = Dataset(
+            features=rng.normal(size=(shard, 64)),
+            labels=rng.integers(0, 10, shard),
+            num_classes=10,
+        )
+        clients.append(
+            FLClient(
+                i,
+                dataset,
+                TinyConvNet((8, 8), 10, num_filters=4, l2=0.001 * (i % 3), seed=7),
+                optimizer_factory,
+                local_steps=3,
+                batch_size=min(6, shard),
+                rng=np.random.default_rng(200 + i),
+            )
+        )
+    return clients
+
+
+class TestStackedConv:
+    def test_kernel_matches_scalar_model(self, backend):
+        rng = np.random.default_rng(5)
+        models = [
+            TinyConvNet((8, 8), 10, num_filters=4, l2=0.01 * c, seed=c)
+            for c in range(3)
+        ]
+        kernel = stacked_convnet_kernel(models)
+        assert kernel is not None
+        params = np.stack([model.get_params() for model in models])
+        batch = 7
+        features = rng.normal(size=(3, batch, 64))
+        labels = rng.integers(0, 10, size=(3, batch))
+        counts = np.full(3, float(batch))
+        losses, grads = kernel.loss_and_grad(
+            params, features, labels, None, counts, with_loss=True
+        )
+        for c, model in enumerate(models):
+            want_loss, want_grad = model.loss_and_grad(features[c], labels[c])
+            assert abs(losses[c] - want_loss) <= 1e-9
+            np.testing.assert_allclose(grads[c], want_grad, rtol=1e-9, atol=1e-12)
+
+    def test_cnn_federation_stacked_vs_sequential(self, backend):
+        global_params = TinyConvNet((8, 8), 10, num_filters=4, seed=7).get_params()
+        reference = SequentialLocalSolver().train(
+            _cnn_clients(5, lambda: SGD(0.05, 0.9)), global_params
+        )
+        stacked = VectorizedLocalSolver().train(
+            _cnn_clients(5, lambda: SGD(0.05, 0.9)), global_params
+        )
+        np.testing.assert_allclose(
+            reference.deltas, stacked.deltas, rtol=1e-9, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            reference.final_losses, stacked.final_losses, rtol=1e-9, atol=1e-12
+        )
+
+    def test_chunked_pipeline_bitwise_equal(self, backend):
+        global_params = TinyConvNet((8, 8), 10, num_filters=4, seed=7).get_params()
+        whole = VectorizedLocalSolver().train(
+            _cnn_clients(6, lambda: SGD(0.1)), global_params
+        )
+        chunked = VectorizedLocalSolver(chunk_clients=2).train(
+            _cnn_clients(6, lambda: SGD(0.1)), global_params
+        )
+        assert np.array_equal(whole.deltas, chunked.deltas)
+        assert np.array_equal(whole.final_losses, chunked.final_losses)
+
+    def test_float32_storage_within_tolerance(self, backend):
+        global_params = TinyConvNet((8, 8), 10, num_filters=4, seed=7).get_params()
+        exact = VectorizedLocalSolver().train(
+            _cnn_clients(5, lambda: SGD(0.1)), global_params
+        )
+        lean = VectorizedLocalSolver(storage_dtype=np.float32).train(
+            _cnn_clients(5, lambda: SGD(0.1)), global_params
+        )
+        scale = max(float(np.abs(exact.deltas).max()), 1e-12)
+        assert float(np.abs(exact.deltas - lean.deltas).max()) / scale < 1e-5
+
+
+class TestStackedOptimizers:
+    def test_sgd_bit_identical_to_scalar(self, backend):
+        rng = np.random.default_rng(11)
+        for momentum in (0.0, 0.9):
+            scalars = [SGD(0.1 + 0.01 * c, momentum) for c in range(4)]
+            stacked = StackedSGD(
+                np.array([opt.learning_rate for opt in scalars]),
+                np.array([opt.momentum for opt in scalars]),
+            )
+            params = rng.normal(size=(4, 30))
+            rows = params.copy()
+            for _ in range(5):
+                grads = rng.normal(size=(4, 30))
+                params = stacked.step(params, grads)
+                rows = np.stack(
+                    [opt.step(rows[c], grads[c]) for c, opt in enumerate(scalars)]
+                )
+            assert np.array_equal(params, rows)
+
+    def test_adam_bit_identical_to_scalar(self, backend):
+        rng = np.random.default_rng(13)
+        scalars = [Adam(0.01 + 0.001 * c) for c in range(4)]
+        stacked = StackedAdam(
+            np.array([opt.learning_rate for opt in scalars]),
+            np.array([opt.beta1 for opt in scalars]),
+            np.array([opt.beta2 for opt in scalars]),
+            np.array([opt.epsilon for opt in scalars]),
+        )
+        params = rng.normal(size=(4, 30))
+        rows = params.copy()
+        for _ in range(5):
+            grads = rng.normal(size=(4, 30))
+            params = stacked.step(params, grads)
+            rows = np.stack(
+                [opt.step(rows[c], grads[c]) for c, opt in enumerate(scalars)]
+            )
+        assert np.array_equal(params, rows)
+
+
+class TestFedAvgCombine:
+    def test_weighted_mean_matches_manual_tensordot(self, backend):
+        rng = np.random.default_rng(19)
+        stacked = stack_updates(rng.normal(size=(6, 40)))
+        weights = rng.uniform(0.5, 2.0, 6)
+        got = weighted_mean(stacked, weights)
+        want = (weights / weights.sum()) @ stacked
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-15)
+
+
+@pytest.mark.skipif(len(BACKENDS) < 2, reason="single backend available")
+class TestCrossBackendBitIdentity:
+    """With numba present, its DP fills must equal numpy's bitwise."""
+
+    def test_dp_fill_tables_identical(self):
+        rng = np.random.default_rng(31)
+        scores = rng.uniform(0.1, 5.0, 25)
+        weights = rng.integers(30, 400, 25).astype(np.int64)
+        int_capacity, k_cap = 1000, 6
+        results = {}
+        for name in BACKENDS:
+            with kernels.use_backend(name):
+                dp = np.zeros((int_capacity + 1, k_cap + 1))
+                cells = dp.size
+                take = np.zeros((25, (cells + 7) // 8), dtype=np.uint8)
+                kernels.kernel("knapsack_dp_fill")(
+                    scores, weights, int_capacity, k_cap, dp, take
+                )
+                results[name] = (dp, take)
+        reference_dp, reference_take = results["numpy"]
+        for name, (dp, take) in results.items():
+            assert np.array_equal(dp, reference_dp), name
+            assert np.array_equal(take, reference_take), name
+
+    def test_batch_fill_identical(self):
+        rng = np.random.default_rng(37)
+        scores = rng.uniform(0.1, 5.0, size=(4, 20))
+        weights = rng.integers(30, 400, size=(4, 20)).astype(np.int64)
+        results = {}
+        for name in BACKENDS:
+            with kernels.use_backend(name):
+                results[name] = kernels.kernel("knapsack_dp_fill_batch")(
+                    scores, weights, 1000, 5
+                )
+        reference = results["numpy"]
+        for name, (dp, take) in results.items():
+            assert np.array_equal(dp, reference[0]), name
+            assert np.array_equal(take, reference[1]), name

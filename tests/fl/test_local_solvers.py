@@ -143,8 +143,8 @@ class TestVectorizedEquivalence:
             VectorizedLocalSolver().train(vec_clients, params),
         )
 
-    def test_cnn_federation_falls_back_to_scalar(self):
-        """No stacked kernel exists for the CNN — the engine must defer."""
+    def test_cnn_federation_matches_scalar(self):
+        """CNN federations stack through the conv kernels and match scalar."""
         rng = np.random.default_rng(5)
         images = make_synthetic_images(120, num_classes=4, shape=(4, 4), rng=rng)
 
@@ -163,9 +163,15 @@ class TestVectorizedEquivalence:
             ]
 
         params = TinyConvNet((4, 4), 4, num_filters=2, seed=0).get_params()
+        reference = SequentialLocalSolver().train(build(), params)
         assert_batches_equal(
-            SequentialLocalSolver().train(build(), params),
-            VectorizedLocalSolver().train(build(), params),
+            reference, VectorizedLocalSolver().train(build(), params)
+        )
+        # Forced-scalar variant (group below min_group): the fallback path
+        # must agree too.
+        assert_batches_equal(
+            reference,
+            VectorizedLocalSolver(min_group=100).train(build(), params),
         )
 
     @pytest.mark.parametrize("kind", ["softmax", "mlp"])

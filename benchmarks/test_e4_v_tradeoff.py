@@ -43,7 +43,7 @@ def run_all():
                 "v": v,
                 "total_welfare": summary.total_welfare,
                 "avg_spend": summary.average_payment,
-                "peak_backlog": max(queue.history),
+                "peak_backlog": queue.peak_backlog,
                 "final_backlog": queue.backlog,
             }
         )

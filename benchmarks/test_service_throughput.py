@@ -1,0 +1,232 @@
+"""Service throughput: sustained bid ingest and round-close latency.
+
+The auction service moves the mechanism behind a socket; this harness
+measures what that seam costs.  For each concurrency level it starts a
+real :class:`~repro.service.server.AuctionServer` (own event loop in a
+thread), creates N markets closing rounds on the batch trigger, and
+blasts each market with pipelined bulk-bid frames from its own writer
+thread — the same wire path ``repro.cli replay`` exercises.  Per cell it
+records:
+
+* **sustained bids/sec** across all markets (accepted bids over wall
+  time, protocol + JSON + event-loop dispatch included);
+* **round-close latency** p50/p95/p99/max from the per-market decision
+  histograms (mechanism solve + payments + queue feedback per close);
+* rounds/sec actually closed.
+
+Results land in ``results/BENCH_service.json`` (plus a text table) so
+service-path regressions diff across PRs.  Knobs: ``SERVICE_MARKETS``
+(comma list of concurrent market counts, default ``1,2,4``),
+``SERVICE_ROUNDS`` (rounds per market, default 120), ``SERVICE_CLIENTS``
+(bids per round, default 32), ``SERVICE_JSON_OUT`` (extra JSON copy for
+CI artifacts).  Reduced sweeps are not archived over the committed
+baseline.
+
+Gates: no bid may be rejected, every round must close, and each cell
+must sustain at least 200 bids/sec — an order of magnitude below the
+observed rate, so only a real regression trips it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.service.client import ServiceClient
+from repro.service.server import start_server_thread
+from repro.telemetry import Histogram
+from repro.utils.tables import format_table
+
+DEFAULT_MARKETS = (1, 2, 4)
+DEFAULT_ROUNDS = 120
+DEFAULT_CLIENTS = 32
+
+MARKETS = tuple(
+    int(m) for m in os.environ.get("SERVICE_MARKETS", "").split(",") if m.strip()
+) or DEFAULT_MARKETS
+ROUNDS = int(os.environ.get("SERVICE_ROUNDS", DEFAULT_ROUNDS))
+CLIENTS = int(os.environ.get("SERVICE_CLIENTS", DEFAULT_CLIENTS))
+
+EXPERIMENT = {
+    "num_clients": CLIENTS,
+    "v": 10.0,
+    "budget_per_round": 5.0,
+    "max_winners": 8,
+}
+MIN_BIDS_PER_SEC = 200.0
+
+
+def make_rounds(seed: int) -> list[list[dict]]:
+    """ROUNDS rounds of CLIENTS bids each (deterministic per market)."""
+    rng = np.random.default_rng(seed)
+    costs = rng.uniform(0.1, 2.0, size=(ROUNDS, CLIENTS))
+    values = rng.uniform(0.2, 3.0, size=(ROUNDS, CLIENTS))
+    return [
+        [
+            {
+                "client_id": i,
+                "cost": float(costs[t, i]),
+                "value": float(values[t, i]),
+            }
+            for i in range(CLIENTS)
+        ]
+        for t in range(ROUNDS)
+    ]
+
+
+def drive_market(port: int, name: str, seed: int, failures: list) -> None:
+    """One writer: pipeline every round's bids into its market."""
+    try:
+        with ServiceClient("127.0.0.1", port) as client:
+            for round_bids in make_rounds(seed):
+                # chunk == round size: each bulk frame fills exactly one
+                # round, so the batch trigger closes it server-side.
+                summary = client.send_bids(name, round_bids, chunk=CLIENTS)
+                if summary["rejected"]:
+                    failures.append((name, summary))
+                    return
+    except Exception as error:  # noqa: BLE001 - surfaced by the main thread
+        failures.append((name, repr(error)))
+
+
+def run_cell(num_markets: int) -> dict:
+    """One concurrency level: N markets, N writer threads, one server."""
+    handle = start_server_thread()
+    try:
+        with ServiceClient("127.0.0.1", handle.port) as admin:
+            for m in range(num_markets):
+                admin.create_market(
+                    f"bench-{m}",
+                    experiment=EXPERIMENT,
+                    max_round_bids=CLIENTS,
+                )
+        failures: list = []
+        writers = [
+            threading.Thread(
+                target=drive_market,
+                args=(handle.port, f"bench-{m}", m, failures),
+                name=f"writer-{m}",
+            )
+            for m in range(num_markets)
+        ]
+        started = time.perf_counter()
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join()
+        elapsed = time.perf_counter() - started
+        assert not failures, failures
+
+        close_hist = Histogram()
+        rounds_closed = 0
+        bids_accepted = 0
+        with ServiceClient("127.0.0.1", handle.port) as admin:
+            for row in admin.markets():
+                rounds_closed += row["rounds_closed"]
+                bids_accepted += row["bids_accepted"]
+                assert row["bids_rejected"] == 0, row
+                assert row["rounds_closed"] == ROUNDS, row
+        for market in handle.server.markets.values():
+            close_hist.merge(market.latency)
+        summary = close_hist.summary()
+    finally:
+        handle.stop()
+    return {
+        "markets": num_markets,
+        "bids": bids_accepted,
+        "rounds": rounds_closed,
+        "seconds": elapsed,
+        "bids_per_sec": bids_accepted / elapsed,
+        "rounds_per_sec": rounds_closed / elapsed,
+        "close_ms": {
+            key: float(summary[key])
+            for key in ("p50_ms", "p95_ms", "p99_ms", "max_ms", "jitter_ms")
+        },
+        "close_count": summary["count"],
+    }
+
+
+def run_all() -> list[dict]:
+    return [run_cell(m) for m in MARKETS]
+
+
+def test_service_throughput(benchmark, report):
+    cells = run_once(benchmark, run_all)
+
+    text = format_table(
+        [
+            "markets",
+            "bids",
+            "bids/sec",
+            "rounds/sec",
+            "close p50 (ms)",
+            "close p95 (ms)",
+            "close p99 (ms)",
+            "close max (ms)",
+        ],
+        [
+            [
+                cell["markets"],
+                cell["bids"],
+                f"{cell['bids_per_sec']:.0f}",
+                f"{cell['rounds_per_sec']:.1f}",
+                f"{cell['close_ms']['p50_ms']:.3f}",
+                f"{cell['close_ms']['p95_ms']:.3f}",
+                f"{cell['close_ms']['p99_ms']:.3f}",
+                f"{cell['close_ms']['max_ms']:.3f}",
+            ]
+            for cell in cells
+        ],
+        title=(
+            f"Auction-service throughput ({ROUNDS} rounds/market, "
+            f"{CLIENTS} bids/round, batch-trigger closes)"
+        ),
+    )
+    payload = {
+        "experiment": "service_throughput",
+        "config": {
+            "markets": list(MARKETS),
+            "rounds": ROUNDS,
+            "clients": CLIENTS,
+            "experiment": EXPERIMENT,
+        },
+        "cells": [
+            {
+                **{k: cell[k] for k in ("markets", "bids", "rounds", "close_count")},
+                "seconds": round(cell["seconds"], 4),
+                "bids_per_sec": round(cell["bids_per_sec"], 1),
+                "rounds_per_sec": round(cell["rounds_per_sec"], 2),
+                "close_ms": {
+                    key: round(value, 4)
+                    for key, value in cell["close_ms"].items()
+                },
+            }
+            for cell in cells
+        ],
+    }
+    report(
+        "service_throughput",
+        text,
+        json_payload=payload,
+        json_id="service",
+        archive=(
+            MARKETS == DEFAULT_MARKETS
+            and ROUNDS == DEFAULT_ROUNDS
+            and CLIENTS == DEFAULT_CLIENTS
+        ),
+    )
+    out_path = os.environ.get("SERVICE_JSON_OUT")
+    if out_path:
+        Path(out_path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    for cell in cells:
+        label = f"{cell['markets']} market(s)"
+        assert cell["bids"] == cell["markets"] * ROUNDS * CLIENTS, label
+        assert cell["close_count"] == cell["markets"] * ROUNDS, label
+        assert cell["bids_per_sec"] > MIN_BIDS_PER_SEC, (label, cell)

@@ -27,6 +27,12 @@ Usage::
     python -m repro.cli work results/camp  # drain cells (run on any host)
     python -m repro.cli watch results/camp # live dashboard off events.jsonl
 
+    # the auction service (long-lived online allocation server)
+    python -m repro.cli serve --port 7464 --dir results/svc
+    python -m repro.cli replay results/run1 --market live --create --speedup 50
+    python -m repro.cli markets --port 7464
+    python -m repro.cli watch results/svc   # same dashboard, service trail
+
 The config file is an :class:`repro.config.ExperimentConfig` JSON document;
 command-line flags override its fields.  Mechanism names resolve through
 the :mod:`repro.mechanisms.registry`, the single source of truth shared
@@ -713,7 +719,7 @@ def _main_watch(argv: list[str]) -> int:
     if spec_path.exists():
         total_cells = SweepSpec.load(spec_path).num_cells
 
-    state = _WatchState(total_cells)
+    state = _AutoWatchState(total_cells)
     position = 0
     buffer = ""
     clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
@@ -740,6 +746,353 @@ def _main_watch(argv: list[str]) -> int:
         return 0
 
 
+# -- the auction service ------------------------------------------------------
+
+
+def _main_serve(argv: list[str]) -> int:
+    """Run the long-lived auction server (see :mod:`repro.service`)."""
+    import asyncio
+    import signal
+
+    from repro.service.server import AuctionServer
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli serve",
+        description=(
+            "Serve named auction markets over newline-delimited JSON/TCP "
+            "(and optionally a thin HTTP facade).  Markets persisted under "
+            "--dir are restored on start, so a restarted server resumes "
+            "with the same budget backlogs."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7464)
+    parser.add_argument(
+        "--http-port", type=int, default=None,
+        help="also expose POST /v1/<op> on this port",
+    )
+    parser.add_argument(
+        "--dir", type=Path, default=None, dest="directory",
+        help="service state root (snapshots, outcome trails, events.jsonl); "
+             "omit for a purely in-memory server",
+    )
+    _add_telemetry_flag(parser)
+    args = parser.parse_args(argv)
+    if args.telemetry is not None:
+        set_telemetry_level(args.telemetry)
+
+    server = AuctionServer(
+        args.host, args.port, directory=args.directory, http_port=args.http_port
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"auction service on {args.host}:{server.bound_port}"
+            + (
+                f" (http {server.http_bound_port})"
+                if server.http_bound_port is not None
+                else ""
+            )
+            + (f", state in {args.directory}" if args.directory else " (in-memory)"),
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                sig, lambda: loop.create_task(server.stop())
+            )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _main_replay(argv: list[str]) -> int:
+    """Replay an archived event trail into a live market (load generator)."""
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.replay import load_trace, replay_trace
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli replay",
+        description=(
+            "Re-emit an archived run (event_log.json, a run directory, or "
+            "a campaign directory) as live bid traffic against a running "
+            "auction service, preserving round boundaries."
+        ),
+    )
+    parser.add_argument("trail", type=Path, help="archived trail to replay")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7464)
+    parser.add_argument("--market", default="replay", help="target market name")
+    parser.add_argument(
+        "--speedup", type=float, default=float("inf"),
+        help="divide archived round durations by this (default: no sleeping)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=0.0,
+        help="fallback per-round gap (s) when the trail has no durations",
+    )
+    parser.add_argument(
+        "--jitter", action="store_true",
+        help="resample gaps from an exponential (Poisson-like arrivals)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="jitter RNG seed")
+    parser.add_argument("--max-rounds", type=int, default=None)
+    parser.add_argument(
+        "--create", action="store_true",
+        help="create the market first (exist_ok) with the flags below",
+    )
+    parser.add_argument("--mechanism", choices=MECHANISM_NAMES, default=None)
+    parser.add_argument("--config", type=Path, help="ExperimentConfig JSON")
+    parser.add_argument("--clients", type=int, dest="num_clients")
+    parser.add_argument("--v", type=float)
+    parser.add_argument("--budget", type=float, dest="budget_per_round")
+    parser.add_argument("--max-winners", type=int, dest="max_winners")
+    parser.add_argument(
+        "--min-selected", type=int, default=1,
+        help="exit nonzero unless at least this many replayed rounds "
+             "produced a nonzero allocation",
+    )
+    parser.add_argument("--json", action="store_true", help="print stats as JSON")
+    args = parser.parse_args(argv)
+
+    trace = load_trace(args.trail)
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            if args.create:
+                config = (
+                    ExperimentConfig.load(args.config)
+                    if args.config
+                    else ExperimentConfig()
+                )
+                overrides = {
+                    field: getattr(args, field)
+                    for field in ("num_clients", "v", "budget_per_round",
+                                  "max_winners")
+                    if getattr(args, field) is not None
+                }
+                if overrides:
+                    config = config.with_overrides(**overrides)
+                client.create_market(
+                    args.market,
+                    experiment=config.to_dict(),
+                    mechanism=args.mechanism,
+                    exist_ok=True,
+                )
+            stats = replay_trace(
+                client,
+                args.market,
+                trace,
+                speedup=args.speedup,
+                interval=args.interval,
+                jitter=args.jitter,
+                seed=args.seed,
+                max_rounds=args.max_rounds,
+            )
+    except (ConnectionError, OSError) as error:
+        print(f"cannot reach service at {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+    except ServiceError as error:
+        print(f"service error [{error.error_type}]: {error.message}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            format_table(
+                ["metric", "value"],
+                [[key, value] for key, value in stats.to_dict().items()],
+                title=f"Replay into {args.market!r}",
+            )
+        )
+    if stats.rounds_with_allocations < args.min_selected:
+        print(
+            f"only {stats.rounds_with_allocations} replayed round(s) produced "
+            f"allocations (--min-selected {args.min_selected})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _main_markets(argv: list[str]) -> int:
+    """Inspect (and optionally snapshot/stop) a running auction service."""
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli markets",
+        description="List a running auction service's markets and their stats.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7464)
+    parser.add_argument("--json", action="store_true", help="print raw JSON")
+    parser.add_argument(
+        "--snapshot", action="store_true",
+        help="ask the server to snapshot all markets first",
+    )
+    parser.add_argument(
+        "--stop", action="store_true",
+        help="request a graceful shutdown (snapshots everything) after listing",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            if args.snapshot:
+                client.snapshot()
+            rows = client.markets()
+            if args.stop:
+                client.shutdown()
+    except (ConnectionError, OSError) as error:
+        print(f"cannot reach service at {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+    except ServiceError as error:
+        print(f"service error [{error.error_type}]: {error.message}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        columns = ["market", "mechanism", "rounds", "empty", "bids", "rejected",
+                   "pending", "backlog", "p50 ms", "p99 ms"]
+        table_rows = []
+        for row in rows:
+            latency = row.get("decision_latency_ms", {})
+            table_rows.append([
+                row["name"], row["mechanism"], row["rounds_closed"],
+                row["empty_rounds"], row["bids_accepted"], row["bids_rejected"],
+                row["pending"],
+                (f"{row['budget_backlog']:.3f}"
+                 if "budget_backlog" in row else "-"),
+                (f"{latency['p50_ms']:.3f}" if latency else "-"),
+                (f"{latency['p99_ms']:.3f}" if latency else "-"),
+            ])
+        print(format_table(columns, table_rows, title="Auction service markets"))
+        if args.stop:
+            print("graceful shutdown requested")
+    return 0
+
+
+_SERVICE_EVENT_TYPES = (
+    "server_started", "server_stopped", "market_created", "round_closed"
+)
+
+
+class _ServiceWatchState:
+    """Dashboard aggregation over an auction service's event trail.
+
+    The same ``repro.cli watch`` loop tails both trail kinds;
+    :class:`_AutoWatchState` flips to this one as soon as a service event
+    appears.  ``server_started`` resets per-incarnation aggregates (the
+    trail is append-only across restarts) but market rows rebuild from the
+    subsequent ``round_closed`` stream.
+    """
+
+    RECENT = 5
+
+    def __init__(self) -> None:
+        self.meta: dict = {}
+        self.markets: dict[str, dict] = {}
+        self.recent: list[str] = []
+        self.campaign_done = False
+        self.restarts = -1
+
+    def add(self, event) -> None:
+        if event.type == "server_started":
+            self.meta = dict(event.data)
+            self.campaign_done = False
+            self.restarts += 1
+            return
+        if event.type == "server_stopped":
+            self.campaign_done = True
+            return
+        if event.type == "market_created" and event.cell_id:
+            self.markets.setdefault(
+                event.cell_id,
+                {"mechanism": event.data.get("mechanism", "?"), "rounds": 0,
+                 "bids": 0, "payment": 0.0, "backlog": None},
+            )
+            return
+        if event.type == "round_closed" and event.cell_id:
+            row = self.markets.setdefault(
+                event.cell_id,
+                {"mechanism": "?", "rounds": 0, "bids": 0, "payment": 0.0,
+                 "backlog": None},
+            )
+            row["rounds"] += 1
+            row["bids"] += int(event.data.get("num_bids", 0))
+            row["payment"] += float(event.data.get("total_payment", 0.0))
+            if event.data.get("budget_backlog") is not None:
+                row["backlog"] = float(event.data["budget_backlog"])
+            decision = event.data.get("decision_ms")
+            tail = f" ({decision:.2f}ms)" if isinstance(decision, float) else ""
+            self.recent = (
+                self.recent
+                + [
+                    f"  {event.cell_id} r{event.data.get('round_index', '?')}: "
+                    f"{event.data.get('num_selected', 0)}/"
+                    f"{event.data.get('num_bids', 0)} selected "
+                    f"[{event.data.get('trigger', '?')}]{tail}"
+                ]
+            )[-self.RECENT:]
+
+    def render(self) -> str:
+        lines = [
+            f"auction service on "
+            f"{self.meta.get('host', '?')}:{self.meta.get('port', '?')}"
+            + (f"  (restarts: {self.restarts})" if self.restarts > 0 else "")
+        ]
+        for name in sorted(self.markets):
+            row = self.markets[name]
+            backlog = (
+                f" backlog={row['backlog']:.3f}"
+                if row["backlog"] is not None
+                else ""
+            )
+            lines.append(
+                f"  {name} [{row['mechanism']}]: {row['rounds']} rounds, "
+                f"{row['bids']} bids, paid {row['payment']:.3f}{backlog}"
+            )
+        if not self.markets:
+            lines.append("  (no markets yet)")
+        if self.recent:
+            lines.append("recent rounds:")
+            lines.extend(self.recent)
+        if self.campaign_done:
+            lines.append("server stopped")
+        return "\n".join(lines)
+
+
+class _AutoWatchState:
+    """Dispatch a watched trail to the campaign or the service dashboard."""
+
+    def __init__(self, grid_cells: int | None) -> None:
+        self._campaign = _WatchState(grid_cells)
+        self._service: _ServiceWatchState | None = None
+
+    def add(self, event) -> None:
+        if self._service is None and event.type in _SERVICE_EVENT_TYPES:
+            self._service = _ServiceWatchState()
+        (self._service or self._campaign).add(event)
+
+    @property
+    def campaign_done(self) -> bool:
+        return (self._service or self._campaign).campaign_done
+
+    def render(self) -> str:
+        return (self._service or self._campaign).render()
+
+
 _SUBCOMMANDS = {
     "sweep": _main_sweep,
     "resume": _main_resume,
@@ -747,6 +1100,9 @@ _SUBCOMMANDS = {
     "profile": _main_profile,
     "work": _main_work,
     "watch": _main_watch,
+    "serve": _main_serve,
+    "replay": _main_replay,
+    "markets": _main_markets,
 }
 
 

@@ -27,6 +27,8 @@ trade-off.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -91,6 +93,38 @@ class LongTermVCGConfig:
         if self.max_winners is not None and self.max_winners <= 0:
             raise ValueError(f"max_winners must be > 0, got {self.max_winners}")
         check_non_negative("sustainability_weight", self.sustainability_weight)
+
+    def fingerprint(self) -> str:
+        """Stable digest of every decision-relevant parameter.
+
+        Snapshots carry this so a restore into a *differently configured*
+        mechanism (different budget, V, winner cap, payment rule ...) fails
+        loudly instead of resuming queues whose semantics no longer match.
+        """
+        payload = {
+            "v": self.v,
+            "budget_per_round": self.budget_per_round,
+            "max_winners": self.max_winners,
+            "wd_method": self.wd_method,
+            "participation_targets": (
+                {str(k): float(v) for k, v in self.participation_targets.items()}
+                if self.participation_targets
+                else None
+            ),
+            "sustainability_weight": self.sustainability_weight,
+            "sustainability_max_offset": self.sustainability_max_offset,
+            "demands": (
+                {str(k): float(v) for k, v in self.demands.items()}
+                if self.demands
+                else None
+            ),
+            "capacity": self.capacity,
+            "reserve_price": self.reserve_price,
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        )
+        return digest.hexdigest()[:16]
 
 
 class LongTermVCGMechanism(Mechanism):
@@ -218,6 +252,57 @@ class LongTermVCGMechanism(Mechanism):
     def attach_solve_cache(self, cache: SolveCache) -> None:
         """Share ``cache`` across this mechanism's per-round auctions."""
         self.solve_cache = cache
+
+    def state_dict(self) -> dict:
+        """Everything a restarted host needs to resume this mechanism.
+
+        Captures the budget virtual queue (backlog, running aggregates and
+        retained trace) and, when enabled, every participation queue —
+        the solve cache is a performance artifact and deliberately not
+        state.  Tagged with the config :meth:`~LongTermVCGConfig.fingerprint`
+        so :meth:`load_state_dict` can refuse a mismatched restore.
+        """
+        state = {
+            "format_version": 1,
+            "config_fingerprint": self.config.fingerprint(),
+            "budget_queue": self.controller.queue.state_dict(),
+        }
+        if self.participation is not None:
+            state["participation"] = self.participation.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` (bit-identical).
+
+        Raises
+        ------
+        ValueError
+            If the snapshot was taken under a different
+            :class:`LongTermVCGConfig` (fingerprint mismatch) or its shape
+            does not match this mechanism (participation state for a
+            mechanism without participation targets, or vice versa).
+        """
+        fingerprint = state.get("config_fingerprint")
+        expected = self.config.fingerprint()
+        if fingerprint != expected:
+            raise ValueError(
+                f"LT-VCG state fingerprint {fingerprint!r} does not match "
+                f"this mechanism's config ({expected!r}); refusing to resume "
+                "queues under different mechanism parameters"
+            )
+        self.controller.queue.load_state_dict(state["budget_queue"])
+        if self.participation is not None:
+            if "participation" not in state:
+                raise ValueError(
+                    "snapshot carries no participation state but this "
+                    "mechanism tracks participation targets"
+                )
+            self.participation.load_state_dict(state["participation"])
+        elif "participation" in state:
+            raise ValueError(
+                "snapshot carries participation state but this mechanism "
+                "has no participation targets"
+            )
 
     def reset(self) -> None:
         self.controller.reset()

@@ -15,28 +15,69 @@ and achieves an ``O(1/V)`` optimality gap at the price of an ``O(V)`` queue
 backlog (i.e. transient budget violation); the queue-length bound implies
 that the long-run average spend converges to at most ``B``.  Benchmark E4
 reproduces this trade-off empirically.
+
+Queues are built to live inside a *long-running server* as well as a
+closed-horizon simulation: the per-update backlog trace is kept in a
+bounded ring (:data:`DEFAULT_HISTORY_LIMIT` entries by default, full
+history opt-in via ``history_limit=None``), while the statistics analysis
+code actually consumes — time averages, the peak backlog, the spend
+certificate — are maintained as exact running aggregates that never
+depend on the retained window.  Queue state round-trips through
+:meth:`VirtualQueue.state_dict` / :meth:`VirtualQueue.load_state_dict`
+bit-identically, which is what lets an auction service snapshot a market's
+budget backlog to disk and resume it after a restart.
 """
 
 from __future__ import annotations
 
+from collections import deque
+from typing import Any
+
 from repro.utils.validation import check_non_negative, check_positive
 
-__all__ = ["VirtualQueue", "BudgetQueue", "DriftPlusPenaltyController"]
+__all__ = [
+    "DEFAULT_HISTORY_LIMIT",
+    "VirtualQueue",
+    "BudgetQueue",
+    "DriftPlusPenaltyController",
+]
+
+#: Backlog-trace entries retained by default.  Generous enough that every
+#: closed-horizon experiment in the repo (≤ a few thousand rounds) keeps its
+#: complete trajectory, small enough that a server running millions of
+#: rounds holds O(1) memory per queue.
+DEFAULT_HISTORY_LIMIT = 4096
 
 
 class VirtualQueue:
     """A scalar virtual queue ``Q(t+1) = max(Q(t) + arrival - service, 0)``.
 
-    Tracks its full backlog history so analysis code can plot trajectories
-    and compute time averages without re-simulation.
+    Tracks the backlog trajectory so analysis code can plot trajectories
+    and compute time averages without re-simulation.  The trajectory is
+    bounded to the most recent ``history_limit`` entries (pass ``None`` to
+    opt into the full unbounded history for analysis runs); the scalar
+    statistics — :meth:`average_arrival`, :meth:`average_service`,
+    :meth:`average_backlog`, :attr:`peak_backlog`, the rate-stability
+    certificate — are exact running aggregates regardless of how much of
+    the trace is retained.
     """
 
-    def __init__(self, initial: float = 0.0) -> None:
+    def __init__(
+        self,
+        initial: float = 0.0,
+        *,
+        history_limit: int | None = DEFAULT_HISTORY_LIMIT,
+    ) -> None:
         self._backlog = check_non_negative("initial", initial)
-        self._history: list[float] = [self._backlog]
+        if history_limit is not None and history_limit < 1:
+            raise ValueError(f"history_limit must be >= 1 or None, got {history_limit}")
+        self._history_limit = history_limit
+        self._history: deque[float] = deque([self._backlog], maxlen=history_limit)
         self._total_arrivals = 0.0
         self._total_service = 0.0
         self._steps = 0
+        self._backlog_sum = self._backlog
+        self._peak = self._backlog
 
     @property
     def backlog(self) -> float:
@@ -45,13 +86,28 @@ class VirtualQueue:
 
     @property
     def history(self) -> tuple[float, ...]:
-        """Backlog after each update, starting with the initial value."""
+        """Backlog after each update, starting with the initial value.
+
+        When the queue is bounded (the default) only the most recent
+        ``history_limit`` entries are retained; construct with
+        ``history_limit=None`` when the full trajectory matters.
+        """
         return tuple(self._history)
+
+    @property
+    def history_limit(self) -> int | None:
+        """Retained-trace bound (``None`` = full history)."""
+        return self._history_limit
 
     @property
     def steps(self) -> int:
         """Number of updates applied so far."""
         return self._steps
+
+    @property
+    def peak_backlog(self) -> float:
+        """Largest backlog ever observed (exact, independent of bounding)."""
+        return self._peak
 
     def update(self, arrival: float, service: float) -> float:
         """Apply one queue update and return the new backlog."""
@@ -62,6 +118,9 @@ class VirtualQueue:
         self._total_arrivals += arrival
         self._total_service += service
         self._steps += 1
+        self._backlog_sum += self._backlog
+        if self._backlog > self._peak:
+            self._peak = self._backlog
         return self._backlog
 
     def average_arrival(self) -> float:
@@ -71,6 +130,15 @@ class VirtualQueue:
     def average_service(self) -> float:
         """Time-average service rate over all updates (0 before any update)."""
         return self._total_service / self._steps if self._steps else 0.0
+
+    def average_backlog(self) -> float:
+        """Time-average backlog over the whole trajectory (incl. initial).
+
+        Equal to ``sum(history) / len(history)`` of an unbounded queue, but
+        computed from a running sum so it stays exact after the retained
+        trace is clipped.
+        """
+        return self._backlog_sum / (self._steps + 1)
 
     def is_rate_stable(self, slack: float = 0.0) -> bool:
         """Empirical rate stability: ``Q(T)/T <= slack``.
@@ -85,10 +153,51 @@ class VirtualQueue:
     def reset(self, initial: float = 0.0) -> None:
         """Reset to a fresh queue with backlog ``initial``."""
         self._backlog = check_non_negative("initial", initial)
-        self._history = [self._backlog]
+        self._history = deque([self._backlog], maxlen=self._history_limit)
         self._total_arrivals = 0.0
         self._total_service = 0.0
         self._steps = 0
+        self._backlog_sum = self._backlog
+        self._peak = self._backlog
+
+    def state_dict(self) -> dict[str, Any]:
+        """Serializable snapshot of the queue's dynamic state.
+
+        Round-trips bit-identically through :meth:`load_state_dict` (the
+        retained trace travels verbatim), so a restored queue produces
+        exactly the decisions and statistics the original would have.
+        Configuration (the history bound) is *not* state; it belongs to
+        whoever constructs the queue.
+        """
+        return {
+            "backlog": self._backlog,
+            "steps": self._steps,
+            "total_arrivals": self._total_arrivals,
+            "total_service": self._total_service,
+            "backlog_sum": self._backlog_sum,
+            "peak": self._peak,
+            "history": list(self._history),
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore dynamic state captured by :meth:`state_dict`."""
+        try:
+            backlog = float(state["backlog"])
+            steps = int(state["steps"])
+            history = [float(value) for value in state["history"]]
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"malformed VirtualQueue state: {error}") from error
+        if not history or history[-1] != backlog:
+            raise ValueError(
+                "malformed VirtualQueue state: history tail does not match backlog"
+            )
+        self._backlog = check_non_negative("backlog", backlog)
+        self._steps = steps
+        self._total_arrivals = float(state["total_arrivals"])
+        self._total_service = float(state["total_service"])
+        self._backlog_sum = float(state["backlog_sum"])
+        self._peak = float(state["peak"])
+        self._history = deque(history, maxlen=self._history_limit)
 
     def __repr__(self) -> str:
         return f"VirtualQueue(backlog={self._backlog:.4g}, steps={self._steps})"
@@ -100,8 +209,14 @@ class BudgetQueue(VirtualQueue):
     ``record_spend(p)`` performs ``Q <- max(Q + p - budget_per_round, 0)``.
     """
 
-    def __init__(self, budget_per_round: float, initial: float = 0.0) -> None:
-        super().__init__(initial)
+    def __init__(
+        self,
+        budget_per_round: float,
+        initial: float = 0.0,
+        *,
+        history_limit: int | None = DEFAULT_HISTORY_LIMIT,
+    ) -> None:
+        super().__init__(initial, history_limit=history_limit)
         self.budget_per_round = check_positive("budget_per_round", budget_per_round)
 
     def record_spend(self, payment_total: float) -> float:
@@ -136,11 +251,20 @@ class DriftPlusPenaltyController:
         ``V`` prioritises the budget.
     budget_per_round:
         Long-term average payment budget ``B`` per round.
+    history_limit:
+        Backlog-trace bound of the underlying queue (``None`` = unbounded,
+        for analysis runs that plot the whole trajectory).
     """
 
-    def __init__(self, v: float, budget_per_round: float) -> None:
+    def __init__(
+        self,
+        v: float,
+        budget_per_round: float,
+        *,
+        history_limit: int | None = DEFAULT_HISTORY_LIMIT,
+    ) -> None:
         self.v = check_positive("v", v)
-        self.queue = BudgetQueue(budget_per_round)
+        self.queue = BudgetQueue(budget_per_round, history_limit=history_limit)
 
     @property
     def value_weight(self) -> float:

@@ -111,6 +111,35 @@ class Mechanism(ABC):
         Mechanisms without a solver ignore the call.
         """
 
+    def state_dict(self) -> dict:
+        """Serializable snapshot of all cross-round decision state.
+
+        Stateless mechanisms have nothing to capture and return ``{}``.
+        Stateful mechanisms must override this (with a matching
+        :meth:`load_state_dict`) to be resumable by long-lived hosts such
+        as :mod:`repro.service` — the default raises so a host can detect
+        (and honestly report) a mechanism whose state cannot survive a
+        restart, instead of silently resuming it fresh.
+        """
+        if self.stateless:
+            return {}
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state snapshots"
+        )
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` (bit-identical)."""
+        if self.stateless:
+            if state:
+                raise ValueError(
+                    f"stateless mechanism {type(self).__name__} cannot load "
+                    f"state {sorted(state)}"
+                )
+            return
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state snapshots"
+        )
+
     def reset(self) -> None:
         """Clear all cross-round state.  Stateless mechanisms need not override.
 

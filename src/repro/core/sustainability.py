@@ -126,6 +126,55 @@ class ParticipationTracker:
             return 0.0
         return max(queue.backlog for queue in self._queues.values())
 
+    def state_dict(self) -> dict:
+        """Serializable snapshot of every participation queue and counter.
+
+        Keys are stringified client ids (the JSON object constraint);
+        :meth:`load_state_dict` restores bit-identically.
+        """
+        return {
+            "queues": {
+                str(client_id): queue.state_dict()
+                for client_id, queue in self._queues.items()
+            },
+            "selection_counts": {
+                str(client_id): count
+                for client_id, count in self._selection_counts.items()
+            },
+            "rounds": self._rounds,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        Raises
+        ------
+        ValueError
+            If the snapshot's client ids do not match this tracker's
+            targets — restoring a snapshot into a differently-configured
+            tracker would silently corrupt the participation constraints.
+        """
+        try:
+            queues = {int(cid): qstate for cid, qstate in state["queues"].items()}
+            counts = {
+                int(cid): int(count)
+                for cid, count in state["selection_counts"].items()
+            }
+            rounds = int(state["rounds"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(
+                f"malformed ParticipationTracker state: {error}"
+            ) from error
+        if set(queues) != set(self.targets) or set(counts) != set(self.targets):
+            raise ValueError(
+                "participation snapshot client ids do not match the "
+                "configured targets"
+            )
+        for client_id, queue_state in queues.items():
+            self._queues[client_id].load_state_dict(queue_state)
+        self._selection_counts = counts
+        self._rounds = rounds
+
     def reset(self) -> None:
         """Reset all queues and counters."""
         for queue in self._queues.values():

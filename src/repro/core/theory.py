@@ -125,7 +125,9 @@ def check_run_against_bounds(
             f"bound {queue.spend_bound():.4g}"
         )
     if bounds.queue_bound is not None and queue.steps > 0:
-        average_backlog = sum(queue.history) / len(queue.history)
+        # Exact running aggregate — unlike the retained (bounded) history
+        # window, this covers the whole trajectory of a long-lived queue.
+        average_backlog = queue.average_backlog()
         if average_backlog > bounds.queue_bound + 1e-9:
             violations.append(
                 f"queue bound violated: avg backlog {average_backlog:.4g} > "

@@ -1,0 +1,49 @@
+"""Auction-as-a-service: the long-lived online allocation server.
+
+The paper's mechanism is inherently *online* — clients arrive, bid, and
+are recruited round by round under a long-term Lyapunov budget queue —
+and this package stands it up as a persistent system instead of a
+closed-loop simulation:
+
+* :mod:`repro.service.protocol` — the newline-delimited JSON wire format
+  (typed requests, typed error responses);
+* :mod:`repro.service.market` — a named **market**: one mechanism
+  instance (built through the registry), its virtual-queue state living
+  across requests, a pending-bid buffer that becomes each round's
+  :class:`~repro.core.bids.AuctionRound`, per-market decision-latency
+  histograms, and an atomic snapshot/restore cycle so a restarted server
+  resumes with the same budget backlog;
+* :mod:`repro.service.server` — the asyncio server: many markets per
+  process, rounds closed on a timer *or* a batch-size trigger, graceful
+  shutdown, a service event trail (``repro.cli watch``) and telemetry
+  snapshots (``repro.cli profile``);
+* :mod:`repro.service.client` — a blocking socket client (used by the
+  CLI, the tests and the load generator);
+* :mod:`repro.service.replay` — the trace-replay load generator:
+  archived event logs re-emitted as live traffic under timing control;
+* :mod:`repro.service.http_shim` — an optional thin HTTP/1.1 facade over
+  the same dispatcher.
+
+CLI surfaces: ``repro.cli serve`` / ``repro.cli replay`` /
+``repro.cli markets``.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.market import Market, MarketConfig, MarketError
+from repro.service.protocol import ProtocolError
+from repro.service.replay import ReplayStats, load_trace, replay_trace
+from repro.service.server import AuctionServer, ServerHandle, start_server_thread
+
+__all__ = [
+    "AuctionServer",
+    "Market",
+    "MarketConfig",
+    "MarketError",
+    "ProtocolError",
+    "ReplayStats",
+    "ServerHandle",
+    "ServiceClient",
+    "load_trace",
+    "replay_trace",
+    "start_server_thread",
+]

@@ -1,0 +1,191 @@
+"""Blocking socket client for the auction service.
+
+A thin synchronous counterpart to the asyncio server: one TCP connection,
+one request line per call, one response line back (the protocol answers
+in order, so pipelining is just writing several lines before reading —
+:meth:`ServiceClient.send_bids` exploits this).  Used by ``repro.cli
+replay`` / ``repro.cli markets``, the service test-suite and the
+throughput benchmark; none of them need an event loop of their own.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ProtocolError):
+    """A typed error response received from the server."""
+
+
+class ServiceClient:
+    """Synchronous NDJSON client (context manager).
+
+    Every ``op`` helper returns the server's success payload as a dict and
+    raises :class:`ServiceError` (carrying the typed ``error_type``) on an
+    error response — callers branch on the type, not on prose.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- wire helpers ---------------------------------------------------------
+
+    def _send(self, frame: dict[str, Any]) -> None:
+        self._sock.sendall(encode_frame(frame))
+
+    def _recv(self) -> dict[str, Any]:
+        line = self._file.readline(MAX_FRAME_BYTES + 1024)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_frame(line)
+
+    def request(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """One round-trip; raises :class:`ServiceError` on an error frame."""
+        self._send(frame)
+        return self._check(self._recv())
+
+    @staticmethod
+    def _check(response: dict[str, Any]) -> dict[str, Any]:
+        if response.get("ok"):
+            return response
+        error = response.get("error", {})
+        raise ServiceError(
+            error.get("type", "internal"), error.get("message", "unknown error")
+        )
+
+    # -- operations -----------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def create_market(
+        self,
+        market: str,
+        *,
+        experiment: dict[str, Any] | None = None,
+        mechanism: str | None = None,
+        round_timeout: float | None = None,
+        max_round_bids: int | None = None,
+        snapshot_every: int = 1,
+        exist_ok: bool = False,
+    ) -> dict[str, Any]:
+        frame: dict[str, Any] = {
+            "op": "create_market",
+            "market": market,
+            "experiment": experiment or {},
+            "snapshot_every": snapshot_every,
+            "exist_ok": exist_ok,
+        }
+        if mechanism is not None:
+            frame["mechanism"] = mechanism
+        if round_timeout is not None:
+            frame["round_timeout"] = round_timeout
+        if max_round_bids is not None:
+            frame["max_round_bids"] = max_round_bids
+        return self.request(frame)
+
+    def bid(
+        self,
+        market: str,
+        client_id: int,
+        *,
+        cost: float,
+        value: float,
+        data_size: int = 1,
+        quality: float = 1.0,
+    ) -> dict[str, Any]:
+        return self.request(
+            {
+                "op": "bid",
+                "market": market,
+                "client_id": client_id,
+                "cost": cost,
+                "value": value,
+                "data_size": data_size,
+                "quality": quality,
+            }
+        )
+
+    def send_bids(
+        self, market: str, bids: list[dict[str, Any]], *, chunk: int = 256
+    ) -> dict[str, Any]:
+        """Bulk-submit bids, pipelining ``chunk``-sized frames.
+
+        Returns a merged summary (``accepted`` / ``rejected`` /
+        ``closed_rounds`` across all chunks).
+        """
+        accepted = 0
+        rejected = 0
+        closed: list[int] = []
+        results: list[dict[str, Any]] = []
+        pending = 0
+        for start in range(0, len(bids), chunk):
+            self._send(
+                {"op": "bids", "market": market, "bids": bids[start : start + chunk]}
+            )
+            pending += 1
+        for _ in range(pending):
+            response = self._check(self._recv())
+            accepted += response["accepted"]
+            rejected += response["rejected"]
+            closed.extend(response["closed_rounds"])
+            results.extend(response["results"])
+        return {
+            "market": market,
+            "accepted": accepted,
+            "rejected": rejected,
+            "closed_rounds": closed,
+            "results": results,
+        }
+
+    def flush(self, market: str) -> dict[str, Any]:
+        """Close the market's current round now; returns the outcome record."""
+        return self.request({"op": "flush", "market": market})["outcome"]
+
+    def market(self, market: str) -> dict[str, Any]:
+        return self.request({"op": "market", "market": market})["stats"]
+
+    def markets(self) -> list[dict[str, Any]]:
+        return self.request({"op": "markets"})["markets"]
+
+    def outcomes(self, market: str, *, since: int = 0) -> list[dict[str, Any]]:
+        return self.request({"op": "outcomes", "market": market, "since": since})[
+            "outcomes"
+        ]
+
+    def snapshot(self, market: str | None = None) -> dict[str, Any]:
+        frame: dict[str, Any] = {"op": "snapshot"}
+        if market is not None:
+            frame["market"] = market
+        return self.request(frame)
+
+    def shutdown(self) -> dict[str, Any]:
+        """Request a graceful server shutdown (snapshots everything)."""
+        return self.request({"op": "shutdown"})

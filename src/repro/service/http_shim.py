@@ -1,0 +1,172 @@
+"""A thin HTTP/1.1 facade over the auction server's dispatcher.
+
+For environments where a raw TCP/NDJSON client is inconvenient (curl,
+dashboards, sidecars), the server can additionally listen on an HTTP port
+(``repro.cli serve --http-port``).  The shim is deliberately minimal — an
+asyncio stream handler, **not** ``http.server`` — and shares the exact
+request dispatcher with the native protocol:
+
+* ``POST /v1/<op>`` with a JSON object body — the body becomes the request
+  frame, ``<op>`` its operation;
+* ``GET /v1/ping`` and ``GET /v1/markets`` as conveniences.
+
+Responses are the same JSON frames the native protocol returns, with the
+status code derived from the typed error (400 bad input, 404 unknown
+market/op, 503 shutting down, 500 internal).  One request per connection
+(``Connection: close``) — the shim is an access path, not the load path;
+the load generator and the benchmarks speak the native protocol.
+
+Known gap (tracked on the roadmap): no keep-alive, no TLS, no request
+auth — hardening the shim is future work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.logging_utils import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.server import AuctionServer
+
+__all__ = ["start_http_shim", "MAX_BODY_BYTES"]
+
+_LOGGER = get_logger("service.http")
+
+MAX_BODY_BYTES = 1 << 20
+_MAX_HEADER_LINES = 100
+
+_STATUS_BY_ERROR = {
+    "bad-frame": 400,
+    "bad-request": 400,
+    "bad-bid": 400,
+    "unknown-op": 404,
+    "unknown-market": 404,
+    "market-exists": 409,
+    "shutting-down": 503,
+    "internal": 500,
+}
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _response(status: int, payload: dict[str, Any]) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def _error_payload(error_type: str, message: str) -> dict[str, Any]:
+    return {"ok": False, "error": {"type": error_type, "message": message}}
+
+
+async def _handle_http(
+    server: "AuctionServer",
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    status = 400
+    payload = _error_payload("bad-frame", "malformed HTTP request")
+    try:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        method, target = (parts[0], parts[1]) if len(parts) >= 2 else ("", "")
+        content_length = 0
+        for _ in range(_MAX_HEADER_LINES):
+            header = (await reader.readline()).decode("latin-1")
+            if header in ("\r\n", "\n", ""):
+                break
+            name, _, value = header.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = -1
+        if not target.startswith("/v1/"):
+            status, payload = 404, _error_payload(
+                "unknown-op", f"unknown path {target!r} (expected /v1/<op>)"
+            )
+        elif content_length < 0 or content_length > MAX_BODY_BYTES:
+            status, payload = 413, _error_payload(
+                "bad-frame", f"body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        elif method not in ("GET", "POST"):
+            status, payload = 405, _error_payload(
+                "bad-request", f"method {method!r} not allowed"
+            )
+        else:
+            op = target[len("/v1/") :].strip("/")
+            frame: dict[str, Any] = {}
+            body = await reader.readexactly(content_length) if content_length else b""
+            if body:
+                try:
+                    frame = json.loads(body.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError):
+                    frame = None  # type: ignore[assignment]
+            if not isinstance(frame, dict):
+                status, payload = 400, _error_payload(
+                    "bad-frame", "body must be a JSON object"
+                )
+                server._count_bad_frame()
+            else:
+                frame["op"] = op
+                payload = await server.handle_frame(frame)
+                if payload.get("ok"):
+                    status = 200
+                else:
+                    status = _STATUS_BY_ERROR.get(
+                        payload.get("error", {}).get("type", "internal"), 400
+                    )
+        writer.write(_response(status, payload))
+        await writer.drain()
+    except (
+        asyncio.IncompleteReadError,
+        ConnectionResetError,
+        BrokenPipeError,
+    ):
+        pass
+    except Exception as error:  # noqa: BLE001 - the shim must not kill the loop
+        _LOGGER.error("http shim error: %s", error)
+        try:
+            writer.write(
+                _response(500, _error_payload("internal", type(error).__name__))
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+async def start_http_shim(
+    server: "AuctionServer", host: str, port: int
+) -> asyncio.AbstractServer:
+    """Bind the HTTP facade; returns the asyncio server (caller closes)."""
+
+    async def handler(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await _handle_http(server, reader, writer)
+
+    return await asyncio.start_server(
+        handler, host, port, limit=MAX_BODY_BYTES + 1024
+    )

@@ -1,0 +1,462 @@
+"""One named market: mechanism + queue state + pending bids + snapshots.
+
+A :class:`Market` is the unit the auction server multiplexes: it owns one
+mechanism instance (built from an :class:`~repro.config.ExperimentConfig`
+through the shared registry, so ``lt-vcg`` means exactly what it means in
+simulations), accumulates streamed bids into a pending buffer, and turns
+the buffer into an :class:`~repro.core.bids.AuctionRound` whenever the
+server closes a round (timer, batch-size trigger, or explicit ``flush``).
+The mechanism's :class:`~repro.core.lyapunov.VirtualQueue` state lives
+across requests — that is the whole point of the service — and snapshots
+to disk on round close so a restarted server resumes with the same budget
+backlog (:meth:`Market.snapshot` / :meth:`Market.restore`).
+
+Everything here is synchronous and single-threaded by contract: the
+asyncio server mutates a market only from its event loop, and tests drive
+markets directly without any server at all.
+
+Honest failure modes are part of the contract: a malformed bid raises a
+typed :class:`MarketError` (the round loop never crashes), and a round
+closing with zero arrivals produces an explicit *empty outcome record* —
+the round index advances, the mechanism is untouched (exactly like the
+simulator's no-bid rounds), and the client sees a response, not a hang.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+from repro import telemetry
+from repro.config import ExperimentConfig
+from repro.core.bids import AuctionRound, Bid
+from repro.logging_utils import get_logger
+from repro.mechanisms.registry import build_mechanism
+from repro.service.protocol import ProtocolError
+from repro.telemetry import Histogram
+
+__all__ = ["MarketConfig", "MarketError", "Market", "SNAPSHOT_NAME", "OUTCOMES_NAME"]
+
+_LOGGER = get_logger("service.market")
+
+SNAPSHOT_NAME = "snapshot.json"
+OUTCOMES_NAME = "outcomes.jsonl"
+_SNAPSHOT_FORMAT_VERSION = 1
+
+#: Closed-round records kept in memory for the ``outcomes`` op; the full
+#: trail is always on disk in ``outcomes.jsonl``.
+DEFAULT_OUTCOMES_KEPT = 4096
+
+
+class MarketError(ProtocolError):
+    """A typed per-market request failure (rejected bid, bad config ...)."""
+
+
+class MarketConfig:
+    """Static configuration of one market.
+
+    Parameters
+    ----------
+    name:
+        Market identifier (path-safe: letters, digits, ``-``, ``_``, ``.``).
+    experiment:
+        The :class:`~repro.config.ExperimentConfig` the mechanism is built
+        from (``extras['mechanism']`` names it in the registry) — one
+        config object so served markets and simulations resolve mechanism
+        parameters identically.
+    round_timeout:
+        Seconds between timer-driven round closes, or ``None`` to disable
+        the timer (rounds then close on the batch trigger or ``flush``).
+        Timer closes fire even with zero pending bids — an empty round is
+        an explicit outcome, not a hang.
+    max_round_bids:
+        Close the round as soon as this many bids are pending, or ``None``
+        to disable the batch trigger.
+    snapshot_every:
+        Snapshot to disk every this many round closes (1 = every close).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        experiment: ExperimentConfig,
+        *,
+        round_timeout: float | None = None,
+        max_round_bids: int | None = None,
+        snapshot_every: int = 1,
+    ) -> None:
+        if not name or not all(c.isalnum() or c in "-_." for c in name):
+            raise MarketError(
+                "bad-request",
+                f"market name must be non-empty and path-safe, got {name!r}",
+            )
+        if round_timeout is not None and not round_timeout > 0:
+            raise MarketError(
+                "bad-request", f"round_timeout must be > 0, got {round_timeout}"
+            )
+        if max_round_bids is not None and max_round_bids < 1:
+            raise MarketError(
+                "bad-request", f"max_round_bids must be >= 1, got {max_round_bids}"
+            )
+        if snapshot_every < 1:
+            raise MarketError(
+                "bad-request", f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        self.name = name
+        self.experiment = experiment
+        self.round_timeout = float(round_timeout) if round_timeout else None
+        self.max_round_bids = int(max_round_bids) if max_round_bids else None
+        self.snapshot_every = int(snapshot_every)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "experiment": self.experiment.to_dict(),
+            "round_timeout": self.round_timeout,
+            "max_round_bids": self.max_round_bids,
+            "snapshot_every": self.snapshot_every,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MarketConfig":
+        return cls(
+            str(data["name"]),
+            ExperimentConfig(**data["experiment"]),
+            round_timeout=data.get("round_timeout"),
+            max_round_bids=data.get("max_round_bids"),
+            snapshot_every=int(data.get("snapshot_every", 1)),
+        )
+
+
+def _check_finite(field: str, value: float) -> float:
+    value = float(value)
+    if not math.isfinite(value):
+        raise MarketError("bad-bid", f"{field} must be finite, got {value}")
+    return value
+
+
+class Market:
+    """A live market: pending bids in, closed-round outcomes out.
+
+    Parameters
+    ----------
+    config:
+        The market's static configuration.
+    directory:
+        Where this market persists (``snapshot.json`` + ``outcomes.jsonl``),
+        or ``None`` for a purely in-memory market (tests, benchmarks).
+    """
+
+    def __init__(self, config: MarketConfig, directory: str | Path | None) -> None:
+        self.config = config
+        self.directory = Path(directory) if directory is not None else None
+        self.mechanism = build_mechanism(config.experiment)
+        self.pending: list[dict[str, Any]] = []
+        self._pending_ids: set[int] = set()
+        self.next_round_index = 0
+        self.rounds_closed = 0
+        self.empty_rounds = 0
+        self.bids_accepted = 0
+        self.bids_rejected = 0
+        self.latency = Histogram()
+        self.outcomes: deque[dict[str, Any]] = deque(maxlen=DEFAULT_OUTCOMES_KEPT)
+        self.created_at = time.time()
+        # Whether the mechanism can round-trip its cross-round state; a
+        # market whose mechanism cannot snapshot still serves rounds, but
+        # resume restarts that mechanism fresh (reported, never silent).
+        try:
+            self.mechanism.state_dict()
+            self.resumable = True
+        except NotImplementedError:
+            self.resumable = False
+
+    # -- bid intake -----------------------------------------------------------
+
+    @property
+    def mechanism_name(self) -> str:
+        return str(self.config.experiment.extras.get("mechanism", "lt-vcg"))
+
+    @property
+    def pending_count(self) -> int:
+        return len(self.pending)
+
+    def submit_bid(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """Validate and buffer one bid; returns the acceptance payload.
+
+        Raises
+        ------
+        MarketError
+            ``bad-bid`` for anything the round could not legally contain:
+            negative/non-finite cost or value, a duplicate bid from a
+            client already pending this round, bad data_size/quality.
+            Rejections are counted (market stats + telemetry) and leave
+            the pending round untouched.
+        """
+        try:
+            bid = self._validate_bid(frame)
+        except MarketError:
+            self.bids_rejected += 1
+            telemetry.add_counter("service_bids_rejected")
+            raise
+        self.pending.append(bid)
+        self._pending_ids.add(bid["client_id"])
+        self.bids_accepted += 1
+        return {
+            "market": self.config.name,
+            "round_index": self.next_round_index,
+            "pending": len(self.pending),
+        }
+
+    def _validate_bid(self, frame: dict[str, Any]) -> dict[str, Any]:
+        client_id = frame.get("client_id")
+        if isinstance(client_id, bool) or not isinstance(client_id, int):
+            raise MarketError("bad-bid", "client_id must be an integer")
+        if client_id < 0:
+            raise MarketError("bad-bid", f"client_id must be >= 0, got {client_id}")
+        if client_id in self._pending_ids:
+            raise MarketError(
+                "bad-bid",
+                f"client {client_id} already bid in round "
+                f"{self.next_round_index} of market {self.config.name!r}",
+            )
+        for field in ("cost", "value"):
+            if not isinstance(frame.get(field), (int, float)) or isinstance(
+                frame.get(field), bool
+            ):
+                raise MarketError("bad-bid", f"{field} must be a number")
+        cost = _check_finite("cost", frame["cost"])
+        if cost < 0:
+            raise MarketError("bad-bid", f"cost must be >= 0, got {cost}")
+        value = _check_finite("value", frame["value"])
+        data_size = frame.get("data_size", 1)
+        if isinstance(data_size, bool) or not isinstance(data_size, int):
+            raise MarketError("bad-bid", "data_size must be an integer")
+        if data_size < 0:
+            raise MarketError("bad-bid", f"data_size must be >= 0, got {data_size}")
+        quality = _check_finite("quality", frame.get("quality", 1.0))
+        if quality < 0:
+            raise MarketError("bad-bid", f"quality must be >= 0, got {quality}")
+        return {
+            "client_id": client_id,
+            "cost": cost,
+            "value": value,
+            "data_size": data_size,
+            "quality": quality,
+        }
+
+    # -- round closing --------------------------------------------------------
+
+    def close_round(self, *, trigger: str) -> dict[str, Any]:
+        """Close the current round and return its outcome record.
+
+        With pending bids, runs the mechanism on the accumulated
+        :class:`AuctionRound` (bids in arrival order — column order equals
+        bid order, so tie-breaking matches a simulation fed the same
+        trace).  With zero pending bids, records an explicit empty outcome
+        without touching the mechanism — identical to the simulator's
+        no-bid rounds, so queue trajectories stay comparable.
+        """
+        round_index = self.next_round_index
+        pending, self.pending = self.pending, []
+        self._pending_ids = set()
+        record: dict[str, Any] = {
+            "round_index": round_index,
+            "trigger": trigger,
+            "num_bids": len(pending),
+            "timestamp": time.time(),
+        }
+        if pending:
+            auction_round = AuctionRound(
+                index=round_index,
+                bids=tuple(
+                    Bid(
+                        client_id=bid["client_id"],
+                        cost=bid["cost"],
+                        data_size=bid["data_size"],
+                        quality=bid["quality"],
+                    )
+                    for bid in pending
+                ),
+                values={bid["client_id"]: bid["value"] for bid in pending},
+            )
+            started = time.perf_counter()
+            if telemetry.enabled(telemetry.TELEMETRY_SPANS):
+                # Scoped path (market:<name>/round_decide) gives per-market
+                # latency histograms on the telemetry trail.
+                with telemetry.span(f"market:{self.config.name}"):
+                    with telemetry.span("round_decide"):
+                        outcome = self.mechanism.run_round(auction_round)
+            else:
+                outcome = self.mechanism.run_round(auction_round)
+            elapsed = time.perf_counter() - started
+            self.latency.record(elapsed)
+            record.update(
+                selected=list(outcome.selected),
+                payments={
+                    str(cid): payment for cid, payment in outcome.payments.items()
+                },
+                total_payment=outcome.total_payment,
+                diagnostics=dict(outcome.diagnostics),
+                decision_ms=elapsed * 1e3,
+            )
+        else:
+            self.empty_rounds += 1
+            record.update(
+                selected=[], payments={}, total_payment=0.0, empty=True
+            )
+        self.next_round_index = round_index + 1
+        self.rounds_closed += 1
+        self.outcomes.append(record)
+        self._append_outcome(record)
+        if (
+            self.directory is not None
+            and self.rounds_closed % self.config.snapshot_every == 0
+        ):
+            self.snapshot()
+        return record
+
+    def should_close(self) -> bool:
+        """Batch-size trigger: is the pending buffer at its cap?"""
+        return (
+            self.config.max_round_bids is not None
+            and len(self.pending) >= self.config.max_round_bids
+        )
+
+    def outcomes_since(self, since: int) -> tuple[list[dict[str, Any]], bool]:
+        """In-memory outcome records with ``round_index >= since``.
+
+        Returns ``(records, complete)``; ``complete`` is False when older
+        requested rounds have been evicted from the in-memory window (the
+        full trail is still in ``outcomes.jsonl``).
+        """
+        records = [r for r in self.outcomes if r["round_index"] >= since]
+        oldest_kept = self.outcomes[0]["round_index"] if self.outcomes else 0
+        complete = since >= oldest_kept or not self.rounds_closed
+        return records, complete
+
+    # -- persistence ----------------------------------------------------------
+
+    def _append_outcome(self, record: dict[str, Any]) -> None:
+        if self.directory is None:
+            return
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(self.directory / OUTCOMES_NAME, "a") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError as error:
+            _LOGGER.warning(
+                "market %s: dropping outcome record: %s", self.config.name, error
+            )
+
+    def snapshot(self) -> dict[str, Any]:
+        """Write the market's resume state to disk (atomic), return it.
+
+        The snapshot carries the full market configuration, the round
+        cursor, the mechanism's :meth:`~repro.core.mechanism.Mechanism.
+        state_dict` (or ``null`` with ``resumable: false`` when the
+        mechanism cannot snapshot), the *pending* (not yet closed) bids so
+        a mid-round restart loses nothing, and the latency histogram.
+        """
+        try:
+            mechanism_state: dict | None = self.mechanism.state_dict()
+        except NotImplementedError:
+            mechanism_state = None
+        state = {
+            "format_version": _SNAPSHOT_FORMAT_VERSION,
+            "market": self.config.to_dict(),
+            "next_round_index": self.next_round_index,
+            "rounds_closed": self.rounds_closed,
+            "empty_rounds": self.empty_rounds,
+            "bids_accepted": self.bids_accepted,
+            "bids_rejected": self.bids_rejected,
+            "pending": list(self.pending),
+            "mechanism_state": mechanism_state,
+            "resumable": mechanism_state is not None,
+            "latency_hist": self.latency.to_dict(),
+            "saved_at": time.time(),
+        }
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.directory / SNAPSHOT_NAME
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(state, sort_keys=True))
+            os.replace(tmp, path)
+        return state
+
+    @classmethod
+    def restore(cls, directory: str | Path) -> "Market":
+        """Rebuild a market from its snapshot directory.
+
+        Raises
+        ------
+        ValueError
+            On a missing/unreadable snapshot, an unsupported format
+            version, or a mechanism-state fingerprint mismatch.
+        """
+        directory = Path(directory)
+        path = directory / SNAPSHOT_NAME
+        try:
+            state = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            raise ValueError(f"cannot read market snapshot {path}: {error}") from error
+        version = state.get("format_version")
+        if version != _SNAPSHOT_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported market snapshot version {version!r} in {path}"
+            )
+        market = cls(MarketConfig.from_dict(state["market"]), directory)
+        market.next_round_index = int(state["next_round_index"])
+        market.rounds_closed = int(state["rounds_closed"])
+        market.empty_rounds = int(state["empty_rounds"])
+        market.bids_accepted = int(state["bids_accepted"])
+        market.bids_rejected = int(state["bids_rejected"])
+        market.pending = list(state.get("pending", []))
+        market._pending_ids = {bid["client_id"] for bid in market.pending}
+        mechanism_state = state.get("mechanism_state")
+        if mechanism_state is not None:
+            market.mechanism.load_state_dict(mechanism_state)
+        elif not market.mechanism.stateless:
+            _LOGGER.warning(
+                "market %s: mechanism %s carried no snapshot state; "
+                "resuming with fresh mechanism state",
+                market.config.name,
+                market.mechanism_name,
+            )
+        try:
+            market.latency = Histogram.from_dict(state["latency_hist"])
+        except (KeyError, TypeError, ValueError):
+            market.latency = Histogram()
+        return market
+
+    # -- observability --------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """The market's dashboard row (``markets`` op, ``repro.cli markets``)."""
+        row: dict[str, Any] = {
+            "name": self.config.name,
+            "mechanism": self.mechanism_name,
+            "rounds_closed": self.rounds_closed,
+            "empty_rounds": self.empty_rounds,
+            "bids_accepted": self.bids_accepted,
+            "bids_rejected": self.bids_rejected,
+            "pending": len(self.pending),
+            "next_round_index": self.next_round_index,
+            "round_timeout": self.config.round_timeout,
+            "max_round_bids": self.config.max_round_bids,
+            "resumable": self.resumable,
+        }
+        backlog = getattr(self.mechanism, "budget_backlog", None)
+        if backlog is not None:
+            row["budget_backlog"] = float(backlog)
+        if self.latency.count:
+            summary = self.latency.summary()
+            row["decision_latency_ms"] = {
+                key: summary[key]
+                for key in ("count", "p50_ms", "p95_ms", "p99_ms", "max_ms")
+            }
+        return row

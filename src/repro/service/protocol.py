@@ -1,0 +1,131 @@
+"""The service wire format: newline-delimited JSON frames.
+
+One request per line, one response line per request, in order.  Every
+frame is a JSON object; requests carry an ``op`` naming the operation
+(``bid``, ``bids``, ``flush``, ``create_market``, ``markets``, ``market``,
+``outcomes``, ``snapshot``, ``ping``, ``shutdown``), responses carry
+``ok`` plus either the operation's payload or a **typed error**::
+
+    {"ok": false, "error": {"type": "bad-frame", "message": "..."}}
+
+Error types are a closed vocabulary (:data:`ERROR_TYPES`) so clients can
+branch on them without parsing prose.  Malformed input is a *response*,
+never a crash: the server answers a broken line with ``bad-frame``,
+counts it on telemetry, and keeps serving the connection — the round loop
+must survive any byte sequence a client can send.
+
+Frames are capped at :data:`MAX_FRAME_BYTES`; the limit exists so one
+hostile line cannot balloon server memory, and it comfortably fits the
+bulk-``bids`` frames the load generator sends.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ERROR_TYPES",
+    "ProtocolError",
+    "decode_frame",
+    "encode_frame",
+    "error_frame",
+    "ok_frame",
+]
+
+#: Hard per-line cap (bytes, including the newline).
+MAX_FRAME_BYTES = 1 << 20
+
+#: The closed error vocabulary.
+ERROR_TYPES = (
+    "bad-frame",        # not JSON / not an object / over the size cap
+    "unknown-op",       # op missing or not in the dispatch table
+    "bad-request",      # op known, required fields missing or mistyped
+    "unknown-market",   # market name does not resolve
+    "market-exists",    # create_market on a taken name without exist_ok
+    "bad-bid",          # bid rejected (negative cost, duplicate client, ...)
+    "internal",         # unexpected server-side failure (safe summary only)
+    "shutting-down",    # request arrived during graceful shutdown
+)
+
+
+class ProtocolError(Exception):
+    """A typed request failure, rendered as an error response frame."""
+
+    def __init__(self, error_type: str, message: str) -> None:
+        if error_type not in ERROR_TYPES:
+            raise ValueError(f"unknown protocol error type {error_type!r}")
+        super().__init__(message)
+        self.error_type = error_type
+        self.message = message
+
+
+def encode_frame(frame: dict[str, Any]) -> bytes:
+    """Serialise one frame to its wire line (newline-terminated bytes)."""
+    return (json.dumps(frame, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_frame(line: bytes) -> dict[str, Any]:
+    """Parse one wire line into a frame.
+
+    Raises
+    ------
+    ProtocolError
+        ``bad-frame`` when the line is over the cap, not valid JSON, or
+        not a JSON object.
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "bad-frame", f"frame exceeds {MAX_FRAME_BYTES} bytes"
+        )
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ProtocolError("bad-frame", f"not valid JSON: {error}") from error
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            "bad-frame", f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    return frame
+
+
+def ok_frame(op: str, **payload: Any) -> dict[str, Any]:
+    """A success response for ``op``."""
+    frame: dict[str, Any] = {"ok": True, "op": op}
+    frame.update(payload)
+    return frame
+
+
+def error_frame(error: ProtocolError, *, op: str | None = None) -> dict[str, Any]:
+    """The response frame for a typed failure."""
+    frame: dict[str, Any] = {
+        "ok": False,
+        "error": {"type": error.error_type, "message": error.message},
+    }
+    if op is not None:
+        frame["op"] = op
+    return frame
+
+
+def require(frame: dict[str, Any], field: str, kind: type | tuple[type, ...]) -> Any:
+    """Fetch a typed required field or raise ``bad-request``.
+
+    ``bool`` is rejected where a number is expected (bool subclasses int).
+    """
+    if field not in frame:
+        raise ProtocolError("bad-request", f"missing required field {field!r}")
+    value = frame[field]
+    if isinstance(value, bool) and kind in (int, float, (int, float)):
+        raise ProtocolError("bad-request", f"field {field!r} must be a number")
+    if not isinstance(value, kind):
+        expected = (
+            "/".join(k.__name__ for k in kind)
+            if isinstance(kind, tuple)
+            else kind.__name__
+        )
+        raise ProtocolError(
+            "bad-request",
+            f"field {field!r} must be {expected}, got {type(value).__name__}",
+        )
+    return value

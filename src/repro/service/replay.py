@@ -1,0 +1,171 @@
+"""The trace-replay load generator: archived runs as live traffic.
+
+Every simulation and campaign cell archives its ground-truth
+``event_log.json``; this module re-emits such a trail against a running
+auction server as if the clients were bidding live.  Per archived round
+it submits that round's bids — **in the record's bid order**, which is the
+original submission order (dict insertion order is preserved through the
+JSON round-trip), so positional tie-breaking in winner determination
+matches the original run — and then flushes the market, preserving the
+archived round boundaries.
+
+Fidelity note: the mechanism's decision depends on client ids, declared
+costs and the server-side values (plus its own queue state) — never on
+``data_size``/``quality`` — and the archived record carries all three
+exactly (floats survive JSON round-trips bit-for-bit).  Feeding a fresh
+market an archived trail therefore reproduces the original allocations,
+payments and queue trajectory bit-identically; the equivalence suite pins
+this against :class:`~repro.simulation.runner.SimulationRunner`.
+
+Timing control: ``speedup`` divides the archived round durations
+(``float("inf")`` — the default — replays as fast as the server accepts),
+and ``jitter`` resamples each gap from an exponential with the same mean,
+turning the deterministic trail into Poisson-like arrivals for load
+testing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.simulation.events import EventLog
+from repro.simulation.replay import load_event_log
+
+__all__ = ["ReplayStats", "load_trace", "replay_trace", "EVENT_LOG_NAME"]
+
+EVENT_LOG_NAME = "event_log.json"
+
+
+@dataclass(frozen=True)
+class ReplayStats:
+    """What a replay run accomplished (the CLI's exit criteria)."""
+
+    market: str
+    rounds_sent: int
+    bids_sent: int
+    bids_rejected: int
+    rounds_closed: int
+    rounds_with_allocations: int
+    total_payment: float
+    duration_s: float
+
+    @property
+    def bids_per_sec(self) -> float:
+        return self.bids_sent / self.duration_s if self.duration_s > 0 else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "market": self.market,
+            "rounds_sent": self.rounds_sent,
+            "bids_sent": self.bids_sent,
+            "bids_rejected": self.bids_rejected,
+            "rounds_closed": self.rounds_closed,
+            "rounds_with_allocations": self.rounds_with_allocations,
+            "total_payment": self.total_payment,
+            "duration_s": self.duration_s,
+            "bids_per_sec": self.bids_per_sec,
+        }
+
+
+def load_trace(path: str | Path) -> EventLog:
+    """Resolve ``path`` to an archived event log.
+
+    Accepts the ``event_log.json`` file itself, a run directory containing
+    one (``repro.cli --out`` output), or a campaign directory — in which
+    case the first cell trail (sorted glob) is used.
+    """
+    path = Path(path)
+    if path.is_file():
+        return load_event_log(path)
+    if path.is_dir():
+        direct = path / EVENT_LOG_NAME
+        if direct.is_file():
+            return load_event_log(direct)
+        nested = sorted(path.glob(f"**/{EVENT_LOG_NAME}"))
+        if nested:
+            return load_event_log(nested[0])
+    raise FileNotFoundError(f"no {EVENT_LOG_NAME} under {path}")
+
+
+def replay_trace(
+    client: Any,
+    market: str,
+    trace: EventLog,
+    *,
+    speedup: float = float("inf"),
+    interval: float = 0.0,
+    jitter: bool = False,
+    seed: int = 0,
+    max_rounds: int | None = None,
+) -> ReplayStats:
+    """Re-emit an archived trail into ``market`` through ``client``.
+
+    Parameters
+    ----------
+    client:
+        A connected :class:`~repro.service.client.ServiceClient` (anything
+        with ``send_bids`` / ``flush`` / ``outcomes``).
+    market:
+        Target market name (must already exist on the server).
+    trace:
+        The archived :class:`~repro.simulation.events.EventLog`.
+    speedup:
+        Divide archived round durations by this; ``inf`` sleeps never.
+    interval:
+        Fallback per-round gap (seconds, pre-speedup) for trails whose
+        archived ``round_duration`` is 0 (mechanism-only runs).
+    jitter:
+        Resample each gap from an exponential distribution with the same
+        mean (Poisson-like arrivals; deterministic under ``seed``).
+    max_rounds:
+        Replay only the first N archived rounds.
+    """
+    rng = np.random.default_rng(seed)
+    records = list(trace)
+    if max_rounds is not None:
+        records = records[:max_rounds]
+    rounds_sent = 0
+    bids_sent = 0
+    bids_rejected = 0
+    started = time.perf_counter()
+    for record in records:
+        if rounds_sent:
+            gap = record.round_duration or interval
+            if jitter and gap > 0:
+                gap = float(rng.exponential(gap))
+            if speedup != float("inf") and gap > 0:
+                time.sleep(gap / speedup)
+        bids = [
+            {
+                "client_id": client_id,
+                "cost": cost,
+                "value": record.values[client_id],
+            }
+            for client_id, cost in record.bids.items()
+        ]
+        if bids:
+            summary = client.send_bids(market, bids)
+            bids_sent += summary["accepted"]
+            bids_rejected += summary["rejected"]
+        # Preserve the archived round boundary — an empty archived round
+        # becomes an explicit empty service round, keeping round indices
+        # (and hence queue trajectories) aligned with the original run.
+        client.flush(market)
+        rounds_sent += 1
+    duration = time.perf_counter() - started
+    outcomes = client.outcomes(market, since=0)
+    return ReplayStats(
+        market=market,
+        rounds_sent=rounds_sent,
+        bids_sent=bids_sent,
+        bids_rejected=bids_rejected,
+        rounds_closed=len(outcomes),
+        rounds_with_allocations=sum(1 for o in outcomes if o["selected"]),
+        total_payment=float(sum(o["total_payment"] for o in outcomes)),
+        duration_s=duration,
+    )

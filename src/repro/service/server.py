@@ -1,0 +1,599 @@
+"""The asyncio auction server: many markets, one long-lived process.
+
+Built on :func:`asyncio.start_server` (stdlib only — deliberately not
+``http.server``): each connection is a stream of newline-delimited JSON
+request frames answered in order (:mod:`repro.service.protocol`).  All
+market mutation happens on the single event loop, so a market is never
+touched concurrently and the mechanism's queue feedback stays an atomic
+per-round step exactly as in the simulator.
+
+Rounds close three ways, all funnelled through one code path:
+
+* **timer** — a per-market asyncio task fires every ``round_timeout``
+  seconds since the last close (closing with zero pending bids records an
+  explicit empty outcome, never a hang);
+* **batch** — a bid arriving that fills ``max_round_bids`` closes the
+  round inline;
+* **flush** — a client asks for an immediate close (the replay load
+  generator uses this to preserve archived round boundaries).
+
+Graceful shutdown snapshots every market (mechanism state included) and
+appends a final telemetry snapshot; a server restarted on the same
+directory rebuilds its markets from ``markets/*/snapshot.json`` and
+resumes with the same budget backlogs.  The server keeps a campaign-style
+event trail (``events.jsonl``: ``server_started`` / ``market_created`` /
+``round_closed`` / ``server_stopped``) so ``repro.cli watch`` can follow
+a live service the same way it follows a campaign.
+
+:func:`start_server_thread` runs the whole loop in a daemon thread and
+hands back a :class:`ServerHandle` — the harness tests, the equivalence
+suite and the throughput benchmark all drive a real socket server
+in-process through it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Any, Awaitable, Callable
+
+from repro import telemetry
+from repro.config import ExperimentConfig
+from repro.logging_utils import get_logger
+from repro.orchestration.events import EVENTS_NAME, EventWriter
+from repro.service.market import Market, MarketConfig, SNAPSHOT_NAME
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    require,
+)
+from repro.telemetry import TELEMETRY_TRAIL_NAME, TelemetryTrail
+
+__all__ = ["AuctionServer", "ServerHandle", "start_server_thread", "MARKETS_DIRNAME"]
+
+_LOGGER = get_logger("service.server")
+
+MARKETS_DIRNAME = "markets"
+
+#: Slack on top of the frame cap so the reader only overruns on frames the
+#: protocol would reject anyway.
+_READ_LIMIT = MAX_FRAME_BYTES + 1024
+
+
+class AuctionServer:
+    """One process serving many named markets over NDJSON/TCP.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; port 0 picks a free port (``bound_port`` after
+        :meth:`start`).
+    directory:
+        Service state root: ``markets/<name>/`` (snapshots + outcome
+        trails), ``events.jsonl`` and ``telemetry.jsonl``.  ``None`` runs
+        fully in-memory (tests).
+    http_port:
+        Optional port for the thin HTTP facade
+        (:mod:`repro.service.http_shim`) sharing this dispatcher.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        directory: str | Path | None = None,
+        http_port: int | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.directory = Path(directory) if directory is not None else None
+        self.http_port = http_port
+        self.markets: dict[str, Market] = {}
+        self.bad_frames = 0
+        self.started_at: float | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._http_server: asyncio.AbstractServer | None = None
+        self._timers: dict[str, asyncio.Task] = {}
+        self._connections: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._last_close: dict[str, float] = {}
+        self._shutting_down = False
+        self._stopped = asyncio.Event()
+        self.events = EventWriter(
+            self.directory / EVENTS_NAME if self.directory else None
+        )
+        self._trail = TelemetryTrail(
+            self.directory / TELEMETRY_TRAIL_NAME if self.directory else None
+        )
+        self._ops: dict[str, Callable[[dict[str, Any]], Awaitable[dict[str, Any]]]] = {
+            "ping": self._op_ping,
+            "create_market": self._op_create_market,
+            "bid": self._op_bid,
+            "bids": self._op_bids,
+            "flush": self._op_flush,
+            "market": self._op_market,
+            "markets": self._op_markets,
+            "outcomes": self._op_outcomes,
+            "snapshot": self._op_snapshot,
+            "shutdown": self._op_shutdown,
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def bound_port(self) -> int:
+        """The actual TCP port after :meth:`start` (resolves port 0)."""
+        if self._server is None:
+            return self.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind, restore persisted markets, start timers and (opt.) HTTP."""
+        restored = self._restore_markets()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=_READ_LIMIT
+        )
+        if self.http_port is not None:
+            from repro.service.http_shim import start_http_shim
+
+            self._http_server = await start_http_shim(self, self.host, self.http_port)
+        self.started_at = time.time()
+        for name in self.markets:
+            self._arm_timer(name)
+        self.events.emit(
+            "server_started",
+            host=self.host,
+            port=self.bound_port,
+            http_port=self.http_bound_port,
+            markets=sorted(self.markets),
+            restored=restored,
+        )
+        _LOGGER.info(
+            "auction server on %s:%d (%d market(s) restored)",
+            self.host,
+            self.bound_port,
+            restored,
+        )
+
+    @property
+    def http_bound_port(self) -> int | None:
+        if self._http_server is None:
+            return None
+        return self._http_server.sockets[0].getsockname()[1]
+
+    def _restore_markets(self) -> int:
+        if self.directory is None:
+            return 0
+        root = self.directory / MARKETS_DIRNAME
+        if not root.is_dir():
+            return 0
+        restored = 0
+        for snapshot in sorted(root.glob(f"*/{SNAPSHOT_NAME}")):
+            try:
+                market = Market.restore(snapshot.parent)
+            except ValueError as error:
+                # A corrupt snapshot must not take the whole service down
+                # with it; the market simply does not come back.
+                _LOGGER.error(
+                    "skipping market snapshot %s: %s", snapshot, error
+                )
+                continue
+            self.markets[market.config.name] = market
+            restored += 1
+        return restored
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`stop` (or a ``shutdown`` request) completes."""
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop intake, snapshot every market, close."""
+        if self._shutting_down:
+            await self._stopped.wait()
+            return
+        self._shutting_down = True
+        for task in self._timers.values():
+            task.cancel()
+        if self._timers:
+            await asyncio.gather(*self._timers.values(), return_exceptions=True)
+        self._timers.clear()
+        for market in self.markets.values():
+            market.snapshot()
+        self._trail.append(telemetry.snapshot(), cell_id="service")
+        self.events.emit(
+            "server_stopped",
+            markets=sorted(self.markets),
+            rounds_closed=sum(m.rounds_closed for m in self.markets.values()),
+            bad_frames=self.bad_frames,
+        )
+        for server in (self._server, self._http_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        # Drain live connections (closing a writer EOFs its handler's
+        # readline) so the loop shuts down without cancelling handlers
+        # mid-write.
+        for writer in list(self._writers):
+            writer.close()
+        if self._connections:
+            await asyncio.wait(self._connections, timeout=5.0)
+        self._stopped.set()
+        _LOGGER.info("auction server stopped")
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Oversized frame: the stream position is no longer
+                    # trustworthy, so answer once and drop the connection —
+                    # the server itself keeps running.
+                    self._count_bad_frame()
+                    writer.write(
+                        encode_frame(
+                            error_frame(
+                                ProtocolError(
+                                    "bad-frame",
+                                    f"frame exceeds {MAX_FRAME_BYTES} bytes",
+                                )
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self.handle_line(line)
+                writer.write(encode_frame(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    def _count_bad_frame(self) -> None:
+        self.bad_frames += 1
+        telemetry.add_counter("service_bad_frames")
+
+    async def handle_line(self, line: bytes) -> dict[str, Any]:
+        """One request line in, one response frame out — never raises."""
+        try:
+            frame = decode_frame(line)
+        except ProtocolError as error:
+            self._count_bad_frame()
+            return error_frame(error)
+        return await self.handle_frame(frame)
+
+    async def handle_frame(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """Dispatch one decoded request frame — never raises.
+
+        Typed failures become typed error responses; anything unexpected
+        becomes an ``internal`` error (logged server-side with the
+        traceback, summarised on the wire) so one poisoned request can
+        never kill the round loop.
+        """
+        op = frame.get("op")
+        if not isinstance(op, str) or op not in self._ops:
+            return error_frame(
+                ProtocolError("unknown-op", f"unknown op {op!r}"),
+                op=op if isinstance(op, str) else None,
+            )
+        if self._shutting_down and op not in ("ping", "markets", "market"):
+            return error_frame(
+                ProtocolError("shutting-down", "server is shutting down"), op=op
+            )
+        try:
+            payload = await self._ops[op](frame)
+        except ProtocolError as error:
+            return error_frame(error, op=op)
+        except Exception as error:  # noqa: BLE001 - the round loop must survive
+            _LOGGER.error(
+                "internal error handling %s: %s\n%s",
+                op,
+                error,
+                traceback.format_exc(),
+            )
+            telemetry.add_counter("service_internal_errors")
+            return error_frame(
+                ProtocolError("internal", f"{type(error).__name__}: {error}"), op=op
+            )
+        return ok_frame(op, **payload)
+
+    # -- market plumbing ------------------------------------------------------
+
+    def _market(self, frame: dict[str, Any]) -> Market:
+        name = require(frame, "market", str)
+        market = self.markets.get(name)
+        if market is None:
+            raise ProtocolError("unknown-market", f"no market named {name!r}")
+        return market
+
+    def _market_dir(self, name: str) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / MARKETS_DIRNAME / name
+
+    def _close_round(self, market: Market, trigger: str) -> dict[str, Any]:
+        record = market.close_round(trigger=trigger)
+        self._last_close[market.config.name] = time.monotonic()
+        self.events.emit(
+            "round_closed",
+            cell_id=market.config.name,
+            round_index=record["round_index"],
+            trigger=trigger,
+            num_bids=record["num_bids"],
+            num_selected=len(record["selected"]),
+            total_payment=record["total_payment"],
+            decision_ms=record.get("decision_ms"),
+            budget_backlog=record.get("diagnostics", {}).get("budget_backlog"),
+        )
+        return record
+
+    def _arm_timer(self, name: str) -> None:
+        market = self.markets[name]
+        if market.config.round_timeout is None:
+            return
+        self._last_close.setdefault(name, time.monotonic())
+        self._timers[name] = asyncio.get_running_loop().create_task(
+            self._timer_loop(name), name=f"market-timer:{name}"
+        )
+
+    async def _timer_loop(self, name: str) -> None:
+        """Close ``name``'s round every ``round_timeout`` s of quiet.
+
+        Batch/flush closes reset the deadline (they update
+        ``_last_close``), so the timer only fires when a full timeout has
+        passed since *any* close — and it fires even with zero pending
+        bids, recording an explicit empty round.
+        """
+        market = self.markets[name]
+        timeout = market.config.round_timeout
+        assert timeout is not None
+        try:
+            while True:
+                deadline = self._last_close[name] + timeout
+                delay = deadline - time.monotonic()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                    continue
+                self._close_round(market, "timer")
+        except asyncio.CancelledError:
+            pass
+
+    # -- operations -----------------------------------------------------------
+
+    async def _op_ping(self, frame: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "time": time.time(),
+            "markets": len(self.markets),
+            "uptime_s": (
+                time.time() - self.started_at if self.started_at is not None else 0.0
+            ),
+        }
+
+    async def _op_create_market(self, frame: dict[str, Any]) -> dict[str, Any]:
+        name = require(frame, "market", str)
+        exist_ok = bool(frame.get("exist_ok", False))
+        if name in self.markets:
+            if exist_ok:
+                return {"market": name, "created": False, **self.markets[name].stats()}
+            raise ProtocolError("market-exists", f"market {name!r} already exists")
+        experiment_kwargs = frame.get("experiment", {})
+        if not isinstance(experiment_kwargs, dict):
+            raise ProtocolError("bad-request", "field 'experiment' must be an object")
+        try:
+            experiment = ExperimentConfig(**experiment_kwargs)
+        except (TypeError, ValueError) as error:
+            raise ProtocolError("bad-request", f"bad experiment config: {error}")
+        if "mechanism" in frame:
+            mechanism = require(frame, "mechanism", str)
+            experiment.extras["mechanism"] = mechanism
+        config = MarketConfig(
+            name,
+            experiment,
+            round_timeout=frame.get("round_timeout"),
+            max_round_bids=frame.get("max_round_bids"),
+            snapshot_every=int(frame.get("snapshot_every", 1)),
+        )
+        try:
+            market = Market(config, self._market_dir(name))
+        except (TypeError, ValueError) as error:
+            raise ProtocolError("bad-request", f"cannot build mechanism: {error}")
+        self.markets[name] = market
+        self._arm_timer(name)
+        self.events.emit(
+            "market_created",
+            cell_id=name,
+            mechanism=market.mechanism_name,
+            round_timeout=config.round_timeout,
+            max_round_bids=config.max_round_bids,
+        )
+        return {"market": name, "created": True, **market.stats()}
+
+    async def _op_bid(self, frame: dict[str, Any]) -> dict[str, Any]:
+        market = self._market(frame)
+        payload = market.submit_bid(frame)
+        if market.should_close():
+            record = self._close_round(market, "batch")
+            payload["closed_round"] = record["round_index"]
+        return payload
+
+    async def _op_bids(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """Bulk submission: one frame, many bids, per-bid verdicts.
+
+        The load generator's pipelining op — a rejected bid in the batch
+        is reported in its slot and does not abort the rest.
+        """
+        market = self._market(frame)
+        bids = require(frame, "bids", list)
+        results: list[dict[str, Any]] = []
+        closed_rounds: list[int] = []
+        accepted = 0
+        for entry in bids:
+            if not isinstance(entry, dict):
+                market.bids_rejected += 1
+                telemetry.add_counter("service_bids_rejected")
+                results.append(
+                    {"ok": False, "error": {"type": "bad-bid", "message": "bid must be an object"}}
+                )
+                continue
+            try:
+                result = market.submit_bid(entry)
+            except ProtocolError as error:
+                results.append(
+                    {
+                        "ok": False,
+                        "error": {"type": error.error_type, "message": error.message},
+                    }
+                )
+                continue
+            accepted += 1
+            results.append({"ok": True, "round_index": result["round_index"]})
+            if market.should_close():
+                record = self._close_round(market, "batch")
+                closed_rounds.append(record["round_index"])
+        return {
+            "market": market.config.name,
+            "accepted": accepted,
+            "rejected": len(bids) - accepted,
+            "results": results,
+            "closed_rounds": closed_rounds,
+        }
+
+    async def _op_flush(self, frame: dict[str, Any]) -> dict[str, Any]:
+        market = self._market(frame)
+        record = self._close_round(market, "flush")
+        return {"market": market.config.name, "outcome": record}
+
+    async def _op_market(self, frame: dict[str, Any]) -> dict[str, Any]:
+        market = self._market(frame)
+        return {"stats": market.stats()}
+
+    async def _op_markets(self, frame: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "markets": [
+                self.markets[name].stats() for name in sorted(self.markets)
+            ],
+            "bad_frames": self.bad_frames,
+        }
+
+    async def _op_outcomes(self, frame: dict[str, Any]) -> dict[str, Any]:
+        market = self._market(frame)
+        since = frame.get("since", 0)
+        if isinstance(since, bool) or not isinstance(since, int):
+            raise ProtocolError("bad-request", "field 'since' must be an integer")
+        records, complete = market.outcomes_since(since)
+        return {
+            "market": market.config.name,
+            "outcomes": records,
+            "complete": complete,
+        }
+
+    async def _op_snapshot(self, frame: dict[str, Any]) -> dict[str, Any]:
+        if "market" in frame:
+            markets = [self._market(frame)]
+        else:
+            markets = list(self.markets.values())
+        for market in markets:
+            market.snapshot()
+        self._trail.append(telemetry.snapshot(), cell_id="service")
+        return {
+            "markets": sorted(m.config.name for m in markets),
+            "persisted": self.directory is not None,
+        }
+
+    async def _op_shutdown(self, frame: dict[str, Any]) -> dict[str, Any]:
+        # Answer first, then stop: the requester gets its ack before the
+        # listener closes underneath it.
+        asyncio.get_running_loop().create_task(self.stop())
+        return {"stopping": True}
+
+
+class ServerHandle:
+    """A running :class:`AuctionServer` on its own event-loop thread."""
+
+    def __init__(self, server: AuctionServer, thread: threading.Thread) -> None:
+        self.server = server
+        self.thread = thread
+        self.host = server.host
+        self.port = server.bound_port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown (snapshots + trail flush), then join."""
+        loop = getattr(self.server, "_loop", None)
+        if loop is not None and loop.is_running():
+            asyncio.run_coroutine_threadsafe(self.server.stop(), loop)
+        self.thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def start_server_thread(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    directory: str | Path | None = None,
+    http_port: int | None = None,
+    ready_timeout: float = 10.0,
+) -> ServerHandle:
+    """Run an :class:`AuctionServer` on a daemon thread, wait until bound.
+
+    The returned handle carries the resolved port (pass ``port=0`` for an
+    ephemeral one) — the idiom the tests and the throughput benchmark use
+    to talk to a real socket server in-process.
+    """
+    server = AuctionServer(host, port, directory=directory, http_port=http_port)
+    ready = threading.Event()
+    startup_error: list[BaseException] = []
+
+    async def _main() -> None:
+        server._loop = asyncio.get_running_loop()  # type: ignore[attr-defined]
+        try:
+            await server.start()
+        except BaseException as error:  # noqa: BLE001 - reported to the caller
+            startup_error.append(error)
+            ready.set()
+            return
+        ready.set()
+        await server.serve_forever()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(_main()), name="auction-server", daemon=True
+    )
+    thread.start()
+    if not ready.wait(ready_timeout):
+        raise RuntimeError("auction server did not start in time")
+    if startup_error:
+        thread.join(1.0)
+        raise RuntimeError(f"auction server failed to start: {startup_error[0]}")
+    return ServerHandle(server, thread)

@@ -103,3 +103,111 @@ class TestDriftPlusPenaltyController:
     def test_rejects_nonpositive_v(self):
         with pytest.raises(ValueError):
             DriftPlusPenaltyController(v=0.0, budget_per_round=1.0)
+
+
+class TestBoundedHistory:
+    """The backlog trace is a bounded ring; the statistics stay exact."""
+
+    def test_bounded_queue_matches_unbounded_aggregates(self, rng):
+        bounded = VirtualQueue(history_limit=16)
+        unbounded = VirtualQueue(history_limit=None)
+        for _ in range(500):
+            arrival = float(rng.uniform(0, 2))
+            service = float(rng.uniform(0, 2))
+            bounded.update(arrival, service)
+            unbounded.update(arrival, service)
+        assert len(bounded.history) == 16
+        assert len(unbounded.history) == 501
+        # Exact running aggregates never depend on the retained window.
+        assert bounded.backlog == unbounded.backlog
+        assert bounded.average_backlog() == pytest.approx(
+            sum(unbounded.history) / len(unbounded.history)
+        )
+        assert bounded.peak_backlog == max(unbounded.history)
+        assert bounded.average_arrival() == unbounded.average_arrival()
+        assert bounded.average_service() == unbounded.average_service()
+        assert bounded.is_rate_stable(1.0) == unbounded.is_rate_stable(1.0)
+        # The ring holds exactly the most recent entries.
+        assert bounded.history == unbounded.history[-16:]
+
+    def test_default_limit_keeps_short_traces_complete(self):
+        queue = VirtualQueue()
+        for _ in range(100):
+            queue.update(1.0, 0.5)
+        assert len(queue.history) == 101
+
+    def test_memory_stays_bounded(self):
+        queue = VirtualQueue(history_limit=8)
+        for _ in range(10_000):
+            queue.update(1.0, 1.0)
+        assert len(queue.history) == 8
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ValueError):
+            VirtualQueue(history_limit=0)
+
+    def test_reset_preserves_limit(self):
+        queue = VirtualQueue(history_limit=4)
+        for _ in range(10):
+            queue.update(1.0, 0.0)
+        queue.reset()
+        for _ in range(10):
+            queue.update(1.0, 0.0)
+        assert len(queue.history) == 4
+        assert queue.history_limit == 4
+
+
+class TestQueueStateDict:
+    """Snapshot/restore round-trips bit-identically."""
+
+    def _advance(self, queue, rng, n=50):
+        for _ in range(n):
+            queue.update(float(rng.uniform(0, 3)), float(rng.uniform(0, 3)))
+
+    def test_round_trip_bit_identical(self, rng):
+        queue = VirtualQueue(initial=0.5)
+        self._advance(queue, rng)
+        state = queue.state_dict()
+        restored = VirtualQueue()
+        restored.load_state_dict(state)
+        assert restored.backlog == queue.backlog
+        assert restored.steps == queue.steps
+        assert restored.history == queue.history
+        assert restored.average_backlog() == queue.average_backlog()
+        assert restored.peak_backlog == queue.peak_backlog
+        # Identical future trajectories.
+        for _ in range(20):
+            arrival = float(rng.uniform(0, 2))
+            assert queue.update(arrival, 1.0) == restored.update(arrival, 1.0)
+
+    def test_round_trip_survives_json(self, rng):
+        import json
+
+        queue = BudgetQueue(budget_per_round=1.5)
+        for _ in range(30):
+            queue.record_spend(float(rng.uniform(0, 4)))
+        state = json.loads(json.dumps(queue.state_dict()))
+        restored = BudgetQueue(budget_per_round=1.5)
+        restored.load_state_dict(state)
+        assert restored.backlog == queue.backlog
+        assert restored.spend_bound() == queue.spend_bound()
+
+    def test_malformed_state_rejected(self):
+        queue = VirtualQueue()
+        with pytest.raises(ValueError):
+            queue.load_state_dict({})
+        with pytest.raises(ValueError):
+            queue.load_state_dict({"backlog": 1.0, "steps": 1, "history": []})
+        with pytest.raises(ValueError):
+            # history tail must equal the backlog
+            queue.load_state_dict(
+                {
+                    "backlog": 1.0,
+                    "steps": 1,
+                    "total_arrivals": 1.0,
+                    "total_service": 0.0,
+                    "backlog_sum": 1.0,
+                    "peak": 2.0,
+                    "history": [0.0, 2.0],
+                }
+            )

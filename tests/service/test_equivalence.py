@@ -1,0 +1,185 @@
+"""Served-vs-simulated equivalence: the service is the simulator, online.
+
+A market fed an archived trail over a real socket must reproduce the
+original :class:`~repro.simulation.runner.SimulationRunner` run
+bit-identically — same allocations, same payments, same queue backlogs —
+including across a server kill + snapshot-resume mid-horizon.  This is
+the load-bearing guarantee of the service: moving the mechanism behind a
+socket changes *nothing* about its decisions.
+"""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.mechanisms.registry import build_mechanism
+from repro.rng import RngTree
+from repro.service.client import ServiceClient
+from repro.service.market import Market, MarketConfig
+from repro.service.server import start_server_thread
+from repro.simulation.runner import SimulationRunner
+from repro.simulation.scenarios import build_mechanism_scenario
+
+ROUNDS = 30
+
+
+def simulate(config: ExperimentConfig):
+    """The reference run — exactly the worker's execute_config wiring."""
+    mechanism = build_mechanism(config)
+    scenario = build_mechanism_scenario(config.num_clients, seed=config.seed)
+    runner = SimulationRunner(
+        mechanism,
+        scenario.clients,
+        scenario.valuation,
+        presence=scenario.presence,
+        network=scenario.network,
+        seed=RngTree(config.seed).child_seed("orchestration/runner"),
+    )
+    log = runner.run(config.num_rounds)
+    return log, mechanism
+
+
+def feed_record(target, record):
+    """Submit one archived round's bids (in original bid order) and close."""
+    for client_id, cost in record.bids.items():
+        target.submit(
+            client_id=client_id, cost=cost, value=record.values[client_id]
+        )
+    return target.close()
+
+
+class _MarketAdapter:
+    def __init__(self, market):
+        self.market = market
+
+    def submit(self, **bid):
+        self.market.submit_bid(bid)
+
+    def close(self):
+        return self.market.close_round(trigger="flush")
+
+
+class _SocketAdapter:
+    def __init__(self, client, name):
+        self.client = client
+        self.name = name
+
+    def submit(self, **bid):
+        self.client.bid(self.name, bid["client_id"], cost=bid["cost"],
+                        value=bid["value"])
+
+    def close(self):
+        return self.client.flush(self.name)
+
+
+def assert_round_equal(record, served):
+    __tracebackhide__ = True
+    assert served["round_index"] == record.round_index
+    assert tuple(served["selected"]) == record.selected
+    assert {int(c): p for c, p in served["payments"].items()} == record.payments
+    # Queue state must track bit-for-bit, not approximately.
+    for key in ("budget_backlog", "cost_weight", "total_payment"):
+        if key in record.diagnostics:
+            assert served["diagnostics"][key] == record.diagnostics[key]
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(
+        num_clients=10,
+        num_rounds=ROUNDS,
+        v=10.0,
+        budget_per_round=2.0,
+        max_winners=4,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(config):
+    return simulate(config)
+
+
+class TestDirectEquivalence:
+    def test_market_reproduces_simulation(self, config, reference):
+        log, sim_mechanism = reference
+        market = Market(MarketConfig("eq", config), None)
+        for record in log:
+            served = feed_record(_MarketAdapter(market), record)
+            assert_round_equal(record, served)
+        assert market.mechanism.budget_backlog == sim_mechanism.budget_backlog
+
+    def test_with_participation_queues(self):
+        config = ExperimentConfig(
+            num_clients=8,
+            num_rounds=20,
+            v=8.0,
+            budget_per_round=1.5,
+            max_winners=3,
+            participation_target=0.25,
+            seed=11,
+        )
+        log, sim_mechanism = simulate(config)
+        market = Market(MarketConfig("eq", config), None)
+        for record in log:
+            served = feed_record(_MarketAdapter(market), record)
+            assert_round_equal(record, served)
+            if "max_participation_backlog" in record.diagnostics:
+                assert (
+                    served["diagnostics"]["max_participation_backlog"]
+                    == record.diagnostics["max_participation_backlog"]
+                )
+
+
+class TestSocketEquivalence:
+    def test_socket_fed_market_bit_identical(self, config, reference, tmp_path):
+        log, sim_mechanism = reference
+        handle = start_server_thread(directory=tmp_path / "svc")
+        try:
+            with ServiceClient("127.0.0.1", handle.port) as client:
+                client.create_market("eq", experiment=config.to_dict())
+                feeder = _SocketAdapter(client, "eq")
+                for record in log:
+                    served = feed_record(feeder, record)
+                    assert_round_equal(record, served)
+                assert (
+                    client.market("eq")["budget_backlog"]
+                    == sim_mechanism.budget_backlog
+                )
+        finally:
+            handle.stop()
+
+    def test_kill_and_resume_mid_horizon(self, tmp_path):
+        config = ExperimentConfig(
+            num_clients=10,
+            num_rounds=ROUNDS,
+            v=10.0,
+            budget_per_round=2.0,
+            max_winners=4,
+            participation_target=0.2,
+            seed=5,
+        )
+        log, sim_mechanism = simulate(config)
+        half = ROUNDS // 2
+
+        handle = start_server_thread(directory=tmp_path / "svc")
+        with ServiceClient("127.0.0.1", handle.port) as client:
+            client.create_market("eq", experiment=config.to_dict())
+            feeder = _SocketAdapter(client, "eq")
+            for record in list(log)[:half]:
+                assert_round_equal(record, feed_record(feeder, record))
+        # Graceful stop snapshots the market (queue + participation state).
+        handle.stop()
+        assert not handle.thread.is_alive()
+
+        resumed = start_server_thread(directory=tmp_path / "svc")
+        try:
+            with ServiceClient("127.0.0.1", resumed.port) as client:
+                feeder = _SocketAdapter(client, "eq")
+                for record in list(log)[half:]:
+                    assert_round_equal(record, feed_record(feeder, record))
+                assert (
+                    client.market("eq")["budget_backlog"]
+                    == sim_mechanism.budget_backlog
+                )
+        finally:
+            resumed.stop()

@@ -1,0 +1,229 @@
+"""Tests for repro.service.market (round closing, snapshots, failure modes)."""
+
+import json
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.service.market import Market, MarketConfig, MarketError
+
+
+def make_market(tmp_path=None, *, mechanism="lt-vcg", **kwargs):
+    directory = tmp_path / "m" if tmp_path is not None else None
+    experiment = ExperimentConfig(
+        num_clients=8,
+        v=10.0,
+        budget_per_round=2.0,
+        max_winners=3,
+        extras={"mechanism": mechanism},
+    )
+    return Market(MarketConfig("m", experiment, **kwargs), directory)
+
+
+def submit(market, client_id, cost=0.5, value=2.0):
+    return market.submit_bid({"client_id": client_id, "cost": cost, "value": value})
+
+
+class TestBidIntake:
+    def test_accepts_and_buffers(self):
+        market = make_market()
+        payload = submit(market, 0)
+        assert payload["round_index"] == 0
+        assert payload["pending"] == 1
+        assert market.bids_accepted == 1
+
+    def test_duplicate_client_in_round_rejected(self):
+        market = make_market()
+        submit(market, 0)
+        with pytest.raises(MarketError) as excinfo:
+            submit(market, 0)
+        assert excinfo.value.error_type == "bad-bid"
+        assert market.bids_rejected == 1
+        # ... but the same client may bid again in the next round.
+        market.close_round(trigger="flush")
+        submit(market, 0)
+
+    @pytest.mark.parametrize(
+        "bid",
+        [
+            {"client_id": "zero", "cost": 1.0, "value": 1.0},
+            {"client_id": -1, "cost": 1.0, "value": 1.0},
+            {"client_id": True, "cost": 1.0, "value": 1.0},
+            {"client_id": 0, "cost": -0.5, "value": 1.0},
+            {"client_id": 0, "cost": float("nan"), "value": 1.0},
+            {"client_id": 0, "cost": float("inf"), "value": 1.0},
+            {"client_id": 0, "cost": 1.0, "value": float("nan")},
+            {"client_id": 0, "cost": 1.0},
+            {"client_id": 0, "value": 1.0},
+            {"client_id": 0, "cost": 1.0, "value": 1.0, "data_size": -1},
+            {"client_id": 0, "cost": 1.0, "value": 1.0, "quality": -0.1},
+        ],
+    )
+    def test_malformed_bids_rejected_typed(self, bid):
+        market = make_market()
+        with pytest.raises(MarketError) as excinfo:
+            market.submit_bid(bid)
+        assert excinfo.value.error_type == "bad-bid"
+        # The pending round is untouched.
+        assert market.pending_count == 0
+
+    def test_rejection_never_corrupts_round(self):
+        market = make_market()
+        submit(market, 0)
+        with pytest.raises(MarketError):
+            submit(market, 0, cost=-1.0)  # duplicate AND negative
+        record = market.close_round(trigger="flush")
+        assert record["num_bids"] == 1
+        assert record["selected"] == [0]
+
+
+class TestRoundClosing:
+    def test_close_runs_mechanism(self):
+        market = make_market()
+        for cid in range(4):
+            submit(market, cid, cost=0.5 + 0.1 * cid)
+        record = market.close_round(trigger="flush")
+        assert record["round_index"] == 0
+        assert record["num_bids"] == 4
+        assert len(record["selected"]) == 3  # max_winners
+        assert record["total_payment"] > 0
+        assert "budget_backlog" in record["diagnostics"]
+        assert market.next_round_index == 1
+
+    def test_empty_round_is_explicit_not_a_hang(self):
+        market = make_market()
+        record = market.close_round(trigger="timer")
+        assert record["empty"] is True
+        assert record["selected"] == []
+        assert record["payments"] == {}
+        assert record["num_bids"] == 0
+        assert market.empty_rounds == 1
+        # The round index advances; the mechanism was never touched.
+        assert market.next_round_index == 1
+        assert market.mechanism.budget_backlog == 0.0
+
+    def test_batch_trigger(self):
+        market = make_market(max_round_bids=3)
+        submit(market, 0)
+        submit(market, 1)
+        assert not market.should_close()
+        submit(market, 2)
+        assert market.should_close()
+
+    def test_queue_state_lives_across_rounds(self):
+        market = make_market()
+        backlogs = []
+        for round_index in range(5):
+            for cid in range(4):
+                submit(market, cid, cost=1.5, value=5.0)
+            record = market.close_round(trigger="flush")
+            backlogs.append(record["diagnostics"]["budget_backlog"])
+        # Overspending rounds accumulate backlog monotonically here.
+        assert backlogs == sorted(backlogs)
+        assert backlogs[-1] > 0
+
+    def test_outcomes_since_window(self):
+        market = make_market()
+        for _ in range(4):
+            market.close_round(trigger="flush")
+        records, complete = market.outcomes_since(2)
+        assert [r["round_index"] for r in records] == [2, 3]
+        assert complete
+
+
+class TestPersistence:
+    def test_snapshot_restore_round_trip(self, tmp_path, rng):
+        market = make_market(tmp_path)
+        for round_index in range(6):
+            for cid in range(5):
+                submit(
+                    market,
+                    cid,
+                    cost=float(rng.uniform(0.2, 1.5)),
+                    value=float(rng.uniform(0.5, 3.0)),
+                )
+            market.close_round(trigger="flush")
+        submit(market, 3, cost=0.7)  # a pending, unclosed bid
+        market.snapshot()
+
+        restored = Market.restore(tmp_path / "m")
+        assert restored.next_round_index == market.next_round_index
+        assert restored.pending == market.pending
+        assert restored.mechanism.budget_backlog == market.mechanism.budget_backlog
+        assert restored.rounds_closed == market.rounds_closed
+        assert restored.latency.count == market.latency.count
+
+        # The restored market must continue bit-identically (client 3's
+        # pending bid travelled in the snapshot).
+        for cid in (0, 1):
+            submit(market, cid)
+            submit(restored, cid)
+        a = market.close_round(trigger="flush")
+        b = restored.close_round(trigger="flush")
+        assert a["selected"] == b["selected"]
+        assert a["payments"] == b["payments"]
+        assert (
+            a["diagnostics"]["budget_backlog"] == b["diagnostics"]["budget_backlog"]
+        )
+
+    def test_snapshot_written_on_every_close(self, tmp_path):
+        market = make_market(tmp_path)
+        submit(market, 0)
+        market.close_round(trigger="flush")
+        snapshot = json.loads((tmp_path / "m" / "snapshot.json").read_text())
+        assert snapshot["next_round_index"] == 1
+        assert snapshot["resumable"] is True
+        assert snapshot["mechanism_state"]["budget_queue"]["steps"] == 1
+
+    def test_outcomes_trail_appended(self, tmp_path):
+        market = make_market(tmp_path)
+        submit(market, 0)
+        market.close_round(trigger="flush")
+        market.close_round(trigger="timer")
+        lines = (tmp_path / "m" / "outcomes.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["empty"] is True
+
+    def test_restore_rejects_corrupt_snapshot(self, tmp_path):
+        market = make_market(tmp_path)
+        market.snapshot()
+        path = tmp_path / "m" / "snapshot.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError):
+            Market.restore(tmp_path / "m")
+
+    def test_restore_rejects_missing_snapshot(self, tmp_path):
+        with pytest.raises(ValueError):
+            Market.restore(tmp_path / "nowhere")
+
+
+class TestStats:
+    def test_stats_shape(self):
+        market = make_market()
+        for cid in range(3):
+            submit(market, cid)
+        market.close_round(trigger="flush")
+        stats = market.stats()
+        assert stats["name"] == "m"
+        assert stats["mechanism"] == "lt-vcg"
+        assert stats["rounds_closed"] == 1
+        assert stats["bids_accepted"] == 3
+        assert "budget_backlog" in stats
+        assert stats["decision_latency_ms"]["count"] == 1
+        assert stats["resumable"] is True
+
+    def test_stateless_mechanism_market(self):
+        market = make_market(mechanism="myopic-vcg")
+        for cid in range(3):
+            submit(market, cid)
+        record = market.close_round(trigger="flush")
+        assert record["selected"]
+        stats = market.stats()
+        assert "budget_backlog" not in stats
+        assert stats["resumable"] is True  # {} state round-trips fine
+
+    def test_bad_market_name_rejected(self):
+        with pytest.raises(MarketError):
+            MarketConfig("../evil", ExperimentConfig())
+        with pytest.raises(MarketError):
+            MarketConfig("", ExperimentConfig())

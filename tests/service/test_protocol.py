@@ -1,0 +1,83 @@
+"""Tests for repro.service.protocol (the NDJSON frame layer)."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    ERROR_TYPES,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    require,
+)
+
+
+class TestFrames:
+    def test_encode_decode_round_trip(self):
+        frame = {"op": "bid", "client_id": 3, "cost": 0.25, "value": 1.5}
+        line = encode_frame(frame)
+        assert line.endswith(b"\n")
+        assert decode_frame(line) == frame
+
+    def test_floats_survive_exactly(self):
+        value = 0.1 + 0.2  # not representable prettily
+        assert decode_frame(encode_frame({"v": value}))["v"] == value
+
+    def test_rejects_non_json(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(b"this is not json\n")
+        assert excinfo.value.error_type == "bad-frame"
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(b"[1, 2, 3]\n")
+        assert excinfo.value.error_type == "bad-frame"
+
+    def test_rejects_oversized(self):
+        line = b'{"pad": "' + b"x" * MAX_FRAME_BYTES + b'"}\n'
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(line)
+        assert excinfo.value.error_type == "bad-frame"
+
+    def test_ok_frame_shape(self):
+        frame = ok_frame("ping", time=1.0)
+        assert frame["ok"] is True
+        assert frame["op"] == "ping"
+        assert frame["time"] == 1.0
+
+    def test_error_frame_shape(self):
+        frame = error_frame(ProtocolError("unknown-market", "nope"), op="bid")
+        assert frame["ok"] is False
+        assert frame["op"] == "bid"
+        assert frame["error"] == {"type": "unknown-market", "message": "nope"}
+        # must serialise
+        json.dumps(frame)
+
+    def test_error_types_closed_vocabulary(self):
+        with pytest.raises(ValueError):
+            ProtocolError("made-up-type", "x")
+        for error_type in ERROR_TYPES:
+            assert ProtocolError(error_type, "x").error_type == error_type
+
+
+class TestRequire:
+    def test_missing_field(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            require({}, "market", str)
+        assert excinfo.value.error_type == "bad-request"
+
+    def test_wrong_type(self):
+        with pytest.raises(ProtocolError):
+            require({"market": 7}, "market", str)
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(ProtocolError):
+            require({"cost": True}, "cost", (int, float))
+
+    def test_passes_through(self):
+        assert require({"cost": 1.5}, "cost", (int, float)) == 1.5
+        assert require({"market": "m"}, "market", str) == "m"

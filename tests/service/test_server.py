@@ -1,0 +1,259 @@
+"""Socket-level tests of the auction server (lifecycle, failure modes)."""
+
+import json
+import socket
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import start_server_thread
+
+EXPERIMENT = {
+    "num_clients": 8,
+    "v": 10.0,
+    "budget_per_round": 2.0,
+    "max_winners": 3,
+}
+
+
+@pytest.fixture
+def server(tmp_path):
+    handle = start_server_thread(directory=tmp_path / "svc")
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient("127.0.0.1", server.port) as client:
+        yield client
+
+
+def create(client, name="alpha", **kwargs):
+    return client.create_market(name, experiment=EXPERIMENT, **kwargs)
+
+
+class TestLifecycle:
+    def test_ping(self, client):
+        assert client.ping()["markets"] == 0
+
+    def test_create_and_list(self, client):
+        create(client)
+        rows = client.markets()
+        assert [row["name"] for row in rows] == ["alpha"]
+        assert rows[0]["mechanism"] == "lt-vcg"
+
+    def test_create_twice_is_typed_error(self, client):
+        create(client)
+        with pytest.raises(ServiceError) as excinfo:
+            create(client)
+        assert excinfo.value.error_type == "market-exists"
+        # exist_ok tolerates it
+        assert create(client, exist_ok=True)["created"] is False
+
+    def test_unknown_market(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.bid("nope", 0, cost=1.0, value=1.0)
+        assert excinfo.value.error_type == "unknown-market"
+
+    def test_unknown_op(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.request({"op": "frobnicate"})
+        assert excinfo.value.error_type == "unknown-op"
+
+    def test_unknown_mechanism_is_bad_request(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.create_market("m", mechanism="not-a-mechanism")
+        assert excinfo.value.error_type == "bad-request"
+
+
+class TestRounds:
+    def test_batch_trigger_closes_round(self, client):
+        create(client, max_round_bids=3)
+        client.bid("alpha", 0, cost=0.5, value=2.0)
+        client.bid("alpha", 1, cost=0.6, value=2.0)
+        response = client.bid("alpha", 2, cost=0.7, value=2.0)
+        assert response["closed_round"] == 0
+        outcomes = client.outcomes("alpha")
+        assert len(outcomes) == 1
+        assert outcomes[0]["trigger"] == "batch"
+        assert outcomes[0]["selected"]
+
+    def test_flush_closes_round(self, client):
+        create(client)
+        client.bid("alpha", 0, cost=0.5, value=2.0)
+        outcome = client.flush("alpha")
+        assert outcome["round_index"] == 0
+        assert outcome["num_bids"] == 1
+
+    def test_flush_with_no_bids_is_explicit_empty_outcome(self, client):
+        create(client)
+        outcome = client.flush("alpha")
+        assert outcome["empty"] is True
+        assert outcome["selected"] == []
+
+    def test_timer_closes_rounds_even_when_idle(self, server):
+        with ServiceClient("127.0.0.1", server.port) as client:
+            client.create_market(
+                "timed", experiment=EXPERIMENT, round_timeout=0.05
+            )
+            client.bid("timed", 0, cost=0.5, value=2.0)
+            import time
+
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                stats = client.market("timed")
+                if stats["rounds_closed"] >= 2:
+                    break
+                time.sleep(0.02)
+            outcomes = client.outcomes("timed")
+            assert len(outcomes) >= 2
+            assert outcomes[0]["trigger"] == "timer"
+            assert outcomes[0]["num_bids"] == 1
+            # The idle rounds closed as explicit empty outcomes, no hang.
+            assert any(o.get("empty") for o in outcomes[1:])
+
+    def test_bulk_bids_with_per_bid_verdicts(self, client):
+        create(client)
+        summary = client.send_bids(
+            "alpha",
+            [
+                {"client_id": 0, "cost": 0.5, "value": 2.0},
+                {"client_id": 0, "cost": 0.6, "value": 2.0},  # duplicate
+                {"client_id": 1, "cost": -1.0, "value": 2.0},  # negative
+                {"client_id": 2, "cost": 0.7, "value": 2.0},
+            ],
+        )
+        assert summary["accepted"] == 2
+        assert summary["rejected"] == 2
+        verdicts = [entry["ok"] for entry in summary["results"]]
+        assert verdicts == [True, False, False, True]
+        assert summary["results"][1]["error"]["type"] == "bad-bid"
+
+
+class TestHonestFailureModes:
+    def test_malformed_frame_gets_typed_response_and_counter(self, server):
+        with ServiceClient("127.0.0.1", server.port) as client:
+            client.create_market("alpha", experiment=EXPERIMENT)
+            raw = client._sock
+            raw.sendall(b"this is not json\n")
+            response = json.loads(client._file.readline())
+            assert response["ok"] is False
+            assert response["error"]["type"] == "bad-frame"
+            # The connection (and the server) survive; the frame is counted.
+            assert client.ping()
+            assert server.server.bad_frames == 1
+
+    def test_non_object_frame(self, server):
+        with ServiceClient("127.0.0.1", server.port) as client:
+            client._sock.sendall(b"[1,2,3]\n")
+            response = json.loads(client._file.readline())
+            assert response["error"]["type"] == "bad-frame"
+
+    def test_rejected_bid_never_crashes_round_loop(self, client):
+        create(client)
+        with pytest.raises(ServiceError):
+            client.bid("alpha", 0, cost=-5.0, value=1.0)
+        client.bid("alpha", 0, cost=0.5, value=2.0)
+        outcome = client.flush("alpha")
+        assert outcome["num_bids"] == 1
+        assert client.market("alpha")["bids_rejected"] == 1
+
+    def test_each_connection_isolated(self, server):
+        with ServiceClient("127.0.0.1", server.port) as a:
+            a.create_market("alpha", experiment=EXPERIMENT)
+            with socket.create_connection(("127.0.0.1", server.port)) as bad:
+                bad.sendall(b"garbage\n")
+                bad.recv(4096)
+            assert a.ping()
+
+
+class TestShutdownAndResume:
+    def test_graceful_shutdown_snapshots_and_resumes(self, tmp_path):
+        handle = start_server_thread(directory=tmp_path / "svc")
+        with ServiceClient("127.0.0.1", handle.port) as client:
+            client.create_market("alpha", experiment=EXPERIMENT)
+            for cid in range(4):
+                client.bid("alpha", cid, cost=1.5, value=5.0)
+            client.flush("alpha")
+            backlog = client.market("alpha")["budget_backlog"]
+            assert backlog > 0
+            client.shutdown()
+        handle.thread.join(10)
+        assert not handle.thread.is_alive()
+
+        resumed = start_server_thread(directory=tmp_path / "svc")
+        try:
+            with ServiceClient("127.0.0.1", resumed.port) as client:
+                stats = client.market("alpha")
+                assert stats["budget_backlog"] == backlog
+                assert stats["next_round_index"] == 1
+        finally:
+            resumed.stop()
+
+    def test_handle_stop_is_graceful(self, tmp_path):
+        handle = start_server_thread(directory=tmp_path / "svc")
+        with ServiceClient("127.0.0.1", handle.port) as client:
+            client.create_market("alpha", experiment=EXPERIMENT)
+        handle.stop()
+        assert (tmp_path / "svc" / "markets" / "alpha" / "snapshot.json").exists()
+        events = [
+            json.loads(line)["type"]
+            for line in (tmp_path / "svc" / "events.jsonl").read_text().splitlines()
+        ]
+        assert events[0] == "server_started"
+        assert events[-1] == "server_stopped"
+
+
+class TestHttpShim:
+    @pytest.fixture
+    def http(self, tmp_path):
+        handle = start_server_thread(directory=tmp_path / "svc", http_port=0)
+        yield handle
+        handle.stop()
+
+    def test_get_markets_and_post_bid(self, http):
+        port = http.server.http_bound_port
+        with ServiceClient("127.0.0.1", http.port) as client:
+            client.create_market("alpha", experiment=EXPERIMENT)
+        body = json.loads(
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/v1/markets", timeout=5
+            ).read()
+        )
+        assert body["ok"] is True
+        assert body["markets"][0]["name"] == "alpha"
+
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/v1/bid",
+            data=json.dumps(
+                {"market": "alpha", "client_id": 1, "cost": 0.5, "value": 2.0}
+            ).encode(),
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        body = json.loads(urllib.request.urlopen(request, timeout=5).read())
+        assert body["ok"] is True
+        assert body["pending"] == 1
+
+    def test_typed_errors_map_to_status_codes(self, http):
+        port = http.server.http_bound_port
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/v1/frobnicate", timeout=5
+            )
+        assert excinfo.value.code == 404
+        assert (
+            json.loads(excinfo.value.read())["error"]["type"] == "unknown-op"
+        )
+
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/v1/bid",
+            data=b"not json",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 400

@@ -1,0 +1,103 @@
+"""Tests for the trace-replay load generator (repro.service.replay)."""
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.service.client import ServiceClient
+from repro.service.replay import load_trace, replay_trace
+from repro.service.server import start_server_thread
+from repro.simulation.replay import save_event_log
+
+from tests.service.test_equivalence import simulate
+
+
+@pytest.fixture(scope="module")
+def archived_run(tmp_path_factory):
+    """A small archived run: its directory and its in-memory log."""
+    config = ExperimentConfig(
+        num_clients=8, num_rounds=15, v=10.0, budget_per_round=2.0,
+        max_winners=3, seed=2,
+    )
+    log, _ = simulate(config)
+    out = tmp_path_factory.mktemp("run")
+    save_event_log(out / "event_log.json", log)
+    return config, out, log
+
+
+class TestLoadTrace:
+    def test_from_file_dir_and_campaign(self, archived_run, tmp_path):
+        _, out, log = archived_run
+        assert len(load_trace(out / "event_log.json")) == len(log)
+        assert len(load_trace(out)) == len(log)
+        # Campaign layout: event logs nested under cell directories.
+        nested = tmp_path / "camp" / "cells" / "cell-0"
+        nested.mkdir(parents=True)
+        (nested / "event_log.json").write_text(
+            (out / "event_log.json").read_text()
+        )
+        assert len(load_trace(tmp_path / "camp")) == len(log)
+
+    def test_missing_trace(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "nothing")
+
+
+class TestReplayTrace:
+    def test_replay_reproduces_run(self, archived_run, tmp_path):
+        config, out, log = archived_run
+        trace = load_trace(out)
+        handle = start_server_thread(directory=tmp_path / "svc")
+        try:
+            with ServiceClient("127.0.0.1", handle.port) as client:
+                client.create_market("replayed", experiment=config.to_dict())
+                stats = replay_trace(client, "replayed", trace)
+                # Round boundaries preserved; allocations reproduced exactly.
+                assert stats.rounds_sent == len(log)
+                assert stats.rounds_closed == len(log)
+                assert stats.bids_sent == sum(len(r.bids) for r in log)
+                assert stats.bids_rejected == 0
+                assert stats.rounds_with_allocations == sum(
+                    1 for r in log if r.selected
+                )
+                assert stats.total_payment == pytest.approx(
+                    sum(r.total_payment for r in log)
+                )
+                assert stats.bids_per_sec > 0
+                for record, outcome in zip(log, client.outcomes("replayed")):
+                    assert tuple(outcome["selected"]) == record.selected
+        finally:
+            handle.stop()
+
+    def test_speedup_and_jitter_control_pacing(self, archived_run, tmp_path):
+        config, out, _ = archived_run
+        trace = load_trace(out)
+        handle = start_server_thread(directory=tmp_path / "svc")
+        try:
+            with ServiceClient("127.0.0.1", handle.port) as client:
+                client.create_market("paced", experiment=config.to_dict())
+                stats = replay_trace(
+                    client, "paced", trace,
+                    speedup=200.0, interval=0.02, jitter=True, seed=7,
+                    max_rounds=5,
+                )
+                assert stats.rounds_sent == 5
+                # 4 inter-round gaps of ~0.02/200 s: fast but nonzero.
+                assert stats.duration_s > 0
+        finally:
+            handle.stop()
+
+    def test_stats_dict_round_trips(self, archived_run, tmp_path):
+        import json
+
+        config, out, _ = archived_run
+        trace = load_trace(out)
+        handle = start_server_thread(directory=tmp_path / "svc")
+        try:
+            with ServiceClient("127.0.0.1", handle.port) as client:
+                client.create_market("s", experiment=config.to_dict())
+                stats = replay_trace(client, "s", trace, max_rounds=3)
+        finally:
+            handle.stop()
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["rounds_sent"] == 3
+        assert "bids_per_sec" in payload
